@@ -1,0 +1,340 @@
+//! Per-PE access sections: the bridge between the IR, the data/iteration
+//! distribution, and the section algebra.
+
+use ccdp_dist::{doall_range_for_pe, Layout};
+use ccdp_ir::{
+    collect_refs_in_stmts, Affine, ArrayId, CollectedRef, Epoch, EpochKind, LoopKind, Program,
+    RefAccess, VarId,
+};
+use ccdp_sections::{Range, Section, SectionSet};
+
+/// Value interval (with stride) a loop variable ranges over.
+#[derive(Clone, Copy, Debug)]
+struct VarInterval {
+    var: VarId,
+    lo: i64,
+    hi: i64,
+    step: i64,
+}
+
+/// Result of evaluating one reference's touch-set for one PE over a whole
+/// epoch.
+#[derive(Clone, Debug)]
+pub struct PeSections {
+    /// May-touch set for each PE (`sections[pe]`).
+    pub sections: Vec<SectionSet>,
+    /// False when the compiler cannot tell which PE executes which iteration
+    /// (dynamic scheduling, non-constant DOALL bounds): then all entries are
+    /// the same full touch-set and a write must be treated as possibly
+    /// foreign for *every* reader.
+    pub pe_specific: bool,
+}
+
+/// Interval bounds for every enclosing loop of a reference, restricted to
+/// `pe`'s share of the DOALL. Returns `None` when the reference provably
+/// never executes (empty loop or empty PE share), and sets `pe_specific` to
+/// false when the DOALL's iteration→PE map is unknown at compile time.
+fn loop_intervals(
+    program: &Program,
+    layout: &Layout,
+    cr: &CollectedRef,
+    pe: usize,
+    n_pes: usize,
+    pe_specific: &mut bool,
+) -> Option<Vec<VarInterval>> {
+    let mut ivs: Vec<VarInterval> = Vec::with_capacity(cr.loops.len());
+    for l in &cr.loops {
+        let bounds: Vec<(VarId, i64, i64)> =
+            ivs.iter().map(|iv| (iv.var, iv.lo, iv.hi)).collect();
+        let env = ccdp_ir::VarEnv::new(0);
+        let (lo_min, lo_max) = l.lo.range_over(&env, &bounds);
+        let (hi_min, hi_max) = l.hi.range_over(&env, &bounds);
+        // The loop may be empty on every iteration of the outer loops.
+        if hi_max < lo_min {
+            return None;
+        }
+        let (mut lo, mut hi) = (lo_min, hi_max);
+        match l.kind {
+            LoopKind::Serial => {}
+            LoopKind::DoAllStatic => {
+                if let (Some(clo), Some(chi)) = (l.lo.as_constant(), l.hi.as_constant()) {
+                    let range = match l.align {
+                        Some(aid) => ccdp_dist::aligned_range_for_pe(
+                            layout,
+                            program.array(aid),
+                            clo,
+                            chi,
+                            l.step,
+                            pe,
+                        ),
+                        None => doall_range_for_pe(clo, chi, l.step, pe, n_pes),
+                    };
+                    match range {
+                        Some(r) => {
+                            lo = r.lo;
+                            hi = r.hi;
+                        }
+                        None => return None,
+                    }
+                } else {
+                    // Block bounds depend on outer iteration: the PE share is
+                    // not a compile-time constant range. Keep the full range
+                    // and drop PE specificity.
+                    *pe_specific = false;
+                }
+            }
+            LoopKind::DoAllDynamic { .. } => {
+                *pe_specific = false;
+            }
+        }
+        // Non-rectangular bound uncertainty (lo_max > lo_min etc.) only
+        // widens the interval, which is the safe direction.
+        let _ = (lo_max, hi_min);
+        ivs.push(VarInterval { var: l.var, lo, hi, step: l.step });
+    }
+    Some(ivs)
+}
+
+/// Convert one affine subscript into a (conservative) [`Range`] given the
+/// loop variable intervals. Exact for single-variable subscripts; bounding
+/// dense range otherwise.
+fn affine_to_range(a: &Affine, ivs: &[VarInterval]) -> Range {
+    let vars: Vec<VarId> = a.vars().collect();
+    match vars.len() {
+        0 => Range::point(a.constant_term()),
+        1 => {
+            let v = vars[0];
+            let c = a.coeff(v);
+            let iv = ivs
+                .iter()
+                .find(|iv| iv.var == v)
+                .expect("subscript variable must be an enclosing loop var");
+            let k = a.constant_term();
+            let (a0, a1) = (c * iv.lo + k, c * iv.hi + k);
+            let stride = (c * iv.step).abs();
+            Range::strided(a0.min(a1), a0.max(a1), stride.max(1))
+        }
+        _ => {
+            let bounds: Vec<(VarId, i64, i64)> =
+                ivs.iter().map(|iv| (iv.var, iv.lo, iv.hi)).collect();
+            let env = ccdp_ir::VarEnv::new(0);
+            let (lo, hi) = a.range_over(&env, &bounds);
+            Range::dense(lo, hi)
+        }
+    }
+}
+
+/// The may-touch section of one reference for one PE over a whole epoch.
+///
+/// * Serial epochs execute on PE 0 only: other PEs get ⊥.
+/// * In parallel epochs the DOALL variable is restricted to `pe`'s statically
+///   scheduled share; serial wrapper and inner loops use their full ranges.
+/// * Returns ⊤ only if a subscript cannot be bounded (should not happen for
+///   validated programs — bounds are affine in enclosing vars).
+pub fn ref_section_for_pe(
+    program: &Program,
+    layout: &Layout,
+    epoch: &Epoch,
+    cr: &CollectedRef,
+    pe: usize,
+) -> SectionSet {
+    let rank = program.array(cr.r.array).rank();
+    if epoch.kind == EpochKind::Serial && pe != 0 {
+        return SectionSet::bottom(rank);
+    }
+    let mut pe_specific = true;
+    let Some(ivs) =
+        loop_intervals(program, layout, cr, pe, layout.n_pes(), &mut pe_specific)
+    else {
+        return SectionSet::bottom(rank);
+    };
+    let dims: Vec<Range> = cr.r.index.iter().map(|a| affine_to_range(a, &ivs)).collect();
+    SectionSet::from_section(Section::new(dims))
+}
+
+/// Is the reference's iteration→PE mapping statically known?
+pub fn ref_is_pe_specific(epoch: &Epoch, cr: &CollectedRef) -> bool {
+    if epoch.kind == EpochKind::Serial {
+        return true;
+    }
+    cr.loops.iter().all(|l| match l.kind {
+        LoopKind::Serial => true,
+        LoopKind::DoAllStatic => l.lo.as_constant().is_some() && l.hi.as_constant().is_some(),
+        LoopKind::DoAllDynamic { .. } => false,
+    })
+}
+
+/// Per-epoch, per-array aggregate access sets.
+#[derive(Clone, Debug)]
+pub struct EpochAccess {
+    /// `writes[array][pe]`: may-write set of each PE.
+    pub writes: Vec<Vec<SectionSet>>,
+    /// `writes_pe_specific[array]`: false when some write's PE mapping is
+    /// unknown.
+    pub writes_pe_specific: Vec<bool>,
+    /// Collected references (reads and writes) with their contexts.
+    pub refs: Vec<CollectedRef>,
+}
+
+/// Compute the aggregate write sections of an epoch, per array per PE.
+pub fn epoch_access_sections(
+    program: &Program,
+    layout: &Layout,
+    epoch: &Epoch,
+) -> EpochAccess {
+    let n_arrays = program.arrays.len();
+    let n_pes = layout.n_pes();
+    let mut writes: Vec<Vec<SectionSet>> = program
+        .arrays
+        .iter()
+        .map(|a| vec![SectionSet::bottom(a.rank()); n_pes])
+        .collect();
+    let mut writes_pe_specific = vec![true; n_arrays];
+
+    let refs = collect_refs_in_stmts(&epoch.stmts);
+    for cr in &refs {
+        if cr.access != RefAccess::Write {
+            continue;
+        }
+        let ai: ArrayId = cr.r.array;
+        if !ref_is_pe_specific(epoch, cr) {
+            writes_pe_specific[ai.index()] = false;
+        }
+        for (pe, w) in writes[ai.index()].iter_mut().enumerate().take(n_pes) {
+            let s = ref_section_for_pe(program, layout, epoch, cr, pe);
+            w.union_with(&s);
+        }
+    }
+    EpochAccess { writes, writes_pe_specific, refs }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::ProgramBuilder;
+
+    /// doall j over columns, inner serial i: A(i, j) write.
+    fn column_sweep(n: usize) -> (Program, ccdp_ir::ArrayId) {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[n, n]);
+        pb.parallel_epoch("e", |e| {
+            e.doall("j", 0, n as i64 - 1, |e, j| {
+                e.serial("i", 0, n as i64 - 1, |e, i| {
+                    e.assign(a.at2(i, j), a.at2(i, j).rd() + 1.0);
+                });
+            });
+        });
+        (pb.finish().unwrap(), a.id())
+    }
+
+    #[test]
+    fn doall_restricts_to_pe_share() {
+        let (p, _a) = column_sweep(16);
+        let layout = Layout::new(&p, 4);
+        let e = &p.epochs()[0];
+        let refs = collect_refs_in_stmts(&e.stmts);
+        let w = refs.iter().find(|r| r.access == RefAccess::Write).unwrap();
+        for pe in 0..4usize {
+            let s = ref_section_for_pe(&p, &layout, e, w, pe);
+            let parts = s.parts();
+            assert_eq!(parts.len(), 1);
+            let sec = &parts[0];
+            assert_eq!(sec.dim(0).lo(), Some(0));
+            assert_eq!(sec.dim(0).hi(), Some(15));
+            assert_eq!(sec.dim(1).lo(), Some(pe as i64 * 4));
+            assert_eq!(sec.dim(1).hi(), Some(pe as i64 * 4 + 3));
+        }
+    }
+
+    #[test]
+    fn serial_epoch_only_pe0() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[8]);
+        pb.serial_epoch("e", |e| {
+            e.serial("i", 0, 7, |e, i| e.assign(a.at1(i), 0.0));
+        });
+        let p = pb.finish().unwrap();
+        let layout = Layout::new(&p, 4);
+        let e = &p.epochs()[0];
+        let refs = collect_refs_in_stmts(&e.stmts);
+        let w = &refs[0];
+        assert!(!ref_section_for_pe(&p, &layout, e, w, 0).is_empty());
+        assert!(ref_section_for_pe(&p, &layout, e, w, 1).is_empty());
+        assert!(ref_is_pe_specific(e, w));
+    }
+
+    #[test]
+    fn dynamic_doall_loses_pe_specificity() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[8]);
+        pb.parallel_epoch("e", |e| {
+            e.doall_dynamic("i", 0, 7, 2, |e, i| e.assign(a.at1(i), 0.0));
+        });
+        let p = pb.finish().unwrap();
+        let layout = Layout::new(&p, 4);
+        let e = &p.epochs()[0];
+        let refs = collect_refs_in_stmts(&e.stmts);
+        let w = &refs[0];
+        assert!(!ref_is_pe_specific(e, w));
+        // Every PE's may-touch set is the full range.
+        for pe in 0..4 {
+            let s = ref_section_for_pe(&p, &layout, e, w, pe);
+            assert!(s.covers_section(&Section::new(vec![Range::dense(0, 7)])));
+        }
+    }
+
+    #[test]
+    fn offset_subscripts_shift_sections() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[16, 16]);
+        let b = pb.shared("B", &[16, 16]);
+        pb.parallel_epoch("e", |e| {
+            e.doall("j", 1, 14, |e, j| {
+                e.serial("i", 1, 14, |e, i| {
+                    e.assign(b.at2(i, j), a.at2(i, j - 1).rd() + a.at2(i, j + 1).rd());
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let layout = Layout::new(&p, 2);
+        let e = &p.epochs()[0];
+        let refs = collect_refs_in_stmts(&e.stmts);
+        let reads: Vec<_> = refs.iter().filter(|r| r.access == RefAccess::Read).collect();
+        // PE0 executes j=1..7; A(i,j-1) touches cols 0..6, A(i,j+1) cols 2..8.
+        let s0 = ref_section_for_pe(&p, &layout, e, reads[0], 0);
+        assert_eq!(s0.parts()[0].dim(1), &Range::dense(0, 6));
+        let s1 = ref_section_for_pe(&p, &layout, e, reads[1], 0);
+        assert_eq!(s1.parts()[0].dim(1), &Range::dense(2, 8));
+    }
+
+    #[test]
+    fn strided_subscript_produces_strided_range() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[32]);
+        pb.serial_epoch("e", |e| {
+            e.serial("i", 0, 7, |e, i| {
+                e.assign(a.at1(i * 4 + 1), 0.0);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let layout = Layout::new(&p, 1);
+        let e = &p.epochs()[0];
+        let refs = collect_refs_in_stmts(&e.stmts);
+        let s = ref_section_for_pe(&p, &layout, e, &refs[0], 0);
+        assert_eq!(s.parts()[0].dim(0), &Range::strided(1, 29, 4));
+    }
+
+    #[test]
+    fn epoch_writes_aggregate_per_pe() {
+        let (p, aid) = column_sweep(8);
+        let layout = Layout::new(&p, 2);
+        let e = &p.epochs()[0];
+        let acc = epoch_access_sections(&p, &layout, e);
+        let w0 = &acc.writes[aid.index()][0];
+        let w1 = &acc.writes[aid.index()][1];
+        assert!(w0.intersects_section(&Section::point(&[0, 0])));
+        assert!(!w0.intersects_section(&Section::point(&[0, 7])));
+        assert!(w1.intersects_section(&Section::point(&[0, 7])));
+        assert!(acc.writes_pe_specific[aid.index()]);
+    }
+}

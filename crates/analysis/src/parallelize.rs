@@ -1,0 +1,395 @@
+//! Automatic DOALL detection — a miniature of the Polaris front end the
+//! paper's methodology starts from ("we first parallelize the application
+//! codes using the Polaris compiler", §5.2).
+//!
+//! For each *serial* epoch consisting of a perfect loop nest, the pass
+//! searches outermost-first for a loop with no loop-carried dependences and
+//! rewrites it to a static DOALL (leaving enclosing loops as the serial
+//! wrapper — exactly the serial-outer/parallel-inner shape of TOMCATV's
+//! loops 100/120). The dependence test is a conservative ZIV/strong-SIV
+//! subset of the standard framework:
+//!
+//! * **strong SIV**: a subscript dimension `c·v + f(outer) + k` identical in
+//!   both references (same `c ≠ 0`, same outer terms, same constant, no
+//!   inner-loop variables) forces `v₁ = v₂` — the dependence is not
+//!   loop-carried;
+//! * **SIV non-integral**: with equal coefficient `c ≠ 0` of `v`, a
+//!   constant difference not divisible by `c` admits no solution;
+//! * **ZIV disjoint**: subscripts free of `v` and inner variables, with
+//!   identical variable terms and a non-zero constant difference, can never
+//!   touch the same element at all.
+//!
+//! A loop parallelizes iff every (write, read-or-write) pair on the same
+//! array is safe by one of the two rules. Anything the test cannot prove is
+//! (correctly) left serial.
+
+use ccdp_ir::{
+    collect_refs_in_stmts, Affine, ArrayId, ArrayRef, Epoch, EpochId, EpochKind, Loop, LoopId,
+    LoopKind, Program, ProgramItem, RefAccess, Stmt, VarId,
+};
+
+/// One loop's verdict.
+#[derive(Clone, Debug)]
+pub struct LoopDecision {
+    pub epoch: EpochId,
+    pub loop_id: LoopId,
+    pub var: VarId,
+    pub parallelized: bool,
+    /// Human-readable justification (the blocking pair when serial).
+    pub reason: String,
+}
+
+/// The pass's summary.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelizeReport {
+    pub decisions: Vec<LoopDecision>,
+    pub epochs_parallelized: usize,
+}
+
+/// Run the pass: returns the rewritten program and the report. Epochs that
+/// are already parallel, or whose structure is not a perfect nest, are left
+/// untouched.
+pub fn auto_parallelize(program: &Program) -> (Program, ParallelizeReport) {
+    let mut out = program.clone();
+    let mut report = ParallelizeReport::default();
+    let arrays = out.arrays.clone();
+    rewrite_items(&mut out.items, &arrays, &mut report);
+    let mut routines = std::mem::take(&mut out.routines);
+    for r in &mut routines {
+        rewrite_items(&mut r.items, &arrays, &mut report);
+    }
+    out.routines = routines;
+    ccdp_ir::validate(&out).expect("auto-parallelized program must stay valid");
+    (out, report)
+}
+
+fn rewrite_items(
+    items: &mut [ProgramItem],
+    arrays: &[ccdp_ir::ArrayDecl],
+    report: &mut ParallelizeReport,
+) {
+    for item in items {
+        match item {
+            ProgramItem::Epoch(e) => try_convert_epoch(e, arrays, report),
+            ProgramItem::Repeat { body, .. } => rewrite_items(body, arrays, report),
+            ProgramItem::Call(_) => {}
+        }
+    }
+}
+
+/// Is the statement list exactly one loop? Returns it mutably.
+fn single_loop(stmts: &mut [Stmt]) -> Option<&mut Loop> {
+    match stmts {
+        [Stmt::Loop(l)] => Some(l),
+        _ => None,
+    }
+}
+
+fn try_convert_epoch(
+    e: &mut Epoch,
+    arrays: &[ccdp_ir::ArrayDecl],
+    report: &mut ParallelizeReport,
+) {
+    if e.kind != EpochKind::Parallel && e.kind != EpochKind::Serial {
+        return;
+    }
+    if e.kind == EpochKind::Parallel {
+        return; // already parallel
+    }
+    // Walk the perfect-nest chain outermost-first.
+    let mut depth = 0usize;
+    loop {
+        // Re-borrow down to the current depth each round (no polonius).
+        let mut cur: &mut Vec<Stmt> = &mut e.stmts;
+        for _ in 0..depth {
+            match single_loop(cur.as_mut_slice()) {
+                Some(l) => cur = &mut l.body,
+                None => return,
+            }
+        }
+        let Some(l) = single_loop(cur.as_mut_slice()) else { return };
+        let decision = analyze_loop(l, arrays);
+        report.decisions.push(LoopDecision {
+            epoch: e.id,
+            loop_id: l.id,
+            var: l.var,
+            parallelized: decision.is_none(),
+            reason: decision.clone().unwrap_or_else(|| "no loop-carried dependence".into()),
+        });
+        if decision.is_none() {
+            l.kind = LoopKind::DoAllStatic;
+            l.align = pick_alignment(l);
+            e.kind = EpochKind::Parallel;
+            report.epochs_parallelized += 1;
+            return;
+        }
+        depth += 1;
+        if depth > 8 {
+            return;
+        }
+    }
+}
+
+/// `None` when the loop is provably DOALL; `Some(reason)` otherwise.
+fn analyze_loop(l: &Loop, arrays: &[ccdp_ir::ArrayDecl]) -> Option<String> {
+    let v = l.var;
+    // Variables of loops nested inside `l` vary between instances.
+    let mut inner: Vec<VarId> = Vec::new();
+    ccdp_ir::for_each_stmt(&l.body, &mut |s| {
+        if let Stmt::Loop(il) = s {
+            inner.push(il.var);
+        }
+    });
+    let refs = collect_refs_in_stmts(&l.body);
+    for w in refs.iter().filter(|r| r.access == RefAccess::Write) {
+        for r in &refs {
+            if r.r.array != w.r.array {
+                continue;
+            }
+            if r.r.id == w.r.id && r.access == RefAccess::Read {
+                unreachable!("write id cannot be a read");
+            }
+            // Note: a write IS tested against itself — two iterations
+            // writing the same element is a carried output dependence.
+            if !pair_safe(&w.r, &r.r, v, &inner) {
+                return Some(format!(
+                    "carried dependence between r{} and r{} on array {}",
+                    w.r.id.0,
+                    r.r.id.0,
+                    arrays[w.r.array.index()].name
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Can the pair provably never conflict across distinct iterations of `v`?
+fn pair_safe(a: &ArrayRef, b: &ArrayRef, v: VarId, inner: &[VarId]) -> bool {
+    for d in 0..a.index.len() {
+        let (ea, eb) = (&a.index[d], &b.index[d]);
+        if uses_any(ea, inner) || uses_any(eb, inner) {
+            continue; // this dimension can't prove anything
+        }
+        let Some(delta) = ea.uniform_difference(eb) else {
+            continue; // different variable terms: inconclusive here
+        };
+        let c = ea.coeff(v); // equal to eb's coefficient (uniform)
+        if c == 0 {
+            if delta != 0 {
+                return true; // ZIV: provably disjoint elements
+            }
+            continue; // same element every iteration: inconclusive here
+        }
+        // SIV: equality requires c·(v₁ − v₂) = −delta.
+        if delta == 0 {
+            return true; // strong SIV, distance 0: not loop-carried
+        }
+        if delta % c != 0 {
+            return true; // non-integral distance: no solution
+        }
+        // Integral non-zero distance: a genuine carried dependence in this
+        // dimension; other dimensions may still prove disjointness.
+    }
+    false
+}
+
+fn uses_any(e: &Affine, vars: &[VarId]) -> bool {
+    e.vars().any(|ev| vars.contains(&ev))
+}
+
+/// CRAFT-style template alignment: if some written array's *last* dimension
+/// is subscripted exactly by the loop variable, align the DOALL to it.
+fn pick_alignment(l: &Loop) -> Option<ArrayId> {
+    let refs = collect_refs_in_stmts(&l.body);
+    for w in refs.iter().filter(|r| r.access == RefAccess::Write) {
+        let last = w.r.index.last()?;
+        if last.coeff(l.var) == 1
+            && last.constant_term() == 0
+            && last.terms().len() == 1
+        {
+            return Some(w.r.array);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::ProgramBuilder;
+
+    /// Serial MXM: the middle (column) loop must parallelize.
+    fn serial_mxm(n: usize) -> Program {
+        let n_ = n as i64;
+        let mut pb = ProgramBuilder::new("serial-mxm");
+        let a = pb.shared("A", &[n, n]);
+        let b = pb.shared("B", &[n, n]);
+        let c = pb.shared("C", &[n, n]);
+        pb.serial_epoch("init", |e| {
+            e.serial("j0", 0, n_ - 1, |e, j| {
+                e.serial("i0", 0, n_ - 1, |e, i| {
+                    e.assign(a.at2(i, j), i.val() * 0.01 + 1.0);
+                    e.assign(b.at2(i, j), j.val() * 0.01 + 2.0);
+                    e.assign(c.at2(i, j), 0.0);
+                });
+            });
+        });
+        pb.serial_epoch("mult", |e| {
+            e.serial("j", 0, n_ - 1, |e, j| {
+                e.serial("k", 0, n_ - 1, |e, k| {
+                    e.serial("i", 0, n_ - 1, |e, i| {
+                        e.assign(
+                            c.at2(i, j),
+                            c.at2(i, j).rd() + a.at2(i, k).rd() * b.at2(k, j).rd(),
+                        );
+                    });
+                });
+            });
+        });
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn mxm_outer_loops_parallelize() {
+        let p = serial_mxm(12);
+        let (tp, rep) = auto_parallelize(&p);
+        assert_eq!(rep.epochs_parallelized, 2);
+        // Both epochs become parallel at the outermost (j) level.
+        for e in tp.epochs() {
+            assert_eq!(e.kind, EpochKind::Parallel, "{}", e.label);
+            let (wrappers, d) = ccdp_ir::find_doall(&e.stmts).unwrap();
+            assert!(wrappers.is_empty(), "outermost loop parallelizes");
+            assert!(d.align.is_some(), "aligned to the written array");
+        }
+        // Results identical to the serial original.
+        let layout1 = ccdp_dist::Layout::new(&p, 1);
+        let r_serial = t3d_sim::Simulator::new(
+            &p,
+            layout1,
+            t3d_sim::MachineConfig::t3d(1),
+            t3d_sim::Scheme::Sequential,
+            t3d_sim::SimOptions::default(),
+        )
+        .run();
+        let layout4 = ccdp_dist::Layout::new(&tp, 4);
+        let r_par = t3d_sim::Simulator::new(
+            &tp,
+            layout4,
+            t3d_sim::MachineConfig::t3d(4),
+            t3d_sim::Scheme::Base,
+            t3d_sim::SimOptions::default(),
+        )
+        .run();
+        let cid = p.array_by_name("C").unwrap().id;
+        assert_eq!(
+            r_serial.array_values(&p, cid),
+            r_par.array_values(&tp, cid)
+        );
+    }
+
+    /// A column sweep with a j-carried recurrence: outer j stays serial,
+    /// inner i parallelizes — the TOMCATV loop-100 shape.
+    #[test]
+    fn sweep_parallelizes_inner_loop_only() {
+        let n = 16i64;
+        let mut pb = ProgramBuilder::new("sweep");
+        let a = pb.shared("A", &[16, 16]);
+        pb.serial_epoch("sweep", |e| {
+            e.serial("j", 1, n - 1, |e, j| {
+                e.serial("i", 0, n - 1, |e, i| {
+                    e.assign(a.at2(i, j), a.at2(i, j - 1).rd() * 0.5 + 1.0);
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let (tp, rep) = auto_parallelize(&p);
+        assert_eq!(rep.epochs_parallelized, 1);
+        assert_eq!(rep.decisions.len(), 2);
+        assert!(!rep.decisions[0].parallelized, "outer j is carried");
+        assert!(rep.decisions[0].reason.contains("carried dependence"));
+        assert!(rep.decisions[1].parallelized, "inner i is free");
+        let e = &tp.epochs()[0];
+        assert_eq!(e.kind, EpochKind::Parallel);
+        let (wrappers, d) = ccdp_ir::find_doall(&e.stmts).unwrap();
+        assert_eq!(wrappers.len(), 1, "serial wrapper over the DOALL");
+        assert_eq!(d.kind, LoopKind::DoAllStatic);
+    }
+
+    /// A loop-invariant write is a carried output dependence.
+    #[test]
+    fn invariant_write_stays_serial() {
+        let mut pb = ProgramBuilder::new("inv");
+        let a = pb.shared("A", &[16]);
+        pb.serial_epoch("last", |e| {
+            e.serial("i", 0, 15, |e, i| {
+                e.assign(a.at1(0), i.val());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let (tp, rep) = auto_parallelize(&p);
+        assert!(!rep.decisions[0].parallelized, "{:?}", rep.decisions[0]);
+        assert_eq!(tp.epochs()[0].kind, EpochKind::Serial);
+    }
+
+    /// A genuine reduction into one cell must stay fully serial.
+    #[test]
+    fn reduction_stays_serial() {
+        let mut pb = ProgramBuilder::new("red");
+        let a = pb.shared("A", &[16]);
+        let s = pb.shared("S", &[1]);
+        pb.serial_epoch("sum", |e| {
+            e.serial("i", 0, 15, |e, i| {
+                e.assign(s.at1(0), s.at1(0).rd() + a.at1(i).rd());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let (tp, rep) = auto_parallelize(&p);
+        assert_eq!(rep.epochs_parallelized, 0);
+        assert!(rep.decisions.iter().all(|d| !d.parallelized));
+        assert_eq!(tp.epochs()[0].kind, EpochKind::Serial);
+    }
+
+    /// Writes shifted by a constant along the loop dimension are carried.
+    #[test]
+    fn shifted_write_blocks_parallelization() {
+        let mut pb = ProgramBuilder::new("shift");
+        let a = pb.shared("A", &[32]);
+        pb.serial_epoch("prop", |e| {
+            e.serial("i", 0, 30, |e, i| {
+                e.assign(a.at1(i + 1), a.at1(i).rd() * 0.5);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let (_, rep) = auto_parallelize(&p);
+        assert!(!rep.decisions[0].parallelized);
+    }
+
+    /// ZIV: statically distinct elements never conflict, even without the
+    /// loop variable in the subscript.
+    #[test]
+    fn ziv_disjoint_columns_parallelize() {
+        let n = 8i64;
+        let mut pb = ProgramBuilder::new("ziv");
+        let a = pb.shared("A", &[8, 8]);
+        pb.serial_epoch("copycol", |e| {
+            e.serial("i", 0, n - 1, |e, i| {
+                e.assign(a.at2(i, 3), a.at2(i, 5).rd() + 1.0);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let (tp, rep) = auto_parallelize(&p);
+        assert!(rep.decisions[0].parallelized, "{:?}", rep.decisions[0]);
+        assert_eq!(tp.epochs()[0].kind, EpochKind::Parallel);
+    }
+
+    /// End to end: auto-parallelize, then run the CCDP pipeline on top.
+    #[test]
+    fn parallelized_program_flows_through_ccdp() {
+        let p = serial_mxm(16);
+        let (tp, _) = auto_parallelize(&p);
+        let layout = ccdp_dist::Layout::new(&tp, 4);
+        let stale = crate::analyze_stale(&tp, &layout);
+        assert!(stale.n_stale() >= 1, "A(i,k) must be stale after parallelization");
+    }
+}

@@ -1,0 +1,443 @@
+//! Stale reference analysis (paper §4.1, after Choi–Yew).
+//!
+//! A read reference is **potentially stale** when some dynamic instance of it
+//! may observe a cached copy that a *different* PE has overwritten in main
+//! memory since the reader could have cached it. The compile-time
+//! classification here is the conservative epoch data-flow:
+//!
+//! * walk the epoch schedule in order, accumulating per `(array, pe)` the
+//!   *foreign-dirty* set `F[a][p]` — elements possibly written by some PE
+//!   other than `p` so far;
+//! * a shared read `r` executed by PE `p` is potentially stale iff its may-
+//!   read section for `p` intersects `F[a][p]` at that point;
+//! * epochs inside a `Repeat` are processed twice, so writes from later
+//!   epochs of the body reach reads of earlier epochs (the loop-carried
+//!   back-edge);
+//! * an epoch whose DOALL sits under serial *wrapper* loops executes in many
+//!   barrier-separated phases; its own writes are folded into `F` **before**
+//!   classifying its reads (cross-phase dependences within the epoch, e.g.
+//!   TOMCATV's loops 100/120). Single-phase DOALLs are independent by
+//!   definition, so their reads are classified against the pre-epoch state.
+//!
+//! The result errs only toward `stale` (performance, never correctness); the
+//! simulator's coherence oracle cross-checks this claim in the test suite.
+
+use ccdp_dist::Layout;
+use ccdp_ir::{
+    find_doall, EpochKind, Program, RefAccess, RefId, Sharing,
+};
+use ccdp_sections::SectionSet;
+
+use crate::access::{epoch_access_sections, ref_is_pe_specific, ref_section_for_pe};
+
+/// Why a read was classified potentially stale (diagnostics / reports).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StaleReason {
+    /// Overlaps data a (possibly) different PE wrote in an earlier epoch.
+    ForeignWriteEarlierEpoch,
+    /// Overlaps data written in the same multi-phase epoch (cross-phase).
+    CrossPhaseSameEpoch,
+    /// The reference or a conflicting write could not be analyzed precisely
+    /// (dynamic scheduling, unknown mapping) — conservative.
+    Conservative,
+}
+
+/// Classification of every read reference in a program.
+#[derive(Clone, Debug)]
+pub struct StaleAnalysis {
+    /// Indexed by `RefId`. `None` for writes, prefetches, private-array
+    /// reads, and reads proven clean; `Some(reason)` for potentially-stale
+    /// shared reads.
+    pub stale: Vec<Option<StaleReason>>,
+    /// Total shared read references seen.
+    pub n_shared_reads: usize,
+}
+
+impl StaleAnalysis {
+    pub fn is_stale(&self, r: RefId) -> bool {
+        self.stale
+            .get(r.index())
+            .is_some_and(|s| s.is_some())
+    }
+
+    /// All potentially-stale read reference ids — the input set `P` of the
+    /// paper's prefetch target analysis (Fig. 1).
+    pub fn stale_refs(&self) -> Vec<RefId> {
+        self.stale
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|_| RefId(i as u32)))
+            .collect()
+    }
+
+    pub fn n_stale(&self) -> usize {
+        self.stale.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// Run the analysis.
+pub fn analyze_stale(program: &Program, layout: &Layout) -> StaleAnalysis {
+    let n_pes = layout.n_pes();
+    let n_refs = program.n_refs as usize;
+    let mut stale: Vec<Option<StaleReason>> = vec![None; n_refs];
+    let mut n_shared_reads = 0usize;
+
+    // With a single PE there is no "different processor": every read is
+    // clean regardless of scheduling (the dynamic-DOALL conservatism below
+    // would otherwise flag references spuriously).
+    if n_pes == 1 {
+        let mut seen = std::collections::HashSet::new();
+        for e in program.epochs() {
+            if !seen.insert(e.id) {
+                continue;
+            }
+            for cr in ccdp_ir::collect_refs_in_stmts(&e.stmts) {
+                if cr.access == RefAccess::Read
+                    && program.array(cr.r.array).sharing == Sharing::Shared
+                {
+                    n_shared_reads += 1;
+                }
+            }
+        }
+        return StaleAnalysis { stale, n_shared_reads };
+    }
+
+    // F[array][pe]: foreign-dirty sets.
+    let mut foreign: Vec<Vec<SectionSet>> = program
+        .arrays
+        .iter()
+        .map(|a| vec![SectionSet::bottom(a.rank()); n_pes])
+        .collect();
+
+    let schedule = program.static_schedule();
+    let any_repeat = schedule.iter().any(|s| s.in_repeat);
+    let passes = if any_repeat { 2 } else { 1 };
+
+    for pass in 0..passes {
+        for sched in &schedule {
+            let epoch = sched.epoch;
+            let acc = epoch_access_sections(program, layout, epoch);
+            let multi_phase = epoch.kind == EpochKind::Parallel
+                && find_doall(&epoch.stmts).is_some_and(|(w, _)| !w.is_empty());
+
+            // For multi-phase epochs the epoch's own writes can make its own
+            // reads stale (cross-phase). Fold writes in first.
+            if multi_phase {
+                fold_writes(program, layout, &acc, &mut foreign);
+            }
+
+            // Classify reads of shared arrays.
+            for cr in &acc.refs {
+                if cr.access != RefAccess::Read {
+                    continue;
+                }
+                let decl = program.array(cr.r.array);
+                if decl.sharing != Sharing::Shared {
+                    continue;
+                }
+                if pass == 0 {
+                    n_shared_reads += 1;
+                }
+                let idx = cr.r.id.index();
+                if stale[idx].is_some() {
+                    continue; // already stale; staleness is monotone
+                }
+                let pe_specific = ref_is_pe_specific(epoch, cr);
+                let mut found = None;
+                #[allow(clippy::needless_range_loop)]
+                for pe in 0..n_pes {
+                    let rs = ref_section_for_pe(program, layout, epoch, cr, pe);
+                    if rs.is_empty() {
+                        continue;
+                    }
+                    if foreign[cr.r.array.index()][pe].intersects(&rs) {
+                        found = Some(if !pe_specific {
+                            StaleReason::Conservative
+                        } else if multi_phase {
+                            StaleReason::CrossPhaseSameEpoch
+                        } else {
+                            StaleReason::ForeignWriteEarlierEpoch
+                        });
+                        break;
+                    }
+                }
+                stale[idx] = found;
+            }
+
+            if !multi_phase {
+                fold_writes(program, layout, &acc, &mut foreign);
+            }
+        }
+    }
+
+    StaleAnalysis { stale, n_shared_reads }
+}
+
+/// Merge an epoch's writes into the foreign-dirty sets: a write executed by
+/// PE `q` dirties the element for every other PE. When the write's PE mapping
+/// is unknown, it dirties the element for everyone.
+fn fold_writes(
+    program: &Program,
+    layout: &Layout,
+    acc: &crate::access::EpochAccess,
+    foreign: &mut [Vec<SectionSet>],
+) {
+    let n_pes = layout.n_pes();
+    for (ai, per_pe) in acc.writes.iter().enumerate() {
+        if program.arrays[ai].sharing != Sharing::Shared {
+            continue;
+        }
+        if !acc.writes_pe_specific[ai] {
+            // Unknown writer: dirty for every reader.
+            let mut all = SectionSet::bottom(program.arrays[ai].rank());
+            for w in per_pe {
+                all.union_with(w);
+            }
+            for f in foreign[ai].iter_mut().take(n_pes) {
+                f.union_with(&all);
+            }
+            continue;
+        }
+        // Writer q dirties for p != q. O(P^2) unions of small sets.
+        for (q, wq) in per_pe.iter().enumerate().take(n_pes) {
+            if wq.is_empty() {
+                continue;
+            }
+            for (p, f) in foreign[ai].iter_mut().enumerate() {
+                if p != q {
+                    f.union_with(wq);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::{ProgramBuilder, RefAccess};
+
+    /// Collect read RefIds of a named array in schedule order.
+    fn reads_of(p: &Program, name: &str) -> Vec<RefId> {
+        let aid = p.array_by_name(name).unwrap().id;
+        let mut out = Vec::new();
+        for e in p.epochs() {
+            for cr in ccdp_ir::collect_refs_in_stmts(&e.stmts) {
+                if cr.access == RefAccess::Read && cr.r.array == aid {
+                    out.push(cr.r.id);
+                }
+            }
+        }
+        out
+    }
+
+    /// Epoch 1 writes A block-aligned; epoch 2 reads A with the same
+    /// alignment → clean (owner-computes). Reading neighbours → stale.
+    #[test]
+    fn aligned_reads_clean_neighbour_reads_stale() {
+        let n = 16usize;
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[n, n]);
+        let b = pb.shared("B", &[n, n]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("j", 0, n as i64 - 1, |e, j| {
+                e.serial("i", 0, n as i64 - 1, |e, i| {
+                    e.assign(a.at2(i, j), 1.0);
+                });
+            });
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("j", 0, n as i64 - 1, |e, j| {
+                e.serial("i", 0, n as i64 - 1, |e, i| {
+                    // aligned read A(i,j) clean; transposed A(j,i) stale.
+                    e.assign(b.at2(i, j), a.at2(i, j).rd() + a.at2(j, i).rd());
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let layout = Layout::new(&p, 4);
+        let res = analyze_stale(&p, &layout);
+        let reads = reads_of(&p, "A");
+        assert_eq!(reads.len(), 2);
+        assert!(
+            !res.is_stale(reads[0]),
+            "aligned read must be clean: {:?}",
+            res.stale[reads[0].index()]
+        );
+        assert!(res.is_stale(reads[1]), "neighbour read must be stale");
+    }
+
+    /// With one PE nothing is ever foreign.
+    #[test]
+    fn single_pe_never_stale() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[8, 8]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("j", 0, 7, |e, j| {
+                e.serial("i", 0, 7, |e, i| e.assign(a.at2(i, j), 1.0));
+            });
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("j", 0, 7, |e, j| {
+                e.serial("i", 0, 7, |e, i| {
+                    e.assign(a.at2(i, j), a.at2(7 - i, 7 - j).rd());
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let res = analyze_stale(&p, &Layout::new(&p, 1));
+        assert_eq!(res.n_stale(), 0);
+        let res4 = analyze_stale(&p, &Layout::new(&p, 4));
+        assert!(res4.n_stale() > 0, "transposed read must be stale at P=4");
+    }
+
+    /// Serial epoch writes (PE0), parallel epoch reads → stale for PEs != 0,
+    /// hence potentially stale overall.
+    #[test]
+    fn serial_write_then_parallel_read_is_stale() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[16]);
+        let b = pb.shared("B", &[16]);
+        pb.serial_epoch("w", |e| {
+            e.serial("i", 0, 15, |e, i| e.assign(a.at1(i), 2.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 15, |e, i| {
+                e.assign(b.at1(i), a.at1(i).rd());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let res = analyze_stale(&p, &Layout::new(&p, 4));
+        let reads = reads_of(&p, "A");
+        assert!(res.is_stale(reads[0]));
+    }
+
+    /// Reads before any write are clean.
+    #[test]
+    fn read_before_any_write_is_clean() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[16]);
+        let b = pb.shared("B", &[16]);
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 15, |e, i| {
+                e.assign(b.at1(i), a.at1(15 - i).rd());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let res = analyze_stale(&p, &Layout::new(&p, 8));
+        assert_eq!(res.n_stale(), 0);
+    }
+
+    /// Loop-carried staleness through Repeat: the read textually precedes
+    /// the write, but the repeat back-edge makes it stale on iterations > 1.
+    #[test]
+    fn repeat_back_edge_makes_earlier_read_stale() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[16]);
+        let b = pb.shared("B", &[16]);
+        pb.repeat(3, |rep| {
+            rep.parallel_epoch("r", |e| {
+                e.doall("i", 1, 14, |e, i| {
+                    e.assign(b.at1(i), a.at1(i + 1).rd());
+                });
+            });
+            rep.parallel_epoch("w", |e| {
+                e.doall("i", 0, 15, |e, i| {
+                    e.assign(a.at1(i), b.at1(i).rd() * 0.5);
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let res = analyze_stale(&p, &Layout::new(&p, 4));
+        let reads = reads_of(&p, "A");
+        assert!(
+            res.is_stale(reads[0]),
+            "A(i+1) read must be stale via the repeat back-edge"
+        );
+        // Without the repeat it is clean.
+        let mut pb2 = ProgramBuilder::new("t2");
+        let a2 = pb2.shared("A", &[16]);
+        let b2 = pb2.shared("B", &[16]);
+        pb2.parallel_epoch("r", |e| {
+            e.doall("i", 1, 14, |e, i| {
+                e.assign(b2.at1(i), a2.at1(i + 1).rd());
+            });
+        });
+        pb2.parallel_epoch("w", |e| {
+            e.doall("i", 0, 15, |e, i| {
+                e.assign(a2.at1(i), b2.at1(i).rd() * 0.5);
+            });
+        });
+        let p2 = pb2.finish().unwrap();
+        let res2 = analyze_stale(&p2, &Layout::new(&p2, 4));
+        let reads2 = reads_of(&p2, "A");
+        assert!(!res2.is_stale(reads2[0]));
+    }
+
+    /// Cross-phase staleness inside one multi-phase epoch (serial wrapper
+    /// over a DOALL): read of the previous wrapper iteration's column.
+    #[test]
+    fn multi_phase_epoch_cross_phase_stale() {
+        let n = 16i64;
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[16, 16]);
+        pb.parallel_epoch("sweep", |e| {
+            e.serial("j", 1, n - 1, |e, j| {
+                e.doall("i", 1, n - 1, |e, i| {
+                    // reads the previous phase's value of the *previous row*,
+                    // which belongs to the neighbouring PE's block
+                    e.assign(a.at2(i, j), a.at2(i - 1, j - 1).rd() * 0.5);
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let res = analyze_stale(&p, &Layout::new(&p, 4));
+        let reads = reads_of(&p, "A");
+        assert!(res.is_stale(reads[0]), "cross-phase read must be stale");
+        assert_eq!(
+            res.stale[reads[0].index()],
+            Some(StaleReason::CrossPhaseSameEpoch)
+        );
+    }
+
+    /// Dynamic scheduling forces conservative classification even for
+    /// aligned subscripts.
+    #[test]
+    fn dynamic_schedule_is_conservative() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[16]);
+        let b = pb.shared("B", &[16]);
+        pb.parallel_epoch("w", |e| {
+            e.doall_dynamic("i", 0, 15, 2, |e, i| e.assign(a.at1(i), 1.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 15, |e, i| {
+                e.assign(b.at1(i), a.at1(i).rd());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let res = analyze_stale(&p, &Layout::new(&p, 4));
+        let reads = reads_of(&p, "A");
+        assert!(res.is_stale(reads[0]));
+    }
+
+    /// Private arrays are never stale.
+    #[test]
+    fn private_arrays_never_stale() {
+        let mut pb = ProgramBuilder::new("t");
+        let t = pb.private("T", &[16]);
+        let a = pb.shared("A", &[16]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 15, |e, i| e.assign(a.at1(i), 1.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 15, |e, i| {
+                e.assign(a.at1(i), t.at1(i).rd());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let res = analyze_stale(&p, &Layout::new(&p, 4));
+        assert_eq!(res.n_stale(), 0);
+        assert_eq!(res.n_shared_reads, 0);
+    }
+}

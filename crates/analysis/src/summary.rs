@@ -1,0 +1,125 @@
+//! Interprocedural summaries (paper §4.1's third technique).
+//!
+//! A routine's summary is, per shared array, the union of all read and write
+//! sections over *every* PE — the information a caller needs to reason about
+//! a `Call` without re-walking the callee. The stale analysis itself inlines
+//! calls (the schedule is flattened), so summaries are exposed for clients
+//! (reports, the bench harness) and as a fidelity nod to the paper's use of
+//! Choi's interprocedural framework.
+
+use ccdp_dist::Layout;
+use ccdp_ir::{Program, ProgramItem, RefAccess, Routine, Sharing};
+use ccdp_sections::SectionSet;
+
+use crate::access::epoch_access_sections;
+use crate::access::ref_section_for_pe;
+
+/// Per-array read/write sets of one routine (any PE).
+#[derive(Clone, Debug)]
+pub struct RoutineSummary {
+    pub routine: String,
+    /// Indexed by `ArrayId`.
+    pub reads: Vec<SectionSet>,
+    /// Indexed by `ArrayId`.
+    pub writes: Vec<SectionSet>,
+}
+
+impl RoutineSummary {
+    /// Does the routine possibly write array `a`?
+    pub fn writes_array(&self, a: ccdp_ir::ArrayId) -> bool {
+        !self.writes[a.index()].is_empty()
+    }
+
+    /// Does the routine possibly read array `a`?
+    pub fn reads_array(&self, a: ccdp_ir::ArrayId) -> bool {
+        !self.reads[a.index()].is_empty()
+    }
+}
+
+/// Compute a routine's summary.
+pub fn summarize_routine(
+    program: &Program,
+    layout: &Layout,
+    routine: &Routine,
+) -> RoutineSummary {
+    let mut reads: Vec<SectionSet> = program
+        .arrays
+        .iter()
+        .map(|a| SectionSet::bottom(a.rank()))
+        .collect();
+    let mut writes = reads.clone();
+    summarize_items(program, layout, &routine.items, &mut reads, &mut writes);
+    RoutineSummary { routine: routine.name.clone(), reads, writes }
+}
+
+fn summarize_items(
+    program: &Program,
+    layout: &Layout,
+    items: &[ProgramItem],
+    reads: &mut [SectionSet],
+    writes: &mut [SectionSet],
+) {
+    for item in items {
+        match item {
+            ProgramItem::Epoch(e) => {
+                let acc = epoch_access_sections(program, layout, e);
+                for cr in &acc.refs {
+                    if program.array(cr.r.array).sharing != Sharing::Shared {
+                        continue;
+                    }
+                    let dst = match cr.access {
+                        RefAccess::Read => &mut reads[cr.r.array.index()],
+                        RefAccess::Write => &mut writes[cr.r.array.index()],
+                    };
+                    for pe in 0..layout.n_pes() {
+                        dst.union_with(&ref_section_for_pe(program, layout, e, cr, pe));
+                    }
+                }
+            }
+            ProgramItem::Call(r) => {
+                summarize_items(program, layout, &program.routine(*r).items, reads, writes);
+            }
+            ProgramItem::Repeat { body, .. } => {
+                summarize_items(program, layout, body, reads, writes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::ProgramBuilder;
+
+    #[test]
+    fn summary_reports_reads_and_writes() {
+        let mut pb = ProgramBuilder::new("t");
+        let u = pb.shared("U", &[32, 32]);
+        let v = pb.shared("V", &[32, 32]);
+        let w = pb.shared("W", &[32, 32]);
+        let calc = pb.routine("calc1", |rc| {
+            rc.parallel_epoch("c", |e| {
+                e.doall("j", 0, 31, |e, j| {
+                    e.serial("i", 0, 30, |e, i| {
+                        e.assign(w.at2(i, j), u.at2(i, j).rd() + u.at2(i + 1, j).rd());
+                    });
+                });
+            });
+        });
+        pb.call(calc);
+        let p = pb.finish().unwrap();
+        let layout = Layout::new(&p, 4);
+        let s = summarize_routine(&p, &layout, &p.routines[0]);
+        assert!(s.reads_array(u.id()));
+        assert!(!s.reads_array(v.id()));
+        assert!(!s.reads_array(w.id()));
+        assert!(s.writes_array(w.id()));
+        assert!(!s.writes_array(u.id()));
+        // The whole written region is covered.
+        let whole = ccdp_sections::Section::new(vec![
+            ccdp_sections::Range::dense(0, 30),
+            ccdp_sections::Range::dense(0, 31),
+        ]);
+        assert!(s.writes[w.id().index()].covers_section(&whole));
+    }
+}

@@ -1,0 +1,68 @@
+//! Host-performance of the compiler side: stale reference analysis,
+//! prefetch target analysis, and prefetch scheduling/materialization.
+//!
+//! These are *host* benchmarks (how fast the reproduction's compiler runs),
+//! complementary to the simulated-cycle tables produced by the `table1` /
+//! `table2` binaries.
+
+use ccdp_analysis::analyze_stale;
+use ccdp_dist::Layout;
+use ccdp_kernels::{swim, tomcatv};
+use ccdp_prefetch::{plan_prefetches, prefetch_targets, ScheduleOptions, TargetOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_stale_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stale_analysis");
+    for n_pes in [4usize, 16, 64] {
+        let program = tomcatv::build(&tomcatv::Params { n: 129, iters: 10 });
+        let layout = tomcatv::layout(&program, n_pes);
+        g.bench_with_input(BenchmarkId::new("tomcatv129", n_pes), &n_pes, |b, _| {
+            b.iter(|| black_box(analyze_stale(&program, &layout)));
+        });
+    }
+    let program = swim::build(&swim::Params { n: 129, iters: 10 });
+    let layout = swim::layout(&program, 16);
+    g.bench_function("swim129_p16", |b| {
+        b.iter(|| black_box(analyze_stale(&program, &layout)));
+    });
+    g.finish();
+}
+
+fn bench_target_and_schedule(c: &mut Criterion) {
+    let program = tomcatv::build(&tomcatv::Params { n: 129, iters: 10 });
+    let layout = tomcatv::layout(&program, 16);
+    let stale = analyze_stale(&program, &layout);
+    let mut g = c.benchmark_group("prefetch_passes");
+    g.bench_function("target_analysis", |b| {
+        b.iter(|| black_box(prefetch_targets(&program, &stale, &TargetOptions::default())));
+    });
+    g.bench_function("plan_and_materialize", |b| {
+        b.iter(|| {
+            black_box(plan_prefetches(
+                &program,
+                &layout,
+                &stale,
+                &TargetOptions::default(),
+                &ScheduleOptions::default(),
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_layout_and_memory_setup(c: &mut Criterion) {
+    let program = swim::build(&swim::Params { n: 257, iters: 10 });
+    c.bench_function("memory_setup_swim257_p64", |b| {
+        let layout = Layout::new(&program, 64);
+        b.iter(|| black_box(t3d_sim::Memory::new(&program, &layout)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stale_analysis,
+    bench_target_and_schedule,
+    bench_layout_and_memory_setup
+);
+criterion_main!(benches);

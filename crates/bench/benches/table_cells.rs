@@ -1,0 +1,32 @@
+//! One criterion benchmark per paper table: the host cost of regenerating a
+//! representative cell of Table 1 and Table 2 (full `compare` runs at
+//! reduced size). The actual table *values* are produced by the `table1` /
+//! `table2` binaries; this tracks that regenerating them stays cheap.
+
+use ccdp_bench::{kernel_cell_config, paper_kernels, Scale};
+use ccdp_core::compare;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let kernels = paper_kernels(Scale::Quick);
+    let mxm = &kernels[0];
+    c.bench_function("table1_cell_mxm_p8", |b| {
+        b.iter(|| black_box(compare(&mxm.program, &kernel_cell_config(mxm, 8)).ccdp_speedup));
+    });
+}
+
+fn bench_table2_cell(c: &mut Criterion) {
+    let kernels = paper_kernels(Scale::Quick);
+    let tomcatv = &kernels[2];
+    c.bench_function("table2_cell_tomcatv_p8", |b| {
+        b.iter(|| {
+            black_box(
+                compare(&tomcatv.program, &kernel_cell_config(tomcatv, 8)).improvement_pct,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_table1_cell, bench_table2_cell);
+criterion_main!(benches);

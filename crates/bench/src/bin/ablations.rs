@@ -1,0 +1,201 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! ```text
+//! cargo run -p ccdp-bench --release --bin ablations [-- <which>]
+//! CCDP_SCALE=paper cargo run -p ccdp-bench --release --bin ablations
+//! ```
+//!
+//! `which` ∈ {target, sched, queue, latency, scheme, clean, all} (default
+//! all). Each study prints one small table; see EXPERIMENTS.md for the
+//! recorded paper-scale outputs.
+
+use ccdp_bench::{paper_kernels, run_cell_with, BenchKernel, Scale};
+use ccdp_core::{
+    compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq,
+};
+
+const PES: usize = 8;
+
+fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Group-spatial filtering on/off: prefetch counts and performance.
+fn ablation_target(kernels: &[BenchKernel]) {
+    header("ablation: prefetch target analysis (group-spatial elimination)");
+    println!(
+        "{:>8} | {:>10} {:>9} {:>9} | {:>10} {:>9} {:>9}",
+        "kernel", "imp% (on)", "targets", "follower", "imp% (off)", "targets", "follower"
+    );
+    for k in kernels {
+        let on = run_cell_with(k, PES, |_| {});
+        let off = run_cell_with(k, PES, |cfg| {
+            cfg.target.exploit_group_spatial = false;
+        });
+        println!(
+            "{:>8} | {:>10.2} {:>9} {:>9} | {:>10.2} {:>9} {:>9}",
+            k.name,
+            on.improvement_pct,
+            on.plan_stats.targets,
+            on.plan_stats.followers,
+            off.improvement_pct,
+            off.plan_stats.targets,
+            off.plan_stats.followers,
+        );
+    }
+}
+
+/// Restrict the scheduler to a single technique.
+fn ablation_sched(kernels: &[BenchKernel]) {
+    header("ablation: scheduling techniques (improvement % over BASE)");
+    println!(
+        "{:>8} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "kernel", "all", "vpg", "sp", "mbp", "none"
+    );
+    for k in kernels {
+        let mut row = vec![];
+        for (v, s, m) in [
+            (true, true, true),
+            (true, false, false),
+            (false, true, false),
+            (false, false, true),
+            (false, false, false),
+        ] {
+            let c = run_cell_with(k, PES, |cfg| {
+                cfg.schedule.enable_vpg = v;
+                cfg.schedule.enable_sp = s;
+                cfg.schedule.enable_mbp = m;
+            });
+            row.push(c.improvement_pct);
+        }
+        println!(
+            "{:>8} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            k.name, row[0], row[1], row[2], row[3], row[4]
+        );
+    }
+}
+
+/// Prefetch queue depth sweep (VPG disabled so line prefetches matter).
+fn ablation_queue(kernels: &[BenchKernel]) {
+    header("ablation: prefetch queue depth (VPG disabled; CCDP cycles, relative)");
+    let depths = [8usize, 16, 32, 64];
+    println!(
+        "{:>8} | {:>10} {:>10} {:>10} {:>10}",
+        "kernel", "q=8", "q=16", "q=32", "q=64"
+    );
+    for k in kernels {
+        let mut cells = vec![];
+        for &q in &depths {
+            let c = run_cell_with(k, PES, |cfg| {
+                cfg.schedule.enable_vpg = false;
+                cfg.schedule.queue_words = q;
+                cfg.machine.queue_words = q;
+            });
+            cells.push(c.ccdp.cycles as f64);
+        }
+        let base = cells[1]; // q=16 is the T3D default
+        print!("{:>8} |", k.name);
+        for c in &cells {
+            print!(" {:>10.4}", c / base);
+        }
+        println!();
+    }
+}
+
+/// Remote latency sweep: where does CCDP's advantage come from?
+fn ablation_latency(kernels: &[BenchKernel]) {
+    header("ablation: remote latency sweep (improvement % over BASE)");
+    let lats = [50u64, 100, 150, 300, 600];
+    print!("{:>8} |", "kernel");
+    for l in lats {
+        print!(" {:>8}", format!("r={l}"));
+    }
+    println!();
+    for k in kernels {
+        print!("{:>8} |", k.name);
+        for &l in &lats {
+            let c = run_cell_with(k, PES, |cfg| {
+                cfg.machine.remote_fill = l;
+                cfg.machine.remote_uncached = l;
+            });
+            print!(" {:>8.2}", c.improvement_pct);
+        }
+        println!();
+    }
+}
+
+/// Four-way scheme comparison including the invalidate-only baseline.
+fn ablation_scheme(kernels: &[BenchKernel]) {
+    header("ablation: scheme comparison (speedup over SEQ)");
+    println!(
+        "{:>8} | {:>8} {:>12} {:>8}",
+        "kernel", "BASE", "INV-ONLY", "CCDP"
+    );
+    for k in kernels {
+        let cfg = ccdp_bench::kernel_cell_config(k, PES);
+        let seq = run_seq(&k.program, &cfg);
+        let base = run_base(&k.program, &cfg);
+        let inv = run_invalidate_only(&k.program, &cfg);
+        let (_, ccdp) = run_ccdp(&k.program, &cfg);
+        assert!(ccdp.oracle.is_coherent() && inv.oracle.is_coherent());
+        let s = seq.cycles as f64;
+        println!(
+            "{:>8} | {:>8.2} {:>12.2} {:>8.2}",
+            k.name,
+            s / base.cycles as f64,
+            s / inv.cycles as f64,
+            s / ccdp.cycles as f64
+        );
+    }
+}
+
+/// Paper §6 future work: also prefetch the non-stale references.
+fn ablation_clean(kernels: &[BenchKernel]) {
+    header("ablation: prefetch_clean extension (improvement % over BASE)");
+    println!(
+        "{:>8} | {:>12} {:>12} {:>14}",
+        "kernel", "stale only", "stale+clean", "extra targets"
+    );
+    for k in kernels {
+        let off = run_cell_with(k, PES, |_| {});
+        let on = run_cell_with(k, PES, |cfg| {
+            cfg.target.prefetch_clean = true;
+        });
+        let cfg = {
+            let mut c = ccdp_bench::kernel_cell_config(k, PES);
+            c.target.prefetch_clean = true;
+            c
+        };
+        let art = compile_ccdp(&k.program, &cfg);
+        println!(
+            "{:>8} | {:>12.2} {:>12.2} {:>14}",
+            k.name,
+            off.improvement_pct,
+            on.improvement_pct,
+            art.plan.stats.clean_prefetch
+        );
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let scale = Scale::from_env();
+    eprintln!("running ablations ({which}) at {scale:?} scale, P={PES} ...");
+    let kernels = paper_kernels(scale);
+    match which.as_str() {
+        "target" => ablation_target(&kernels),
+        "sched" => ablation_sched(&kernels),
+        "queue" => ablation_queue(&kernels),
+        "latency" => ablation_latency(&kernels),
+        "scheme" => ablation_scheme(&kernels),
+        "clean" => ablation_clean(&kernels),
+        _ => {
+            ablation_target(&kernels);
+            ablation_sched(&kernels);
+            ablation_queue(&kernels);
+            ablation_latency(&kernels);
+            ablation_scheme(&kernels);
+            ablation_clean(&kernels);
+        }
+    }
+}

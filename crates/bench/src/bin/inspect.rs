@@ -1,0 +1,62 @@
+//! Diagnostic: per-scheme event counts for one kernel at one PE count.
+//!
+//! `cargo run -p ccdp-bench --release --bin inspect -- <kernel> <pes>`
+
+use ccdp_bench::{kernel_cell_config, paper_kernels, Scale};
+use ccdp_core::{compile_ccdp, run_base, run_ccdp, run_seq};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kname = args.get(1).map(String::as_str).unwrap_or("TOMCATV");
+    let pes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let kernels = paper_kernels(Scale::from_env());
+    let k = kernels.iter().find(|k| k.name == kname).expect("kernel name");
+    let cfg = kernel_cell_config(k, pes);
+
+    let art = compile_ccdp(&k.program, &cfg);
+    println!("== {} @ {} PEs ==", k.name, pes);
+    println!(
+        "stale reads: {} / {} shared reads",
+        art.stale.n_stale(),
+        art.stale.n_shared_reads
+    );
+    println!("plan: {:?}", art.plan.stats);
+    for (rid, t) in {
+        let mut v: Vec<_> = art.plan.technique.iter().collect();
+        v.sort_by_key(|(r, _)| r.0);
+        v
+    } {
+        println!("  r{} -> {:?}", rid.0, t);
+    }
+
+    let seq = run_seq(&k.program, &cfg);
+    let base = run_base(&k.program, &cfg);
+    let (_, ccdp) = run_ccdp(&k.program, &cfg);
+    for r in [&seq, &base, &ccdp] {
+        let t = r.total_stats();
+        println!(
+            "{:>5}: cycles {:>14}  hits {:>11}  fills l/r {:>9}/{:>9}  refresh {:>9} \
+             unc {:>10} byp {:>8} pf l/v {:>8}/{:>6} drop {} late {} stallcyc {} barrier {}",
+            r.scheme,
+            r.cycles,
+            t.cache_hits,
+            t.local_fills,
+            t.remote_fills,
+            t.refresh_fills,
+            t.uncached_reads,
+            t.bypass_reads,
+            t.line_prefetches_issued,
+            t.vector_prefetches_issued,
+            t.line_prefetches_dropped,
+            t.prefetch_late,
+            t.mem_stall_cycles,
+            t.barrier_wait_cycles,
+        );
+    }
+    println!(
+        "speedups: base {:.2} ccdp {:.2}; improvement {:.2}%",
+        seq.cycles as f64 / base.cycles as f64,
+        seq.cycles as f64 / ccdp.cycles as f64,
+        100.0 * (base.cycles as f64 - ccdp.cycles as f64) / base.cycles as f64
+    );
+}

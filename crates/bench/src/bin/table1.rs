@@ -1,0 +1,34 @@
+//! Regenerate the paper's **Table 1**: speedups of the BASE and CCDP codes
+//! over sequential execution, for MXM / VPENTA / TOMCATV / SWIM at
+//! 1–64 PEs.
+//!
+//! ```text
+//! CCDP_SCALE=paper cargo run -p ccdp-bench --bin table1 --release
+//! ```
+
+use ccdp_bench::{paper_kernels, run_grid, Scale, PAPER_PES};
+use ccdp_core::{format_speedup_table, ComparisonRow};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Table 1 grid at {scale:?} scale ...");
+    let kernels = paper_kernels(scale);
+    let grid = run_grid(&kernels, &PAPER_PES);
+    let rows: Vec<ComparisonRow> = kernels
+        .iter()
+        .zip(&grid)
+        .map(|(k, comps)| ComparisonRow { kernel: k.name, comparisons: comps })
+        .collect();
+    println!("{}", format_speedup_table(&rows));
+    for (k, comps) in kernels.iter().zip(&grid) {
+        for c in comps {
+            assert!(
+                c.ccdp.oracle.is_coherent(),
+                "{}@{} incoherent!",
+                k.name,
+                c.n_pes
+            );
+        }
+    }
+    eprintln!("all CCDP runs coherent.");
+}

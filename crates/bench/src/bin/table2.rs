@@ -1,0 +1,28 @@
+//! Regenerate the paper's **Table 2**: percentage improvement in execution
+//! time of the CCDP codes over the BASE codes.
+//!
+//! ```text
+//! CCDP_SCALE=paper cargo run -p ccdp-bench --bin table2 --release
+//! ```
+
+use ccdp_bench::{paper_kernels, run_grid, Scale, PAPER_PES};
+use ccdp_core::{format_improvement_table, ComparisonRow};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("running Table 2 grid at {scale:?} scale ...");
+    let kernels = paper_kernels(scale);
+    let grid = run_grid(&kernels, &PAPER_PES);
+    let rows: Vec<ComparisonRow> = kernels
+        .iter()
+        .zip(&grid)
+        .map(|(k, comps)| ComparisonRow { kernel: k.name, comparisons: comps })
+        .collect();
+    println!("{}", format_improvement_table(&rows));
+
+    println!("paper Table 2 shape targets (for reference):");
+    println!("  MXM     64.5% .. 89.8%");
+    println!("  VPENTA   4.4% .. 23.9%");
+    println!("  TOMCATV 44.8% .. 69.6%");
+    println!("  SWIM     2.5% .. 13.2%");
+}

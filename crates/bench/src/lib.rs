@@ -1,0 +1,166 @@
+//! Benchmark harness: regenerates the paper's Tables 1 and 2 and the
+//! ablation studies.
+//!
+//! The paper's evaluation grid is 4 kernels × 7 PE counts × {BASE, CCDP}
+//! (plus one sequential run per kernel as the speedup denominator). Each
+//! cell is an independent simulation, so the driver fans the grid out over
+//! host threads.
+//!
+//! Scaling: `Scale::Paper` uses the paper's full problem sizes
+//! (MXM 256×128×64, VPENTA 720², TOMCATV/SWIM 513²×100 iterations with
+//! steady-state extrapolation after 3 sampled iterations); `Scale::Quick`
+//! runs ~1/4-linear-size instances for CI-speed shape checks.
+
+pub mod synth;
+
+use ccdp_core::{compare, Comparison, PipelineConfig};
+use ccdp_ir::Program;
+use ccdp_kernels::{mxm, swim, tomcatv, vpenta};
+use t3d_sim::SimOptions;
+
+/// The PE counts of the paper's tables.
+pub const PAPER_PES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Problem-size selection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// The paper's full sizes (minutes of host time).
+    Paper,
+    /// Reduced sizes (seconds), same qualitative shape.
+    Quick,
+}
+
+impl Scale {
+    /// Parse from `CCDP_SCALE` env var ("paper" | "quick"), default quick.
+    pub fn from_env() -> Scale {
+        match std::env::var("CCDP_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// One kernel ready for the sweep.
+pub struct BenchKernel {
+    pub name: &'static str,
+    pub program: Program,
+    /// Repeat-sampling (time-stepped codes only).
+    pub repeat_sample: Option<u32>,
+    /// Kernel-specific layout (TOMCATV/SWIM use the generalized
+    /// distribution); `None` = default block layout.
+    pub layout: Option<fn(&Program, usize) -> ccdp_dist::Layout>,
+}
+
+/// The paper's four kernels at the chosen scale.
+pub fn paper_kernels(scale: Scale) -> Vec<BenchKernel> {
+    let (mxm_p, vp_p, tc_p, sw_p) = match scale {
+        Scale::Paper => (
+            mxm::Params::paper(),
+            vpenta::Params::paper(),
+            tomcatv::Params::paper(),
+            swim::Params::paper(),
+        ),
+        Scale::Quick => (
+            mxm::Params { m: 64, l: 32, p: 16 },
+            vpenta::Params { n: 96 },
+            tomcatv::Params { n: 65, iters: 10 },
+            swim::Params { n: 65, iters: 10 },
+        ),
+    };
+    vec![
+        BenchKernel {
+            name: "MXM",
+            program: mxm::build(&mxm_p),
+            repeat_sample: None,
+            layout: None,
+        },
+        BenchKernel {
+            name: "VPENTA",
+            program: vpenta::build(&vp_p),
+            repeat_sample: None,
+            layout: None,
+        },
+        BenchKernel {
+            name: "TOMCATV",
+            program: tomcatv::build(&tc_p),
+            repeat_sample: Some(3),
+            layout: Some(tomcatv::layout),
+        },
+        BenchKernel {
+            name: "SWIM",
+            program: swim::build(&sw_p),
+            repeat_sample: Some(3),
+            layout: Some(swim::layout),
+        },
+    ]
+}
+
+/// Pipeline configuration for one cell of the table.
+pub fn cell_config(n_pes: usize, repeat_sample: Option<u32>) -> PipelineConfig {
+    let mut cfg = PipelineConfig::t3d(n_pes);
+    cfg.sim = SimOptions { repeat_sample, oracle_examples: 4 };
+    cfg
+}
+
+/// Cell configuration for a specific kernel (applies its layout).
+pub fn kernel_cell_config(k: &BenchKernel, n_pes: usize) -> PipelineConfig {
+    let mut cfg = cell_config(n_pes, k.repeat_sample);
+    if let Some(f) = k.layout {
+        cfg.layout = Some(f(&k.program, n_pes));
+    }
+    cfg
+}
+
+/// Run one kernel cell with a configuration tweak applied on top of the
+/// kernel's defaults (ablation studies).
+pub fn run_cell_with(
+    k: &BenchKernel,
+    n_pes: usize,
+    tweak: impl FnOnce(&mut PipelineConfig),
+) -> Comparison {
+    let mut cfg = kernel_cell_config(k, n_pes);
+    tweak(&mut cfg);
+    compare(&k.program, &cfg)
+}
+
+/// Run the full grid: for each kernel, one [`Comparison`] per PE count.
+/// Cells run on host threads (each cell is an independent simulation).
+pub fn run_grid(kernels: &[BenchKernel], pes: &[usize]) -> Vec<Vec<Comparison>> {
+    std::thread::scope(|s| {
+        let handles: Vec<Vec<_>> = kernels
+            .iter()
+            .map(|k| {
+                pes.iter()
+                    .map(|&n| {
+                        let program = &k.program;
+                        s.spawn(move || compare(program, &kernel_cell_config(k, n)))
+                    })
+                    .collect()
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|hs| hs.into_iter().map(|h| h.join().expect("cell run")).collect())
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn quick_grid_single_cell_runs() {
+        let kernels = paper_kernels(Scale::Quick);
+        assert_eq!(kernels.len(), 4);
+        let grid = run_grid(&kernels[..1], &[2]);
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid[0].len(), 1);
+        assert!(grid[0][0].ccdp.oracle.is_coherent());
+    }
+
+    #[test]
+    fn scale_from_env_defaults_quick() {
+        assert_eq!(Scale::from_env(), Scale::Quick);
+    }
+}

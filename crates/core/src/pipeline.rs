@@ -1,0 +1,211 @@
+//! Pipeline orchestration: analyze → plan → simulate → compare.
+
+use ccdp_analysis::{analyze_stale, StaleAnalysis};
+use ccdp_dist::Layout;
+use ccdp_ir::Program;
+use ccdp_prefetch::{
+    plan_prefetches, PlanStats, PrefetchPlan, ScheduleOptions, TargetOptions,
+};
+use t3d_sim::{MachineConfig, Scheme, SimOptions, SimResult, Simulator};
+
+/// Everything needed to compile and run one kernel at one PE count.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    pub n_pes: usize,
+    pub machine: MachineConfig,
+    pub target: TargetOptions,
+    pub schedule: ScheduleOptions,
+    pub sim: SimOptions,
+    /// Optional custom layout (defaults to block along the last dimension).
+    pub layout: Option<Layout>,
+}
+
+impl PipelineConfig {
+    /// T3D defaults at a given PE count.
+    pub fn t3d(n_pes: usize) -> PipelineConfig {
+        PipelineConfig {
+            n_pes,
+            machine: MachineConfig::t3d(n_pes),
+            target: TargetOptions::default(),
+            schedule: ScheduleOptions::default(),
+            sim: SimOptions::default(),
+            layout: None,
+        }
+    }
+
+    /// The layout used for analysis and simulation.
+    pub fn layout_for(&self, program: &Program) -> Layout {
+        self.layout
+            .clone()
+            .unwrap_or_else(|| Layout::new(program, self.n_pes))
+    }
+
+    /// Same costs, single PE — the sequential reference machine.
+    fn seq_machine(&self) -> MachineConfig {
+        let mut m = self.machine.clone();
+        m.n_pes = 1;
+        m
+    }
+}
+
+/// Output of the CCDP compilation pipeline for one kernel/PE-count.
+pub struct CcdpArtifacts {
+    pub stale: StaleAnalysis,
+    pub transformed: Program,
+    pub plan: PrefetchPlan,
+}
+
+/// Run the compiler side only: stale reference analysis, prefetch target
+/// analysis, prefetch scheduling, materialization.
+pub fn compile_ccdp(program: &Program, cfg: &PipelineConfig) -> CcdpArtifacts {
+    let layout = cfg.layout_for(program);
+    let stale = analyze_stale(program, &layout);
+    let (transformed, plan) =
+        plan_prefetches(program, &layout, &stale, &cfg.target, &cfg.schedule);
+    CcdpArtifacts { stale, transformed, plan }
+}
+
+/// Sequential reference run (1 PE, everything cached and local).
+pub fn run_seq(program: &Program, cfg: &PipelineConfig) -> SimResult {
+    let layout = Layout::new(program, 1);
+    Simulator::new(program, layout, cfg.seq_machine(), Scheme::Sequential, cfg.sim).run()
+}
+
+/// BASE run: CRAFT-style shared data, uncached.
+pub fn run_base(program: &Program, cfg: &PipelineConfig) -> SimResult {
+    let layout = cfg.layout_for(program);
+    Simulator::new(program, layout, cfg.machine.clone(), Scheme::Base, cfg.sim).run()
+}
+
+/// CCDP run: compile, then execute the transformed program.
+pub fn run_ccdp(program: &Program, cfg: &PipelineConfig) -> (CcdpArtifacts, SimResult) {
+    let art = compile_ccdp(program, cfg);
+    let layout = cfg.layout_for(program);
+    let r = Simulator::new(
+        &art.transformed,
+        layout,
+        cfg.machine.clone(),
+        Scheme::Ccdp { plan: art.plan.clone() },
+        cfg.sim,
+    )
+    .run();
+    (art, r)
+}
+
+/// Conservative third baseline: caching enabled but every potentially-stale
+/// read bypasses the cache (no prefetching). Isolates the latency-hiding
+/// contribution of CCDP from the caching contribution.
+pub fn run_invalidate_only(program: &Program, cfg: &PipelineConfig) -> SimResult {
+    let layout = cfg.layout_for(program);
+    let stale = analyze_stale(program, &layout);
+    let plan = PrefetchPlan::bypass_all(program, &stale);
+    Simulator::new(
+        program,
+        layout,
+        cfg.machine.clone(),
+        Scheme::Ccdp { plan },
+        cfg.sim,
+    )
+    .run()
+}
+
+/// The paper's headline numbers for one kernel at one PE count.
+pub struct Comparison {
+    pub n_pes: usize,
+    pub seq: SimResult,
+    pub base: SimResult,
+    pub ccdp: SimResult,
+    /// Table 1, BASE column: `seq_cycles / base_cycles`.
+    pub base_speedup: f64,
+    /// Table 1, CCDP column.
+    pub ccdp_speedup: f64,
+    /// Table 2: percentage improvement of CCDP over BASE.
+    pub improvement_pct: f64,
+    pub plan_stats: PlanStats,
+    pub stale_reads: usize,
+    pub shared_reads: usize,
+}
+
+/// Run all three schemes and compute the paper's metrics.
+pub fn compare(program: &Program, cfg: &PipelineConfig) -> Comparison {
+    let seq = run_seq(program, cfg);
+    let base = run_base(program, cfg);
+    let (art, ccdp) = run_ccdp(program, cfg);
+    assert!(
+        ccdp.oracle.is_coherent(),
+        "CCDP run violated coherence: {:?}",
+        ccdp.oracle.examples
+    );
+    let base_speedup = seq.cycles as f64 / base.cycles as f64;
+    let ccdp_speedup = seq.cycles as f64 / ccdp.cycles as f64;
+    let improvement_pct =
+        100.0 * (base.cycles as f64 - ccdp.cycles as f64) / base.cycles as f64;
+    Comparison {
+        n_pes: cfg.n_pes,
+        seq,
+        base,
+        ccdp,
+        base_speedup,
+        ccdp_speedup,
+        improvement_pct,
+        plan_stats: art.plan.stats,
+        stale_reads: art.stale.n_stale(),
+        shared_reads: art.stale.n_shared_reads,
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::ProgramBuilder;
+
+    fn kernel() -> Program {
+        let mut pb = ProgramBuilder::new("k");
+        let a = pb.shared("A", &[256]);
+        let b = pb.shared("B", &[256]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 255, |e, i| e.assign(a.at1(i), 3.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 255, |e, i| {
+                e.assign(b.at1(i), a.at1(255 - i).rd() + 1.0);
+            });
+        });
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn compare_produces_consistent_metrics() {
+        let p = kernel();
+        let cmp = compare(&p, &PipelineConfig::t3d(4));
+        assert!(cmp.base_speedup > 0.0 && cmp.ccdp_speedup > 0.0);
+        let recomputed =
+            100.0 * (1.0 - cmp.ccdp.cycles as f64 / cmp.base.cycles as f64);
+        assert!((cmp.improvement_pct - recomputed).abs() < 1e-9);
+        assert!(cmp.stale_reads > 0);
+        assert!(cmp.shared_reads >= cmp.stale_reads);
+    }
+
+    #[test]
+    fn invalidate_only_sits_between_base_and_ccdp_here() {
+        let p = kernel();
+        let cfg = PipelineConfig::t3d(4);
+        let base = run_base(&p, &cfg);
+        let inv = run_invalidate_only(&p, &cfg);
+        let (_, ccdp) = run_ccdp(&p, &cfg);
+        assert!(inv.oracle.is_coherent());
+        // Caching clean data already beats BASE; prefetching beats both.
+        assert!(inv.cycles <= base.cycles);
+        assert!(ccdp.cycles <= inv.cycles);
+    }
+
+    #[test]
+    fn compile_artifacts_expose_plan() {
+        let p = kernel();
+        let art = compile_ccdp(&p, &PipelineConfig::t3d(8));
+        assert!(art.stale.n_stale() > 0);
+        assert!(art.plan.stats.targets > 0);
+        let printed = ccdp_ir::print_program(&art.transformed);
+        assert!(printed.contains("prefetch"), "{printed}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Text reports in the shape of the paper's tables.
+
+use crate::pipeline::Comparison;
+
+/// One table row: a kernel name plus its comparisons across PE counts.
+pub struct ComparisonRow<'a> {
+    pub kernel: &'a str,
+    pub comparisons: &'a [Comparison],
+}
+
+/// Render Table 1: "Speedups over sequential execution time" — per kernel a
+/// BASE and a CCDP column, one row per PE count.
+pub fn format_speedup_table(rows: &[ComparisonRow<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1. Speedups over sequential execution time.\n");
+    out.push_str(&format!("{:>6} ", "#PEs"));
+    for r in rows {
+        out.push_str(&format!("| {:^17} ", r.kernel));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:>6} ", ""));
+    for _ in rows {
+        out.push_str(&format!("| {:>8} {:>8} ", "BASE", "CCDP"));
+    }
+    out.push('\n');
+    let n = rows.first().map_or(0, |r| r.comparisons.len());
+    for i in 0..n {
+        out.push_str(&format!("{:>6} ", rows[0].comparisons[i].n_pes));
+        for r in rows {
+            let c = &r.comparisons[i];
+            out.push_str(&format!(
+                "| {:>8.2} {:>8.2} ",
+                c.base_speedup, c.ccdp_speedup
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render Table 2: "Improvement in execution time of CCDP codes over BASE
+/// codes" — one percentage per kernel per PE count.
+pub fn format_improvement_table(rows: &[ComparisonRow<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 2. Improvement in execution time of CCDP over BASE.\n");
+    out.push_str(&format!("{:>6} ", "#PEs"));
+    for r in rows {
+        out.push_str(&format!("| {:>9} ", r.kernel));
+    }
+    out.push('\n');
+    let n = rows.first().map_or(0, |r| r.comparisons.len());
+    for i in 0..n {
+        out.push_str(&format!("{:>6} ", rows[0].comparisons[i].n_pes));
+        for r in rows {
+            let c = &r.comparisons[i];
+            out.push_str(&format!("| {:>8.2}% ", c.improvement_pct));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::pipeline::{compare, PipelineConfig};
+    use ccdp_ir::ProgramBuilder;
+
+    fn tiny() -> ccdp_ir::Program {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[64]);
+        let b = pb.shared("B", &[64]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, i| e.assign(a.at1(i), 1.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 63, |e, i| {
+                e.assign(b.at1(i), a.at1(63 - i).rd());
+            });
+        });
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn tables_render() {
+        let p = tiny();
+        let comps: Vec<_> = [1, 2, 4]
+            .iter()
+            .map(|&n| compare(&p, &PipelineConfig::t3d(n)))
+            .collect();
+        let rows = [ComparisonRow { kernel: "TINY", comparisons: &comps }];
+        let t1 = format_speedup_table(&rows);
+        assert!(t1.contains("TINY") && t1.contains("BASE") && t1.contains("CCDP"));
+        assert_eq!(t1.lines().count(), 2 + 1 + 3);
+        let t2 = format_improvement_table(&rows);
+        assert!(t2.contains('%'));
+        assert_eq!(t2.lines().count(), 1 + 1 + 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Array-to-PE data distributions.
+
+use ccdp_ir::{ArrayDecl, ArrayId, Program, Sharing};
+use ccdp_sections::{Range, Section};
+
+/// How one shared array's elements are mapped to PE local memories.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Distribution {
+    /// Contiguous blocks of size `ceil(extent/n_pes)` along dimension `dim`.
+    /// With `dim` = the last dimension of a column-major array this is the
+    /// CRAFT `(:,:BLOCK)` distribution the paper's codes use.
+    Block { dim: usize },
+    /// Round-robin along dimension `dim` (CRAFT `:CYCLIC`).
+    Cyclic { dim: usize },
+    /// CRAFT's *generalized* distribution (used by the paper's TOMCATV and
+    /// SWIM codes): element→PE mapping identical to [`Distribution::Block`],
+    /// but the software address translation is substantially more expensive
+    /// (general div/mod arithmetic instead of a shift) — the machine model
+    /// charges `MachineConfig::craft_generalized` per BASE access.
+    GeneralizedBlock { dim: usize },
+    /// The whole array on one PE (serial data, scalars-as-arrays).
+    OnePe { pe: usize },
+}
+
+/// The distribution of every shared array in a program, plus the PE count.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    n_pes: usize,
+    dists: Vec<Distribution>,
+}
+
+impl Layout {
+    /// Default layout: block distribution along each array's *last*
+    /// dimension (contiguous in column-major memory), which is what the
+    /// paper's BASE and CCDP codes do for all four kernels.
+    pub fn new(program: &Program, n_pes: usize) -> Layout {
+        assert!(n_pes >= 1);
+        let dists = program
+            .arrays
+            .iter()
+            .map(|a| Distribution::Block { dim: a.rank() - 1 })
+            .collect();
+        Layout { n_pes, dists }
+    }
+
+    pub fn n_pes(&self) -> usize {
+        self.n_pes
+    }
+
+    /// Override one array's distribution.
+    pub fn set(&mut self, array: ArrayId, d: Distribution) {
+        self.dists[array.index()] = d;
+    }
+
+    pub fn distribution(&self, array: ArrayId) -> Distribution {
+        self.dists[array.index()]
+    }
+
+    /// Block size along the distributed dimension.
+    fn block_size(&self, extent: usize) -> usize {
+        extent.div_ceil(self.n_pes)
+    }
+
+    /// Which PE owns a shared-array element. Private arrays have no owner
+    /// (each PE holds its own copy); callers must not ask.
+    pub fn owner(&self, decl: &ArrayDecl, coords: &[i64]) -> usize {
+        debug_assert_eq!(decl.sharing, Sharing::Shared, "owner() of private array");
+        match self.dists[decl.id.index()] {
+            Distribution::Block { dim } | Distribution::GeneralizedBlock { dim } => {
+                let b = self.block_size(decl.extents[dim]);
+                ((coords[dim] as usize) / b).min(self.n_pes - 1)
+            }
+            Distribution::Cyclic { dim } => (coords[dim] as usize) % self.n_pes,
+            Distribution::OnePe { pe } => pe,
+        }
+    }
+
+    /// The section of a shared array owned by `pe` (may be empty for high
+    /// PE numbers when the extent doesn't divide).
+    pub fn owned_section(&self, decl: &ArrayDecl, pe: usize) -> Section {
+        debug_assert!(pe < self.n_pes);
+        let full: Vec<Range> = decl
+            .extents
+            .iter()
+            .map(|&e| Range::dense(0, e as i64 - 1))
+            .collect();
+        let mut dims = full;
+        match self.dists[decl.id.index()] {
+            Distribution::Block { dim } | Distribution::GeneralizedBlock { dim } => {
+                let e = decl.extents[dim] as i64;
+                let b = self.block_size(decl.extents[dim]) as i64;
+                let lo = pe as i64 * b;
+                let hi = ((pe as i64 + 1) * b - 1).min(e - 1);
+                dims[dim] = Range::dense(lo, hi);
+            }
+            Distribution::Cyclic { dim } => {
+                let e = decl.extents[dim] as i64;
+                dims[dim] = Range::strided(pe as i64, e - 1, self.n_pes as i64);
+            }
+            Distribution::OnePe { pe: owner } => {
+                if owner != pe {
+                    return Section::empty(decl.rank());
+                }
+            }
+        }
+        Section::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::ProgramBuilder;
+
+    fn mk(n: usize) -> (Program, ArrayId) {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[n, n]);
+        pb.serial_epoch("e", |e| {
+            e.serial("i", 0, n as i64 - 1, |e, i| e.assign(a.at2(i, 0), 0.0));
+        });
+        let p = pb.finish().unwrap();
+        (p, a.id())
+    }
+
+    #[test]
+    fn block_ownership_partitions() {
+        let (p, aid) = mk(10);
+        let l = Layout::new(&p, 4); // block size ceil(10/4)=3
+        let decl = p.array(aid);
+        // Every element has exactly one owner, consistent with owned_section.
+        for j in 0..10i64 {
+            let o = l.owner(decl, &[0, j]);
+            let mut owners = 0;
+            for pe in 0..4 {
+                if l.owned_section(decl, pe).contains(&[0, j]) {
+                    owners += 1;
+                    assert_eq!(pe, o);
+                }
+            }
+            assert_eq!(owners, 1, "element {j} must have exactly one owner");
+        }
+    }
+
+    #[test]
+    fn block_last_pe_may_be_short_or_empty() {
+        let (p, aid) = mk(4);
+        let l = Layout::new(&p, 3); // block 2: PE0 {0,1}, PE1 {2,3}, PE2 {}
+        let decl = p.array(aid);
+        assert!(l.owned_section(decl, 2).is_empty());
+        assert_eq!(l.owner(decl, &[0, 3]), 1);
+    }
+
+    #[test]
+    fn cyclic_ownership() {
+        let (p, aid) = mk(8);
+        let mut l = Layout::new(&p, 3);
+        l.set(aid, Distribution::Cyclic { dim: 1 });
+        let decl = p.array(aid);
+        assert_eq!(l.owner(decl, &[0, 0]), 0);
+        assert_eq!(l.owner(decl, &[0, 4]), 1);
+        assert_eq!(l.owner(decl, &[0, 5]), 2);
+        let s1 = l.owned_section(decl, 1);
+        assert!(s1.contains(&[3, 1]) && s1.contains(&[3, 4]) && s1.contains(&[3, 7]));
+        assert!(!s1.contains(&[3, 2]));
+    }
+
+    #[test]
+    fn one_pe_owns_everything() {
+        let (p, aid) = mk(5);
+        let mut l = Layout::new(&p, 4);
+        l.set(aid, Distribution::OnePe { pe: 2 });
+        let decl = p.array(aid);
+        assert_eq!(l.owner(decl, &[4, 4]), 2);
+        assert!(l.owned_section(decl, 0).is_empty());
+        assert_eq!(l.owned_section(decl, 2).len(), 25);
+    }
+}

@@ -1,0 +1,21 @@
+//! Data distributions and DOALL loop scheduling (CRAFT-style).
+//!
+//! In the paper's methodology (§5.2) each shared array is distributed across
+//! PE local memories (block distribution of columns for MXM/VPENTA, a
+//! "generalized" distribution for TOMCATV/SWIM — here: block along a chosen
+//! dimension), and DOALL iterations are distributed to PEs *to match the data
+//! distribution*. This crate provides both mappings; the stale reference
+//! analysis uses them to compute per-PE access sections, and the simulator
+//! uses them to decide local-vs-remote and iteration ownership.
+
+mod layout;
+mod schedule;
+
+pub use layout::{Distribution, Layout};
+pub use schedule::{
+    aligned_owner_of_iteration, aligned_range_for_pe, chunks, doall_range_for_pe,
+    owner_of_iteration, IterRange,
+};
+
+#[cfg(test)]
+mod tests;

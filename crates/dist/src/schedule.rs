@@ -1,0 +1,189 @@
+//! DOALL iteration scheduling.
+
+/// An inclusive iteration sub-range in *iteration-value* space (not
+/// iteration-count space): the values the loop variable takes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IterRange {
+    pub lo: i64,
+    pub hi: i64,
+    pub step: i64,
+}
+
+impl IterRange {
+    pub fn count(&self) -> u64 {
+        if self.lo > self.hi {
+            0
+        } else {
+            ((self.hi - self.lo) / self.step + 1) as u64
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        let (lo, hi, step) = (self.lo, self.hi, self.step);
+        (0..).map(move |k| lo + k * step).take_while(move |&v| v <= hi)
+    }
+}
+
+/// Static block scheduling: PE `pe` of `n_pes` gets the `pe`-th contiguous
+/// block of `ceil(count/n_pes)` iterations. Returns `None` when the PE gets
+/// no iterations. This matches the paper's codes, where "loop iterations are
+/// block distributed accordingly" to the data distribution.
+pub fn doall_range_for_pe(
+    lo: i64,
+    hi: i64,
+    step: i64,
+    pe: usize,
+    n_pes: usize,
+) -> Option<IterRange> {
+    debug_assert!(step >= 1 && n_pes >= 1);
+    if lo > hi {
+        return None;
+    }
+    let count = (hi - lo) / step + 1;
+    let block = count.div_euclid(n_pes as i64)
+        + if count % n_pes as i64 != 0 { 1 } else { 0 };
+    let first = pe as i64 * block;
+    let last = ((pe as i64 + 1) * block - 1).min(count - 1);
+    if first > last {
+        return None;
+    }
+    Some(IterRange { lo: lo + first * step, hi: lo + last * step, step })
+}
+
+/// Which PE executes iteration-value `v` under static block scheduling.
+pub fn owner_of_iteration(lo: i64, hi: i64, step: i64, v: i64, n_pes: usize) -> usize {
+    debug_assert!(v >= lo && v <= hi && (v - lo) % step == 0);
+    let count = (hi - lo) / step + 1;
+    let block = count.div_euclid(n_pes as i64)
+        + if count % n_pes as i64 != 0 { 1 } else { 0 };
+    let k = (v - lo) / step;
+    ((k / block) as usize).min(n_pes - 1)
+}
+
+/// Iteration range of PE `pe` for a DOALL aligned to `decl`'s distributed
+/// dimension (CRAFT `doshared` on a template): iteration `v` runs on the
+/// owner of index `v` along that dimension. Falls back to count-block
+/// scheduling for distributions without a contiguous block (cyclic) or for
+/// strided loops.
+pub fn aligned_range_for_pe(
+    layout: &crate::Layout,
+    decl: &ccdp_ir::ArrayDecl,
+    lo: i64,
+    hi: i64,
+    step: i64,
+    pe: usize,
+) -> Option<IterRange> {
+    if lo > hi {
+        return None;
+    }
+    let dim = match layout.distribution(decl.id) {
+        crate::Distribution::Block { dim }
+        | crate::Distribution::GeneralizedBlock { dim } => dim,
+        _ => return doall_range_for_pe(lo, hi, step, pe, layout.n_pes()),
+    };
+    if step != 1 {
+        return doall_range_for_pe(lo, hi, step, pe, layout.n_pes());
+    }
+    let owned = layout.owned_section(decl, pe);
+    if owned.is_empty() {
+        return None;
+    }
+    let r = owned.dim(dim);
+    let (olo, ohi) = (r.lo()?, r.hi()?);
+    let lo = lo.max(olo);
+    let hi = hi.min(ohi);
+    (lo <= hi).then_some(IterRange { lo, hi, step: 1 })
+}
+
+/// Which PE executes iteration `v` of an aligned DOALL.
+pub fn aligned_owner_of_iteration(
+    layout: &crate::Layout,
+    decl: &ccdp_ir::ArrayDecl,
+    v: i64,
+) -> usize {
+    let dim = match layout.distribution(decl.id) {
+        crate::Distribution::Block { dim }
+        | crate::Distribution::GeneralizedBlock { dim } => dim,
+        _ => unreachable!("aligned owner only for block distributions"),
+    };
+    let mut coords = vec![0i64; decl.rank()];
+    coords[dim] = v;
+    layout.owner(decl, &coords)
+}
+
+/// Chunk decomposition for dynamic self-scheduling: successive chunks of
+/// `chunk` iterations, in order. The simulator hands these to idle PEs.
+pub fn chunks(lo: i64, hi: i64, step: i64, chunk: u32) -> Vec<IterRange> {
+    debug_assert!(step >= 1 && chunk >= 1);
+    let mut out = Vec::new();
+    if lo > hi {
+        return out;
+    }
+    let count = (hi - lo) / step + 1;
+    let c = chunk as i64;
+    let mut first = 0i64;
+    while first < count {
+        let last = (first + c - 1).min(count - 1);
+        out.push(IterRange { lo: lo + first * step, hi: lo + last * step, step });
+        first += c;
+    }
+    out
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn block_ranges_partition_iterations() {
+        for n_pes in [1usize, 2, 3, 4, 7] {
+            for count in [1i64, 2, 5, 16, 17] {
+                let (lo, hi, step) = (3, 3 + (count - 1) * 2, 2);
+                let mut seen = Vec::new();
+                for pe in 0..n_pes {
+                    if let Some(r) = doall_range_for_pe(lo, hi, step, pe, n_pes) {
+                        for v in r.iter() {
+                            seen.push((v, pe));
+                        }
+                    }
+                }
+                assert_eq!(seen.len() as i64, count, "P={n_pes} N={count}");
+                for (i, &(v, pe)) in seen.iter().enumerate() {
+                    assert_eq!(v, lo + i as i64 * step);
+                    assert_eq!(owner_of_iteration(lo, hi, step, v, n_pes), pe);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_loop_yields_nothing() {
+        assert!(doall_range_for_pe(5, 4, 1, 0, 2).is_none());
+        assert!(chunks(5, 4, 1, 3).is_empty());
+    }
+
+    #[test]
+    fn single_pe_gets_everything() {
+        let r = doall_range_for_pe(0, 9, 1, 0, 1).unwrap();
+        assert_eq!((r.lo, r.hi), (0, 9));
+        assert_eq!(r.count(), 10);
+    }
+
+    #[test]
+    fn chunk_decomposition_covers_all() {
+        let cs = chunks(0, 10, 1, 4);
+        assert_eq!(cs.len(), 3);
+        assert_eq!((cs[0].lo, cs[0].hi), (0, 3));
+        assert_eq!((cs[2].lo, cs[2].hi), (8, 10));
+        let total: u64 = cs.iter().map(IterRange::count).sum();
+        assert_eq!(total, 11);
+    }
+
+    #[test]
+    fn chunk_respects_stride() {
+        let cs = chunks(1, 13, 3, 2); // values 1,4,7,10,13
+        assert_eq!(cs.len(), 3);
+        assert_eq!((cs[1].lo, cs[1].hi), (7, 10));
+        assert_eq!((cs[2].lo, cs[2].hi), (13, 13));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: ownership is a partition; iteration scheduling is a
+//! partition; block data+iteration alignment gives owner-computes locality.
+
+use crate::{
+    aligned_owner_of_iteration, aligned_range_for_pe, doall_range_for_pe,
+    owner_of_iteration, Distribution, Layout,
+};
+use ccdp_ir::ProgramBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ownership_is_a_partition(
+        n in 1usize..40,
+        m in 1usize..40,
+        n_pes in 1usize..9,
+        dim in 0usize..2,
+        cyclic in proptest::bool::ANY,
+    ) {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[n, m]);
+        pb.serial_epoch("e", |e| {
+            e.serial("i", 0, n as i64 - 1, |e, i| e.assign(a.at2(i, 0), 0.0));
+        });
+        let p = pb.finish().unwrap();
+        let mut l = Layout::new(&p, n_pes);
+        l.set(a.id(), if cyclic {
+            Distribution::Cyclic { dim }
+        } else {
+            Distribution::Block { dim }
+        });
+        let decl = p.array(a.id());
+        for i in 0..n as i64 {
+            for j in 0..m as i64 {
+                let o = l.owner(decl, &[i, j]);
+                prop_assert!(o < n_pes);
+                let mut count = 0;
+                for pe in 0..n_pes {
+                    if l.owned_section(decl, pe).contains(&[i, j]) {
+                        count += 1;
+                        prop_assert_eq!(pe, o);
+                    }
+                }
+                prop_assert_eq!(count, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn iteration_schedule_is_a_partition(
+        lo in -20i64..20,
+        count in 1i64..200,
+        step in 1i64..5,
+        n_pes in 1usize..17,
+    ) {
+        let hi = lo + (count - 1) * step;
+        let mut total = 0u64;
+        let mut prev_hi: Option<i64> = None;
+        for pe in 0..n_pes {
+            if let Some(r) = doall_range_for_pe(lo, hi, step, pe, n_pes) {
+                total += r.count();
+                if let Some(ph) = prev_hi {
+                    prop_assert!(r.lo > ph, "ranges must be disjoint and ordered");
+                }
+                prev_hi = Some(r.hi);
+                for v in r.iter() {
+                    prop_assert_eq!(owner_of_iteration(lo, hi, step, v, n_pes), pe);
+                }
+            }
+        }
+        prop_assert_eq!(total, count as u64);
+    }
+
+    /// Aligned scheduling partitions the iteration space and agrees with
+    /// data ownership: iteration v runs on the PE owning column v.
+    #[test]
+    fn aligned_ranges_partition_and_match_owners(
+        extent in 2usize..50,
+        n_pes in 1usize..9,
+        lo in 0i64..4,
+        generalized in proptest::bool::ANY,
+    ) {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[4, extent]);
+        pb.serial_epoch("e", |e| {
+            e.serial("i", 0, 3, |e, i| e.assign(a.at2(i, 0), 0.0));
+        });
+        let p = pb.finish().unwrap();
+        let mut l = Layout::new(&p, n_pes);
+        if generalized {
+            l.set(a.id(), Distribution::GeneralizedBlock { dim: 1 });
+        }
+        let decl = p.array(a.id());
+        let hi = extent as i64 - 1;
+        if lo > hi {
+            return Ok(());
+        }
+        let mut seen = vec![false; (hi - lo + 1) as usize];
+        for pe in 0..n_pes {
+            if let Some(r) = aligned_range_for_pe(&l, decl, lo, hi, 1, pe) {
+                for v in r.iter() {
+                    prop_assert!(!seen[(v - lo) as usize], "iteration {v} double-assigned");
+                    seen[(v - lo) as usize] = true;
+                    prop_assert_eq!(aligned_owner_of_iteration(&l, decl, v), pe);
+                    prop_assert_eq!(l.owner(decl, &[0, v]), pe,
+                        "aligned iteration must be data-local");
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "every iteration covered");
+    }
+
+    /// When the DOALL over columns is block-scheduled and the array is
+    /// block-distributed along columns with matching extents, every PE's
+    /// iterations touch only its own columns (owner-computes). This is the
+    /// alignment property that makes VPENTA's stale references local in the
+    /// paper (§5.4).
+    #[test]
+    fn block_alignment_gives_owner_computes(
+        m in 1usize..60,
+        n_pes in 1usize..9,
+    ) {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[4, m]);
+        pb.serial_epoch("e", |e| {
+            e.serial("i", 0, 3, |e, i| e.assign(a.at2(i, 0), 0.0));
+        });
+        let p = pb.finish().unwrap();
+        let l = Layout::new(&p, n_pes); // block along dim 1
+        let decl = p.array(a.id());
+        for pe in 0..n_pes {
+            if let Some(r) = doall_range_for_pe(0, m as i64 - 1, 1, pe, n_pes) {
+                for j in r.iter() {
+                    prop_assert_eq!(l.owner(decl, &[0, j]), pe,
+                        "m={} P={} j={}", m, n_pes, j);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Affine expressions over loop variables.
+//!
+//! Array subscripts and loop bounds in the IR are affine: a sum of
+//! `coefficient * loop_var` terms plus a constant. This is the class the
+//! paper's analyses assume ("the compiler needs to construct expressions for
+//! the address of each reference in terms of the loop induction variables and
+//! constants", §4.2); non-affine subscripts are handled conservatively at the
+//! analysis layer, not represented here.
+
+use crate::VarId;
+
+/// `Σ coeff·var + constant` with canonical form: terms sorted by variable,
+/// no zero coefficients.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Affine {
+    terms: Vec<(VarId, i64)>,
+    constant: i64,
+}
+
+impl std::fmt::Debug for Affine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "{}", self.constant);
+        }
+        for (i, (v, c)) in self.terms.iter().enumerate() {
+            if i > 0 && *c >= 0 {
+                write!(f, "+")?;
+            }
+            match *c {
+                1 => write!(f, "v{}", v.0)?,
+                -1 => write!(f, "-v{}", v.0)?,
+                c => write!(f, "{}*v{}", c, v.0)?,
+            }
+        }
+        match self.constant.cmp(&0) {
+            std::cmp::Ordering::Greater => write!(f, "+{}", self.constant),
+            std::cmp::Ordering::Less => write!(f, "{}", self.constant),
+            std::cmp::Ordering::Equal => Ok(()),
+        }
+    }
+}
+
+impl Affine {
+    /// The constant expression.
+    pub fn constant(c: i64) -> Self {
+        Affine { terms: Vec::new(), constant: c }
+    }
+
+    /// The expression `1·v`.
+    pub fn var(v: VarId) -> Self {
+        Affine { terms: vec![(v, 1)], constant: 0 }
+    }
+
+    /// Build from raw parts (canonicalizes).
+    pub fn new(mut terms: Vec<(VarId, i64)>, constant: i64) -> Self {
+        terms.sort_by_key(|&(v, _)| v);
+        let mut out: Vec<(VarId, i64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c != 0);
+        Affine { terms: out, constant }
+    }
+
+    pub fn terms(&self) -> &[(VarId, i64)] {
+        &self.terms
+    }
+
+    pub fn constant_term(&self) -> i64 {
+        self.constant
+    }
+
+    /// `Some(c)` iff the expression is the constant `c`.
+    pub fn as_constant(&self) -> Option<i64> {
+        self.terms.is_empty().then_some(self.constant)
+    }
+
+    /// Coefficient of `v` (0 when absent).
+    pub fn coeff(&self, v: VarId) -> i64 {
+        self.terms
+            .iter()
+            .find(|&&(tv, _)| tv == v)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// Does the expression mention `v`?
+    pub fn uses(&self, v: VarId) -> bool {
+        self.coeff(v) != 0
+    }
+
+    /// Variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    pub fn add(&self, other: &Affine) -> Affine {
+        let mut terms = self.terms.clone();
+        terms.extend_from_slice(&other.terms);
+        Affine::new(terms, self.constant + other.constant)
+    }
+
+    pub fn sub(&self, other: &Affine) -> Affine {
+        self.add(&other.scale(-1))
+    }
+
+    pub fn add_const(&self, c: i64) -> Affine {
+        Affine { terms: self.terms.clone(), constant: self.constant + c }
+    }
+
+    pub fn scale(&self, k: i64) -> Affine {
+        if k == 0 {
+            return Affine::constant(0);
+        }
+        Affine {
+            terms: self.terms.iter().map(|&(v, c)| (v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Substitute `v := repl` (used by software pipelining to form the
+    /// prefetch subscript at iteration `i + d`).
+    pub fn substitute(&self, v: VarId, repl: &Affine) -> Affine {
+        let c = self.coeff(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut terms: Vec<(VarId, i64)> = self
+            .terms
+            .iter()
+            .copied()
+            .filter(|&(tv, _)| tv != v)
+            .collect();
+        let scaled = repl.scale(c);
+        terms.extend_from_slice(&scaled.terms);
+        Affine::new(terms, self.constant + scaled.constant)
+    }
+
+    /// Evaluate under an environment binding every mentioned variable.
+    pub fn eval(&self, env: &VarEnv) -> i64 {
+        let mut acc = self.constant;
+        for &(v, c) in &self.terms {
+            acc += c * env.get(v);
+        }
+        acc
+    }
+
+    /// Two subscripts are *uniformly generated* (paper §4.2) when they have
+    /// identical variable terms — they differ only in the constant. Returns
+    /// the constant difference `self - other` in that case.
+    pub fn uniform_difference(&self, other: &Affine) -> Option<i64> {
+        (self.terms == other.terms).then(|| self.constant - other.constant)
+    }
+
+    /// Evaluate the min and max over per-variable inclusive ranges. Exact
+    /// because affine functions are monotone in each variable separately.
+    /// Variables absent from `bounds` must be bound in `env`.
+    pub fn range_over(
+        &self,
+        env: &VarEnv,
+        bounds: &[(VarId, i64, i64)],
+    ) -> (i64, i64) {
+        let mut lo = self.constant;
+        let mut hi = self.constant;
+        'terms: for &(v, c) in &self.terms {
+            for &(bv, blo, bhi) in bounds {
+                if bv == v {
+                    if c >= 0 {
+                        lo += c * blo;
+                        hi += c * bhi;
+                    } else {
+                        lo += c * bhi;
+                        hi += c * blo;
+                    }
+                    continue 'terms;
+                }
+            }
+            let val = c * env.get(v);
+            lo += val;
+            hi += val;
+        }
+        (lo, hi)
+    }
+}
+
+impl From<i64> for Affine {
+    fn from(c: i64) -> Self {
+        Affine::constant(c)
+    }
+}
+
+/// A dense environment mapping [`VarId`]s to values during interpretation.
+#[derive(Clone, Debug, Default)]
+pub struct VarEnv {
+    vals: Vec<i64>,
+    bound: Vec<bool>,
+}
+
+impl VarEnv {
+    pub fn new(n_vars: usize) -> Self {
+        VarEnv { vals: vec![0; n_vars], bound: vec![false; n_vars] }
+    }
+
+    pub fn set(&mut self, v: VarId, val: i64) {
+        let i = v.index();
+        if i >= self.vals.len() {
+            self.vals.resize(i + 1, 0);
+            self.bound.resize(i + 1, false);
+        }
+        self.vals[i] = val;
+        self.bound[i] = true;
+    }
+
+    pub fn unset(&mut self, v: VarId) {
+        if v.index() < self.bound.len() {
+            self.bound[v.index()] = false;
+        }
+    }
+
+    pub fn get(&self, v: VarId) -> i64 {
+        debug_assert!(
+            v.index() < self.bound.len() && self.bound[v.index()],
+            "unbound loop variable v{}",
+            v.0
+        );
+        self.vals[v.index()]
+    }
+
+    pub fn is_bound(&self, v: VarId) -> bool {
+        v.index() < self.bound.len() && self.bound[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    const I: VarId = VarId(0);
+    const J: VarId = VarId(1);
+
+    #[test]
+    fn canonical_form_merges_and_drops_zeros() {
+        let a = Affine::new(vec![(J, 2), (I, 3), (J, -2)], 5);
+        assert_eq!(a.terms(), &[(I, 3)]);
+        assert_eq!(a.constant_term(), 5);
+    }
+
+    #[test]
+    fn eval_and_arith() {
+        let mut env = VarEnv::new(2);
+        env.set(I, 4);
+        env.set(J, 10);
+        let a = Affine::new(vec![(I, 2), (J, -1)], 7); // 2i - j + 7
+        assert_eq!(a.eval(&env), 5);
+        let b = Affine::var(I).add_const(1);
+        assert_eq!(a.add(&b).eval(&env), 5 + 5);
+        assert_eq!(a.sub(&b).eval(&env), 0);
+        assert_eq!(a.scale(-3).eval(&env), -15);
+    }
+
+    #[test]
+    fn substitute_shifts_iteration() {
+        // A(2i+1) at i := i+4  =>  A(2i+9)
+        let sub = Affine::var(I).add_const(4);
+        let idx = Affine::new(vec![(I, 2)], 1);
+        let shifted = idx.substitute(I, &sub);
+        assert_eq!(shifted, Affine::new(vec![(I, 2)], 9));
+        // untouched when var absent
+        let j_idx = Affine::var(J);
+        assert_eq!(j_idx.substitute(I, &sub), j_idx);
+    }
+
+    #[test]
+    fn uniform_difference_detects_group() {
+        let a = Affine::new(vec![(I, 1), (J, 513)], 0);
+        let b = Affine::new(vec![(I, 1), (J, 513)], -1);
+        let c = Affine::new(vec![(I, 2), (J, 513)], 0);
+        assert_eq!(a.uniform_difference(&b), Some(1));
+        assert_eq!(a.uniform_difference(&c), None);
+    }
+
+    #[test]
+    fn range_over_is_exact_for_monotone() {
+        // f = 3i - 2j + 1 over i in [0,5], j in [1,4]
+        let f = Affine::new(vec![(I, 3), (J, -2)], 1);
+        let env = VarEnv::new(2);
+        let (lo, hi) = f.range_over(&env, &[(I, 0, 5), (J, 1, 4)]);
+        assert_eq!((lo, hi), (0 - 8 + 1, 15 - 2 + 1));
+    }
+
+    #[test]
+    fn range_over_uses_env_for_bound_vars() {
+        let f = Affine::new(vec![(I, 1), (J, 1)], 0);
+        let mut env = VarEnv::new(2);
+        env.set(J, 100);
+        let (lo, hi) = f.range_over(&env, &[(I, 0, 9)]);
+        assert_eq!((lo, hi), (100, 109));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound loop variable")]
+    #[cfg(debug_assertions)]
+    fn unbound_variable_panics_in_debug() {
+        let env = VarEnv::new(1);
+        let _ = Affine::var(I).eval(&env);
+    }
+}

@@ -1,0 +1,744 @@
+//! Ergonomic program construction.
+//!
+//! The builder is how kernels are written (see `ccdp-kernels`). It allocates
+//! all identifier spaces (`VarId`, `RefId`, `LoopId`, `EpochId`), converts
+//! the operator-overloaded surface syntax ([`Var`] arithmetic, [`VExpr`]
+//! trees with embedded reads) into canonical IR, and validates the result on
+//! [`ProgramBuilder::finish`].
+//!
+//! ```
+//! use ccdp_ir::{ProgramBuilder, VExpr};
+//!
+//! let mut pb = ProgramBuilder::new("saxpy");
+//! let x = pb.shared("X", &[100]);
+//! let y = pb.shared("Y", &[100]);
+//! pb.parallel_epoch("axpy", |e| {
+//!     e.doall("i", 0, 99, |e, i| {
+//!         e.assign(y.at1(i), y.at1(i).rd() + x.at1(i).rd() * 2.0);
+//!     });
+//! });
+//! let prog = pb.finish().unwrap();
+//! assert_eq!(prog.epochs().len(), 1);
+//! ```
+
+use crate::{
+    Affine, ArrayDecl, ArrayId, ArrayRef, Assign, CmpOp, Cond, Epoch, EpochId, EpochKind,
+    IfStmt, Loop, LoopId, LoopKind, Program, ProgramItem, RefId, Routine, RoutineId, Sharing,
+    Stmt, ValExpr, VarId,
+};
+
+/// A loop-variable handle with arithmetic (`i + 1`, `i * 2`, `i - j`, ...).
+#[derive(Clone, Copy, Debug)]
+pub struct Var(pub VarId);
+
+impl From<Var> for Affine {
+    fn from(v: Var) -> Affine {
+        Affine::var(v.0)
+    }
+}
+
+macro_rules! impl_var_ops {
+    ($lhs:ty) => {
+        impl std::ops::Add<i64> for $lhs {
+            type Output = Affine;
+            fn add(self, rhs: i64) -> Affine {
+                Affine::from(self).add_const(rhs)
+            }
+        }
+        impl std::ops::Sub<i64> for $lhs {
+            type Output = Affine;
+            fn sub(self, rhs: i64) -> Affine {
+                Affine::from(self).add_const(-rhs)
+            }
+        }
+        impl std::ops::Mul<i64> for $lhs {
+            type Output = Affine;
+            fn mul(self, rhs: i64) -> Affine {
+                Affine::from(self).scale(rhs)
+            }
+        }
+        impl std::ops::Add<Var> for $lhs {
+            type Output = Affine;
+            fn add(self, rhs: Var) -> Affine {
+                Affine::add(&Affine::from(self), &Affine::var(rhs.0))
+            }
+        }
+        impl std::ops::Sub<Var> for $lhs {
+            type Output = Affine;
+            fn sub(self, rhs: Var) -> Affine {
+                Affine::sub(&Affine::from(self), &Affine::var(rhs.0))
+            }
+        }
+    };
+}
+impl_var_ops!(Var);
+
+impl std::ops::Sub<Var> for i64 {
+    type Output = Affine;
+    fn sub(self, rhs: Var) -> Affine {
+        Affine::var(rhs.0).scale(-1).add_const(self)
+    }
+}
+
+impl std::ops::Add<Var> for i64 {
+    type Output = Affine;
+    fn add(self, rhs: Var) -> Affine {
+        Affine::var(rhs.0).add_const(self)
+    }
+}
+
+impl std::ops::Mul<Var> for i64 {
+    type Output = Affine;
+    fn mul(self, rhs: Var) -> Affine {
+        Affine::var(rhs.0).scale(self)
+    }
+}
+
+impl std::ops::Add<Affine> for Var {
+    type Output = Affine;
+    fn add(self, rhs: Affine) -> Affine {
+        Affine::add(&Affine::var(self.0), &rhs)
+    }
+}
+
+impl std::ops::Add<i64> for Affine {
+    type Output = Affine;
+    fn add(self, rhs: i64) -> Affine {
+        self.add_const(rhs)
+    }
+}
+
+impl std::ops::Sub<i64> for Affine {
+    type Output = Affine;
+    fn sub(self, rhs: i64) -> Affine {
+        self.add_const(-rhs)
+    }
+}
+
+impl std::ops::Mul<i64> for Affine {
+    type Output = Affine;
+    fn mul(self, rhs: i64) -> Affine {
+        self.scale(rhs)
+    }
+}
+
+impl std::ops::Add<Var> for Affine {
+    type Output = Affine;
+    fn add(self, rhs: Var) -> Affine {
+        Affine::add(&self, &Affine::var(rhs.0))
+    }
+}
+
+impl std::ops::Sub<Var> for Affine {
+    type Output = Affine;
+    fn sub(self, rhs: Var) -> Affine {
+        Affine::sub(&self, &Affine::var(rhs.0))
+    }
+}
+
+/// A handle to a declared array.
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayHandle {
+    id: ArrayId,
+    rank: usize,
+}
+
+impl ArrayHandle {
+    pub fn id(&self) -> ArrayId {
+        self.id
+    }
+
+    /// Reference a 1-D array element.
+    pub fn at1(&self, i: impl Into<Affine>) -> RefSpec {
+        assert_eq!(self.rank, 1, "at1 on rank-{} array", self.rank);
+        RefSpec { array: self.id, index: vec![i.into()] }
+    }
+
+    /// Reference a 2-D array element.
+    pub fn at2(&self, i: impl Into<Affine>, j: impl Into<Affine>) -> RefSpec {
+        assert_eq!(self.rank, 2, "at2 on rank-{} array", self.rank);
+        RefSpec { array: self.id, index: vec![i.into(), j.into()] }
+    }
+
+    /// Reference a 3-D array element.
+    pub fn at3(
+        &self,
+        i: impl Into<Affine>,
+        j: impl Into<Affine>,
+        k: impl Into<Affine>,
+    ) -> RefSpec {
+        assert_eq!(self.rank, 3, "at3 on rank-{} array", self.rank);
+        RefSpec { array: self.id, index: vec![i.into(), j.into(), k.into()] }
+    }
+}
+
+/// An array reference being built (no `RefId` yet).
+#[derive(Clone, Debug)]
+pub struct RefSpec {
+    array: ArrayId,
+    index: Vec<Affine>,
+}
+
+impl RefSpec {
+    /// Use this reference as a read inside a value expression.
+    pub fn rd(self) -> VExpr {
+        VExpr::Rd(self)
+    }
+}
+
+/// Value-expression surface syntax: a [`ValExpr`] whose leaves may be
+/// [`RefSpec`]s. Lowered by [`BlockCtx::assign`], which allocates the
+/// statement's read list.
+#[derive(Clone, Debug)]
+pub enum VExpr {
+    Rd(RefSpec),
+    Lit(f64),
+    /// Loop-variable value as `f64`.
+    Var(Var),
+    Add(Box<VExpr>, Box<VExpr>),
+    Sub(Box<VExpr>, Box<VExpr>),
+    Mul(Box<VExpr>, Box<VExpr>),
+    Div(Box<VExpr>, Box<VExpr>),
+    Neg(Box<VExpr>),
+    Sqrt(Box<VExpr>),
+    Abs(Box<VExpr>),
+    Min(Box<VExpr>, Box<VExpr>),
+    Max(Box<VExpr>, Box<VExpr>),
+}
+
+impl VExpr {
+    pub fn lit(v: f64) -> VExpr {
+        VExpr::Lit(v)
+    }
+
+    pub fn sqrt(self) -> VExpr {
+        VExpr::Sqrt(Box::new(self))
+    }
+
+    pub fn abs(self) -> VExpr {
+        VExpr::Abs(Box::new(self))
+    }
+
+    pub fn min(self, o: impl Into<VExpr>) -> VExpr {
+        VExpr::Min(Box::new(self), Box::new(o.into()))
+    }
+
+    pub fn max(self, o: impl Into<VExpr>) -> VExpr {
+        VExpr::Max(Box::new(self), Box::new(o.into()))
+    }
+}
+
+impl From<f64> for VExpr {
+    fn from(v: f64) -> VExpr {
+        VExpr::Lit(v)
+    }
+}
+
+impl From<RefSpec> for VExpr {
+    fn from(r: RefSpec) -> VExpr {
+        VExpr::Rd(r)
+    }
+}
+
+impl From<Var> for VExpr {
+    fn from(v: Var) -> VExpr {
+        VExpr::Var(v)
+    }
+}
+
+impl Var {
+    /// Use the loop variable's value in a value expression.
+    pub fn val(self) -> VExpr {
+        VExpr::Var(self)
+    }
+}
+
+macro_rules! impl_vexpr_binop {
+    ($trait:ident, $method:ident, $variant:ident) => {
+        impl<T: Into<VExpr>> std::ops::$trait<T> for VExpr {
+            type Output = VExpr;
+            fn $method(self, rhs: T) -> VExpr {
+                VExpr::$variant(Box::new(self), Box::new(rhs.into()))
+            }
+        }
+        impl std::ops::$trait<VExpr> for f64 {
+            type Output = VExpr;
+            fn $method(self, rhs: VExpr) -> VExpr {
+                VExpr::$variant(Box::new(VExpr::Lit(self)), Box::new(rhs))
+            }
+        }
+    };
+}
+impl_vexpr_binop!(Add, add, Add);
+impl_vexpr_binop!(Sub, sub, Sub);
+impl_vexpr_binop!(Mul, mul, Mul);
+impl_vexpr_binop!(Div, div, Div);
+
+impl std::ops::Neg for VExpr {
+    type Output = VExpr;
+    fn neg(self) -> VExpr {
+        VExpr::Neg(Box::new(self))
+    }
+}
+
+/// Condition surface syntax.
+#[derive(Clone, Debug)]
+pub struct CondB(Cond);
+
+impl CondB {
+    pub fn cmp(lhs: impl Into<Affine>, op: CmpOp, rhs: impl Into<Affine>) -> CondB {
+        CondB(Cond::Cmp { lhs: lhs.into(), op, rhs: rhs.into() })
+    }
+
+    pub fn eq(l: impl Into<Affine>, r: impl Into<Affine>) -> CondB {
+        Self::cmp(l, CmpOp::Eq, r)
+    }
+
+    pub fn ne(l: impl Into<Affine>, r: impl Into<Affine>) -> CondB {
+        Self::cmp(l, CmpOp::Ne, r)
+    }
+
+    pub fn lt(l: impl Into<Affine>, r: impl Into<Affine>) -> CondB {
+        Self::cmp(l, CmpOp::Lt, r)
+    }
+
+    pub fn le(l: impl Into<Affine>, r: impl Into<Affine>) -> CondB {
+        Self::cmp(l, CmpOp::Le, r)
+    }
+
+    pub fn gt(l: impl Into<Affine>, r: impl Into<Affine>) -> CondB {
+        Self::cmp(l, CmpOp::Gt, r)
+    }
+
+    pub fn ge(l: impl Into<Affine>, r: impl Into<Affine>) -> CondB {
+        Self::cmp(l, CmpOp::Ge, r)
+    }
+
+    /// Mark the condition opaque to the compiler (data-dependent branch).
+    pub fn non_affine(self) -> CondB {
+        CondB(Cond::NonAffine(Box::new(self.0)))
+    }
+}
+
+/// Shared mutable id-allocation state.
+#[derive(Default)]
+struct Counters {
+    var_names: Vec<String>,
+    next_ref: u32,
+    next_loop: u32,
+    next_epoch: u32,
+}
+
+impl Counters {
+    fn new_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.var_names.len() as u32);
+        self.var_names.push(name.to_string());
+        id
+    }
+
+    fn new_ref(&mut self) -> RefId {
+        let id = RefId(self.next_ref);
+        self.next_ref += 1;
+        id
+    }
+
+    fn new_loop(&mut self) -> LoopId {
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        id
+    }
+
+    fn new_epoch(&mut self) -> EpochId {
+        let id = EpochId(self.next_epoch);
+        self.next_epoch += 1;
+        id
+    }
+}
+
+/// Builds one [`Program`].
+pub struct ProgramBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    routines: Vec<Routine>,
+    items: Vec<ProgramItem>,
+    c: Counters,
+}
+
+impl ProgramBuilder {
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_string(),
+            arrays: Vec::new(),
+            routines: Vec::new(),
+            items: Vec::new(),
+            c: Counters::default(),
+        }
+    }
+
+    fn declare(&mut self, name: &str, extents: &[usize], sharing: Sharing) -> ArrayHandle {
+        let id = ArrayId(self.arrays.len() as u32);
+        assert!(!extents.is_empty(), "array {name} needs at least one dimension");
+        self.arrays.push(ArrayDecl {
+            id,
+            name: name.to_string(),
+            extents: extents.to_vec(),
+            sharing,
+        });
+        ArrayHandle { id, rank: extents.len() }
+    }
+
+    /// Declare a shared (distributed) array.
+    pub fn shared(&mut self, name: &str, extents: &[usize]) -> ArrayHandle {
+        self.declare(name, extents, Sharing::Shared)
+    }
+
+    /// Declare a per-PE private array.
+    pub fn private(&mut self, name: &str, extents: &[usize]) -> ArrayHandle {
+        self.declare(name, extents, Sharing::Private)
+    }
+
+    /// Append a serial epoch to the main sequence.
+    pub fn serial_epoch(&mut self, label: &str, f: impl FnOnce(&mut BlockCtx)) {
+        let e = build_epoch(&mut self.c, label, EpochKind::Serial, f);
+        self.items.push(ProgramItem::Epoch(e));
+    }
+
+    /// Append a parallel epoch to the main sequence.
+    pub fn parallel_epoch(&mut self, label: &str, f: impl FnOnce(&mut BlockCtx)) {
+        let e = build_epoch(&mut self.c, label, EpochKind::Parallel, f);
+        self.items.push(ProgramItem::Epoch(e));
+    }
+
+    /// Append a `Repeat` block.
+    pub fn repeat(&mut self, count: u32, f: impl FnOnce(&mut EpochCtx)) {
+        let mut ctx = EpochCtx { c: &mut self.c, items: Vec::new() };
+        f(&mut ctx);
+        let body = ctx.items;
+        self.items.push(ProgramItem::Repeat { count, body });
+    }
+
+    /// Define a routine and get its id (call it with [`ProgramBuilder::call`]).
+    pub fn routine(&mut self, name: &str, f: impl FnOnce(&mut EpochCtx)) -> RoutineId {
+        let mut ctx = EpochCtx { c: &mut self.c, items: Vec::new() };
+        f(&mut ctx);
+        let id = RoutineId(self.routines.len() as u32);
+        self.routines.push(Routine { id, name: name.to_string(), items: ctx.items });
+        id
+    }
+
+    /// Append a call to a routine.
+    pub fn call(&mut self, r: RoutineId) {
+        self.items.push(ProgramItem::Call(r));
+    }
+
+    /// Finish and validate.
+    pub fn finish(self) -> Result<Program, crate::ValidateError> {
+        let p = Program {
+            name: self.name,
+            arrays: self.arrays,
+            routines: self.routines,
+            items: self.items,
+            var_names: self.c.var_names,
+            n_refs: self.c.next_ref,
+            n_loops: self.c.next_loop,
+            n_epochs: self.c.next_epoch,
+        };
+        crate::validate(&p)?;
+        Ok(p)
+    }
+}
+
+/// Context for sequencing epochs inside `Repeat` bodies and routines.
+pub struct EpochCtx<'a> {
+    c: &'a mut Counters,
+    items: Vec<ProgramItem>,
+}
+
+impl EpochCtx<'_> {
+    pub fn serial_epoch(&mut self, label: &str, f: impl FnOnce(&mut BlockCtx)) {
+        let e = build_epoch(self.c, label, EpochKind::Serial, f);
+        self.items.push(ProgramItem::Epoch(e));
+    }
+
+    pub fn parallel_epoch(&mut self, label: &str, f: impl FnOnce(&mut BlockCtx)) {
+        let e = build_epoch(self.c, label, EpochKind::Parallel, f);
+        self.items.push(ProgramItem::Epoch(e));
+    }
+
+    pub fn repeat(&mut self, count: u32, f: impl FnOnce(&mut EpochCtx)) {
+        let mut ctx = EpochCtx { c: self.c, items: Vec::new() };
+        f(&mut ctx);
+        let body = ctx.items;
+        self.items.push(ProgramItem::Repeat { count, body });
+    }
+
+    pub fn call(&mut self, r: RoutineId) {
+        self.items.push(ProgramItem::Call(r));
+    }
+}
+
+fn build_epoch(
+    c: &mut Counters,
+    label: &str,
+    kind: EpochKind,
+    f: impl FnOnce(&mut BlockCtx),
+) -> Epoch {
+    let id = c.new_epoch();
+    let mut ctx = BlockCtx { c, stmts: Vec::new() };
+    f(&mut ctx);
+    Epoch { id, label: label.to_string(), kind, stmts: ctx.stmts }
+}
+
+/// Context for building a statement list (epoch bodies, loop bodies, branch
+/// arms).
+pub struct BlockCtx<'a> {
+    c: &'a mut Counters,
+    stmts: Vec<Stmt>,
+}
+
+impl BlockCtx<'_> {
+    fn lower_ref(&mut self, spec: RefSpec) -> ArrayRef {
+        ArrayRef { id: self.c.new_ref(), array: spec.array, index: spec.index }
+    }
+
+    fn lower_vexpr(&mut self, e: VExpr, reads: &mut Vec<ArrayRef>) -> ValExpr {
+        match e {
+            VExpr::Rd(spec) => {
+                let r = self.lower_ref(spec);
+                reads.push(r);
+                ValExpr::Read(reads.len() - 1)
+            }
+            VExpr::Lit(v) => ValExpr::Lit(v),
+            VExpr::Var(v) => ValExpr::Var(v.0),
+            VExpr::Add(a, b) => ValExpr::Add(
+                Box::new(self.lower_vexpr(*a, reads)),
+                Box::new(self.lower_vexpr(*b, reads)),
+            ),
+            VExpr::Sub(a, b) => ValExpr::Sub(
+                Box::new(self.lower_vexpr(*a, reads)),
+                Box::new(self.lower_vexpr(*b, reads)),
+            ),
+            VExpr::Mul(a, b) => ValExpr::Mul(
+                Box::new(self.lower_vexpr(*a, reads)),
+                Box::new(self.lower_vexpr(*b, reads)),
+            ),
+            VExpr::Div(a, b) => ValExpr::Div(
+                Box::new(self.lower_vexpr(*a, reads)),
+                Box::new(self.lower_vexpr(*b, reads)),
+            ),
+            VExpr::Neg(a) => ValExpr::Neg(Box::new(self.lower_vexpr(*a, reads))),
+            VExpr::Sqrt(a) => ValExpr::Sqrt(Box::new(self.lower_vexpr(*a, reads))),
+            VExpr::Abs(a) => ValExpr::Abs(Box::new(self.lower_vexpr(*a, reads))),
+            VExpr::Min(a, b) => ValExpr::Min(
+                Box::new(self.lower_vexpr(*a, reads)),
+                Box::new(self.lower_vexpr(*b, reads)),
+            ),
+            VExpr::Max(a, b) => ValExpr::Max(
+                Box::new(self.lower_vexpr(*a, reads)),
+                Box::new(self.lower_vexpr(*b, reads)),
+            ),
+        }
+    }
+
+    /// `write = expr`.
+    pub fn assign(&mut self, write: RefSpec, expr: impl Into<VExpr>) {
+        self.assign_cost(write, expr, 0);
+    }
+
+    /// `write = expr` with extra per-instance cycle cost.
+    pub fn assign_cost(&mut self, write: RefSpec, expr: impl Into<VExpr>, extra_cost: u32) {
+        let mut reads = Vec::new();
+        let val = self.lower_vexpr(expr.into(), &mut reads);
+        let write = self.lower_ref(write);
+        self.stmts.push(Stmt::Assign(Assign { write, reads, expr: val, extra_cost }));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_loop(
+        &mut self,
+        name: &str,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        step: i64,
+        kind: LoopKind,
+        align: Option<ArrayId>,
+        f: impl FnOnce(&mut BlockCtx, Var),
+    ) {
+        assert!(step >= 1, "loop step must be >= 1");
+        let var = self.c.new_var(name);
+        let id = self.c.new_loop();
+        let mut inner = BlockCtx { c: self.c, stmts: Vec::new() };
+        f(&mut inner, Var(var));
+        let body = inner.stmts;
+        self.stmts.push(Stmt::Loop(Loop {
+            id,
+            var,
+            lo: lo.into(),
+            hi: hi.into(),
+            step,
+            kind,
+            body,
+            align,
+            pipeline: Vec::new(),
+        }));
+    }
+
+    /// A serial loop `for name in lo..=hi`.
+    pub fn serial(
+        &mut self,
+        name: &str,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        f: impl FnOnce(&mut BlockCtx, Var),
+    ) {
+        self.push_loop(name, lo, hi, 1, LoopKind::Serial, None, f);
+    }
+
+    /// A serial loop with stride.
+    pub fn serial_step(
+        &mut self,
+        name: &str,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        step: i64,
+        f: impl FnOnce(&mut BlockCtx, Var),
+    ) {
+        self.push_loop(name, lo, hi, step, LoopKind::Serial, None, f);
+    }
+
+    /// A statically scheduled DOALL loop.
+    pub fn doall(
+        &mut self,
+        name: &str,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        f: impl FnOnce(&mut BlockCtx, Var),
+    ) {
+        self.push_loop(name, lo, hi, 1, LoopKind::DoAllStatic, None, f);
+    }
+
+    /// A statically scheduled DOALL whose iterations are distributed to
+    /// match `align`'s data distribution (CRAFT `doshared` on a template):
+    /// iteration `v` runs on the PE that owns index `v` of the array's
+    /// distributed dimension.
+    pub fn doall_aligned(
+        &mut self,
+        name: &str,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        align: &ArrayHandle,
+        f: impl FnOnce(&mut BlockCtx, Var),
+    ) {
+        self.push_loop(name, lo, hi, 1, LoopKind::DoAllStatic, Some(align.id()), f);
+    }
+
+    /// A dynamically scheduled DOALL loop (chunked self-scheduling).
+    pub fn doall_dynamic(
+        &mut self,
+        name: &str,
+        lo: impl Into<Affine>,
+        hi: impl Into<Affine>,
+        chunk: u32,
+        f: impl FnOnce(&mut BlockCtx, Var),
+    ) {
+        assert!(chunk >= 1);
+        self.push_loop(name, lo, hi, 1, LoopKind::DoAllDynamic { chunk }, None, f);
+    }
+
+    /// `if cond { ... }`.
+    pub fn if_(&mut self, cond: CondB, f: impl FnOnce(&mut BlockCtx)) {
+        self.if_else(cond, f, |_| {});
+    }
+
+    /// `if cond { ... } else { ... }`.
+    pub fn if_else(
+        &mut self,
+        cond: CondB,
+        then_f: impl FnOnce(&mut BlockCtx),
+        else_f: impl FnOnce(&mut BlockCtx),
+    ) {
+        let mut t = BlockCtx { c: self.c, stmts: Vec::new() };
+        then_f(&mut t);
+        let then_branch = t.stmts;
+        let mut e = BlockCtx { c: self.c, stmts: Vec::new() };
+        else_f(&mut e);
+        let else_branch = e.stmts;
+        self.stmts.push(Stmt::If(IfStmt { cond: cond.0, then_branch, else_branch }));
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{walk, RefAccess};
+
+    #[test]
+    fn var_arithmetic_builds_affines() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[10, 10]);
+        pb.parallel_epoch("e", |e| {
+            e.doall("i", 0, 8, |e, i| {
+                e.assign(a.at2(i + 1, i * 2), a.at2(i, 0).rd() + 1.0);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let refs = walk::collect_refs_in_stmts(&p.epochs()[0].stmts);
+        let w = refs.iter().find(|r| r.access == RefAccess::Write).unwrap();
+        assert_eq!(w.r.index[0].constant_term(), 1);
+        assert_eq!(w.r.index[1].coeff(w.r.index[1].vars().next().unwrap()), 2);
+    }
+
+    #[test]
+    fn assign_allocates_sequential_read_slots() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[4]);
+        let b = pb.shared("B", &[4]);
+        pb.serial_epoch("e", |e| {
+            e.serial("i", 0, 3, |e, i| {
+                e.assign(a.at1(i), a.at1(i).rd() * b.at1(i).rd() + b.at1(i).rd());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let refs = walk::collect_refs_in_stmts(&p.epochs()[0].stmts);
+        let reads: Vec<_> = refs.iter().filter(|r| r.access == RefAccess::Read).collect();
+        assert_eq!(reads.len(), 3);
+        // RefIds unique
+        let mut ids: Vec<u32> = refs.iter().map(|r| r.r.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), refs.len());
+    }
+
+    #[test]
+    fn routine_call_and_repeat_schedule() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[8]);
+        let r = pb.routine("calc", |rc| {
+            rc.parallel_epoch("inner", |e| {
+                e.doall("i", 0, 7, |e, i| {
+                    e.assign(a.at1(i), 1.0);
+                });
+            });
+        });
+        pb.serial_epoch("init", |e| {
+            e.serial("i", 0, 7, |e, i| e.assign(a.at1(i), 0.0));
+        });
+        pb.repeat(5, |rep| {
+            rep.call(r);
+            rep.call(r);
+        });
+        let p = pb.finish().unwrap();
+        let sched = p.static_schedule();
+        assert_eq!(sched.len(), 3); // init + 2 calls (inlined once each)
+        assert!(!sched[0].in_repeat);
+        assert!(sched[1].in_repeat && sched[2].in_repeat);
+    }
+
+    #[test]
+    #[should_panic(expected = "at2 on rank-1")]
+    fn rank_mismatch_panics() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[4]);
+        let _ = a.at2(0, 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Loop-nest IR for the CCDP reproduction.
+//!
+//! Programs in this IR are what the Polaris parallelizer handed the authors
+//! of the paper: a sequence of **epochs** (serial code, or a parallel DOALL
+//! nest), over **shared or private rectangular arrays** of `f64`, with
+//! **affine array subscripts** in the enclosing loop variables. Real `f64`
+//! arithmetic is carried (a small expression language, [`ValExpr`]) so the
+//! simulated kernels compute real results that can be checked against golden
+//! references.
+//!
+//! Structure of a program:
+//!
+//! ```text
+//! Program
+//!   ├── arrays:   ArrayDecl*          (column-major, shared or private)
+//!   ├── routines: Routine*            (callable epoch sequences, e.g. SWIM's CALC1..3)
+//!   └── items:    ProgramItem*        (Epoch | Call | Repeat)
+//!           Epoch ── Serial(stmts) | Parallel(wrapper loops + one DOALL)
+//! ```
+//!
+//! The execution model follows the paper (§3.1): barriers and a main-memory
+//! update at every epoch boundary; a parallel epoch's DOALL iterations are
+//! independent; serial epochs run on one PE. A DOALL nested inside serial
+//! *wrapper* loops (TOMCATV's loops 100/120) executes one *phase* per wrapper
+//! iteration, with a barrier after each phase.
+
+mod affine;
+mod builder;
+pub mod parse;
+pub mod print;
+mod program;
+mod stmt;
+mod types;
+mod val;
+mod validate;
+mod walk;
+
+pub use affine::{Affine, VarEnv};
+pub use builder::{
+    ArrayHandle, BlockCtx, CondB, EpochCtx, ProgramBuilder, RefSpec, VExpr, Var,
+};
+pub use parse::{parse_program, ParseError};
+pub use print::{fmt_affine, print_program};
+pub use program::{Epoch, EpochId, EpochKind, Program, ProgramItem, Routine, RoutineId};
+pub use stmt::{
+    ArrayRef, Assign, CmpOp, Cond, IfStmt, Loop, LoopId, LoopKind, PipelinedPrefetch,
+    PrefetchKind, PrefetchStmt, Stmt,
+};
+pub use types::{ArrayDecl, ArrayId, RefId, Sharing, VarId};
+pub use val::ValExpr;
+pub use validate::{validate, ValidateError};
+pub use walk::{
+    collect_refs_in_stmts, cond_core, find_doall, for_each_loop_mut, for_each_stmt,
+    CollectedRef, LoopCtx, RefAccess,
+};

@@ -1,0 +1,877 @@
+//! Text-format parser — the inverse of [`crate::print_program`].
+//!
+//! The format is the pretty-printer's output (indentation-structured,
+//! two spaces per level):
+//!
+//! ```text
+//! program stencil
+//!   shared A(64,64)
+//!   private T(8)
+//!   routine calc:
+//!     epoch inner (parallel):
+//!       doall(static) j = 1, 62 align A
+//!         do i = 1, 62
+//!           A(i,j) = (A(i,j-1) + A(i,j+1))*0.5
+//!   epoch init (serial):
+//!     do j = 0, 63
+//!       do i = 0, 63
+//!         A(i,j) = $i*0.01 + 1
+//!   repeat 10 times:
+//!     call calc
+//! ```
+//!
+//! Comment lines (starting with `!`, as emitted for prefetch annotations)
+//! and blank lines are ignored — parsing a *transformed* program yields the
+//! untransformed original. `$name` reads a loop variable's value into the
+//! arithmetic; conditions use `==`, `/=`, `<`, `<=`, `>`, `>=` and the
+//! `?(...)` wrapper marks a condition the compiler must treat as opaque.
+//!
+//! Round-trip guarantee (tested): `print(parse(print(p))) == print(p)` for
+//! every valid untransformed program.
+
+use std::collections::HashMap;
+
+use crate::{
+    Affine, ArrayDecl, ArrayId, ArrayRef, Assign, CmpOp, Cond, Epoch, EpochId, EpochKind,
+    IfStmt, Loop, LoopId, LoopKind, Program, ProgramItem, RefId, Routine, RoutineId, Sharing,
+    Stmt, ValExpr, VarId,
+};
+
+/// A parse failure, with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a whole program from its textual form and validate it.
+pub fn parse_program(text: &str) -> Result<Program, ParseError> {
+    let mut p = Parser::new(text);
+    let prog = p.program()?;
+    crate::validate(&prog).map_err(|e| ParseError {
+        line: 0,
+        message: format!("validation failed: {e}"),
+    })?;
+    Ok(prog)
+}
+
+struct Line {
+    no: usize,
+    indent: usize,
+    text: String,
+}
+
+struct Parser {
+    lines: Vec<Line>,
+    pos: usize,
+    // id allocation
+    next_ref: u32,
+    next_loop: u32,
+    next_epoch: u32,
+    var_names: Vec<String>,
+    arrays: Vec<ArrayDecl>,
+    array_ids: HashMap<String, ArrayId>,
+    routine_ids: HashMap<String, RoutineId>,
+    routines: Vec<Routine>,
+    scope: Vec<(String, VarId)>,
+}
+
+impl Parser {
+    fn new(text: &str) -> Parser {
+        let lines = text
+            .lines()
+            .enumerate()
+            .filter_map(|(i, raw)| {
+                let trimmed = raw.trim_end();
+                let content = trimmed.trim_start();
+                if content.is_empty() || content.starts_with('!') {
+                    return None;
+                }
+                let indent_spaces = trimmed.len() - content.len();
+                Some(Line {
+                    no: i + 1,
+                    indent: indent_spaces / 2,
+                    text: content.to_string(),
+                })
+            })
+            .collect();
+        Parser {
+            lines,
+            pos: 0,
+            next_ref: 0,
+            next_loop: 0,
+            next_epoch: 0,
+            var_names: Vec::new(),
+            arrays: Vec::new(),
+            array_ids: HashMap::new(),
+            routine_ids: HashMap::new(),
+            routines: Vec::new(),
+            scope: Vec::new(),
+        }
+    }
+
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line, message: msg.into() })
+    }
+
+    fn peek(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let Some(first) = self.peek() else {
+            return self.err(0, "empty input");
+        };
+        let name = match first.text.strip_prefix("program ") {
+            Some(n) if first.indent == 0 => n.trim().to_string(),
+            _ => return self.err(first.no, "expected `program <name>`"),
+        };
+        self.pos += 1;
+
+        // Declarations (indent 1): shared/private arrays, then routines
+        // interleaved with items.
+        while let Some(l) = self.peek() {
+            if l.indent != 1 {
+                return self.err(l.no, format!("unexpected indent {}", l.indent));
+            }
+            let line_no = l.no;
+            let text = l.text.clone();
+            if let Some(rest) = text.strip_prefix("shared ") {
+                self.pos += 1;
+                self.declare_array(line_no, rest, Sharing::Shared)?;
+            } else if let Some(rest) = text.strip_prefix("private ") {
+                self.pos += 1;
+                self.declare_array(line_no, rest, Sharing::Private)?;
+            } else {
+                break;
+            }
+        }
+
+        let mut items: Vec<ProgramItem> = Vec::new();
+        while let Some(l) = self.peek() {
+            if l.indent != 1 {
+                return self.err(l.no, format!("unexpected indent {} (expected 1)", l.indent));
+            }
+            if l.text.starts_with("routine ") {
+                self.routine_def()?;
+            } else {
+                items.push(self.item(1)?);
+            }
+        }
+
+        Ok(Program {
+            name,
+            arrays: std::mem::take(&mut self.arrays),
+            routines: std::mem::take(&mut self.routines),
+            items,
+            var_names: std::mem::take(&mut self.var_names),
+            n_refs: self.next_ref,
+            n_loops: self.next_loop,
+            n_epochs: self.next_epoch,
+        })
+    }
+
+    fn declare_array(
+        &mut self,
+        line: usize,
+        rest: &str,
+        sharing: Sharing,
+    ) -> Result<(), ParseError> {
+        // NAME(e1,e2,...)
+        let Some(open) = rest.find('(') else {
+            return self.err(line, "expected `name(extent,...)`");
+        };
+        let name = rest[..open].trim().to_string();
+        let Some(close) = rest.rfind(')') else {
+            return self.err(line, "missing `)` in array declaration");
+        };
+        let extents: Result<Vec<usize>, _> = rest[open + 1..close]
+            .split(',')
+            .map(|t| t.trim().parse::<usize>())
+            .collect();
+        let Ok(extents) = extents else {
+            return self.err(line, "array extents must be integers");
+        };
+        let id = ArrayId(self.arrays.len() as u32);
+        if self.array_ids.insert(name.clone(), id).is_some() {
+            return self.err(line, format!("array {name} declared twice"));
+        }
+        self.arrays.push(ArrayDecl { id, name, extents, sharing });
+        Ok(())
+    }
+
+    fn routine_def(&mut self) -> Result<(), ParseError> {
+        let l = self.peek().unwrap();
+        let (no, text) = (l.no, l.text.clone());
+        let name = text
+            .strip_prefix("routine ")
+            .and_then(|r| r.strip_suffix(':'))
+            .map(str::trim)
+            .map(String::from);
+        let Some(name) = name else {
+            return self.err(no, "expected `routine <name>:`");
+        };
+        self.pos += 1;
+        let mut items = Vec::new();
+        while self.peek().is_some_and(|l| l.indent >= 2) {
+            items.push(self.item(2)?);
+        }
+        let id = RoutineId(self.routines.len() as u32);
+        if self.routine_ids.insert(name.clone(), id).is_some() {
+            return self.err(no, format!("routine {name} defined twice"));
+        }
+        self.routines.push(Routine { id, name, items });
+        Ok(())
+    }
+
+    fn item(&mut self, indent: usize) -> Result<ProgramItem, ParseError> {
+        let l = self.peek().unwrap();
+        let (no, text) = (l.no, l.text.clone());
+        if let Some(rest) = text.strip_prefix("epoch ") {
+            // `LABEL (serial):` | `LABEL (parallel):`
+            let Some(rest) = rest.strip_suffix(':') else {
+                return self.err(no, "epoch header must end with `:`");
+            };
+            let (label, kind) = if let Some(label) = rest.strip_suffix(" (serial)") {
+                (label.trim(), EpochKind::Serial)
+            } else if let Some(label) = rest.strip_suffix(" (parallel)") {
+                (label.trim(), EpochKind::Parallel)
+            } else {
+                return self.err(no, "expected `(serial)` or `(parallel)`");
+            };
+            let label = label.to_string();
+            self.pos += 1;
+            let id = EpochId(self.next_epoch);
+            self.next_epoch += 1;
+            let stmts = self.block(indent + 1)?;
+            return Ok(ProgramItem::Epoch(Epoch { id, label, kind, stmts }));
+        }
+        if let Some(rest) = text.strip_prefix("repeat ") {
+            let Some(count) = rest
+                .strip_suffix(" times:")
+                .and_then(|c| c.trim().parse::<u32>().ok())
+            else {
+                return self.err(no, "expected `repeat <n> times:`");
+            };
+            self.pos += 1;
+            let mut body = Vec::new();
+            while self.peek().is_some_and(|l| l.indent > indent) {
+                body.push(self.item(indent + 1)?);
+            }
+            return Ok(ProgramItem::Repeat { count, body });
+        }
+        if let Some(rest) = text.strip_prefix("call ") {
+            let name = rest.trim();
+            let Some(&rid) = self.routine_ids.get(name) else {
+                return self.err(no, format!("unknown routine {name}"));
+            };
+            self.pos += 1;
+            return Ok(ProgramItem::Call(rid));
+        }
+        self.err(no, format!("expected epoch/repeat/call, got `{text}`"))
+    }
+
+    /// Parse statements at exactly `indent` (children go deeper).
+    fn block(&mut self, indent: usize) -> Result<Vec<Stmt>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(l) = self.peek() {
+            if l.indent < indent {
+                break;
+            }
+            if l.indent > indent {
+                return self.err(l.no, "unexpected deeper indent");
+            }
+            let (no, text) = (l.no, l.text.clone());
+            if text == "endif" || text == "else" {
+                break;
+            }
+            if text.starts_with("do ")
+                || text.starts_with("doall(static) ")
+                || text.starts_with("doall(dynamic")
+            {
+                out.push(self.loop_stmt(indent)?);
+            } else if let Some(rest) = text.strip_prefix("if ") {
+                let Some(cond_text) = rest.strip_suffix(" then") else {
+                    return self.err(no, "if header must end with `then`");
+                };
+                let cond = self.cond(no, cond_text)?;
+                self.pos += 1;
+                let then_branch = self.block(indent + 1)?;
+                let mut else_branch = Vec::new();
+                if self
+                    .peek()
+                    .is_some_and(|l| l.indent == indent && l.text == "else")
+                {
+                    self.pos += 1;
+                    else_branch = self.block(indent + 1)?;
+                }
+                let Some(l) = self.peek() else {
+                    return self.err(no, "unterminated if (missing endif)");
+                };
+                if l.indent != indent || l.text != "endif" {
+                    return self.err(l.no, "expected `endif`");
+                }
+                self.pos += 1;
+                out.push(Stmt::If(IfStmt { cond, then_branch, else_branch }));
+            } else if text.contains('=') {
+                out.push(self.assign(no, &text)?);
+                self.pos += 1;
+            } else {
+                return self.err(no, format!("cannot parse statement `{text}`"));
+            }
+        }
+        Ok(out)
+    }
+
+    fn loop_stmt(&mut self, indent: usize) -> Result<Stmt, ParseError> {
+        let l = self.peek().unwrap();
+        let (no, text) = (l.no, l.text.clone());
+        let (kind_txt, rest) = if let Some(r) = text.strip_prefix("do ") {
+            ("serial", r)
+        } else if let Some(r) = text.strip_prefix("doall(static) ") {
+            ("static", r)
+        } else if let Some(r) = text.strip_prefix("doall(dynamic,chunk=") {
+            ("dynamic", r)
+        } else {
+            return self.err(no, "expected loop");
+        };
+        let (kind, rest) = if kind_txt == "dynamic" {
+            let Some(close) = rest.find(") ") else {
+                return self.err(no, "bad dynamic loop header");
+            };
+            let Ok(chunk) = rest[..close].parse::<u32>() else {
+                return self.err(no, "bad chunk size");
+            };
+            (LoopKind::DoAllDynamic { chunk }, &rest[close + 2..])
+        } else if kind_txt == "static" {
+            (LoopKind::DoAllStatic, rest)
+        } else {
+            (LoopKind::Serial, rest)
+        };
+        // VAR = LO, HI[, STEP][ align ARR]
+        let (head, align) = match rest.split_once(" align ") {
+            Some((h, a)) => (h, Some(a.trim().to_string())),
+            None => (rest, None),
+        };
+        let Some((var_name, bounds)) = head.split_once('=') else {
+            return self.err(no, "expected `var = lo, hi`");
+        };
+        let var_name = var_name.trim().to_string();
+        let parts: Vec<&str> = bounds.split(',').map(str::trim).collect();
+        if parts.len() < 2 || parts.len() > 3 {
+            return self.err(no, "expected `lo, hi[, step]`");
+        }
+        let lo = self.affine(no, parts[0])?;
+        let hi = self.affine(no, parts[1])?;
+        let step = if parts.len() == 3 {
+            parts[2]
+                .parse::<i64>()
+                .map_err(|_| ParseError { line: no, message: "bad step".into() })?
+        } else {
+            1
+        };
+        let align = match align {
+            Some(name) => match self.array_ids.get(&name) {
+                Some(&a) => Some(a),
+                None => return self.err(no, format!("unknown align array {name}")),
+            },
+            None => None,
+        };
+        self.pos += 1;
+        let var = VarId(self.var_names.len() as u32);
+        self.var_names.push(var_name.clone());
+        let id = LoopId(self.next_loop);
+        self.next_loop += 1;
+        self.scope.push((var_name, var));
+        let body = self.block(indent + 1)?;
+        self.scope.pop();
+        Ok(Stmt::Loop(Loop { id, var, lo, hi, step, kind, body, align, pipeline: Vec::new() }))
+    }
+
+    fn lookup_var(&self, line: usize, name: &str) -> Result<VarId, ParseError> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown loop variable `{name}`"),
+            })
+    }
+
+    // -- expressions -----------------------------------------------------
+
+    /// Affine expression: terms like `2*i`, `-j`, `15`, joined by +/-.
+    fn affine(&self, line: usize, text: &str) -> Result<Affine, ParseError> {
+        let mut terms: Vec<(VarId, i64)> = Vec::new();
+        let mut constant = 0i64;
+        let mut rest = text.trim();
+        let mut sign = 1i64;
+        if rest.is_empty() {
+            return self.err(line, "empty index expression");
+        }
+        loop {
+            rest = rest.trim_start();
+            if let Some(r) = rest.strip_prefix('-') {
+                sign = -sign;
+                rest = r;
+                continue;
+            }
+            if let Some(r) = rest.strip_prefix('+') {
+                rest = r;
+                continue;
+            }
+            // term: INT ['*' IDENT] | IDENT
+            let (tok, r) = take_token(rest);
+            if tok.is_empty() {
+                return self.err(line, format!("bad index expression `{text}`"));
+            }
+            rest = r;
+            if let Ok(k) = tok.parse::<i64>() {
+                if let Some(r2) = rest.trim_start().strip_prefix('*') {
+                    let (v, r3) = take_token(r2.trim_start());
+                    let var = self.lookup_var(line, v)?;
+                    terms.push((var, sign * k));
+                    rest = r3;
+                } else {
+                    constant += sign * k;
+                }
+            } else {
+                let var = self.lookup_var(line, tok)?;
+                terms.push((var, sign));
+            }
+            sign = 1;
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            if !(rest.starts_with('+') || rest.starts_with('-')) {
+                return self.err(line, format!("junk in index expression: `{rest}`"));
+            }
+        }
+        Ok(Affine::new(terms, constant))
+    }
+
+    fn cond(&self, line: usize, text: &str) -> Result<Cond, ParseError> {
+        let t = text.trim();
+        if let Some(inner) = t.strip_prefix("?(").and_then(|r| r.strip_suffix(')')) {
+            return Ok(Cond::NonAffine(Box::new(self.cond(line, inner)?)));
+        }
+        for (sym, op) in [
+            ("==", CmpOp::Eq),
+            ("/=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if let Some(pos) = t.find(sym) {
+                let lhs = self.affine(line, &t[..pos])?;
+                let rhs = self.affine(line, &t[pos + sym.len()..])?;
+                return Ok(Cond::Cmp { lhs, op, rhs });
+            }
+        }
+        self.err(line, format!("cannot parse condition `{t}`"))
+    }
+
+    fn assign(&mut self, line: usize, text: &str) -> Result<Stmt, ParseError> {
+        // WRITE_REF = VEXPR, where WRITE_REF is NAME(idx,...).
+        let Some(eq) = find_top_level_eq(text) else {
+            return self.err(line, "expected assignment");
+        };
+        let (lhs, rhs) = (text[..eq].trim(), text[eq + 1..].trim());
+        let write = self.array_ref(line, lhs)?;
+        let mut reads = Vec::new();
+        let mut lex = Lexer { text: rhs, pos: 0 };
+        let expr = self.vexpr(line, &mut lex, &mut reads, 0)?;
+        lex.skip_ws();
+        if !lex.done() {
+            return self.err(line, format!("junk after expression: `{}`", lex.rest()));
+        }
+        Ok(Stmt::Assign(Assign { write, reads, expr, extra_cost: 0 }))
+    }
+
+    fn array_ref(&mut self, line: usize, text: &str) -> Result<ArrayRef, ParseError> {
+        let Some(open) = text.find('(') else {
+            return self.err(line, format!("expected array reference, got `{text}`"));
+        };
+        let name = text[..open].trim();
+        let Some(&array) = self.array_ids.get(name) else {
+            return self.err(line, format!("unknown array `{name}`"));
+        };
+        let Some(close) = text.rfind(')') else {
+            return self.err(line, "missing `)` in reference");
+        };
+        let index: Result<Vec<Affine>, ParseError> = split_top_commas(&text[open + 1..close])
+            .into_iter()
+            .map(|part| self.affine(line, part))
+            .collect();
+        let id = RefId(self.next_ref);
+        self.next_ref += 1;
+        Ok(ArrayRef { id, array, index: index? })
+    }
+
+    /// Pratt-style value-expression parser. `min_prec`: 0 any, 1 additive,
+    /// 2 multiplicative.
+    fn vexpr(
+        &mut self,
+        line: usize,
+        lex: &mut Lexer<'_>,
+        reads: &mut Vec<ArrayRef>,
+        min_prec: u8,
+    ) -> Result<ValExpr, ParseError> {
+        let mut lhs = self.vexpr_atom(line, lex, reads)?;
+        loop {
+            lex.skip_ws();
+            let (op, prec) = match lex.peek_char() {
+                Some('+') => (1u8, 1u8),
+                Some('-') => (2, 1),
+                Some('*') => (3, 2),
+                Some('/') => (4, 2),
+                _ => break,
+            };
+            if prec < min_prec.max(1) {
+                break;
+            }
+            lex.bump();
+            let rhs = self.vexpr(line, lex, reads, prec + 1)?;
+            lhs = match op {
+                1 => ValExpr::Add(Box::new(lhs), Box::new(rhs)),
+                2 => ValExpr::Sub(Box::new(lhs), Box::new(rhs)),
+                3 => ValExpr::Mul(Box::new(lhs), Box::new(rhs)),
+                _ => ValExpr::Div(Box::new(lhs), Box::new(rhs)),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn vexpr_atom(
+        &mut self,
+        line: usize,
+        lex: &mut Lexer<'_>,
+        reads: &mut Vec<ArrayRef>,
+    ) -> Result<ValExpr, ParseError> {
+        lex.skip_ws();
+        match lex.peek_char() {
+            Some('(') => {
+                lex.bump();
+                let inner = self.vexpr(line, lex, reads, 0)?;
+                lex.skip_ws();
+                if lex.peek_char() != Some(')') {
+                    return self.err(line, "missing `)`");
+                }
+                lex.bump();
+                Ok(inner)
+            }
+            Some('-') => {
+                lex.bump();
+                let inner = self.vexpr_atom(line, lex, reads)?;
+                // Fold unary minus on literals so `(-0.5)` parses to the
+                // canonical `Lit(-0.5)` (round-trip fixpoint).
+                Ok(match inner {
+                    ValExpr::Lit(v) => ValExpr::Lit(-v),
+                    other => ValExpr::Neg(Box::new(other)),
+                })
+            }
+            Some('$') => {
+                lex.bump();
+                let name = lex.take_ident();
+                let var = self.lookup_var(line, &name)?;
+                Ok(ValExpr::Var(var))
+            }
+            Some(c) if c.is_ascii_digit() || c == '.' => {
+                let num = lex.take_number();
+                num.parse::<f64>()
+                    .map(ValExpr::Lit)
+                    .map_err(|_| ParseError {
+                        line,
+                        message: format!("bad number `{num}`"),
+                    })
+            }
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let name = lex.take_ident();
+                lex.skip_ws();
+                if lex.peek_char() == Some('(') {
+                    // function call or array read
+                    let args_text = lex.take_parenthesized(line)?;
+                    match name.as_str() {
+                        "sqrt" | "abs" => {
+                            let mut sub = Lexer { text: &args_text, pos: 0 };
+                            let a = self.vexpr(line, &mut sub, reads, 0)?;
+                            Ok(match name.as_str() {
+                                "sqrt" => ValExpr::Sqrt(Box::new(a)),
+                                _ => ValExpr::Abs(Box::new(a)),
+                            })
+                        }
+                        "min" | "max" => {
+                            let parts = split_top_commas(&args_text);
+                            if parts.len() != 2 {
+                                return self.err(line, "min/max take two arguments");
+                            }
+                            let mut l1 = Lexer { text: parts[0], pos: 0 };
+                            let a = self.vexpr(line, &mut l1, reads, 0)?;
+                            let mut l2 = Lexer { text: parts[1], pos: 0 };
+                            let b = self.vexpr(line, &mut l2, reads, 0)?;
+                            Ok(if name == "min" {
+                                ValExpr::Min(Box::new(a), Box::new(b))
+                            } else {
+                                ValExpr::Max(Box::new(a), Box::new(b))
+                            })
+                        }
+                        _ => {
+                            let full = format!("{name}({args_text})");
+                            let r = self.array_ref(line, &full)?;
+                            reads.push(r);
+                            Ok(ValExpr::Read(reads.len() - 1))
+                        }
+                    }
+                } else {
+                    self.err(line, format!("bare identifier `{name}` in expression"))
+                }
+            }
+            other => self.err(line, format!("unexpected `{other:?}` in expression")),
+        }
+    }
+}
+
+// -- lexing helpers ---------------------------------------------------------
+
+struct Lexer<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn rest(&self) -> &'a str {
+        &self.text[self.pos..]
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.text.len()
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) {
+        if let Some(c) = self.peek_char() {
+            self.pos += c.len_utf8();
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek_char().is_some_and(|c| c == ' ') {
+            self.bump();
+        }
+    }
+
+    fn take_ident(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek_char()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            self.bump();
+        }
+        self.text[start..self.pos].to_string()
+    }
+
+    fn take_number(&mut self) -> String {
+        let start = self.pos;
+        let mut seen_e = false;
+        while let Some(c) = self.peek_char() {
+            if c.is_ascii_digit() || c == '.' {
+                self.bump();
+            } else if (c == 'e' || c == 'E') && !seen_e {
+                seen_e = true;
+                self.bump();
+                if self.peek_char() == Some('-') || self.peek_char() == Some('+') {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        self.text[start..self.pos].to_string()
+    }
+
+    /// Consume `( ... )` (balanced) and return the inside.
+    fn take_parenthesized(&mut self, line: usize) -> Result<String, ParseError> {
+        debug_assert_eq!(self.peek_char(), Some('('));
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        while let Some(c) = self.peek_char() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let inner = self.text[start..self.pos].to_string();
+                        self.bump();
+                        return Ok(inner);
+                    }
+                }
+                _ => {}
+            }
+            self.bump();
+        }
+        Err(ParseError { line, message: "unbalanced parentheses".into() })
+    }
+}
+
+fn take_token(s: &str) -> (&str, &str) {
+    let end = s
+        .char_indices()
+        .find(|&(_, c)| !(c.is_alphanumeric() || c == '_'))
+        .map_or(s.len(), |(i, _)| i);
+    (&s[..end], &s[end..])
+}
+
+/// Split on commas at parenthesis depth 0.
+fn split_top_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s[start..].trim());
+    out
+}
+
+/// Index of the `=` separating lhs from rhs: the first top-level `=` that
+/// isn't part of `==`, `<=`, `>=`, `/=`.
+fn find_top_level_eq(s: &str) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut depth = 0usize;
+    for i in 0..b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => depth = depth.saturating_sub(1),
+            b'=' if depth == 0 => {
+                let prev = if i > 0 { b[i - 1] } else { 0 };
+                let next = if i + 1 < b.len() { b[i + 1] } else { 0 };
+                if prev != b'=' && prev != b'<' && prev != b'>' && prev != b'/' && next != b'='
+                {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::print_program;
+
+    #[test]
+    fn parse_minimal_program() {
+        let src = "\
+program demo
+  shared A(8,8)
+  epoch init (serial):
+    do j = 0, 7
+      do i = 0, 7
+        A(i,j) = $i*0.5 + 1
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.name, "demo");
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.epochs().len(), 1);
+    }
+
+    #[test]
+    fn parse_full_surface() {
+        let src = "\
+program full
+  shared A(16,16)
+  shared B(16,16)
+  private T(4)
+  routine work:
+    epoch w (parallel):
+      doall(static) j = 1, 14 align A
+        do i = 1, 14
+          A(i,j) = (B(i,j-1) + B(i,j+1))*0.25 - sqrt(abs(B(i,j)))/2
+          T(0) = min(A(i,j), max(B(i,j), 0.5))
+        if j > 3 then
+          A(0,j) = 1e-4
+        else
+          A(1,j) = -2.5
+        endif
+  epoch init (serial):
+    do j0 = 0, 15
+      do i0 = 0, 15
+        B(i0,j0) = $i0 + $j0*0.125
+  repeat 3 times:
+    call work
+  epoch dyn (parallel):
+    doall(dynamic,chunk=4) k = 0, 15
+      A(0,k) = B(0,k)
+";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.routines.len(), 1);
+        assert_eq!(p.epochs().len(), 3);
+        // Round-trip: print → parse → print is a fixpoint.
+        let printed = print_program(&p);
+        let p2 = parse_program(&printed).unwrap_or_else(|e| panic!("{e}\n{printed}"));
+        assert_eq!(printed, print_program(&p2));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let src = "program x\n  shared A(4)\n  epoch e (serial):\n    do i = 0, 3\n      A(zz) = 1\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("zz"), "{e}");
+    }
+
+    #[test]
+    fn comment_lines_are_skipped() {
+        let src = "\
+program c
+  shared A(4)
+  epoch e (serial):
+    do i = 0, 3
+      ! prefetch-line A(i)  [covers r9]
+      A(i) = 2
+";
+        let p = parse_program(src).unwrap();
+        let text = print_program(&p);
+        assert!(!text.contains("prefetch"));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        let src = "\
+program bad
+  shared A(4)
+  epoch e (parallel):
+    do i = 0, 3
+      A(i) = 1
+";
+        let e = parse_program(src).unwrap_err();
+        assert!(e.message.contains("validation"), "{e}");
+    }
+}

@@ -1,0 +1,304 @@
+//! Pretty-printer: renders programs as Fortran-flavoured pseudo-code.
+//!
+//! Used by snapshot tests (the scheduling algorithm's decisions are visible
+//! as printed prefetch operations) and by the examples.
+
+use std::fmt::Write as _;
+
+use crate::{
+    Affine, Cond, LoopKind, PrefetchKind, Program, ProgramItem, Stmt, ValExpr,
+};
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {}", p.name);
+    for a in &p.arrays {
+        let dims: Vec<String> = a.extents.iter().map(|e| e.to_string()).collect();
+        let kind = match a.sharing {
+            crate::Sharing::Shared => "shared",
+            crate::Sharing::Private => "private",
+        };
+        let _ = writeln!(out, "  {} {}({})", kind, a.name, dims.join(","));
+    }
+    for r in &p.routines {
+        let _ = writeln!(out, "  routine {}:", r.name);
+        print_items(p, &r.items, 2, &mut out);
+    }
+    print_items(p, &p.items, 1, &mut out);
+    out
+}
+
+fn print_items(p: &Program, items: &[ProgramItem], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for item in items {
+        match item {
+            ProgramItem::Epoch(e) => {
+                let kind = match e.kind {
+                    crate::EpochKind::Serial => "serial",
+                    crate::EpochKind::Parallel => "parallel",
+                };
+                let _ = writeln!(out, "{pad}epoch {} ({kind}):", e.label);
+                print_stmts(p, &e.stmts, depth + 1, out);
+            }
+            ProgramItem::Call(r) => {
+                let _ = writeln!(out, "{pad}call {}", p.routine(*r).name);
+            }
+            ProgramItem::Repeat { count, body } => {
+                let _ = writeln!(out, "{pad}repeat {count} times:");
+                print_items(p, body, depth + 1, out);
+            }
+        }
+    }
+}
+
+fn print_stmts(p: &Program, stmts: &[Stmt], depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                let mut reads = Vec::with_capacity(a.reads.len());
+                for r in &a.reads {
+                    reads.push(fmt_ref(p, r));
+                }
+                let _ = writeln!(
+                    out,
+                    "{pad}{} = {}",
+                    fmt_ref(p, &a.write),
+                    fmt_val(p, &a.expr, &reads)
+                );
+            }
+            Stmt::Loop(l) => {
+                let kw = match l.kind {
+                    LoopKind::Serial => "do",
+                    LoopKind::DoAllStatic => "doall(static)",
+                    LoopKind::DoAllDynamic { chunk } => {
+                        let _ = writeln!(
+                            out,
+                            "{pad}doall(dynamic,chunk={chunk}) {} = {}, {}{}",
+                            p.var_name(l.var),
+                            fmt_affine(p, &l.lo),
+                            fmt_affine(p, &l.hi),
+                            step_suffix(l.step),
+                        );
+                        print_pipeline(p, l, depth + 1, out);
+                        print_stmts(p, &l.body, depth + 1, out);
+                        continue;
+                    }
+                };
+                let align = match l.align {
+                    Some(aid) => format!(" align {}", p.array(aid).name),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{pad}{kw} {} = {}, {}{}{}",
+                    p.var_name(l.var),
+                    fmt_affine(p, &l.lo),
+                    fmt_affine(p, &l.hi),
+                    step_suffix(l.step),
+                    align,
+                );
+                print_pipeline(p, l, depth + 1, out);
+                print_stmts(p, &l.body, depth + 1, out);
+            }
+            Stmt::If(i) => {
+                let _ = writeln!(out, "{pad}if {} then", fmt_cond(p, &i.cond));
+                print_stmts(p, &i.then_branch, depth + 1, out);
+                if !i.else_branch.is_empty() {
+                    let _ = writeln!(out, "{pad}else");
+                    print_stmts(p, &i.else_branch, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}endif");
+            }
+            Stmt::Prefetch(pf) => match &pf.kind {
+                PrefetchKind::Line { array, index, covers } => {
+                    let idx: Vec<String> =
+                        index.iter().map(|a| fmt_affine(p, a)).collect();
+                    let _ = writeln!(
+                        out,
+                        "{pad}! prefetch-line {}({})  [covers r{}]",
+                        p.array(*array).name,
+                        idx.join(","),
+                        covers.0
+                    );
+                }
+                PrefetchKind::Vector { array, over, covers } => {
+                    let levels: Vec<String> =
+                        over.iter().map(|l| format!("L{}", l.0)).collect();
+                    let _ = writeln!(
+                        out,
+                        "{pad}! prefetch-vector {} over [{}]  [covers r{}]",
+                        p.array(*array).name,
+                        levels.join(","),
+                        covers.0
+                    );
+                }
+            },
+        }
+    }
+}
+
+fn print_pipeline(p: &Program, l: &crate::Loop, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    for pf in &l.pipeline {
+        let idx: Vec<String> = pf.index.iter().map(|a| fmt_affine(p, a)).collect();
+        let _ = writeln!(
+            out,
+            "{pad}! pipelined-prefetch {}({}) d={} every={}  [covers r{}]",
+            p.array(pf.array).name,
+            idx.join(","),
+            pf.distance,
+            pf.every,
+            pf.covers.0
+        );
+    }
+}
+
+fn step_suffix(step: i64) -> String {
+    if step == 1 {
+        String::new()
+    } else {
+        format!(", {step}")
+    }
+}
+
+/// Render an affine expression with variable names.
+pub fn fmt_affine(p: &Program, a: &Affine) -> String {
+    if a.terms().is_empty() {
+        return a.constant_term().to_string();
+    }
+    let mut s = String::new();
+    for (i, &(v, c)) in a.terms().iter().enumerate() {
+        let name = p.var_name(v);
+        if i > 0 && c >= 0 {
+            s.push('+');
+        }
+        match c {
+            1 => s.push_str(name),
+            -1 => {
+                s.push('-');
+                s.push_str(name);
+            }
+            c => {
+                let _ = write!(s, "{c}*{name}");
+            }
+        }
+    }
+    let k = a.constant_term();
+    if k > 0 {
+        let _ = write!(s, "+{k}");
+    } else if k < 0 {
+        let _ = write!(s, "{k}");
+    }
+    s
+}
+
+fn fmt_ref(p: &Program, r: &crate::ArrayRef) -> String {
+    let idx: Vec<String> = r.index.iter().map(|a| fmt_affine(p, a)).collect();
+    format!("{}({})", p.array(r.array).name, idx.join(","))
+}
+
+fn fmt_cond(p: &Program, c: &Cond) -> String {
+    match c {
+        Cond::Cmp { lhs, op, rhs } => {
+            let op = match op {
+                crate::CmpOp::Eq => "==",
+                crate::CmpOp::Ne => "/=",
+                crate::CmpOp::Lt => "<",
+                crate::CmpOp::Le => "<=",
+                crate::CmpOp::Gt => ">",
+                crate::CmpOp::Ge => ">=",
+            };
+            format!("{} {op} {}", fmt_affine(p, lhs), fmt_affine(p, rhs))
+        }
+        Cond::NonAffine(inner) => format!("?({})", fmt_cond(p, inner)),
+    }
+}
+
+fn fmt_val(prog: &Program, e: &ValExpr, reads: &[String]) -> String {
+    fn prec(e: &ValExpr) -> u8 {
+        match e {
+            ValExpr::Add(..) | ValExpr::Sub(..) => 1,
+            ValExpr::Mul(..) | ValExpr::Div(..) => 2,
+            _ => 3,
+        }
+    }
+    fn go(prog: &Program, e: &ValExpr, reads: &[String], parent_prec: u8) -> String {
+        let mine = prec(e);
+        let s = match e {
+            ValExpr::Read(k) => reads
+                .get(*k)
+                .cloned()
+                .unwrap_or_else(|| format!("<r{k}?>")),
+            ValExpr::Lit(v) => {
+                if *v >= 0.0 {
+                    format!("{v}")
+                } else {
+                    format!("({v})")
+                }
+            }
+            ValExpr::Var(v) => format!("${}", prog.var_name(*v)),
+            ValExpr::Add(a, b) => {
+                format!("{} + {}", go(prog, a, reads, 1), go(prog, b, reads, 1))
+            }
+            ValExpr::Sub(a, b) => {
+                format!("{} - {}", go(prog, a, reads, 1), go(prog, b, reads, 2))
+            }
+            ValExpr::Mul(a, b) => {
+                format!("{}*{}", go(prog, a, reads, 2), go(prog, b, reads, 2))
+            }
+            ValExpr::Div(a, b) => {
+                format!("{}/{}", go(prog, a, reads, 2), go(prog, b, reads, 3))
+            }
+            ValExpr::Neg(a) => format!("-{}", go(prog, a, reads, 3)),
+            ValExpr::Sqrt(a) => format!("sqrt({})", go(prog, a, reads, 0)),
+            ValExpr::Abs(a) => format!("abs({})", go(prog, a, reads, 0)),
+            ValExpr::Min(a, b) => {
+                format!("min({}, {})", go(prog, a, reads, 0), go(prog, b, reads, 0))
+            }
+            ValExpr::Max(a, b) => {
+                format!("max({}, {})", go(prog, a, reads, 0), go(prog, b, reads, 0))
+            }
+        };
+        if mine < parent_prec {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+    go(prog, e, reads, 0)
+}
+
+#[cfg(test)]
+mod unit {
+    use crate::{CondB, ProgramBuilder};
+
+    #[test]
+    fn prints_a_small_program() {
+        let mut pb = ProgramBuilder::new("demo");
+        let a = pb.shared("A", &[8, 8]);
+        let b = pb.private("T", &[8]);
+        pb.parallel_epoch("sweep", |e| {
+            e.doall("j", 1, 6, |e, j| {
+                e.serial("i", 0, 7, |e, i| {
+                    e.assign(
+                        a.at2(i, j),
+                        (a.at2(i, j - 1).rd() + a.at2(i, j + 1).rd()) * 0.5 - b.at1(i).rd(),
+                    );
+                });
+                e.if_(CondB::eq(j, 1), |e| {
+                    e.assign(b.at1(0), 0.0);
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let text = crate::print_program(&p);
+        assert!(text.contains("program demo"), "{text}");
+        assert!(text.contains("shared A(8,8)"), "{text}");
+        assert!(text.contains("private T(8)"), "{text}");
+        assert!(text.contains("doall(static) j = 1, 6"), "{text}");
+        assert!(text.contains("A(i,j) = (A(i,j-1) + A(i,j+1))*0.5 - T(i)"), "{text}");
+        assert!(text.contains("if j == 1 then"), "{text}");
+    }
+}

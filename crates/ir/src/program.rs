@@ -1,0 +1,151 @@
+//! Epochs, routines, and whole programs.
+
+use crate::{ArrayDecl, ArrayId, Stmt};
+
+/// Identifies an epoch within one [`Program`] (unique across routines and
+/// the main item list).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EpochId(pub u32);
+
+impl EpochId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a routine within one [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RoutineId(pub u32);
+
+/// Serial or parallel (paper §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EpochKind {
+    /// One task, executed on PE 0; other PEs wait at the closing barrier.
+    Serial,
+    /// Contains exactly one DOALL loop, possibly wrapped in serial loops
+    /// (executed redundantly by all PEs) — each DOALL execution instance is
+    /// a *phase* ending in a barrier.
+    Parallel,
+}
+
+/// The unit of the parallel execution model: synchronization and a main
+/// memory update happen at every epoch boundary.
+#[derive(Clone, Debug)]
+pub struct Epoch {
+    pub id: EpochId,
+    pub label: String,
+    pub kind: EpochKind,
+    pub stmts: Vec<Stmt>,
+}
+
+/// An element of a program's (or routine's) top-level sequence.
+#[derive(Clone, Debug)]
+pub enum ProgramItem {
+    Epoch(Epoch),
+    /// Call a routine: splice its items here. The paper's *interprocedural
+    /// analysis* requirement comes from exactly this (SWIM's CALC1..CALC3).
+    Call(RoutineId),
+    /// Execute `body` `count` times (time-stepping outer loops; TOMCATV and
+    /// SWIM run 100 iterations in the paper's setup).
+    Repeat { count: u32, body: Vec<ProgramItem> },
+}
+
+/// A named, callable sequence of items.
+#[derive(Clone, Debug)]
+pub struct Routine {
+    pub id: RoutineId,
+    pub name: String,
+    pub items: Vec<ProgramItem>,
+}
+
+/// A whole program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub name: String,
+    pub arrays: Vec<ArrayDecl>,
+    pub routines: Vec<Routine>,
+    pub items: Vec<ProgramItem>,
+    /// Loop-variable names, indexed by `VarId`.
+    pub var_names: Vec<String>,
+    /// Size of the `RefId` space (transformation passes allocate more).
+    pub n_refs: u32,
+    /// Size of the `LoopId` space.
+    pub n_loops: u32,
+    /// Size of the `EpochId` space.
+    pub n_epochs: u32,
+}
+
+impl Program {
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    pub fn array_by_name(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    pub fn routine(&self, id: RoutineId) -> &Routine {
+        &self.routines[id.0 as usize]
+    }
+
+    pub fn var_name(&self, v: crate::VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// The *static* epoch schedule: the order epochs execute in, with calls
+    /// inlined and each `Repeat` body appearing **once**, plus a flag telling
+    /// whether the epoch is inside any repeat (i.e. executes more than once,
+    /// so staleness can flow "backwards" from later epochs in the body).
+    ///
+    /// This is what the stale reference analysis iterates over; the simulator
+    /// instead walks items dynamically.
+    pub fn static_schedule(&self) -> Vec<ScheduledEpoch<'_>> {
+        let mut out = Vec::new();
+        self.schedule_items(&self.items, false, &mut out, 0);
+        out
+    }
+
+    fn schedule_items<'a>(
+        &'a self,
+        items: &'a [ProgramItem],
+        in_repeat: bool,
+        out: &mut Vec<ScheduledEpoch<'a>>,
+        depth: u32,
+    ) {
+        assert!(depth < 16, "call/repeat nesting too deep (cycle?)");
+        for item in items {
+            match item {
+                ProgramItem::Epoch(e) => out.push(ScheduledEpoch { epoch: e, in_repeat }),
+                ProgramItem::Call(r) => {
+                    self.schedule_items(&self.routine(*r).items, in_repeat, out, depth + 1)
+                }
+                ProgramItem::Repeat { body, .. } => {
+                    self.schedule_items(body, true, out, depth + 1)
+                }
+            }
+        }
+    }
+
+    /// Every epoch (schedule order), ignoring repeat structure.
+    pub fn epochs(&self) -> Vec<&Epoch> {
+        self.static_schedule().into_iter().map(|s| s.epoch).collect()
+    }
+
+    /// Total shared-array words.
+    pub fn shared_words(&self) -> usize {
+        self.arrays
+            .iter()
+            .filter(|a| a.sharing == crate::Sharing::Shared)
+            .map(|a| a.len())
+            .sum()
+    }
+}
+
+/// One entry of [`Program::static_schedule`].
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduledEpoch<'a> {
+    pub epoch: &'a Epoch,
+    /// True when the epoch executes repeatedly (inside a `Repeat`), so a
+    /// textually-later write in the same repeat body precedes it dynamically.
+    pub in_repeat: bool,
+}

@@ -1,0 +1,243 @@
+//! Statements: assignments, loops, conditionals, and prefetch operations.
+
+use crate::{Affine, ArrayId, RefId, ValExpr, VarId};
+
+/// Identifies a loop within one [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One static array reference: `array(index[0], index[1], ...)` with affine
+/// subscripts. Whether it is a read or a write is positional (the `write`
+/// field vs the `reads` list of an [`Assign`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayRef {
+    pub id: RefId,
+    pub array: ArrayId,
+    pub index: Vec<Affine>,
+}
+
+/// `write = expr(reads...)`, the only computation statement.
+///
+/// `extra_cost` models non-memory, non-FLOP work per instance (index
+/// arithmetic beyond the modelled subscripts, branch overhead of the source
+/// code this statement abstracts).
+#[derive(Clone, Debug)]
+pub struct Assign {
+    pub write: ArrayRef,
+    pub reads: Vec<ArrayRef>,
+    pub expr: ValExpr,
+    pub extra_cost: u32,
+}
+
+/// How a loop's iterations are scheduled (paper Fig. 2 dispatches on this).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoopKind {
+    /// Ordinary sequential loop.
+    Serial,
+    /// Parallel DOALL, statically scheduled: iteration blocks are assigned to
+    /// PEs at compile time (block distribution to match data distribution,
+    /// as both the BASE and CCDP codes in the paper do).
+    DoAllStatic,
+    /// Parallel DOALL, dynamically scheduled: chunks of `chunk` iterations
+    /// are handed to idle PEs at run time. The compiler cannot know the
+    /// iteration→PE mapping (Fig. 2, case 3).
+    DoAllDynamic { chunk: u32 },
+}
+
+impl LoopKind {
+    pub fn is_doall(self) -> bool {
+        !matches!(self, LoopKind::Serial)
+    }
+}
+
+/// A prefetch scheduled by software pipelining (Mowry), attached to the loop
+/// it pipelines across. At iteration `i` the executing PE issues a cache-line
+/// prefetch for `target` evaluated at iteration `i + distance` (if that
+/// iteration is assigned to the same PE); a prologue at the PE's first
+/// iteration covers the initial `distance` iterations.
+#[derive(Clone, Debug)]
+pub struct PipelinedPrefetch {
+    /// The reference being covered (same `RefId` as the covered read).
+    pub covers: RefId,
+    /// Subscripts of the prefetched element *at the issuing iteration* —
+    /// i.e. the covered reference's subscripts with the loop variable already
+    /// substituted by `var + distance`.
+    pub array: ArrayId,
+    pub index: Vec<Affine>,
+    pub distance: u32,
+    /// Issue cadence in iterations: 1 = every iteration; `line_words/|c·s|`
+    /// when the reference has self-spatial locality along the loop (one
+    /// prefetch per cache line — the paper §4.2's "exploit self-spatial
+    /// reuse via loop unrolling", modelled without literal unrolling).
+    pub every: u32,
+}
+
+/// A counted loop `for var in lo..=hi step step`, with affine bounds in the
+/// enclosing loop variables.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    pub id: LoopId,
+    pub var: VarId,
+    pub lo: Affine,
+    pub hi: Affine,
+    pub step: i64,
+    pub kind: LoopKind,
+    pub body: Vec<Stmt>,
+    /// For a static DOALL: distribute iterations like this array's
+    /// distributed dimension (CRAFT `doshared` alignment to a template) —
+    /// iteration `v` executes on the PE owning index `v` of that dimension.
+    /// `None` = plain block-of-count scheduling.
+    pub align: Option<ArrayId>,
+    /// Software-pipelined prefetches attached by the scheduler (empty until
+    /// the CCDP prefetch scheduling pass runs).
+    pub pipeline: Vec<PipelinedPrefetch>,
+}
+
+/// Comparison operators for affine conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, l: i64, r: i64) -> bool {
+        match self {
+            CmpOp::Eq => l == r,
+            CmpOp::Ne => l != r,
+            CmpOp::Lt => l < r,
+            CmpOp::Le => l <= r,
+            CmpOp::Gt => l > r,
+            CmpOp::Ge => l >= r,
+        }
+    }
+}
+
+/// A branch condition.
+#[derive(Clone, Debug)]
+pub enum Cond {
+    /// Affine comparison the compiler can reason about.
+    Cmp { lhs: Affine, op: CmpOp, rhs: Affine },
+    /// A condition the compiler must treat as opaque (data-dependent branch);
+    /// the wrapped condition is still evaluated at run time so execution is
+    /// deterministic. Analyses must assume both branches possible.
+    NonAffine(Box<Cond>),
+}
+
+impl Cond {
+    /// Is the condition analyzable at compile time?
+    pub fn is_affine(&self) -> bool {
+        matches!(self, Cond::Cmp { .. })
+    }
+}
+
+/// A two-way branch.
+#[derive(Clone, Debug)]
+pub struct IfStmt {
+    pub cond: Cond,
+    pub then_branch: Vec<Stmt>,
+    pub else_branch: Vec<Stmt>,
+}
+
+/// An explicit prefetch operation inserted by the CCDP scheduling pass
+/// (vector prefetch generation and moving-back produce these; software
+/// pipelining uses [`PipelinedPrefetch`] loop annotations instead).
+#[derive(Clone, Debug)]
+pub struct PrefetchStmt {
+    pub kind: PrefetchKind,
+}
+
+/// The two prefetch operation types of the paper (§4.3).
+#[derive(Clone, Debug)]
+pub enum PrefetchKind {
+    /// Fetch the cache line containing `array(index...)` into the prefetch
+    /// queue (the T3D's word-granularity DTB-Annex prefetch, generalized to
+    /// a line). Produced by moving-back.
+    Line {
+        /// Reference this prefetch covers.
+        covers: RefId,
+        array: ArrayId,
+        index: Vec<Affine>,
+    },
+    /// Fetch the whole section that reference `covers` will touch over the
+    /// iteration ranges of the loops in `over` (innermost-first order), as a
+    /// strided block transfer (`shmem_get`-style). Placed immediately before
+    /// `over.last()` — the outermost pulled loop. For a DOALL in `over`,
+    /// only the issuing PE's assigned iteration range is covered.
+    Vector { covers: RefId, array: ArrayId, over: Vec<LoopId> },
+}
+
+impl PrefetchKind {
+    pub fn covers(&self) -> RefId {
+        match self {
+            PrefetchKind::Line { covers, .. } | PrefetchKind::Vector { covers, .. } => *covers,
+        }
+    }
+
+    pub fn array(&self) -> ArrayId {
+        match self {
+            PrefetchKind::Line { array, .. } | PrefetchKind::Vector { array, .. } => *array,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    Assign(Assign),
+    Loop(Loop),
+    If(IfStmt),
+    Prefetch(PrefetchStmt),
+}
+
+impl Stmt {
+    pub fn as_loop(&self) -> Option<&Loop> {
+        match self {
+            Stmt::Loop(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn cmp_op_semantics() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4) && !CmpOp::Lt.eval(4, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+    }
+
+    #[test]
+    fn nonaffine_wrapping() {
+        let c = Cond::Cmp {
+            lhs: Affine::constant(0),
+            op: CmpOp::Eq,
+            rhs: Affine::constant(0),
+        };
+        assert!(c.is_affine());
+        assert!(!Cond::NonAffine(Box::new(c)).is_affine());
+    }
+
+    #[test]
+    fn loop_kind_classification() {
+        assert!(!LoopKind::Serial.is_doall());
+        assert!(LoopKind::DoAllStatic.is_doall());
+        assert!(LoopKind::DoAllDynamic { chunk: 4 }.is_doall());
+    }
+}

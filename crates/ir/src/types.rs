@@ -1,0 +1,153 @@
+//! Identifier newtypes and array declarations.
+
+/// Identifies an array within one [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ArrayId(pub u32);
+
+/// Identifies a loop variable within one [`crate::Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// Identifies a *static* array reference (one textual occurrence) within one
+/// [`crate::Program`]. Analysis results — staleness, prefetch coverage — are
+/// keyed by `RefId`, exactly as the paper's compiler annotates source
+/// references.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct RefId(pub u32);
+
+impl ArrayId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VarId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RefId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether an array lives in the shared address space (distributed across
+/// PEs, subject to the coherence problem) or is private to each PE.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Sharing {
+    /// One distributed instance; the coherence problem applies.
+    Shared,
+    /// One private instance *per PE* (scratch space, accumulators).
+    Private,
+}
+
+/// A rectangular `f64` array. Storage is **column-major** (Fortran order):
+/// `extents[0]` is the fastest-varying (contiguous) dimension.
+#[derive(Clone, Debug)]
+pub struct ArrayDecl {
+    pub id: ArrayId,
+    pub name: String,
+    pub extents: Vec<usize>,
+    pub sharing: Sharing,
+}
+
+impl ArrayDecl {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.extents.iter().product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn rank(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Column-major linear strides: `strides[0] == 1`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut s = Vec::with_capacity(self.extents.len());
+        let mut acc = 1usize;
+        for &e in &self.extents {
+            s.push(acc);
+            acc *= e;
+        }
+        s
+    }
+
+    /// Column-major linear offset of a coordinate vector.
+    ///
+    /// Debug-asserts bounds; release builds rely on the validator plus the
+    /// simulator's bounds checks.
+    pub fn linearize(&self, coords: &[i64]) -> usize {
+        debug_assert_eq!(coords.len(), self.extents.len());
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (d, &c) in coords.iter().enumerate() {
+            debug_assert!(
+                c >= 0 && (c as usize) < self.extents[d],
+                "array {}: index {} out of bounds 0..{} in dim {}",
+                self.name,
+                c,
+                self.extents[d],
+                d
+            );
+            off += c as usize * stride;
+            stride *= self.extents[d];
+        }
+        off
+    }
+
+    /// Inverse of [`ArrayDecl::linearize`].
+    pub fn delinearize(&self, mut off: usize) -> Vec<i64> {
+        let mut coords = Vec::with_capacity(self.extents.len());
+        for &e in &self.extents {
+            coords.push((off % e) as i64);
+            off /= e;
+        }
+        coords
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn arr(extents: &[usize]) -> ArrayDecl {
+        ArrayDecl {
+            id: ArrayId(0),
+            name: "A".into(),
+            extents: extents.to_vec(),
+            sharing: Sharing::Shared,
+        }
+    }
+
+    #[test]
+    fn column_major_linearization() {
+        let a = arr(&[4, 3]);
+        assert_eq!(a.linearize(&[0, 0]), 0);
+        assert_eq!(a.linearize(&[1, 0]), 1); // first dim contiguous
+        assert_eq!(a.linearize(&[0, 1]), 4);
+        assert_eq!(a.linearize(&[3, 2]), 11);
+        assert_eq!(a.len(), 12);
+    }
+
+    #[test]
+    fn strides_match_linearize() {
+        let a = arr(&[5, 7, 2]);
+        let s = a.strides();
+        assert_eq!(s, vec![1, 5, 35]);
+        assert_eq!(a.linearize(&[2, 3, 1]), 2 + 3 * 5 + 35);
+    }
+
+    #[test]
+    fn delinearize_roundtrip() {
+        let a = arr(&[6, 4, 3]);
+        for off in 0..a.len() {
+            assert_eq!(a.linearize(&a.delinearize(off)), off);
+        }
+    }
+}

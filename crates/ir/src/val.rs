@@ -1,0 +1,146 @@
+//! Scalar `f64` expression trees evaluated per statement instance.
+
+use crate::{VarEnv, VarId};
+
+/// The right-hand side of an [`crate::Assign`]. `Read(k)` refers to the
+/// `k`-th element of the statement's read-reference list, so the memory
+/// behaviour (which drives the simulation) is decoupled from the arithmetic
+/// (which drives the numerics and the FLOP cost).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValExpr {
+    /// Value loaded by the statement's `k`-th read reference.
+    Read(usize),
+    /// A literal constant.
+    Lit(f64),
+    /// The current value of a loop variable, as `f64` (used by array
+    /// initialisation patterns like `A(i,j) = i + 2j`).
+    Var(VarId),
+    Add(Box<ValExpr>, Box<ValExpr>),
+    Sub(Box<ValExpr>, Box<ValExpr>),
+    Mul(Box<ValExpr>, Box<ValExpr>),
+    Div(Box<ValExpr>, Box<ValExpr>),
+    Neg(Box<ValExpr>),
+    Sqrt(Box<ValExpr>),
+    Abs(Box<ValExpr>),
+    Min(Box<ValExpr>, Box<ValExpr>),
+    Max(Box<ValExpr>, Box<ValExpr>),
+}
+
+impl ValExpr {
+    /// Evaluate given the loaded values of the read references and the
+    /// current loop-variable environment.
+    pub fn eval(&self, reads: &[f64], env: &VarEnv) -> f64 {
+        match self {
+            ValExpr::Read(k) => reads[*k],
+            ValExpr::Lit(v) => *v,
+            ValExpr::Var(v) => env.get(*v) as f64,
+            ValExpr::Add(a, b) => a.eval(reads, env) + b.eval(reads, env),
+            ValExpr::Sub(a, b) => a.eval(reads, env) - b.eval(reads, env),
+            ValExpr::Mul(a, b) => a.eval(reads, env) * b.eval(reads, env),
+            ValExpr::Div(a, b) => a.eval(reads, env) / b.eval(reads, env),
+            ValExpr::Neg(a) => -a.eval(reads, env),
+            ValExpr::Sqrt(a) => a.eval(reads, env).sqrt(),
+            ValExpr::Abs(a) => a.eval(reads, env).abs(),
+            ValExpr::Min(a, b) => a.eval(reads, env).min(b.eval(reads, env)),
+            ValExpr::Max(a, b) => a.eval(reads, env).max(b.eval(reads, env)),
+        }
+    }
+
+    /// Cycle cost of the floating-point work, per the Alpha 21064: adds and
+    /// multiplies have ~6-cycle latency but pipeline to ~2 cycles effective
+    /// in unrolled loops; divides (30+ cycles) and square roots (software
+    /// sequence) do not pipeline at all.
+    pub fn flops(&self) -> u32 {
+        match self {
+            ValExpr::Read(_) | ValExpr::Lit(_) | ValExpr::Var(_) => 0,
+            ValExpr::Add(a, b)
+            | ValExpr::Sub(a, b)
+            | ValExpr::Mul(a, b)
+            | ValExpr::Min(a, b)
+            | ValExpr::Max(a, b) => 2 + a.flops() + b.flops(),
+            ValExpr::Div(a, b) => 30 + a.flops() + b.flops(),
+            ValExpr::Neg(a) | ValExpr::Abs(a) => 1 + a.flops(),
+            ValExpr::Sqrt(a) => 40 + a.flops(),
+        }
+    }
+
+    /// Highest `Read` index mentioned, plus one (0 when none) — used by the
+    /// validator to check the read list is long enough.
+    pub fn reads_needed(&self) -> usize {
+        match self {
+            ValExpr::Read(k) => k + 1,
+            ValExpr::Lit(_) | ValExpr::Var(_) => 0,
+            ValExpr::Add(a, b)
+            | ValExpr::Sub(a, b)
+            | ValExpr::Mul(a, b)
+            | ValExpr::Div(a, b)
+            | ValExpr::Min(a, b)
+            | ValExpr::Max(a, b) => a.reads_needed().max(b.reads_needed()),
+            ValExpr::Neg(a) | ValExpr::Sqrt(a) | ValExpr::Abs(a) => a.reads_needed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::ValExpr::*;
+    use crate::{VarEnv, VarId};
+
+    fn ev(e: &super::ValExpr, reads: &[f64]) -> f64 {
+        e.eval(reads, &VarEnv::new(0))
+    }
+
+    #[test]
+    fn eval_arithmetic() {
+        // (r0 + 2.0) * r1 - sqrt(r2)
+        let e = Sub(
+            Box::new(Mul(
+                Box::new(Add(Box::new(Read(0)), Box::new(Lit(2.0)))),
+                Box::new(Read(1)),
+            )),
+            Box::new(Sqrt(Box::new(Read(2)))),
+        );
+        let v = ev(&e, &[1.0, 3.0, 16.0]);
+        assert_eq!(v, (1.0 + 2.0) * 3.0 - 4.0);
+    }
+
+    #[test]
+    fn eval_minmax_abs_neg_div() {
+        let e = Min(
+            Box::new(Max(Box::new(Read(0)), Box::new(Lit(0.0)))),
+            Box::new(Abs(Box::new(Neg(Box::new(Div(
+                Box::new(Read(1)),
+                Box::new(Lit(2.0)),
+            )))))),
+        );
+        assert_eq!(ev(&e, &[5.0, -8.0]), 4.0);
+    }
+
+    #[test]
+    fn flop_weights() {
+        let fma = Add(
+            Box::new(Read(0)),
+            Box::new(Mul(Box::new(Read(1)), Box::new(Read(2)))),
+        );
+        assert_eq!(fma.flops(), 4);
+        let d = Div(Box::new(Read(0)), Box::new(Read(1)));
+        assert_eq!(d.flops(), 30);
+    }
+
+    #[test]
+    fn var_leaf_reads_env() {
+        let mut env = VarEnv::new(1);
+        env.set(VarId(0), 7);
+        let e = Add(Box::new(Var(VarId(0))), Box::new(Lit(0.5)));
+        assert_eq!(e.eval(&[], &env), 7.5);
+        assert_eq!(e.flops(), 2);
+        assert_eq!(e.reads_needed(), 0);
+    }
+
+    #[test]
+    fn reads_needed() {
+        let e = Add(Box::new(Read(3)), Box::new(Read(1)));
+        assert_eq!(e.reads_needed(), 4);
+        assert_eq!(Lit(1.0).reads_needed(), 0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Structural validation of programs.
+//!
+//! Run automatically by [`crate::ProgramBuilder::finish`]; transformation
+//! passes (prefetch materialization) re-run it on their output so a bug in a
+//! pass surfaces here rather than as a simulator panic.
+
+use std::collections::HashSet;
+
+use crate::{
+    walk, Affine, ArrayRef, Cond, Epoch, EpochKind, Program, ProgramItem, Stmt, VarId,
+};
+
+/// A structural defect found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    RankMismatch { array: String, expected: usize, got: usize },
+    ZeroExtent { array: String },
+    DuplicateRefId { id: u32 },
+    DuplicateLoopId { id: u32 },
+    UnboundVar { var: u32, context: String },
+    SerialEpochHasDoall { epoch: String },
+    ParallelEpochDoallCount { epoch: String, count: usize },
+    NestedDoall { epoch: String },
+    AssignOutsideDoall { epoch: String },
+    ReadListTooShort { epoch: String },
+    BadCall { routine: u32 },
+    RecursiveRoutine { routine: String },
+    EmptyRepeat,
+    DuplicateArrayName { name: String },
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::RankMismatch { array, expected, got } => {
+                write!(f, "reference to {array} has {got} subscripts, array has rank {expected}")
+            }
+            ValidateError::ZeroExtent { array } => write!(f, "array {array} has a zero extent"),
+            ValidateError::DuplicateRefId { id } => write!(f, "duplicate RefId {id}"),
+            ValidateError::DuplicateLoopId { id } => write!(f, "duplicate LoopId {id}"),
+            ValidateError::UnboundVar { var, context } => {
+                write!(f, "v{var} used outside its loop in {context}")
+            }
+            ValidateError::SerialEpochHasDoall { epoch } => {
+                write!(f, "serial epoch '{epoch}' contains a DOALL loop")
+            }
+            ValidateError::ParallelEpochDoallCount { epoch, count } => {
+                write!(f, "parallel epoch '{epoch}' contains {count} DOALL loops (need exactly 1)")
+            }
+            ValidateError::NestedDoall { epoch } => {
+                write!(f, "epoch '{epoch}' nests a DOALL inside a DOALL")
+            }
+            ValidateError::AssignOutsideDoall { epoch } => {
+                write!(f, "parallel epoch '{epoch}' has an assignment outside its DOALL")
+            }
+            ValidateError::ReadListTooShort { epoch } => {
+                write!(f, "assignment in '{epoch}' reads more slots than its read list has")
+            }
+            ValidateError::BadCall { routine } => write!(f, "call to unknown routine {routine}"),
+            ValidateError::RecursiveRoutine { routine } => {
+                write!(f, "routine '{routine}' is (mutually) recursive")
+            }
+            ValidateError::EmptyRepeat => write!(f, "repeat with count 0"),
+            ValidateError::DuplicateArrayName { name } => {
+                write!(f, "two arrays named '{name}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a whole program.
+pub fn validate(p: &Program) -> Result<(), ValidateError> {
+    let mut names = HashSet::new();
+    for a in &p.arrays {
+        if !names.insert(a.name.as_str()) {
+            return Err(ValidateError::DuplicateArrayName { name: a.name.clone() });
+        }
+        if a.extents.contains(&0) {
+            return Err(ValidateError::ZeroExtent { array: a.name.clone() });
+        }
+    }
+
+    check_items(p, &p.items, &mut Vec::new())?;
+    for r in &p.routines {
+        check_items(p, &r.items, &mut vec![r.id.0])?;
+    }
+
+    // Global id uniqueness across the whole program. A routine may be
+    // called from several sites, so the schedule can contain the same epoch
+    // (same ids) more than once — check each epoch exactly once.
+    let mut ref_ids = HashSet::new();
+    let mut loop_ids = HashSet::new();
+    let mut seen_epochs = HashSet::new();
+    let mut n_loops = 0usize;
+    for e in p.epochs() {
+        if !seen_epochs.insert(e.id) {
+            continue;
+        }
+        for cr in walk::collect_refs_in_stmts(&e.stmts) {
+            if !ref_ids.insert(cr.r.id.0) {
+                return Err(ValidateError::DuplicateRefId { id: cr.r.id.0 });
+            }
+        }
+        walk::for_each_stmt(&e.stmts, &mut |s| {
+            if let Stmt::Loop(l) = s {
+                loop_ids.insert(l.id.0);
+                n_loops += 1;
+            }
+        });
+    }
+    if loop_ids.len() != n_loops {
+        return Err(ValidateError::DuplicateLoopId { id: 0 });
+    }
+
+    Ok(())
+}
+
+fn check_items(
+    p: &Program,
+    items: &[ProgramItem],
+    call_stack: &mut Vec<u32>,
+) -> Result<(), ValidateError> {
+    for item in items {
+        match item {
+            ProgramItem::Epoch(e) => check_epoch(p, e)?,
+            ProgramItem::Call(r) => {
+                if r.0 as usize >= p.routines.len() {
+                    return Err(ValidateError::BadCall { routine: r.0 });
+                }
+                if call_stack.contains(&r.0) {
+                    return Err(ValidateError::RecursiveRoutine {
+                        routine: p.routine(*r).name.clone(),
+                    });
+                }
+                call_stack.push(r.0);
+                check_items(p, &p.routine(*r).items, call_stack)?;
+                call_stack.pop();
+            }
+            ProgramItem::Repeat { count, body } => {
+                if *count == 0 {
+                    return Err(ValidateError::EmptyRepeat);
+                }
+                check_items(p, body, call_stack)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_epoch(p: &Program, e: &Epoch) -> Result<(), ValidateError> {
+    // Count DOALLs and check nesting.
+    let mut doalls = 0usize;
+    let mut nested = false;
+    fn count_doalls(stmts: &[Stmt], inside_doall: bool, n: &mut usize, nested: &mut bool) {
+        for s in stmts {
+            match s {
+                Stmt::Loop(l) => {
+                    let is_d = l.kind.is_doall();
+                    if is_d {
+                        *n += 1;
+                        if inside_doall {
+                            *nested = true;
+                        }
+                    }
+                    count_doalls(&l.body, inside_doall || is_d, n, nested);
+                }
+                Stmt::If(i) => {
+                    count_doalls(&i.then_branch, inside_doall, n, nested);
+                    count_doalls(&i.else_branch, inside_doall, n, nested);
+                }
+                _ => {}
+            }
+        }
+    }
+    count_doalls(&e.stmts, false, &mut doalls, &mut nested);
+
+    match e.kind {
+        EpochKind::Serial => {
+            if doalls > 0 {
+                return Err(ValidateError::SerialEpochHasDoall { epoch: e.label.clone() });
+            }
+        }
+        EpochKind::Parallel => {
+            if doalls != 1 {
+                return Err(ValidateError::ParallelEpochDoallCount {
+                    epoch: e.label.clone(),
+                    count: doalls,
+                });
+            }
+            if nested {
+                return Err(ValidateError::NestedDoall { epoch: e.label.clone() });
+            }
+            // No assignments outside the DOALL: wrapper code is executed
+            // redundantly by all PEs and must be pure index work.
+            fn assign_outside(stmts: &[Stmt]) -> bool {
+                for s in stmts {
+                    match s {
+                        Stmt::Assign(_) => return true,
+                        Stmt::Loop(l) => {
+                            if l.kind.is_doall() {
+                                continue; // inside is fine
+                            }
+                            if assign_outside(&l.body) {
+                                return true;
+                            }
+                        }
+                        Stmt::If(i) => {
+                            if assign_outside(&i.then_branch) || assign_outside(&i.else_branch)
+                            {
+                                return true;
+                            }
+                        }
+                        Stmt::Prefetch(_) => {}
+                    }
+                }
+                false
+            }
+            if assign_outside(&e.stmts) {
+                return Err(ValidateError::AssignOutsideDoall { epoch: e.label.clone() });
+            }
+        }
+    }
+
+    // Per-statement checks with variable scoping.
+    let mut bound: Vec<VarId> = Vec::new();
+    check_stmts(p, e, &e.stmts, &mut bound)
+}
+
+fn check_affine_vars(
+    a: &Affine,
+    bound: &[VarId],
+    context: &str,
+) -> Result<(), ValidateError> {
+    for v in a.vars() {
+        if !bound.contains(&v) {
+            return Err(ValidateError::UnboundVar { var: v.0, context: context.to_string() });
+        }
+    }
+    Ok(())
+}
+
+fn check_ref(p: &Program, e: &Epoch, r: &ArrayRef, bound: &[VarId]) -> Result<(), ValidateError> {
+    let a = p.array(r.array);
+    if a.rank() != r.index.len() {
+        return Err(ValidateError::RankMismatch {
+            array: a.name.clone(),
+            expected: a.rank(),
+            got: r.index.len(),
+        });
+    }
+    for ix in &r.index {
+        check_affine_vars(ix, bound, &format!("epoch '{}'", e.label))?;
+    }
+    Ok(())
+}
+
+fn check_cond(e: &Epoch, c: &Cond, bound: &[VarId]) -> Result<(), ValidateError> {
+    match c {
+        Cond::Cmp { lhs, rhs, .. } => {
+            check_affine_vars(lhs, bound, &format!("epoch '{}' cond", e.label))?;
+            check_affine_vars(rhs, bound, &format!("epoch '{}' cond", e.label))
+        }
+        Cond::NonAffine(inner) => check_cond(e, inner, bound),
+    }
+}
+
+fn check_val_vars(
+    e: &Epoch,
+    v: &crate::ValExpr,
+    bound: &[VarId],
+) -> Result<(), ValidateError> {
+    use crate::ValExpr as V;
+    match v {
+        V::Var(var) => {
+            if !bound.contains(var) {
+                return Err(ValidateError::UnboundVar {
+                    var: var.0,
+                    context: format!("value expression in epoch '{}'", e.label),
+                });
+            }
+            Ok(())
+        }
+        V::Read(_) | V::Lit(_) => Ok(()),
+        V::Add(a, b) | V::Sub(a, b) | V::Mul(a, b) | V::Div(a, b) | V::Min(a, b)
+        | V::Max(a, b) => {
+            check_val_vars(e, a, bound)?;
+            check_val_vars(e, b, bound)
+        }
+        V::Neg(a) | V::Sqrt(a) | V::Abs(a) => check_val_vars(e, a, bound),
+    }
+}
+
+fn check_stmts(
+    p: &Program,
+    e: &Epoch,
+    stmts: &[Stmt],
+    bound: &mut Vec<VarId>,
+) -> Result<(), ValidateError> {
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                if a.expr.reads_needed() > a.reads.len() {
+                    return Err(ValidateError::ReadListTooShort { epoch: e.label.clone() });
+                }
+                check_val_vars(e, &a.expr, bound)?;
+                for r in &a.reads {
+                    check_ref(p, e, r, bound)?;
+                }
+                check_ref(p, e, &a.write, bound)?;
+            }
+            Stmt::Loop(l) => {
+                check_affine_vars(&l.lo, bound, &format!("epoch '{}' loop bound", e.label))?;
+                check_affine_vars(&l.hi, bound, &format!("epoch '{}' loop bound", e.label))?;
+                bound.push(l.var);
+                for pf in &l.pipeline {
+                    for ix in &pf.index {
+                        check_affine_vars(ix, bound, "pipelined prefetch")?;
+                    }
+                }
+                check_stmts(p, e, &l.body, bound)?;
+                bound.pop();
+            }
+            Stmt::If(i) => {
+                check_cond(e, &i.cond, bound)?;
+                check_stmts(p, e, &i.then_branch, bound)?;
+                check_stmts(p, e, &i.else_branch, bound)?;
+            }
+            Stmt::Prefetch(pf) => match &pf.kind {
+                crate::PrefetchKind::Line { index, .. } => {
+                    for ix in index {
+                        check_affine_vars(ix, bound, "prefetch")?;
+                    }
+                }
+                crate::PrefetchKind::Vector { .. } => {}
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::ProgramBuilder;
+
+    #[test]
+    fn serial_epoch_rejects_doall() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[4]);
+        pb.serial_epoch("bad", |e| {
+            e.doall("i", 0, 3, |e, i| e.assign(a.at1(i), 0.0));
+        });
+        assert!(matches!(
+            pb.finish(),
+            Err(ValidateError::SerialEpochHasDoall { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_epoch_needs_exactly_one_doall() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[4]);
+        pb.parallel_epoch("bad", |e| {
+            e.serial("i", 0, 3, |e, i| e.assign(a.at1(i), 0.0));
+        });
+        assert!(matches!(
+            pb.finish(),
+            Err(ValidateError::ParallelEpochDoallCount { count: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_epoch_rejects_assign_in_wrapper() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[4]);
+        pb.parallel_epoch("bad", |e| {
+            e.serial("t", 0, 3, |e, _t| {
+                e.assign(a.at1(0), 0.0);
+                e.doall("i", 0, 3, |e, i| e.assign(a.at1(i), 0.0));
+            });
+        });
+        assert!(matches!(
+            pb.finish(),
+            Err(ValidateError::AssignOutsideDoall { .. })
+        ));
+    }
+
+    #[test]
+    fn good_program_validates() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[8, 8]);
+        pb.serial_epoch("init", |e| {
+            e.serial("j", 0, 7, |e, j| {
+                e.serial("i", 0, 7, |e, i| e.assign(a.at2(i, j), 1.0));
+            });
+        });
+        pb.parallel_epoch("work", |e| {
+            e.serial("t", 0, 1, |e, _t| {
+                e.doall("j", 0, 7, |e, j| {
+                    e.serial("i", 1, 7, |e, i| {
+                        e.assign(a.at2(i, j), a.at2(i - 1, j).rd() * 0.5);
+                    });
+                });
+            });
+        });
+        assert!(pb.finish().is_ok());
+    }
+
+    #[test]
+    fn zero_extent_rejected() {
+        let mut pb = ProgramBuilder::new("t");
+        let _ = pb.shared("A", &[0]);
+        assert!(matches!(pb.finish(), Err(ValidateError::ZeroExtent { .. })));
+    }
+}

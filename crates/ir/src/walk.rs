@@ -1,0 +1,281 @@
+//! Traversal utilities: visiting statements and collecting array references
+//! together with their loop/branch context.
+
+use crate::{ArrayRef, Cond, Loop, LoopId, LoopKind, Stmt, VarId};
+use crate::Affine;
+
+/// Read or write position of a collected reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RefAccess {
+    Read,
+    Write,
+}
+
+/// Snapshot of an enclosing loop header.
+#[derive(Clone, Debug)]
+pub struct LoopCtx {
+    pub id: LoopId,
+    pub var: VarId,
+    pub lo: Affine,
+    pub hi: Affine,
+    pub step: i64,
+    pub kind: LoopKind,
+    /// Data-aligned scheduling template (see [`crate::Loop::align`]).
+    pub align: Option<crate::ArrayId>,
+    /// True when this loop's body contains no further loops.
+    pub is_innermost: bool,
+}
+
+/// One array reference plus everything the CCDP analyses need to know about
+/// where it sits.
+#[derive(Clone, Debug)]
+pub struct CollectedRef {
+    pub r: ArrayRef,
+    pub access: RefAccess,
+    /// Enclosing loops, outermost first.
+    pub loops: Vec<LoopCtx>,
+    /// Any enclosing `if`?
+    pub under_if: bool,
+    /// Any enclosing `if` with a non-affine condition?
+    pub under_nonaffine_if: bool,
+    /// Walk-order sequence number (defines "textually earlier" within the
+    /// statement list; used by the moving-back scheduler).
+    pub seq: u32,
+}
+
+impl CollectedRef {
+    /// The directly enclosing loop, if any.
+    pub fn enclosing_loop(&self) -> Option<&LoopCtx> {
+        self.loops.last()
+    }
+
+    /// Is this reference inside an innermost loop (paper Fig. 1's first
+    /// filter)?
+    pub fn in_innermost_loop(&self) -> bool {
+        self.enclosing_loop().is_some_and(|l| l.is_innermost)
+    }
+}
+
+/// Does a statement list contain any loop?
+fn has_loop(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Loop(_) => true,
+        Stmt::If(i) => has_loop(&i.then_branch) || has_loop(&i.else_branch),
+        _ => false,
+    })
+}
+
+struct Collector {
+    out: Vec<CollectedRef>,
+    loops: Vec<LoopCtx>,
+    if_depth: u32,
+    nonaffine_if_depth: u32,
+    seq: u32,
+}
+
+impl Collector {
+    fn push_ref(&mut self, r: &ArrayRef, access: RefAccess) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.out.push(CollectedRef {
+            r: r.clone(),
+            access,
+            loops: self.loops.clone(),
+            under_if: self.if_depth > 0,
+            under_nonaffine_if: self.nonaffine_if_depth > 0,
+            seq,
+        });
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => {
+                    for r in &a.reads {
+                        self.push_ref(r, RefAccess::Read);
+                    }
+                    self.push_ref(&a.write, RefAccess::Write);
+                }
+                Stmt::Loop(l) => {
+                    self.loops.push(LoopCtx {
+                        id: l.id,
+                        var: l.var,
+                        lo: l.lo.clone(),
+                        hi: l.hi.clone(),
+                        step: l.step,
+                        kind: l.kind,
+                        align: l.align,
+                        is_innermost: !has_loop(&l.body),
+                    });
+                    self.walk(&l.body);
+                    self.loops.pop();
+                }
+                Stmt::If(i) => {
+                    let nonaffine = !i.cond.is_affine();
+                    self.if_depth += 1;
+                    if nonaffine {
+                        self.nonaffine_if_depth += 1;
+                    }
+                    self.walk(&i.then_branch);
+                    self.walk(&i.else_branch);
+                    if nonaffine {
+                        self.nonaffine_if_depth -= 1;
+                    }
+                    self.if_depth -= 1;
+                }
+                Stmt::Prefetch(_) => {
+                    // Prefetches are not data references for analysis purposes.
+                }
+            }
+        }
+    }
+}
+
+/// Collect every array reference in a statement list (an epoch body),
+/// outermost-to-innermost walk order.
+pub fn collect_refs_in_stmts(stmts: &[Stmt]) -> Vec<CollectedRef> {
+    let mut c = Collector {
+        out: Vec::new(),
+        loops: Vec::new(),
+        if_depth: 0,
+        nonaffine_if_depth: 0,
+        seq: 0,
+    };
+    c.walk(stmts);
+    c.out
+}
+
+/// Depth-first pre-order visit of every statement (including nested).
+pub fn for_each_stmt<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::Loop(l) => for_each_stmt(&l.body, f),
+            Stmt::If(i) => {
+                for_each_stmt(&i.then_branch, f);
+                for_each_stmt(&i.else_branch, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Visit every loop mutably (pre-order). Used by transformation passes.
+pub fn for_each_loop_mut(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Loop)) {
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => {
+                f(l);
+                for_each_loop_mut(&mut l.body, f);
+            }
+            Stmt::If(i) => {
+                for_each_loop_mut(&mut i.then_branch, f);
+                for_each_loop_mut(&mut i.else_branch, f);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Find the (unique) DOALL loop in a parallel epoch body, with the serial
+/// wrapper loops around it (outermost first). Returns `None` when no DOALL
+/// is present.
+pub fn find_doall(stmts: &[Stmt]) -> Option<(Vec<&Loop>, &Loop)> {
+    fn go<'a>(stmts: &'a [Stmt], wrappers: &mut Vec<&'a Loop>) -> Option<&'a Loop> {
+        for s in stmts {
+            if let Stmt::Loop(l) = s {
+                if l.kind.is_doall() {
+                    return Some(l);
+                }
+                wrappers.push(l);
+                if let Some(d) = go(&l.body, wrappers) {
+                    return Some(d);
+                }
+                wrappers.pop();
+            }
+        }
+        None
+    }
+    let mut wrappers = Vec::new();
+    let d = go(stmts, &mut wrappers)?;
+    Some((wrappers, d))
+}
+
+/// Is `cond` usable by compile-time analysis and `NonAffine` otherwise —
+/// recursively unwrap to the affine core for runtime evaluation.
+pub fn cond_core(c: &Cond) -> &Cond {
+    match c {
+        Cond::NonAffine(inner) => cond_core(inner),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{CondB, ProgramBuilder};
+
+    fn two_level_program() -> crate::Program {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[16, 16]);
+        pb.parallel_epoch("e", |e| {
+            e.doall("j", 0, 15, |e, j| {
+                e.serial("i", 0, 15, |e, i| {
+                    e.assign(a.at2(i, j), a.at2(i, j).rd() + 1.0);
+                });
+                e.if_(CondB::eq(j, 0), |e| {
+                    e.assign(a.at2(0, j), 0.0);
+                });
+            });
+        });
+        pb.finish().unwrap()
+    }
+
+    #[test]
+    fn innermost_detection() {
+        let p = two_level_program();
+        let refs = collect_refs_in_stmts(&p.epochs()[0].stmts);
+        // refs inside the i-loop are innermost; the if-guarded write under
+        // only the doall is not (the doall body contains the i-loop).
+        let inner: Vec<_> = refs.iter().filter(|r| r.in_innermost_loop()).collect();
+        assert_eq!(inner.len(), 2); // read + write of the i-loop assign
+        let guarded = refs.iter().find(|r| r.under_if).unwrap();
+        assert!(!guarded.in_innermost_loop());
+        assert_eq!(guarded.loops.len(), 1);
+    }
+
+    #[test]
+    fn seq_numbers_strictly_increase() {
+        let p = two_level_program();
+        let refs = collect_refs_in_stmts(&p.epochs()[0].stmts);
+        for w in refs.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn find_doall_with_wrapper() {
+        let mut pb = ProgramBuilder::new("t");
+        let a = pb.shared("A", &[8, 8]);
+        pb.parallel_epoch("e", |e| {
+            e.serial("t", 0, 3, |e, _t| {
+                e.doall("i", 0, 7, |e, i| {
+                    e.assign(a.at2(i, 0), 1.0);
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let (wrappers, d) = find_doall(&p.epochs()[0].stmts).unwrap();
+        assert_eq!(wrappers.len(), 1);
+        assert!(d.kind.is_doall());
+    }
+
+    #[test]
+    fn for_each_stmt_counts_all() {
+        let p = two_level_program();
+        let mut n = 0;
+        for_each_stmt(&p.epochs()[0].stmts, &mut |_| n += 1);
+        // doall, serial, assign, if, assign
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,48 @@
+//! The paper's four application kernels (SPEC CFP92 / CFP95) as CCDP IR
+//! programs, each with a pure-Rust *golden reference* implementation used to
+//! validate every simulated scheme bit-for-bit.
+//!
+//! | kernel  | suite        | structure (as in the paper §5.3)                   |
+//! |---------|--------------|----------------------------------------------------|
+//! | MXM     | CFP92/NASA7  | triple-nested matmul, middle loop parallel; block-distributed columns; remote reads of `A` dominate |
+//! | VPENTA  | CFP92/NASA7  | pentadiagonal inversion; fully column-local work — BASE is already good, CCDP only removes CRAFT overhead |
+//! | TOMCATV | CFP95        | mesh generation: stencil epoch (parallel outer) plus forward/backward sweeps with *serial outer / parallel inner* loops — heavy cross-PE traffic |
+//! | SWIM    | CFP95        | shallow-water: three routines (CALC1..3) called per timestep; mostly-local column stencils |
+//!
+//! Every builder is parameterized by problem size so tests can run scaled-
+//! down instances with exact golden comparison while the bench harness runs
+//! the paper's full sizes.
+
+pub mod mxm;
+pub mod swim;
+pub mod tomcatv;
+pub mod vpenta;
+
+use ccdp_ir::Program;
+
+/// A ready-to-run kernel: program plus the golden value of its main output
+/// array.
+pub struct KernelSpec {
+    pub name: &'static str,
+    pub program: Program,
+    /// Name of the array whose final contents identify a correct run.
+    pub check_array: &'static str,
+    /// Golden contents of `check_array` (column-major), for the iteration
+    /// count baked into `program`.
+    pub golden: Vec<f64>,
+}
+
+/// Compare two value slices exactly (same fp operation order everywhere).
+pub fn values_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x == y || (x - y).abs() < 1e-12)
+}
+
+/// All four kernels at reduced sizes (fast: unit/integration tests).
+pub fn small_suite() -> Vec<KernelSpec> {
+    vec![
+        mxm::spec(&mxm::Params::small()),
+        vpenta::spec(&vpenta::Params::small()),
+        tomcatv::spec(&tomcatv::Params::small()),
+        swim::spec(&swim::Params::small()),
+    ]
+}

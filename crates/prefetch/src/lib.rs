@@ -1,0 +1,29 @@
+//! Prefetch target analysis and prefetch scheduling — the CCDP transformation
+//! proper (paper §4.2, §4.3).
+//!
+//! * [`target`] implements Fig. 1: start from all potentially-stale
+//!   references, keep those in innermost loops and serial segments, and
+//!   eliminate non-leading members of group-spatial reference groups.
+//! * [`schedule`] implements Fig. 2: per inner loop / serial segment, pick
+//!   among **vector prefetch generation** (Gornish-style pull-out, hardware
+//!   constrained), **software pipelining** (Mowry-style, distance computed
+//!   from the loop body cost), and **moving back prefetches**, according to
+//!   the six structural cases.
+//! * [`plan`] ties them together: it produces a *transformed program* (with
+//!   `Prefetch` statements and pipelined-prefetch loop annotations
+//!   materialized) plus a [`PrefetchPlan`] telling the runtime how each read
+//!   reference must behave (`Normal` / `Fresh` / `Bypass`).
+//!
+//! Correctness contract (enforced by the T3D simulator's coherence oracle):
+//! every potentially-stale reference ends up `Fresh` (it re-fetches unless
+//! its cache line was filled in the current barrier phase) or `Bypass`
+//! (always reads main memory). Prefetching only moves *when* the fresh copy
+//! arrives; it never changes *what* a reference is allowed to observe.
+
+pub mod plan;
+pub mod schedule;
+pub mod target;
+
+pub use plan::{plan_prefetches, Handling, PlanStats, PrefetchPlan};
+pub use schedule::{ScheduleOptions, Technique};
+pub use target::{prefetch_targets, TargetAnalysis, TargetDecision, TargetOptions};

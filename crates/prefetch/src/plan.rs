@@ -1,0 +1,344 @@
+//! End-to-end prefetch planning: target analysis + scheduling +
+//! materialization into a transformed program, plus the per-reference
+//! runtime handling map the simulator consumes.
+
+use std::collections::HashMap;
+
+use ccdp_analysis::StaleAnalysis;
+use ccdp_dist::Layout;
+use ccdp_ir::{Program, ProgramItem, RefId};
+
+use crate::schedule::{materialize_epoch, schedule_epoch, Placement, ScheduleOptions};
+use crate::target::{prefetch_targets, TargetAnalysis, TargetDecision, TargetOptions};
+
+/// How the machine must treat one read reference at run time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Handling {
+    /// Plain cached read: any cache hit may be consumed.
+    Normal,
+    /// Potentially-stale read: a cache hit may be consumed only if the line
+    /// was filled in the current barrier phase; otherwise re-fetch from
+    /// memory (and install). Prefetches exist to make this path cheap.
+    Fresh,
+    /// Potentially-stale read with no prefetch coverage: read main memory
+    /// directly, do not install into the cache (the T3D bypass-cache fetch).
+    Bypass,
+}
+
+/// Aggregate statistics of a plan (used by reports and tests).
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct PlanStats {
+    pub stale_reads: usize,
+    pub targets: usize,
+    pub vector: usize,
+    pub pipelined: usize,
+    pub moved_back: usize,
+    pub followers: usize,
+    pub bypass: usize,
+    pub dropped: usize,
+    pub clean_prefetch: usize,
+}
+
+/// The CCDP transformation result: per-reference runtime handling plus the
+/// technique bookkeeping. Pair it with the transformed [`Program`] returned
+/// by [`plan_prefetches`].
+#[derive(Clone, Debug)]
+pub struct PrefetchPlan {
+    /// Indexed by (original) `RefId`.
+    pub handling: Vec<Handling>,
+    /// Technique per scheduled target.
+    pub technique: HashMap<RefId, crate::Technique>,
+    pub stats: PlanStats,
+}
+
+impl PrefetchPlan {
+    /// A plan that schedules nothing and treats every stale read as a bypass
+    /// fetch — the "invalidate-only" conservative baseline of the
+    /// `ablation_scheme` experiment.
+    pub fn bypass_all(program: &Program, stale: &StaleAnalysis) -> PrefetchPlan {
+        let mut handling = vec![Handling::Normal; program.n_refs as usize];
+        let mut stats = PlanStats { stale_reads: stale.n_stale(), ..Default::default() };
+        for rid in stale.stale_refs() {
+            handling[rid.index()] = Handling::Bypass;
+            stats.bypass += 1;
+        }
+        PrefetchPlan { handling, technique: HashMap::new(), stats }
+    }
+
+    pub fn handling_of(&self, r: RefId) -> Handling {
+        self.handling.get(r.index()).copied().unwrap_or(Handling::Normal)
+    }
+}
+
+/// Run target analysis, scheduling, and materialization.
+///
+/// Returns the transformed program (prefetch statements and pipeline
+/// annotations inserted; re-validated) and the plan.
+pub fn plan_prefetches(
+    program: &Program,
+    layout: &Layout,
+    stale: &StaleAnalysis,
+    topt: &TargetOptions,
+    sopt: &ScheduleOptions,
+) -> (Program, PrefetchPlan) {
+    let ta = prefetch_targets(program, stale, topt);
+    plan_with_targets(program, layout, stale, &ta, sopt)
+}
+
+/// As [`plan_prefetches`] but with an externally computed target analysis
+/// (ablations manipulate it directly).
+pub fn plan_with_targets(
+    program: &Program,
+    layout: &Layout,
+    stale: &StaleAnalysis,
+    ta: &TargetAnalysis,
+    sopt: &ScheduleOptions,
+) -> (Program, PrefetchPlan) {
+    let mut transformed = program.clone();
+    let mut handling = vec![Handling::Normal; program.n_refs as usize];
+    let mut technique = HashMap::new();
+    let mut stats = PlanStats {
+        stale_reads: stale.n_stale(),
+        targets: ta.prefetch_set().len(),
+        ..Default::default()
+    };
+
+    // Base handling from target decisions.
+    for (i, d) in ta.decisions.iter().enumerate() {
+        let rid = RefId(i as u32);
+        match d {
+            TargetDecision::Clean => {}
+            TargetDecision::Prefetch => handling[i] = Handling::Fresh,
+            TargetDecision::PrefetchClean => {
+                stats.clean_prefetch += 1; // stays Normal: no coherence duty
+            }
+            TargetDecision::Follower { .. } => {
+                handling[i] = Handling::Fresh;
+                stats.followers += 1;
+            }
+            TargetDecision::Bypass => {
+                handling[i] = Handling::Bypass;
+                stats.bypass += 1;
+            }
+        }
+        let _ = rid;
+    }
+
+    // Schedule and materialize, epoch by epoch, across the whole item tree.
+    let targets = ta.prefetch_set();
+    let mut seen = std::collections::HashSet::new();
+    let snapshot = transformed.clone();
+    rewrite_items(
+        &snapshot,
+        &mut transformed.items,
+        layout,
+        &targets,
+        sopt,
+        &mut handling,
+        &mut technique,
+        &mut stats,
+        &mut seen,
+    );
+    let mut routines = std::mem::take(&mut transformed.routines);
+    for r in &mut routines {
+        rewrite_items(
+            &snapshot,
+            &mut r.items,
+            layout,
+            &targets,
+            sopt,
+            &mut handling,
+            &mut technique,
+            &mut stats,
+            &mut seen,
+        );
+    }
+    transformed.routines = routines;
+
+    ccdp_ir::validate(&transformed).expect("materialized program must stay valid");
+
+    (transformed, PrefetchPlan { handling, technique, stats })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rewrite_items(
+    program: &Program,
+    items: &mut [ProgramItem],
+    layout: &Layout,
+    targets: &[RefId],
+    sopt: &ScheduleOptions,
+    handling: &mut [Handling],
+    technique: &mut HashMap<RefId, crate::Technique>,
+    stats: &mut PlanStats,
+    seen: &mut std::collections::HashSet<ccdp_ir::EpochId>,
+) {
+    for item in items {
+        match item {
+            ProgramItem::Epoch(e) => {
+                if !seen.insert(e.id) {
+                    continue;
+                }
+                let sched = schedule_epoch(program, e, layout, targets, sopt);
+                if sched.placements.is_empty() {
+                    continue;
+                }
+                for (rid, p) in &sched.placements {
+                    match p {
+                        Placement::Vector { .. } => {
+                            stats.vector += 1;
+                            technique.insert(*rid, crate::Technique::Vector);
+                        }
+                        Placement::Pipeline { .. } => {
+                            stats.pipelined += 1;
+                            technique.insert(*rid, crate::Technique::Pipelined);
+                        }
+                        Placement::MoveBack => {
+                            stats.moved_back += 1;
+                            technique.insert(*rid, crate::Technique::MovedBack);
+                        }
+                        Placement::Drop => {
+                            stats.dropped += 1;
+                            if handling[rid.index()] == Handling::Fresh {
+                                handling[rid.index()] = Handling::Bypass;
+                            }
+                        }
+                    }
+                }
+                let m = materialize_epoch(&e.stmts, &sched, sopt);
+                for rid in &m.dropped_mbp {
+                    // Moved-back prefetch without enough distance: issued as
+                    // a bypass fetch instead (paper §3.2's fallback).
+                    stats.moved_back -= 1;
+                    stats.dropped += 1;
+                    technique.remove(rid);
+                    if handling[rid.index()] == Handling::Fresh {
+                        handling[rid.index()] = Handling::Bypass;
+                    }
+                }
+                e.stmts = m.stmts;
+            }
+            ProgramItem::Call(_) => {}
+            ProgramItem::Repeat { body, .. } => {
+                rewrite_items(
+                    program, body, layout, targets, sopt, handling, technique, stats, seen,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::ProgramBuilder;
+
+    fn sample() -> (Program, Layout) {
+        let mut pb = ProgramBuilder::new("s");
+        let a = pb.shared("A", &[64, 64]);
+        let b = pb.shared("B", &[64, 64]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("j", 0, 63, |e, j| {
+                e.serial("i", 0, 63, |e, i| e.assign(a.at2(i, j), 1.0));
+            });
+        });
+        pb.repeat(3, |rep| {
+            rep.parallel_epoch("r", |e| {
+                e.doall("j", 0, 63, |e, j| {
+                    e.serial("i", 0, 62, |e, i| {
+                        e.assign(
+                            b.at2(i, j),
+                            a.at2(i, 63 - j).rd() + a.at2(i + 1, 63 - j).rd(),
+                        );
+                    });
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let l = Layout::new(&p, 4);
+        (p, l)
+    }
+
+    #[test]
+    fn plan_covers_all_stale_reads() {
+        let (p, l) = sample();
+        let stale = ccdp_analysis::analyze_stale(&p, &l);
+        assert!(stale.n_stale() >= 2);
+        let (tp, plan) = plan_prefetches(
+            &p,
+            &l,
+            &stale,
+            &TargetOptions::default(),
+            &ScheduleOptions::default(),
+        );
+        // Every stale read ends Fresh or Bypass — never Normal.
+        for rid in stale.stale_refs() {
+            assert_ne!(
+                plan.handling_of(rid),
+                Handling::Normal,
+                "stale read {rid:?} left unprotected"
+            );
+        }
+        // The transformed program actually contains prefetch constructs.
+        let text = ccdp_ir::print_program(&tp);
+        assert!(
+            text.contains("prefetch"),
+            "no prefetch materialized:\n{text}"
+        );
+        assert!(plan.stats.targets >= 1);
+        assert_eq!(
+            plan.stats.vector + plan.stats.pipelined + plan.stats.moved_back
+                + plan.stats.dropped,
+            plan.stats.targets
+        );
+    }
+
+    #[test]
+    fn bypass_all_plan_protects_everything_without_prefetches() {
+        let (p, l) = sample();
+        let stale = ccdp_analysis::analyze_stale(&p, &l);
+        let plan = PrefetchPlan::bypass_all(&p, &stale);
+        for rid in stale.stale_refs() {
+            assert_eq!(plan.handling_of(rid), Handling::Bypass);
+        }
+        assert_eq!(plan.stats.bypass, stale.n_stale());
+    }
+
+    #[test]
+    fn group_followers_are_fresh_not_bypass() {
+        let (p, l) = sample();
+        let stale = ccdp_analysis::analyze_stale(&p, &l);
+        let ta = prefetch_targets(&p, &stale, &TargetOptions::default());
+        let follower_ids: Vec<RefId> = ta
+            .decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d, TargetDecision::Follower { .. }))
+            .map(|(i, _)| RefId(i as u32))
+            .collect();
+        assert!(!follower_ids.is_empty(), "A(i,·)/A(i+1,·) should group");
+        let (_, plan) = plan_with_targets(&p, &l, &stale, &ta, &ScheduleOptions::default());
+        for f in follower_ids {
+            assert_eq!(plan.handling_of(f), Handling::Fresh);
+        }
+    }
+
+    #[test]
+    fn disabled_scheduler_degrades_to_bypass() {
+        let (p, l) = sample();
+        let stale = ccdp_analysis::analyze_stale(&p, &l);
+        let sopt = ScheduleOptions {
+            enable_vpg: false,
+            enable_sp: false,
+            enable_mbp: false,
+            ..Default::default()
+        };
+        let (tp, plan) = plan_prefetches(&p, &l, &stale, &TargetOptions::default(), &sopt);
+        assert_eq!(plan.stats.dropped, plan.stats.targets);
+        for rid in stale.stale_refs() {
+            assert_ne!(plan.handling_of(rid), Handling::Normal);
+        }
+        let text = ccdp_ir::print_program(&tp);
+        assert!(!text.contains("prefetch-line"));
+        assert!(!text.contains("prefetch-vector"));
+    }
+}

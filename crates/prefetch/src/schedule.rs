@@ -1,0 +1,996 @@
+//! Prefetch scheduling (paper Fig. 2): vector prefetch generation (VPG),
+//! software pipelining (SP), and moving back prefetches (MBP).
+//!
+//! The scheduler decides *per inner loop or serial code segment* which
+//! technique covers each prefetch target, honouring the paper's six cases:
+//!
+//! | case | LSC                                     | techniques      |
+//! |------|------------------------------------------|-----------------|
+//! | 1    | serial loop, known bounds                | VPG → SP → MBP  |
+//! | 1'   | serial loop, unknown bounds              | SP → MBP        |
+//! | 2    | static DOALL, known bounds               | VPG → MBP       |
+//! | 2'   | static DOALL, unknown bounds             | MBP             |
+//! | 3    | dynamic DOALL                            | MBP             |
+//! | 4    | serial code section                      | MBP             |
+//! | 5    | loop containing if-statements            | MBP (in-branch) |
+//! | 6    | loop/segment inside an if-statement body | as 1–4, in-branch |
+//!
+//! Placement legality: a prefetch may move anywhere *within its barrier
+//! phase*. Epoch boundaries (and wrapper-loop phase boundaries) carry the
+//! synchronization that orders the freshening write before the prefetch
+//! issue, so the pass never hoists a prefetch past the enclosing DOALL's
+//! wrapper loops, and the arrival-time memory read semantics of the machine
+//! make same-phase placement safe (DOALL iterations are independent, and a
+//! PE's own writes update its own cache).
+
+use std::collections::HashMap;
+
+use ccdp_dist::{doall_range_for_pe, Layout};
+use ccdp_ir::{
+    collect_refs_in_stmts, Affine, ArrayRef, CollectedRef, Epoch, LoopCtx, LoopId, LoopKind,
+    PipelinedPrefetch, PrefetchKind, PrefetchStmt, RefId, Stmt,
+};
+
+/// The technique that ended up covering a prefetch target.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Technique {
+    /// Vector prefetch generation: block transfer issued before the pulled
+    /// loop(s).
+    Vector,
+    /// Software pipelining: line prefetch `distance` iterations ahead.
+    Pipelined,
+    /// Moving back: line prefetch hoisted earlier in the same block.
+    MovedBack,
+}
+
+/// Scheduler tuning knobs (paper §4.3.1's "compiler parameters").
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleOptions {
+    pub enable_vpg: bool,
+    pub enable_sp: bool,
+    pub enable_mbp: bool,
+    /// Upper bound on the words one vector prefetch may move (hardware
+    /// constraint: must fit the cache without flushing everything; default
+    /// half the 1 K-word T3D data cache).
+    pub vpg_max_words: u64,
+    /// Software pipelining distance range (iterations ahead).
+    pub sp_min_distance: u32,
+    pub sp_max_distance: u32,
+    /// Moving-back distance range (weighted statements).
+    pub mbp_min_stmts: u32,
+    pub mbp_max_stmts: u32,
+    /// Exploit self-spatial reuse in software pipelining: issue one line
+    /// prefetch per cache line instead of per iteration (paper §4.2's
+    /// extension). The `ablation_sched` study can disable it.
+    pub exploit_self_spatial: bool,
+    /// Cache line size in words.
+    pub line_words: usize,
+    /// Prefetch queue capacity in words (T3D: 16).
+    pub queue_words: usize,
+    /// Expected remote fetch latency in cycles (sets the SP distance).
+    pub prefetch_latency: u32,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            enable_vpg: true,
+            enable_sp: true,
+            enable_mbp: true,
+            vpg_max_words: 512,
+            sp_min_distance: 2,
+            sp_max_distance: 16,
+            mbp_min_stmts: 1,
+            mbp_max_stmts: 8,
+            exploit_self_spatial: true,
+            line_words: 4,
+            queue_words: 16,
+            prefetch_latency: 150,
+        }
+    }
+}
+
+/// Where the scheduler decided to put the prefetch of one target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// `prefetch-vector` inserted immediately before loop `before`, covering
+    /// the target's section over `over` (innermost-first pull order).
+    Vector { before: LoopId, over: Vec<LoopId> },
+    /// Pipelined prefetch annotation on `loop_id` with the given distance
+    /// and issue cadence (`every` iterations between issues).
+    Pipeline { loop_id: LoopId, distance: u32, every: u32 },
+    /// Line prefetch hoisted within the target's own block.
+    MoveBack,
+    /// No technique applied (insufficient distance / disabled / segment too
+    /// small): the reference falls back to bypass-fetch semantics.
+    Drop,
+}
+
+/// All scheduling decisions for one epoch.
+#[derive(Clone, Debug, Default)]
+pub struct EpochSchedule {
+    /// Decisions per target reference.
+    pub placements: HashMap<RefId, Placement>,
+}
+
+/// Identify the "LSC" (inner loop or serial code segment) of a target.
+fn lsc_of(cr: &CollectedRef) -> Option<LoopId> {
+    cr.enclosing_loop().map(|l| l.id)
+}
+
+/// Estimate one execution of a statement list in cycles (compile-time cost
+/// model used to pick the SP distance; coarse on purpose).
+pub(crate) fn estimate_stmt_cycles(stmts: &[Stmt]) -> u64 {
+    let mut total = 0u64;
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                total += a.expr.flops() as u64
+                    + a.reads.len() as u64 * 2
+                    + 2
+                    + a.extra_cost as u64;
+            }
+            Stmt::Loop(l) => {
+                let trip = match (l.lo.as_constant(), l.hi.as_constant()) {
+                    (Some(lo), Some(hi)) if hi >= lo => ((hi - lo) / l.step + 1) as u64,
+                    _ => 8,
+                };
+                total += 4 + trip * estimate_stmt_cycles(&l.body);
+            }
+            Stmt::If(i) => {
+                total += 2 + estimate_stmt_cycles(&i.then_branch)
+                    .max(estimate_stmt_cycles(&i.else_branch));
+            }
+            Stmt::Prefetch(_) => total += 7,
+        }
+    }
+    total
+}
+
+/// Does the loop body contain if-statements (paper case 5)?
+fn body_has_if(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::If(_) => true,
+        Stmt::Loop(l) => body_has_if(&l.body),
+        _ => false,
+    })
+}
+
+/// Size in words of the section `cr` touches over the pulled loops.
+/// `pulled` are innermost-first `LoopCtx`s; outer vars contribute a point.
+fn vpg_words(
+    program: &ccdp_ir::Program,
+    cr: &CollectedRef,
+    pulled: &[&LoopCtx],
+    layout: &Layout,
+) -> Option<u64> {
+    // Build value intervals for pulled vars; all bounds must be constants.
+    let mut intervals: Vec<(ccdp_ir::VarId, i64, i64, i64)> = Vec::new();
+    for l in pulled {
+        let lo = l.lo.as_constant()?;
+        let hi = l.hi.as_constant()?;
+        if hi < lo {
+            return Some(0);
+        }
+        let (lo, hi) = if l.kind == LoopKind::DoAllStatic {
+            // Per-PE share: PE 0 has the largest block.
+            let r = match l.align {
+                Some(aid) => ccdp_dist::aligned_range_for_pe(
+                    layout,
+                    program.array(aid),
+                    lo,
+                    hi,
+                    l.step,
+                    0,
+                )?,
+                None => doall_range_for_pe(lo, hi, l.step, 0, layout.n_pes())?,
+            };
+            (r.lo, r.hi)
+        } else {
+            (lo, hi)
+        };
+        intervals.push((l.var, lo, hi, l.step));
+    }
+    let mut words = 1u64;
+    for ix in &cr.r.index {
+        let mut touched = 1u64;
+        let vars: Vec<_> = ix.vars().collect();
+        let pulled_vars: Vec<_> = vars
+            .iter()
+            .filter(|v| intervals.iter().any(|(iv, ..)| iv == *v))
+            .collect();
+        match pulled_vars.len() {
+            0 => {}
+            1 => {
+                let (_, lo, hi, step) = *intervals
+                    .iter()
+                    .find(|(iv, ..)| iv == pulled_vars[0])
+                    .unwrap();
+                let c = ix.coeff(*pulled_vars[0]).unsigned_abs();
+                let iters = ((hi - lo) / step + 1) as u64;
+                // c>1 spreads accesses; element count is still `iters`.
+                let _ = c;
+                touched = iters;
+            }
+            _ => {
+                // Multiple pulled vars in one dim: bound by the product.
+                touched = pulled_vars
+                    .iter()
+                    .map(|v| {
+                        let (_, lo, hi, step) =
+                            *intervals.iter().find(|(iv, ..)| *iv == **v).unwrap();
+                        ((hi - lo) / step + 1) as u64
+                    })
+                    .product();
+            }
+        }
+        words = words.saturating_mul(touched);
+    }
+    Some(words)
+}
+
+/// Try vector prefetch generation for one target: pull out of the LSC and
+/// outward through enclosing serial loops up to and including the DOALL
+/// (never past it — wrapper loops separate barrier phases), keeping the
+/// deepest pull whose footprint fits `vpg_max_words`.
+fn try_vpg(
+    program: &ccdp_ir::Program,
+    cr: &CollectedRef,
+    layout: &Layout,
+    opt: &ScheduleOptions,
+) -> Option<Placement> {
+    if !opt.enable_vpg {
+        return None;
+    }
+    let depth = cr.loops.len();
+    if depth == 0 {
+        return None;
+    }
+    // Candidate pull chains: loops[depth-1] (the LSC) outward while serial,
+    // optionally ending at the DOALL. Stop at the DOALL (inclusive).
+    let mut best: Option<(Vec<&LoopCtx>, usize)> = None; // (chain, outermost index)
+    let mut chain: Vec<&LoopCtx> = Vec::new();
+    for idx in (0..depth).rev() {
+        let l = &cr.loops[idx];
+        match l.kind {
+            LoopKind::Serial => chain.push(l),
+            LoopKind::DoAllStatic => {
+                chain.push(l);
+                if let Some(w) = vpg_words(program, cr, &chain, layout) {
+                    if w > 0 && w <= opt.vpg_max_words {
+                        best = Some((chain.clone(), idx));
+                    }
+                }
+                break; // never pull past the DOALL
+            }
+            LoopKind::DoAllDynamic { .. } => break,
+        }
+        if let Some(w) = vpg_words(program, cr, &chain, layout) {
+            if w > 0 && w <= opt.vpg_max_words {
+                best = Some((chain.clone(), idx));
+            } else if w > opt.vpg_max_words {
+                // Deeper pulls only grow; but an earlier (shorter) chain may
+                // already be recorded in `best`.
+                break;
+            }
+        } else {
+            break; // non-constant bounds: "loop bound unknown"
+        }
+    }
+    let (chain, idx) = best?;
+    // Meaningful only if the target actually varies over some pulled loop.
+    let varies = cr
+        .r
+        .index
+        .iter()
+        .any(|ix| chain.iter().any(|l| ix.uses(l.var)));
+    if !varies {
+        return None;
+    }
+    Some(Placement::Vector {
+        before: cr.loops[idx].id,
+        over: chain.iter().map(|l| l.id).collect(),
+    })
+}
+
+/// Issue cadence for one target under self-spatial reuse: how many
+/// consecutive iterations of `lsc` touch the same cache line. 1 when the
+/// reference has no self-spatial locality along the loop (or the
+/// optimization is disabled).
+fn sp_cadence(cr: &CollectedRef, lsc: &LoopCtx, opt: &ScheduleOptions) -> u32 {
+    if !opt.exploit_self_spatial {
+        return 1;
+    }
+    // Self-spatial along the loop: the loop variable appears (only) in the
+    // contiguous dimension with a small stride, and nowhere else.
+    let c0 = cr.r.index[0].coeff(lsc.var);
+    if c0 == 0 {
+        return 1;
+    }
+    #[allow(clippy::manual_div_ceil)]
+    if cr.r.index.iter().skip(1).any(|ix| ix.uses(lsc.var)) {
+        return 1;
+    }
+    let stride = (c0 * lsc.step).unsigned_abs();
+    if stride == 0 || stride as usize >= opt.line_words {
+        return 1;
+    }
+    (opt.line_words as u64 / stride) as u32
+}
+
+/// Try software pipelining for a set of targets sharing one serial LSC.
+/// `cadences[k]` is the issue cadence of target `k`.
+fn try_sp(
+    lsc: &LoopCtx,
+    body_cycles: u64,
+    cadences: &[u32],
+    opt: &ScheduleOptions,
+) -> Option<u32> {
+    if !opt.enable_sp || cadences.is_empty() {
+        return None;
+    }
+    debug_assert_eq!(lsc.kind, LoopKind::Serial);
+    let mut d = (opt.prefetch_latency as u64)
+        .div_euclid(body_cycles.max(1))
+        .max(1) as u32;
+    d = d.min(opt.sp_max_distance);
+    // Hardware constraint: outstanding prefetched words must fit the queue.
+    // Self-spatial cadence divides each target's in-flight footprint.
+    let per_iter_words_x16: u32 = cadences
+        .iter()
+        .map(|&e| (16 * opt.line_words as u32) / e.max(1))
+        .sum();
+    if let Some(d_queue) = (16 * opt.queue_words as u32).checked_div(per_iter_words_x16) {
+        d = d.min(d_queue.max(1));
+    }
+    (d >= opt.sp_min_distance).then_some(d)
+}
+
+/// Compute the scheduling decisions for one epoch.
+pub fn schedule_epoch(
+    program: &ccdp_ir::Program,
+    epoch: &Epoch,
+    layout: &Layout,
+    targets: &[RefId],
+    opt: &ScheduleOptions,
+) -> EpochSchedule {
+    let refs = collect_refs_in_stmts(&epoch.stmts);
+    let by_id: HashMap<RefId, &CollectedRef> =
+        refs.iter().map(|cr| (cr.r.id, cr)).collect();
+
+    // Group targets by LSC.
+    let mut groups: HashMap<Option<LoopId>, Vec<&CollectedRef>> = HashMap::new();
+    for t in targets {
+        if let Some(cr) = by_id.get(t) {
+            groups.entry(lsc_of(cr)).or_default().push(cr);
+        }
+    }
+
+    // Find loop bodies (for body_has_if and cost estimation).
+    let mut loop_bodies: HashMap<LoopId, (&[Stmt], LoopCtx)> = HashMap::new();
+    collect_loops(&epoch.stmts, &mut loop_bodies);
+
+    let mut placements = HashMap::new();
+    let mut keys: Vec<Option<LoopId>> = groups.keys().copied().collect();
+    keys.sort();
+    for key in keys {
+        let members = &groups[&key];
+        match key {
+            None => {
+                // Case 4: serial code segment → MBP.
+                for cr in members {
+                    placements.insert(cr.r.id, mbp_or_drop(opt));
+                }
+            }
+            Some(lid) => {
+                let (body, ctx) = &loop_bodies[&lid];
+                let bounds_known =
+                    ctx.lo.as_constant().is_some() && ctx.hi.as_constant().is_some();
+                let has_if = body_has_if(body);
+                // Case 5: loop containing if-statements → MBP only (the
+                // materializer keeps the prefetch inside the if branch).
+                let order: &[&str] = if has_if {
+                    &["mbp"]
+                } else {
+                    match ctx.kind {
+                        LoopKind::Serial if bounds_known => &["vpg", "sp", "mbp"],
+                        LoopKind::Serial => &["sp", "mbp"],
+                        LoopKind::DoAllStatic if bounds_known => &["vpg", "mbp"],
+                        LoopKind::DoAllStatic => &["mbp"],
+                        LoopKind::DoAllDynamic { .. } => &["mbp"],
+                    }
+                };
+
+                let mut remaining: Vec<&CollectedRef> = members.clone();
+                for &tech in order {
+                    if remaining.is_empty() {
+                        break;
+                    }
+                    match tech {
+                        "vpg" => {
+                            remaining.retain(|cr| {
+                                if let Some(p) = try_vpg(program, cr, layout, opt) {
+                                    placements.insert(cr.r.id, p);
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                        }
+                        "sp" => {
+                            let body_cycles = estimate_stmt_cycles(body);
+                            let cadences: Vec<u32> = remaining
+                                .iter()
+                                .map(|cr| sp_cadence(cr, ctx, opt))
+                                .collect();
+                            if let Some(d) = try_sp(ctx, body_cycles, &cadences, opt) {
+                                for (cr, every) in
+                                    remaining.drain(..).zip(cadences)
+                                {
+                                    placements.insert(
+                                        cr.r.id,
+                                        Placement::Pipeline {
+                                            loop_id: lid,
+                                            distance: d,
+                                            every,
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        "mbp" => {
+                            for cr in remaining.drain(..) {
+                                placements.insert(cr.r.id, mbp_or_drop(opt));
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                // Anything still unplaced is dropped.
+                for cr in remaining {
+                    placements.insert(cr.r.id, Placement::Drop);
+                }
+            }
+        }
+    }
+
+    EpochSchedule { placements }
+}
+
+fn mbp_or_drop(opt: &ScheduleOptions) -> Placement {
+    if opt.enable_mbp {
+        Placement::MoveBack
+    } else {
+        Placement::Drop
+    }
+}
+
+fn collect_loops<'a>(
+    stmts: &'a [Stmt],
+    out: &mut HashMap<LoopId, (&'a [Stmt], LoopCtx)>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => {
+                out.insert(
+                    l.id,
+                    (
+                        &l.body[..],
+                        LoopCtx {
+                            id: l.id,
+                            var: l.var,
+                            lo: l.lo.clone(),
+                            hi: l.hi.clone(),
+                            step: l.step,
+                            kind: l.kind,
+                            align: l.align,
+                            is_innermost: false, // not needed here
+                        },
+                    ),
+                );
+                collect_loops(&l.body, out);
+            }
+            Stmt::If(i) => {
+                collect_loops(&i.then_branch, out);
+                collect_loops(&i.else_branch, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Materialization
+// ---------------------------------------------------------------------------
+
+/// Outcome of materializing one epoch: the rewritten statements and which
+/// targets had their `MoveBack` placement dropped for lack of distance.
+pub struct Materialized {
+    pub stmts: Vec<Stmt>,
+    pub dropped_mbp: Vec<RefId>,
+    /// (target, achieved weighted distance) for MBP diagnostics.
+    pub mbp_distances: Vec<(RefId, u32)>,
+}
+
+/// Rewrite an epoch's statements according to the schedule: insert
+/// `prefetch-vector` statements, attach pipelined prefetches, hoist
+/// moved-back line prefetches.
+pub fn materialize_epoch(
+    epoch_stmts: &[Stmt],
+    sched: &EpochSchedule,
+    opt: &ScheduleOptions,
+) -> Materialized {
+    let mut m = Materialized {
+        stmts: Vec::new(),
+        dropped_mbp: Vec::new(),
+        mbp_distances: Vec::new(),
+    };
+    m.stmts = rewrite_block(epoch_stmts, sched, opt, &mut m.dropped_mbp, &mut m.mbp_distances);
+    m
+}
+
+/// Weighted "distance" contribution of skipping one statement (paper: the
+/// move-back parameter is in code distance; loops weigh more).
+fn stmt_weight(s: &Stmt) -> u32 {
+    match s {
+        Stmt::Assign(_) => 1,
+        Stmt::If(_) => 1,
+        Stmt::Loop(_) => 5,
+        Stmt::Prefetch(_) => 1,
+    }
+}
+
+/// Conservative may-conflict test: does `w` possibly write the element `r`
+/// reads, at equal values of all shared loop variables? Disjoint only when
+/// some dimension differs by a nonzero constant.
+fn write_may_conflict(r: &ArrayRef, w: &ArrayRef) -> bool {
+    if r.array != w.array {
+        return false;
+    }
+    for (ri, wi) in r.index.iter().zip(&w.index) {
+        if let Some(d) = ri.uniform_difference(wi) {
+            if d != 0 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Does a statement (recursively) write something that may conflict with `r`?
+fn stmt_conflicts(s: &Stmt, r: &ArrayRef) -> bool {
+    match s {
+        Stmt::Assign(a) => write_may_conflict(r, &a.write),
+        Stmt::Loop(l) => l.body.iter().any(|s| stmt_conflicts(s, r)),
+        Stmt::If(i) => {
+            i.then_branch.iter().any(|s| stmt_conflicts(s, r))
+                || i.else_branch.iter().any(|s| stmt_conflicts(s, r))
+        }
+        Stmt::Prefetch(_) => false,
+    }
+}
+
+fn rewrite_block(
+    stmts: &[Stmt],
+    sched: &EpochSchedule,
+    opt: &ScheduleOptions,
+    dropped: &mut Vec<RefId>,
+    distances: &mut Vec<(RefId, u32)>,
+) -> Vec<Stmt> {
+    // First rewrite children, preserving positions.
+    let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Loop(l) => {
+                let mut new_l = l.clone();
+                new_l.body = rewrite_block(&l.body, sched, opt, dropped, distances);
+                // Attach pipelined prefetches for targets on this loop.
+                for (rid, p) in &sched.placements {
+                    if let Placement::Pipeline { loop_id, distance, every } = p {
+                        if *loop_id == l.id {
+                            if let Some(target) = find_read(&l.body, *rid) {
+                                let shifted: Vec<Affine> = target
+                                    .index
+                                    .iter()
+                                    .map(|ix| {
+                                        ix.substitute(
+                                            l.var,
+                                            &Affine::var(l.var)
+                                                .add_const(*distance as i64 * l.step),
+                                        )
+                                    })
+                                    .collect();
+                                new_l.pipeline.push(PipelinedPrefetch {
+                                    covers: *rid,
+                                    array: target.array,
+                                    index: shifted,
+                                    distance: *distance,
+                                    every: *every,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Vector prefetches inserted before this loop.
+                let mut vecs: Vec<(RefId, Vec<LoopId>)> = sched
+                    .placements
+                    .iter()
+                    .filter_map(|(rid, p)| match p {
+                        Placement::Vector { before, over } if *before == l.id => {
+                            Some((*rid, over.clone()))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                vecs.sort_by_key(|(rid, _)| *rid);
+                for (rid, over) in vecs {
+                    if let Some(target) = find_read_in_loop(l, rid) {
+                        out.push(Stmt::Prefetch(PrefetchStmt {
+                            kind: PrefetchKind::Vector {
+                                covers: rid,
+                                array: target.array,
+                                over,
+                            },
+                        }));
+                    }
+                }
+                out.push(Stmt::Loop(new_l));
+            }
+            Stmt::If(i) => {
+                let mut new_i = i.clone();
+                new_i.then_branch =
+                    rewrite_block(&i.then_branch, sched, opt, dropped, distances);
+                new_i.else_branch =
+                    rewrite_block(&i.else_branch, sched, opt, dropped, distances);
+                out.push(Stmt::If(new_i));
+            }
+            other => out.push(other.clone()),
+        }
+    }
+
+    // Now hoist MoveBack line prefetches for targets whose Assign sits
+    // directly in this block.
+    let mut insertions: Vec<(usize, Stmt, RefId, u32)> = Vec::new();
+    for (pos, s) in out.iter().enumerate() {
+        let Stmt::Assign(a) = s else { continue };
+        for r in &a.reads {
+            match sched.placements.get(&r.id) {
+                Some(Placement::MoveBack) => {}
+                _ => continue,
+            }
+            // Scan back from `pos`, accumulating weighted distance, stopping
+            // at conflicts and at the move-back cap.
+            let mut insert_at = pos;
+            let mut dist = 0u32;
+            while insert_at > 0 && dist < opt.mbp_max_stmts {
+                let prev = &out[insert_at - 1];
+                if stmt_conflicts(prev, r) {
+                    break;
+                }
+                dist += stmt_weight(prev);
+                insert_at -= 1;
+            }
+            if dist < opt.mbp_min_stmts {
+                dropped.push(r.id);
+                continue;
+            }
+            distances.push((r.id, dist));
+            insertions.push((
+                insert_at,
+                Stmt::Prefetch(PrefetchStmt {
+                    kind: PrefetchKind::Line {
+                        covers: r.id,
+                        array: r.array,
+                        index: r.index.clone(),
+                    },
+                }),
+                r.id,
+                dist,
+            ));
+        }
+    }
+    // Apply insertions back-to-front so indices stay valid.
+    insertions.sort_by(|a, b| b.0.cmp(&a.0).then(b.2.cmp(&a.2)));
+    for (at, stmt, _, _) in insertions {
+        out.insert(at, stmt);
+    }
+    out
+}
+
+/// Find the read reference with a given id inside a statement list.
+fn find_read(stmts: &[Stmt], rid: RefId) -> Option<ArrayRef> {
+    for cr in collect_refs_in_stmts(stmts) {
+        if cr.r.id == rid {
+            return Some(cr.r);
+        }
+    }
+    None
+}
+
+fn find_read_in_loop(l: &ccdp_ir::Loop, rid: RefId) -> Option<ArrayRef> {
+    find_read(std::slice::from_ref(&Stmt::Loop(l.clone())), rid)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_ir::{Program, ProgramBuilder};
+
+    fn layout4(p: &Program) -> Layout {
+        Layout::new(p, 4)
+    }
+
+    /// MXM-like: doall j { serial k { serial i { C += A(i,k)*B(k,j) } } }.
+    fn mxm_like(n: i64) -> Program {
+        let mut pb = ProgramBuilder::new("mxm");
+        let a = pb.shared("A", &[n as usize, n as usize]);
+        let b = pb.shared("B", &[n as usize, n as usize]);
+        let c = pb.shared("C", &[n as usize, n as usize]);
+        pb.parallel_epoch("init", |e| {
+            e.doall("j0", 0, n - 1, |e, j| {
+                e.serial("i0", 0, n - 1, |e, i| {
+                    e.assign(a.at2(i, j), 1.0);
+                });
+            });
+        });
+        pb.parallel_epoch("mult", |e| {
+            e.doall("j", 0, n - 1, |e, j| {
+                e.serial("k", 0, n - 1, |e, k| {
+                    e.serial("i", 0, n - 1, |e, i| {
+                        e.assign(
+                            c.at2(i, j),
+                            c.at2(i, j).rd() + a.at2(i, k).rd() * b.at2(k, j).rd(),
+                        );
+                    });
+                });
+            });
+        });
+        pb.finish().unwrap()
+    }
+
+    fn schedule_for(
+        p: &Program,
+        opt: &ScheduleOptions,
+    ) -> (EpochSchedule, Vec<RefId>, &'static str) {
+        let layout = layout4(p);
+        let stale = ccdp_analysis::analyze_stale(p, &layout);
+        let ta = crate::prefetch_targets(p, &stale, &crate::TargetOptions::default());
+        let targets = ta.prefetch_set();
+        let epochs = p.epochs();
+        let mult = epochs.last().unwrap();
+        (schedule_epoch(p, mult, &layout, &targets, opt), targets, "mult")
+    }
+
+    #[test]
+    fn mxm_a_read_gets_vector_prefetch() {
+        let p = mxm_like(32);
+        let opt = ScheduleOptions::default();
+        let (sched, targets, _) = schedule_for(&p, &opt);
+        assert!(!targets.is_empty(), "A(i,k) must be a prefetch target");
+        let has_vector = sched
+            .placements
+            .values()
+            .any(|p| matches!(p, Placement::Vector { .. }));
+        assert!(has_vector, "case 1 with known bounds prefers VPG: {sched:?}");
+    }
+
+    #[test]
+    fn vpg_disabled_falls_to_sp() {
+        let p = mxm_like(32);
+        let opt = ScheduleOptions { enable_vpg: false, ..Default::default() };
+        let (sched, _, _) = schedule_for(&p, &opt);
+        assert!(
+            sched
+                .placements
+                .values()
+                .all(|p| matches!(p, Placement::Pipeline { .. })),
+            "{sched:?}"
+        );
+    }
+
+    #[test]
+    fn sp_distance_respects_queue_capacity() {
+        // Tiny body -> huge latency-derived distance, but the queue caps the
+        // in-flight footprint: distance * line_words / cadence <= queue.
+        let p = mxm_like(32);
+        let opt = ScheduleOptions {
+            enable_vpg: false,
+            sp_max_distance: 64,
+            ..Default::default()
+        };
+        let (sched, _, _) = schedule_for(&p, &opt);
+        for pl in sched.placements.values() {
+            if let Placement::Pipeline { distance, every, .. } = pl {
+                assert!(
+                    *distance * 4 / (*every).max(1) <= 16,
+                    "distance {distance} (every {every}) overflows queue"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_spatial_cadence_is_line_aligned() {
+        // A(i,k) with stride-1 inner loop: one prefetch per 4-word line.
+        let p = mxm_like(32);
+        let opt = ScheduleOptions { enable_vpg: false, ..Default::default() };
+        let (sched, _, _) = schedule_for(&p, &opt);
+        let mut saw = false;
+        for pl in sched.placements.values() {
+            if let Placement::Pipeline { every, .. } = pl {
+                assert_eq!(*every, 4, "stride-1 ref on 4-word lines");
+                saw = true;
+            }
+        }
+        assert!(saw);
+        // Disabled: cadence 1.
+        let opt1 = ScheduleOptions {
+            enable_vpg: false,
+            exploit_self_spatial: false,
+            ..Default::default()
+        };
+        let (sched1, _, _) = schedule_for(&p, &opt1);
+        for pl in sched1.placements.values() {
+            if let Placement::Pipeline { every, .. } = pl {
+                assert_eq!(*every, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_disabled_drops_targets() {
+        let p = mxm_like(16);
+        let opt = ScheduleOptions {
+            enable_vpg: false,
+            enable_sp: false,
+            enable_mbp: false,
+            ..Default::default()
+        };
+        let (sched, targets, _) = schedule_for(&p, &opt);
+        assert!(!targets.is_empty());
+        assert!(sched
+            .placements
+            .values()
+            .all(|p| matches!(p, Placement::Drop)));
+    }
+
+    #[test]
+    fn dynamic_doall_uses_mbp_only() {
+        let mut pb = ProgramBuilder::new("dyn");
+        let a = pb.shared("A", &[64]);
+        let b = pb.shared("B", &[64]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, i| e.assign(a.at1(i), 1.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall_dynamic("i", 0, 63, 4, |e, i| {
+                e.assign(b.at1(i), b.at1(i).rd() + a.at1(63 - i).rd());
+            });
+        });
+        let p = pb.finish().unwrap();
+        let layout = layout4(&p);
+        let stale = ccdp_analysis::analyze_stale(&p, &layout);
+        let ta = crate::prefetch_targets(&p, &stale, &crate::TargetOptions::default());
+        let targets = ta.prefetch_set();
+        assert!(!targets.is_empty());
+        let epochs = p.epochs();
+        let sched =
+            schedule_epoch(&p, epochs[1], &layout, &targets, &ScheduleOptions::default());
+        assert!(
+            sched
+                .placements
+                .values()
+                .all(|p| matches!(p, Placement::MoveBack)),
+            "case 3 is MBP-only: {sched:?}"
+        );
+    }
+
+    #[test]
+    fn loop_with_if_uses_mbp_only_case5() {
+        let mut pb = ProgramBuilder::new("c5");
+        let a = pb.shared("A", &[64]);
+        let b = pb.shared("B", &[64]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, i| e.assign(a.at1(i), 1.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 63, |e, i| {
+                e.assign(b.at1(i), b.at1(i).rd() * 2.0);
+                e.if_(ccdp_ir::CondB::gt(i, 0), |e| {
+                    e.assign(b.at1(i), b.at1(i).rd() + 1.0);
+                    e.assign(b.at1(i), a.at1(63 - i).rd());
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        let layout = layout4(&p);
+        let stale = ccdp_analysis::analyze_stale(&p, &layout);
+        let ta = crate::prefetch_targets(&p, &stale, &crate::TargetOptions::default());
+        let targets = ta.prefetch_set();
+        assert!(!targets.is_empty());
+        let epochs = p.epochs();
+        let sched =
+            schedule_epoch(&p, epochs[1], &layout, &targets, &ScheduleOptions::default());
+        assert!(
+            sched
+                .placements
+                .values()
+                .all(|p| matches!(p, Placement::MoveBack)),
+            "case 5 is MBP-only: {sched:?}"
+        );
+        // Materialize and confirm the prefetch stays inside the if branch.
+        let m = materialize_epoch(&epochs[1].stmts, &sched, &ScheduleOptions::default());
+        let text_prog = {
+            let mut p2 = p.clone();
+            if let ccdp_ir::ProgramItem::Epoch(e) = &mut p2.items[1] {
+                e.stmts = m.stmts.clone();
+            }
+            ccdp_ir::print_program(&p2)
+        };
+        let if_pos = text_prog.find("if i > 0").unwrap();
+        let pf_pos = text_prog.find("! prefetch-line A").unwrap();
+        assert!(
+            pf_pos > if_pos,
+            "prefetch must stay inside the if branch:\n{text_prog}"
+        );
+    }
+
+    #[test]
+    fn mbp_does_not_cross_conflicting_write() {
+        let mut pb = ProgramBuilder::new("mb");
+        let a = pb.shared("A", &[64]);
+        let b = pb.shared("B", &[64]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, i| e.assign(a.at1(i), 1.0));
+        });
+        pb.serial_epoch("seg", |e| {
+            e.serial("i", 1, 62, |e, i| {
+                // write A(i) — the later prefetch of A(i) must not move
+                // above this statement.
+                e.assign(a.at1(i), b.at1(i).rd());
+                e.assign(b.at1(i), b.at1(i).rd() * 0.5);
+                e.assign(b.at1(i), b.at1(i).rd() + a.at1(i).rd());
+            });
+        });
+        // A(i) read in the serial epoch: stale? written by foreign PEs in
+        // epoch w; PE0 reads everything → stale. It is in an innermost loop.
+        let p = pb.finish().unwrap();
+        let layout = layout4(&p);
+        let stale = ccdp_analysis::analyze_stale(&p, &layout);
+        let ta = crate::prefetch_targets(&p, &stale, &crate::TargetOptions::default());
+        let targets = ta.prefetch_set();
+        let epochs = p.epochs();
+        let opt = ScheduleOptions { enable_vpg: false, enable_sp: false, ..Default::default() };
+        let sched = schedule_epoch(&p, epochs[1], &layout, &targets, &opt);
+        let m = materialize_epoch(&epochs[1].stmts, &sched, &opt);
+        // Locate positions inside the loop body.
+        let Stmt::Loop(l) = &m.stmts[0] else { panic!() };
+        let pf_idx = l
+            .body
+            .iter()
+            .position(|s| matches!(s, Stmt::Prefetch(_)))
+            .expect("prefetch materialized");
+        let w_idx = l
+            .body
+            .iter()
+            .position(|s| matches!(s, Stmt::Assign(a) if a.write.array == ccdp_ir::ArrayId(0)))
+            .unwrap();
+        assert!(
+            pf_idx > w_idx,
+            "prefetch of A(i) must stay below the write of A(i): {:?}",
+            l.body.iter().map(stmt_weight).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn estimate_cycles_scales_with_trip_count() {
+        let p = mxm_like(8);
+        let epochs = p.epochs();
+        let mult = &epochs[1].stmts;
+        let c = estimate_stmt_cycles(mult);
+        let p2 = mxm_like(16);
+        let epochs2 = p2.epochs();
+        let c2 = estimate_stmt_cycles(&epochs2[1].stmts);
+        assert!(c2 > 3 * c, "trip-count scaling: {c} vs {c2}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Bounded regular array sections and their arithmetic.
+//!
+//! Array data-flow analyses in the CCDP scheme (stale reference analysis,
+//! prefetch target analysis) summarize the set of array elements touched by a
+//! reference, a loop, an epoch, or a whole routine as a *bounded regular
+//! section* (BRS): one `lo:hi:stride` triplet per array dimension, the same
+//! representation used by the Choi–Yew analyses the paper builds on.
+//!
+//! The lattice used by clients is [`SectionSet`]: a small union of
+//! [`Section`]s with a conservative widening to [`SectionSet::top`] when the
+//! union grows past a budget. All operations are *conservative in the safe
+//! direction for coherence*: over-approximating a write set or a read set can
+//! only cause extra references to be classified potentially-stale (costing
+//! performance, never correctness).
+
+mod range;
+mod section;
+mod set;
+
+pub use range::Range;
+pub use section::Section;
+pub use set::SectionSet;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,375 @@
+//! One-dimensional strided ranges (`lo:hi:stride` triplets).
+
+/// A strided, inclusive integer range `lo..=hi` with step `stride`.
+///
+/// Invariants (maintained by all constructors):
+/// * `stride >= 1`;
+/// * `lo <= hi` (an empty range is represented by [`Range::empty`], a
+///   canonical sentinel, never by `lo > hi`);
+/// * `hi` is *aligned*: `(hi - lo) % stride == 0`, so `hi` is the last
+///   element actually contained.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Range {
+    lo: i64,
+    hi: i64,
+    stride: i64,
+    empty: bool,
+}
+
+impl std::fmt::Debug for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.empty {
+            write!(f, "<empty>")
+        } else if self.stride == 1 {
+            write!(f, "{}:{}", self.lo, self.hi)
+        } else {
+            write!(f, "{}:{}:{}", self.lo, self.hi, self.stride)
+        }
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl Range {
+    /// The canonical empty range.
+    pub const fn empty() -> Self {
+        Range { lo: 0, hi: -1, stride: 1, empty: true }
+    }
+
+    /// A single point.
+    pub fn point(v: i64) -> Self {
+        Range { lo: v, hi: v, stride: 1, empty: false }
+    }
+
+    /// A dense inclusive range; empty when `lo > hi`.
+    pub fn dense(lo: i64, hi: i64) -> Self {
+        Self::strided(lo, hi, 1)
+    }
+
+    /// A strided inclusive range; `hi` is clipped down to alignment.
+    /// Empty when `lo > hi`. `stride <= 0` is treated as 1.
+    pub fn strided(lo: i64, hi: i64, stride: i64) -> Self {
+        let stride = stride.max(1);
+        if lo > hi {
+            return Self::empty();
+        }
+        let hi = hi - (hi - lo).rem_euclid(stride);
+        Range { lo, hi, stride, empty: false }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// Lower bound; `None` for the empty range.
+    pub fn lo(&self) -> Option<i64> {
+        (!self.empty).then_some(self.lo)
+    }
+
+    /// Upper bound (last contained element); `None` for the empty range.
+    pub fn hi(&self) -> Option<i64> {
+        (!self.empty).then_some(self.hi)
+    }
+
+    /// Stride; 1 for the empty range.
+    pub fn stride(&self) -> i64 {
+        self.stride
+    }
+
+    /// Number of elements contained.
+    pub fn len(&self) -> u64 {
+        if self.empty {
+            0
+        } else {
+            ((self.hi - self.lo) / self.stride + 1) as u64
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: i64) -> bool {
+        !self.empty && v >= self.lo && v <= self.hi && (v - self.lo) % self.stride == 0
+    }
+
+    /// Exact containment: does `self` contain every element of `other`?
+    pub fn contains_range(&self, other: &Range) -> bool {
+        if other.empty {
+            return true;
+        }
+        if self.empty {
+            return false;
+        }
+        if other.lo < self.lo || other.hi > self.hi {
+            return false;
+        }
+        // Every element of `other` must be on `self`'s lattice.
+        if (other.lo - self.lo) % self.stride != 0 {
+            return false;
+        }
+        other.stride % self.stride == 0 || other.lo == other.hi
+    }
+
+    /// Do the two ranges share at least one element?
+    ///
+    /// Exact for all stride combinations (solves the congruence with gcd).
+    pub fn intersects(&self, other: &Range) -> bool {
+        if self.empty || other.empty {
+            return false;
+        }
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo > hi {
+            return false;
+        }
+        // Solve x ≡ self.lo (mod s), x ≡ other.lo (mod t) for x in [lo, hi].
+        let s = self.stride;
+        let t = other.stride;
+        let g = gcd(s, t);
+        if (other.lo - self.lo) % g != 0 {
+            return false;
+        }
+        // There is a solution modulo lcm(s, t); find the smallest >= lo.
+        let l = s / g * t; // lcm
+        // Find one solution via extended gcd: self.lo + s*k ≡ other.lo (mod t)
+        // => k ≡ (other.lo - self.lo)/g * inv(s/g) (mod t/g)
+        let (tg, sg) = (t / g, s / g);
+        let inv = mod_inverse(sg.rem_euclid(tg), tg);
+        let k0 = ((other.lo - self.lo) / g).rem_euclid(tg) * inv % tg;
+        let x0 = self.lo + s * k0.rem_euclid(tg);
+        // x0 is a solution; shift into [lo, hi].
+        let x = if x0 >= lo {
+            x0 - (x0 - lo) / l * l
+        } else {
+            x0 + (lo - x0 + l - 1) / l * l
+        };
+        x >= lo && x <= hi
+    }
+
+    /// Conservative intersection: a range containing at least the true
+    /// intersection (exact when strides divide evenly; otherwise the bounding
+    /// dense range of the overlap, or empty when provably disjoint).
+    pub fn intersect_approx(&self, other: &Range) -> Range {
+        if !self.intersects(other) {
+            return Range::empty();
+        }
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if self.stride == other.stride && (other.lo - self.lo) % self.stride == 0 {
+            // Same lattice: exact.
+            let s = self.stride;
+            let lo = lo + (self.lo - lo).rem_euclid(s);
+            return Range::strided(lo, hi, s);
+        }
+        Range::dense(lo, hi)
+    }
+
+    /// Smallest dense-or-strided range containing both (the convex/stride
+    /// hull). Used when unioning would exceed the set budget.
+    pub fn hull(&self, other: &Range) -> Range {
+        if self.empty {
+            return *other;
+        }
+        if other.empty {
+            return *self;
+        }
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        let mut g = gcd(self.stride, other.stride);
+        g = gcd(g, (other.lo - self.lo).abs().max(1));
+        if g == 0 {
+            g = 1;
+        }
+        Range::strided(lo, hi, g)
+    }
+
+    /// Would a union of the two ranges be exactly representable as one range?
+    pub fn union_exact(&self, other: &Range) -> Option<Range> {
+        if self.empty {
+            return Some(*other);
+        }
+        if other.empty {
+            return Some(*self);
+        }
+        // Adjacent or overlapping dense ranges.
+        if self.stride == 1 && other.stride == 1 {
+            if self.lo.max(other.lo) <= self.hi.min(other.hi) + 1 {
+                return Some(Range::dense(self.lo.min(other.lo), self.hi.max(other.hi)));
+            }
+            return None;
+        }
+        // Same stride, same lattice, overlapping-or-abutting.
+        if self.stride == other.stride && (other.lo - self.lo) % self.stride == 0 {
+            let s = self.stride;
+            if self.lo.max(other.lo) <= self.hi.min(other.hi) + s {
+                return Some(Range::strided(
+                    self.lo.min(other.lo),
+                    self.hi.max(other.hi),
+                    s,
+                ));
+            }
+        }
+        if self.contains_range(other) {
+            return Some(*self);
+        }
+        if other.contains_range(self) {
+            return Some(*other);
+        }
+        None
+    }
+
+    /// Iterate over contained values (small ranges only; used by tests and
+    /// by the simulator for prefetch address generation).
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        let (lo, hi, stride, empty) = (self.lo, self.hi, self.stride, self.empty);
+        (0..)
+            .map(move |k| lo + k * stride)
+            .take_while(move |&v| !empty && v <= hi)
+    }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// Modular inverse of `a` modulo `m` (requires `gcd(a, m) == 1`; returns 0
+/// for `m == 1`).
+fn mod_inverse(a: i64, m: i64) -> i64 {
+    if m == 1 {
+        return 0;
+    }
+    let (mut t, mut new_t) = (0i64, 1i64);
+    let (mut r, mut new_r) = (m, a.rem_euclid(m));
+    while new_r != 0 {
+        let q = r / new_r;
+        (t, new_t) = (new_t, t - q * new_t);
+        (r, new_r) = (new_r, r - q * new_r);
+    }
+    debug_assert_eq!(r, 1, "mod_inverse requires coprime inputs");
+    t.rem_euclid(m)
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn empty_basics() {
+        let e = Range::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains(0));
+        assert_eq!(e.lo(), None);
+        assert_eq!(e.hi(), None);
+    }
+
+    #[test]
+    fn dense_construction_and_membership() {
+        let r = Range::dense(3, 7);
+        assert_eq!(r.len(), 5);
+        assert!(r.contains(3) && r.contains(7) && r.contains(5));
+        assert!(!r.contains(2) && !r.contains(8));
+    }
+
+    #[test]
+    fn inverted_bounds_are_empty() {
+        assert!(Range::dense(5, 4).is_empty());
+        assert!(Range::strided(10, 3, 2).is_empty());
+    }
+
+    #[test]
+    fn strided_hi_alignment() {
+        let r = Range::strided(0, 10, 3);
+        assert_eq!(r.hi(), Some(9));
+        assert_eq!(r.len(), 4); // 0 3 6 9
+        assert!(r.contains(9) && !r.contains(10));
+    }
+
+    #[test]
+    fn nonpositive_stride_treated_as_one() {
+        let r = Range::strided(0, 4, 0);
+        assert_eq!(r.stride(), 1);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn containment() {
+        let big = Range::strided(0, 100, 2);
+        assert!(big.contains_range(&Range::strided(10, 20, 4)));
+        assert!(big.contains_range(&Range::point(42)));
+        assert!(!big.contains_range(&Range::point(41)));
+        assert!(!big.contains_range(&Range::strided(1, 21, 4)));
+        assert!(big.contains_range(&Range::empty()));
+        assert!(!Range::empty().contains_range(&Range::point(0)));
+    }
+
+    #[test]
+    fn intersection_same_stride() {
+        let a = Range::strided(0, 20, 2);
+        let b = Range::strided(10, 30, 2);
+        assert!(a.intersects(&b));
+        let i = a.intersect_approx(&b);
+        assert_eq!(i, Range::strided(10, 20, 2));
+    }
+
+    #[test]
+    fn intersection_coprime_strides() {
+        // 0,3,6,9,... vs 0,5,10,... meet at 0, 15, 30...
+        let a = Range::strided(0, 14, 3);
+        let b = Range::strided(5, 14, 5);
+        // common elements within [5,14]: none (15 is out of range)
+        assert!(!a.intersects(&b));
+        let b2 = Range::strided(5, 15, 5);
+        let a2 = Range::strided(0, 15, 3);
+        assert!(a2.intersects(&b2)); // 15
+    }
+
+    #[test]
+    fn intersection_offset_lattices_disjoint() {
+        let evens = Range::strided(0, 100, 2);
+        let odds = Range::strided(1, 99, 2);
+        assert!(!evens.intersects(&odds));
+        assert!(evens.intersect_approx(&odds).is_empty());
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = Range::strided(0, 8, 4);
+        let b = Range::strided(2, 10, 4);
+        let h = a.hull(&b);
+        for v in a.iter().chain(b.iter()) {
+            assert!(h.contains(v), "{h:?} missing {v}");
+        }
+    }
+
+    #[test]
+    fn union_exact_dense_adjacent() {
+        let a = Range::dense(0, 4);
+        let b = Range::dense(5, 9);
+        assert_eq!(a.union_exact(&b), Some(Range::dense(0, 9)));
+        let c = Range::dense(6, 9);
+        assert_eq!(a.union_exact(&c), None);
+    }
+
+    #[test]
+    fn union_exact_strided_same_lattice() {
+        let a = Range::strided(0, 8, 2);
+        let b = Range::strided(10, 16, 2);
+        assert_eq!(a.union_exact(&b), Some(Range::strided(0, 16, 2)));
+        let off = Range::strided(11, 15, 2);
+        assert_eq!(a.union_exact(&off), None);
+    }
+
+    #[test]
+    fn iter_matches_membership() {
+        let r = Range::strided(-6, 6, 3);
+        let vals: Vec<i64> = r.iter().collect();
+        assert_eq!(vals, vec![-6, -3, 0, 3, 6]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Multi-dimensional bounded regular sections.
+
+use crate::Range;
+
+/// A bounded regular section: the cartesian product of one [`Range`] per
+/// array dimension. `A(1:10:2, 5)` is `Section([1:10:2, 5:5])`.
+///
+/// A section with *any* empty dimension is empty; the canonical empty
+/// section keeps its rank so dimension-wise operations stay well-formed.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Section {
+    dims: Vec<Range>,
+}
+
+impl std::fmt::Debug for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for Section {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl Section {
+    /// Build from per-dimension ranges.
+    pub fn new(dims: Vec<Range>) -> Self {
+        Section { dims }
+    }
+
+    /// The empty section of a given rank.
+    pub fn empty(rank: usize) -> Self {
+        Section { dims: vec![Range::empty(); rank] }
+    }
+
+    /// A single element.
+    pub fn point(coords: &[i64]) -> Self {
+        Section { dims: coords.iter().map(|&c| Range::point(c)).collect() }
+    }
+
+    /// The full section of a rectangular array with the given extents
+    /// (dimension `d` covers `0..extents[d]`).
+    pub fn whole(extents: &[usize]) -> Self {
+        Section {
+            dims: extents.iter().map(|&e| Range::dense(0, e as i64 - 1)).collect(),
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    pub fn dims(&self) -> &[Range] {
+        &self.dims
+    }
+
+    pub fn dim(&self, d: usize) -> &Range {
+        &self.dims[d]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(Range::is_empty)
+    }
+
+    /// Number of elements covered (0 when empty).
+    pub fn len(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.dims.iter().map(Range::len).product()
+        }
+    }
+
+    /// Membership test for a coordinate vector.
+    pub fn contains(&self, coords: &[i64]) -> bool {
+        debug_assert_eq!(coords.len(), self.dims.len());
+        !self.is_empty() && coords.iter().zip(&self.dims).all(|(&c, d)| d.contains(c))
+    }
+
+    /// Does `self` contain all of `other`? (Exact.)
+    pub fn contains_section(&self, other: &Section) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if self.is_empty() {
+            return false;
+        }
+        debug_assert_eq!(self.rank(), other.rank());
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.contains_range(b))
+    }
+
+    /// Do the two sections share at least one element? (Exact.)
+    pub fn intersects(&self, other: &Section) -> bool {
+        debug_assert_eq!(self.rank(), other.rank());
+        !self.is_empty()
+            && !other.is_empty()
+            && self.dims.iter().zip(&other.dims).all(|(a, b)| a.intersects(b))
+    }
+
+    /// Conservative intersection (contains at least the true intersection).
+    pub fn intersect_approx(&self, other: &Section) -> Section {
+        debug_assert_eq!(self.rank(), other.rank());
+        if !self.intersects(other) {
+            return Section::empty(self.rank());
+        }
+        Section {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.intersect_approx(b))
+                .collect(),
+        }
+    }
+
+    /// Dimension-wise hull: smallest section (per-dim) containing both.
+    pub fn hull(&self, other: &Section) -> Section {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        debug_assert_eq!(self.rank(), other.rank());
+        Section {
+            dims: self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        }
+    }
+
+    /// Exact union when the two sections differ in at most one dimension and
+    /// that dimension unions exactly; `None` otherwise.
+    pub fn union_exact(&self, other: &Section) -> Option<Section> {
+        if self.is_empty() {
+            return Some(other.clone());
+        }
+        if other.is_empty() {
+            return Some(self.clone());
+        }
+        if self.contains_section(other) {
+            return Some(self.clone());
+        }
+        if other.contains_section(self) {
+            return Some(other.clone());
+        }
+        debug_assert_eq!(self.rank(), other.rank());
+        let mut differing = None;
+        for d in 0..self.rank() {
+            if self.dims[d] != other.dims[d] {
+                if differing.is_some() {
+                    return None;
+                }
+                differing = Some(d);
+            }
+        }
+        let d = differing?;
+        let merged = self.dims[d].union_exact(&other.dims[d])?;
+        let mut dims = self.dims.clone();
+        dims[d] = merged;
+        Some(Section { dims })
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn sec(dims: &[(i64, i64, i64)]) -> Section {
+        Section::new(dims.iter().map(|&(l, h, s)| Range::strided(l, h, s)).collect())
+    }
+
+    #[test]
+    fn whole_and_len() {
+        let s = Section::whole(&[4, 5]);
+        assert_eq!(s.len(), 20);
+        assert!(s.contains(&[0, 0]) && s.contains(&[3, 4]));
+        assert!(!s.contains(&[4, 0]));
+    }
+
+    #[test]
+    fn empty_dimension_makes_section_empty() {
+        let s = Section::new(vec![Range::dense(0, 3), Range::empty()]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(!s.contains(&[0, 0]));
+    }
+
+    #[test]
+    fn containment_2d() {
+        let big = sec(&[(0, 99, 1), (0, 99, 1)]);
+        let small = sec(&[(10, 20, 2), (5, 5, 1)]);
+        assert!(big.contains_section(&small));
+        assert!(!small.contains_section(&big));
+    }
+
+    #[test]
+    fn disjoint_columns_dont_intersect() {
+        let col0 = sec(&[(0, 99, 1), (0, 9, 1)]);
+        let col1 = sec(&[(0, 99, 1), (10, 19, 1)]);
+        assert!(!col0.intersects(&col1));
+        assert!(col0.intersect_approx(&col1).is_empty());
+    }
+
+    #[test]
+    fn intersect_approx_is_superset_of_truth() {
+        let a = sec(&[(0, 20, 2), (0, 30, 3)]);
+        let b = sec(&[(10, 30, 2), (15, 45, 5)]);
+        let i = a.intersect_approx(&b);
+        // Every genuinely shared point must be in the approximation.
+        for x in 0..=30 {
+            for y in 0..=45 {
+                if a.contains(&[x, y]) && b.contains(&[x, y]) {
+                    assert!(i.contains(&[x, y]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_exact_adjacent_blocks() {
+        let left = sec(&[(0, 99, 1), (0, 9, 1)]);
+        let right = sec(&[(0, 99, 1), (10, 19, 1)]);
+        let u = left.union_exact(&right).expect("adjacent column blocks merge");
+        assert_eq!(u, sec(&[(0, 99, 1), (0, 19, 1)]));
+    }
+
+    #[test]
+    fn union_exact_rejects_l_shapes() {
+        let a = sec(&[(0, 9, 1), (0, 9, 1)]);
+        let b = sec(&[(0, 19, 1), (10, 19, 1)]);
+        assert_eq!(a.union_exact(&b), None);
+    }
+
+    #[test]
+    fn hull_is_superset() {
+        let a = sec(&[(0, 4, 2), (7, 7, 1)]);
+        let b = sec(&[(1, 9, 4), (0, 3, 1)]);
+        let h = a.hull(&b);
+        assert!(h.contains(&[0, 7]) && h.contains(&[9, 0]));
+    }
+}

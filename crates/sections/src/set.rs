@@ -1,0 +1,271 @@
+//! Small unions of sections with conservative widening.
+
+use crate::Section;
+
+/// Budget: maximum number of disjoint sections kept before widening to the
+/// dimension-wise hull. Epoch write/read summaries in the four paper kernels
+/// need at most a handful of sections; the budget bounds analysis cost on
+/// adversarial inputs.
+pub const DEFAULT_BUDGET: usize = 8;
+
+/// A union of [`Section`]s of equal rank, used as the data-flow value of the
+/// stale reference analysis ("which elements of array A may have been written
+/// by a foreign PE since this PE last fetched them").
+///
+/// `Top` means "all of the array (and then some)" — the safe
+/// over-approximation after widening or for non-affine references.
+#[derive(Clone, PartialEq, Eq)]
+pub enum SectionSet {
+    /// Everything: the unknown / widened element.
+    Top { rank: usize },
+    /// A finite union of sections.
+    Union { rank: usize, parts: Vec<Section> },
+}
+
+impl std::fmt::Debug for SectionSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SectionSet::Top { .. } => write!(f, "⊤"),
+            SectionSet::Union { parts, .. } => {
+                if parts.is_empty() {
+                    return write!(f, "∅");
+                }
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∪ ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl SectionSet {
+    /// The empty set of a given rank.
+    pub fn bottom(rank: usize) -> Self {
+        SectionSet::Union { rank, parts: Vec::new() }
+    }
+
+    /// The universal set of a given rank.
+    pub fn top(rank: usize) -> Self {
+        SectionSet::Top { rank }
+    }
+
+    /// A set holding one section.
+    pub fn from_section(s: Section) -> Self {
+        let rank = s.rank();
+        if s.is_empty() {
+            Self::bottom(rank)
+        } else {
+            SectionSet::Union { rank, parts: vec![s] }
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        match self {
+            SectionSet::Top { rank } | SectionSet::Union { rank, .. } => *rank,
+        }
+    }
+
+    pub fn is_top(&self) -> bool {
+        matches!(self, SectionSet::Top { .. })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        match self {
+            SectionSet::Top { .. } => false,
+            SectionSet::Union { parts, .. } => parts.is_empty(),
+        }
+    }
+
+    pub fn parts(&self) -> &[Section] {
+        match self {
+            SectionSet::Top { .. } => &[],
+            SectionSet::Union { parts, .. } => parts,
+        }
+    }
+
+    /// Add one section, merging exactly where possible and widening to the
+    /// hull-of-everything when the budget is exceeded.
+    pub fn insert(&mut self, s: Section) {
+        self.insert_with_budget(s, DEFAULT_BUDGET);
+    }
+
+    /// [`SectionSet::insert`] with an explicit budget (tests use small ones).
+    pub fn insert_with_budget(&mut self, s: Section, budget: usize) {
+        if s.is_empty() {
+            return;
+        }
+        let (rank, parts) = match self {
+            SectionSet::Top { .. } => return,
+            SectionSet::Union { rank, parts } => (*rank, parts),
+        };
+        debug_assert_eq!(s.rank(), rank);
+        // Try to merge exactly with an existing part; repeat until fixpoint
+        // because a merge can enable further merges.
+        let mut pending = s;
+        loop {
+            let mut merged = None;
+            for (i, p) in parts.iter().enumerate() {
+                if let Some(u) = p.union_exact(&pending) {
+                    merged = Some((i, u));
+                    break;
+                }
+            }
+            match merged {
+                Some((i, u)) => {
+                    parts.swap_remove(i);
+                    pending = u;
+                }
+                None => {
+                    parts.push(pending);
+                    break;
+                }
+            }
+        }
+        if parts.len() > budget {
+            // Widen: collapse to a single hull. Still sound (superset).
+            let mut hull = parts[0].clone();
+            for p in &parts[1..] {
+                hull = hull.hull(p);
+            }
+            *self = SectionSet::Union { rank, parts: vec![hull] };
+        }
+    }
+
+    /// In-place union with another set.
+    pub fn union_with(&mut self, other: &SectionSet) {
+        if other.is_top() {
+            *self = SectionSet::top(self.rank());
+            return;
+        }
+        for p in other.parts() {
+            self.insert(p.clone());
+        }
+    }
+
+    /// Does the set possibly share an element with `s`? Exact per-part;
+    /// `Top` intersects everything non-empty.
+    pub fn intersects_section(&self, s: &Section) -> bool {
+        if s.is_empty() {
+            return false;
+        }
+        match self {
+            SectionSet::Top { .. } => true,
+            SectionSet::Union { parts, .. } => parts.iter().any(|p| p.intersects(s)),
+        }
+    }
+
+    /// Does the set possibly share an element with another set?
+    pub fn intersects(&self, other: &SectionSet) -> bool {
+        match (self, other) {
+            (SectionSet::Top { .. }, o) => !o.is_empty(),
+            (s, SectionSet::Top { .. }) => !s.is_empty(),
+            _ => other.parts().iter().any(|p| self.intersects_section(p)),
+        }
+    }
+
+    /// Is `s` certainly covered by the set? (May answer `false` for covered
+    /// inputs that straddle parts — conservative in the direction that makes
+    /// *callers* conservative, since cover proofs are used to prove cleanness.)
+    pub fn covers_section(&self, s: &Section) -> bool {
+        if s.is_empty() {
+            return true;
+        }
+        match self {
+            SectionSet::Top { .. } => true,
+            SectionSet::Union { parts, .. } => {
+                parts.iter().any(|p| p.contains_section(s))
+            }
+        }
+    }
+
+    /// Total number of elements (u64::MAX for Top). Upper bound, since parts
+    /// may overlap.
+    pub fn len_upper_bound(&self) -> u64 {
+        match self {
+            SectionSet::Top { .. } => u64::MAX,
+            SectionSet::Union { parts, .. } => {
+                parts.iter().map(Section::len).fold(0u64, u64::saturating_add)
+            }
+        }
+    }
+
+    /// Membership of a single coordinate (Top contains everything).
+    pub fn contains(&self, coords: &[i64]) -> bool {
+        match self {
+            SectionSet::Top { .. } => true,
+            SectionSet::Union { parts, .. } => parts.iter().any(|p| p.contains(coords)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::Range;
+
+    fn block(col_lo: i64, col_hi: i64) -> Section {
+        Section::new(vec![Range::dense(0, 99), Range::dense(col_lo, col_hi)])
+    }
+
+    #[test]
+    fn bottom_and_top() {
+        let b = SectionSet::bottom(2);
+        let t = SectionSet::top(2);
+        assert!(b.is_empty() && !t.is_empty());
+        assert!(t.intersects(&SectionSet::from_section(block(0, 0))));
+        assert!(!b.intersects(&t));
+    }
+
+    #[test]
+    fn insert_merges_adjacent_blocks() {
+        let mut s = SectionSet::bottom(2);
+        s.insert(block(0, 9));
+        s.insert(block(10, 19));
+        s.insert(block(20, 29));
+        assert_eq!(s.parts().len(), 1);
+        assert!(s.covers_section(&block(0, 29)));
+    }
+
+    #[test]
+    fn insert_keeps_disjoint_blocks_separate() {
+        let mut s = SectionSet::bottom(2);
+        s.insert(block(0, 9));
+        s.insert(block(50, 59));
+        assert_eq!(s.parts().len(), 2);
+        assert!(!s.intersects_section(&block(20, 30)));
+        assert!(s.intersects_section(&block(5, 52)));
+    }
+
+    #[test]
+    fn widening_is_sound() {
+        let mut s = SectionSet::bottom(2);
+        for k in 0..6 {
+            s.insert_with_budget(block(k * 20, k * 20 + 5), 3);
+        }
+        // After widening everything originally inserted is still contained.
+        for k in 0..6 {
+            assert!(
+                s.covers_section(&block(k * 20, k * 20 + 5)),
+                "widened set must cover inserted part {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn union_with_top_absorbs() {
+        let mut s = SectionSet::from_section(block(0, 3));
+        s.union_with(&SectionSet::top(2));
+        assert!(s.is_top());
+    }
+
+    #[test]
+    fn covers_is_conservative_not_crazy() {
+        let s = SectionSet::from_section(block(0, 9));
+        assert!(s.covers_section(&block(2, 7)));
+        assert!(!s.covers_section(&block(5, 12)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the section algebra.
+//!
+//! The contract under test everywhere: approximations must *over*-approximate
+//! (soundness for coherence) and exact predicates must agree with brute-force
+//! enumeration on small domains.
+
+use crate::{Range, Section, SectionSet};
+use proptest::prelude::*;
+
+fn arb_range() -> impl Strategy<Value = Range> {
+    (
+        -20i64..20,
+        0i64..30,
+        1i64..6,
+        proptest::bool::weighted(0.1),
+    )
+        .prop_map(|(lo, span, stride, empty)| {
+            if empty {
+                Range::empty()
+            } else {
+                Range::strided(lo, lo + span, stride)
+            }
+        })
+}
+
+fn arb_section(rank: usize) -> impl Strategy<Value = Section> {
+    proptest::collection::vec(arb_range(), rank).prop_map(Section::new)
+}
+
+fn enumerate(r: &Range) -> Vec<i64> {
+    r.iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn range_len_matches_enumeration(r in arb_range()) {
+        prop_assert_eq!(r.len() as usize, enumerate(&r).len());
+    }
+
+    #[test]
+    fn range_contains_matches_enumeration(r in arb_range(), v in -40i64..60) {
+        prop_assert_eq!(r.contains(v), enumerate(&r).contains(&v));
+    }
+
+    #[test]
+    fn range_intersects_is_exact(a in arb_range(), b in arb_range()) {
+        let brute = enumerate(&a).iter().any(|v| b.contains(*v));
+        prop_assert_eq!(a.intersects(&b), brute, "a={:?} b={:?}", a, b);
+    }
+
+    #[test]
+    fn range_intersect_approx_is_superset(a in arb_range(), b in arb_range()) {
+        let i = a.intersect_approx(&b);
+        for v in enumerate(&a) {
+            if b.contains(v) {
+                prop_assert!(i.contains(v), "approx {:?} misses {} of {:?}∩{:?}", i, v, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn range_contains_range_is_exact(a in arb_range(), b in arb_range()) {
+        let brute = enumerate(&b).iter().all(|v| a.contains(*v));
+        prop_assert_eq!(a.contains_range(&b), brute, "a={:?} b={:?}", a, b);
+    }
+
+    #[test]
+    fn range_hull_is_superset(a in arb_range(), b in arb_range()) {
+        let h = a.hull(&b);
+        for v in enumerate(&a).into_iter().chain(enumerate(&b)) {
+            prop_assert!(h.contains(v));
+        }
+    }
+
+    #[test]
+    fn range_union_exact_is_exact(a in arb_range(), b in arb_range()) {
+        if let Some(u) = a.union_exact(&b) {
+            // u must be exactly the union, element for element.
+            let mut want: Vec<i64> = enumerate(&a).into_iter().chain(enumerate(&b)).collect();
+            want.sort_unstable();
+            want.dedup();
+            let got = enumerate(&u);
+            prop_assert_eq!(got, want, "a={:?} b={:?} u={:?}", a, b, u);
+        }
+    }
+
+    #[test]
+    fn section_intersects_is_exact_2d(a in arb_section(2), b in arb_section(2)) {
+        let mut brute = false;
+        'outer: for x in enumerate(a.dim(0)) {
+            for y in enumerate(a.dim(1)) {
+                if b.contains(&[x, y]) {
+                    brute = true;
+                    break 'outer;
+                }
+            }
+        }
+        prop_assert_eq!(a.intersects(&b), brute);
+    }
+
+    #[test]
+    fn section_union_exact_is_exact_2d(a in arb_section(2), b in arb_section(2)) {
+        if let Some(u) = a.union_exact(&b) {
+            for x in -25i64..55 {
+                for y in -25i64..55 {
+                    let want = a.contains(&[x, y]) || b.contains(&[x, y]);
+                    prop_assert_eq!(u.contains(&[x, y]), want,
+                        "at ({}, {}): a={:?} b={:?} u={:?}", x, y, a, b, u);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn set_insert_preserves_membership(
+        secs in proptest::collection::vec(arb_section(2), 1..12),
+        probe in (-25i64..55, -25i64..55),
+    ) {
+        let mut set = SectionSet::bottom(2);
+        for s in &secs {
+            set.insert_with_budget(s.clone(), 3); // tiny budget: force widening
+        }
+        let (x, y) = probe;
+        let in_any = secs.iter().any(|s| s.contains(&[x, y]));
+        if in_any {
+            prop_assert!(set.contains(&[x, y]), "widened set lost a member");
+        }
+    }
+
+    #[test]
+    fn set_intersects_no_false_negatives(
+        secs in proptest::collection::vec(arb_section(2), 1..6),
+        probe in arb_section(2),
+    ) {
+        let mut set = SectionSet::bottom(2);
+        for s in &secs {
+            set.insert(s.clone());
+        }
+        let truly = secs.iter().any(|s| s.intersects(&probe));
+        if truly {
+            prop_assert!(set.intersects_section(&probe));
+        }
+    }
+
+    #[test]
+    fn set_covers_no_false_positives(
+        secs in proptest::collection::vec(arb_section(2), 1..6),
+        probe in arb_section(2),
+    ) {
+        let mut set = SectionSet::bottom(2);
+        for s in &secs {
+            set.insert(s.clone());
+        }
+        if set.covers_section(&probe) && !probe.is_empty() {
+            // Every element of probe must genuinely be in the set.
+            for x in enumerate(probe.dim(0)) {
+                for y in enumerate(probe.dim(1)) {
+                    prop_assert!(set.contains(&[x, y]));
+                }
+            }
+        }
+    }
+}

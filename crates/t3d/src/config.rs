@@ -1,0 +1,180 @@
+//! Machine configuration and execution schemes.
+
+use ccdp_prefetch::PrefetchPlan;
+
+/// Cycle costs and capacities of the simulated machine. Defaults follow the
+/// 150 MHz Cray T3D (Alpha 21064) as characterized by Arpaci et al.
+/// (ISCA '95) and the Cray system documentation the paper cites; they are
+/// inputs to the model, not fitted outputs.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processing elements.
+    pub n_pes: usize,
+    /// Direct-mapped data cache lines per PE (256 × 32 B = 8 KB).
+    pub cache_lines: usize,
+    /// Words (8 B) per cache line.
+    pub line_words: usize,
+
+    /// Cache hit.
+    pub cache_hit: u64,
+    /// Cache miss filled from the PE's own memory.
+    pub local_fill: u64,
+    /// Cache miss filled from a remote PE's memory.
+    pub remote_fill: u64,
+    /// Uncached load from local memory.
+    pub local_uncached: u64,
+    /// Uncached (blocking) load from remote memory.
+    pub remote_uncached: u64,
+    /// Store to local memory.
+    pub write_local: u64,
+    /// Buffered store to remote memory.
+    pub write_remote: u64,
+
+    /// CRAFT software overhead on a *local* shared access (BASE scheme):
+    /// distribution index arithmetic. Local shared data is still cached by
+    /// the hardware (the T3D caches all local memory; CRAFT's "shared data
+    /// is not cached" applies to *remote* data, which never enters the
+    /// cache).
+    pub craft_local: u64,
+    /// CRAFT software overhead on a *remote* shared access (BASE scheme):
+    /// global-address translation and DTB Annex manipulation, on top of the
+    /// uncached network access.
+    pub craft_remote: u64,
+    /// CRAFT local-access overhead for arrays with a *generalized*
+    /// distribution (general div/mod address arithmetic; TOMCATV and SWIM
+    /// in the paper).
+    pub craft_generalized: u64,
+    /// `doshared` startup overhead, charged per DOALL *instance* (per
+    /// barrier phase) in the BASE scheme. TOMCATV's inner DOALLs execute
+    /// ~10^5 instances per run, which is where CRAFT loses badly.
+    pub base_epoch_overhead: u64,
+    /// Per-DOALL-iteration scheduling overhead of CRAFT's `doshared` under
+    /// a generalized distribution (runtime iteration→PE map), BASE scheme.
+    pub base_doshared_iter: u64,
+    /// Setup overhead of the CCDP codes' manual loop assignment, per DOALL
+    /// instance.
+    pub ccdp_epoch_overhead: u64,
+
+    /// Issuing one line prefetch.
+    pub prefetch_issue: u64,
+    /// DTB-Annex entry setup when the prefetch targets a different PE than
+    /// the previous one (amortized across consecutive same-PE prefetches).
+    pub annex_setup: u64,
+    /// Extracting a ready word/line that arrived via the prefetch queue.
+    pub queue_pop: u64,
+    /// Prefetch queue capacity in words; in-flight prefetches beyond this
+    /// are dropped (the covered read then re-fetches coherently).
+    pub queue_words: usize,
+
+    /// PE-blocking part of issuing a vector prefetch (`shmem_get` setup).
+    pub vector_issue: u64,
+    /// Pipeline startup latency of a vector transfer (`shmem_get`'s
+    /// software setup dominates: a few microseconds on the T3D).
+    pub vector_startup: u64,
+    /// Per-word transfer cost of a vector prefetch, in tenths of a cycle.
+    pub vector_per_word_tenths: u64,
+
+    /// Hardware barrier.
+    pub barrier: u64,
+    /// Per-iteration loop bookkeeping.
+    pub loop_overhead: u64,
+    /// Fetching one chunk from the dynamic self-scheduling queue.
+    pub dynamic_chunk_overhead: u64,
+}
+
+impl MachineConfig {
+    /// T3D-like defaults for `n_pes` processors.
+    pub fn t3d(n_pes: usize) -> Self {
+        MachineConfig {
+            n_pes,
+            cache_lines: 256,
+            line_words: 4,
+            cache_hit: 1,
+            local_fill: 22,
+            remote_fill: 150,
+            local_uncached: 22,
+            remote_uncached: 150,
+            write_local: 2,
+            write_remote: 10,
+            craft_local: 2,
+            craft_remote: 25,
+            craft_generalized: 2,
+            base_epoch_overhead: 600,
+            base_doshared_iter: 140,
+            ccdp_epoch_overhead: 80,
+            prefetch_issue: 7,
+            annex_setup: 12,
+            queue_pop: 5,
+            queue_words: 16,
+            vector_issue: 40,
+            vector_startup: 600,
+            vector_per_word_tenths: 20,
+            barrier: 80,
+            loop_overhead: 2,
+            dynamic_chunk_overhead: 30,
+        }
+    }
+
+    /// Total cache capacity in words.
+    pub fn cache_words(&self) -> usize {
+        self.cache_lines * self.line_words
+    }
+}
+
+/// Which execution scheme the simulator applies to shared data.
+#[derive(Clone, Debug)]
+pub enum Scheme {
+    /// Uniprocessor reference run: one PE, all data local and cached, no
+    /// sharing overheads. The denominator of the paper's speedups.
+    Sequential,
+    /// The paper's BASE codes: CRAFT shared data. Local portions are cached
+    /// by the hardware (plus distribution index arithmetic); remote data is
+    /// never cached and pays the full network latency plus software
+    /// address-translation overhead. Coherent by construction (remote
+    /// stores update the owner's cache; nobody caches foreign data).
+    Base,
+    /// The paper's CCDP codes: shared data cached; reads follow the plan's
+    /// handling (`Normal`/`Fresh`/`Bypass`); prefetch operations execute.
+    Ccdp { plan: PrefetchPlan },
+}
+
+impl Scheme {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Sequential => "SEQ",
+            Scheme::Base => "BASE",
+            Scheme::Ccdp { .. } => "CCDP",
+        }
+    }
+}
+
+/// Simulation options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimOptions {
+    /// When `Some(k)`, a `Repeat { count }` block with `count > k` runs only
+    /// `k` iterations and extrapolates total cycles from the steady-state
+    /// per-iteration delta (numerics then correspond to `k` iterations).
+    pub repeat_sample: Option<u32>,
+    /// Record up to this many stale-read examples in the oracle report.
+    pub oracle_examples: usize,
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn t3d_defaults_are_consistent() {
+        let c = MachineConfig::t3d(8);
+        assert_eq!(c.cache_words(), 1024);
+        assert!(c.remote_fill > c.local_fill);
+        assert!(c.remote_uncached > c.local_uncached);
+        assert!(c.queue_words >= c.line_words);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Sequential.name(), "SEQ");
+        assert_eq!(Scheme::Base.name(), "BASE");
+    }
+}

@@ -1,0 +1,847 @@
+//! The program interpreter: executes IR programs on the modelled machine,
+//! accumulating per-PE cycle counts and feeding the coherence oracle.
+
+use std::collections::HashMap;
+
+use ccdp_dist::{chunks, doall_range_for_pe, Layout};
+use ccdp_ir::{
+    cond_core, Affine, ArrayId, ArrayRef, Assign, CmpOp, Cond, Epoch, EpochKind, Loop, LoopId,
+    LoopKind, PrefetchKind, PrefetchStmt, Program, ProgramItem, RefId, Stmt, VarEnv,
+};
+use ccdp_prefetch::Handling;
+
+use crate::config::{MachineConfig, Scheme, SimOptions};
+use crate::mem::Memory;
+use crate::pe::Pe;
+use crate::result::{OracleReport, SimResult, StaleReadExample};
+
+/// Snapshot of one loop header, for vector-prefetch section evaluation.
+#[derive(Clone, Debug)]
+struct LoopHeader {
+    var: ccdp_ir::VarId,
+    lo: Affine,
+    hi: Affine,
+    step: i64,
+    kind: LoopKind,
+    align: Option<ArrayId>,
+}
+
+/// Executes one program under one scheme on one machine configuration.
+pub struct Simulator<'p> {
+    program: &'p Program,
+    layout: Layout,
+    cfg: MachineConfig,
+    scheme: Scheme,
+    opts: SimOptions,
+    mem: Memory,
+    pes: Vec<Pe>,
+    env: VarEnv,
+    phase: u32,
+    oracle: OracleReport,
+    extrapolated: bool,
+    loop_headers: HashMap<LoopId, LoopHeader>,
+    /// Subscripts of every read reference (vector prefetches name targets by
+    /// `RefId`).
+    ref_index: HashMap<RefId, (ArrayId, Vec<Affine>)>,
+    /// FLOP cost per assignment, keyed by the write reference id.
+    flops: HashMap<RefId, u32>,
+    /// BASE-scheme CRAFT local-access overhead per array (depends on the
+    /// array's distribution kind).
+    craft_cost: Vec<u64>,
+    coords: Vec<i64>,
+}
+
+impl<'p> Simulator<'p> {
+    /// Build a simulator. `program` must be the transformed program when the
+    /// scheme is `Ccdp` (its plan indexes the same `RefId` space).
+    pub fn new(
+        program: &'p Program,
+        layout: Layout,
+        cfg: MachineConfig,
+        scheme: Scheme,
+        opts: SimOptions,
+    ) -> Simulator<'p> {
+        assert_eq!(
+            layout.n_pes(),
+            cfg.n_pes,
+            "layout and machine config disagree on PE count"
+        );
+        let mem = Memory::new(program, &layout);
+        let pes = (0..cfg.n_pes).map(|i| Pe::new(i, &cfg)).collect();
+        let craft_cost: Vec<u64> = program
+            .arrays
+            .iter()
+            .map(|a| match layout.distribution(a.id) {
+                ccdp_dist::Distribution::GeneralizedBlock { .. } => cfg.craft_generalized,
+                _ => cfg.craft_local,
+            })
+            .collect();
+        let mut loop_headers = HashMap::new();
+        let mut ref_index = HashMap::new();
+        let mut flops = HashMap::new();
+        let mut seen = std::collections::HashSet::new();
+        for e in program.epochs() {
+            if !seen.insert(e.id) {
+                continue;
+            }
+            index_stmts(&e.stmts, &mut loop_headers, &mut ref_index, &mut flops);
+        }
+        Simulator {
+            program,
+            layout,
+            cfg,
+            scheme,
+            opts,
+            mem,
+            pes,
+            env: VarEnv::new(program.var_names.len()),
+            phase: 0,
+            oracle: OracleReport::default(),
+            extrapolated: false,
+            loop_headers,
+            ref_index,
+            flops,
+            craft_cost,
+            coords: Vec::with_capacity(4),
+        }
+    }
+
+    /// Run to completion.
+    pub fn run(mut self) -> SimResult {
+        let items = self.program.items.as_slice();
+        self.exec_items(items);
+        let cycles = self.global_now();
+        SimResult {
+            scheme: self.scheme.name(),
+            cycles,
+            per_pe: self.pes.iter().map(|p| p.stats).collect(),
+            oracle: self.oracle,
+            memory: self.mem,
+            phases: self.phase,
+            extrapolated: self.extrapolated,
+        }
+    }
+
+    fn global_now(&self) -> u64 {
+        self.pes.iter().map(|p| p.now).max().unwrap_or(0)
+    }
+
+    fn is_ccdp(&self) -> bool {
+        matches!(self.scheme, Scheme::Ccdp { .. })
+    }
+
+    fn handling_of(&self, r: RefId) -> Handling {
+        match &self.scheme {
+            Scheme::Ccdp { plan } => plan.handling_of(r),
+            _ => Handling::Normal,
+        }
+    }
+
+    // -- program structure ---------------------------------------------
+
+    fn exec_items(&mut self, items: &'p [ProgramItem]) {
+        for item in items {
+            match item {
+                ProgramItem::Epoch(e) => self.exec_epoch(e),
+                ProgramItem::Call(r) => {
+                    let prog = self.program;
+                    self.exec_items(&prog.routine(*r).items);
+                }
+                ProgramItem::Repeat { count, body } => self.exec_repeat(*count, body),
+            }
+        }
+    }
+
+    fn exec_repeat(&mut self, count: u32, body: &'p [ProgramItem]) {
+        let sample = self.opts.repeat_sample.unwrap_or(u32::MAX).max(2);
+        if count <= sample {
+            for _ in 0..count {
+                self.exec_items(body);
+            }
+            return;
+        }
+        let mut marks = Vec::with_capacity(sample as usize + 1);
+        marks.push(self.global_now());
+        for _ in 0..sample {
+            self.exec_items(body);
+            marks.push(self.global_now());
+        }
+        // Steady-state per-iteration delta: skip the first (cold caches).
+        let steady = (marks[sample as usize] - marks[1]) / (sample as u64 - 1);
+        let extra = steady * (count - sample) as u64;
+        for pe in &mut self.pes {
+            pe.now += extra;
+        }
+        self.extrapolated = true;
+    }
+
+    fn exec_epoch(&mut self, e: &'p Epoch) {
+        match e.kind {
+            EpochKind::Serial => {
+                self.exec_stmts_on_pe(0, &e.stmts);
+                self.barrier();
+            }
+            EpochKind::Parallel => self.exec_wrapper(&e.stmts),
+        }
+    }
+
+    /// Execute the wrapper region of a parallel epoch: serial loops and
+    /// branches run redundantly (index work only), prefetch statements run
+    /// per-PE, the DOALL runs as a barrier phase.
+    fn exec_wrapper(&mut self, stmts: &'p [Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Loop(l) if l.kind.is_doall() => self.exec_doall(l),
+                Stmt::Loop(l) => {
+                    let lo = l.lo.eval(&self.env);
+                    let hi = l.hi.eval(&self.env);
+                    let mut v = lo;
+                    while v <= hi {
+                        self.env.set(l.var, v);
+                        for pe in &mut self.pes {
+                            pe.now += self.cfg.loop_overhead;
+                        }
+                        self.exec_wrapper(&l.body);
+                        v += l.step;
+                    }
+                    self.env.unset(l.var);
+                }
+                Stmt::If(i) => {
+                    for pe in &mut self.pes {
+                        pe.now += 1;
+                    }
+                    if self.eval_cond(&i.cond) {
+                        self.exec_wrapper(&i.then_branch);
+                    } else {
+                        self.exec_wrapper(&i.else_branch);
+                    }
+                }
+                Stmt::Prefetch(pf) => {
+                    if self.is_ccdp() {
+                        for pe in 0..self.cfg.n_pes {
+                            self.exec_prefetch(pe, pf);
+                        }
+                    }
+                }
+                Stmt::Assign(_) => {
+                    unreachable!("validator forbids assignments in wrapper code")
+                }
+            }
+        }
+    }
+
+    fn exec_doall(&mut self, l: &'p Loop) {
+        let lo = l.lo.eval(&self.env);
+        let hi = l.hi.eval(&self.env);
+        // Parallel-loop startup, charged once per DOALL instance (= per
+        // barrier phase): CRAFT's `doshared` setup vs the CCDP codes'
+        // direct iteration assignment (paper §5.2).
+        let (setup, per_iter) = match self.scheme {
+            Scheme::Sequential => (0, 0),
+            Scheme::Base => (self.cfg.base_epoch_overhead, self.cfg.base_doshared_iter),
+            Scheme::Ccdp { .. } => (self.cfg.ccdp_epoch_overhead, 0),
+        };
+        for pe in &mut self.pes {
+            pe.now += setup;
+        }
+        match l.kind {
+            LoopKind::DoAllStatic => {
+                for pe in 0..self.cfg.n_pes {
+                    let range = match l.align {
+                        Some(aid) => ccdp_dist::aligned_range_for_pe(
+                            &self.layout,
+                            self.program.array(aid),
+                            lo,
+                            hi,
+                            l.step,
+                            pe,
+                        ),
+                        None => doall_range_for_pe(lo, hi, l.step, pe, self.cfg.n_pes),
+                    };
+                    if let Some(r) = range {
+                        let mut v = r.lo;
+                        while v <= r.hi {
+                            self.env.set(l.var, v);
+                            self.pes[pe].now += self.cfg.loop_overhead + per_iter;
+                            self.exec_stmts_on_pe(pe, &l.body);
+                            v += l.step;
+                        }
+                    }
+                }
+            }
+            LoopKind::DoAllDynamic { chunk } => {
+                for c in chunks(lo, hi, l.step, chunk) {
+                    // Next chunk goes to the earliest-available PE.
+                    let pe = (0..self.cfg.n_pes)
+                        .min_by_key(|&p| self.pes[p].now)
+                        .unwrap();
+                    self.pes[pe].now += self.cfg.dynamic_chunk_overhead;
+                    let mut v = c.lo;
+                    while v <= c.hi {
+                        self.env.set(l.var, v);
+                        self.pes[pe].now += self.cfg.loop_overhead + per_iter;
+                        self.exec_stmts_on_pe(pe, &l.body);
+                        v += l.step;
+                    }
+                }
+            }
+            LoopKind::Serial => unreachable!(),
+        }
+        self.env.unset(l.var);
+        self.barrier();
+    }
+
+    fn barrier(&mut self) {
+        let m = self.global_now();
+        let cost = match self.scheme {
+            Scheme::Sequential => 0,
+            _ => self.cfg.barrier,
+        };
+        for pe in &mut self.pes {
+            pe.stats.barrier_wait_cycles += m - pe.now;
+            pe.now = m + cost;
+        }
+        self.phase += 1;
+    }
+
+    // -- statements on one PE -------------------------------------------
+
+    fn exec_stmts_on_pe(&mut self, pe: usize, stmts: &'p [Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::Assign(a) => self.exec_assign(pe, a),
+                Stmt::Loop(l) => self.exec_loop_on_pe(pe, l),
+                Stmt::If(i) => {
+                    self.pes[pe].now += 1;
+                    if self.eval_cond(&i.cond) {
+                        self.exec_stmts_on_pe(pe, &i.then_branch);
+                    } else {
+                        self.exec_stmts_on_pe(pe, &i.else_branch);
+                    }
+                }
+                Stmt::Prefetch(pf) => {
+                    if self.is_ccdp() {
+                        self.exec_prefetch(pe, pf);
+                    }
+                }
+            }
+        }
+    }
+
+    fn exec_loop_on_pe(&mut self, pe: usize, l: &'p Loop) {
+        debug_assert_eq!(l.kind, LoopKind::Serial, "DOALL nested in PE code");
+        let lo = l.lo.eval(&self.env);
+        let hi = l.hi.eval(&self.env);
+        if lo > hi {
+            return;
+        }
+        let pipelined = self.is_ccdp() && !l.pipeline.is_empty();
+        if pipelined {
+            // Prologue: prefetch the first `distance` iterations' targets.
+            let trip = (hi - lo) / l.step + 1;
+            for pfi in 0..l.pipeline.len() {
+                let d = self.program_pipeline(l, pfi).distance as i64;
+                let every = self.program_pipeline(l, pfi).every.max(1) as i64;
+                for k in (0..d.min(trip)).step_by(every as usize) {
+                    self.env.set(l.var, lo + (k - d) * l.step);
+                    let pf = self.program_pipeline(l, pfi);
+                    let (array, index) = (pf.array, &pf.index);
+                    self.issue_line_prefetch(pe, array, index);
+                }
+            }
+        }
+        let mut v = lo;
+        while v <= hi {
+            self.env.set(l.var, v);
+            self.pes[pe].now += self.cfg.loop_overhead;
+            if pipelined {
+                for pfi in 0..l.pipeline.len() {
+                    let pf = self.program_pipeline(l, pfi);
+                    let k = (v - lo) / l.step;
+                    if k % pf.every.max(1) as i64 == 0
+                        && v + pf.distance as i64 * l.step <= hi
+                    {
+                        let (array, index) = (pf.array, &pf.index);
+                        self.issue_line_prefetch(pe, array, index);
+                    }
+                }
+            }
+            self.exec_stmts_on_pe(pe, &l.body);
+            v += l.step;
+        }
+        self.env.unset(l.var);
+    }
+
+    fn program_pipeline(&self, l: &'p Loop, i: usize) -> &'p ccdp_ir::PipelinedPrefetch {
+        &l.pipeline[i]
+    }
+
+    fn exec_assign(&mut self, pe: usize, a: &'p Assign) {
+        let mut vals = std::mem::take(&mut self.pes[pe].scratch);
+        vals.clear();
+        for r in &a.reads {
+            let v = self.exec_read(pe, r);
+            vals.push(v);
+        }
+        let v = a.expr.eval(&vals, &self.env);
+        self.pes[pe].scratch = vals;
+        self.exec_write(pe, &a.write, v);
+        let fl = *self.flops.get(&a.write.id).unwrap_or(&0);
+        self.pes[pe].now += fl as u64 + a.extra_cost as u64;
+    }
+
+    // -- memory operations ------------------------------------------------
+
+    /// Evaluate a reference's subscripts and return the word address within
+    /// its array's space, with a hard bounds check.
+    fn addr_of(&mut self, r_array: ArrayId, index: &[Affine]) -> usize {
+        let decl = self.program.array(r_array);
+        self.coords.clear();
+        for ix in index {
+            self.coords.push(ix.eval(&self.env));
+        }
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (d, &c) in self.coords.iter().enumerate() {
+            assert!(
+                c >= 0 && (c as usize) < decl.extents[d],
+                "{}: index {} out of bounds 0..{} (dim {})",
+                decl.name,
+                c,
+                decl.extents[d],
+                d
+            );
+            off += c as usize * stride;
+            stride *= decl.extents[d];
+        }
+        off
+    }
+
+    fn exec_read(&mut self, pe: usize, r: &'p ArrayRef) -> f64 {
+        let off = self.addr_of(r.array, &r.index);
+        if !self.mem.is_shared(r.array) {
+            self.pes[pe].now += self.cfg.cache_hit;
+            return self.mem.read_private(pe, self.mem.base(r.array) + off);
+        }
+        let addr = self.mem.base(r.array) + off;
+        match self.scheme {
+            Scheme::Base => {
+                let local = self.mem.owner(addr) == pe;
+                if local {
+                    // The T3D caches all local memory; CRAFT pays only the
+                    // distribution index arithmetic on top.
+                    self.pes[pe].now += self.craft_cost[r.array.index()];
+                    self.cached_read(pe, r.id, addr, Handling::Normal)
+                } else {
+                    // Remote shared data is never cached under CRAFT.
+                    let lat = self.cfg.remote_uncached;
+                    let p = &mut self.pes[pe];
+                    p.now += self.cfg.craft_remote + lat;
+                    p.stats.mem_stall_cycles += lat;
+                    p.stats.uncached_reads += 1;
+                    self.mem.read_shared(addr).0
+                }
+            }
+            Scheme::Sequential => self.cached_read(pe, r.id, addr, Handling::Normal),
+            Scheme::Ccdp { .. } => {
+                let h = self.handling_of(r.id);
+                match h {
+                    Handling::Bypass => {
+                        let local = self.mem.owner(addr) == pe;
+                        let lat = if local {
+                            self.cfg.local_uncached
+                        } else {
+                            self.cfg.remote_uncached
+                        };
+                        let p = &mut self.pes[pe];
+                        p.now += lat;
+                        p.stats.mem_stall_cycles += lat;
+                        p.stats.bypass_reads += 1;
+                        self.mem.read_shared(addr).0
+                    }
+                    h => self.cached_read(pe, r.id, addr, h),
+                }
+            }
+        }
+    }
+
+    fn cached_read(&mut self, pe: usize, rid: RefId, addr: usize, h: Handling) -> f64 {
+        let phase = self.phase;
+        if let Some(hit) = self.pes[pe].cache.lookup(addr) {
+            let fresh_ok = h != Handling::Fresh || hit.filled_phase == phase;
+            if fresh_ok {
+                let p = &mut self.pes[pe];
+                if hit.ready_at > p.now {
+                    let wait = hit.ready_at - p.now;
+                    p.stats.prefetch_late += 1;
+                    p.stats.mem_stall_cycles += wait + self.cfg.queue_pop;
+                    p.now = hit.ready_at + self.cfg.queue_pop;
+                } else {
+                    p.now += self.cfg.cache_hit;
+                }
+                p.stats.cache_hits += 1;
+                let (v, ver) = p.cache.read(hit.line, addr);
+                let mem_ver = self.mem.version(addr);
+                if ver < mem_ver {
+                    self.oracle.stale_reads += 1;
+                    if self.oracle.examples.len() < self.opts.oracle_examples {
+                        self.oracle.examples.push(StaleReadExample {
+                            reference: rid,
+                            pe,
+                            addr,
+                            cached_version: ver,
+                            memory_version: mem_ver,
+                            phase,
+                        });
+                    }
+                }
+                return v;
+            }
+            // Fresh read over an old-phase line: coherent re-fetch.
+            self.pes[pe].stats.refresh_fills += 1;
+        }
+        // Miss (or refresh): fill from memory — or from the local staging
+        // buffer when a vector prefetch already moved the line over.
+        let line_base = self.pes[pe].cache.line_base(addr);
+        let local = self.mem.owner(addr) == pe;
+        let staged = !local
+            && self.pes[pe].is_staged(phase, self.pes[pe].cache.line_addr(addr));
+        let lat = if local || staged { self.cfg.local_fill } else { self.cfg.remote_fill };
+        let lw = self.cfg.line_words;
+        let shared_words = self.mem.shared_words();
+        {
+            let mem = &self.mem;
+            let words = (0..lw).map(|k| {
+                let a = line_base + k;
+                if a < shared_words {
+                    mem.read_shared(a)
+                } else {
+                    (0.0, 0)
+                }
+            });
+            let p = &mut self.pes[pe];
+            p.now += lat;
+            p.stats.mem_stall_cycles += lat;
+            if local {
+                p.stats.local_fills += 1;
+            } else if staged {
+                p.stats.staged_fills += 1;
+            } else {
+                p.stats.remote_fills += 1;
+            }
+            let now = p.now;
+            p.cache.install(addr, phase, now, words);
+        }
+        self.mem.read_shared(addr).0
+    }
+
+    fn exec_write(&mut self, pe: usize, w: &'p ArrayRef, v: f64) {
+        let off = self.addr_of(w.array, &w.index);
+        if !self.mem.is_shared(w.array) {
+            self.pes[pe].now += self.cfg.write_local;
+            self.mem.write_private(pe, self.mem.base(w.array) + off, v);
+            return;
+        }
+        let addr = self.mem.base(w.array) + off;
+        let owner = self.mem.owner(addr);
+        let local = owner == pe;
+        let ver = self.mem.write_shared(addr, v);
+        let craft = match self.scheme {
+            Scheme::Base => {
+                if local {
+                    self.craft_cost[w.array.index()]
+                } else {
+                    self.cfg.craft_remote
+                }
+            }
+            _ => 0,
+        };
+        let lat = if local { self.cfg.write_local } else { self.cfg.write_remote };
+        {
+            let p = &mut self.pes[pe];
+            p.now += craft + lat;
+            if local {
+                p.stats.writes_local += 1;
+            } else {
+                p.stats.writes_remote += 1;
+            }
+        }
+        // Hardware keeps the *owner's* cache consistent with its own memory
+        // (incoming remote stores update/invalidate the owner's line), and
+        // the writer's own cached copy is updated write-through. Copies on
+        // third-party PEs are NOT updated — that is the coherence problem.
+        if !matches!(self.scheme, Scheme::Base) || local {
+            self.pes[pe].cache.update_word(addr, v, ver);
+        }
+        self.pes[owner].cache.update_word(addr, v, ver);
+    }
+
+    // -- prefetch operations ----------------------------------------------
+
+    fn issue_line_prefetch(&mut self, pe: usize, array: ArrayId, index: &[Affine]) {
+        let off = self.addr_of(array, index);
+        if !self.mem.is_shared(array) {
+            return; // prefetching private data is a no-op
+        }
+        let addr = self.mem.base(array) + off;
+        let owner = self.mem.owner(addr);
+        let annex = self.pes[pe].annex_cost(owner, &self.cfg);
+        let issue = self.cfg.prefetch_issue + annex;
+        {
+            let p = &mut self.pes[pe];
+            p.now += issue;
+            p.stats.prefetch_cycles += issue;
+        }
+        let lat = if owner == pe { self.cfg.local_fill } else { self.cfg.remote_fill };
+        let ready = self.pes[pe].now + lat;
+        let lw = self.cfg.line_words;
+        let qw = self.cfg.queue_words;
+        if !self.pes[pe].queue_reserve(lw, ready, qw) {
+            self.pes[pe].stats.line_prefetches_dropped += 1;
+            return;
+        }
+        let line_base = self.pes[pe].cache.line_base(addr);
+        let shared_words = self.mem.shared_words();
+        let mem = &self.mem;
+        let words = (0..lw).map(|k| {
+            let a = line_base + k;
+            if a < shared_words {
+                mem.read_shared(a)
+            } else {
+                (0.0, 0)
+            }
+        });
+        let phase = self.phase;
+        let p = &mut self.pes[pe];
+        p.cache.install(addr, phase, ready, words);
+        p.stats.line_prefetches_issued += 1;
+    }
+
+    fn exec_prefetch(&mut self, pe: usize, pf: &'p PrefetchStmt) {
+        match &pf.kind {
+            PrefetchKind::Line { array, index, .. } => {
+                self.issue_line_prefetch(pe, *array, index);
+            }
+            PrefetchKind::Vector { covers, array, over } => {
+                self.exec_vector_prefetch(pe, *covers, *array, over);
+            }
+        }
+    }
+
+    fn exec_vector_prefetch(
+        &mut self,
+        pe: usize,
+        covers: RefId,
+        array: ArrayId,
+        over: &[LoopId],
+    ) {
+        let Some((_, index)) = self.ref_index.get(&covers) else { return };
+        let index = index.clone();
+        // Iteration intervals of the pulled loops, for this PE.
+        let mut intervals: Vec<(ccdp_ir::VarId, i64, i64, i64)> = Vec::new();
+        for lid in over {
+            let h = self.loop_headers.get(lid).expect("unknown pulled loop").clone();
+            let lo = h.lo.eval(&self.env);
+            let hi = h.hi.eval(&self.env);
+            if lo > hi {
+                return;
+            }
+            let (lo, hi) = match h.kind {
+                LoopKind::Serial => (lo, hi),
+                LoopKind::DoAllStatic => {
+                    let range = match h.align {
+                        Some(aid) => ccdp_dist::aligned_range_for_pe(
+                            &self.layout,
+                            self.program.array(aid),
+                            lo,
+                            hi,
+                            h.step,
+                            pe,
+                        ),
+                        None => doall_range_for_pe(lo, hi, h.step, pe, self.cfg.n_pes),
+                    };
+                    match range {
+                        Some(r) => (r.lo, r.hi),
+                        None => return,
+                    }
+                }
+                LoopKind::DoAllDynamic { .. } => return, // never scheduled
+            };
+            intervals.push((h.var, lo, hi, h.step));
+        }
+        // Enumerate the per-dimension value lists of the target section.
+        let decl = self.program.array(array);
+        let mut dim_values: Vec<Vec<i64>> = Vec::with_capacity(index.len());
+        let mut words = 1usize;
+        for ix in &index {
+            let vals = enumerate_affine(ix, &intervals, &self.env);
+            words = words.saturating_mul(vals.len());
+            if words > 1 << 20 {
+                return; // runaway guard; scheduler caps footprints well below
+            }
+            dim_values.push(vals);
+        }
+        if words == 0 {
+            return;
+        }
+        // Collect the distinct cache lines covered.
+        let lw = self.cfg.line_words;
+        let base = self.mem.base(array);
+        let mut line_addrs: Vec<usize> = Vec::with_capacity(words / lw + 1);
+        let mut coords = vec![0i64; dim_values.len()];
+        collect_lines(&dim_values, decl, base, lw, &mut coords, 0, &mut line_addrs);
+        line_addrs.sort_unstable();
+        line_addrs.dedup();
+
+        // Costs: the PE blocks for the issue; data arrives when the block
+        // transfer completes.
+        let issue = self.cfg.vector_issue;
+        let transfer =
+            self.cfg.vector_startup + words as u64 * self.cfg.vector_per_word_tenths / 10;
+        {
+            let p = &mut self.pes[pe];
+            p.now += issue;
+            p.stats.prefetch_cycles += issue;
+            p.stats.vector_prefetches_issued += 1;
+            p.stats.vector_words_moved += words as u64;
+        }
+        let ready = self.pes[pe].now + transfer;
+        let phase = self.phase;
+        let shared_words = self.mem.shared_words();
+        self.pes[pe].stage_lines(phase, line_addrs.iter().map(|&la| la as u64));
+        for la in line_addrs {
+            let line_base = la * lw;
+            let mem = &self.mem;
+            let words_iter = (0..lw).map(|k| {
+                let a = line_base + k;
+                if a < shared_words {
+                    mem.read_shared(a)
+                } else {
+                    (0.0, 0)
+                }
+            });
+            self.pes[pe].cache.install(line_base, phase, ready, words_iter);
+        }
+    }
+
+    fn eval_cond(&self, c: &Cond) -> bool {
+        match cond_core(c) {
+            Cond::Cmp { lhs, op, rhs } => {
+                let l = lhs.eval(&self.env);
+                let r = rhs.eval(&self.env);
+                match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    CmpOp::Lt => l < r,
+                    CmpOp::Le => l <= r,
+                    CmpOp::Gt => l > r,
+                    CmpOp::Ge => l >= r,
+                }
+            }
+            Cond::NonAffine(_) => unreachable!("cond_core unwraps"),
+        }
+    }
+}
+
+/// Values an affine subscript takes over the pulled-loop intervals (other
+/// variables read from `env`). Sorted ascending, deduplicated.
+fn enumerate_affine(
+    ix: &Affine,
+    intervals: &[(ccdp_ir::VarId, i64, i64, i64)],
+    env: &VarEnv,
+) -> Vec<i64> {
+    // Constant contribution from variables not in the intervals.
+    let mut base = ix.constant_term();
+    let mut ranging: Vec<(i64, i64, i64, i64)> = Vec::new(); // (coeff, lo, hi, step)
+    for &(v, c) in ix.terms() {
+        if let Some(&(_, lo, hi, step)) = intervals.iter().find(|(iv, ..)| *iv == v) {
+            ranging.push((c, lo, hi, step));
+        } else {
+            base += c * env.get(v);
+        }
+    }
+    let mut vals = vec![base];
+    for (c, lo, hi, step) in ranging {
+        let mut next = Vec::with_capacity(vals.len() * ((hi - lo) / step + 1) as usize);
+        for v0 in vals {
+            let mut v = lo;
+            while v <= hi {
+                next.push(v0 + c * v);
+                v += step;
+            }
+        }
+        vals = next;
+    }
+    vals.sort_unstable();
+    vals.dedup();
+    vals
+}
+
+/// Cartesian walk over the per-dim value lists, collecting line addresses.
+fn collect_lines(
+    dim_values: &[Vec<i64>],
+    decl: &ccdp_ir::ArrayDecl,
+    base: usize,
+    line_words: usize,
+    coords: &mut [i64],
+    dim: usize,
+    out: &mut Vec<usize>,
+) {
+    if dim == dim_values.len() {
+        let mut off = 0usize;
+        let mut stride = 1usize;
+        for (d, &c) in coords.iter().enumerate() {
+            if c < 0 || c as usize >= decl.extents[d] {
+                return; // sections may over-approximate at edges; skip
+            }
+            off += c as usize * stride;
+            stride *= decl.extents[d];
+        }
+        out.push((base + off) / line_words);
+        return;
+    }
+    for &v in &dim_values[dim] {
+        coords[dim] = v;
+        collect_lines(dim_values, decl, base, line_words, coords, dim + 1, out);
+    }
+}
+
+fn index_stmts(
+    stmts: &[Stmt],
+    loops: &mut HashMap<LoopId, LoopHeader>,
+    refs: &mut HashMap<RefId, (ArrayId, Vec<Affine>)>,
+    flops: &mut HashMap<RefId, u32>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(a) => {
+                for r in &a.reads {
+                    refs.insert(r.id, (r.array, r.index.clone()));
+                }
+                flops.insert(a.write.id, a.expr.flops());
+            }
+            Stmt::Loop(l) => {
+                loops.insert(
+                    l.id,
+                    LoopHeader {
+                        var: l.var,
+                        lo: l.lo.clone(),
+                        hi: l.hi.clone(),
+                        step: l.step,
+                        kind: l.kind,
+                        align: l.align,
+                    },
+                );
+                index_stmts(&l.body, loops, refs, flops);
+            }
+            Stmt::If(i) => {
+                index_stmts(&i.then_branch, loops, refs, flops);
+                index_stmts(&i.else_branch, loops, refs, flops);
+            }
+            Stmt::Prefetch(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

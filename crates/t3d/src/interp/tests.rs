@@ -1,0 +1,472 @@
+//! Interpreter tests: numerics, scheme comparisons, the coherence oracle,
+//! failure injection, and repeat extrapolation.
+
+use ccdp_analysis::analyze_stale;
+use ccdp_dist::Layout;
+use ccdp_ir::{Program, ProgramBuilder};
+use ccdp_prefetch::{plan_prefetches, Handling, PrefetchPlan, ScheduleOptions, TargetOptions};
+
+use crate::{MachineConfig, Scheme, SimOptions, Simulator};
+
+fn seq_run(p: &Program) -> crate::SimResult {
+    let layout = Layout::new(p, 1);
+    let cfg = MachineConfig::t3d(1);
+    Simulator::new(p, layout, cfg, Scheme::Sequential, SimOptions::default()).run()
+}
+
+fn base_run(p: &Program, n_pes: usize) -> crate::SimResult {
+    let layout = Layout::new(p, n_pes);
+    let cfg = MachineConfig::t3d(n_pes);
+    Simulator::new(p, layout, cfg, Scheme::Base, SimOptions::default()).run()
+}
+
+fn ccdp_run(p: &Program, n_pes: usize) -> (Program, crate::SimResult) {
+    let layout = Layout::new(p, n_pes);
+    let stale = analyze_stale(p, &layout);
+    let (tp, plan) = plan_prefetches(
+        p,
+        &layout,
+        &stale,
+        &TargetOptions::default(),
+        &ScheduleOptions::default(),
+    );
+    let cfg = MachineConfig::t3d(n_pes);
+    let r = Simulator::new(
+        &tp,
+        layout,
+        cfg,
+        Scheme::Ccdp { plan },
+        SimOptions { oracle_examples: 4, ..Default::default() },
+    )
+    .run();
+    (tp, r)
+}
+
+/// y = 2x + y over shared arrays, all local: checks numerics end to end.
+fn saxpy(n: usize) -> Program {
+    let mut pb = ProgramBuilder::new("saxpy");
+    let x = pb.shared("X", &[n]);
+    let y = pb.shared("Y", &[n]);
+    pb.serial_epoch("init", |e| {
+        e.serial("i", 0, n as i64 - 1, |e, i| {
+            e.assign(x.at1(i), 3.0);
+        });
+        e.serial("i2", 0, n as i64 - 1, |e, i| {
+            e.assign(y.at1(i), 1.0);
+        });
+    });
+    pb.parallel_epoch("axpy", |e| {
+        e.doall("i", 0, n as i64 - 1, |e, i| {
+            e.assign(y.at1(i), y.at1(i).rd() + x.at1(i).rd() * 2.0);
+        });
+    });
+    pb.finish().unwrap()
+}
+
+/// Writer/reader pair with deliberately foreign (reversed) reads.
+fn reversed_reader(n: usize) -> Program {
+    let mut pb = ProgramBuilder::new("rev");
+    let a = pb.shared("A", &[n]);
+    let b = pb.shared("B", &[n]);
+    pb.parallel_epoch("w", |e| {
+        e.doall("i", 0, n as i64 - 1, |e, i| {
+            e.assign(a.at1(i), 2.0);
+        });
+    });
+    pb.parallel_epoch("r", |e| {
+        e.doall("i", 0, n as i64 - 1, |e, i| {
+            e.assign(b.at1(i), a.at1((n as i64 - 1) - i).rd() * 10.0);
+        });
+    });
+    pb.finish().unwrap()
+}
+
+#[test]
+fn sequential_numerics_are_exact() {
+    let p = saxpy(64);
+    let r = seq_run(&p);
+    let y = r.array_values(&p, p.array_by_name("Y").unwrap().id);
+    assert!(y.iter().all(|&v| v == 7.0), "{y:?}");
+    assert!(r.oracle.is_coherent());
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn all_schemes_compute_identical_results() {
+    for n_pes in [1, 2, 4, 8] {
+        let p = reversed_reader(64);
+        let seq = seq_run(&p);
+        let base = base_run(&p, n_pes);
+        let (tp, ccdp) = ccdp_run(&p, n_pes);
+        let b_id = p.array_by_name("B").unwrap().id;
+        let want = seq.array_values(&p, b_id);
+        assert_eq!(base.array_values(&p, b_id), want, "BASE P={n_pes}");
+        assert_eq!(ccdp.array_values(&tp, b_id), want, "CCDP P={n_pes}");
+        assert!(want.iter().all(|&v| v == 20.0));
+        assert!(ccdp.oracle.is_coherent(), "CCDP must be coherent");
+        assert!(base.oracle.is_coherent());
+    }
+}
+
+#[test]
+fn base_pays_craft_overhead_even_when_local() {
+    let p = saxpy(256);
+    let seq = seq_run(&p);
+    let base = base_run(&p, 1);
+    assert!(
+        base.cycles > seq.cycles,
+        "BASE {} must exceed SEQ {} (uncached + CRAFT)",
+        base.cycles,
+        seq.cycles
+    );
+}
+
+#[test]
+fn ccdp_beats_base_on_remote_heavy_reads() {
+    let p = reversed_reader(512);
+    let base = base_run(&p, 4);
+    let (_, ccdp) = ccdp_run(&p, 4);
+    assert!(
+        ccdp.cycles < base.cycles,
+        "CCDP {} should beat BASE {}",
+        ccdp.cycles,
+        base.cycles
+    );
+    let t = ccdp.total_stats();
+    assert!(
+        t.line_prefetches_issued + t.vector_prefetches_issued > 0,
+        "CCDP run must actually prefetch: {t:?}"
+    );
+}
+
+#[test]
+fn prefetching_beats_bypass_only_coherence() {
+    let p = reversed_reader(512);
+    let layout = Layout::new(&p, 4);
+    let stale = analyze_stale(&p, &layout);
+    // Invalidate-only baseline: no prefetches, bypass every stale read.
+    let plan = PrefetchPlan::bypass_all(&p, &stale);
+    let cfg = MachineConfig::t3d(4);
+    let bypass = Simulator::new(
+        &p,
+        layout,
+        cfg,
+        Scheme::Ccdp { plan },
+        SimOptions::default(),
+    )
+    .run();
+    let (_, ccdp) = ccdp_run(&p, 4);
+    assert!(bypass.oracle.is_coherent());
+    assert!(
+        ccdp.cycles < bypass.cycles,
+        "prefetching ({}) should beat bypass-only ({})",
+        ccdp.cycles,
+        bypass.cycles
+    );
+}
+
+#[test]
+fn oracle_catches_injected_incoherence() {
+    let p = reversed_reader(64);
+    let layout = Layout::new(&p, 4);
+    let stale = analyze_stale(&p, &layout);
+    assert!(stale.n_stale() > 0);
+    // Deliberately break the plan: treat every stale read as Normal.
+    let (tp, mut plan) = plan_prefetches(
+        &p,
+        &layout,
+        &stale,
+        &TargetOptions::default(),
+        &ScheduleOptions { enable_vpg: false, enable_sp: false, enable_mbp: false, ..Default::default() },
+    );
+    for h in plan.handling.iter_mut() {
+        *h = Handling::Normal;
+    }
+    // Warm the caches with a *pre-write* epoch so the stale values differ:
+    // run the sim; the reader may hit lines cached from the write epoch's
+    // own fills. To guarantee a cached stale copy, run reader twice via a
+    // repeat in a fresh program.
+    let mut pb = ProgramBuilder::new("inj");
+    let a = pb.shared("A", &[64]);
+    let b = pb.shared("B", &[64]);
+    pb.repeat(2, |rep| {
+        rep.parallel_epoch("r", |e| {
+            e.doall("i", 0, 63, |e, i| {
+                e.assign(b.at1(i), a.at1(63 - i).rd() + 1.0);
+            });
+        });
+        rep.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, i| {
+                e.assign(a.at1(i), a.at1(i).rd() + 1.0);
+            });
+        });
+    });
+    let p2 = pb.finish().unwrap();
+    let layout2 = Layout::new(&p2, 4);
+    let stale2 = analyze_stale(&p2, &layout2);
+    assert!(stale2.n_stale() > 0);
+    let plan2 = PrefetchPlan {
+        handling: vec![Handling::Normal; p2.n_refs as usize],
+        technique: Default::default(),
+        stats: Default::default(),
+    };
+    let cfg = MachineConfig::t3d(4);
+    let broken = Simulator::new(
+        &p2,
+        layout2.clone(),
+        cfg.clone(),
+        Scheme::Ccdp { plan: plan2 },
+        SimOptions { oracle_examples: 8, ..Default::default() },
+    )
+    .run();
+    assert!(
+        !broken.oracle.is_coherent(),
+        "oracle must flag stale reads when handling is Normal everywhere"
+    );
+    assert!(!broken.oracle.examples.is_empty());
+
+    // And the numerics really are wrong vs the sequential reference.
+    let seq = seq_run(&p2);
+    let b_id = p2.array_by_name("B").unwrap().id;
+    assert_ne!(
+        broken.array_values(&p2, b_id),
+        seq.array_values(&p2, b_id),
+        "stale reads must corrupt results"
+    );
+
+    let _ = (tp, plan);
+}
+
+#[test]
+fn correct_ccdp_plan_is_coherent_on_the_injection_kernel() {
+    let mut pb = ProgramBuilder::new("inj-ok");
+    let a = pb.shared("A", &[64]);
+    let b = pb.shared("B", &[64]);
+    pb.repeat(3, |rep| {
+        rep.parallel_epoch("r", |e| {
+            e.doall("i", 0, 63, |e, i| {
+                e.assign(b.at1(i), a.at1(63 - i).rd() + 1.0);
+            });
+        });
+        rep.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, i| {
+                e.assign(a.at1(i), a.at1(i).rd() + 1.0);
+            });
+        });
+    });
+    let p = pb.finish().unwrap();
+    let (tp, r) = ccdp_run(&p, 4);
+    assert!(r.oracle.is_coherent(), "{:?}", r.oracle.examples);
+    let seq = seq_run(&p);
+    let b_id = p.array_by_name("B").unwrap().id;
+    assert_eq!(r.array_values(&tp, b_id), seq.array_values(&p, b_id));
+}
+
+#[test]
+fn dynamic_doall_executes_every_iteration() {
+    let mut pb = ProgramBuilder::new("dyn");
+    let a = pb.shared("A", &[100]);
+    pb.parallel_epoch("w", |e| {
+        e.doall_dynamic("i", 0, 99, 7, |e, i| {
+            e.assign(a.at1(i), 5.0);
+        });
+    });
+    let p = pb.finish().unwrap();
+    let r = base_run(&p, 3);
+    let vals = r.array_values(&p, p.array_by_name("A").unwrap().id);
+    assert!(vals.iter().all(|&v| v == 5.0));
+}
+
+#[test]
+fn repeat_extrapolation_approximates_full_run() {
+    let mut pb = ProgramBuilder::new("rep");
+    let a = pb.shared("A", &[128]);
+    let b = pb.shared("B", &[128]);
+    pb.repeat(24, |rep| {
+        rep.parallel_epoch("r", |e| {
+            e.doall("i", 0, 127, |e, i| {
+                e.assign(b.at1(i), a.at1(127 - i).rd() * 0.5 + b.at1(i).rd());
+            });
+        });
+        rep.parallel_epoch("w", |e| {
+            e.doall("i", 0, 127, |e, i| {
+                e.assign(a.at1(i), b.at1(i).rd());
+            });
+        });
+    });
+    let p = pb.finish().unwrap();
+    let layout = Layout::new(&p, 4);
+    let cfg = MachineConfig::t3d(4);
+    let full = Simulator::new(
+        &p,
+        layout.clone(),
+        cfg.clone(),
+        Scheme::Base,
+        SimOptions::default(),
+    )
+    .run();
+    let sampled = Simulator::new(
+        &p,
+        layout,
+        cfg,
+        Scheme::Base,
+        SimOptions { repeat_sample: Some(4), ..Default::default() },
+    )
+    .run();
+    assert!(sampled.extrapolated);
+    assert!(!full.extrapolated);
+    let (a, b) = (full.cycles as f64, sampled.cycles as f64);
+    let rel = (a - b).abs() / a;
+    assert!(rel < 0.02, "extrapolation error {rel:.3} (full {a}, sampled {b})");
+}
+
+#[test]
+fn serial_epoch_runs_on_pe0_and_others_wait() {
+    let mut pb = ProgramBuilder::new("ser");
+    let a = pb.shared("A", &[64]);
+    pb.serial_epoch("init", |e| {
+        e.serial("i", 0, 63, |e, i| e.assign(a.at1(i), 1.0));
+    });
+    let p = pb.finish().unwrap();
+    let r = base_run(&p, 4);
+    // PE0 did the work; the others only waited at the barrier.
+    assert!(r.per_pe[0].writes_local + r.per_pe[0].writes_remote == 64);
+    for pe in 1..4 {
+        assert_eq!(r.per_pe[pe].writes_local + r.per_pe[pe].writes_remote, 0);
+        assert!(r.per_pe[pe].barrier_wait_cycles > 0);
+    }
+}
+
+#[test]
+fn multi_phase_epoch_barriers_per_wrapper_iteration() {
+    let mut pb = ProgramBuilder::new("mp");
+    let a = pb.shared("A", &[16, 16]);
+    pb.parallel_epoch("sweep", |e| {
+        e.serial("j", 1, 15, |e, j| {
+            e.doall("i", 1, 15, |e, i| {
+                e.assign(a.at2(i, j), a.at2(i - 1, j - 1).rd() + 1.0);
+            });
+        });
+    });
+    let p = pb.finish().unwrap();
+    let r = base_run(&p, 4);
+    assert_eq!(r.phases, 15, "one barrier per wrapper iteration");
+    // And the recurrence is computed correctly (sequential comparison).
+    let seq = seq_run(&p);
+    let aid = p.array_by_name("A").unwrap().id;
+    assert_eq!(r.array_values(&p, aid), seq.array_values(&p, aid));
+}
+
+#[test]
+fn vector_prefetch_moves_words_and_stays_coherent() {
+    // MXM-ish kernel where VPG triggers (serial inner loop, const bounds).
+    let n = 32usize;
+    let mut pb = ProgramBuilder::new("vpg");
+    let a = pb.shared("A", &[n, n]);
+    let c = pb.shared("C", &[n, n]);
+    pb.parallel_epoch("w", |e| {
+        e.doall("j", 0, n as i64 - 1, |e, j| {
+            e.serial("i", 0, n as i64 - 1, |e, i| e.assign(a.at2(i, j), 1.0));
+        });
+    });
+    pb.parallel_epoch("mult", |e| {
+        e.doall("j", 0, n as i64 - 1, |e, j| {
+            e.serial("k", 0, n as i64 - 1, |e, k| {
+                e.serial("i", 0, n as i64 - 1, |e, i| {
+                    e.assign(c.at2(i, j), c.at2(i, j).rd() + a.at2(i, k).rd());
+                });
+            });
+        });
+    });
+    let p = pb.finish().unwrap();
+    let (_, r) = ccdp_run(&p, 4);
+    let t = r.total_stats();
+    assert!(t.vector_prefetches_issued > 0, "{t:?}");
+    assert!(t.vector_words_moved > 0);
+    assert!(r.oracle.is_coherent());
+}
+
+#[test]
+fn staging_buffer_turns_thrash_refetches_local() {
+    // Arrays wide enough that two vector-prefetched columns alias in a tiny
+    // direct-mapped cache: with the staging buffer the conflict refills are
+    // local, and the run stays coherent and correct.
+    let n = 32usize;
+    let mut pb = ProgramBuilder::new("thrash");
+    let a = pb.shared("A", &[n, n]);
+    let b = pb.shared("B", &[n, n]);
+    let c = pb.shared("C", &[n, n]);
+    pb.parallel_epoch("w", |e| {
+        e.doall_aligned("j", 0, n as i64 - 1, &a, |e, j| {
+            e.serial("i", 0, n as i64 - 1, |e, i| {
+                e.assign(a.at2(i, j), i.val() + 1.0);
+                e.assign(b.at2(i, j), j.val() + 2.0);
+            });
+        });
+    });
+    pb.parallel_epoch("r", |e| {
+        e.doall_aligned("j", 0, n as i64 - 1, &c, |e, j| {
+            e.serial("i", 0, n as i64 - 1, |e, i| {
+                // Two transposed reads: both stale, vector-prefetchable, and
+                // their footprints alias in a small cache.
+                e.assign(
+                    c.at2(i, j),
+                    a.at2(j, i).rd() + b.at2(j, i).rd(),
+                );
+            });
+        });
+    });
+    let p = pb.finish().unwrap();
+    let layout = Layout::new(&p, 4);
+    let stale = analyze_stale(&p, &layout);
+    let (tp, plan) = plan_prefetches(
+        &p,
+        &layout,
+        &stale,
+        &TargetOptions::default(),
+        &ScheduleOptions { vpg_max_words: 64, ..Default::default() },
+    );
+    let mut cfg = MachineConfig::t3d(4);
+    cfg.cache_lines = 8; // force aliasing between the prefetched columns
+    let r = Simulator::new(
+        &tp,
+        layout,
+        cfg,
+        Scheme::Ccdp { plan },
+        SimOptions::default(),
+    )
+    .run();
+    assert!(r.oracle.is_coherent());
+    let t = r.total_stats();
+    if t.vector_prefetches_issued > 0 {
+        assert!(
+            t.staged_fills > 0,
+            "conflict evictions of staged lines must refill locally: {t:?}"
+        );
+    }
+    // Numerics still exact.
+    let seq = seq_run(&p);
+    let cid = p.array_by_name("C").unwrap().id;
+    assert_eq!(r.array_values(&tp, cid), seq.array_values(&p, cid));
+}
+
+#[test]
+fn aligned_doall_keeps_writes_local() {
+    // 13 columns over 4 PEs with a 12-iteration loop: aligned scheduling
+    // keeps every write local; count-block scheduling would not.
+    let n = 13usize;
+    let mut pb = ProgramBuilder::new("align");
+    let a = pb.shared("A", &[4, n]);
+    pb.parallel_epoch("w", |e| {
+        e.doall_aligned("j", 0, n as i64 - 2, &a, |e, j| {
+            e.serial("i", 0, 3, |e, i| {
+                e.assign(a.at2(i, j), 1.0);
+            });
+        });
+    });
+    let p = pb.finish().unwrap();
+    let r = base_run(&p, 4);
+    let t = r.total_stats();
+    assert_eq!(t.writes_remote, 0, "aligned DOALL must write locally: {t:?}");
+    assert_eq!(t.writes_local, 4 * (n as u64 - 1));
+}

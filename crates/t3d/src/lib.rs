@@ -1,0 +1,50 @@
+//! `t3d-sim`: a cycle-cost simulator of a Cray T3D-like non-cache-coherent
+//! shared-address-space multiprocessor.
+//!
+//! # What is modelled
+//!
+//! * **PEs** with private direct-mapped data caches (8 KB, 32-byte lines by
+//!   default — the Alpha 21064 configuration), a 16-word prefetch queue, and
+//!   a DTB-Annex-style setup cost for switching remote targets.
+//! * **Distributed memory**: every shared-array word lives on exactly one
+//!   PE (per the `ccdp-dist` layout); local vs remote access latencies are
+//!   taken from published T3D measurements (see `MachineConfig`).
+//! * **No hardware coherence**: caches are never invalidated by remote
+//!   writes. Coherence is whatever the executed program's prefetch plan
+//!   achieves — which is the point of the paper.
+//! * **Execution schemes**: `Sequential` (1 PE, everything local and
+//!   cached), `Base` (CRAFT-style: shared data *not cached*, software
+//!   shared-address overhead on every access), and `Ccdp` (shared data
+//!   cached; potentially-stale reads follow the prefetch plan's `Fresh` /
+//!   `Bypass` handling; prefetch statements and pipelined prefetches are
+//!   executed).
+//! * **A coherence oracle**: memory keeps a version per word, cache lines
+//!   remember the versions they loaded, and every consumed cached read is
+//!   checked; reading a word older than memory is recorded as a *stale read
+//!   violation* (and the stale value is really returned, so broken plans
+//!   produce genuinely wrong numerics). A correct CCDP plan yields zero
+//!   violations — the test suite and the failure-injection tests lean on
+//!   this.
+//!
+//! # Time model
+//!
+//! Each PE owns a cycle counter. DOALL phases advance PEs independently and
+//! re-synchronize at barriers (max + barrier cost). Serial epochs run on
+//! PE 0. Repeat blocks can be *sampled* (`SimOptions::repeat_sample`): the
+//! simulator runs a few iterations and extrapolates the steady-state
+//! per-iteration cycle delta, which is how the 100-iteration TOMCATV/SWIM
+//! runs stay tractable.
+
+mod cache;
+mod config;
+mod interp;
+mod mem;
+mod pe;
+mod result;
+
+pub use cache::Cache;
+pub use config::{MachineConfig, Scheme, SimOptions};
+pub use interp::Simulator;
+pub use mem::Memory;
+pub use pe::{Pe, PeStats};
+pub use result::{OracleReport, SimResult};

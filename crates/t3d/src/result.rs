@@ -1,0 +1,73 @@
+//! Simulation results and the coherence oracle report.
+
+use ccdp_ir::{ArrayId, Program, RefId};
+
+use crate::mem::Memory;
+use crate::pe::PeStats;
+
+/// One recorded stale-read violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaleReadExample {
+    pub reference: RefId,
+    pub pe: usize,
+    pub addr: usize,
+    pub cached_version: u32,
+    pub memory_version: u32,
+    pub phase: u32,
+}
+
+/// The coherence oracle's verdict on a run.
+#[derive(Clone, Debug, Default)]
+pub struct OracleReport {
+    /// Number of consumed cached reads that returned a word older than main
+    /// memory. Must be zero for any correct execution scheme.
+    pub stale_reads: u64,
+    /// First few violations, for diagnostics.
+    pub examples: Vec<StaleReadExample>,
+}
+
+impl OracleReport {
+    pub fn is_coherent(&self) -> bool {
+        self.stale_reads == 0
+    }
+}
+
+/// Everything a simulation run produces.
+pub struct SimResult {
+    /// Scheme name ("SEQ" / "BASE" / "CCDP").
+    pub scheme: &'static str,
+    /// Total simulated cycles (max over PEs at the final barrier).
+    pub cycles: u64,
+    /// Per-PE statistics.
+    pub per_pe: Vec<PeStats>,
+    /// Oracle verdict.
+    pub oracle: OracleReport,
+    /// Final memory (for numerical validation).
+    pub memory: Memory,
+    /// Barrier phases executed.
+    pub phases: u32,
+    /// True when Repeat extrapolation was applied (numerics then reflect
+    /// only the sampled iterations).
+    pub extrapolated: bool,
+}
+
+impl SimResult {
+    /// Machine-wide statistics.
+    pub fn total_stats(&self) -> PeStats {
+        let mut t = PeStats::default();
+        for s in &self.per_pe {
+            t.add(s);
+        }
+        t
+    }
+
+    /// Final contents of a shared array.
+    pub fn array_values(&self, program: &Program, a: ArrayId) -> Vec<f64> {
+        self.memory.array_values(program, a)
+    }
+
+    /// Megawords of shared data moved by vector prefetches (diagnostics).
+    pub fn vector_words(&self) -> u64 {
+        self.per_pe.iter().map(|s| s.vector_words_moved).sum()
+    }
+}

@@ -1,0 +1,153 @@
+//! Failure injection: deliberately break the coherence machinery and check
+//! that the oracle (and the numerics) catch it, and that hardware-limit
+//! pressure (tiny prefetch queues) degrades performance but never
+//! correctness.
+
+use ccdp_bench::synth::{random_program, SynthConfig};
+use ccdp_core::{compile_ccdp, run_seq, PipelineConfig};
+use ccdp_kernels::{tomcatv, values_equal};
+use ccdp_prefetch::Handling;
+use t3d_sim::{MachineConfig, Scheme, SimOptions, Simulator};
+
+/// Remove all coherence handling from a plan: every read becomes Normal.
+fn break_plan(plan: &mut ccdp_prefetch::PrefetchPlan) {
+    for h in plan.handling.iter_mut() {
+        *h = Handling::Normal;
+    }
+}
+
+#[test]
+fn oracle_flags_unprotected_stale_reads_on_tomcatv() {
+    let pr = tomcatv::Params { n: 16, iters: 3 };
+    let program = tomcatv::build(&pr);
+    let n_pes = 4;
+    let mut cfg = PipelineConfig::t3d(n_pes);
+    cfg.layout = Some(tomcatv::layout(&program, n_pes));
+    let art = compile_ccdp(&program, &cfg);
+    assert!(art.stale.n_stale() > 0);
+
+    let mut plan = art.plan.clone();
+    break_plan(&mut plan);
+    // Run the ORIGINAL program (no prefetch statements) with the broken
+    // plan: caching without any coherence action.
+    let broken = Simulator::new(
+        &program,
+        cfg.layout_for(&program),
+        MachineConfig::t3d(n_pes),
+        Scheme::Ccdp { plan },
+        SimOptions { oracle_examples: 8, ..Default::default() },
+    )
+    .run();
+    assert!(
+        !broken.oracle.is_coherent(),
+        "caching without coherence actions must surface stale reads"
+    );
+    assert!(!broken.oracle.examples.is_empty());
+    // And the numbers really are wrong.
+    let aid = program.array_by_name("X").unwrap().id;
+    let want = tomcatv::golden_iters(&pr, pr.iters);
+    let got = broken.array_values(&program, aid);
+    assert!(
+        !values_equal(&got, &want),
+        "stale reads should corrupt the mesh"
+    );
+}
+
+#[test]
+fn breaking_single_random_programs_is_detected_or_harmless() {
+    // For random programs, clearing the handling map must never make the
+    // oracle *and* the numerics disagree: if results are wrong, the oracle
+    // must have flagged stale reads.
+    let cfg = SynthConfig::default();
+    let mut detected = 0;
+    for seed in 0..25u64 {
+        let program = random_program(seed, &cfg);
+        let pcfg = PipelineConfig::t3d(4);
+        let art = compile_ccdp(&program, &pcfg);
+        let mut plan = art.plan.clone();
+        break_plan(&mut plan);
+        let broken = Simulator::new(
+            &program,
+            pcfg.layout_for(&program),
+            MachineConfig::t3d(4),
+            Scheme::Ccdp { plan },
+            SimOptions { oracle_examples: 2, ..Default::default() },
+        )
+        .run();
+        let seq = run_seq(&program, &pcfg);
+        let mut wrong = false;
+        for a in &program.arrays {
+            if broken.array_values(&program, a.id)
+                != seq.array_values(&program, a.id)
+            {
+                wrong = true;
+            }
+        }
+        if wrong {
+            assert!(
+                !broken.oracle.is_coherent(),
+                "seed {seed}: wrong results but clean oracle"
+            );
+        }
+        if !broken.oracle.is_coherent() {
+            detected += 1;
+        }
+    }
+    assert!(
+        detected >= 5,
+        "expected several seeds with real staleness, got {detected}"
+    );
+}
+
+#[test]
+fn tiny_prefetch_queue_drops_prefetches_but_stays_correct() {
+    let pr = tomcatv::Params { n: 16, iters: 2 };
+    let program = tomcatv::build(&pr);
+    let n_pes = 4;
+    let mut cfg = PipelineConfig::t3d(n_pes);
+    cfg.layout = Some(tomcatv::layout(&program, n_pes));
+    // Scheduler thinks the queue is large; the machine's is tiny: prefetch
+    // drops must be absorbed by the coherent-miss fallback.
+    cfg.schedule.enable_vpg = false; // force line prefetches through the queue
+    let art = compile_ccdp(&program, &cfg);
+    let mut machine = MachineConfig::t3d(n_pes);
+    machine.queue_words = 4;
+    let r = Simulator::new(
+        &art.transformed,
+        cfg.layout_for(&program),
+        machine,
+        Scheme::Ccdp { plan: art.plan.clone() },
+        SimOptions::default(),
+    )
+    .run();
+    assert!(r.oracle.is_coherent());
+    let aid = program.array_by_name("X").unwrap().id;
+    let want = tomcatv::golden_iters(&pr, pr.iters);
+    assert!(values_equal(&r.array_values(&art.transformed, aid), &want));
+}
+
+#[test]
+fn cache_invalidation_mid_run_is_recovered_by_fresh_reads() {
+    // Invalidate-everything machines (cold caches) are always correct: a
+    // 1-line cache forces constant eviction.
+    let pr = tomcatv::Params { n: 14, iters: 2 };
+    let program = tomcatv::build(&pr);
+    let n_pes = 2;
+    let mut cfg = PipelineConfig::t3d(n_pes);
+    cfg.layout = Some(tomcatv::layout(&program, n_pes));
+    let art = compile_ccdp(&program, &cfg);
+    let mut machine = MachineConfig::t3d(n_pes);
+    machine.cache_lines = 1;
+    let r = Simulator::new(
+        &art.transformed,
+        cfg.layout_for(&program),
+        machine,
+        Scheme::Ccdp { plan: art.plan.clone() },
+        SimOptions::default(),
+    )
+    .run();
+    assert!(r.oracle.is_coherent());
+    let aid = program.array_by_name("X").unwrap().id;
+    let want = tomcatv::golden_iters(&pr, pr.iters);
+    assert!(values_equal(&r.array_values(&art.transformed, aid), &want));
+}

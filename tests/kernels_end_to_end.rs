@@ -1,0 +1,114 @@
+//! Full-pipeline integration tests for the four paper kernels at reduced
+//! sizes: numerical equality against the golden references under every
+//! scheme and PE count, plus coherence and basic performance sanity.
+
+use ccdp_core::{compare, run_invalidate_only, PipelineConfig};
+use ccdp_kernels::{mxm, small_suite, swim, tomcatv, values_equal, vpenta};
+use t3d_sim::SimOptions;
+
+const PES: [usize; 5] = [1, 2, 3, 4, 8];
+
+#[test]
+fn every_kernel_every_pe_count_matches_golden() {
+    for spec in small_suite() {
+        let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
+        for n in PES {
+            let cmp = compare(&spec.program, &PipelineConfig::t3d(n));
+            assert!(
+                cmp.ccdp.oracle.is_coherent(),
+                "{} P={}: {:?}",
+                spec.name,
+                n,
+                cmp.ccdp.oracle.examples
+            );
+            let base = cmp.base.array_values(&spec.program, aid);
+            assert!(
+                values_equal(&base, &spec.golden),
+                "{} P={} BASE numerics",
+                spec.name,
+                n
+            );
+            let ccdp = cmp.ccdp.array_values(&spec.program, aid);
+            assert!(
+                values_equal(&ccdp, &spec.golden),
+                "{} P={} CCDP numerics",
+                spec.name,
+                n
+            );
+            assert!(
+                cmp.improvement_pct > -5.0,
+                "{} P={}: CCDP much slower than BASE ({:.1}%)",
+                spec.name,
+                n,
+                cmp.improvement_pct
+            );
+        }
+    }
+}
+
+#[test]
+fn ccdp_speedup_scales_with_pes() {
+    // On the embarrassingly parallel kernels the CCDP speedup must grow
+    // monotonically over this small PE range.
+    for (name, program) in [
+        ("MXM", mxm::build(&mxm::Params::small())),
+        ("VPENTA", vpenta::build(&vpenta::Params::small())),
+    ] {
+        let mut last = 0.0;
+        for n in [1usize, 2, 4] {
+            let cmp = compare(&program, &PipelineConfig::t3d(n));
+            assert!(
+                cmp.ccdp_speedup > last,
+                "{name}: speedup not increasing at P={n}: {} <= {last}",
+                cmp.ccdp_speedup
+            );
+            last = cmp.ccdp_speedup;
+        }
+    }
+}
+
+#[test]
+fn invalidate_only_baseline_is_correct_on_all_kernels() {
+    for spec in small_suite() {
+        let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
+        let r = run_invalidate_only(&spec.program, &PipelineConfig::t3d(4));
+        assert!(r.oracle.is_coherent(), "{}", spec.name);
+        assert!(
+            values_equal(&r.array_values(&spec.program, aid), &spec.golden),
+            "{} invalidate-only numerics",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn repeat_sampling_preserves_shape_on_tomcatv() {
+    // Extrapolated cycles must stay close to the full simulation at a size
+    // where both are affordable.
+    let pr = tomcatv::Params { n: 33, iters: 12 };
+    let program = tomcatv::build(&pr);
+    let mut full_cfg = PipelineConfig::t3d(4);
+    full_cfg.layout = Some(tomcatv::layout(&program, 4));
+    let mut sampled_cfg = full_cfg.clone();
+    sampled_cfg.sim = SimOptions { repeat_sample: Some(3), ..Default::default() };
+
+    let full = ccdp_core::run_base(&program, &full_cfg);
+    let sampled = ccdp_core::run_base(&program, &sampled_cfg);
+    assert!(sampled.extrapolated && !full.extrapolated);
+    let rel =
+        (full.cycles as f64 - sampled.cycles as f64).abs() / full.cycles as f64;
+    assert!(rel < 0.03, "extrapolation error {rel:.4}");
+}
+
+#[test]
+fn swim_routines_and_layout_work_at_scale_quickly() {
+    let pr = swim::Params { n: 22, iters: 2 };
+    let program = swim::build(&pr);
+    let mut cfg = PipelineConfig::t3d(3);
+    cfg.layout = Some(swim::layout(&program, 3));
+    let cmp = compare(&program, &cfg);
+    let aid = program.array_by_name("PNEW").unwrap().id;
+    let want = swim::golden_iters(&pr, pr.iters);
+    assert!(values_equal(&cmp.ccdp.array_values(&program, aid), &want));
+    assert!(cmp.ccdp.oracle.is_coherent());
+}

@@ -1,0 +1,53 @@
+//! Round-trip property: `print(parse(print(p))) == print(p)` for every
+//! synthesized program, and the parsed program *behaves* identically (same
+//! simulated results and cycle counts).
+
+use ccdp_bench::synth::{random_program, SynthConfig};
+use ccdp_core::{run_base, run_seq, PipelineConfig};
+use ccdp_ir::{parse_program, print_program};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn print_parse_print_is_fixpoint(seed in 0u64..10_000) {
+        let cfg = SynthConfig::default();
+        let p = random_program(seed, &cfg);
+        let text = print_program(&p);
+        let p2 = parse_program(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{text}"));
+        prop_assert_eq!(text, print_program(&p2));
+    }
+
+    #[test]
+    fn parsed_program_behaves_identically(seed in 0u64..2_000) {
+        let cfg = SynthConfig::default();
+        let p = random_program(seed, &cfg);
+        let p2 = parse_program(&print_program(&p)).unwrap();
+        let pcfg = PipelineConfig::t3d(3);
+        let (a, b) = (run_seq(&p, &pcfg), run_seq(&p2, &pcfg));
+        prop_assert_eq!(a.cycles, b.cycles, "seed {}", seed);
+        let (a4, b4) = (run_base(&p, &pcfg), run_base(&p2, &pcfg));
+        prop_assert_eq!(a4.cycles, b4.cycles);
+        for (arr, arr2) in p.arrays.iter().zip(&p2.arrays) {
+            prop_assert_eq!(
+                a4.array_values(&p, arr.id),
+                b4.array_values(&p2, arr2.id),
+                "seed {} array {}", seed, arr.name
+            );
+        }
+    }
+}
+
+/// The four paper kernels round-trip too (they exercise routines, repeats,
+/// strided loops, alignment...).
+#[test]
+fn paper_kernels_roundtrip() {
+    for spec in ccdp_kernels::small_suite() {
+        let text = print_program(&spec.program);
+        let p2 = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{text}", spec.name));
+        assert_eq!(text, print_program(&p2), "{}", spec.name);
+    }
+}

@@ -1,0 +1,93 @@
+//! Invariants of the prefetch planning pass over synthesized programs:
+//! determinism, structural validity of the transformed program, and
+//! bookkeeping consistency of the plan statistics.
+
+use ccdp_bench::synth::{random_program, SynthConfig};
+use ccdp_core::{compile_ccdp, PipelineConfig};
+use ccdp_prefetch::Handling;
+
+#[test]
+fn planning_is_deterministic_and_valid() {
+    let cfg = SynthConfig::default();
+    for seed in 0..30u64 {
+        let program = random_program(seed, &cfg);
+        let pcfg = PipelineConfig::t3d(6);
+        let a1 = compile_ccdp(&program, &pcfg);
+        let a2 = compile_ccdp(&program, &pcfg);
+        assert_eq!(
+            ccdp_ir::print_program(&a1.transformed),
+            ccdp_ir::print_program(&a2.transformed),
+            "seed {seed}: planning must be deterministic"
+        );
+        assert!(ccdp_ir::validate(&a1.transformed).is_ok(), "seed {seed}");
+        // Stats identity: every target is covered by exactly one technique
+        // or dropped.
+        let s = &a1.plan.stats;
+        assert_eq!(
+            s.vector + s.pipelined + s.moved_back + s.dropped,
+            s.targets,
+            "seed {seed}: {s:?}"
+        );
+        assert_eq!(s.stale_reads, a1.stale.n_stale());
+        // Handling classes add up: every stale read is Fresh or Bypass.
+        let fresh_or_bypass = a1
+            .plan
+            .handling
+            .iter()
+            .filter(|h| !matches!(h, Handling::Normal))
+            .count();
+        assert!(fresh_or_bypass >= a1.stale.n_stale().min(s.targets));
+        for rid in a1.stale.stale_refs() {
+            assert_ne!(a1.plan.handling_of(rid), Handling::Normal, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn transformed_program_grows_only_by_prefetch_constructs() {
+    // The pass must not duplicate or drop computation: the set of Assign
+    // statements (by write RefId) is identical before and after.
+    let cfg = SynthConfig::default();
+    for seed in 0..30u64 {
+        let program = random_program(seed, &cfg);
+        let pcfg = PipelineConfig::t3d(6);
+        let art = compile_ccdp(&program, &pcfg);
+        let collect = |p: &ccdp_ir::Program| {
+            let mut ids: Vec<u32> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for e in p.epochs() {
+                if !seen.insert(e.id) {
+                    continue;
+                }
+                ccdp_ir::for_each_stmt(&e.stmts, &mut |s| {
+                    if let ccdp_ir::Stmt::Assign(a) = s {
+                        ids.push(a.write.id.0);
+                    }
+                });
+            }
+            ids.sort_unstable();
+            ids
+        };
+        assert_eq!(
+            collect(&program),
+            collect(&art.transformed),
+            "seed {seed}: assigns must be preserved exactly"
+        );
+    }
+}
+
+#[test]
+fn larger_machines_never_reduce_protection() {
+    // Staleness grows (weakly) with PE count on these synth programs;
+    // protection must follow.
+    let cfg = SynthConfig::default();
+    for seed in 0..15u64 {
+        let program = random_program(seed, &cfg);
+        let one = compile_ccdp(&program, &PipelineConfig::t3d(1));
+        assert_eq!(
+            one.stale.n_stale(),
+            0,
+            "seed {seed}: nothing is stale on one PE"
+        );
+    }
+}

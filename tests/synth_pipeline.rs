@@ -1,0 +1,82 @@
+//! End-to-end property tests over randomly synthesized programs.
+//!
+//! For every generated program and PE count:
+//! 1. SEQ, BASE, and CCDP produce bit-identical results on every shared
+//!    array (coherence enforcement never changes semantics);
+//! 2. the CCDP run's oracle reports zero stale reads;
+//! 3. the plan leaves no potentially-stale reference with `Normal` handling;
+//! 4. the conservative invalidate-only scheme is also correct.
+
+use ccdp_bench::synth::{random_program, SynthConfig};
+use ccdp_core::{
+    compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq, PipelineConfig,
+};
+use ccdp_prefetch::Handling;
+use proptest::prelude::*;
+
+fn check_seed(seed: u64, n_pes: usize) -> Result<(), TestCaseError> {
+    let cfg = SynthConfig::default();
+    let program = random_program(seed, &cfg);
+    let pcfg = PipelineConfig::t3d(n_pes);
+
+    let art = compile_ccdp(&program, &pcfg);
+    for rid in art.stale.stale_refs() {
+        prop_assert_ne!(
+            art.plan.handling_of(rid),
+            Handling::Normal,
+            "seed {} P={}: stale ref {:?} unprotected",
+            seed,
+            n_pes,
+            rid
+        );
+    }
+
+    let seq = run_seq(&program, &pcfg);
+    let base = run_base(&program, &pcfg);
+    let (_, ccdp) = run_ccdp(&program, &pcfg);
+    let inv = run_invalidate_only(&program, &pcfg);
+
+    prop_assert!(
+        ccdp.oracle.is_coherent(),
+        "seed {} P={}: oracle violations {:?}",
+        seed,
+        n_pes,
+        ccdp.oracle.examples
+    );
+    prop_assert!(base.oracle.is_coherent());
+    prop_assert!(inv.oracle.is_coherent());
+
+    for a in &program.arrays {
+        let want = seq.array_values(&program, a.id);
+        prop_assert!(want.iter().all(|v| v.is_finite()), "seed {seed}: NaN/inf");
+        let got_base = base.array_values(&program, a.id);
+        prop_assert_eq!(&got_base, &want, "seed {} P={} BASE {}", seed, n_pes, a.name);
+        let got_ccdp = ccdp.array_values(&program, a.id);
+        prop_assert_eq!(&got_ccdp, &want, "seed {} P={} CCDP {}", seed, n_pes, a.name);
+        let got_inv = inv.array_values(&program, a.id);
+        prop_assert_eq!(&got_inv, &want, "seed {} P={} INV {}", seed, n_pes, a.name);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn schemes_agree_and_ccdp_is_coherent(
+        seed in 0u64..10_000,
+        n_pes in prop::sample::select(vec![1usize, 2, 3, 4, 7, 8]),
+    ) {
+        check_seed(seed, n_pes)?;
+    }
+}
+
+/// A fixed regression sweep (fast, deterministic, no shrinking involved).
+#[test]
+fn fixed_seed_sweep() {
+    for seed in [0u64, 1, 7, 13, 99, 1234, 98765] {
+        for n_pes in [2usize, 5] {
+            check_seed(seed, n_pes).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Shape assertions for the paper's tables at quick scale: who wins, in
+//! which order, and that the harness machinery (grid fan-out, formatting)
+//! holds together. Absolute numbers are asserted only loosely; the
+//! full-size regeneration lives in `table1`/`table2` binaries and is
+//! recorded in EXPERIMENTS.md.
+
+use ccdp_bench::{paper_kernels, run_grid, Scale};
+use ccdp_core::{format_improvement_table, format_speedup_table, ComparisonRow};
+
+#[test]
+fn quick_grid_shape_matches_the_paper() {
+    let kernels = paper_kernels(Scale::Quick);
+    let pes = [2usize, 4, 8];
+    let grid = run_grid(&kernels, &pes);
+
+    let by_name = |n: &str| {
+        kernels
+            .iter()
+            .position(|k| k.name == n)
+            .expect("kernel present")
+    };
+    let (im, iv, it, isw) =
+        (by_name("MXM"), by_name("VPENTA"), by_name("TOMCATV"), by_name("SWIM"));
+
+    for (ki, comps) in grid.iter().enumerate() {
+        for c in comps {
+            assert!(
+                c.ccdp.oracle.is_coherent(),
+                "{} P={} incoherent",
+                kernels[ki].name,
+                c.n_pes
+            );
+            assert!(
+                c.improvement_pct > 0.0,
+                "{} P={}: CCDP must beat BASE ({:.1}%)",
+                kernels[ki].name,
+                c.n_pes,
+                c.improvement_pct
+            );
+            assert!(c.ccdp_speedup > 0.9, "CCDP speedup sane");
+        }
+    }
+
+    // Paper shape: MXM and TOMCATV are the big winners; VPENTA and SWIM the
+    // small ones; BASE MXM/TOMCATV underperform BASE VPENTA/SWIM badly.
+    for (pi, &pe) in pes.iter().enumerate() {
+        let imp = |k: usize| grid[k][pi].improvement_pct;
+        assert!(
+            imp(im) > imp(iv) && imp(im) > imp(isw),
+            "P={pe}: MXM must out-improve VPENTA/SWIM: {:.1} vs {:.1}/{:.1}",
+            imp(im),
+            imp(iv),
+            imp(isw)
+        );
+        assert!(
+            imp(it) > imp(iv),
+            "P={pe}: TOMCATV must out-improve VPENTA"
+        );
+        let bs = |k: usize| grid[k][pi].base_speedup;
+        assert!(
+            bs(iv) > bs(im) && bs(iv) > bs(it),
+            "P={pe}: BASE VPENTA must scale better than BASE MXM/TOMCATV"
+        );
+        assert!(bs(isw) > bs(it), "P={pe}: BASE SWIM beats BASE TOMCATV");
+    }
+
+    // And the report formatting renders every cell.
+    let rows: Vec<ComparisonRow> = kernels
+        .iter()
+        .zip(&grid)
+        .map(|(k, c)| ComparisonRow { kernel: k.name, comparisons: c })
+        .collect();
+    let t1 = format_speedup_table(&rows);
+    let t2 = format_improvement_table(&rows);
+    for k in &kernels {
+        assert!(t1.contains(k.name) && t2.contains(k.name));
+    }
+    assert_eq!(t1.lines().count(), 2 + 1 + pes.len());
+    assert_eq!(t2.lines().count(), 1 + 1 + pes.len());
+}
