@@ -3,7 +3,7 @@
 //! reduced size). The actual table *values* are produced by the `table1` /
 //! `table2` binaries; this tracks that regenerating them stays cheap.
 
-use ccdp_bench::{kernel_cell_config, paper_kernels, Scale};
+use ccdp_bench::{cell_config, paper_kernels, Scale};
 use ccdp_core::compare;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -12,7 +12,7 @@ fn bench_table1_cell(c: &mut Criterion) {
     let kernels = paper_kernels(Scale::Quick);
     let mxm = &kernels[0];
     c.bench_function("table1_cell_mxm_p8", |b| {
-        b.iter(|| black_box(compare(&mxm.program, &kernel_cell_config(mxm, 8)).ccdp_speedup));
+        b.iter(|| black_box(compare(&mxm.program, &cell_config(mxm, 8)).expect("coherent").ccdp_speedup));
     });
 }
 
@@ -22,7 +22,7 @@ fn bench_table2_cell(c: &mut Criterion) {
     c.bench_function("table2_cell_tomcatv_p8", |b| {
         b.iter(|| {
             black_box(
-                compare(&tomcatv.program, &kernel_cell_config(tomcatv, 8)).improvement_pct,
+                compare(&tomcatv.program, &cell_config(tomcatv, 8)).expect("coherent").improvement_pct,
             )
         });
     });

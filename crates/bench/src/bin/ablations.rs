@@ -11,10 +11,16 @@
 
 use ccdp_bench::{paper_kernels, run_cell_with, BenchKernel, Scale};
 use ccdp_core::{
-    compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq,
+    compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq, Comparison, PipelineConfig,
 };
 
 const PES: usize = 8;
+
+/// One ablation cell; a coherence violation in a tweaked configuration is a
+/// real finding, so fail loudly with the evidence.
+fn cell(k: &BenchKernel, tweak: impl FnOnce(&mut PipelineConfig)) -> Comparison {
+    run_cell_with(k, PES, tweak).unwrap_or_else(|e| panic!("{}: {e}", k.name))
+}
 
 fn header(title: &str) {
     println!("\n=== {title} ===");
@@ -28,8 +34,8 @@ fn ablation_target(kernels: &[BenchKernel]) {
         "kernel", "imp% (on)", "targets", "follower", "imp% (off)", "targets", "follower"
     );
     for k in kernels {
-        let on = run_cell_with(k, PES, |_| {});
-        let off = run_cell_with(k, PES, |cfg| {
+        let on = cell(k, |_| {});
+        let off = cell(k, |cfg| {
             cfg.target.exploit_group_spatial = false;
         });
         println!(
@@ -61,7 +67,7 @@ fn ablation_sched(kernels: &[BenchKernel]) {
             (false, false, true),
             (false, false, false),
         ] {
-            let c = run_cell_with(k, PES, |cfg| {
+            let c = cell(k, |cfg| {
                 cfg.schedule.enable_vpg = v;
                 cfg.schedule.enable_sp = s;
                 cfg.schedule.enable_mbp = m;
@@ -86,7 +92,7 @@ fn ablation_queue(kernels: &[BenchKernel]) {
     for k in kernels {
         let mut cells = vec![];
         for &q in &depths {
-            let c = run_cell_with(k, PES, |cfg| {
+            let c = cell(k, |cfg| {
                 cfg.schedule.enable_vpg = false;
                 cfg.schedule.queue_words = q;
                 cfg.machine.queue_words = q;
@@ -114,7 +120,7 @@ fn ablation_latency(kernels: &[BenchKernel]) {
     for k in kernels {
         print!("{:>8} |", k.name);
         for &l in &lats {
-            let c = run_cell_with(k, PES, |cfg| {
+            let c = cell(k, |cfg| {
                 cfg.machine.remote_fill = l;
                 cfg.machine.remote_uncached = l;
             });
@@ -132,12 +138,11 @@ fn ablation_scheme(kernels: &[BenchKernel]) {
         "kernel", "BASE", "INV-ONLY", "CCDP"
     );
     for k in kernels {
-        let cfg = ccdp_bench::kernel_cell_config(k, PES);
+        let cfg = ccdp_bench::cell_config(k, PES);
         let seq = run_seq(&k.program, &cfg);
         let base = run_base(&k.program, &cfg);
-        let inv = run_invalidate_only(&k.program, &cfg);
-        let (_, ccdp) = run_ccdp(&k.program, &cfg);
-        assert!(ccdp.oracle.is_coherent() && inv.oracle.is_coherent());
+        let inv = run_invalidate_only(&k.program, &cfg).expect("inv-only coherent");
+        let (_, ccdp) = run_ccdp(&k.program, &cfg).expect("ccdp coherent");
         let s = seq.cycles as f64;
         println!(
             "{:>8} | {:>8.2} {:>12.2} {:>8.2}",
@@ -157,12 +162,12 @@ fn ablation_clean(kernels: &[BenchKernel]) {
         "kernel", "stale only", "stale+clean", "extra targets"
     );
     for k in kernels {
-        let off = run_cell_with(k, PES, |_| {});
-        let on = run_cell_with(k, PES, |cfg| {
+        let off = cell(k, |_| {});
+        let on = cell(k, |cfg| {
             cfg.target.prefetch_clean = true;
         });
         let cfg = {
-            let mut c = ccdp_bench::kernel_cell_config(k, PES);
+            let mut c = ccdp_bench::cell_config(k, PES);
             c.target.prefetch_clean = true;
             c
         };
@@ -179,7 +184,10 @@ fn ablation_clean(kernels: &[BenchKernel]) {
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    let scale = Scale::from_env();
+    let scale = Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     eprintln!("running ablations ({which}) at {scale:?} scale, P={PES} ...");
     let kernels = paper_kernels(scale);
     match which.as_str() {

@@ -2,16 +2,24 @@
 //!
 //! `cargo run -p ccdp-bench --release --bin inspect -- <kernel> <pes>`
 
-use ccdp_bench::{kernel_cell_config, paper_kernels, Scale};
+use ccdp_bench::{cell_config, paper_kernels, Scale};
 use ccdp_core::{compile_ccdp, run_base, run_ccdp, run_seq};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let kname = args.get(1).map(String::as_str).unwrap_or("TOMCATV");
     let pes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let kernels = paper_kernels(Scale::from_env());
-    let k = kernels.iter().find(|k| k.name == kname).expect("kernel name");
-    let cfg = kernel_cell_config(k, pes);
+    let scale = Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let kernels = paper_kernels(scale);
+    let k = kernels.iter().find(|k| k.name == kname).unwrap_or_else(|| {
+        let names: Vec<_> = kernels.iter().map(|k| k.name).collect();
+        eprintln!("unknown kernel {kname:?} (expected one of {names:?})");
+        std::process::exit(2);
+    });
+    let cfg = cell_config(k, pes);
 
     let art = compile_ccdp(&k.program, &cfg);
     println!("== {} @ {} PEs ==", k.name, pes);
@@ -31,7 +39,10 @@ fn main() {
 
     let seq = run_seq(&k.program, &cfg);
     let base = run_base(&k.program, &cfg);
-    let (_, ccdp) = run_ccdp(&k.program, &cfg);
+    let (_, ccdp) = run_ccdp(&k.program, &cfg).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1);
+    });
     for r in [&seq, &base, &ccdp] {
         let t = r.total_stats();
         println!(
@@ -59,4 +70,19 @@ fn main() {
         seq.cycles as f64 / ccdp.cycles as f64,
         100.0 * (base.cycles as f64 - ccdp.cycles as f64) / base.cycles as f64
     );
+
+    println!("\nCCDP cycle breakdown (PE 0):");
+    for (cat, cycles) in ccdp.per_pe[0].breakdown.iter() {
+        if cycles > 0 {
+            println!("  {:>16} {:>14}", cat.name(), cycles);
+        }
+    }
+    let q = ccdp.prefetch_quality();
+    println!(
+        "prefetch quality: coverage {:.3} accuracy {:.3} timeliness {:.3} drops {}",
+        q.coverage, q.accuracy, q.timeliness, q.queue_drops
+    );
+    for e in &ccdp.epochs {
+        println!("  epoch {:<16} {:>14} cycles", e.label, e.total().total());
+    }
 }

@@ -1,0 +1,31 @@
+//! Machine-readable benchmark report: runs the full evaluation grid and
+//! writes `BENCH_ccdp.json` — the paper's Tables 1 and 2 plus per-PE and
+//! per-epoch cycle breakdowns and prefetch quality metrics for every cell.
+//!
+//! ```text
+//! cargo run -p ccdp-bench --release --bin report            # quick scale
+//! CCDP_SCALE=paper cargo run -p ccdp-bench --release --bin report
+//! ```
+
+use ccdp_bench::{paper_kernels, report::report_json, run_grid, Scale, PAPER_PES};
+
+const OUT: &str = "BENCH_ccdp.json";
+
+fn main() {
+    let scale = Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    eprintln!("running report grid at {scale:?} scale ...");
+    let kernels = paper_kernels(scale);
+    let grid = run_grid(&kernels, &PAPER_PES).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1);
+    });
+    let doc = report_json(scale, &PAPER_PES, &kernels, &grid);
+    std::fs::write(OUT, doc.to_pretty()).unwrap_or_else(|e| {
+        eprintln!("cannot write {OUT}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("wrote {OUT}");
+}

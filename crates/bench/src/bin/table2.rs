@@ -9,10 +9,16 @@ use ccdp_bench::{paper_kernels, run_grid, Scale, PAPER_PES};
 use ccdp_core::{format_improvement_table, ComparisonRow};
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
     eprintln!("running Table 2 grid at {scale:?} scale ...");
     let kernels = paper_kernels(scale);
-    let grid = run_grid(&kernels, &PAPER_PES);
+    let grid = run_grid(&kernels, &PAPER_PES).unwrap_or_else(|e| {
+        eprintln!("pipeline failed: {e}");
+        std::process::exit(1);
+    });
     let rows: Vec<ComparisonRow> = kernels
         .iter()
         .zip(&grid)

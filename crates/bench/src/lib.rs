@@ -11,9 +11,10 @@
 //! steady-state extrapolation after 3 sampled iterations); `Scale::Quick`
 //! runs ~1/4-linear-size instances for CI-speed shape checks.
 
+pub mod report;
 pub mod synth;
 
-use ccdp_core::{compare, Comparison, PipelineConfig};
+use ccdp_core::{compare, Comparison, PipelineConfig, PipelineError};
 use ccdp_ir::Program;
 use ccdp_kernels::{mxm, swim, tomcatv, vpenta};
 use t3d_sim::SimOptions;
@@ -30,12 +31,48 @@ pub enum Scale {
     Quick,
 }
 
+/// `CCDP_SCALE` held something other than "quick" or "paper".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleError {
+    pub value: String,
+}
+
+impl std::fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unrecognized CCDP_SCALE value {:?} (expected \"quick\" or \"paper\")",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
 impl Scale {
-    /// Parse from `CCDP_SCALE` env var ("paper" | "quick"), default quick.
-    pub fn from_env() -> Scale {
-        match std::env::var("CCDP_SCALE").as_deref() {
-            Ok("paper") => Scale::Paper,
-            _ => Scale::Quick,
+    /// Parse from the `CCDP_SCALE` env var: unset defaults to quick;
+    /// `"quick"` and `"paper"` select explicitly; anything else is an error
+    /// (a typo must not silently downgrade a paper-scale run).
+    pub fn from_env() -> Result<Scale, ScaleError> {
+        match std::env::var("CCDP_SCALE") {
+            Err(_) => Ok(Scale::Quick),
+            Ok(v) => Scale::parse(&v),
+        }
+    }
+
+    /// Parse a scale name.
+    pub fn parse(v: &str) -> Result<Scale, ScaleError> {
+        match v {
+            "quick" | "" => Ok(Scale::Quick),
+            "paper" => Ok(Scale::Paper),
+            other => Err(ScaleError { value: other.to_string() }),
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
         }
     }
 }
@@ -95,18 +132,17 @@ pub fn paper_kernels(scale: Scale) -> Vec<BenchKernel> {
     ]
 }
 
-/// Pipeline configuration for one cell of the table.
-pub fn cell_config(n_pes: usize, repeat_sample: Option<u32>) -> PipelineConfig {
-    let mut cfg = PipelineConfig::t3d(n_pes);
-    cfg.sim = SimOptions { repeat_sample, oracle_examples: 4 };
-    cfg
-}
-
-/// Cell configuration for a specific kernel (applies its layout).
-pub fn kernel_cell_config(k: &BenchKernel, n_pes: usize) -> PipelineConfig {
-    let mut cfg = cell_config(n_pes, k.repeat_sample);
+/// Pipeline configuration for one cell of the table: the kernel's layout
+/// and repeat-sampling on top of T3D defaults. This is the single entry
+/// point for cell configs; ablations start from it and apply a tweak.
+pub fn cell_config(k: &BenchKernel, n_pes: usize) -> PipelineConfig {
+    let mut cfg = PipelineConfig::t3d(n_pes).with_sim(SimOptions {
+        repeat_sample: k.repeat_sample,
+        oracle_examples: 4,
+        ..Default::default()
+    });
     if let Some(f) = k.layout {
-        cfg.layout = Some(f(&k.program, n_pes));
+        cfg = cfg.with_layout(f(&k.program, n_pes));
     }
     cfg
 }
@@ -117,15 +153,19 @@ pub fn run_cell_with(
     k: &BenchKernel,
     n_pes: usize,
     tweak: impl FnOnce(&mut PipelineConfig),
-) -> Comparison {
-    let mut cfg = kernel_cell_config(k, n_pes);
+) -> Result<Comparison, PipelineError> {
+    let mut cfg = cell_config(k, n_pes);
     tweak(&mut cfg);
     compare(&k.program, &cfg)
 }
 
 /// Run the full grid: for each kernel, one [`Comparison`] per PE count.
-/// Cells run on host threads (each cell is an independent simulation).
-pub fn run_grid(kernels: &[BenchKernel], pes: &[usize]) -> Vec<Vec<Comparison>> {
+/// Cells run on host threads (each cell is an independent simulation); the
+/// first coherence violation anywhere in the grid fails the whole run.
+pub fn run_grid(
+    kernels: &[BenchKernel],
+    pes: &[usize],
+) -> Result<Vec<Vec<Comparison>>, PipelineError> {
     std::thread::scope(|s| {
         let handles: Vec<Vec<_>> = kernels
             .iter()
@@ -133,7 +173,7 @@ pub fn run_grid(kernels: &[BenchKernel], pes: &[usize]) -> Vec<Vec<Comparison>> 
                 pes.iter()
                     .map(|&n| {
                         let program = &k.program;
-                        s.spawn(move || compare(program, &kernel_cell_config(k, n)))
+                        s.spawn(move || compare(program, &cell_config(k, n)))
                     })
                     .collect()
             })
@@ -153,14 +193,20 @@ mod unit {
     fn quick_grid_single_cell_runs() {
         let kernels = paper_kernels(Scale::Quick);
         assert_eq!(kernels.len(), 4);
-        let grid = run_grid(&kernels[..1], &[2]);
+        let grid = run_grid(&kernels[..1], &[2]).expect("coherent grid");
         assert_eq!(grid.len(), 1);
         assert_eq!(grid[0].len(), 1);
         assert!(grid[0][0].ccdp.oracle.is_coherent());
     }
 
     #[test]
-    fn scale_from_env_defaults_quick() {
-        assert_eq!(Scale::from_env(), Scale::Quick);
+    fn scale_parse_accepts_known_rejects_unknown() {
+        assert_eq!(Scale::parse("quick"), Ok(Scale::Quick));
+        assert_eq!(Scale::parse("paper"), Ok(Scale::Paper));
+        let err = Scale::parse("fast").unwrap_err();
+        assert_eq!(err.value, "fast");
+        assert!(format!("{err}").contains("fast"));
+        assert_eq!(Scale::Quick.name(), "quick");
+        assert_eq!(Scale::Paper.name(), "paper");
     }
 }

@@ -1,0 +1,82 @@
+//! Machine-readable benchmark report: assembles the full evaluation grid —
+//! the paper's Tables 1 and 2 plus per-PE / per-epoch cycle breakdowns and
+//! prefetch quality metrics — into one JSON document (`BENCH_ccdp.json`,
+//! written by the `report` bin).
+
+use ccdp_core::{format_improvement_table, format_speedup_table, Comparison, ComparisonRow};
+use ccdp_json::{Json, ToJson};
+
+use crate::{BenchKernel, Scale};
+
+/// Schema version of the report document; bump on breaking shape changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Assemble the report document for a completed grid run. `grid` is indexed
+/// `[kernel][pe_count]`, as produced by [`crate::run_grid`].
+pub fn report_json(
+    scale: Scale,
+    pes: &[usize],
+    kernels: &[BenchKernel],
+    grid: &[Vec<Comparison>],
+) -> Json {
+    assert_eq!(kernels.len(), grid.len(), "one comparison row per kernel");
+    let rows: Vec<ComparisonRow<'_>> = kernels
+        .iter()
+        .zip(grid.iter())
+        .map(|(k, comps)| ComparisonRow { kernel: k.name, comparisons: comps })
+        .collect();
+    let kernels_json = Json::arr(kernels.iter().zip(grid.iter()).map(|(k, comps)| {
+        Json::obj([
+            ("name", k.name.to_json()),
+            ("cells", comps.to_json()),
+        ])
+    }));
+    Json::obj([
+        ("schema_version", SCHEMA_VERSION.to_json()),
+        (
+            "paper",
+            "A Compiler-Directed Cache Coherence Scheme Using Data Prefetching".to_json(),
+        ),
+        ("scale", scale.name().to_json()),
+        ("pe_counts", pes.to_json()),
+        ("kernels", kernels_json),
+        (
+            "tables",
+            Json::obj([
+                ("speedup", format_speedup_table(&rows).to_json()),
+                ("improvement", format_improvement_table(&rows).to_json()),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{paper_kernels, run_grid};
+
+    #[test]
+    fn report_document_shape() {
+        let kernels = paper_kernels(Scale::Quick);
+        let pes = [2usize];
+        let grid = run_grid(&kernels[..2], &pes).expect("coherent grid");
+        let j = report_json(Scale::Quick, &pes, &kernels[..2], &grid);
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
+        let ks = j.get("kernels").unwrap().items();
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].get("name").and_then(Json::as_str), Some("MXM"));
+        let cell = &ks[0].get("cells").unwrap().items()[0];
+        assert!(cell.get("ccdp").unwrap().get("epochs").unwrap().items().len() >= 2);
+        let tables = j.get("tables").unwrap();
+        assert!(tables.get("speedup").and_then(Json::as_str).unwrap().contains("Table 1"));
+        assert!(tables
+            .get("improvement")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("Table 2"));
+        // The whole document survives a print→parse round trip.
+        let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(1));
+    }
+}

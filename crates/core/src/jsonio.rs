@@ -1,0 +1,58 @@
+//! JSON serialization of pipeline comparisons.
+
+use ccdp_json::{Json, ToJson};
+
+use crate::pipeline::Comparison;
+
+impl ToJson for Comparison {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n_pes", self.n_pes.to_json()),
+            ("base_speedup", self.base_speedup.to_json()),
+            ("ccdp_speedup", self.ccdp_speedup.to_json()),
+            ("improvement_pct", self.improvement_pct.to_json()),
+            ("stale_reads", self.stale_reads.to_json()),
+            ("shared_reads", self.shared_reads.to_json()),
+            ("plan_stats", self.plan_stats.to_json()),
+            ("seq", self.seq.to_json()),
+            ("base", self.base.to_json()),
+            ("ccdp", self.ccdp.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{compare, PipelineConfig};
+    use ccdp_ir::ProgramBuilder;
+
+    #[test]
+    fn comparison_json_has_schemes_and_metrics() {
+        let mut pb = ProgramBuilder::new("j");
+        let a = pb.shared("A", &[64]);
+        let b = pb.shared("B", &[64]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, i| e.assign(a.at1(i), 1.0));
+        });
+        pb.parallel_epoch("r", |e| {
+            e.doall("i", 0, 63, |e, i| {
+                e.assign(b.at1(i), a.at1(63 - i).rd() + 1.0);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let cmp = compare(&p, &PipelineConfig::t3d(2)).unwrap();
+        let j = cmp.to_json();
+        assert_eq!(j.get("n_pes").and_then(Json::as_u64), Some(2));
+        for scheme in ["seq", "base", "ccdp"] {
+            let s = j.get(scheme).unwrap();
+            assert!(s.get("cycles").and_then(Json::as_u64).unwrap() > 0);
+            assert!(s.get("per_pe").is_some());
+            assert!(s.get("epochs").is_some());
+        }
+        assert!(j.get("ccdp").unwrap().get("prefetch_quality").is_some());
+        // Serialized text parses back.
+        let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
+        assert_eq!(parsed.get("n_pes").and_then(Json::as_u64), Some(2));
+    }
+}

@@ -20,7 +20,9 @@
 //! });
 //! let program = pb.finish().unwrap();
 //!
-//! let cmp = compare(&program, &PipelineConfig::t3d(4));
+//! // `compare` fails with a `PipelineError` if the generated plan ever
+//! // lets a PE consume stale data.
+//! let cmp = compare(&program, &PipelineConfig::t3d(4)).unwrap();
 //! assert!(cmp.ccdp.oracle.is_coherent());
 //! assert!(cmp.ccdp_speedup > 0.0);
 //! ```
@@ -31,11 +33,12 @@
 //! metrics: speedup over sequential (Table 1) and percentage improvement of
 //! CCDP over BASE (Table 2).
 
+mod jsonio;
 mod pipeline;
 mod report;
 
 pub use pipeline::{
     compare, compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq, CcdpArtifacts,
-    Comparison, PipelineConfig,
+    Comparison, PipelineConfig, PipelineError,
 };
 pub use report::{format_improvement_table, format_speedup_table, ComparisonRow};

@@ -6,7 +6,57 @@ use ccdp_ir::Program;
 use ccdp_prefetch::{
     plan_prefetches, PlanStats, PrefetchPlan, ScheduleOptions, TargetOptions,
 };
-use t3d_sim::{MachineConfig, Scheme, SimOptions, SimResult, Simulator};
+use t3d_sim::{MachineConfig, Scheme, SimOptions, SimResult, Simulator, StaleReadExample};
+
+/// Why a pipeline run failed. The pipeline no longer panics on a broken
+/// plan: callers (bins, harnesses, tests) decide how to surface the error.
+#[derive(Debug, Clone)]
+pub enum PipelineError {
+    /// A cached-scheme run consumed data older than main memory. Carries
+    /// the oracle's evidence; an intact CCDP pipeline never produces this
+    /// (the failure-injection tests manufacture it deliberately).
+    CoherenceViolation {
+        /// Scheme name of the offending run ("CCDP", "INV", ...).
+        scheme: &'static str,
+        /// Number of stale reads the oracle observed.
+        stale_reads: u64,
+        /// First few concrete violations.
+        examples: Vec<StaleReadExample>,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::CoherenceViolation { scheme, stale_reads, examples } => {
+                write!(f, "{scheme} run violated coherence: {stale_reads} stale read(s)")?;
+                if let Some(e) = examples.first() {
+                    write!(
+                        f,
+                        "; first: ref {:?} on PE {} read addr {} at version {} (memory at {}) in phase {}",
+                        e.reference, e.pe, e.addr, e.cached_version, e.memory_version, e.phase
+                    )?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Fail if a cached-scheme run came back incoherent.
+fn check_coherent(r: &SimResult) -> Result<(), PipelineError> {
+    if r.oracle.is_coherent() {
+        Ok(())
+    } else {
+        Err(PipelineError::CoherenceViolation {
+            scheme: r.scheme,
+            stale_reads: r.oracle.stale_reads,
+            examples: r.oracle.examples.clone(),
+        })
+    }
+}
 
 /// Everything needed to compile and run one kernel at one PE count.
 #[derive(Clone, Debug)]
@@ -21,7 +71,8 @@ pub struct PipelineConfig {
 }
 
 impl PipelineConfig {
-    /// T3D defaults at a given PE count.
+    /// T3D defaults at a given PE count. Refine with the `with_*` builder
+    /// methods: `PipelineConfig::t3d(8).with_layout(..).with_sim(..)`.
     pub fn t3d(n_pes: usize) -> PipelineConfig {
         PipelineConfig {
             n_pes,
@@ -31,6 +82,36 @@ impl PipelineConfig {
             sim: SimOptions::default(),
             layout: None,
         }
+    }
+
+    /// Replace the machine model (PE count must match `n_pes`).
+    pub fn with_machine(mut self, machine: MachineConfig) -> PipelineConfig {
+        self.machine = machine;
+        self
+    }
+
+    /// Use a custom data layout instead of the default block layout.
+    pub fn with_layout(mut self, layout: Layout) -> PipelineConfig {
+        self.layout = Some(layout);
+        self
+    }
+
+    /// Replace the prefetch target analysis options.
+    pub fn with_target(mut self, target: TargetOptions) -> PipelineConfig {
+        self.target = target;
+        self
+    }
+
+    /// Replace the prefetch scheduling options.
+    pub fn with_schedule(mut self, schedule: ScheduleOptions) -> PipelineConfig {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Replace the simulation options.
+    pub fn with_sim(mut self, sim: SimOptions) -> PipelineConfig {
+        self.sim = sim;
+        self
     }
 
     /// The layout used for analysis and simulation.
@@ -77,8 +158,13 @@ pub fn run_base(program: &Program, cfg: &PipelineConfig) -> SimResult {
     Simulator::new(program, layout, cfg.machine.clone(), Scheme::Base, cfg.sim).run()
 }
 
-/// CCDP run: compile, then execute the transformed program.
-pub fn run_ccdp(program: &Program, cfg: &PipelineConfig) -> (CcdpArtifacts, SimResult) {
+/// CCDP run: compile, then execute the transformed program. Fails with
+/// [`PipelineError::CoherenceViolation`] when the generated plan let a PE
+/// consume stale data (a compiler bug by the paper's correctness argument).
+pub fn run_ccdp(
+    program: &Program,
+    cfg: &PipelineConfig,
+) -> Result<(CcdpArtifacts, SimResult), PipelineError> {
     let art = compile_ccdp(program, cfg);
     let layout = cfg.layout_for(program);
     let r = Simulator::new(
@@ -89,24 +175,30 @@ pub fn run_ccdp(program: &Program, cfg: &PipelineConfig) -> (CcdpArtifacts, SimR
         cfg.sim,
     )
     .run();
-    (art, r)
+    check_coherent(&r)?;
+    Ok((art, r))
 }
 
 /// Conservative third baseline: caching enabled but every potentially-stale
 /// read bypasses the cache (no prefetching). Isolates the latency-hiding
 /// contribution of CCDP from the caching contribution.
-pub fn run_invalidate_only(program: &Program, cfg: &PipelineConfig) -> SimResult {
+pub fn run_invalidate_only(
+    program: &Program,
+    cfg: &PipelineConfig,
+) -> Result<SimResult, PipelineError> {
     let layout = cfg.layout_for(program);
     let stale = analyze_stale(program, &layout);
     let plan = PrefetchPlan::bypass_all(program, &stale);
-    Simulator::new(
+    let r = Simulator::new(
         program,
         layout,
         cfg.machine.clone(),
         Scheme::Ccdp { plan },
         cfg.sim,
     )
-    .run()
+    .run();
+    check_coherent(&r)?;
+    Ok(r)
 }
 
 /// The paper's headline numbers for one kernel at one PE count.
@@ -126,21 +218,17 @@ pub struct Comparison {
     pub shared_reads: usize,
 }
 
-/// Run all three schemes and compute the paper's metrics.
-pub fn compare(program: &Program, cfg: &PipelineConfig) -> Comparison {
+/// Run all three schemes and compute the paper's metrics. Fails when the
+/// CCDP run violates coherence (see [`run_ccdp`]).
+pub fn compare(program: &Program, cfg: &PipelineConfig) -> Result<Comparison, PipelineError> {
     let seq = run_seq(program, cfg);
     let base = run_base(program, cfg);
-    let (art, ccdp) = run_ccdp(program, cfg);
-    assert!(
-        ccdp.oracle.is_coherent(),
-        "CCDP run violated coherence: {:?}",
-        ccdp.oracle.examples
-    );
+    let (art, ccdp) = run_ccdp(program, cfg)?;
     let base_speedup = seq.cycles as f64 / base.cycles as f64;
     let ccdp_speedup = seq.cycles as f64 / ccdp.cycles as f64;
     let improvement_pct =
         100.0 * (base.cycles as f64 - ccdp.cycles as f64) / base.cycles as f64;
-    Comparison {
+    Ok(Comparison {
         n_pes: cfg.n_pes,
         seq,
         base,
@@ -151,7 +239,7 @@ pub fn compare(program: &Program, cfg: &PipelineConfig) -> Comparison {
         plan_stats: art.plan.stats,
         stale_reads: art.stale.n_stale(),
         shared_reads: art.stale.n_shared_reads,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -177,7 +265,7 @@ mod unit {
     #[test]
     fn compare_produces_consistent_metrics() {
         let p = kernel();
-        let cmp = compare(&p, &PipelineConfig::t3d(4));
+        let cmp = compare(&p, &PipelineConfig::t3d(4)).expect("coherent");
         assert!(cmp.base_speedup > 0.0 && cmp.ccdp_speedup > 0.0);
         let recomputed =
             100.0 * (1.0 - cmp.ccdp.cycles as f64 / cmp.base.cycles as f64);
@@ -191,12 +279,46 @@ mod unit {
         let p = kernel();
         let cfg = PipelineConfig::t3d(4);
         let base = run_base(&p, &cfg);
-        let inv = run_invalidate_only(&p, &cfg);
-        let (_, ccdp) = run_ccdp(&p, &cfg);
+        let inv = run_invalidate_only(&p, &cfg).expect("coherent");
+        let (_, ccdp) = run_ccdp(&p, &cfg).expect("coherent");
         assert!(inv.oracle.is_coherent());
         // Caching clean data already beats BASE; prefetching beats both.
         assert!(inv.cycles <= base.cycles);
         assert!(ccdp.cycles <= inv.cycles);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let p = kernel();
+        let layout = ccdp_dist::Layout::new(&p, 4);
+        let cfg = PipelineConfig::t3d(4)
+            .with_machine(MachineConfig::t3d(4))
+            .with_layout(layout)
+            .with_target(TargetOptions::default())
+            .with_schedule(ScheduleOptions::default())
+            .with_sim(SimOptions { oracle_examples: 2, ..Default::default() });
+        assert!(cfg.layout.is_some());
+        assert_eq!(cfg.sim.oracle_examples, 2);
+        let cmp = compare(&p, &cfg).expect("coherent");
+        // The explicit layout is the default one, so results must match the
+        // un-customized run.
+        let plain = compare(&p, &PipelineConfig::t3d(4)).expect("coherent");
+        assert_eq!(cmp.ccdp.cycles, plain.ccdp.cycles);
+    }
+
+    #[test]
+    fn coherence_error_reports_evidence() {
+        // A sequential run is coherent; manufacture an incoherent result by
+        // faking an oracle report through the error path.
+        let err = PipelineError::CoherenceViolation {
+            scheme: "CCDP",
+            stale_reads: 3,
+            examples: vec![],
+        };
+        let msg = format!("{err}");
+        assert!(msg.contains("CCDP"), "{msg}");
+        assert!(msg.contains("3 stale read(s)"), "{msg}");
+        let _: &dyn std::error::Error = &err;
     }
 
     #[test]

@@ -86,7 +86,7 @@ mod unit {
         let p = tiny();
         let comps: Vec<_> = [1, 2, 4]
             .iter()
-            .map(|&n| compare(&p, &PipelineConfig::t3d(n)))
+            .map(|&n| compare(&p, &PipelineConfig::t3d(n)).expect("coherent"))
             .collect();
         let rows = [ComparisonRow { kernel: "TINY", comparisons: &comps }];
         let t1 = format_speedup_table(&rows);

@@ -156,7 +156,7 @@ mod unit {
     fn all_schemes_agree_and_ccdp_wins_big() {
         let pr = Params::small();
         let spec = spec(&pr);
-        let cmp = compare(&spec.program, &PipelineConfig::t3d(4));
+        let cmp = compare(&spec.program, &PipelineConfig::t3d(4)).expect("coherent");
         let cid = spec.program.array_by_name("C").unwrap().id;
         assert!(values_equal(&cmp.base.array_values(&spec.program, cid), &spec.golden));
         // CCDP runs the transformed program, same array ids.

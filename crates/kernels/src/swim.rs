@@ -372,7 +372,7 @@ mod unit {
     fn all_schemes_agree_and_ccdp_wins_modestly() {
         let pr = Params::small();
         let s = spec(&pr);
-        let cmp = compare(&s.program, &PipelineConfig::t3d(4));
+        let cmp = compare(&s.program, &PipelineConfig::t3d(4)).expect("coherent");
         let pid = s.program.array_by_name("PNEW").unwrap().id;
         assert!(values_equal(&cmp.base.array_values(&s.program, pid), &s.golden));
         assert!(values_equal(&cmp.ccdp.array_values(&s.program, pid), &s.golden));

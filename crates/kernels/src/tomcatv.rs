@@ -244,7 +244,7 @@ mod unit {
     fn all_schemes_agree_and_ccdp_wins() {
         let pr = Params::small();
         let s = spec(&pr);
-        let cmp = compare(&s.program, &PipelineConfig::t3d(4));
+        let cmp = compare(&s.program, &PipelineConfig::t3d(4)).expect("coherent");
         let xid = s.program.array_by_name("X").unwrap().id;
         assert!(values_equal(&cmp.base.array_values(&s.program, xid), &s.golden));
         assert!(values_equal(&cmp.ccdp.array_values(&s.program, xid), &s.golden));

@@ -20,6 +20,7 @@
 //! (always reads main memory). Prefetching only moves *when* the fresh copy
 //! arrives; it never changes *what* a reference is allowed to observe.
 
+mod jsonio;
 pub mod plan;
 pub mod schedule;
 pub mod target;

@@ -15,6 +15,11 @@ pub struct Cache {
     ready_at: Vec<u64>,
     values: Vec<f64>,
     versions: Vec<u32>,
+    /// Line was installed by a prefetch (line or vector), not a demand fill
+    /// — consumed by the prefetch accuracy/timeliness metrics.
+    prefetched: Vec<bool>,
+    /// Word has been read since its line was installed.
+    used: Vec<bool>,
 }
 
 /// Result of a lookup.
@@ -37,6 +42,8 @@ impl Cache {
             ready_at: vec![0; n_lines],
             values: vec![0.0; n_lines * line_words],
             versions: vec![0; n_lines * line_words],
+            prefetched: vec![false; n_lines],
+            used: vec![false; n_lines * line_words],
         }
     }
 
@@ -75,9 +82,10 @@ impl Cache {
         (self.values[w], self.versions[w])
     }
 
-    /// Install (or refresh) the line containing `addr`, with data and
-    /// versions snapshotted from memory at *arrival* (the caller reads
-    /// memory at the time the data semantically arrives). Returns the line.
+    /// Install (or refresh) the line containing `addr` via a *demand* fill,
+    /// with data and versions snapshotted from memory at *arrival* (the
+    /// caller reads memory at the time the data semantically arrives).
+    /// Returns the line.
     #[inline]
     pub fn install(
         &mut self,
@@ -86,21 +94,61 @@ impl Cache {
         ready_at: u64,
         words: impl Iterator<Item = (f64, u32)>,
     ) -> usize {
+        self.install_with(addr, phase, ready_at, false, words)
+    }
+
+    /// Install the line containing `addr` via a *prefetch* (line or vector);
+    /// the line is tracked for the accuracy/timeliness metrics.
+    #[inline]
+    pub fn install_prefetch(
+        &mut self,
+        addr: usize,
+        phase: u32,
+        ready_at: u64,
+        words: impl Iterator<Item = (f64, u32)>,
+    ) -> usize {
+        self.install_with(addr, phase, ready_at, true, words)
+    }
+
+    fn install_with(
+        &mut self,
+        addr: usize,
+        phase: u32,
+        ready_at: u64,
+        prefetched: bool,
+        words: impl Iterator<Item = (f64, u32)>,
+    ) -> usize {
         let la = self.line_addr(addr);
         let idx = self.index_of(la);
         self.tags[idx] = la;
         self.valid[idx] = true;
         self.filled_phase[idx] = phase;
         self.ready_at[idx] = ready_at;
+        self.prefetched[idx] = prefetched;
         let base = idx * self.line_words;
         let mut n = 0;
         for (k, (v, ver)) in words.enumerate() {
             self.values[base + k] = v;
             self.versions[base + k] = ver;
+            self.used[base + k] = false;
             n += 1;
         }
         debug_assert_eq!(n, self.line_words);
         idx
+    }
+
+    /// Was this (present) line installed by a prefetch?
+    #[inline]
+    pub fn is_prefetched(&self, line: usize) -> bool {
+        self.prefetched[line]
+    }
+
+    /// Record that `addr` in `line` was consumed; true on the first read of
+    /// that word since the line's install (drives the accuracy metric).
+    #[inline]
+    pub fn mark_used(&mut self, line: usize, addr: usize) -> bool {
+        let w = line * self.line_words + addr % self.line_words;
+        !std::mem::replace(&mut self.used[w], true)
     }
 
     /// Update one word in place after the owning PE writes it
@@ -182,6 +230,21 @@ mod unit {
         // Updating an absent address is a no-op.
         c.update_word(100, 1.0, 1);
         assert!(c.lookup(100).is_none());
+    }
+
+    #[test]
+    fn prefetch_and_used_tracking() {
+        let mut c = Cache::new(8, 4);
+        let line = c.install_prefetch(4, 0, 50, fill_words(0.0, 4));
+        assert!(c.is_prefetched(line));
+        assert!(c.mark_used(line, 5), "first read of word 5");
+        assert!(!c.mark_used(line, 5), "second read of same word");
+        assert!(c.mark_used(line, 4), "other word still fresh");
+        // A demand refresh of the same line resets both flags.
+        let line2 = c.install(4, 1, 60, fill_words(1.0, 4));
+        assert_eq!(line, line2);
+        assert!(!c.is_prefetched(line2));
+        assert!(c.mark_used(line2, 5), "used bits cleared by reinstall");
     }
 
     #[test]

@@ -157,6 +157,10 @@ pub struct SimOptions {
     pub repeat_sample: Option<u32>,
     /// Record up to this many stale-read examples in the oracle report.
     pub oracle_examples: usize,
+    /// Capacity of the memory-event trace ring buffer; `0` (the default)
+    /// disables tracing. Tracing is observation only — it never changes
+    /// simulated cycle counts.
+    pub trace_capacity: usize,
 }
 
 #[cfg(test)]

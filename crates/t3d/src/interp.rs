@@ -12,6 +12,7 @@ use ccdp_prefetch::Handling;
 
 use crate::config::{MachineConfig, Scheme, SimOptions};
 use crate::mem::Memory;
+use crate::metrics::{CycleCategory, EpochCycles, EventTrace, MemEvent, TraceEventKind};
 use crate::pe::Pe;
 use crate::result::{OracleReport, SimResult, StaleReadExample};
 
@@ -49,6 +50,15 @@ pub struct Simulator<'p> {
     /// array's distribution kind).
     craft_cost: Vec<u64>,
     coords: Vec<i64>,
+    /// Per-epoch cycle accounting, in first-execution order.
+    epochs: Vec<EpochCycles>,
+    /// Epoch id → index into `epochs`.
+    epoch_slots: HashMap<u32, usize>,
+    /// Slot all cycle charges currently accumulate into.
+    cur_epoch: Option<usize>,
+    /// Pseudo-slot for Repeat extrapolation cycles.
+    extrap_slot: Option<usize>,
+    trace: EventTrace,
 }
 
 impl<'p> Simulator<'p> {
@@ -103,6 +113,11 @@ impl<'p> Simulator<'p> {
             flops,
             craft_cost,
             coords: Vec::with_capacity(4),
+            epochs: Vec::new(),
+            epoch_slots: HashMap::new(),
+            cur_epoch: None,
+            extrap_slot: None,
+            trace: EventTrace::new(opts.trace_capacity),
         }
     }
 
@@ -119,7 +134,58 @@ impl<'p> Simulator<'p> {
             memory: self.mem,
             phases: self.phase,
             extrapolated: self.extrapolated,
+            epochs: self.epochs,
+            trace: self.trace,
         }
+    }
+
+    // -- cycle accounting --------------------------------------------------
+
+    /// Advance a PE's cycle counter, attributing the cycles to `cat` in the
+    /// PE's breakdown and the current epoch slot. Every cycle the simulator
+    /// charges goes through here, which is what makes the invariant
+    /// `breakdown.total() == pe.now` hold exactly.
+    #[inline]
+    fn charge(&mut self, pe: usize, cat: CycleCategory, cycles: u64) {
+        let p = &mut self.pes[pe];
+        p.now += cycles;
+        p.stats.breakdown.charge(cat, cycles);
+        if let Some(slot) = self.cur_epoch {
+            self.epochs[slot].per_pe[pe].charge(cat, cycles);
+        }
+    }
+
+    /// Charge the same amount to every PE.
+    fn charge_all(&mut self, cat: CycleCategory, cycles: u64) {
+        for pe in 0..self.pes.len() {
+            self.charge(pe, cat, cycles);
+        }
+    }
+
+    /// Record a memory-system event (no-op unless tracing is enabled;
+    /// recording never changes cycle counts).
+    #[inline]
+    fn trace_event(&mut self, pe: usize, kind: TraceEventKind, addr: usize) {
+        if self.trace.enabled() {
+            self.trace.record(MemEvent {
+                cycle: self.pes[pe].now,
+                pe: pe as u32,
+                phase: self.phase,
+                kind,
+                addr: addr as u64,
+            });
+        }
+    }
+
+    /// Accounting slot for a source epoch (created on first execution).
+    fn epoch_slot(&mut self, id: u32, label: &str) -> usize {
+        if let Some(&s) = self.epoch_slots.get(&id) {
+            return s;
+        }
+        let s = self.epochs.len();
+        self.epochs.push(EpochCycles::new(label, self.cfg.n_pes));
+        self.epoch_slots.insert(id, s);
+        s
     }
 
     fn global_now(&self) -> u64 {
@@ -169,13 +235,26 @@ impl<'p> Simulator<'p> {
         // Steady-state per-iteration delta: skip the first (cold caches).
         let steady = (marks[sample as usize] - marks[1]) / (sample as u64 - 1);
         let extra = steady * (count - sample) as u64;
-        for pe in &mut self.pes {
-            pe.now += extra;
-        }
+        // Extrapolated cycles accumulate in a pseudo-epoch of their own so
+        // the per-epoch accounting still sums to the per-PE totals.
+        let slot = match self.extrap_slot {
+            Some(s) => s,
+            None => {
+                let s = self.epochs.len();
+                self.epochs.push(EpochCycles::new("(extrapolated)", self.cfg.n_pes));
+                self.extrap_slot = Some(s);
+                s
+            }
+        };
+        let prev = self.cur_epoch.replace(slot);
+        self.charge_all(CycleCategory::Extrapolated, extra);
+        self.cur_epoch = prev;
         self.extrapolated = true;
     }
 
     fn exec_epoch(&mut self, e: &'p Epoch) {
+        let slot = self.epoch_slot(e.id.0, &e.label);
+        let prev = self.cur_epoch.replace(slot);
         match e.kind {
             EpochKind::Serial => {
                 self.exec_stmts_on_pe(0, &e.stmts);
@@ -183,6 +262,7 @@ impl<'p> Simulator<'p> {
             }
             EpochKind::Parallel => self.exec_wrapper(&e.stmts),
         }
+        self.cur_epoch = prev;
     }
 
     /// Execute the wrapper region of a parallel epoch: serial loops and
@@ -198,18 +278,14 @@ impl<'p> Simulator<'p> {
                     let mut v = lo;
                     while v <= hi {
                         self.env.set(l.var, v);
-                        for pe in &mut self.pes {
-                            pe.now += self.cfg.loop_overhead;
-                        }
+                        self.charge_all(CycleCategory::LoopOverhead, self.cfg.loop_overhead);
                         self.exec_wrapper(&l.body);
                         v += l.step;
                     }
                     self.env.unset(l.var);
                 }
                 Stmt::If(i) => {
-                    for pe in &mut self.pes {
-                        pe.now += 1;
-                    }
+                    self.charge_all(CycleCategory::LoopOverhead, 1);
                     if self.eval_cond(&i.cond) {
                         self.exec_wrapper(&i.then_branch);
                     } else {
@@ -241,9 +317,7 @@ impl<'p> Simulator<'p> {
             Scheme::Base => (self.cfg.base_epoch_overhead, self.cfg.base_doshared_iter),
             Scheme::Ccdp { .. } => (self.cfg.ccdp_epoch_overhead, 0),
         };
-        for pe in &mut self.pes {
-            pe.now += setup;
-        }
+        self.charge_all(CycleCategory::EpochSetup, setup);
         match l.kind {
             LoopKind::DoAllStatic => {
                 for pe in 0..self.cfg.n_pes {
@@ -262,7 +336,8 @@ impl<'p> Simulator<'p> {
                         let mut v = r.lo;
                         while v <= r.hi {
                             self.env.set(l.var, v);
-                            self.pes[pe].now += self.cfg.loop_overhead + per_iter;
+                            self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
+                            self.charge(pe, CycleCategory::SchedOverhead, per_iter);
                             self.exec_stmts_on_pe(pe, &l.body);
                             v += l.step;
                         }
@@ -275,11 +350,12 @@ impl<'p> Simulator<'p> {
                     let pe = (0..self.cfg.n_pes)
                         .min_by_key(|&p| self.pes[p].now)
                         .unwrap();
-                    self.pes[pe].now += self.cfg.dynamic_chunk_overhead;
+                    self.charge(pe, CycleCategory::SchedOverhead, self.cfg.dynamic_chunk_overhead);
                     let mut v = c.lo;
                     while v <= c.hi {
                         self.env.set(l.var, v);
-                        self.pes[pe].now += self.cfg.loop_overhead + per_iter;
+                        self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
+                        self.charge(pe, CycleCategory::SchedOverhead, per_iter);
                         self.exec_stmts_on_pe(pe, &l.body);
                         v += l.step;
                     }
@@ -297,10 +373,13 @@ impl<'p> Simulator<'p> {
             Scheme::Sequential => 0,
             _ => self.cfg.barrier,
         };
-        for pe in &mut self.pes {
-            pe.stats.barrier_wait_cycles += m - pe.now;
-            pe.now = m + cost;
+        for pe in 0..self.pes.len() {
+            let wait = m - self.pes[pe].now;
+            self.pes[pe].stats.barrier_wait_cycles += wait;
+            self.charge(pe, CycleCategory::BarrierWait, wait);
+            self.charge(pe, CycleCategory::BarrierCost, cost);
         }
+        self.trace_event(0, TraceEventKind::Barrier, 0);
         self.phase += 1;
     }
 
@@ -312,7 +391,7 @@ impl<'p> Simulator<'p> {
                 Stmt::Assign(a) => self.exec_assign(pe, a),
                 Stmt::Loop(l) => self.exec_loop_on_pe(pe, l),
                 Stmt::If(i) => {
-                    self.pes[pe].now += 1;
+                    self.charge(pe, CycleCategory::LoopOverhead, 1);
                     if self.eval_cond(&i.cond) {
                         self.exec_stmts_on_pe(pe, &i.then_branch);
                     } else {
@@ -353,7 +432,7 @@ impl<'p> Simulator<'p> {
         let mut v = lo;
         while v <= hi {
             self.env.set(l.var, v);
-            self.pes[pe].now += self.cfg.loop_overhead;
+            self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
             if pipelined {
                 for pfi in 0..l.pipeline.len() {
                     let pf = self.program_pipeline(l, pfi);
@@ -387,7 +466,7 @@ impl<'p> Simulator<'p> {
         self.pes[pe].scratch = vals;
         self.exec_write(pe, &a.write, v);
         let fl = *self.flops.get(&a.write.id).unwrap_or(&0);
-        self.pes[pe].now += fl as u64 + a.extra_cost as u64;
+        self.charge(pe, CycleCategory::FpWork, fl as u64 + a.extra_cost as u64);
     }
 
     // -- memory operations ------------------------------------------------
@@ -420,7 +499,7 @@ impl<'p> Simulator<'p> {
     fn exec_read(&mut self, pe: usize, r: &'p ArrayRef) -> f64 {
         let off = self.addr_of(r.array, &r.index);
         if !self.mem.is_shared(r.array) {
-            self.pes[pe].now += self.cfg.cache_hit;
+            self.charge(pe, CycleCategory::CacheHit, self.cfg.cache_hit);
             return self.mem.read_private(pe, self.mem.base(r.array) + off);
         }
         let addr = self.mem.base(r.array) + off;
@@ -430,15 +509,21 @@ impl<'p> Simulator<'p> {
                 if local {
                     // The T3D caches all local memory; CRAFT pays only the
                     // distribution index arithmetic on top.
-                    self.pes[pe].now += self.craft_cost[r.array.index()];
+                    self.charge(
+                        pe,
+                        CycleCategory::CraftOverhead,
+                        self.craft_cost[r.array.index()],
+                    );
                     self.cached_read(pe, r.id, addr, Handling::Normal)
                 } else {
                     // Remote shared data is never cached under CRAFT.
                     let lat = self.cfg.remote_uncached;
+                    self.charge(pe, CycleCategory::CraftOverhead, self.cfg.craft_remote);
+                    self.charge(pe, CycleCategory::UncachedRead, lat);
                     let p = &mut self.pes[pe];
-                    p.now += self.cfg.craft_remote + lat;
                     p.stats.mem_stall_cycles += lat;
                     p.stats.uncached_reads += 1;
+                    self.trace_event(pe, TraceEventKind::UncachedRead, addr);
                     self.mem.read_shared(addr).0
                 }
             }
@@ -453,10 +538,11 @@ impl<'p> Simulator<'p> {
                         } else {
                             self.cfg.remote_uncached
                         };
+                        self.charge(pe, CycleCategory::BypassRead, lat);
                         let p = &mut self.pes[pe];
-                        p.now += lat;
                         p.stats.mem_stall_cycles += lat;
                         p.stats.bypass_reads += 1;
+                        self.trace_event(pe, TraceEventKind::BypassRead, addr);
                         self.mem.read_shared(addr).0
                     }
                     h => self.cached_read(pe, r.id, addr, h),
@@ -467,18 +553,38 @@ impl<'p> Simulator<'p> {
 
     fn cached_read(&mut self, pe: usize, rid: RefId, addr: usize, h: Handling) -> f64 {
         let phase = self.phase;
+        if h == Handling::Fresh {
+            self.pes[pe].stats.fresh_reads += 1;
+        }
         if let Some(hit) = self.pes[pe].cache.lookup(addr) {
             let fresh_ok = h != Handling::Fresh || hit.filled_phase == phase;
             if fresh_ok {
-                let p = &mut self.pes[pe];
-                if hit.ready_at > p.now {
-                    let wait = hit.ready_at - p.now;
+                // Prefetch quality accounting: was this served by data a
+                // prefetch moved, and is this the first touch of the word?
+                if self.pes[pe].cache.is_prefetched(hit.line) {
+                    let p = &mut self.pes[pe];
+                    p.stats.prefetched_line_hits += 1;
+                    if p.cache.mark_used(hit.line, addr) {
+                        p.stats.prefetch_words_used += 1;
+                    }
+                    if h == Handling::Fresh {
+                        p.stats.fresh_hits_prefetched += 1;
+                    }
+                }
+                let now = self.pes[pe].now;
+                if hit.ready_at > now {
+                    let wait = hit.ready_at - now;
+                    let p = &mut self.pes[pe];
                     p.stats.prefetch_late += 1;
                     p.stats.mem_stall_cycles += wait + self.cfg.queue_pop;
-                    p.now = hit.ready_at + self.cfg.queue_pop;
+                    self.charge(pe, CycleCategory::PrefetchWait, wait);
+                    self.charge(pe, CycleCategory::QueuePop, self.cfg.queue_pop);
+                    self.trace_event(pe, TraceEventKind::PrefetchWait, addr);
                 } else {
-                    p.now += self.cfg.cache_hit;
+                    self.charge(pe, CycleCategory::CacheHit, self.cfg.cache_hit);
+                    self.trace_event(pe, TraceEventKind::CacheHit, addr);
                 }
+                let p = &mut self.pes[pe];
                 p.stats.cache_hits += 1;
                 let (v, ver) = p.cache.read(hit.line, addr);
                 let mem_ver = self.mem.version(addr);
@@ -507,6 +613,15 @@ impl<'p> Simulator<'p> {
         let staged = !local
             && self.pes[pe].is_staged(phase, self.pes[pe].cache.line_addr(addr));
         let lat = if local || staged { self.cfg.local_fill } else { self.cfg.remote_fill };
+        let (cat, ev) = if local {
+            (CycleCategory::LocalFill, TraceEventKind::LocalFill)
+        } else if staged {
+            (CycleCategory::StagedFill, TraceEventKind::StagedFill)
+        } else {
+            (CycleCategory::RemoteFill, TraceEventKind::RemoteFill)
+        };
+        self.charge(pe, cat, lat);
+        self.trace_event(pe, ev, addr);
         let lw = self.cfg.line_words;
         let shared_words = self.mem.shared_words();
         {
@@ -520,7 +635,6 @@ impl<'p> Simulator<'p> {
                 }
             });
             let p = &mut self.pes[pe];
-            p.now += lat;
             p.stats.mem_stall_cycles += lat;
             if local {
                 p.stats.local_fills += 1;
@@ -538,7 +652,7 @@ impl<'p> Simulator<'p> {
     fn exec_write(&mut self, pe: usize, w: &'p ArrayRef, v: f64) {
         let off = self.addr_of(w.array, &w.index);
         if !self.mem.is_shared(w.array) {
-            self.pes[pe].now += self.cfg.write_local;
+            self.charge(pe, CycleCategory::WriteLocal, self.cfg.write_local);
             self.mem.write_private(pe, self.mem.base(w.array) + off, v);
             return;
         }
@@ -557,9 +671,16 @@ impl<'p> Simulator<'p> {
             _ => 0,
         };
         let lat = if local { self.cfg.write_local } else { self.cfg.write_remote };
+        self.charge(pe, CycleCategory::CraftOverhead, craft);
+        let (cat, ev) = if local {
+            (CycleCategory::WriteLocal, TraceEventKind::WriteLocal)
+        } else {
+            (CycleCategory::WriteRemote, TraceEventKind::WriteRemote)
+        };
+        self.charge(pe, cat, lat);
+        self.trace_event(pe, ev, addr);
         {
             let p = &mut self.pes[pe];
-            p.now += craft + lat;
             if local {
                 p.stats.writes_local += 1;
             } else {
@@ -587,17 +708,15 @@ impl<'p> Simulator<'p> {
         let owner = self.mem.owner(addr);
         let annex = self.pes[pe].annex_cost(owner, &self.cfg);
         let issue = self.cfg.prefetch_issue + annex;
-        {
-            let p = &mut self.pes[pe];
-            p.now += issue;
-            p.stats.prefetch_cycles += issue;
-        }
+        self.charge(pe, CycleCategory::PrefetchIssue, issue);
+        self.pes[pe].stats.prefetch_cycles += issue;
         let lat = if owner == pe { self.cfg.local_fill } else { self.cfg.remote_fill };
         let ready = self.pes[pe].now + lat;
         let lw = self.cfg.line_words;
         let qw = self.cfg.queue_words;
         if !self.pes[pe].queue_reserve(lw, ready, qw) {
             self.pes[pe].stats.line_prefetches_dropped += 1;
+            self.trace_event(pe, TraceEventKind::PrefetchDropped, addr);
             return;
         }
         let line_base = self.pes[pe].cache.line_base(addr);
@@ -613,8 +732,10 @@ impl<'p> Simulator<'p> {
         });
         let phase = self.phase;
         let p = &mut self.pes[pe];
-        p.cache.install(addr, phase, ready, words);
+        p.cache.install_prefetch(addr, phase, ready, words);
         p.stats.line_prefetches_issued += 1;
+        p.stats.prefetch_words_issued += lw as u64;
+        self.trace_event(pe, TraceEventKind::LinePrefetch, addr);
     }
 
     fn exec_prefetch(&mut self, pe: usize, pf: &'p PrefetchStmt) {
@@ -698,9 +819,9 @@ impl<'p> Simulator<'p> {
         let issue = self.cfg.vector_issue;
         let transfer =
             self.cfg.vector_startup + words as u64 * self.cfg.vector_per_word_tenths / 10;
+        self.charge(pe, CycleCategory::VectorIssue, issue);
         {
             let p = &mut self.pes[pe];
-            p.now += issue;
             p.stats.prefetch_cycles += issue;
             p.stats.vector_prefetches_issued += 1;
             p.stats.vector_words_moved += words as u64;
@@ -709,6 +830,11 @@ impl<'p> Simulator<'p> {
         let phase = self.phase;
         let shared_words = self.mem.shared_words();
         self.pes[pe].stage_lines(phase, line_addrs.iter().map(|&la| la as u64));
+        self.trace_event(
+            pe,
+            TraceEventKind::VectorPrefetch,
+            line_addrs.first().map_or(0, |&la| la * lw),
+        );
         for la in line_addrs {
             let line_base = la * lw;
             let mem = &self.mem;
@@ -720,7 +846,9 @@ impl<'p> Simulator<'p> {
                     (0.0, 0)
                 }
             });
-            self.pes[pe].cache.install(line_base, phase, ready, words_iter);
+            let p = &mut self.pes[pe];
+            p.cache.install_prefetch(line_base, phase, ready, words_iter);
+            p.stats.prefetch_words_issued += lw as u64;
         }
     }
 

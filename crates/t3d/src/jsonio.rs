@@ -1,0 +1,200 @@
+//! JSON serialization of simulation results and metrics.
+//!
+//! Schema notes: every `CycleBreakdown` serializes as an object keyed by
+//! [`CycleCategory::name`] with **all** categories present (zeros included)
+//! so consumers can diff reports without key-existence churn. `SimResult`
+//! serializes everything except the final memory image (megawords of f64
+//! are not report material).
+
+use ccdp_json::{Json, ToJson};
+
+use crate::metrics::{
+    CycleBreakdown, CycleCategory, EpochCycles, EventTrace, MemEvent, PrefetchQuality,
+};
+use crate::pe::PeStats;
+use crate::result::{OracleReport, SimResult, StaleReadExample};
+
+impl ToJson for CycleBreakdown {
+    fn to_json(&self) -> Json {
+        Json::obj(self.iter().map(|(c, v)| (c.name(), v.to_json())))
+    }
+}
+
+impl CycleBreakdown {
+    /// Rebuild from the object form produced by `to_json`. `None` when a
+    /// key is unknown or a value is not an unsigned integer; missing
+    /// categories read as zero.
+    pub fn from_json(j: &Json) -> Option<CycleBreakdown> {
+        let Json::Obj(pairs) = j else { return None };
+        let mut b = CycleBreakdown::default();
+        for (k, v) in pairs {
+            let cat = CycleCategory::from_name(k)?;
+            b.charge(cat, v.as_u64()?);
+        }
+        Some(b)
+    }
+}
+
+impl ToJson for PeStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cache_hits", self.cache_hits.to_json()),
+            ("local_fills", self.local_fills.to_json()),
+            ("remote_fills", self.remote_fills.to_json()),
+            ("refresh_fills", self.refresh_fills.to_json()),
+            ("staged_fills", self.staged_fills.to_json()),
+            ("bypass_reads", self.bypass_reads.to_json()),
+            ("uncached_reads", self.uncached_reads.to_json()),
+            ("writes_local", self.writes_local.to_json()),
+            ("writes_remote", self.writes_remote.to_json()),
+            ("line_prefetches_issued", self.line_prefetches_issued.to_json()),
+            ("line_prefetches_dropped", self.line_prefetches_dropped.to_json()),
+            ("vector_prefetches_issued", self.vector_prefetches_issued.to_json()),
+            ("vector_words_moved", self.vector_words_moved.to_json()),
+            ("prefetch_late", self.prefetch_late.to_json()),
+            ("mem_stall_cycles", self.mem_stall_cycles.to_json()),
+            ("prefetch_cycles", self.prefetch_cycles.to_json()),
+            ("barrier_wait_cycles", self.barrier_wait_cycles.to_json()),
+            ("fresh_reads", self.fresh_reads.to_json()),
+            ("fresh_hits_prefetched", self.fresh_hits_prefetched.to_json()),
+            ("prefetched_line_hits", self.prefetched_line_hits.to_json()),
+            ("prefetch_words_issued", self.prefetch_words_issued.to_json()),
+            ("prefetch_words_used", self.prefetch_words_used.to_json()),
+            ("breakdown", self.breakdown.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PrefetchQuality {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("coverage", self.coverage.to_json()),
+            ("accuracy", self.accuracy.to_json()),
+            ("timeliness", self.timeliness.to_json()),
+            ("queue_drops", self.queue_drops.to_json()),
+        ])
+    }
+}
+
+impl ToJson for StaleReadExample {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("reference", self.reference.index().to_json()),
+            ("pe", self.pe.to_json()),
+            ("addr", self.addr.to_json()),
+            ("cached_version", self.cached_version.to_json()),
+            ("memory_version", self.memory_version.to_json()),
+            ("phase", self.phase.to_json()),
+        ])
+    }
+}
+
+impl ToJson for OracleReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("stale_reads", self.stale_reads.to_json()),
+            ("coherent", self.is_coherent().to_json()),
+            ("examples", self.examples.to_json()),
+        ])
+    }
+}
+
+impl ToJson for EpochCycles {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", self.label.to_json()),
+            ("total", self.total().to_json()),
+            ("per_pe", self.per_pe.to_json()),
+        ])
+    }
+}
+
+impl ToJson for MemEvent {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("cycle", self.cycle.to_json()),
+            ("pe", self.pe.to_json()),
+            ("phase", self.phase.to_json()),
+            ("kind", self.kind.name().to_json()),
+            ("addr", self.addr.to_json()),
+        ])
+    }
+}
+
+impl ToJson for EventTrace {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("len", self.len().to_json()),
+            ("dropped", self.dropped.to_json()),
+            ("events", Json::arr(self.iter().map(|e| e.to_json()))),
+        ])
+    }
+}
+
+impl ToJson for SimResult {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("scheme", self.scheme.to_json()),
+            ("cycles", self.cycles.to_json()),
+            ("phases", self.phases.to_json()),
+            ("extrapolated", self.extrapolated.to_json()),
+            ("totals", self.total_stats().to_json()),
+            ("prefetch_quality", self.prefetch_quality().to_json()),
+            ("oracle", self.oracle.to_json()),
+            ("per_pe", self.per_pe.to_json()),
+            ("epochs", self.epochs.to_json()),
+        ];
+        if !self.trace.is_empty() {
+            fields.push(("trace", self.trace.to_json()));
+        }
+        Json::obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn breakdown_json_round_trips() {
+        let mut b = CycleBreakdown::default();
+        b.charge(CycleCategory::RemoteFill, 1500);
+        b.charge(CycleCategory::FpWork, 42);
+        b.charge(CycleCategory::BarrierWait, 7);
+        let j = b.to_json();
+        // All categories present, even zero ones.
+        for c in CycleCategory::ALL {
+            assert!(j.get(c.name()).is_some(), "missing {}", c.name());
+        }
+        let text = j.to_string();
+        let parsed = ccdp_json::parse(&text).unwrap();
+        let back = CycleBreakdown::from_json(&parsed).expect("valid breakdown");
+        assert_eq!(back, b);
+        assert_eq!(back.total(), 1549);
+    }
+
+    #[test]
+    fn breakdown_from_json_rejects_unknown_keys() {
+        let j = ccdp_json::parse(r#"{"fp_work": 1, "made_up": 2}"#).unwrap();
+        assert!(CycleBreakdown::from_json(&j).is_none());
+        assert!(CycleBreakdown::from_json(&Json::Int(3)).is_none());
+        // Missing keys read as zero.
+        let j = ccdp_json::parse(r#"{"cache_hit": 9}"#).unwrap();
+        let b = CycleBreakdown::from_json(&j).unwrap();
+        assert_eq!(b.get(CycleCategory::CacheHit), 9);
+        assert_eq!(b.total(), 9);
+    }
+
+    #[test]
+    fn pe_stats_include_breakdown_and_quality_counters() {
+        let mut s = PeStats::default();
+        s.cache_hits = 5;
+        s.fresh_reads = 3;
+        s.breakdown.charge(CycleCategory::CacheHit, 5);
+        let j = s.to_json();
+        assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("fresh_reads").and_then(Json::as_u64), Some(3));
+        let bd = j.get("breakdown").unwrap();
+        assert_eq!(bd.get("cache_hit").and_then(Json::as_u64), Some(5));
+    }
+}

@@ -38,7 +38,9 @@
 mod cache;
 mod config;
 mod interp;
+mod jsonio;
 mod mem;
+pub mod metrics;
 mod pe;
 mod result;
 
@@ -46,5 +48,9 @@ pub use cache::Cache;
 pub use config::{MachineConfig, Scheme, SimOptions};
 pub use interp::Simulator;
 pub use mem::Memory;
+pub use metrics::{
+    CycleBreakdown, CycleCategory, EpochCycles, EventTrace, MemEvent, PrefetchQuality,
+    TraceEventKind,
+};
 pub use pe::{Pe, PeStats};
-pub use result::{OracleReport, SimResult};
+pub use result::{OracleReport, SimResult, StaleReadExample};

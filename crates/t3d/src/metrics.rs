@@ -1,0 +1,410 @@
+//! Observability: cycle attribution, per-epoch accounting, prefetch quality
+//! metrics, and a bounded event trace.
+//!
+//! Every cycle the interpreter charges to a PE is attributed to exactly one
+//! [`CycleCategory`], so a PE's [`CycleBreakdown`] totals to its final cycle
+//! counter *exactly* — the shape tests assert this identity, which makes the
+//! breakdown trustworthy for "where did the time go" analyses (the paper's
+//! Table 2 discussion attributes CCDP's wins to removed CRAFT overhead and
+//! hidden remote latency; the breakdown shows those components directly).
+
+/// Where a simulated cycle went. One category per charge site in the
+/// interpreter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CycleCategory {
+    /// Floating-point work of assignments (plus modelled extra cost).
+    FpWork,
+    /// Loop and branch bookkeeping.
+    LoopOverhead,
+    /// Per-DOALL-instance startup (CRAFT `doshared` setup vs CCDP manual
+    /// assignment setup).
+    EpochSetup,
+    /// Iteration scheduling: CRAFT's per-iteration `doshared` map and the
+    /// dynamic self-scheduling queue.
+    SchedOverhead,
+    /// Cache hits (including private-data accesses).
+    CacheHit,
+    /// Cache miss filled from the PE's own memory.
+    LocalFill,
+    /// Cache miss filled from a remote PE's memory.
+    RemoteFill,
+    /// Cache miss refilled from the vector-prefetch staging buffer.
+    StagedFill,
+    /// BASE-scheme uncached remote reads.
+    UncachedRead,
+    /// CCDP `Bypass`-handled uncached reads.
+    BypassRead,
+    /// CRAFT software overhead (address arithmetic, DTB Annex manipulation)
+    /// in the BASE scheme.
+    CraftOverhead,
+    /// Stores to local memory.
+    WriteLocal,
+    /// Buffered stores to remote memory.
+    WriteRemote,
+    /// Issuing line prefetches (including Annex setup).
+    PrefetchIssue,
+    /// The PE-blocking part of issuing vector prefetches.
+    VectorIssue,
+    /// Stalls on reads whose prefetched line was still in flight.
+    PrefetchWait,
+    /// Extracting arrived prefetch data from the queue.
+    QueuePop,
+    /// Waiting for other PEs at barriers.
+    BarrierWait,
+    /// The barrier operation itself.
+    BarrierCost,
+    /// Cycles added by Repeat steady-state extrapolation.
+    Extrapolated,
+}
+
+impl CycleCategory {
+    pub const ALL: [CycleCategory; 20] = [
+        CycleCategory::FpWork,
+        CycleCategory::LoopOverhead,
+        CycleCategory::EpochSetup,
+        CycleCategory::SchedOverhead,
+        CycleCategory::CacheHit,
+        CycleCategory::LocalFill,
+        CycleCategory::RemoteFill,
+        CycleCategory::StagedFill,
+        CycleCategory::UncachedRead,
+        CycleCategory::BypassRead,
+        CycleCategory::CraftOverhead,
+        CycleCategory::WriteLocal,
+        CycleCategory::WriteRemote,
+        CycleCategory::PrefetchIssue,
+        CycleCategory::VectorIssue,
+        CycleCategory::PrefetchWait,
+        CycleCategory::QueuePop,
+        CycleCategory::BarrierWait,
+        CycleCategory::BarrierCost,
+        CycleCategory::Extrapolated,
+    ];
+
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name (the JSON report key).
+    pub fn name(self) -> &'static str {
+        match self {
+            CycleCategory::FpWork => "fp_work",
+            CycleCategory::LoopOverhead => "loop_overhead",
+            CycleCategory::EpochSetup => "epoch_setup",
+            CycleCategory::SchedOverhead => "sched_overhead",
+            CycleCategory::CacheHit => "cache_hit",
+            CycleCategory::LocalFill => "local_fill",
+            CycleCategory::RemoteFill => "remote_fill",
+            CycleCategory::StagedFill => "staged_fill",
+            CycleCategory::UncachedRead => "uncached_read",
+            CycleCategory::BypassRead => "bypass_read",
+            CycleCategory::CraftOverhead => "craft_overhead",
+            CycleCategory::WriteLocal => "write_local",
+            CycleCategory::WriteRemote => "write_remote",
+            CycleCategory::PrefetchIssue => "prefetch_issue",
+            CycleCategory::VectorIssue => "vector_issue",
+            CycleCategory::PrefetchWait => "prefetch_wait",
+            CycleCategory::QueuePop => "queue_pop",
+            CycleCategory::BarrierWait => "barrier_wait",
+            CycleCategory::BarrierCost => "barrier_cost",
+            CycleCategory::Extrapolated => "extrapolated",
+        }
+    }
+
+    /// Inverse of [`CycleCategory::name`].
+    pub fn from_name(name: &str) -> Option<CycleCategory> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+/// Cycles attributed per [`CycleCategory`]. The interpreter maintains the
+/// invariant `breakdown.total() == pe.now` for every PE.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    cells: [u64; CycleCategory::COUNT],
+}
+
+impl CycleBreakdown {
+    #[inline]
+    pub fn charge(&mut self, cat: CycleCategory, cycles: u64) {
+        self.cells[cat as usize] += cycles;
+    }
+
+    pub fn get(&self, cat: CycleCategory) -> u64 {
+        self.cells[cat as usize]
+    }
+
+    /// Sum across all categories.
+    pub fn total(&self) -> u64 {
+        self.cells.iter().sum()
+    }
+
+    pub fn add(&mut self, o: &CycleBreakdown) {
+        for (a, b) in self.cells.iter_mut().zip(o.cells.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// `(category, cycles)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (CycleCategory, u64)> + '_ {
+        CycleCategory::ALL.into_iter().map(|c| (c, self.cells[c as usize]))
+    }
+
+    /// Cycles the PE was not doing FP work — the "overhead + memory" share.
+    pub fn non_compute(&self) -> u64 {
+        self.total() - self.get(CycleCategory::FpWork)
+    }
+}
+
+/// Per-epoch cycle accounting: the breakdown of every PE's cycles charged
+/// while a given source epoch (by `EpochId`/label) was executing. Repeated
+/// executions of the same epoch accumulate into one entry.
+#[derive(Clone, Debug)]
+pub struct EpochCycles {
+    /// The epoch's label (or `"(extrapolated)"` for the Repeat pseudo-slot).
+    pub label: String,
+    /// Per-PE breakdown of cycles charged inside this epoch.
+    pub per_pe: Vec<CycleBreakdown>,
+}
+
+impl EpochCycles {
+    pub fn new(label: impl Into<String>, n_pes: usize) -> EpochCycles {
+        EpochCycles { label: label.into(), per_pe: vec![CycleBreakdown::default(); n_pes] }
+    }
+
+    /// Machine-wide breakdown for this epoch.
+    pub fn total(&self) -> CycleBreakdown {
+        let mut t = CycleBreakdown::default();
+        for b in &self.per_pe {
+            t.add(b);
+        }
+        t
+    }
+}
+
+/// Prefetch quality summary, in the terminology of the software-prefetching
+/// literature (Mowry & Gupta):
+///
+/// * **coverage** — fraction of potentially-stale (`Fresh`-handled or
+///   bypassed) reads that were served by a line prefetched in the current
+///   phase, i.e. whose coherence *and* latency the plan actually handled by
+///   prefetching rather than by re-fetching or bypassing.
+/// * **accuracy** — fraction of prefetched words that were subsequently
+///   read before being evicted or overwritten; low accuracy means the plan
+///   moves data nobody consumes.
+/// * **timeliness** — fraction of reads hitting prefetched lines that did
+///   *not* have to wait for the data to arrive; `1.0` means every prefetch
+///   completed before its consumer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrefetchQuality {
+    pub coverage: f64,
+    pub accuracy: f64,
+    pub timeliness: f64,
+    /// Line prefetches dropped because the prefetch queue was full.
+    pub queue_drops: u64,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl PrefetchQuality {
+    /// Compute from machine-wide statistics (see `PeStats` field docs).
+    pub fn from_stats(s: &crate::pe::PeStats) -> PrefetchQuality {
+        PrefetchQuality {
+            coverage: ratio(s.fresh_hits_prefetched, s.fresh_reads + s.bypass_reads),
+            accuracy: ratio(s.prefetch_words_used, s.prefetch_words_issued),
+            timeliness: 1.0 - ratio(s.prefetch_late, s.prefetched_line_hits.max(1)),
+            queue_drops: s.line_prefetches_dropped,
+        }
+    }
+}
+
+/// What a traced memory-system event was.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEventKind {
+    CacheHit,
+    LocalFill,
+    RemoteFill,
+    StagedFill,
+    UncachedRead,
+    BypassRead,
+    WriteLocal,
+    WriteRemote,
+    LinePrefetch,
+    PrefetchDropped,
+    VectorPrefetch,
+    /// A consumer stalled waiting for an in-flight prefetched line.
+    PrefetchWait,
+    Barrier,
+}
+
+impl TraceEventKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::CacheHit => "cache_hit",
+            TraceEventKind::LocalFill => "local_fill",
+            TraceEventKind::RemoteFill => "remote_fill",
+            TraceEventKind::StagedFill => "staged_fill",
+            TraceEventKind::UncachedRead => "uncached_read",
+            TraceEventKind::BypassRead => "bypass_read",
+            TraceEventKind::WriteLocal => "write_local",
+            TraceEventKind::WriteRemote => "write_remote",
+            TraceEventKind::LinePrefetch => "line_prefetch",
+            TraceEventKind::PrefetchDropped => "prefetch_dropped",
+            TraceEventKind::VectorPrefetch => "vector_prefetch",
+            TraceEventKind::PrefetchWait => "prefetch_wait",
+            TraceEventKind::Barrier => "barrier",
+        }
+    }
+}
+
+/// One traced event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemEvent {
+    /// PE-local cycle at which the event completed.
+    pub cycle: u64,
+    pub pe: u32,
+    /// Barrier phase during which the event occurred.
+    pub phase: u32,
+    pub kind: TraceEventKind,
+    /// Shared word address (0 for events without one, e.g. barriers).
+    pub addr: u64,
+}
+
+/// Bounded ring buffer of [`MemEvent`]s. Recording is observation only — it
+/// never changes simulated cycle counts (the shape tests assert this).
+#[derive(Clone, Debug, Default)]
+pub struct EventTrace {
+    capacity: usize,
+    /// Ring storage; once full, `head` marks the oldest entry.
+    events: Vec<MemEvent>,
+    head: usize,
+    /// Events that overwrote older ones (total recorded = len + dropped).
+    pub dropped: u64,
+}
+
+impl EventTrace {
+    pub fn new(capacity: usize) -> EventTrace {
+        EventTrace { capacity, events: Vec::new(), head: 0, dropped: 0 }
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    #[inline]
+    pub fn record(&mut self, ev: MemEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events in recording order (oldest surviving first).
+    pub fn iter(&self) -> impl Iterator<Item = &MemEvent> {
+        self.events[self.head..].iter().chain(self.events[..self.head].iter())
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_add() {
+        let mut b = CycleBreakdown::default();
+        b.charge(CycleCategory::FpWork, 10);
+        b.charge(CycleCategory::RemoteFill, 300);
+        b.charge(CycleCategory::FpWork, 5);
+        assert_eq!(b.get(CycleCategory::FpWork), 15);
+        assert_eq!(b.total(), 315);
+        assert_eq!(b.non_compute(), 300);
+        let mut c = b;
+        c.add(&b);
+        assert_eq!(c.total(), 630);
+        assert_eq!(b.iter().map(|(_, v)| v).sum::<u64>(), b.total());
+    }
+
+    #[test]
+    fn category_names_round_trip_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for c in CycleCategory::ALL {
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+            assert_eq!(CycleCategory::from_name(c.name()), Some(c));
+        }
+        assert_eq!(CycleCategory::from_name("nonsense"), None);
+        assert_eq!(CycleCategory::COUNT, 20);
+    }
+
+    #[test]
+    fn quality_ratios_degenerate_cases() {
+        let s = crate::pe::PeStats::default();
+        let q = PrefetchQuality::from_stats(&s);
+        // No prefetching at all: vacuously perfect accuracy/timeliness,
+        // full coverage (there was nothing to cover).
+        assert_eq!(q.coverage, 1.0);
+        assert_eq!(q.accuracy, 1.0);
+        assert_eq!(q.timeliness, 1.0);
+        assert_eq!(q.queue_drops, 0);
+    }
+
+    #[test]
+    fn trace_ring_wraps_and_bounds() {
+        let mut t = EventTrace::new(3);
+        assert!(t.enabled());
+        for i in 0..5u64 {
+            t.record(MemEvent {
+                cycle: i,
+                pe: 0,
+                phase: 0,
+                kind: TraceEventKind::CacheHit,
+                addr: i,
+            });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped, 2);
+        let cycles: Vec<u64> = t.iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+
+        let mut off = EventTrace::new(0);
+        assert!(!off.enabled());
+        off.record(MemEvent {
+            cycle: 1,
+            pe: 0,
+            phase: 0,
+            kind: TraceEventKind::Barrier,
+            addr: 0,
+        });
+        assert!(off.is_empty());
+    }
+
+    #[test]
+    fn epoch_cycles_total_sums_pes() {
+        let mut e = EpochCycles::new("ep", 2);
+        e.per_pe[0].charge(CycleCategory::CacheHit, 3);
+        e.per_pe[1].charge(CycleCategory::CacheHit, 4);
+        e.per_pe[1].charge(CycleCategory::BarrierWait, 1);
+        assert_eq!(e.label, "ep");
+        assert_eq!(e.total().total(), 8);
+        assert_eq!(e.total().get(CycleCategory::CacheHit), 7);
+    }
+}

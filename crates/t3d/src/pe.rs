@@ -2,6 +2,7 @@
 
 use crate::cache::Cache;
 use crate::config::MachineConfig;
+use crate::metrics::CycleBreakdown;
 
 /// Event counters for one PE (and, summed, for the machine).
 #[derive(Clone, Copy, Default, Debug)]
@@ -32,6 +33,23 @@ pub struct PeStats {
     pub prefetch_cycles: u64,
     /// Cycles spent waiting at barriers.
     pub barrier_wait_cycles: u64,
+
+    // -- prefetch quality counters (see `metrics::PrefetchQuality`) -------
+    /// Cached reads executed with `Fresh` handling (the potentially-stale
+    /// reads the plan must cover).
+    pub fresh_reads: u64,
+    /// `Fresh` reads served by a line prefetched in the current phase.
+    pub fresh_hits_prefetched: u64,
+    /// Cache hits on prefetch-installed lines (any handling).
+    pub prefetched_line_hits: u64,
+    /// Words installed in the cache by prefetches (line and vector).
+    pub prefetch_words_issued: u64,
+    /// Prefetched words subsequently read at least once.
+    pub prefetch_words_used: u64,
+
+    /// Per-category attribution of every cycle this PE spent; its total
+    /// equals the PE's final cycle counter exactly.
+    pub breakdown: CycleBreakdown,
 }
 
 impl PeStats {
@@ -53,6 +71,12 @@ impl PeStats {
         self.mem_stall_cycles += o.mem_stall_cycles;
         self.prefetch_cycles += o.prefetch_cycles;
         self.barrier_wait_cycles += o.barrier_wait_cycles;
+        self.fresh_reads += o.fresh_reads;
+        self.fresh_hits_prefetched += o.fresh_hits_prefetched;
+        self.prefetched_line_hits += o.prefetched_line_hits;
+        self.prefetch_words_issued += o.prefetch_words_issued;
+        self.prefetch_words_used += o.prefetch_words_used;
+        self.breakdown.add(&o.breakdown);
     }
 }
 

@@ -3,6 +3,7 @@
 use ccdp_ir::{ArrayId, Program, RefId};
 
 use crate::mem::Memory;
+use crate::metrics::{EpochCycles, EventTrace, PrefetchQuality};
 use crate::pe::PeStats;
 
 /// One recorded stale-read violation.
@@ -49,6 +50,15 @@ pub struct SimResult {
     /// True when Repeat extrapolation was applied (numerics then reflect
     /// only the sampled iterations).
     pub extrapolated: bool,
+    /// Per-epoch cycle attribution, in first-execution order. Each entry
+    /// accumulates every execution of that source epoch; the pseudo-entry
+    /// labelled `"(extrapolated)"` holds Repeat extrapolation cycles. For
+    /// each PE, the entries sum to that PE's `breakdown` (and so to its
+    /// final cycle counter).
+    pub epochs: Vec<EpochCycles>,
+    /// Bounded memory-event trace (empty unless
+    /// `SimOptions::trace_capacity > 0`).
+    pub trace: EventTrace,
 }
 
 impl SimResult {
@@ -69,5 +79,10 @@ impl SimResult {
     /// Megawords of shared data moved by vector prefetches (diagnostics).
     pub fn vector_words(&self) -> u64 {
         self.per_pe.iter().map(|s| s.vector_words_moved).sum()
+    }
+
+    /// Machine-wide prefetch quality (coverage / accuracy / timeliness).
+    pub fn prefetch_quality(&self) -> PrefetchQuality {
+        PrefetchQuality::from_stats(&self.total_stats())
     }
 }

@@ -33,7 +33,7 @@ fn main() {
     println!("parsed `{}` with {} epochs\n", program.name, program.epochs().len());
 
     for n_pes in [2usize, 8, 32] {
-        let cmp = compare(&program, &PipelineConfig::t3d(n_pes));
+        let cmp = compare(&program, &PipelineConfig::t3d(n_pes)).expect("coherent");
         println!(
             "P={:>2}: BASE speedup {:>5.2} | CCDP speedup {:>5.2} | improvement {:>6.2}% | coherent {}",
             n_pes,

@@ -32,7 +32,7 @@ fn main() {
     println!("--- the program ---\n{}", ccdp_ir::print_program(&program));
 
     for n_pes in [1usize, 4, 16] {
-        let cmp = compare(&program, &PipelineConfig::t3d(n_pes));
+        let cmp = compare(&program, &PipelineConfig::t3d(n_pes)).expect("coherent");
         println!(
             "P={:>2}: SEQ {:>9} cy | BASE {:>9} cy (speedup {:>5.2}) | \
              CCDP {:>9} cy (speedup {:>5.2}) | improvement {:>6.2}% | \
@@ -50,7 +50,7 @@ fn main() {
     }
 
     // The simulated runs carry real data: check the numbers.
-    let cmp = compare(&program, &PipelineConfig::t3d(8));
+    let cmp = compare(&program, &PipelineConfig::t3d(8)).expect("coherent");
     let bid = program.array_by_name("B").unwrap().id;
     let vals = cmp.ccdp.array_values(&program, bid);
     assert_eq!(vals[0], ((n - 1) as f64 * 0.25 + 1.0) * 2.0);

@@ -103,7 +103,7 @@ fn main() {
     for n_pes in [1usize, 2, 4, 8, 16, 32] {
         let mut cfg = PipelineConfig::t3d(n_pes);
         cfg.sim = SimOptions::default(); // run all steps (exact numerics)
-        let cmp = compare(&program, &cfg);
+        let cmp = compare(&program, &cfg).expect("coherent");
         let got = cmp.ccdp.array_values(&program, uid);
         let ok = got == want;
         println!(

@@ -13,7 +13,7 @@ fn every_kernel_every_pe_count_matches_golden() {
     for spec in small_suite() {
         let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
         for n in PES {
-            let cmp = compare(&spec.program, &PipelineConfig::t3d(n));
+            let cmp = compare(&spec.program, &PipelineConfig::t3d(n)).expect("coherent");
             assert!(
                 cmp.ccdp.oracle.is_coherent(),
                 "{} P={}: {:?}",
@@ -56,7 +56,7 @@ fn ccdp_speedup_scales_with_pes() {
     ] {
         let mut last = 0.0;
         for n in [1usize, 2, 4] {
-            let cmp = compare(&program, &PipelineConfig::t3d(n));
+            let cmp = compare(&program, &PipelineConfig::t3d(n)).expect("coherent");
             assert!(
                 cmp.ccdp_speedup > last,
                 "{name}: speedup not increasing at P={n}: {} <= {last}",
@@ -71,7 +71,7 @@ fn ccdp_speedup_scales_with_pes() {
 fn invalidate_only_baseline_is_correct_on_all_kernels() {
     for spec in small_suite() {
         let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
-        let r = run_invalidate_only(&spec.program, &PipelineConfig::t3d(4));
+        let r = run_invalidate_only(&spec.program, &PipelineConfig::t3d(4)).expect("coherent");
         assert!(r.oracle.is_coherent(), "{}", spec.name);
         assert!(
             values_equal(&r.array_values(&spec.program, aid), &spec.golden),
@@ -106,7 +106,7 @@ fn swim_routines_and_layout_work_at_scale_quickly() {
     let program = swim::build(&pr);
     let mut cfg = PipelineConfig::t3d(3);
     cfg.layout = Some(swim::layout(&program, 3));
-    let cmp = compare(&program, &cfg);
+    let cmp = compare(&program, &cfg).expect("coherent");
     let aid = program.array_by_name("PNEW").unwrap().id;
     let want = swim::golden_iters(&pr, pr.iters);
     assert!(values_equal(&cmp.ccdp.array_values(&program, aid), &want));

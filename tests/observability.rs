@@ -1,0 +1,147 @@
+//! Property and shape tests for the observability layer.
+//!
+//! The invariants under test:
+//! 1. every simulated cycle is attributed: per-PE `CycleBreakdown` totals
+//!    equal `SimResult::cycles` exactly, for every scheme;
+//! 2. per-epoch accounting is complete: summing the epoch slots recovers
+//!    each PE's breakdown (the Repeat extrapolation pseudo-slot included);
+//! 3. the event trace is observation only — enabling it changes no cycle
+//!    count — and stays within its configured bound;
+//! 4. prefetch quality ratios are well-formed (within `[0, 1]`);
+//! 5. the JSON encoding round-trips.
+
+use ccdp_bench::synth::{random_program, SynthConfig};
+use ccdp_bench::{cell_config, paper_kernels, Scale};
+use ccdp_core::{compare, run_base, run_ccdp, run_seq, PipelineConfig};
+use ccdp_json::{Json, ToJson};
+use proptest::prelude::*;
+use t3d_sim::{CycleBreakdown, CycleCategory, SimOptions, SimResult};
+
+fn assert_fully_attributed(r: &SimResult, what: &str) {
+    for (pe, stats) in r.per_pe.iter().enumerate() {
+        assert_eq!(
+            stats.breakdown.total(),
+            r.cycles,
+            "{what}: PE {pe} breakdown does not sum to total cycles"
+        );
+    }
+    // Per-epoch slots partition each PE's cycles.
+    for pe in 0..r.per_pe.len() {
+        let mut from_epochs = CycleBreakdown::default();
+        for e in &r.epochs {
+            from_epochs.add(&e.per_pe[pe]);
+        }
+        assert_eq!(
+            from_epochs, r.per_pe[pe].breakdown,
+            "{what}: PE {pe} epoch slots do not partition the breakdown"
+        );
+    }
+}
+
+fn assert_quality_well_formed(r: &SimResult, what: &str) {
+    let q = r.prefetch_quality();
+    for (name, v) in [
+        ("coverage", q.coverage),
+        ("accuracy", q.accuracy),
+        ("timeliness", q.timeliness),
+    ] {
+        assert!((0.0..=1.0).contains(&v), "{what}: {name} = {v} out of range");
+    }
+}
+
+#[test]
+fn kernel_cells_fully_attributed() {
+    let kernels = paper_kernels(Scale::Quick);
+    for k in &kernels {
+        let cfg = cell_config(k, 4);
+        let seq = run_seq(&k.program, &cfg);
+        let base = run_base(&k.program, &cfg);
+        let (_, ccdp) = run_ccdp(&k.program, &cfg).expect("coherent");
+        for (r, scheme) in [(&seq, "seq"), (&base, "base"), (&ccdp, "ccdp")] {
+            assert_fully_attributed(r, &format!("{} {scheme}", k.name));
+            assert_quality_well_formed(r, &format!("{} {scheme}", k.name));
+        }
+        // Compute is attributed: every scheme executes the same FP work.
+        let fp = seq.per_pe.iter().map(|s| s.breakdown.get(CycleCategory::FpWork)).sum::<u64>();
+        assert!(fp > 0, "{}: no FP work attributed", k.name);
+    }
+}
+
+#[test]
+fn trace_is_observation_only_and_bounded() {
+    let kernels = paper_kernels(Scale::Quick);
+    let k = &kernels[0]; // MXM
+    let plain = cell_config(k, 4);
+    let traced = cell_config(k, 4)
+        .with_sim(SimOptions { trace_capacity: 128, ..plain.sim });
+    let (_, off) = run_ccdp(&k.program, &plain).expect("coherent");
+    let (_, on) = run_ccdp(&k.program, &traced).expect("coherent");
+    assert_eq!(off.cycles, on.cycles, "enabling the trace changed cycle counts");
+    for (a, b) in off.per_pe.iter().zip(&on.per_pe) {
+        assert_eq!(a.breakdown, b.breakdown, "enabling the trace changed a breakdown");
+    }
+    assert!(off.trace.is_empty(), "trace recorded while disabled");
+    assert!(!on.trace.is_empty(), "no events recorded with trace enabled");
+    assert!(on.trace.len() <= 128, "trace exceeded its ring capacity");
+    assert!(on.trace.dropped > 0, "quick MXM should overflow a 128-event ring");
+    // Events arrive oldest-first with monotone non-decreasing per-PE cycles.
+    let mut last: std::collections::HashMap<u32, u64> = Default::default();
+    for ev in on.trace.iter() {
+        let prev = last.entry(ev.pe).or_insert(0);
+        assert!(ev.cycle >= *prev, "per-PE event cycles went backwards");
+        *prev = ev.cycle;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn synthesized_programs_fully_attributed(seed in 0u64..2000, n_pes in 1usize..9) {
+        let program = random_program(seed, &SynthConfig::default());
+        let pcfg = PipelineConfig::t3d(n_pes);
+        let seq = run_seq(&program, &pcfg);
+        let base = run_base(&program, &pcfg);
+        let (_, ccdp) = run_ccdp(&program, &pcfg).expect("coherent");
+        for (r, scheme) in [(&seq, "seq"), (&base, "base"), (&ccdp, "ccdp")] {
+            assert_fully_attributed(r, &format!("seed {seed} P={n_pes} {scheme}"));
+            assert_quality_well_formed(r, &format!("seed {seed} P={n_pes} {scheme}"));
+        }
+    }
+}
+
+#[test]
+fn comparison_json_round_trips() {
+    let kernels = paper_kernels(Scale::Quick);
+    let k = &kernels[1]; // VPENTA
+    let cmp = compare(&k.program, &cell_config(k, 2)).expect("coherent");
+    let j = cmp.to_json();
+    let parsed = ccdp_json::parse(&j.to_pretty()).expect("valid JSON");
+    assert_eq!(parsed, j, "print -> parse is not the identity");
+
+    // Serialized breakdowns decode back to the in-memory values and still
+    // sum to the run's total cycles.
+    let ccdp_j = parsed.get("ccdp").unwrap();
+    let cycles = ccdp_j.get("cycles").and_then(Json::as_u64).unwrap();
+    let per_pe = ccdp_j.get("per_pe").unwrap().items();
+    assert_eq!(per_pe.len(), 2);
+    for (pe, stats_j) in per_pe.iter().enumerate() {
+        let b = CycleBreakdown::from_json(stats_j.get("breakdown").unwrap())
+            .expect("breakdown decodes");
+        assert_eq!(b, cmp.ccdp.per_pe[pe].breakdown);
+        assert_eq!(b.total(), cycles);
+    }
+    // Quality ratios survive the trip.
+    let q = ccdp_j.get("prefetch_quality").unwrap();
+    let cov = q.get("coverage").and_then(Json::as_f64).unwrap();
+    assert!((cov - cmp.ccdp.prefetch_quality().coverage).abs() < 1e-12);
+}
+
+#[test]
+fn breakdown_category_names_are_stable() {
+    // `from_name` inverts `name` for every category; unknown names fail.
+    for cat in CycleCategory::ALL {
+        assert_eq!(CycleCategory::from_name(cat.name()), Some(cat));
+    }
+    assert_eq!(CycleCategory::from_name("warp_drive"), None);
+}

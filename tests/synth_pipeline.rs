@@ -33,8 +33,8 @@ fn check_seed(seed: u64, n_pes: usize) -> Result<(), TestCaseError> {
 
     let seq = run_seq(&program, &pcfg);
     let base = run_base(&program, &pcfg);
-    let (_, ccdp) = run_ccdp(&program, &pcfg);
-    let inv = run_invalidate_only(&program, &pcfg);
+    let (_, ccdp) = run_ccdp(&program, &pcfg).expect("coherent");
+    let inv = run_invalidate_only(&program, &pcfg).expect("coherent");
 
     prop_assert!(
         ccdp.oracle.is_coherent(),

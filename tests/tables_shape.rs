@@ -11,7 +11,7 @@ use ccdp_core::{format_improvement_table, format_speedup_table, ComparisonRow};
 fn quick_grid_shape_matches_the_paper() {
     let kernels = paper_kernels(Scale::Quick);
     let pes = [2usize, 4, 8];
-    let grid = run_grid(&kernels, &pes);
+    let grid = run_grid(&kernels, &pes).expect("coherent grid");
 
     let by_name = |n: &str| {
         kernels

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds without network access, so this crate provides a
+//! minimal wall-clock benchmark harness with criterion's API shape
+//! (`criterion_group!` / `criterion_main!` / `Criterion` / groups /
+//! `Bencher::iter`). It reports a mean per-iteration time on stdout; there
+//! is no statistical analysis, plotting, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (kept short: this harness exists
+/// so `cargo bench` works offline, not for publication-grade numbers).
+const MEASURE: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 10_000;
+
+/// One benchmark timer.
+pub struct Bencher {
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, auto-scaling the iteration count to the routine's cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up (and one mandatory execution)
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE && iters < MAX_ITERS {
+            black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.mean_ns = Some(total.as_nanos() as f64 / iters.max(1) as f64);
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: None };
+    f(&mut b);
+    match b.mean_ns {
+        Some(ns) if ns >= 1e6 => println!("bench {label:<50} {:>12.3} ms", ns / 1e6),
+        Some(ns) if ns >= 1e3 => println!("bench {label:<50} {:>12.3} µs", ns / 1e3),
+        Some(ns) => println!("bench {label:<50} {ns:>12.1} ns"),
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _parent: self }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("param", 8), &8usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

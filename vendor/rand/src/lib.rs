@@ -1,0 +1,143 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds without network access, so this crate provides the
+//! small API subset the repo uses (`StdRng::seed_from_u64`, `gen_range`,
+//! `gen_bool`, `gen`) on top of xoshiro256++ seeded via SplitMix64. The
+//! stream differs from crates.io `rand`'s `StdRng` — all in-repo consumers
+//! are property tests that only require *determinism*, not a specific
+//! stream.
+
+pub mod rngs {
+    /// Deterministic 64-bit PRNG (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Seeding, as in `rand::SeedableRng` (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64(seed)
+    }
+}
+
+/// Integer types `gen_range` can produce.
+pub trait SampleUniform: Copy {
+    fn sample_in(lo: Self, hi: Self, raw: u64) -> Self;
+    /// `self - 1` (exclusive upper bound → inclusive).
+    fn pred(self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(lo: Self, hi: Self, raw: u64) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (raw as u128 % span) as i128) as $t
+            }
+            fn pred(self) -> Self {
+                self - 1
+            }
+        }
+    )*};
+}
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Types `gen()` can produce (the `Standard` distribution).
+pub trait Standard {
+    fn standard(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn standard(raw: u64) -> Self {
+        raw
+    }
+}
+impl Standard for u32 {
+    fn standard(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+/// The `rand::Rng` extension trait (subset).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a `lo..hi` or `lo..=hi` integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform + PartialOrd,
+        R: std::ops::RangeBounds<T>,
+        Self: Sized,
+    {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&b) => b,
+            _ => panic!("gen_range needs a bounded start"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&b) => b,
+            Bound::Excluded(&b) => {
+                assert!(lo < b, "gen_range over an empty range");
+                b.pred()
+            }
+            Bound::Unbounded => panic!("gen_range needs a bounded end"),
+        };
+        assert!(lo <= hi, "gen_range over an empty range");
+        T::sample_in(lo, hi, self.next_u64())
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Sample from the `Standard` distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self.next_u64())
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
