@@ -5,14 +5,16 @@
 //! CCDP_SCALE=paper cargo run -p ccdp-bench --release --bin ablations
 //! ```
 //!
-//! `which` ∈ {target, sched, queue, latency, scheme, clean, all} (default
-//! all). Each study prints one small table; see EXPERIMENTS.md for the
-//! recorded paper-scale outputs.
+//! `which` ∈ {target, sched, queue, latency, scheme, clean, faults, all}
+//! (default all). Each study prints one small table; see EXPERIMENTS.md for
+//! the recorded paper-scale outputs. The `faults` study injects seeded
+//! fault plans (`--seed N` / `CCDP_SEED` select the decision streams).
 
-use ccdp_bench::{paper_kernels, run_cell_with, BenchKernel, Scale};
+use ccdp_bench::{paper_kernels, run_cell_with, seed_from, BenchKernel, Scale};
 use ccdp_core::{
     compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq, Comparison, PipelineConfig,
 };
+use t3d_sim::FaultPlan;
 
 const PES: usize = 8;
 
@@ -139,8 +141,8 @@ fn ablation_scheme(kernels: &[BenchKernel]) {
     );
     for k in kernels {
         let cfg = ccdp_bench::cell_config(k, PES);
-        let seq = run_seq(&k.program, &cfg);
-        let base = run_base(&k.program, &cfg);
+        let seq = run_seq(&k.program, &cfg).expect("valid config");
+        let base = run_base(&k.program, &cfg).expect("valid config");
         let inv = run_invalidate_only(&k.program, &cfg).expect("inv-only coherent");
         let (_, ccdp) = run_ccdp(&k.program, &cfg).expect("ccdp coherent");
         let s = seq.cycles as f64;
@@ -182,9 +184,47 @@ fn ablation_clean(kernels: &[BenchKernel]) {
     }
 }
 
+/// Resilience under injected faults: CCDP cycles degrade but coherence and
+/// numerics hold (the cell would panic loudly otherwise).
+fn ablation_faults(kernels: &[BenchKernel], seed: u64) {
+    header(&format!("ablation: fault injection (CCDP slowdown vs fault-free; seed {seed})"));
+    let plans = [
+        ("drop=0.1", FaultPlan::none().with_seed(seed).with_drop_rate(0.1)),
+        ("delay 4x", FaultPlan::none().with_seed(seed).with_delay(0.1, 4, 3)),
+        ("storms", FaultPlan::none().with_seed(seed).with_storms(0.05, 4)),
+        ("evict=0.1", FaultPlan::none().with_seed(seed).with_evict_rate(0.1)),
+    ];
+    print!("{:>8} |", "kernel");
+    for (name, _) in &plans {
+        print!(" {:>10}", name);
+    }
+    println!(" {:>12}", "fallbacks*");
+    for k in kernels {
+        let clean = cell(k, |_| {}).ccdp.cycles as f64;
+        print!("{:>8} |", k.name);
+        let mut fallbacks = 0;
+        for (_, plan) in &plans {
+            let c = cell(k, |cfg| cfg.sim.faults = *plan);
+            print!(" {:>10.4}", c.ccdp.cycles as f64 / clean);
+            fallbacks += c.ccdp.fault_stats().demand_fallbacks;
+        }
+        println!(" {fallbacks:>12}");
+    }
+    println!("(* demand fallbacks summed over the four plans)");
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.chars().all(|c| c.is_ascii_digit()))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
     let scale = Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let seed = seed_from(&args).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -197,6 +237,7 @@ fn main() {
         "latency" => ablation_latency(&kernels),
         "scheme" => ablation_scheme(&kernels),
         "clean" => ablation_clean(&kernels),
+        "faults" => ablation_faults(&kernels, seed),
         _ => {
             ablation_target(&kernels);
             ablation_sched(&kernels);
@@ -204,6 +245,7 @@ fn main() {
             ablation_latency(&kernels);
             ablation_scheme(&kernels);
             ablation_clean(&kernels);
+            ablation_faults(&kernels, seed);
         }
     }
 }

@@ -37,8 +37,8 @@ fn main() {
         println!("  r{} -> {:?}", rid.0, t);
     }
 
-    let seq = run_seq(&k.program, &cfg);
-    let base = run_base(&k.program, &cfg);
+    let seq = run_seq(&k.program, &cfg).expect("valid config");
+    let base = run_base(&k.program, &cfg).expect("valid config");
     let (_, ccdp) = run_ccdp(&k.program, &cfg).unwrap_or_else(|e| {
         eprintln!("pipeline failed: {e}");
         std::process::exit(1);

@@ -5,24 +5,30 @@
 //! ```text
 //! cargo run -p ccdp-bench --release --bin report            # quick scale
 //! CCDP_SCALE=paper cargo run -p ccdp-bench --release --bin report
+//! cargo run -p ccdp-bench --release --bin report -- --seed 7
 //! ```
 
-use ccdp_bench::{paper_kernels, report::report_json, run_grid, Scale, PAPER_PES};
+use ccdp_bench::{paper_kernels, report::report_json, run_grid, seed_from, Scale, PAPER_PES};
 
 const OUT: &str = "BENCH_ccdp.json";
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = Scale::from_env().unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
-    eprintln!("running report grid at {scale:?} scale ...");
+    let seed = seed_from(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    eprintln!("running report grid at {scale:?} scale (seed {seed}) ...");
     let kernels = paper_kernels(scale);
     let grid = run_grid(&kernels, &PAPER_PES).unwrap_or_else(|e| {
         eprintln!("pipeline failed: {e}");
         std::process::exit(1);
     });
-    let doc = report_json(scale, &PAPER_PES, &kernels, &grid);
+    let doc = report_json(scale, seed, &PAPER_PES, &kernels, &grid);
     std::fs::write(OUT, doc.to_pretty()).unwrap_or_else(|e| {
         eprintln!("cannot write {OUT}: {e}");
         std::process::exit(1);

@@ -1,0 +1,98 @@
+//! Stress/soak sweep over injected faults: drop-rate curve × kernels × PE
+//! counts, plus a mixed soak plan — every cell checked for coherence and
+//! golden numerics, demand fallbacks checked for monotonicity, and the
+//! degradation curve merged into `BENCH_ccdp.json` as a `stress` section.
+//!
+//! ```text
+//! cargo run -p ccdp-bench --release --bin stress             # env scale
+//! cargo run -p ccdp-bench --release --bin stress -- --quick  # force quick
+//! cargo run -p ccdp-bench --release --bin stress -- --seed 7
+//! ```
+//!
+//! Exits non-zero (with the oracle's evidence) on any guarantee violation.
+
+use ccdp_bench::report::SCHEMA_VERSION;
+use ccdp_bench::stress::{run_stress, stress_json, stress_pes, StressReport};
+use ccdp_bench::{paper_kernels, seed_from, Scale};
+use ccdp_json::{Json, ToJson};
+
+const OUT: &str = "BENCH_ccdp.json";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::from_env().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+    let seed = seed_from(&args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let kernels = paper_kernels(scale);
+    let pes = stress_pes(scale);
+    eprintln!("running stress sweep at {scale:?} scale, P={pes:?}, seed {seed} ...");
+    let rep = run_stress(&kernels, &pes, scale, seed).unwrap_or_else(|e| {
+        eprintln!("STRESS FAILURE: {e}");
+        std::process::exit(1);
+    });
+    print_curve(&rep);
+    merge_into_report(&rep);
+}
+
+/// Human-readable degradation curve: slowdown vs the fault-free run.
+fn print_curve(rep: &StressReport) {
+    println!(
+        "\n=== stress: degradation curve (slowdown vs fault-free; seed {}) ===",
+        rep.seed
+    );
+    println!(
+        "{:>8} {:>5} | {:>10} {:>10} {:>12} {:>10}",
+        "kernel", "P", "plan", "slowdown", "fallbacks", "dropped"
+    );
+    for c in &rep.cells {
+        println!(
+            "{:>8} {:>5} | {:>10} {:>10.4} {:>12} {:>10}",
+            c.kernel,
+            c.n_pes,
+            c.plan,
+            c.slowdown(),
+            c.faults.demand_fallbacks,
+            c.faults.prefetches_dropped,
+        );
+    }
+    println!("\nall cells coherent, all numerics equal the sequential golden run");
+}
+
+/// Merge the `stress` section into `BENCH_ccdp.json`, preserving an
+/// existing report document when one is present.
+fn merge_into_report(rep: &StressReport) {
+    let section = stress_json(rep);
+    let mut doc = std::fs::read_to_string(OUT)
+        .ok()
+        .and_then(|s| ccdp_json::parse(&s).ok())
+        .unwrap_or_else(|| {
+            Json::obj([
+                ("schema_version", SCHEMA_VERSION.to_json()),
+                (
+                    "paper",
+                    "A Compiler-Directed Cache Coherence Scheme Using Data Prefetching"
+                        .to_json(),
+                ),
+            ])
+        });
+    if let Json::Obj(pairs) = &mut doc {
+        pairs.retain(|(k, _)| k != "stress");
+        pairs.push(("stress".to_string(), section));
+    }
+    match std::fs::write(OUT, doc.to_pretty()) {
+        Ok(()) => eprintln!("merged stress section into {OUT}"),
+        Err(e) => {
+            eprintln!("cannot write {OUT}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

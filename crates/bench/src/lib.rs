@@ -12,6 +12,7 @@
 //! runs ~1/4-linear-size instances for CI-speed shape checks.
 
 pub mod report;
+pub mod stress;
 pub mod synth;
 
 use ccdp_core::{compare, Comparison, PipelineConfig, PipelineError};
@@ -74,6 +75,41 @@ impl Scale {
             Scale::Paper => "paper",
             Scale::Quick => "quick",
         }
+    }
+}
+
+/// `--seed` / `CCDP_SEED` held something that is not a u64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedError {
+    pub value: String,
+}
+
+impl std::fmt::Display for SeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unparseable seed {:?} (expected a u64)", self.value)
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+/// Decision-stream seed for fault-injecting runs: `--seed N` (or
+/// `--seed=N`) in `args`, else the `CCDP_SEED` env var, else 0. The chosen
+/// seed is recorded in every JSON report so a run can be reproduced.
+pub fn seed_from(args: &[String]) -> Result<u64, SeedError> {
+    let parse = |v: &str| v.parse::<u64>().map_err(|_| SeedError { value: v.to_string() });
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            let v = it.next().ok_or_else(|| SeedError { value: "<missing>".into() })?;
+            return parse(v);
+        }
+        if let Some(v) = a.strip_prefix("--seed=") {
+            return parse(v);
+        }
+    }
+    match std::env::var("CCDP_SEED") {
+        Ok(v) => parse(&v),
+        Err(_) => Ok(0),
     }
 }
 
@@ -197,6 +233,19 @@ mod unit {
         assert_eq!(grid.len(), 1);
         assert_eq!(grid[0].len(), 1);
         assert!(grid[0][0].ccdp.oracle.is_coherent());
+    }
+
+    #[test]
+    fn seed_from_prefers_flag_over_env() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(seed_from(&args(&["--seed", "17"])), Ok(17));
+        assert_eq!(seed_from(&args(&["--quick", "--seed=99"])), Ok(99));
+        assert!(seed_from(&args(&["--seed", "banana"])).is_err());
+        assert!(seed_from(&args(&["--seed"])).is_err());
+        // No flag and no env (tests don't set CCDP_SEED): default 0.
+        if std::env::var("CCDP_SEED").is_err() {
+            assert_eq!(seed_from(&args(&[])), Ok(0));
+        }
     }
 
     #[test]

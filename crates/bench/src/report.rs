@@ -9,12 +9,18 @@ use ccdp_json::{Json, ToJson};
 use crate::{BenchKernel, Scale};
 
 /// Schema version of the report document; bump on breaking shape changes.
-pub const SCHEMA_VERSION: u32 = 1;
+/// v2: per-PE stats gained a `faults` object, the document records the
+/// fault-decision `seed`, and the `stress` bin merges a degradation-curve
+/// `stress` section into the same file.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Assemble the report document for a completed grid run. `grid` is indexed
-/// `[kernel][pe_count]`, as produced by [`crate::run_grid`].
+/// `[kernel][pe_count]`, as produced by [`crate::run_grid`]. `seed` is the
+/// fault-decision seed the run was invoked with (recorded for
+/// reproducibility even when the grid itself runs fault-free).
 pub fn report_json(
     scale: Scale,
+    seed: u64,
     pes: &[usize],
     kernels: &[BenchKernel],
     grid: &[Vec<Comparison>],
@@ -38,6 +44,7 @@ pub fn report_json(
             "A Compiler-Directed Cache Coherence Scheme Using Data Prefetching".to_json(),
         ),
         ("scale", scale.name().to_json()),
+        ("seed", seed.to_json()),
         ("pe_counts", pes.to_json()),
         ("kernels", kernels_json),
         (
@@ -60,9 +67,10 @@ mod unit {
         let kernels = paper_kernels(Scale::Quick);
         let pes = [2usize];
         let grid = run_grid(&kernels[..2], &pes).expect("coherent grid");
-        let j = report_json(Scale::Quick, &pes, &kernels[..2], &grid);
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(1));
+        let j = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid);
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(2));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
+        assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let ks = j.get("kernels").unwrap().items();
         assert_eq!(ks.len(), 2);
         assert_eq!(ks[0].get("name").and_then(Json::as_str), Some("MXM"));
@@ -75,8 +83,13 @@ mod unit {
             .and_then(Json::as_str)
             .unwrap()
             .contains("Table 2"));
+        // Per-PE fault accounting is present (and zero) in fault-free cells.
+        let totals = cell.get("ccdp").unwrap().get("totals").unwrap();
+        let faults = totals.get("faults").expect("faults object in totals");
+        assert_eq!(faults.get("prefetches_dropped").and_then(Json::as_u64), Some(0));
+        assert_eq!(faults.get("demand_fallbacks").and_then(Json::as_u64), Some(0));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(2));
     }
 }

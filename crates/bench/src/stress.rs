@@ -1,0 +1,370 @@
+//! Stress/soak sweep: fault rates × kernels × PE counts, checking the
+//! graceful-degradation guarantee in every cell.
+//!
+//! For each (kernel, PE count) the sweep runs CCDP under the drop-rate
+//! curve [`DROP_RATES`] plus one mixed soak plan, and enforces:
+//!
+//! 1. **Coherence** — the oracle reports zero stale reads in every cell.
+//! 2. **Numerics** — every shared array equals the sequential golden run
+//!    (faults may only move cycles, never values).
+//! 3. **Monotone fallbacks** — demand-fallback counts never decrease as the
+//!    drop rate rises (seeded decision streams make drop sets nested).
+//!
+//! Any violation is a [`StressError`] carrying the evidence; the `stress`
+//! bin exits non-zero on it. A clean sweep becomes the `stress` section of
+//! `BENCH_ccdp.json` (the degradation curve).
+
+use ccdp_core::{compile_ccdp, run_seq, PipelineError};
+use ccdp_ir::Sharing;
+use ccdp_json::{Json, ToJson};
+use ccdp_kernels::values_equal;
+use t3d_sim::{FaultPlan, FaultStats, Scheme, Simulator, StaleReadExample};
+
+use crate::{cell_config, BenchKernel, Scale};
+
+/// The degradation curve's prefetch-drop rates.
+pub const DROP_RATES: [f64; 4] = [0.0, 0.01, 0.1, 0.5];
+
+/// PE counts the sweep covers at each scale.
+pub fn stress_pes(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![2, 8],
+        Scale::Paper => vec![8, 32],
+    }
+}
+
+/// The sweep's fault plans: the drop-rate curve, then one mixed soak plan
+/// exercising every injector at once.
+pub fn stress_plans(seed: u64) -> Vec<(String, FaultPlan)> {
+    let mut plans: Vec<(String, FaultPlan)> = DROP_RATES
+        .iter()
+        .map(|&r| {
+            (format!("drop={r}"), FaultPlan::none().with_seed(seed).with_drop_rate(r))
+        })
+        .collect();
+    plans.push((
+        "mix".to_string(),
+        FaultPlan::none()
+            .with_seed(seed)
+            .with_drop_rate(0.05)
+            .with_delay(0.05, 4, 3)
+            .with_storms(0.02, 4)
+            .with_evict_rate(0.05),
+    ));
+    plans
+}
+
+/// One cell of the sweep: a kernel × PE count × fault plan that passed both
+/// the oracle and the numerics check.
+#[derive(Clone, Debug)]
+pub struct StressCell {
+    pub kernel: &'static str,
+    pub n_pes: usize,
+    pub plan: String,
+    /// The drop rate for curve cells, `None` for the mixed soak plan.
+    pub drop_rate: Option<f64>,
+    pub cycles: u64,
+    /// Cycles of the fault-free cell of the same kernel × PE count.
+    pub clean_cycles: u64,
+    pub faults: FaultStats,
+}
+
+impl StressCell {
+    /// Degradation relative to the fault-free run (1.0 = no slowdown).
+    pub fn slowdown(&self) -> f64 {
+        self.cycles as f64 / self.clean_cycles as f64
+    }
+}
+
+/// A sweep cell broke one of the guarantees (or the pipeline itself failed).
+#[derive(Debug)]
+pub enum StressError {
+    Pipeline(PipelineError),
+    /// The oracle saw stale reads under faults — the coherence break the
+    /// subsystem exists to rule out. Carries the oracle's evidence.
+    Incoherent {
+        kernel: &'static str,
+        n_pes: usize,
+        plan: String,
+        stale_reads: u64,
+        examples: Vec<StaleReadExample>,
+    },
+    /// Faulted numerics diverged from the sequential golden run.
+    ValuesDiverged {
+        kernel: &'static str,
+        n_pes: usize,
+        plan: String,
+        array: String,
+    },
+    /// Demand-fallback counts decreased as the drop rate rose.
+    NonMonotoneFallbacks {
+        kernel: &'static str,
+        n_pes: usize,
+        lo_rate: f64,
+        lo_fallbacks: u64,
+        hi_rate: f64,
+        hi_fallbacks: u64,
+    },
+}
+
+impl std::fmt::Display for StressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StressError::Pipeline(e) => write!(f, "pipeline failed: {e}"),
+            StressError::Incoherent { kernel, n_pes, plan, stale_reads, examples } => {
+                write!(
+                    f,
+                    "COHERENCE BREAK: {kernel} P={n_pes} [{plan}]: {stale_reads} stale read(s)"
+                )?;
+                if let Some(e) = examples.first() {
+                    write!(
+                        f,
+                        "; first: ref {:?} on PE {} read addr {} at version {} (memory at {}) in phase {}",
+                        e.reference, e.pe, e.addr, e.cached_version, e.memory_version, e.phase
+                    )?;
+                }
+                Ok(())
+            }
+            StressError::ValuesDiverged { kernel, n_pes, plan, array } => write!(
+                f,
+                "NUMERICS DIVERGED: {kernel} P={n_pes} [{plan}]: array {array} != sequential golden"
+            ),
+            StressError::NonMonotoneFallbacks {
+                kernel,
+                n_pes,
+                lo_rate,
+                lo_fallbacks,
+                hi_rate,
+                hi_fallbacks,
+            } => write!(
+                f,
+                "NON-MONOTONE FALLBACKS: {kernel} P={n_pes}: {lo_fallbacks} at drop={lo_rate} \
+                 but {hi_fallbacks} at drop={hi_rate}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StressError {}
+
+impl From<PipelineError> for StressError {
+    fn from(e: PipelineError) -> StressError {
+        StressError::Pipeline(e)
+    }
+}
+
+/// A completed (clean) sweep.
+pub struct StressReport {
+    pub scale: Scale,
+    pub seed: u64,
+    pub pes: Vec<usize>,
+    pub cells: Vec<StressCell>,
+}
+
+/// Sweep one kernel at one PE count through every plan. Compiles once,
+/// establishes the sequential golden values once, then verifies each
+/// faulted run against them.
+pub fn stress_cell(
+    k: &BenchKernel,
+    n_pes: usize,
+    plans: &[(String, FaultPlan)],
+) -> Result<Vec<StressCell>, StressError> {
+    let cfg = cell_config(k, n_pes);
+    cfg.validate()?;
+    let seq = run_seq(&k.program, &cfg)?;
+    let shared: Vec<_> = k
+        .program
+        .arrays
+        .iter()
+        .filter(|a| matches!(a.sharing, Sharing::Shared))
+        .map(|a| (a.id, a.name.clone()))
+        .collect();
+    let golden: Vec<Vec<f64>> =
+        shared.iter().map(|&(aid, _)| seq.array_values(&k.program, aid)).collect();
+    let art = compile_ccdp(&k.program, &cfg);
+    let layout = cfg.layout_for(&k.program);
+
+    let mut cells: Vec<StressCell> = Vec::with_capacity(plans.len());
+    let mut clean_cycles = 0u64;
+    for (label, plan) in plans {
+        plan.validate().map_err(PipelineError::from)?;
+        let mut sim = cfg.sim;
+        sim.faults = *plan;
+        let r = Simulator::new(
+            &art.transformed,
+            layout.clone(),
+            cfg.machine.clone(),
+            Scheme::Ccdp { plan: art.plan.clone() },
+            sim,
+        )
+        .run();
+        if !r.oracle.is_coherent() {
+            return Err(StressError::Incoherent {
+                kernel: k.name,
+                n_pes,
+                plan: label.clone(),
+                stale_reads: r.oracle.stale_reads,
+                examples: r.oracle.examples.clone(),
+            });
+        }
+        for ((aid, name), want) in shared.iter().zip(&golden) {
+            if !values_equal(&r.array_values(&k.program, *aid), want) {
+                return Err(StressError::ValuesDiverged {
+                    kernel: k.name,
+                    n_pes,
+                    plan: label.clone(),
+                    array: name.clone(),
+                });
+            }
+        }
+        if plan.is_none() {
+            clean_cycles = r.cycles;
+        }
+        cells.push(StressCell {
+            kernel: k.name,
+            n_pes,
+            plan: label.clone(),
+            drop_rate: plan_drop_rate(label, plan),
+            cycles: r.cycles,
+            clean_cycles: 0, // patched below once known
+            faults: r.fault_stats(),
+        });
+    }
+    if clean_cycles == 0 {
+        clean_cycles = cells.first().map_or(1, |c| c.cycles);
+    }
+    for c in &mut cells {
+        c.clean_cycles = clean_cycles;
+    }
+    // Monotone degradation: nested drop decisions mean a prefetch dropped
+    // at a lower rate is also dropped at a higher one, so demand fallbacks
+    // may only grow along the curve.
+    let curve: Vec<&StressCell> = cells.iter().filter(|c| c.drop_rate.is_some()).collect();
+    for w in curve.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if hi.faults.demand_fallbacks < lo.faults.demand_fallbacks {
+            return Err(StressError::NonMonotoneFallbacks {
+                kernel: k.name,
+                n_pes,
+                lo_rate: lo.drop_rate.unwrap(),
+                lo_fallbacks: lo.faults.demand_fallbacks,
+                hi_rate: hi.drop_rate.unwrap(),
+                hi_fallbacks: hi.faults.demand_fallbacks,
+            });
+        }
+    }
+    Ok(cells)
+}
+
+fn plan_drop_rate(label: &str, plan: &FaultPlan) -> Option<f64> {
+    label.starts_with("drop=").then_some(plan.drop_rate)
+}
+
+/// Run the whole sweep: every kernel × PE count cell on its own host
+/// thread, every plan verified inside the cell.
+pub fn run_stress(
+    kernels: &[BenchKernel],
+    pes: &[usize],
+    scale: Scale,
+    seed: u64,
+) -> Result<StressReport, StressError> {
+    let plans = stress_plans(seed);
+    let results: Vec<Result<Vec<StressCell>, StressError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = kernels
+            .iter()
+            .flat_map(|k| {
+                let plans = &plans;
+                pes.iter().map(move |&n| s.spawn(move || stress_cell(k, n, plans)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("stress cell")).collect()
+    });
+    let mut cells = Vec::new();
+    for r in results {
+        cells.extend(r?);
+    }
+    Ok(StressReport { scale, seed, pes: to_vec(pes), cells })
+}
+
+fn to_vec(pes: &[usize]) -> Vec<usize> {
+    pes.to_vec()
+}
+
+/// The `stress` section of `BENCH_ccdp.json`: the degradation curve plus
+/// the guarantee every cell was checked against.
+pub fn stress_json(rep: &StressReport) -> Json {
+    Json::obj([
+        ("scale", rep.scale.name().to_json()),
+        ("seed", rep.seed.to_json()),
+        ("pe_counts", rep.pes.to_json()),
+        ("drop_rates", DROP_RATES.as_slice().to_json()),
+        (
+            "invariant",
+            "every cell: oracle coherent, values == sequential golden, \
+             demand fallbacks monotone in drop rate"
+                .to_json(),
+        ),
+        (
+            "cells",
+            Json::arr(rep.cells.iter().map(|c| {
+                let mut fields = vec![
+                    ("kernel", c.kernel.to_json()),
+                    ("n_pes", c.n_pes.to_json()),
+                    ("plan", c.plan.as_str().to_json()),
+                ];
+                if let Some(r) = c.drop_rate {
+                    fields.push(("drop_rate", r.to_json()));
+                }
+                fields.extend([
+                    ("cycles", c.cycles.to_json()),
+                    ("clean_cycles", c.clean_cycles.to_json()),
+                    ("slowdown", c.slowdown().to_json()),
+                    ("faults", c.faults.to_json()),
+                    ("coherent", true.to_json()),
+                    ("values_match_seq", true.to_json()),
+                ]);
+                Json::obj(fields)
+            })),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::paper_kernels;
+
+    #[test]
+    fn sweep_is_deterministic_for_a_seed() {
+        let kernels = paper_kernels(Scale::Quick);
+        let a = run_stress(&kernels[..1], &[2], Scale::Quick, 42).expect("clean sweep");
+        let b = run_stress(&kernels[..1], &[2], Scale::Quick, 42).expect("clean sweep");
+        assert_eq!(a.cells.len(), b.cells.len());
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(x.cycles, y.cycles, "{} {}", x.kernel, x.plan);
+            assert_eq!(x.faults, y.faults, "{} {}", x.kernel, x.plan);
+        }
+        // A different seed makes different drop decisions (same cell count).
+        let c = run_stress(&kernels[..1], &[2], Scale::Quick, 43).expect("clean sweep");
+        assert_eq!(a.cells.len(), c.cells.len());
+    }
+
+    #[test]
+    fn curve_cells_degrade_but_stay_correct() {
+        let kernels = paper_kernels(Scale::Quick);
+        let rep = run_stress(&kernels[..1], &[4], Scale::Quick, 7).expect("clean sweep");
+        // 4 curve cells + 1 mix cell.
+        assert_eq!(rep.cells.len(), stress_plans(7).len());
+        let clean = &rep.cells[0];
+        assert_eq!(clean.drop_rate, Some(0.0));
+        assert!(clean.faults.is_zero(), "rate-0 curve cell injected faults");
+        let heavy = rep.cells.iter().find(|c| c.drop_rate == Some(0.5)).unwrap();
+        assert!(heavy.faults.prefetches_dropped > 0);
+        assert!(heavy.faults.demand_fallbacks > 0, "drops must surface as fallbacks");
+        let mix = rep.cells.iter().find(|c| c.plan == "mix").unwrap();
+        assert!(mix.faults.injected() > 0);
+        let j = stress_json(&rep);
+        assert_eq!(j.get("seed").and_then(ccdp_json::Json::as_u64), Some(7));
+        assert_eq!(j.get("cells").unwrap().items().len(), rep.cells.len());
+    }
+}

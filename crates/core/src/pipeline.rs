@@ -6,7 +6,10 @@ use ccdp_ir::Program;
 use ccdp_prefetch::{
     plan_prefetches, PlanStats, PrefetchPlan, ScheduleOptions, TargetOptions,
 };
-use t3d_sim::{MachineConfig, Scheme, SimOptions, SimResult, Simulator, StaleReadExample};
+use t3d_sim::{
+    ConfigError, FaultPlan, MachineConfig, Scheme, SimOptions, SimResult, Simulator,
+    StaleReadExample,
+};
 
 /// Why a pipeline run failed. The pipeline no longer panics on a broken
 /// plan: callers (bins, harnesses, tests) decide how to surface the error.
@@ -23,6 +26,10 @@ pub enum PipelineError {
         /// First few concrete violations.
         examples: Vec<StaleReadExample>,
     },
+    /// The machine configuration or fault plan is internally inconsistent
+    /// (caught by `MachineConfig::validate` / `FaultPlan::validate` before
+    /// any simulation runs).
+    InvalidConfig(ConfigError),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -39,11 +46,18 @@ impl std::fmt::Display for PipelineError {
                 }
                 Ok(())
             }
+            PipelineError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<ConfigError> for PipelineError {
+    fn from(e: ConfigError) -> PipelineError {
+        PipelineError::InvalidConfig(e)
+    }
+}
 
 /// Fail if a cached-scheme run came back incoherent.
 fn check_coherent(r: &SimResult) -> Result<(), PipelineError> {
@@ -114,6 +128,20 @@ impl PipelineConfig {
         self
     }
 
+    /// Inject a deterministic fault plan into every simulation this config
+    /// drives (see `t3d_sim::FaultPlan`).
+    pub fn with_faults(mut self, faults: FaultPlan) -> PipelineConfig {
+        self.sim.faults = faults;
+        self
+    }
+
+    /// Check the machine model and fault plan before simulating.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        self.machine.validate()?;
+        self.sim.faults.validate()?;
+        Ok(())
+    }
+
     /// The layout used for analysis and simulation.
     pub fn layout_for(&self, program: &Program) -> Layout {
         self.layout
@@ -147,15 +175,17 @@ pub fn compile_ccdp(program: &Program, cfg: &PipelineConfig) -> CcdpArtifacts {
 }
 
 /// Sequential reference run (1 PE, everything cached and local).
-pub fn run_seq(program: &Program, cfg: &PipelineConfig) -> SimResult {
+pub fn run_seq(program: &Program, cfg: &PipelineConfig) -> Result<SimResult, PipelineError> {
+    cfg.validate()?;
     let layout = Layout::new(program, 1);
-    Simulator::new(program, layout, cfg.seq_machine(), Scheme::Sequential, cfg.sim).run()
+    Ok(Simulator::new(program, layout, cfg.seq_machine(), Scheme::Sequential, cfg.sim).run())
 }
 
 /// BASE run: CRAFT-style shared data, uncached.
-pub fn run_base(program: &Program, cfg: &PipelineConfig) -> SimResult {
+pub fn run_base(program: &Program, cfg: &PipelineConfig) -> Result<SimResult, PipelineError> {
+    cfg.validate()?;
     let layout = cfg.layout_for(program);
-    Simulator::new(program, layout, cfg.machine.clone(), Scheme::Base, cfg.sim).run()
+    Ok(Simulator::new(program, layout, cfg.machine.clone(), Scheme::Base, cfg.sim).run())
 }
 
 /// CCDP run: compile, then execute the transformed program. Fails with
@@ -165,6 +195,7 @@ pub fn run_ccdp(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<(CcdpArtifacts, SimResult), PipelineError> {
+    cfg.validate()?;
     let art = compile_ccdp(program, cfg);
     let layout = cfg.layout_for(program);
     let r = Simulator::new(
@@ -186,6 +217,7 @@ pub fn run_invalidate_only(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<SimResult, PipelineError> {
+    cfg.validate()?;
     let layout = cfg.layout_for(program);
     let stale = analyze_stale(program, &layout);
     let plan = PrefetchPlan::bypass_all(program, &stale);
@@ -221,8 +253,8 @@ pub struct Comparison {
 /// Run all three schemes and compute the paper's metrics. Fails when the
 /// CCDP run violates coherence (see [`run_ccdp`]).
 pub fn compare(program: &Program, cfg: &PipelineConfig) -> Result<Comparison, PipelineError> {
-    let seq = run_seq(program, cfg);
-    let base = run_base(program, cfg);
+    let seq = run_seq(program, cfg)?;
+    let base = run_base(program, cfg)?;
     let (art, ccdp) = run_ccdp(program, cfg)?;
     let base_speedup = seq.cycles as f64 / base.cycles as f64;
     let ccdp_speedup = seq.cycles as f64 / ccdp.cycles as f64;
@@ -278,7 +310,7 @@ mod unit {
     fn invalidate_only_sits_between_base_and_ccdp_here() {
         let p = kernel();
         let cfg = PipelineConfig::t3d(4);
-        let base = run_base(&p, &cfg);
+        let base = run_base(&p, &cfg).expect("valid config");
         let inv = run_invalidate_only(&p, &cfg).expect("coherent");
         let (_, ccdp) = run_ccdp(&p, &cfg).expect("coherent");
         assert!(inv.oracle.is_coherent());
@@ -319,6 +351,40 @@ mod unit {
         assert!(msg.contains("CCDP"), "{msg}");
         assert!(msg.contains("3 stale read(s)"), "{msg}");
         let _: &dyn std::error::Error = &err;
+    }
+
+    #[test]
+    fn invalid_machine_and_fault_plans_are_rejected_up_front() {
+        let p = kernel();
+        let mut cfg = PipelineConfig::t3d(4);
+        cfg.machine.queue_words = 1; // < line_words
+        let Err(err) = run_seq(&p, &cfg) else { panic!("invalid machine accepted") };
+        assert!(matches!(err, PipelineError::InvalidConfig(_)), "{err}");
+        assert!(format!("{err}").contains("invalid configuration"), "{err}");
+
+        let cfg = PipelineConfig::t3d(4)
+            .with_faults(FaultPlan::none().with_drop_rate(1.5));
+        assert!(matches!(
+            run_base(&p, &cfg),
+            Err(PipelineError::InvalidConfig(_))
+        ));
+        assert!(matches!(compare(&p, &cfg), Err(PipelineError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn with_faults_threads_the_plan_into_simulation() {
+        let p = kernel();
+        let plan = FaultPlan::none().with_seed(5).with_drop_rate(1.0);
+        let cfg = PipelineConfig::t3d(4).with_faults(plan);
+        assert_eq!(cfg.sim.faults, plan);
+        let (_, r) = run_ccdp(&p, &cfg).expect("coherent under faults");
+        let fs = r.fault_stats();
+        assert!(fs.prefetches_dropped > 0, "rate-1.0 drop plan injected nothing");
+        // Graceful degradation: still coherent, numerics still correct.
+        let seq = run_seq(&p, &PipelineConfig::t3d(4)).unwrap();
+        for a in p.arrays.iter() {
+            assert_eq!(r.array_values(&p, a.id), seq.array_values(&p, a.id));
+        }
     }
 
     #[test]

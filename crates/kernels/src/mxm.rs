@@ -133,7 +133,7 @@ mod unit {
         let pr = Params::small();
         let spec = spec(&pr);
         let cfg = PipelineConfig::t3d(1);
-        let r = ccdp_core::run_seq(&spec.program, &cfg);
+        let r = ccdp_core::run_seq(&spec.program, &cfg).unwrap();
         let c = r.array_values(
             &spec.program,
             spec.program.array_by_name("C").unwrap().id,

@@ -310,7 +310,7 @@ mod unit {
     fn sequential_matches_golden() {
         let pr = Params::small();
         let s = spec(&pr);
-        let r = ccdp_core::run_seq(&s.program, &PipelineConfig::t3d(1));
+        let r = ccdp_core::run_seq(&s.program, &PipelineConfig::t3d(1)).unwrap();
         let got = r.array_values(
             &s.program,
             s.program.array_by_name("PNEW").unwrap().id,

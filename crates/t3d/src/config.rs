@@ -2,6 +2,60 @@
 
 use ccdp_prefetch::PrefetchPlan;
 
+use crate::faults::FaultPlan;
+
+/// Why a machine configuration or fault plan is invalid. Produced by
+/// [`MachineConfig::validate`] / [`FaultPlan::validate`] and surfaced by the
+/// pipeline entry points as `PipelineError::InvalidConfig`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `n_pes == 0`.
+    ZeroPes,
+    /// `cache_lines == 0`.
+    NoCacheLines,
+    /// The direct-mapped index needs a power-of-two line count.
+    CacheLinesNotPowerOfTwo { cache_lines: usize },
+    /// `line_words == 0`.
+    ZeroLineWords,
+    /// The prefetch queue cannot hold even one line.
+    QueueTooSmall { queue_words: usize, line_words: usize },
+    /// A remote access must cost at least as much as its local counterpart.
+    RemoteNotSlower { kind: &'static str, remote: u64, local: u64 },
+    /// A fault-plan rate is not a probability in `[0, 1]`.
+    BadFaultRate { field: &'static str, value: f64 },
+    /// A fault-plan burst/multiplier parameter is out of range.
+    BadFaultParam { field: &'static str, value: u64, need: &'static str },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroPes => write!(f, "machine has zero PEs"),
+            ConfigError::NoCacheLines => write!(f, "cache has zero lines"),
+            ConfigError::CacheLinesNotPowerOfTwo { cache_lines } => {
+                write!(f, "cache_lines = {cache_lines} is not a power of two (direct-mapped index)")
+            }
+            ConfigError::ZeroLineWords => write!(f, "cache line holds zero words"),
+            ConfigError::QueueTooSmall { queue_words, line_words } => write!(
+                f,
+                "prefetch queue ({queue_words} words) cannot hold one line ({line_words} words)"
+            ),
+            ConfigError::RemoteNotSlower { kind, remote, local } => write!(
+                f,
+                "remote {kind} ({remote} cycles) must cost at least the local one ({local} cycles)"
+            ),
+            ConfigError::BadFaultRate { field, value } => {
+                write!(f, "fault plan {field} = {value} is not a probability in [0, 1]")
+            }
+            ConfigError::BadFaultParam { field, value, need } => {
+                write!(f, "fault plan {field} = {value}: {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Cycle costs and capacities of the simulated machine. Defaults follow the
 /// 150 MHz Cray T3D (Alpha 21064) as characterized by Arpaci et al.
 /// (ISCA '95) and the Cray system documentation the paper cites; they are
@@ -119,6 +173,41 @@ impl MachineConfig {
     pub fn cache_words(&self) -> usize {
         self.cache_lines * self.line_words
     }
+
+    /// Check the structural invariants the simulator relies on. The
+    /// pipeline entry points call this (surfacing failures as
+    /// `PipelineError::InvalidConfig`) so a malformed ablation tweak fails
+    /// with a diagnosis instead of a panic or silent nonsense.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_pes == 0 {
+            return Err(ConfigError::ZeroPes);
+        }
+        if self.cache_lines == 0 {
+            return Err(ConfigError::NoCacheLines);
+        }
+        if !self.cache_lines.is_power_of_two() {
+            return Err(ConfigError::CacheLinesNotPowerOfTwo { cache_lines: self.cache_lines });
+        }
+        if self.line_words == 0 {
+            return Err(ConfigError::ZeroLineWords);
+        }
+        if self.queue_words < self.line_words {
+            return Err(ConfigError::QueueTooSmall {
+                queue_words: self.queue_words,
+                line_words: self.line_words,
+            });
+        }
+        for (kind, remote, local) in [
+            ("fill", self.remote_fill, self.local_fill),
+            ("uncached load", self.remote_uncached, self.local_uncached),
+            ("store", self.write_remote, self.write_local),
+        ] {
+            if remote < local {
+                return Err(ConfigError::RemoteNotSlower { kind, remote, local });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Which execution scheme the simulator applies to shared data.
@@ -161,6 +250,10 @@ pub struct SimOptions {
     /// disables tracing. Tracing is observation only — it never changes
     /// simulated cycle counts.
     pub trace_capacity: usize,
+    /// Deterministic fault injection (default [`FaultPlan::none`]: nothing
+    /// injected, simulation byte-identical to a fault-free build). Faults
+    /// may only move cycles, never values — see the `faults` module.
+    pub faults: FaultPlan,
 }
 
 #[cfg(test)]
@@ -174,6 +267,44 @@ mod unit {
         assert!(c.remote_fill > c.local_fill);
         assert!(c.remote_uncached > c.local_uncached);
         assert!(c.queue_words >= c.line_words);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_catches_each_broken_invariant() {
+        let ok = MachineConfig::t3d(4);
+        let mut c = ok.clone();
+        c.n_pes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPes));
+        let mut c = ok.clone();
+        c.cache_lines = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoCacheLines));
+        let mut c = ok.clone();
+        c.cache_lines = 100;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CacheLinesNotPowerOfTwo { cache_lines: 100 })
+        );
+        let mut c = ok.clone();
+        c.line_words = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroLineWords));
+        let mut c = ok.clone();
+        c.queue_words = 2;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::QueueTooSmall { queue_words: 2, line_words: 4 })
+        );
+        let mut c = ok.clone();
+        c.remote_fill = c.local_fill - 1;
+        assert!(matches!(c.validate(), Err(ConfigError::RemoteNotSlower { kind: "fill", .. })));
+        // Every error renders a readable message.
+        for e in [
+            ConfigError::ZeroPes,
+            ConfigError::QueueTooSmall { queue_words: 2, line_words: 4 },
+            ConfigError::BadFaultRate { field: "drop_rate", value: 2.0 },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ use ccdp_ir::{
 use ccdp_prefetch::Handling;
 
 use crate::config::{MachineConfig, Scheme, SimOptions};
+use crate::faults::FaultEngine;
 use crate::mem::Memory;
 use crate::metrics::{CycleCategory, EpochCycles, EventTrace, MemEvent, TraceEventKind};
 use crate::pe::Pe;
@@ -59,6 +60,11 @@ pub struct Simulator<'p> {
     /// Pseudo-slot for Repeat extrapolation cycles.
     extrap_slot: Option<usize>,
     trace: EventTrace,
+    /// Fault injectors (`None` when the plan injects nothing, which keeps
+    /// fault-free runs byte-identical to a build without the subsystem).
+    faults: Option<FaultEngine>,
+    /// Source epoch currently executing (targeted fault injection).
+    cur_epoch_id: Option<u32>,
 }
 
 impl<'p> Simulator<'p> {
@@ -96,6 +102,8 @@ impl<'p> Simulator<'p> {
             }
             index_stmts(&e.stmts, &mut loop_headers, &mut ref_index, &mut flops);
         }
+        let faults =
+            (!opts.faults.is_none()).then(|| FaultEngine::new(opts.faults, cfg.n_pes));
         Simulator {
             program,
             layout,
@@ -118,6 +126,8 @@ impl<'p> Simulator<'p> {
             cur_epoch: None,
             extrap_slot: None,
             trace: EventTrace::new(opts.trace_capacity),
+            faults,
+            cur_epoch_id: None,
         }
     }
 
@@ -255,6 +265,7 @@ impl<'p> Simulator<'p> {
     fn exec_epoch(&mut self, e: &'p Epoch) {
         let slot = self.epoch_slot(e.id.0, &e.label);
         let prev = self.cur_epoch.replace(slot);
+        let prev_id = self.cur_epoch_id.replace(e.id.0);
         match e.kind {
             EpochKind::Serial => {
                 self.exec_stmts_on_pe(0, &e.stmts);
@@ -262,6 +273,7 @@ impl<'p> Simulator<'p> {
             }
             EpochKind::Parallel => self.exec_wrapper(&e.stmts),
         }
+        self.cur_epoch_id = prev_id;
         self.cur_epoch = prev;
     }
 
@@ -609,10 +621,30 @@ impl<'p> Simulator<'p> {
         // Miss (or refresh): fill from memory — or from the local staging
         // buffer when a vector prefetch already moved the line over.
         let line_base = self.pes[pe].cache.line_base(addr);
+        let line_id = self.pes[pe].cache.line_addr(addr);
         let local = self.mem.owner(addr) == pe;
-        let staged = !local
-            && self.pes[pe].is_staged(phase, self.pes[pe].cache.line_addr(addr));
-        let lat = if local || staged { self.cfg.local_fill } else { self.cfg.remote_fill };
+        let staged = !local && self.pes[pe].is_staged(phase, line_id);
+        let base_lat = if local || staged { self.cfg.local_fill } else { self.cfg.remote_fill };
+        // Fault injection: latency spikes stall demand fills on the remote
+        // path, and a demand fill of a line whose prefetch was faulted is
+        // the graceful-degradation fallback the invariant relies on.
+        let mut lat = base_lat;
+        let mut fallback = false;
+        if let Some(f) = self.faults.as_mut() {
+            if !local && !staged {
+                lat = base_lat * f.fill_multiplier(pe);
+            }
+            fallback = f.take_fallback(pe, line_id);
+        }
+        if lat > base_lat {
+            let fs = &mut self.pes[pe].stats.faults;
+            fs.fills_delayed += 1;
+            fs.delay_extra_cycles += lat - base_lat;
+        }
+        if fallback {
+            self.pes[pe].stats.faults.demand_fallbacks += 1;
+            self.trace_event(pe, TraceEventKind::FaultFallback, addr);
+        }
         let (cat, ev) = if local {
             (CycleCategory::LocalFill, TraceEventKind::LocalFill)
         } else if staged {
@@ -710,32 +742,95 @@ impl<'p> Simulator<'p> {
         let issue = self.cfg.prefetch_issue + annex;
         self.charge(pe, CycleCategory::PrefetchIssue, issue);
         self.pes[pe].stats.prefetch_cycles += issue;
-        let lat = if owner == pe { self.cfg.local_fill } else { self.cfg.remote_fill };
+        // Fault injection: the issue cycles above are already charged; a
+        // dropped prefetch costs its issue but never delivers data.
+        let line_id = self.pes[pe].cache.line_addr(addr);
+        let epoch = self.cur_epoch_id;
+        let mut qw = self.cfg.queue_words;
+        let mut mult = 1u64;
+        let mut inj_dropped = false;
+        let mut storm_began = false;
+        if let Some(f) = self.faults.as_mut() {
+            if f.should_drop(pe, epoch) {
+                f.note_faulted(pe, line_id);
+                inj_dropped = true;
+            } else {
+                let (cap, began) = f.effective_queue(pe, qw);
+                qw = cap;
+                storm_began = began;
+                if owner != pe {
+                    mult = f.fill_multiplier(pe);
+                }
+            }
+        }
+        if inj_dropped {
+            self.pes[pe].stats.faults.prefetches_dropped += 1;
+            self.trace_event(pe, TraceEventKind::FaultDrop, addr);
+            return;
+        }
+        if storm_began {
+            self.pes[pe].stats.faults.queue_storms += 1;
+        }
+        let base_lat = if owner == pe { self.cfg.local_fill } else { self.cfg.remote_fill };
+        let lat = base_lat * mult;
+        if mult > 1 {
+            // A latency spike on a prefetch is not a PE stall — it only
+            // pushes the arrival time out (possibly into a PrefetchWait).
+            let fs = &mut self.pes[pe].stats.faults;
+            fs.fills_delayed += 1;
+            fs.delay_extra_cycles += lat - base_lat;
+        }
         let ready = self.pes[pe].now + lat;
         let lw = self.cfg.line_words;
-        let qw = self.cfg.queue_words;
         if !self.pes[pe].queue_reserve(lw, ready, qw) {
             self.pes[pe].stats.line_prefetches_dropped += 1;
+            if qw < self.cfg.queue_words {
+                // Lost to injected capacity shrink / overflow storm rather
+                // than natural queue pressure.
+                self.pes[pe].stats.faults.storm_drops += 1;
+                if let Some(f) = self.faults.as_mut() {
+                    f.note_faulted(pe, line_id);
+                }
+            }
             self.trace_event(pe, TraceEventKind::PrefetchDropped, addr);
             return;
         }
         let line_base = self.pes[pe].cache.line_base(addr);
         let shared_words = self.mem.shared_words();
-        let mem = &self.mem;
-        let words = (0..lw).map(|k| {
-            let a = line_base + k;
-            if a < shared_words {
-                mem.read_shared(a)
-            } else {
-                (0.0, 0)
-            }
-        });
-        let phase = self.phase;
-        let p = &mut self.pes[pe];
-        p.cache.install_prefetch(addr, phase, ready, words);
-        p.stats.line_prefetches_issued += 1;
-        p.stats.prefetch_words_issued += lw as u64;
+        {
+            let mem = &self.mem;
+            let words = (0..lw).map(|k| {
+                let a = line_base + k;
+                if a < shared_words {
+                    mem.read_shared(a)
+                } else {
+                    (0.0, 0)
+                }
+            });
+            let phase = self.phase;
+            let p = &mut self.pes[pe];
+            p.cache.install_prefetch(addr, phase, ready, words);
+            p.stats.line_prefetches_issued += 1;
+            p.stats.prefetch_words_issued += lw as u64;
+        }
         self.trace_event(pe, TraceEventKind::LinePrefetch, addr);
+        // Early-eviction injection: the line arrived, but a conflict kicks
+        // it out before its first use. A successful (surviving) install
+        // masks any fault recorded for the line earlier.
+        let mut evict = false;
+        if let Some(f) = self.faults.as_mut() {
+            if f.should_evict(pe) {
+                f.note_faulted(pe, line_id);
+                evict = true;
+            } else {
+                f.clear_faulted(pe, line_id);
+            }
+        }
+        if evict {
+            self.pes[pe].cache.invalidate(addr);
+            self.pes[pe].stats.faults.early_evictions += 1;
+            self.trace_event(pe, TraceEventKind::FaultEvict, addr);
+        }
     }
 
     fn exec_prefetch(&mut self, pe: usize, pf: &'p PrefetchStmt) {
@@ -824,9 +919,39 @@ impl<'p> Simulator<'p> {
             let p = &mut self.pes[pe];
             p.stats.prefetch_cycles += issue;
             p.stats.vector_prefetches_issued += 1;
-            p.stats.vector_words_moved += words as u64;
         }
-        let ready = self.pes[pe].now + transfer;
+        // Fault injection: one drop decision per vector statement (the whole
+        // block transfer is lost, issue cycles stay charged), and latency
+        // spikes stretch the transfer completion.
+        let epoch = self.cur_epoch_id;
+        let mut mult = 1u64;
+        let mut inj_dropped = false;
+        if let Some(f) = self.faults.as_mut() {
+            if f.should_drop(pe, epoch) {
+                for &la in &line_addrs {
+                    f.note_faulted(pe, la as u64);
+                }
+                inj_dropped = true;
+            } else {
+                mult = f.fill_multiplier(pe);
+            }
+        }
+        if inj_dropped {
+            self.pes[pe].stats.faults.prefetches_dropped += 1;
+            self.trace_event(
+                pe,
+                TraceEventKind::FaultDrop,
+                line_addrs.first().map_or(0, |&la| la * lw),
+            );
+            return;
+        }
+        if mult > 1 {
+            let fs = &mut self.pes[pe].stats.faults;
+            fs.fills_delayed += 1;
+            fs.delay_extra_cycles += transfer * (mult - 1);
+        }
+        self.pes[pe].stats.vector_words_moved += words as u64;
+        let ready = self.pes[pe].now + transfer * mult;
         let phase = self.phase;
         let shared_words = self.mem.shared_words();
         self.pes[pe].stage_lines(phase, line_addrs.iter().map(|&la| la as u64));
@@ -835,7 +960,7 @@ impl<'p> Simulator<'p> {
             TraceEventKind::VectorPrefetch,
             line_addrs.first().map_or(0, |&la| la * lw),
         );
-        for la in line_addrs {
+        for &la in &line_addrs {
             let line_base = la * lw;
             let mem = &self.mem;
             let words_iter = (0..lw).map(|k| {
@@ -849,6 +974,25 @@ impl<'p> Simulator<'p> {
             let p = &mut self.pes[pe];
             p.cache.install_prefetch(line_base, phase, ready, words_iter);
             p.stats.prefetch_words_issued += lw as u64;
+        }
+        // As in the line-prefetch path: conflict pressure can evict any of
+        // the freshly staged lines before first use; survivors mask any
+        // earlier fault on the line.
+        let mut evicted: Vec<usize> = Vec::new();
+        if let Some(f) = self.faults.as_mut() {
+            for &la in &line_addrs {
+                if f.should_evict(pe) {
+                    f.note_faulted(pe, la as u64);
+                    evicted.push(la);
+                } else {
+                    f.clear_faulted(pe, la as u64);
+                }
+            }
+        }
+        for &la in &evicted {
+            self.pes[pe].cache.invalidate(la * lw);
+            self.pes[pe].stats.faults.early_evictions += 1;
+            self.trace_event(pe, TraceEventKind::FaultEvict, la * lw);
         }
     }
 

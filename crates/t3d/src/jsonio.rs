@@ -8,11 +8,26 @@
 
 use ccdp_json::{Json, ToJson};
 
+use crate::faults::FaultStats;
 use crate::metrics::{
     CycleBreakdown, CycleCategory, EpochCycles, EventTrace, MemEvent, PrefetchQuality,
 };
 use crate::pe::PeStats;
 use crate::result::{OracleReport, SimResult, StaleReadExample};
+
+impl ToJson for FaultStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("prefetches_dropped", self.prefetches_dropped.to_json()),
+            ("fills_delayed", self.fills_delayed.to_json()),
+            ("delay_extra_cycles", self.delay_extra_cycles.to_json()),
+            ("queue_storms", self.queue_storms.to_json()),
+            ("storm_drops", self.storm_drops.to_json()),
+            ("early_evictions", self.early_evictions.to_json()),
+            ("demand_fallbacks", self.demand_fallbacks.to_json()),
+        ])
+    }
+}
 
 impl ToJson for CycleBreakdown {
     fn to_json(&self) -> Json {
@@ -60,6 +75,7 @@ impl ToJson for PeStats {
             ("prefetched_line_hits", self.prefetched_line_hits.to_json()),
             ("prefetch_words_issued", self.prefetch_words_issued.to_json()),
             ("prefetch_words_used", self.prefetch_words_used.to_json()),
+            ("faults", self.faults.to_json()),
             ("breakdown", self.breakdown.to_json()),
         ])
     }

@@ -26,6 +26,14 @@
 //!   violations — the test suite and the failure-injection tests lean on
 //!   this.
 //!
+//! * **Deterministic fault injection** (`SimOptions::faults`): a seeded
+//!   [`FaultPlan`] can drop prefetches, spike remote latencies, storm the
+//!   prefetch queue, and evict prefetched lines before use — at the same
+//!   charge points the normal model uses, so every injected fault is also
+//!   accounted (per-PE [`FaultStats`]). The enforced invariant: faults may
+//!   only move cycles, never values; a faulted prefetch degrades to a
+//!   coherent demand fetch.
+//!
 //! # Time model
 //!
 //! Each PE owns a cycle counter. DOALL phases advance PEs independently and
@@ -37,6 +45,7 @@
 
 mod cache;
 mod config;
+pub mod faults;
 mod interp;
 mod jsonio;
 mod mem;
@@ -45,7 +54,8 @@ mod pe;
 mod result;
 
 pub use cache::Cache;
-pub use config::{MachineConfig, Scheme, SimOptions};
+pub use config::{ConfigError, MachineConfig, Scheme, SimOptions};
+pub use faults::{FaultPlan, FaultStats};
 pub use interp::Simulator;
 pub use mem::Memory;
 pub use metrics::{

@@ -1,5 +1,5 @@
 //! Observability: cycle attribution, per-epoch accounting, prefetch quality
-//! metrics, and a bounded event trace.
+//! metrics, fault accounting, and a bounded event trace.
 //!
 //! Every cycle the interpreter charges to a PE is attributed to exactly one
 //! [`CycleCategory`], so a PE's [`CycleBreakdown`] totals to its final cycle
@@ -240,6 +240,12 @@ pub enum TraceEventKind {
     /// A consumer stalled waiting for an in-flight prefetched line.
     PrefetchWait,
     Barrier,
+    /// An injected fault dropped a prefetch (line or vector).
+    FaultDrop,
+    /// An injected fault evicted a prefetched line before first use.
+    FaultEvict,
+    /// A demand fetch recovered a line whose prefetch was faulted.
+    FaultFallback,
 }
 
 impl TraceEventKind {
@@ -258,6 +264,9 @@ impl TraceEventKind {
             TraceEventKind::VectorPrefetch => "vector_prefetch",
             TraceEventKind::PrefetchWait => "prefetch_wait",
             TraceEventKind::Barrier => "barrier",
+            TraceEventKind::FaultDrop => "fault_drop",
+            TraceEventKind::FaultEvict => "fault_evict",
+            TraceEventKind::FaultFallback => "fault_fallback",
         }
     }
 }

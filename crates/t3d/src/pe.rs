@@ -2,6 +2,7 @@
 
 use crate::cache::Cache;
 use crate::config::MachineConfig;
+use crate::faults::FaultStats;
 use crate::metrics::CycleBreakdown;
 
 /// Event counters for one PE (and, summed, for the machine).
@@ -47,6 +48,9 @@ pub struct PeStats {
     /// Prefetched words subsequently read at least once.
     pub prefetch_words_used: u64,
 
+    /// Injected-fault accounting (all zero unless a `FaultPlan` is active).
+    pub faults: FaultStats,
+
     /// Per-category attribution of every cycle this PE spent; its total
     /// equals the PE's final cycle counter exactly.
     pub breakdown: CycleBreakdown,
@@ -76,6 +80,7 @@ impl PeStats {
         self.prefetched_line_hits += o.prefetched_line_hits;
         self.prefetch_words_issued += o.prefetch_words_issued;
         self.prefetch_words_used += o.prefetch_words_used;
+        self.faults.add(&o.faults);
         self.breakdown.add(&o.breakdown);
     }
 }

@@ -2,6 +2,7 @@
 
 use ccdp_ir::{ArrayId, Program, RefId};
 
+use crate::faults::FaultStats;
 use crate::mem::Memory;
 use crate::metrics::{EpochCycles, EventTrace, PrefetchQuality};
 use crate::pe::PeStats;
@@ -84,5 +85,14 @@ impl SimResult {
     /// Machine-wide prefetch quality (coverage / accuracy / timeliness).
     pub fn prefetch_quality(&self) -> PrefetchQuality {
         PrefetchQuality::from_stats(&self.total_stats())
+    }
+
+    /// Machine-wide injected-fault accounting (all zero for fault-free runs).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut t = FaultStats::default();
+        for s in &self.per_pe {
+            t.add(&s.faults);
+        }
+        t
     }
 }

@@ -52,7 +52,7 @@ fn main() {
 
     // Same numbers as the serial original, faster under CCDP.
     let cfg = PipelineConfig::t3d(8);
-    let serial_ref = ccdp_core::run_seq(&serial, &cfg);
+    let serial_ref = ccdp_core::run_seq(&serial, &cfg).expect("valid config");
     let cmp = compare(&parallel, &cfg).expect("coherent");
     let aid = serial.array_by_name("A").unwrap().id;
     assert_eq!(

@@ -42,7 +42,7 @@ fn main() {
     let n_pes = 4;
     let cfg = PipelineConfig::t3d(n_pes);
     let art = compile_ccdp(&program, &cfg);
-    let seq = run_seq(&program, &cfg);
+    let seq = run_seq(&program, &cfg).expect("valid config");
     let aid = program.array_by_name("A").unwrap().id;
     let want = seq.array_values(&program, aid);
 

@@ -4,10 +4,10 @@
 //! correctness.
 
 use ccdp_bench::synth::{random_program, SynthConfig};
-use ccdp_core::{compile_ccdp, run_seq, PipelineConfig};
-use ccdp_kernels::{tomcatv, values_equal};
+use ccdp_core::{compile_ccdp, run_ccdp, run_seq, PipelineConfig};
+use ccdp_kernels::{small_suite, tomcatv, values_equal};
 use ccdp_prefetch::Handling;
-use t3d_sim::{MachineConfig, Scheme, SimOptions, Simulator};
+use t3d_sim::{FaultPlan, MachineConfig, Scheme, SimOptions, Simulator};
 
 /// Remove all coherence handling from a plan: every read becomes Normal.
 fn break_plan(plan: &mut ccdp_prefetch::PrefetchPlan) {
@@ -74,7 +74,7 @@ fn breaking_single_random_programs_is_detected_or_harmless() {
             SimOptions { oracle_examples: 2, ..Default::default() },
         )
         .run();
-        let seq = run_seq(&program, &pcfg);
+        let seq = run_seq(&program, &pcfg).expect("valid config");
         let mut wrong = false;
         for a in &program.arrays {
             if broken.array_values(&program, a.id)
@@ -124,6 +124,73 @@ fn tiny_prefetch_queue_drops_prefetches_but_stays_correct() {
     let aid = program.array_by_name("X").unwrap().id;
     let want = tomcatv::golden_iters(&pr, pr.iters);
     assert!(values_equal(&r.array_values(&art.transformed, aid), &want));
+}
+
+#[test]
+fn broken_plans_on_all_four_kernels_are_detected_or_harmless() {
+    // The TOMCATV-only oracle check, generalized: for every paper kernel at
+    // two PE counts, stripping all coherence handling from the plan must
+    // never corrupt the numerics *silently* — wrong values imply a flagged
+    // oracle. (Column-local kernels like VPENTA can survive unprotected.)
+    let mut detected = 0;
+    for spec in small_suite() {
+        for n_pes in [2usize, 4] {
+            let pcfg = PipelineConfig::t3d(n_pes);
+            let art = compile_ccdp(&spec.program, &pcfg);
+            let mut plan = art.plan.clone();
+            break_plan(&mut plan);
+            let broken = Simulator::new(
+                &spec.program,
+                pcfg.layout_for(&spec.program),
+                MachineConfig::t3d(n_pes),
+                Scheme::Ccdp { plan },
+                SimOptions { oracle_examples: 2, ..Default::default() },
+            )
+            .run();
+            let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
+            let got = broken.array_values(&spec.program, aid);
+            if !values_equal(&got, &spec.golden) {
+                assert!(
+                    !broken.oracle.is_coherent(),
+                    "{} P={n_pes}: wrong results but clean oracle",
+                    spec.name
+                );
+            }
+            if !broken.oracle.is_coherent() {
+                detected += 1;
+            }
+        }
+    }
+    assert!(detected >= 2, "expected real staleness on some kernels, got {detected}");
+}
+
+#[test]
+fn fault_mix_degrades_gracefully_on_all_four_kernels() {
+    // The tentpole invariant, on the real kernels: under a mix of every
+    // injector, CCDP numerics equal the golden reference and the oracle
+    // stays clean — faults only move cycles.
+    let mix = FaultPlan::none()
+        .with_seed(3)
+        .with_drop_rate(0.2)
+        .with_delay(0.1, 4, 2)
+        .with_storms(0.05, 3)
+        .with_evict_rate(0.1);
+    let mut injected = 0;
+    for spec in small_suite() {
+        for n_pes in [2usize, 4] {
+            let pcfg = PipelineConfig::t3d(n_pes).with_faults(mix);
+            let (_, r) = run_ccdp(&spec.program, &pcfg)
+                .unwrap_or_else(|e| panic!("{} P={n_pes}: {e}", spec.name));
+            let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
+            assert!(
+                values_equal(&r.array_values(&spec.program, aid), &spec.golden),
+                "{} P={n_pes}: faulted run diverged from golden",
+                spec.name
+            );
+            injected += r.fault_stats().injected();
+        }
+    }
+    assert!(injected > 0, "the mix plan never injected a single fault");
 }
 
 #[test]

@@ -1,0 +1,117 @@
+//! Property tests for the fault-injection subsystem: under ANY seeded
+//! `FaultPlan`, CCDP on synthesized programs still produces the sequential
+//! golden numerics with a coherent oracle — faults only move cycles — and
+//! `FaultStats` is consistent (a zero-rate plan injects nothing and leaves
+//! the cycle counts byte-identical to a fault-free run).
+
+use ccdp_bench::synth::{random_program, SynthConfig};
+use ccdp_core::{run_ccdp, run_seq, PipelineConfig};
+use ccdp_kernels::values_equal;
+use proptest::prelude::*;
+use t3d_sim::FaultPlan;
+
+/// Arbitrary valid fault plan. The vendored proptest shim has no f64 range
+/// strategies, so rates are drawn from integer tenths/hundredths.
+fn arb_plan() -> BoxedStrategy<FaultPlan> {
+    (
+        (
+            0u64..1000, // decision-stream seed
+            0u32..=5,   // drop rate, tenths
+            0u32..=3,   // delay rate, tenths
+            2u64..=6,   // delay multiplier (validate() wants >= 2)
+        ),
+        (
+            1u32..=4, // delay burst length
+            0u32..=5, // storm rate, hundredths
+            1u32..=5, // storm length (epochs)
+            0u32..=3, // evict rate, tenths
+        ),
+    )
+        .prop_map(|((seed, drop, delay, mult), (burst, storm, len, evict))| {
+            FaultPlan::none()
+                .with_seed(seed)
+                .with_drop_rate(drop as f64 / 10.0)
+                .with_delay(delay as f64 / 10.0, mult, burst)
+                .with_storms(storm as f64 / 100.0, len)
+                .with_evict_rate(evict as f64 / 10.0)
+        })
+        .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_fault_plan_preserves_numerics_and_coherence(
+        prog_seed in 0u64..500,
+        n_pes in 2usize..9,
+        plan in arb_plan(),
+    ) {
+        let program = random_program(prog_seed, &SynthConfig::default());
+        let clean = PipelineConfig::t3d(n_pes);
+        let seq = run_seq(&program, &clean).expect("valid config");
+        let faulted = PipelineConfig::t3d(n_pes).with_faults(plan);
+        // run_ccdp re-checks the oracle; an incoherent run is an Err here.
+        let (_, r) = run_ccdp(&program, &faulted)
+            .unwrap_or_else(|e| panic!("seed {prog_seed} P={n_pes}: {e}"));
+        prop_assert!(r.oracle.is_coherent());
+        for a in &program.arrays {
+            prop_assert!(
+                values_equal(
+                    &r.array_values(&program, a.id),
+                    &seq.array_values(&program, a.id),
+                ),
+                "seed {} P={} array {}: faulted CCDP diverged from SEQ",
+                prog_seed, n_pes, a.name
+            );
+        }
+        // Stats consistency: every recorded fallback was caused by a
+        // recorded injection, so injections bound fallbacks.
+        let f = r.fault_stats();
+        let faulted_lines =
+            f.prefetches_dropped + f.storm_drops + f.early_evictions;
+        if faulted_lines == 0 {
+            prop_assert_eq!(f.demand_fallbacks, 0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_is_byte_identical_to_fault_free(
+        prog_seed in 0u64..500,
+        n_pes in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let program = random_program(prog_seed, &SynthConfig::default());
+        let zero = FaultPlan::none().with_seed(seed);
+        prop_assert!(zero.is_none(), "a plan with all-zero rates is inert");
+        let clean = run_ccdp(&program, &PipelineConfig::t3d(n_pes))
+            .expect("ccdp coherent");
+        let faulted =
+            run_ccdp(&program, &PipelineConfig::t3d(n_pes).with_faults(zero))
+                .expect("ccdp coherent");
+        prop_assert!(faulted.1.fault_stats().is_zero());
+        prop_assert_eq!(faulted.1.cycles, clean.1.cycles);
+        for (a, b) in clean.1.per_pe.iter().zip(&faulted.1.per_pe) {
+            prop_assert_eq!(a.breakdown.total(), b.breakdown.total());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_outcome(
+        prog_seed in 0u64..500,
+        n_pes in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let program = random_program(prog_seed, &SynthConfig::default());
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            .with_drop_rate(0.3)
+            .with_delay(0.2, 4, 2)
+            .with_evict_rate(0.1);
+        let cfg = PipelineConfig::t3d(n_pes).with_faults(plan);
+        let a = run_ccdp(&program, &cfg).expect("ccdp coherent").1;
+        let b = run_ccdp(&program, &cfg).expect("ccdp coherent").1;
+        prop_assert_eq!(a.cycles, b.cycles);
+        prop_assert_eq!(a.fault_stats(), b.fault_stats());
+    }
+}

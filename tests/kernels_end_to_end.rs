@@ -92,8 +92,8 @@ fn repeat_sampling_preserves_shape_on_tomcatv() {
     let mut sampled_cfg = full_cfg.clone();
     sampled_cfg.sim = SimOptions { repeat_sample: Some(3), ..Default::default() };
 
-    let full = ccdp_core::run_base(&program, &full_cfg);
-    let sampled = ccdp_core::run_base(&program, &sampled_cfg);
+    let full = ccdp_core::run_base(&program, &full_cfg).expect("valid config");
+    let sampled = ccdp_core::run_base(&program, &sampled_cfg).expect("valid config");
     assert!(sampled.extrapolated && !full.extrapolated);
     let rel =
         (full.cycles as f64 - sampled.cycles as f64).abs() / full.cycles as f64;

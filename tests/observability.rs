@@ -54,8 +54,8 @@ fn kernel_cells_fully_attributed() {
     let kernels = paper_kernels(Scale::Quick);
     for k in &kernels {
         let cfg = cell_config(k, 4);
-        let seq = run_seq(&k.program, &cfg);
-        let base = run_base(&k.program, &cfg);
+        let seq = run_seq(&k.program, &cfg).expect("valid config");
+        let base = run_base(&k.program, &cfg).expect("valid config");
         let (_, ccdp) = run_ccdp(&k.program, &cfg).expect("coherent");
         for (r, scheme) in [(&seq, "seq"), (&base, "base"), (&ccdp, "ccdp")] {
             assert_fully_attributed(r, &format!("{} {scheme}", k.name));
@@ -100,8 +100,8 @@ proptest! {
     fn synthesized_programs_fully_attributed(seed in 0u64..2000, n_pes in 1usize..9) {
         let program = random_program(seed, &SynthConfig::default());
         let pcfg = PipelineConfig::t3d(n_pes);
-        let seq = run_seq(&program, &pcfg);
-        let base = run_base(&program, &pcfg);
+        let seq = run_seq(&program, &pcfg).expect("valid config");
+        let base = run_base(&program, &pcfg).expect("valid config");
         let (_, ccdp) = run_ccdp(&program, &pcfg).expect("coherent");
         for (r, scheme) in [(&seq, "seq"), (&base, "base"), (&ccdp, "ccdp")] {
             assert_fully_attributed(r, &format!("seed {seed} P={n_pes} {scheme}"));

@@ -26,9 +26,9 @@ proptest! {
         let p = random_program(seed, &cfg);
         let p2 = parse_program(&print_program(&p)).unwrap();
         let pcfg = PipelineConfig::t3d(3);
-        let (a, b) = (run_seq(&p, &pcfg), run_seq(&p2, &pcfg));
+        let (a, b) = (run_seq(&p, &pcfg).unwrap(), run_seq(&p2, &pcfg).unwrap());
         prop_assert_eq!(a.cycles, b.cycles, "seed {}", seed);
-        let (a4, b4) = (run_base(&p, &pcfg), run_base(&p2, &pcfg));
+        let (a4, b4) = (run_base(&p, &pcfg).unwrap(), run_base(&p2, &pcfg).unwrap());
         prop_assert_eq!(a4.cycles, b4.cycles);
         for (arr, arr2) in p.arrays.iter().zip(&p2.arrays) {
             prop_assert_eq!(

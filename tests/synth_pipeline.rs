@@ -31,8 +31,8 @@ fn check_seed(seed: u64, n_pes: usize) -> Result<(), TestCaseError> {
         );
     }
 
-    let seq = run_seq(&program, &pcfg);
-    let base = run_base(&program, &pcfg);
+    let seq = run_seq(&program, &pcfg).expect("valid config");
+    let base = run_base(&program, &pcfg).expect("valid config");
     let (_, ccdp) = run_ccdp(&program, &pcfg).expect("coherent");
     let inv = run_invalidate_only(&program, &pcfg).expect("coherent");
 
