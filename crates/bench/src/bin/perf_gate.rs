@@ -1,0 +1,67 @@
+//! CI performance-regression gate: re-runs the quick grid and compares its
+//! wall time against the `perf` section of the committed `BENCH_ccdp.json`.
+//! Fails (exit 1) when the fresh run is more than the allowed factor slower
+//! than the committed baseline; passes with a notice when no baseline is
+//! present (first run, or a report regenerated without timing).
+//!
+//! ```text
+//! cargo run -p ccdp-bench --release --bin perf_gate
+//! CCDP_PERF_GATE_FACTOR=1.5 cargo run -p ccdp-bench --release --bin perf_gate
+//! ```
+//!
+//! Wall-clock on shared CI runners is noisy, so the default threshold is a
+//! generous +25% and the fresh measurement takes the best of two runs.
+
+use ccdp_bench::{paper_kernels, run_grid_timed, Scale, PAPER_PES};
+
+const BASELINE: &str = "BENCH_ccdp.json";
+const DEFAULT_FACTOR: f64 = 1.25;
+
+fn main() {
+    let factor = match std::env::var("CCDP_PERF_GATE_FACTOR") {
+        Err(_) => DEFAULT_FACTOR,
+        Ok(v) => v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("unparseable CCDP_PERF_GATE_FACTOR {v:?} (expected a float)");
+            std::process::exit(2);
+        }),
+    };
+    let baseline = committed_wall_seconds();
+    let kernels = paper_kernels(Scale::Quick);
+    // Best of two: the first run also warms the file cache / frequency
+    // governor, which is exactly the noise the gate must not alarm on.
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let (_, timing) = run_grid_timed(&kernels, &PAPER_PES).unwrap_or_else(|e| {
+            eprintln!("PERF GATE: pipeline failed: {e}");
+            std::process::exit(1);
+        });
+        best = best.min(timing.wall_seconds);
+    }
+    match baseline {
+        None => {
+            eprintln!(
+                "PERF GATE: no committed baseline in {BASELINE} (perf.wall_seconds); \
+                 fresh quick grid took {best:.3}s — passing"
+            );
+        }
+        Some(base) => {
+            let limit = base * factor;
+            eprintln!(
+                "PERF GATE: fresh quick grid {best:.3}s vs committed {base:.3}s \
+                 (limit {limit:.3}s = {factor:.2}x)"
+            );
+            if best > limit {
+                eprintln!("PERF GATE: FAIL — quick grid regressed more than {factor:.2}x");
+                std::process::exit(1);
+            }
+            eprintln!("PERF GATE: ok");
+        }
+    }
+}
+
+/// `perf.wall_seconds` from the committed report, when present and valid.
+fn committed_wall_seconds() -> Option<f64> {
+    let doc = ccdp_json::parse(&std::fs::read_to_string(BASELINE).ok()?).ok()?;
+    let wall = doc.get("perf")?.get("wall_seconds")?.as_f64()?;
+    (wall > 0.0).then_some(wall)
+}

@@ -1,6 +1,8 @@
 //! Machine-readable benchmark report: runs the full evaluation grid and
 //! writes `BENCH_ccdp.json` — the paper's Tables 1 and 2 plus per-PE and
-//! per-epoch cycle breakdowns and prefetch quality metrics for every cell.
+//! per-epoch cycle breakdowns, prefetch quality metrics, and a `perf`
+//! section with the run's host-side throughput (consumed by the CI
+//! performance-regression gate).
 //!
 //! ```text
 //! cargo run -p ccdp-bench --release --bin report            # quick scale
@@ -8,7 +10,7 @@
 //! cargo run -p ccdp-bench --release --bin report -- --seed 7
 //! ```
 
-use ccdp_bench::{paper_kernels, report::report_json, run_grid, seed_from, Scale, PAPER_PES};
+use ccdp_bench::{paper_kernels, report::report_json, run_grid_timed, seed_from, Scale, PAPER_PES};
 
 const OUT: &str = "BENCH_ccdp.json";
 
@@ -24,11 +26,17 @@ fn main() {
     });
     eprintln!("running report grid at {scale:?} scale (seed {seed}) ...");
     let kernels = paper_kernels(scale);
-    let grid = run_grid(&kernels, &PAPER_PES).unwrap_or_else(|e| {
+    let (grid, timing) = run_grid_timed(&kernels, &PAPER_PES).unwrap_or_else(|e| {
         eprintln!("pipeline failed: {e}");
         std::process::exit(1);
     });
-    let doc = report_json(scale, seed, &PAPER_PES, &kernels, &grid);
+    eprintln!(
+        "grid: {:.3}s wall on {} thread(s), {:.2}M simulated cycles/s",
+        timing.wall_seconds,
+        timing.threads,
+        timing.cycles_per_second() / 1e6
+    );
+    let doc = report_json(scale, seed, &PAPER_PES, &kernels, &grid, Some(&timing));
     std::fs::write(OUT, doc.to_pretty()).unwrap_or_else(|e| {
         eprintln!("cannot write {OUT}: {e}");
         std::process::exit(1);

@@ -35,12 +35,15 @@ fn main() {
     let kernels = paper_kernels(scale);
     let pes = stress_pes(scale);
     eprintln!("running stress sweep at {scale:?} scale, P={pes:?}, seed {seed} ...");
+    let t0 = std::time::Instant::now();
     let rep = run_stress(&kernels, &pes, scale, seed).unwrap_or_else(|e| {
         eprintln!("STRESS FAILURE: {e}");
         std::process::exit(1);
     });
+    let wall_seconds = t0.elapsed().as_secs_f64();
     print_curve(&rep);
-    merge_into_report(&rep);
+    eprintln!("stress sweep: {wall_seconds:.3}s wall");
+    merge_into_report(&rep, wall_seconds);
 }
 
 /// Human-readable degradation curve: slowdown vs the fault-free run.
@@ -68,9 +71,13 @@ fn print_curve(rep: &StressReport) {
 }
 
 /// Merge the `stress` section into `BENCH_ccdp.json`, preserving an
-/// existing report document when one is present.
-fn merge_into_report(rep: &StressReport) {
-    let section = stress_json(rep);
+/// existing report document when one is present. The sweep's wall time is
+/// recorded alongside the curve (host observation, not simulated time).
+fn merge_into_report(rep: &StressReport, wall_seconds: f64) {
+    let mut section = stress_json(rep);
+    if let Json::Obj(pairs) = &mut section {
+        pairs.push(("wall_seconds".to_string(), wall_seconds.to_json()));
+    }
     let mut doc = std::fs::read_to_string(OUT)
         .ok()
         .and_then(|s| ccdp_json::parse(&s).ok())

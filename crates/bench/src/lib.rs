@@ -15,7 +15,7 @@ pub mod report;
 pub mod stress;
 pub mod synth;
 
-use ccdp_core::{compare, Comparison, PipelineConfig, PipelineError};
+use ccdp_core::{compare, compare_with_seq, run_seq, Comparison, PipelineConfig, PipelineError};
 use ccdp_ir::Program;
 use ccdp_kernels::{mxm, swim, tomcatv, vpenta};
 use t3d_sim::SimOptions;
@@ -195,30 +195,162 @@ pub fn run_cell_with(
     compare(&k.program, &cfg)
 }
 
+/// Host-side wall-clock observations of one grid run: *host* throughput
+/// (simulated cycles per host second), not simulated time. Feeds the `perf`
+/// section of the benchmark report and the CI regression gate.
+#[derive(Clone, Debug)]
+pub struct GridTiming {
+    /// Whole-grid wall time, including the per-kernel sequential runs.
+    pub wall_seconds: f64,
+    /// Worker threads used (`min(host parallelism, cell count)`).
+    pub threads: usize,
+    /// Per-kernel sequential-run timing (run once, reused by every cell).
+    pub seq: Vec<CellTiming>,
+    /// Per-cell timing, indexed like the grid: `cells[kernel][pe]`.
+    pub cells: Vec<Vec<CellTiming>>,
+}
+
+impl GridTiming {
+    /// Total simulated cycles produced by the run.
+    pub fn sim_cycles(&self) -> u64 {
+        let seq: u64 = self.seq.iter().map(|c| c.sim_cycles).sum();
+        let cells: u64 =
+            self.cells.iter().flatten().map(|c| c.sim_cycles).sum();
+        seq + cells
+    }
+
+    /// Aggregate host throughput in simulated cycles per second.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sim_cycles() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Wall time and simulated work of one simulation bundle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellTiming {
+    pub wall_seconds: f64,
+    /// Simulated cycles the bundle produced (BASE + CCDP for a grid cell;
+    /// the run's own cycles for a `seq` entry).
+    pub sim_cycles: u64,
+}
+
+/// Run `n_jobs` jobs on a bounded worker pool, preserving job order in the
+/// returned results. Workers pull the next job index from a shared counter,
+/// so the fan-out never exceeds `threads` no matter how large the grid is.
+fn pooled<T: Send>(
+    n_jobs: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.max(1).min(n_jobs) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_jobs {
+                    break;
+                }
+                let r = job(i);
+                *out[i].lock().expect("job slot") = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| m.into_inner().expect("job slot").expect("job ran"))
+        .collect()
+}
+
 /// Run the full grid: for each kernel, one [`Comparison`] per PE count.
-/// Cells run on host threads (each cell is an independent simulation); the
-/// first coherence violation anywhere in the grid fails the whole run.
+/// Cells run on a worker pool bounded by the host's available parallelism;
+/// the first coherence violation anywhere in the grid fails the whole run.
 pub fn run_grid(
     kernels: &[BenchKernel],
     pes: &[usize],
 ) -> Result<Vec<Vec<Comparison>>, PipelineError> {
-    std::thread::scope(|s| {
-        let handles: Vec<Vec<_>> = kernels
-            .iter()
-            .map(|k| {
-                pes.iter()
-                    .map(|&n| {
-                        let program = &k.program;
-                        s.spawn(move || compare(program, &cell_config(k, n)))
-                    })
-                    .collect()
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|hs| hs.into_iter().map(|h| h.join().expect("cell run")).collect())
-            .collect()
-    })
+    run_grid_timed(kernels, pes).map(|(grid, _)| grid)
+}
+
+/// [`run_grid`] plus host-side timing of every cell. The sequential
+/// denominator of each kernel is simulated once and reused across its PE
+/// cells (it does not depend on the PE count; see
+/// [`ccdp_core::compare_with_seq`]), so the grid does kernels×(pes + 1)
+/// simulations instead of kernels×pes×2 + kernels×pes.
+pub fn run_grid_timed(
+    kernels: &[BenchKernel],
+    pes: &[usize],
+) -> Result<(Vec<Vec<Comparison>>, GridTiming), PipelineError> {
+    use std::time::Instant;
+
+    let t0 = Instant::now();
+    let n_cells = kernels.len() * pes.len();
+    if n_cells == 0 {
+        let grid = kernels.iter().map(|_| Vec::new()).collect();
+        let timing = GridTiming {
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            threads: 0,
+            seq: Vec::new(),
+            cells: Vec::new(),
+        };
+        return Ok((grid, timing));
+    }
+    let threads =
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(n_cells);
+
+    // Stage 1: the per-kernel sequential denominators.
+    let seq_runs = pooled(kernels.len(), threads, |ki| {
+        let k = &kernels[ki];
+        let t = Instant::now();
+        let r = run_seq(&k.program, &cell_config(k, pes[0]));
+        (r, t.elapsed().as_secs_f64())
+    });
+    let mut seqs = Vec::with_capacity(kernels.len());
+    let mut seq_timing = Vec::with_capacity(kernels.len());
+    for (r, secs) in seq_runs {
+        let r = r?;
+        seq_timing.push(CellTiming { wall_seconds: secs, sim_cycles: r.cycles });
+        seqs.push(r);
+    }
+
+    // Stage 2: the BASE/CCDP cells, reusing the kernel's sequential run.
+    let cell_runs = pooled(n_cells, threads, |i| {
+        let (ki, pi) = (i / pes.len(), i % pes.len());
+        let k = &kernels[ki];
+        let t = Instant::now();
+        let r = compare_with_seq(&k.program, &cell_config(k, pes[pi]), seqs[ki].clone());
+        (r, t.elapsed().as_secs_f64())
+    });
+    let mut grid: Vec<Vec<Comparison>> = Vec::with_capacity(kernels.len());
+    let mut cells: Vec<Vec<CellTiming>> = Vec::with_capacity(kernels.len());
+    let mut it = cell_runs.into_iter();
+    for _ in kernels {
+        let mut row = Vec::with_capacity(pes.len());
+        let mut trow = Vec::with_capacity(pes.len());
+        for _ in pes {
+            let (r, secs) = it.next().expect("one result per cell");
+            let c = r?;
+            trow.push(CellTiming {
+                wall_seconds: secs,
+                sim_cycles: c.base.cycles + c.ccdp.cycles,
+            });
+            row.push(c);
+        }
+        grid.push(row);
+        cells.push(trow);
+    }
+    let timing = GridTiming {
+        wall_seconds: t0.elapsed().as_secs_f64(),
+        threads,
+        seq: seq_timing,
+        cells,
+    };
+    Ok((grid, timing))
 }
 
 #[cfg(test)]

@@ -6,13 +6,52 @@
 use ccdp_core::{format_improvement_table, format_speedup_table, Comparison, ComparisonRow};
 use ccdp_json::{Json, ToJson};
 
-use crate::{BenchKernel, Scale};
+use crate::{BenchKernel, GridTiming, Scale};
 
 /// Schema version of the report document; bump on breaking shape changes.
 /// v2: per-PE stats gained a `faults` object, the document records the
 /// fault-decision `seed`, and the `stress` bin merges a degradation-curve
 /// `stress` section into the same file.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: a `perf` section records host-side throughput of the grid run —
+/// wall-clock and simulated-cycles-per-second, overall and per cell —
+/// consumed by the CI performance-regression gate (`perf_gate` bin).
+pub const SCHEMA_VERSION: u32 = 3;
+
+/// The `perf` section: host throughput of one grid run. Wall-clock numbers
+/// are host observations (they vary run to run); everything else in the
+/// document is deterministic.
+pub fn perf_json(kernels: &[BenchKernel], pes: &[usize], t: &GridTiming) -> Json {
+    let rate = |cycles: u64, secs: f64| {
+        if secs > 0.0 { cycles as f64 / secs } else { 0.0 }
+    };
+    let seq = Json::arr(kernels.iter().zip(&t.seq).map(|(k, c)| {
+        Json::obj([
+            ("kernel", k.name.to_json()),
+            ("wall_seconds", c.wall_seconds.to_json()),
+            ("sim_cycles", c.sim_cycles.to_json()),
+            ("cycles_per_second", rate(c.sim_cycles, c.wall_seconds).to_json()),
+        ])
+    }));
+    let cells = Json::arr(kernels.iter().zip(&t.cells).flat_map(|(k, row)| {
+        pes.iter().zip(row).map(|(&n, c)| {
+            Json::obj([
+                ("kernel", k.name.to_json()),
+                ("n_pes", n.to_json()),
+                ("wall_seconds", c.wall_seconds.to_json()),
+                ("sim_cycles", c.sim_cycles.to_json()),
+                ("cycles_per_second", rate(c.sim_cycles, c.wall_seconds).to_json()),
+            ])
+        })
+    }));
+    Json::obj([
+        ("wall_seconds", t.wall_seconds.to_json()),
+        ("sim_cycles", t.sim_cycles().to_json()),
+        ("cycles_per_second", t.cycles_per_second().to_json()),
+        ("threads", t.threads.to_json()),
+        ("seq", seq),
+        ("cells", cells),
+    ])
+}
 
 /// Assemble the report document for a completed grid run. `grid` is indexed
 /// `[kernel][pe_count]`, as produced by [`crate::run_grid`]. `seed` is the
@@ -24,6 +63,7 @@ pub fn report_json(
     pes: &[usize],
     kernels: &[BenchKernel],
     grid: &[Vec<Comparison>],
+    timing: Option<&GridTiming>,
 ) -> Json {
     assert_eq!(kernels.len(), grid.len(), "one comparison row per kernel");
     let rows: Vec<ComparisonRow<'_>> = kernels
@@ -37,7 +77,7 @@ pub fn report_json(
             ("cells", comps.to_json()),
         ])
     }));
-    Json::obj([
+    let mut fields = vec![
         ("schema_version", SCHEMA_VERSION.to_json()),
         (
             "paper",
@@ -54,21 +94,25 @@ pub fn report_json(
                 ("improvement", format_improvement_table(&rows).to_json()),
             ]),
         ),
-    ])
+    ];
+    if let Some(t) = timing {
+        fields.push(("perf", perf_json(kernels, pes, t)));
+    }
+    Json::obj(fields)
 }
 
 #[cfg(test)]
 mod unit {
     use super::*;
-    use crate::{paper_kernels, run_grid};
+    use crate::{paper_kernels, run_grid_timed};
 
     #[test]
     fn report_document_shape() {
         let kernels = paper_kernels(Scale::Quick);
         let pes = [2usize];
-        let grid = run_grid(&kernels[..2], &pes).expect("coherent grid");
-        let j = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid);
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(2));
+        let (grid, timing) = run_grid_timed(&kernels[..2], &pes).expect("coherent grid");
+        let j = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, Some(&timing));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(3));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let ks = j.get("kernels").unwrap().items();
@@ -88,8 +132,22 @@ mod unit {
         let faults = totals.get("faults").expect("faults object in totals");
         assert_eq!(faults.get("prefetches_dropped").and_then(Json::as_u64), Some(0));
         assert_eq!(faults.get("demand_fallbacks").and_then(Json::as_u64), Some(0));
+        // The perf section reflects the timed run: one seq entry per
+        // kernel, one cell entry per (kernel, pe) pair, positive wall time.
+        let perf = j.get("perf").expect("perf section");
+        assert_eq!(perf.get("seq").unwrap().items().len(), 2);
+        assert_eq!(perf.get("cells").unwrap().items().len(), 2);
+        assert!(perf.get("wall_seconds").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(perf.get("sim_cycles").and_then(Json::as_u64).unwrap() > 0);
+        assert!(perf.get("threads").and_then(Json::as_u64).unwrap() >= 1);
+        let cell0 = &perf.get("cells").unwrap().items()[0];
+        assert_eq!(cell0.get("kernel").and_then(Json::as_str), Some("MXM"));
+        assert_eq!(cell0.get("n_pes").and_then(Json::as_u64), Some(2));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(3));
+        // Omitting timing omits the section (ablation callers).
+        let j2 = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, None);
+        assert!(j2.get("perf").is_none());
     }
 }

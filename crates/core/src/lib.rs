@@ -38,7 +38,7 @@ mod pipeline;
 mod report;
 
 pub use pipeline::{
-    compare, compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq, CcdpArtifacts,
-    Comparison, PipelineConfig, PipelineError,
+    compare, compare_with_seq, compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq,
+    CcdpArtifacts, Comparison, PipelineConfig, PipelineError,
 };
 pub use report::{format_improvement_table, format_speedup_table, ComparisonRow};

@@ -254,6 +254,18 @@ pub struct Comparison {
 /// CCDP run violates coherence (see [`run_ccdp`]).
 pub fn compare(program: &Program, cfg: &PipelineConfig) -> Result<Comparison, PipelineError> {
     let seq = run_seq(program, cfg)?;
+    compare_with_seq(program, cfg, seq)
+}
+
+/// [`compare`] with the sequential denominator supplied by the caller. The
+/// sequential run is independent of `cfg.n_pes` (it always executes on one
+/// PE with the sequential machine), so sweeps over PE counts can run it
+/// once per kernel and reuse the result for every cell.
+pub fn compare_with_seq(
+    program: &Program,
+    cfg: &PipelineConfig,
+    seq: SimResult,
+) -> Result<Comparison, PipelineError> {
     let base = run_base(program, cfg)?;
     let (art, ccdp) = run_ccdp(program, cfg)?;
     let base_speedup = seq.cycles as f64 / base.cycles as f64;

@@ -147,6 +147,25 @@ impl Affine {
         acc
     }
 
+    /// Strength-reduction decomposition against one loop variable: returns
+    /// the invariant remainder (this expression with `v`'s term removed) and
+    /// `v`'s coefficient — the per-unit-of-`v` stride. The simulator's
+    /// compiled-trace layer evaluates the remainder once per loop entry and
+    /// advances the subscript by `coeff * step` per iteration.
+    pub fn split_on(&self, v: VarId) -> (Affine, i64) {
+        let c = self.coeff(v);
+        if c == 0 {
+            return (self.clone(), 0);
+        }
+        let terms = self
+            .terms
+            .iter()
+            .copied()
+            .filter(|&(tv, _)| tv != v)
+            .collect();
+        (Affine { terms, constant: self.constant }, c)
+    }
+
     /// Two subscripts are *uniformly generated* (paper §4.2) when they have
     /// identical variable terms — they differ only in the constant. Returns
     /// the constant difference `self - other` in that case.
@@ -288,6 +307,23 @@ mod unit {
         let env = VarEnv::new(2);
         let (lo, hi) = f.range_over(&env, &[(I, 0, 5), (J, 1, 4)]);
         assert_eq!((lo, hi), (0 - 8 + 1, 15 - 2 + 1));
+    }
+
+    #[test]
+    fn split_on_separates_stride_from_invariant() {
+        let mut env = VarEnv::new(2);
+        env.set(J, 7);
+        let f = Affine::new(vec![(I, 3), (J, -2)], 5); // 3i - 2j + 5
+        let (inv, stride) = f.split_on(I);
+        assert_eq!(stride, 3);
+        assert_eq!(inv.eval(&env), -14 + 5);
+        assert!(!inv.uses(I));
+        // Reassembling at any i matches direct evaluation.
+        env.set(I, 11);
+        assert_eq!(inv.eval(&env) + stride * 11, f.eval(&env));
+        // Absent variable: zero stride, expression unchanged.
+        let (inv, stride) = f.split_on(VarId(9));
+        assert_eq!((inv, stride), (f, 0));
     }
 
     #[test]

@@ -426,13 +426,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so slicing
-                    // on char boundaries is safe).
-                    let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = text.chars().next().unwrap();
-                    s.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run of plain characters at once. The
+                    // delimiters (`"`, `\`) are ASCII and the input came from
+                    // a &str, so the span lies on char boundaries; validating
+                    // per character would make parsing quadratic in the
+                    // document size.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let span = &self.bytes[start..self.pos];
+                    let text = std::str::from_utf8(span).map_err(|_| self.err("bad utf-8"))?;
+                    s.push_str(text);
                 }
             }
         }
@@ -568,6 +573,29 @@ mod unit {
         for bad in ["{", "[1,", "\"unterminated", "nul", "1.2.3", "{\"a\" 1}", "[] []"] {
             assert!(parse(bad).is_err(), "{bad}");
         }
+        // Plain-character runs interleaved with escapes (the bulk string
+        // fast path must stop exactly at `"` and `\`).
+        assert_eq!(
+            parse(r#""héllo\n🦀 wörld\"x""#).unwrap(),
+            Json::Str("héllo\n🦀 wörld\"x".into())
+        );
+    }
+
+    /// Parsing must be linear in document size: a megabyte-scale string
+    /// (the shape of `BENCH_ccdp.json`'s table blobs) parses in well under
+    /// a second, where a quadratic parser takes minutes.
+    #[test]
+    fn parser_is_linear_on_large_strings() {
+        let body = "x".repeat(2_000_000);
+        let doc = format!("[\"{body}\", \"{body}\"]");
+        let t0 = std::time::Instant::now();
+        let j = parse(&doc).unwrap();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "large-string parse took {:?}",
+            t0.elapsed()
+        );
+        assert_eq!(j.items()[0].as_str().map(str::len), Some(2_000_000));
     }
 
     #[test]

@@ -254,6 +254,12 @@ pub struct SimOptions {
     /// injected, simulation byte-identical to a fault-free build). Faults
     /// may only move cycles, never values — see the `faults` module.
     pub faults: FaultPlan,
+    /// Run loops through the reference tree-walking interpreter instead of
+    /// the compiled trace (also settable via `CCDP_FORCE_TREEWALK=1`). The
+    /// two paths are byte-identical by contract — this exists so the
+    /// equivalence test and debugging sessions can pin them against each
+    /// other.
+    pub force_treewalk: bool,
 }
 
 #[cfg(test)]

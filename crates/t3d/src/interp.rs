@@ -2,6 +2,7 @@
 //! accumulating per-PE cycle counts and feeding the coherence oracle.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use ccdp_dist::{chunks, doall_range_for_pe, Layout};
 use ccdp_ir::{
@@ -10,6 +11,9 @@ use ccdp_ir::{
 };
 use ccdp_prefetch::Handling;
 
+use crate::compiled::{
+    compile_loop, AccessKind, CAssign, CompileCtx, CompiledBody, CStmt, SlotSpec, SlotState,
+};
 use crate::config::{MachineConfig, Scheme, SimOptions};
 use crate::faults::FaultEngine;
 use crate::mem::Memory;
@@ -65,6 +69,16 @@ pub struct Simulator<'p> {
     faults: Option<FaultEngine>,
     /// Source epoch currently executing (targeted fault injection).
     cur_epoch_id: Option<u32>,
+    /// Compiled loop bodies, keyed by loop id (the scheme — the other half
+    /// of the cache key — is fixed per simulator). Reused across epochs,
+    /// `Repeat` iterations, and PEs.
+    compiled: HashMap<LoopId, Rc<CompiledBody<'p>>>,
+    /// Pool of slot-state frames, recycled across loop entries so steady
+    /// state allocates nothing.
+    frames: Vec<Vec<SlotState>>,
+    /// Run loops through the reference tree walker instead of the compiled
+    /// trace (`SimOptions::force_treewalk` or `CCDP_FORCE_TREEWALK=1`).
+    treewalk: bool,
 }
 
 impl<'p> Simulator<'p> {
@@ -104,6 +118,8 @@ impl<'p> Simulator<'p> {
         }
         let faults =
             (!opts.faults.is_none()).then(|| FaultEngine::new(opts.faults, cfg.n_pes));
+        let treewalk = opts.force_treewalk
+            || std::env::var("CCDP_FORCE_TREEWALK").is_ok_and(|v| v == "1");
         Simulator {
             program,
             layout,
@@ -128,6 +144,9 @@ impl<'p> Simulator<'p> {
             trace: EventTrace::new(opts.trace_capacity),
             faults,
             cur_epoch_id: None,
+            compiled: HashMap::new(),
+            frames: Vec::new(),
+            treewalk,
         }
     }
 
@@ -330,6 +349,7 @@ impl<'p> Simulator<'p> {
             Scheme::Ccdp { .. } => (self.cfg.ccdp_epoch_overhead, 0),
         };
         self.charge_all(CycleCategory::EpochSetup, setup);
+        let cb = (!self.treewalk).then(|| self.compiled_body(l));
         match l.kind {
             LoopKind::DoAllStatic => {
                 for pe in 0..self.cfg.n_pes {
@@ -345,14 +365,7 @@ impl<'p> Simulator<'p> {
                         None => doall_range_for_pe(lo, hi, l.step, pe, self.cfg.n_pes),
                     };
                     if let Some(r) = range {
-                        let mut v = r.lo;
-                        while v <= r.hi {
-                            self.env.set(l.var, v);
-                            self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
-                            self.charge(pe, CycleCategory::SchedOverhead, per_iter);
-                            self.exec_stmts_on_pe(pe, &l.body);
-                            v += l.step;
-                        }
+                        self.run_doall_range(pe, l, r.lo, r.hi, per_iter, cb.as_deref());
                     }
                 }
             }
@@ -363,20 +376,81 @@ impl<'p> Simulator<'p> {
                         .min_by_key(|&p| self.pes[p].now)
                         .unwrap();
                     self.charge(pe, CycleCategory::SchedOverhead, self.cfg.dynamic_chunk_overhead);
-                    let mut v = c.lo;
-                    while v <= c.hi {
-                        self.env.set(l.var, v);
-                        self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
-                        self.charge(pe, CycleCategory::SchedOverhead, per_iter);
-                        self.exec_stmts_on_pe(pe, &l.body);
-                        v += l.step;
-                    }
+                    self.run_doall_range(pe, l, c.lo, c.hi, per_iter, cb.as_deref());
                 }
             }
             LoopKind::Serial => unreachable!(),
         }
         self.env.unset(l.var);
         self.barrier();
+    }
+
+    /// One PE's contiguous slice of a DOALL's iterations (a static range or
+    /// a dynamic chunk). `cb` selects the compiled trace; `None` runs the
+    /// reference tree walker.
+    fn run_doall_range(
+        &mut self,
+        pe: usize,
+        l: &'p Loop,
+        lo: i64,
+        hi: i64,
+        per_iter: u64,
+        cb: Option<&CompiledBody<'p>>,
+    ) {
+        if lo > hi {
+            return;
+        }
+        let Some(body) = cb else {
+            let mut v = lo;
+            while v <= hi {
+                self.env.set(l.var, v);
+                self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
+                self.charge(pe, CycleCategory::SchedOverhead, per_iter);
+                self.exec_stmts_on_pe(pe, &l.body);
+                v += l.step;
+            }
+            return;
+        };
+        let trip = (hi - lo) / l.step + 1;
+        let last = lo + (trip - 1) * l.step;
+        let mut frame = self.frames.pop().unwrap_or_default();
+        frame.clear();
+        for spec in &body.slots {
+            frame.push(spec.enter(&self.env, lo, last, l.step));
+        }
+        if let Some(b) = body.batch {
+            // Straight-line private-only body: nothing in the range observes
+            // the PE clock, so the whole range's charges collapse into one
+            // charge per category up front (see `exec_compiled_loop`).
+            let t = trip as u64;
+            self.charge(pe, CycleCategory::LoopOverhead, t * self.cfg.loop_overhead);
+            self.charge(pe, CycleCategory::SchedOverhead, t * per_iter);
+            self.charge(pe, CycleCategory::CacheHit, t * b.reads * self.cfg.cache_hit);
+            self.charge(pe, CycleCategory::WriteLocal, t * b.writes * self.cfg.write_local);
+            self.charge(pe, CycleCategory::FpWork, t * b.fp);
+            let mut v = lo;
+            while v <= hi {
+                self.env.set(l.var, v);
+                self.exec_cstmts_values_only(pe, body, &frame);
+                for st in frame.iter_mut() {
+                    st.off += st.doff;
+                }
+                v += l.step;
+            }
+        } else {
+            let mut v = lo;
+            while v <= hi {
+                self.env.set(l.var, v);
+                self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
+                self.charge(pe, CycleCategory::SchedOverhead, per_iter);
+                self.exec_cstmts(pe, &body.stmts, &body.slots, &frame);
+                for st in frame.iter_mut() {
+                    st.off += st.doff;
+                }
+                v += l.step;
+            }
+        }
+        self.frames.push(frame);
     }
 
     fn barrier(&mut self) {
@@ -421,6 +495,18 @@ impl<'p> Simulator<'p> {
 
     fn exec_loop_on_pe(&mut self, pe: usize, l: &'p Loop) {
         debug_assert_eq!(l.kind, LoopKind::Serial, "DOALL nested in PE code");
+        if self.treewalk {
+            self.exec_loop_treewalk(pe, l);
+        } else {
+            let body = self.compiled_body(l);
+            self.exec_compiled_loop(pe, l, &body);
+        }
+    }
+
+    /// Reference interpreter for a serial loop: re-evaluates every subscript
+    /// and re-resolves every dispatch per access. Kept as the equivalence
+    /// oracle for the compiled trace (`CCDP_FORCE_TREEWALK=1`).
+    fn exec_loop_treewalk(&mut self, pe: usize, l: &'p Loop) {
         let lo = l.lo.eval(&self.env);
         let hi = l.hi.eval(&self.env);
         if lo > hi {
@@ -428,34 +514,14 @@ impl<'p> Simulator<'p> {
         }
         let pipelined = self.is_ccdp() && !l.pipeline.is_empty();
         if pipelined {
-            // Prologue: prefetch the first `distance` iterations' targets.
-            let trip = (hi - lo) / l.step + 1;
-            for pfi in 0..l.pipeline.len() {
-                let d = self.program_pipeline(l, pfi).distance as i64;
-                let every = self.program_pipeline(l, pfi).every.max(1) as i64;
-                for k in (0..d.min(trip)).step_by(every as usize) {
-                    self.env.set(l.var, lo + (k - d) * l.step);
-                    let pf = self.program_pipeline(l, pfi);
-                    let (array, index) = (pf.array, &pf.index);
-                    self.issue_line_prefetch(pe, array, index);
-                }
-            }
+            self.pipeline_prologue(pe, l, lo, hi);
         }
         let mut v = lo;
         while v <= hi {
             self.env.set(l.var, v);
             self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
             if pipelined {
-                for pfi in 0..l.pipeline.len() {
-                    let pf = self.program_pipeline(l, pfi);
-                    let k = (v - lo) / l.step;
-                    if k % pf.every.max(1) as i64 == 0
-                        && v + pf.distance as i64 * l.step <= hi
-                    {
-                        let (array, index) = (pf.array, &pf.index);
-                        self.issue_line_prefetch(pe, array, index);
-                    }
-                }
+                self.pipeline_steady(pe, l, lo, hi, v);
             }
             self.exec_stmts_on_pe(pe, &l.body);
             v += l.step;
@@ -463,8 +529,212 @@ impl<'p> Simulator<'p> {
         self.env.unset(l.var);
     }
 
-    fn program_pipeline(&self, l: &'p Loop, i: usize) -> &'p ccdp_ir::PipelinedPrefetch {
-        &l.pipeline[i]
+    /// Software-pipelining prologue: prefetch the first `distance`
+    /// iterations' targets before the loop starts.
+    fn pipeline_prologue(&mut self, pe: usize, l: &'p Loop, lo: i64, hi: i64) {
+        let trip = (hi - lo) / l.step + 1;
+        for pf in &l.pipeline {
+            let d = pf.distance as i64;
+            let every = pf.every.max(1) as i64;
+            for k in (0..d.min(trip)).step_by(every as usize) {
+                self.env.set(l.var, lo + (k - d) * l.step);
+                self.issue_line_prefetch(pe, pf.array, &pf.index);
+            }
+        }
+    }
+
+    /// Software-pipelining steady state: at iteration `v`, prefetch the
+    /// targets of iteration `v + distance` (when on cadence and in range).
+    fn pipeline_steady(&mut self, pe: usize, l: &'p Loop, lo: i64, hi: i64, v: i64) {
+        for pf in &l.pipeline {
+            let k = (v - lo) / l.step;
+            if k % pf.every.max(1) as i64 == 0 && v + pf.distance as i64 * l.step <= hi {
+                self.issue_line_prefetch(pe, pf.array, &pf.index);
+            }
+        }
+    }
+
+    // -- compiled-trace execution ---------------------------------------
+
+    /// The compiled body for a loop, compiling on first encounter.
+    fn compiled_body(&mut self, l: &'p Loop) -> Rc<CompiledBody<'p>> {
+        if let Some(b) = self.compiled.get(&l.id) {
+            return Rc::clone(b);
+        }
+        let body = {
+            let ctx = CompileCtx {
+                program: self.program,
+                mem: &self.mem,
+                scheme: &self.scheme,
+                craft_cost: &self.craft_cost,
+            };
+            Rc::new(compile_loop(l, &ctx))
+        };
+        self.compiled.insert(l.id, Rc::clone(&body));
+        body
+    }
+
+    /// Execute a serial loop through its compiled body. Cycle-for-cycle
+    /// identical to [`Simulator::exec_loop_treewalk`]: the same memory-op
+    /// helpers charge at the same points; only the per-access subscript
+    /// evaluation, bounds assertion, and dispatch matching are hoisted.
+    fn exec_compiled_loop(&mut self, pe: usize, l: &'p Loop, body: &CompiledBody<'p>) {
+        let lo = l.lo.eval(&self.env);
+        let hi = l.hi.eval(&self.env);
+        if lo > hi {
+            return;
+        }
+        let pipelined = self.is_ccdp() && !l.pipeline.is_empty();
+        if pipelined {
+            self.pipeline_prologue(pe, l, lo, hi);
+        }
+        let trip = (hi - lo) / l.step + 1;
+        let last = lo + (trip - 1) * l.step;
+        let mut frame = self.frames.pop().unwrap_or_default();
+        frame.clear();
+        for spec in &body.slots {
+            frame.push(spec.enter(&self.env, lo, last, l.step));
+        }
+        match body.batch {
+            // Straight-line private-only body: no trace events, no cache or
+            // clock observation anywhere in the loop, so the per-iteration
+            // charges collapse into one charge per category at entry. The
+            // values-only sweep still runs every iteration.
+            Some(b) if !pipelined => {
+                let t = trip as u64;
+                self.charge(pe, CycleCategory::LoopOverhead, t * self.cfg.loop_overhead);
+                self.charge(pe, CycleCategory::CacheHit, t * b.reads * self.cfg.cache_hit);
+                self.charge(pe, CycleCategory::WriteLocal, t * b.writes * self.cfg.write_local);
+                self.charge(pe, CycleCategory::FpWork, t * b.fp);
+                let mut v = lo;
+                while v <= hi {
+                    self.env.set(l.var, v);
+                    self.exec_cstmts_values_only(pe, body, &frame);
+                    for st in frame.iter_mut() {
+                        st.off += st.doff;
+                    }
+                    v += l.step;
+                }
+            }
+            _ => {
+                let mut v = lo;
+                while v <= hi {
+                    self.env.set(l.var, v);
+                    self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
+                    if pipelined {
+                        self.pipeline_steady(pe, l, lo, hi, v);
+                    }
+                    self.exec_cstmts(pe, &body.stmts, &body.slots, &frame);
+                    for st in frame.iter_mut() {
+                        st.off += st.doff;
+                    }
+                    v += l.step;
+                }
+            }
+        }
+        self.env.unset(l.var);
+        self.frames.push(frame);
+    }
+
+    fn exec_cstmts(
+        &mut self,
+        pe: usize,
+        stmts: &[CStmt<'p>],
+        slots: &[SlotSpec<'p>],
+        frame: &[SlotState],
+    ) {
+        for s in stmts {
+            match s {
+                CStmt::Assign(a) => self.exec_cassign(pe, a, slots, frame),
+                CStmt::If { cond, then_branch, else_branch } => {
+                    self.charge(pe, CycleCategory::LoopOverhead, 1);
+                    if self.eval_cond(cond) {
+                        self.exec_cstmts(pe, then_branch, slots, frame);
+                    } else {
+                        self.exec_cstmts(pe, else_branch, slots, frame);
+                    }
+                }
+                CStmt::Loop(cl) => {
+                    debug_assert_eq!(cl.l.kind, LoopKind::Serial, "DOALL nested in PE code");
+                    self.exec_compiled_loop(pe, cl.l, &cl.body);
+                }
+                CStmt::Prefetch(pf) => self.exec_prefetch(pe, pf),
+            }
+        }
+    }
+
+    /// Word address of a compiled reference: the strength-reduced recurrence
+    /// when the whole range was proven in bounds at entry, else the original
+    /// per-access evaluation (identical panic behaviour for genuinely
+    /// out-of-bounds subscripts).
+    #[inline]
+    fn caddr(&mut self, base: usize, slot: u32, slots: &[SlotSpec<'p>], frame: &[SlotState]) -> usize {
+        let st = frame[slot as usize];
+        if st.fast {
+            base + st.off as usize
+        } else {
+            let spec = &slots[slot as usize];
+            base + self.addr_of(spec.array, spec.index)
+        }
+    }
+
+    fn exec_cassign(
+        &mut self,
+        pe: usize,
+        a: &CAssign,
+        slots: &[SlotSpec<'p>],
+        frame: &[SlotState],
+    ) {
+        let mut vals = std::mem::take(&mut self.pes[pe].scratch);
+        vals.clear();
+        for r in &a.reads {
+            let addr = self.caddr(r.base, r.slot, slots, frame);
+            let v = match r.kind {
+                AccessKind::Private => {
+                    self.charge(pe, CycleCategory::CacheHit, self.cfg.cache_hit);
+                    self.mem.read_private(pe, addr)
+                }
+                AccessKind::Base { craft } => self.base_read(pe, r.rid, addr, craft),
+                AccessKind::Cached(h) => self.cached_read(pe, r.rid, addr, h),
+                AccessKind::Bypass => self.bypass_read(pe, addr),
+            };
+            vals.push(v);
+        }
+        let v = a.expr.eval(&vals, &self.env);
+        self.pes[pe].scratch = vals;
+        let addr = self.caddr(a.write.base, a.write.slot, slots, frame);
+        if a.write.shared {
+            self.write_shared_addr(pe, addr, a.write.craft, v);
+        } else {
+            self.charge(pe, CycleCategory::WriteLocal, self.cfg.write_local);
+            self.mem.write_private(pe, addr, v);
+        }
+        self.charge(pe, CycleCategory::FpWork, a.cost);
+    }
+
+    /// Numerics-only sweep of a batched body: all charges were hoisted to
+    /// the loop entry, so only values move here.
+    fn exec_cstmts_values_only(
+        &mut self,
+        pe: usize,
+        body: &CompiledBody<'p>,
+        frame: &[SlotState],
+    ) {
+        for s in &body.stmts {
+            let CStmt::Assign(a) = s else {
+                unreachable!("batched bodies are straight-line assignments")
+            };
+            let mut vals = std::mem::take(&mut self.pes[pe].scratch);
+            vals.clear();
+            for r in &a.reads {
+                let addr = self.caddr(r.base, r.slot, &body.slots, frame);
+                vals.push(self.mem.read_private(pe, addr));
+            }
+            let v = a.expr.eval(&vals, &self.env);
+            self.pes[pe].scratch = vals;
+            let addr = self.caddr(a.write.base, a.write.slot, &body.slots, frame);
+            self.mem.write_private(pe, addr, v);
+        }
     }
 
     fn exec_assign(&mut self, pe: usize, a: &'p Assign) {
@@ -517,50 +787,50 @@ impl<'p> Simulator<'p> {
         let addr = self.mem.base(r.array) + off;
         match self.scheme {
             Scheme::Base => {
-                let local = self.mem.owner(addr) == pe;
-                if local {
-                    // The T3D caches all local memory; CRAFT pays only the
-                    // distribution index arithmetic on top.
-                    self.charge(
-                        pe,
-                        CycleCategory::CraftOverhead,
-                        self.craft_cost[r.array.index()],
-                    );
-                    self.cached_read(pe, r.id, addr, Handling::Normal)
-                } else {
-                    // Remote shared data is never cached under CRAFT.
-                    let lat = self.cfg.remote_uncached;
-                    self.charge(pe, CycleCategory::CraftOverhead, self.cfg.craft_remote);
-                    self.charge(pe, CycleCategory::UncachedRead, lat);
-                    let p = &mut self.pes[pe];
-                    p.stats.mem_stall_cycles += lat;
-                    p.stats.uncached_reads += 1;
-                    self.trace_event(pe, TraceEventKind::UncachedRead, addr);
-                    self.mem.read_shared(addr).0
-                }
+                let craft = self.craft_cost[r.array.index()];
+                self.base_read(pe, r.id, addr, craft)
             }
             Scheme::Sequential => self.cached_read(pe, r.id, addr, Handling::Normal),
-            Scheme::Ccdp { .. } => {
-                let h = self.handling_of(r.id);
-                match h {
-                    Handling::Bypass => {
-                        let local = self.mem.owner(addr) == pe;
-                        let lat = if local {
-                            self.cfg.local_uncached
-                        } else {
-                            self.cfg.remote_uncached
-                        };
-                        self.charge(pe, CycleCategory::BypassRead, lat);
-                        let p = &mut self.pes[pe];
-                        p.stats.mem_stall_cycles += lat;
-                        p.stats.bypass_reads += 1;
-                        self.trace_event(pe, TraceEventKind::BypassRead, addr);
-                        self.mem.read_shared(addr).0
-                    }
-                    h => self.cached_read(pe, r.id, addr, h),
-                }
-            }
+            Scheme::Ccdp { .. } => match self.handling_of(r.id) {
+                Handling::Bypass => self.bypass_read(pe, addr),
+                h => self.cached_read(pe, r.id, addr, h),
+            },
         }
+    }
+
+    /// BASE-scheme shared read. `craft` is the array's CRAFT local-access
+    /// overhead. Shared by the tree walker and the compiled trace.
+    fn base_read(&mut self, pe: usize, rid: RefId, addr: usize, craft: u64) -> f64 {
+        let local = self.mem.owner(addr) == pe;
+        if local {
+            // The T3D caches all local memory; CRAFT pays only the
+            // distribution index arithmetic on top.
+            self.charge(pe, CycleCategory::CraftOverhead, craft);
+            self.cached_read(pe, rid, addr, Handling::Normal)
+        } else {
+            // Remote shared data is never cached under CRAFT.
+            let lat = self.cfg.remote_uncached;
+            self.charge(pe, CycleCategory::CraftOverhead, self.cfg.craft_remote);
+            self.charge(pe, CycleCategory::UncachedRead, lat);
+            let p = &mut self.pes[pe];
+            p.stats.mem_stall_cycles += lat;
+            p.stats.uncached_reads += 1;
+            self.trace_event(pe, TraceEventKind::UncachedRead, addr);
+            self.mem.read_shared(addr).0
+        }
+    }
+
+    /// CCDP `Bypass` read: always reads main memory, never the cache.
+    /// Shared by the tree walker and the compiled trace.
+    fn bypass_read(&mut self, pe: usize, addr: usize) -> f64 {
+        let local = self.mem.owner(addr) == pe;
+        let lat = if local { self.cfg.local_uncached } else { self.cfg.remote_uncached };
+        self.charge(pe, CycleCategory::BypassRead, lat);
+        let p = &mut self.pes[pe];
+        p.stats.mem_stall_cycles += lat;
+        p.stats.bypass_reads += 1;
+        self.trace_event(pe, TraceEventKind::BypassRead, addr);
+        self.mem.read_shared(addr).0
     }
 
     fn cached_read(&mut self, pe: usize, rid: RefId, addr: usize, h: Handling) -> f64 {
@@ -689,13 +959,20 @@ impl<'p> Simulator<'p> {
             return;
         }
         let addr = self.mem.base(w.array) + off;
+        self.write_shared_addr(pe, addr, self.craft_cost[w.array.index()], v);
+    }
+
+    /// Shared-array store. `craft_local` is the array's CRAFT local-access
+    /// overhead (consulted only under the BASE scheme). Shared by the tree
+    /// walker and the compiled trace.
+    fn write_shared_addr(&mut self, pe: usize, addr: usize, craft_local: u64, v: f64) {
         let owner = self.mem.owner(addr);
         let local = owner == pe;
         let ver = self.mem.write_shared(addr, v);
         let craft = match self.scheme {
             Scheme::Base => {
                 if local {
-                    self.craft_cost[w.array.index()]
+                    craft_local
                 } else {
                     self.cfg.craft_remote
                 }

@@ -44,6 +44,7 @@
 //! runs stay tractable.
 
 mod cache;
+mod compiled;
 mod config;
 pub mod faults;
 mod interp;

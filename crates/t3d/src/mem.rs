@@ -9,6 +9,7 @@ use ccdp_ir::{ArrayId, Program, Sharing};
 /// Shared arrays are laid out contiguously (column-major within each array).
 /// Versions start at 0 and bump on every write — the substrate of the
 /// coherence oracle.
+#[derive(Clone)]
 pub struct Memory {
     /// Base word address of each array (index by `ArrayId`); shared and
     /// private arrays use separate address spaces but share the base table.
@@ -44,16 +45,27 @@ impl Memory {
                 }
             }
         }
-        // Precompute owners.
+        // Precompute owners, walking each array's coordinate space as an
+        // odometer (one reused coords buffer; `delinearize` would allocate a
+        // fresh Vec per shared word).
         let mut owners = vec![0u8; shared_len];
+        let mut coords: Vec<i64> = Vec::new();
         for a in &program.arrays {
-            if a.sharing != Sharing::Shared {
+            if a.sharing != Sharing::Shared || a.is_empty() {
                 continue;
             }
             let base = bases[a.id.index()];
+            coords.clear();
+            coords.resize(a.rank(), 0);
             for off in 0..a.len() {
-                let coords = a.delinearize(off);
                 owners[base + off] = layout.owner(a, &coords) as u8;
+                for (c, &e) in coords.iter_mut().zip(&a.extents) {
+                    *c += 1;
+                    if (*c as usize) < e {
+                        break;
+                    }
+                    *c = 0;
+                }
             }
         }
         Memory {

@@ -35,6 +35,7 @@ impl OracleReport {
 }
 
 /// Everything a simulation run produces.
+#[derive(Clone)]
 pub struct SimResult {
     /// Scheme name ("SEQ" / "BASE" / "CCDP").
     pub scheme: &'static str,

@@ -14,7 +14,23 @@ pub use std::hint::black_box;
 /// Target measurement time per benchmark (kept short: this harness exists
 /// so `cargo bench` works offline, not for publication-grade numbers).
 const MEASURE: Duration = Duration::from_millis(300);
+/// `--quick` / `CCDP_BENCH_QUICK=1` budget: one abbreviated pass per
+/// benchmark, for CI smoke steps that only check the harness runs.
+const MEASURE_QUICK: Duration = Duration::from_millis(30);
 const MAX_ITERS: u64 = 10_000;
+
+/// Measurement budget, honoring criterion's `--quick` CLI flag (also
+/// settable as `CCDP_BENCH_QUICK=1` for `cargo bench` invocations that
+/// cannot forward flags).
+fn measure_budget() -> Duration {
+    let quick = std::env::args().any(|a| a == "--quick")
+        || std::env::var("CCDP_BENCH_QUICK").is_ok_and(|v| v == "1");
+    if quick {
+        MEASURE_QUICK
+    } else {
+        MEASURE
+    }
+}
 
 /// One benchmark timer.
 pub struct Bencher {
@@ -24,10 +40,11 @@ pub struct Bencher {
 impl Bencher {
     /// Time `f`, auto-scaling the iteration count to the routine's cost.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = measure_budget();
         black_box(f()); // warm-up (and one mandatory execution)
         let start = Instant::now();
         let mut iters = 0u64;
-        while start.elapsed() < MEASURE && iters < MAX_ITERS {
+        while start.elapsed() < budget && iters < MAX_ITERS {
             black_box(f());
             iters += 1;
         }
