@@ -11,7 +11,14 @@
 //!
 //! Wall-clock on shared CI runners is noisy, so the default threshold is a
 //! generous +25% and the fresh measurement takes the best of two runs.
+//!
+//! Diagnostics instead of surprises: a baseline written by a *newer*
+//! schema than this binary understands is a hard error (exit 2, with the
+//! command to regenerate), and a missing/absent `perf` section — normal
+//! for a resumed or failing report run — passes with a loud notice naming
+//! exactly what is missing.
 
+use ccdp_bench::report::SCHEMA_VERSION;
 use ccdp_bench::{paper_kernels, run_grid_timed, Scale, PAPER_PES};
 
 const BASELINE: &str = "BENCH_ccdp.json";
@@ -40,8 +47,11 @@ fn main() {
     match baseline {
         None => {
             eprintln!(
-                "PERF GATE: no committed baseline in {BASELINE} (perf.wall_seconds); \
-                 fresh quick grid took {best:.3}s — passing"
+                "PERF GATE: SKIPPED — no usable baseline ({BASELINE}: perf.wall_seconds \
+                 missing or non-positive; a resumed or failing report run writes no perf \
+                 section). Fresh quick grid took {best:.3}s. Regenerate the baseline with \
+                 `cargo run -p ccdp-bench --release --bin report` (fresh, no --resume) to \
+                 re-arm the gate."
             );
         }
         Some(base) => {
@@ -60,8 +70,35 @@ fn main() {
 }
 
 /// `perf.wall_seconds` from the committed report, when present and valid.
+/// Exits 2 (with a regenerate hint) when the baseline was written by a
+/// newer schema than this binary understands — silently comparing against
+/// a reshaped document could pass or fail for the wrong reason.
 fn committed_wall_seconds() -> Option<f64> {
-    let doc = ccdp_json::parse(&std::fs::read_to_string(BASELINE).ok()?).ok()?;
+    let text = match std::fs::read_to_string(BASELINE) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("PERF GATE: cannot read {BASELINE} ({e})");
+            return None;
+        }
+    };
+    let doc = match ccdp_json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("PERF GATE: {BASELINE} is not valid JSON ({e})");
+            return None;
+        }
+    };
+    if let Some(v) = doc.get("schema_version").and_then(ccdp_json::Json::as_u64) {
+        if v > u64::from(SCHEMA_VERSION) {
+            eprintln!(
+                "PERF GATE: {BASELINE} has schema_version {v}, newer than this binary \
+                 understands ({SCHEMA_VERSION}). Rebuild the gate from the same commit, or \
+                 regenerate the baseline with \
+                 `cargo run -p ccdp-bench --release --bin report`."
+            );
+            std::process::exit(2);
+        }
+    }
     let wall = doc.get("perf")?.get("wall_seconds")?.as_f64()?;
     (wall > 0.0).then_some(wall)
 }

@@ -3,24 +3,56 @@
 //! golden numerics, demand fallbacks checked for monotonicity, and the
 //! degradation curve merged into `BENCH_ccdp.json` as a `stress` section.
 //!
+//! Each (kernel × PE count) unit runs isolated: panics are contained and
+//! classified, run budgets and a cooperative wall-clock watchdog bound
+//! runaway simulations, and every *passed* unit is checkpointed to a
+//! journal so `--resume` re-runs only what is missing (failed units are
+//! always re-attempted — a sweep is a gate, not an archive of failures).
+//!
 //! ```text
 //! cargo run -p ccdp-bench --release --bin stress             # env scale
 //! cargo run -p ccdp-bench --release --bin stress -- --quick  # force quick
 //! cargo run -p ccdp-bench --release --bin stress -- --seed 7
+//! cargo run -p ccdp-bench --release --bin stress -- --resume
 //! ```
 //!
 //! Exits non-zero (with the oracle's evidence) on any guarantee violation.
 
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ccdp_bench::journal::{header_line, Journal, STRESS_JOURNAL};
 use ccdp_bench::report::SCHEMA_VERSION;
-use ccdp_bench::stress::{run_stress, stress_json, stress_pes, StressReport};
-use ccdp_bench::{paper_kernels, seed_from, Scale};
+use ccdp_bench::resilience::{classify_pipeline, isolate, CellFailure, GridOptions};
+use ccdp_bench::stress::{
+    stress_cell_json, stress_cell_opts, stress_pes, stress_plans, stress_section_json,
+    StressError,
+};
+use ccdp_bench::{flag_value, has_flag, paper_kernels, pooled, seed_from, Scale};
 use ccdp_json::{Json, ToJson};
 
 const OUT: &str = "BENCH_ccdp.json";
 
+fn parse_u64_flag(args: &[String], name: &str) -> Option<u64> {
+    flag_value(args, name).map(|v| {
+        v.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("unparseable {name} value {v:?} (expected a u64)");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn classify_stress(e: StressError) -> CellFailure {
+    match e {
+        StressError::Pipeline(pe) => classify_pipeline(pe),
+        other => CellFailure::Failed { message: other.to_string() },
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = if args.iter().any(|a| a == "--quick") {
+    let scale = if has_flag(&args, "--quick") {
         Scale::Quick
     } else {
         Scale::from_env().unwrap_or_else(|e| {
@@ -32,51 +64,143 @@ fn main() {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let resume = has_flag(&args, "--resume");
+    let journal_path = PathBuf::from(
+        flag_value(&args, "--journal").unwrap_or_else(|| STRESS_JOURNAL.to_string()),
+    );
+    let opts = GridOptions {
+        cycle_budget: parse_u64_flag(&args, "--cycle-budget"),
+        step_budget: parse_u64_flag(&args, "--step-budget"),
+        cell_timeout: parse_u64_flag(&args, "--cell-timeout").map(Duration::from_secs),
+        faults: None,
+    };
     let kernels = paper_kernels(scale);
     let pes = stress_pes(scale);
-    eprintln!("running stress sweep at {scale:?} scale, P={pes:?}, seed {seed} ...");
+    eprintln!(
+        "running stress sweep at {scale:?} scale, P={pes:?}, seed {seed}{} ...",
+        if resume { " [resume]" } else { "" }
+    );
     let t0 = std::time::Instant::now();
-    let rep = run_stress(&kernels, &pes, scale, seed).unwrap_or_else(|e| {
-        eprintln!("STRESS FAILURE: {e}");
+
+    let header = header_line("stress", scale, seed, &pes, &opts);
+    let (journal, entries) = if resume {
+        Journal::resume(&journal_path, &header)
+    } else {
+        Journal::create(&journal_path, &header).map(|j| (j, Vec::new()))
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot journal to {}: {e}", journal_path.display());
         std::process::exit(1);
     });
+    let mut done: HashMap<(String, usize), Json> = HashMap::new();
+    for e in entries {
+        done.insert((e.kernel, e.n_pes), e.data);
+    }
+
+    // Units still to run: every kernel × PE count not already journaled.
+    let mut units: Vec<(usize, usize)> = Vec::new();
+    for (ki, k) in kernels.iter().enumerate() {
+        for (pi, &n) in pes.iter().enumerate() {
+            if !done.contains_key(&(k.name.to_string(), n)) {
+                units.push((ki, pi));
+            }
+        }
+    }
+    let reused = kernels.len() * pes.len() - units.len();
+    if reused > 0 {
+        eprintln!("resumed {reused} journaled unit(s) from {}", journal_path.display());
+    }
+
+    let plans = stress_plans(seed);
+    let threads =
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(units.len().max(1));
+    let fresh: Vec<Result<Vec<Json>, CellFailure>> = pooled(units.len(), threads, |i| {
+        let (ki, pi) = units[i];
+        let (k, n) = (&kernels[ki], pes[pi]);
+        let r = isolate(opts.cell_timeout, classify_stress, |deadline| {
+            stress_cell_opts(k, n, &plans, &opts, deadline)
+        });
+        match r {
+            Ok(cells) => {
+                let jsons: Vec<Json> = cells.iter().map(stress_cell_json).collect();
+                if let Err(e) = journal.append(k.name, n, &Json::arr(jsons.iter().cloned())) {
+                    eprintln!("warning: journal append failed ({e}); run not resumable");
+                }
+                Ok(jsons)
+            }
+            Err(f) => Err(f),
+        }
+    });
+
+    // Reassemble in grid order, mixing journaled and fresh units.
+    let mut fresh_by_unit: HashMap<(usize, usize), Result<Vec<Json>, CellFailure>> =
+        units.iter().copied().zip(fresh).collect();
+    let mut cells: Vec<Json> = Vec::new();
+    let mut failures: Vec<(String, usize, CellFailure)> = Vec::new();
+    for (ki, k) in kernels.iter().enumerate() {
+        for (pi, &n) in pes.iter().enumerate() {
+            match fresh_by_unit.remove(&(ki, pi)) {
+                Some(Ok(jsons)) => cells.extend(jsons),
+                Some(Err(f)) => failures.push((k.name.to_string(), n, f)),
+                None => {
+                    let data = done
+                        .remove(&(k.name.to_string(), n))
+                        .expect("unit neither run nor journaled");
+                    cells.extend(data.items().iter().cloned());
+                }
+            }
+        }
+    }
     let wall_seconds = t0.elapsed().as_secs_f64();
-    print_curve(&rep);
+    if !failures.is_empty() {
+        eprintln!("STRESS FAILURE: {} unit(s) failed:", failures.len());
+        for (kernel, n_pes, f) in &failures {
+            eprintln!("  {kernel} P={n_pes}: [{}] {f}", f.class());
+        }
+        eprintln!("passed units are journaled; rerun with --resume to retry only failures");
+        std::process::exit(1);
+    }
+    print_curve(seed, &cells);
     eprintln!("stress sweep: {wall_seconds:.3}s wall");
-    merge_into_report(&rep, wall_seconds);
+    merge_into_report(scale, seed, &pes, cells, wall_seconds);
 }
 
 /// Human-readable degradation curve: slowdown vs the fault-free run.
-fn print_curve(rep: &StressReport) {
+fn print_curve(seed: u64, cells: &[Json]) {
     println!(
-        "\n=== stress: degradation curve (slowdown vs fault-free; seed {}) ===",
-        rep.seed
+        "\n=== stress: degradation curve (slowdown vs fault-free; seed {seed}) ==="
     );
     println!(
         "{:>8} {:>5} | {:>10} {:>10} {:>12} {:>10}",
         "kernel", "P", "plan", "slowdown", "fallbacks", "dropped"
     );
-    for c in &rep.cells {
+    for c in cells {
+        let get_str = |k: &str| c.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
+        let faults = c.get("faults");
+        let fget = |k: &str| {
+            faults.and_then(|f| f.get(k)).and_then(Json::as_u64).unwrap_or(0)
+        };
         println!(
             "{:>8} {:>5} | {:>10} {:>10.4} {:>12} {:>10}",
-            c.kernel,
-            c.n_pes,
-            c.plan,
-            c.slowdown(),
-            c.faults.demand_fallbacks,
-            c.faults.prefetches_dropped,
+            get_str("kernel"),
+            c.get("n_pes").and_then(Json::as_u64).unwrap_or(0),
+            get_str("plan"),
+            c.get("slowdown").and_then(Json::as_f64).unwrap_or(0.0),
+            fget("demand_fallbacks"),
+            fget("prefetches_dropped"),
         );
     }
     println!("\nall cells coherent, all numerics equal the sequential golden run");
 }
 
-/// Merge the `stress` section into `BENCH_ccdp.json`, preserving an
-/// existing report document when one is present. The sweep's wall time is
-/// recorded alongside the curve (host observation, not simulated time).
-fn merge_into_report(rep: &StressReport, wall_seconds: f64) {
-    let mut section = stress_json(rep);
+/// Merge the `stress` section into `BENCH_ccdp.json` (atomically),
+/// preserving an existing report document when one is present. The sweep's
+/// wall time is recorded alongside the curve (host observation, not
+/// simulated time).
+fn merge_into_report(scale: Scale, seed: u64, pes: &[usize], cells: Vec<Json>, wall: f64) {
+    let mut section = stress_section_json(scale, seed, pes, cells);
     if let Json::Obj(pairs) = &mut section {
-        pairs.push(("wall_seconds".to_string(), wall_seconds.to_json()));
+        pairs.push(("wall_seconds".to_string(), wall.to_json()));
     }
     let mut doc = std::fs::read_to_string(OUT)
         .ok()
@@ -95,7 +219,7 @@ fn merge_into_report(rep: &StressReport, wall_seconds: f64) {
         pairs.retain(|(k, _)| k != "stress");
         pairs.push(("stress".to_string(), section));
     }
-    match std::fs::write(OUT, doc.to_pretty()) {
+    match ccdp_json::write_atomic(std::path::Path::new(OUT), &doc.to_pretty()) {
         Ok(()) => eprintln!("merged stress section into {OUT}"),
         Err(e) => {
             eprintln!("cannot write {OUT}: {e}");

@@ -11,7 +11,9 @@
 //! steady-state extrapolation after 3 sampled iterations); `Scale::Quick`
 //! runs ~1/4-linear-size instances for CI-speed shape checks.
 
+pub mod journal;
 pub mod report;
+pub mod resilience;
 pub mod stress;
 pub mod synth;
 
@@ -111,6 +113,26 @@ pub fn seed_from(args: &[String]) -> Result<u64, SeedError> {
         Ok(v) => parse(&v),
         Err(_) => Ok(0),
     }
+}
+
+/// Presence of a bare `--name` flag in `args`.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Value of a `--name V` / `--name=V` flag in `args`.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let prefix = format!("{name}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
 }
 
 /// One kernel ready for the sweep.
@@ -241,7 +263,7 @@ pub struct CellTiming {
 /// Run `n_jobs` jobs on a bounded worker pool, preserving job order in the
 /// returned results. Workers pull the next job index from a shared counter,
 /// so the fan-out never exceeds `threads` no matter how large the grid is.
-fn pooled<T: Send>(
+pub fn pooled<T: Send>(
     n_jobs: usize,
     threads: usize,
     job: impl Fn(usize) -> T + Sync,

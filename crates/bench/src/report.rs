@@ -2,10 +2,19 @@
 //! the paper's Tables 1 and 2 plus per-PE / per-epoch cycle breakdowns and
 //! prefetch quality metrics — into one JSON document (`BENCH_ccdp.json`,
 //! written by the `report` bin).
+//!
+//! The document is assembled from per-cell JSON values (one per
+//! kernel × PE count, each carrying a leading `outcome` field), so a
+//! resumed run can re-emit journaled cells verbatim and produce a document
+//! byte-identical to an uninterrupted run (minus the host-timing `perf`
+//! section, which only a fully fresh, fully successful run carries).
 
-use ccdp_core::{format_improvement_table, format_speedup_table, Comparison, ComparisonRow};
+use ccdp_core::{
+    format_improvement_cells, format_speedup_cells, Comparison, TableCell, TableRow,
+};
 use ccdp_json::{Json, ToJson};
 
+use crate::resilience::{CellFailure, CellOutcome};
 use crate::{BenchKernel, GridTiming, Scale};
 
 /// Schema version of the report document; bump on breaking shape changes.
@@ -15,27 +24,88 @@ use crate::{BenchKernel, GridTiming, Scale};
 /// v3: a `perf` section records host-side throughput of the grid run —
 /// wall-clock and simulated-cycles-per-second, overall and per cell —
 /// consumed by the CI performance-regression gate (`perf_gate` bin).
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4: every grid cell leads with an `outcome` classification ("ok",
+/// "panicked", "timed_out", "budget_exceeded", "invalid", "failed");
+/// failed cells carry a `failure` object instead of simulation results,
+/// and the `perf` section is present only when every cell of the grid was
+/// simulated fresh and succeeded (resumed runs have no comparable
+/// throughput baseline).
+pub const SCHEMA_VERSION: u32 = 4;
+
+/// JSON for one successful cell: the `outcome` marker followed by the
+/// comparison's fields.
+pub fn cell_json_ok(c: &Comparison) -> Json {
+    let mut fields = vec![("outcome".to_string(), "ok".to_json())];
+    if let Json::Obj(pairs) = c.to_json() {
+        fields.extend(pairs);
+    }
+    Json::Obj(fields)
+}
+
+/// JSON for one cell outcome (successful or classified failure).
+pub fn cell_json(outcome: &CellOutcome) -> Json {
+    match outcome {
+        CellOutcome::Ok(c) => cell_json_ok(c),
+        CellOutcome::Fail(f) => {
+            let mut detail = vec![("message", f.to_string().to_json())];
+            match f {
+                CellFailure::Panicked { retried, .. } => {
+                    detail.push(("retried", (*retried).to_json()));
+                }
+                CellFailure::TimedOut { pe, steps, retried } => {
+                    detail.extend([
+                        ("pe", pe.to_json()),
+                        ("steps", steps.to_json()),
+                        ("retried", (*retried).to_json()),
+                    ]);
+                }
+                CellFailure::BudgetExceeded { pe, cycles, steps } => {
+                    detail.extend([
+                        ("pe", pe.to_json()),
+                        ("cycles", cycles.to_json()),
+                        ("steps", steps.to_json()),
+                    ]);
+                }
+                CellFailure::Invalid { .. } | CellFailure::Failed { .. } => {}
+            }
+            Json::obj([
+                ("outcome", f.class().to_json()),
+                ("failure", Json::obj(detail)),
+            ])
+        }
+    }
+}
+
+/// A table cell read back out of cell JSON: failed cells (no speedup
+/// fields) become `--` placeholders.
+fn table_cell(n_pes: usize, cell: &Json) -> TableCell {
+    TableCell {
+        n_pes,
+        base_speedup: cell.get("base_speedup").and_then(Json::as_f64),
+        ccdp_speedup: cell.get("ccdp_speedup").and_then(Json::as_f64),
+        improvement_pct: cell.get("improvement_pct").and_then(Json::as_f64),
+    }
+}
 
 /// The `perf` section: host throughput of one grid run. Wall-clock numbers
 /// are host observations (they vary run to run); everything else in the
 /// document is deterministic.
-pub fn perf_json(kernels: &[BenchKernel], pes: &[usize], t: &GridTiming) -> Json {
+pub fn perf_json(names: &[&str], pes: &[usize], t: &GridTiming) -> Json {
     let rate = |cycles: u64, secs: f64| {
         if secs > 0.0 { cycles as f64 / secs } else { 0.0 }
     };
-    let seq = Json::arr(kernels.iter().zip(&t.seq).map(|(k, c)| {
+    let seq = Json::arr(names.iter().zip(&t.seq).map(|(name, c)| {
         Json::obj([
-            ("kernel", k.name.to_json()),
+            ("kernel", name.to_json()),
             ("wall_seconds", c.wall_seconds.to_json()),
             ("sim_cycles", c.sim_cycles.to_json()),
             ("cycles_per_second", rate(c.sim_cycles, c.wall_seconds).to_json()),
         ])
     }));
-    let cells = Json::arr(kernels.iter().zip(&t.cells).flat_map(|(k, row)| {
+    let cells = Json::arr(names.iter().zip(&t.cells).flat_map(|(name, row)| {
         pes.iter().zip(row).map(|(&n, c)| {
             Json::obj([
-                ("kernel", k.name.to_json()),
+                ("kernel", name.to_json()),
                 ("n_pes", n.to_json()),
                 ("wall_seconds", c.wall_seconds.to_json()),
                 ("sim_cycles", c.sim_cycles.to_json()),
@@ -53,28 +123,33 @@ pub fn perf_json(kernels: &[BenchKernel], pes: &[usize], t: &GridTiming) -> Json
     ])
 }
 
-/// Assemble the report document for a completed grid run. `grid` is indexed
-/// `[kernel][pe_count]`, as produced by [`crate::run_grid`]. `seed` is the
-/// fault-decision seed the run was invoked with (recorded for
-/// reproducibility even when the grid itself runs fault-free).
-pub fn report_json(
+/// Assemble the report document from per-cell JSON values, indexed
+/// `cells[kernel][pe]`. This is the single assembly path: fresh runs build
+/// the cell values from live [`CellOutcome`]s, resumed runs mix in
+/// journaled values verbatim — both produce the same bytes for the same
+/// outcomes.
+pub fn report_json_cells(
     scale: Scale,
     seed: u64,
     pes: &[usize],
-    kernels: &[BenchKernel],
-    grid: &[Vec<Comparison>],
+    names: &[&str],
+    cells: &[Vec<Json>],
     timing: Option<&GridTiming>,
 ) -> Json {
-    assert_eq!(kernels.len(), grid.len(), "one comparison row per kernel");
-    let rows: Vec<ComparisonRow<'_>> = kernels
+    assert_eq!(names.len(), cells.len(), "one cell row per kernel");
+    let rows: Vec<Vec<TableCell>> = cells
         .iter()
-        .zip(grid.iter())
-        .map(|(k, comps)| ComparisonRow { kernel: k.name, comparisons: comps })
+        .map(|row| pes.iter().zip(row).map(|(&n, c)| table_cell(n, c)).collect())
         .collect();
-    let kernels_json = Json::arr(kernels.iter().zip(grid.iter()).map(|(k, comps)| {
+    let trows: Vec<TableRow<'_>> = names
+        .iter()
+        .zip(&rows)
+        .map(|(name, cells)| TableRow { kernel: name, cells })
+        .collect();
+    let kernels_json = Json::arr(names.iter().zip(cells).map(|(name, row)| {
         Json::obj([
-            ("name", k.name.to_json()),
-            ("cells", comps.to_json()),
+            ("name", name.to_json()),
+            ("cells", Json::arr(row.iter().cloned())),
         ])
     }));
     let mut fields = vec![
@@ -90,15 +165,35 @@ pub fn report_json(
         (
             "tables",
             Json::obj([
-                ("speedup", format_speedup_table(&rows).to_json()),
-                ("improvement", format_improvement_table(&rows).to_json()),
+                ("speedup", format_speedup_cells(&trows).to_json()),
+                ("improvement", format_improvement_cells(&trows).to_json()),
             ]),
         ),
     ];
     if let Some(t) = timing {
-        fields.push(("perf", perf_json(kernels, pes, t)));
+        fields.push(("perf", perf_json(names, pes, t)));
     }
     Json::obj(fields)
+}
+
+/// Assemble the report document for a completed (fully successful) grid
+/// run. `grid` is indexed `[kernel][pe_count]`, as produced by
+/// [`crate::run_grid`]. `seed` is the fault-decision seed the run was
+/// invoked with (recorded for reproducibility even when the grid itself
+/// runs fault-free).
+pub fn report_json(
+    scale: Scale,
+    seed: u64,
+    pes: &[usize],
+    kernels: &[BenchKernel],
+    grid: &[Vec<Comparison>],
+    timing: Option<&GridTiming>,
+) -> Json {
+    assert_eq!(kernels.len(), grid.len(), "one comparison row per kernel");
+    let names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
+    let cells: Vec<Vec<Json>> =
+        grid.iter().map(|row| row.iter().map(cell_json_ok).collect()).collect();
+    report_json_cells(scale, seed, pes, &names, &cells, timing)
 }
 
 #[cfg(test)]
@@ -112,13 +207,14 @@ mod unit {
         let pes = [2usize];
         let (grid, timing) = run_grid_timed(&kernels[..2], &pes).expect("coherent grid");
         let j = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, Some(&timing));
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(4));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let ks = j.get("kernels").unwrap().items();
         assert_eq!(ks.len(), 2);
         assert_eq!(ks[0].get("name").and_then(Json::as_str), Some("MXM"));
         let cell = &ks[0].get("cells").unwrap().items()[0];
+        assert_eq!(cell.get("outcome").and_then(Json::as_str), Some("ok"));
         assert!(cell.get("ccdp").unwrap().get("epochs").unwrap().items().len() >= 2);
         let tables = j.get("tables").unwrap();
         assert!(tables.get("speedup").and_then(Json::as_str).unwrap().contains("Table 1"));
@@ -145,9 +241,33 @@ mod unit {
         assert_eq!(cell0.get("n_pes").and_then(Json::as_u64), Some(2));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(4));
         // Omitting timing omits the section (ablation callers).
         let j2 = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, None);
         assert!(j2.get("perf").is_none());
+    }
+
+    #[test]
+    fn failed_cells_carry_failure_and_placeholder_tables() {
+        use crate::resilience::{CellFailure, CellOutcome};
+        let fail = CellOutcome::Fail(CellFailure::BudgetExceeded {
+            pe: 1,
+            cycles: 1000,
+            steps: 500,
+        });
+        let cj = cell_json(&fail);
+        assert_eq!(cj.get("outcome").and_then(Json::as_str), Some("budget_exceeded"));
+        let failure = cj.get("failure").expect("failure object");
+        assert!(failure.get("message").and_then(Json::as_str).unwrap().contains("budget"));
+        assert_eq!(failure.get("cycles").and_then(Json::as_u64), Some(1000));
+        // A grid with only this cell still renders tables, with -- cells.
+        let j = report_json_cells(Scale::Quick, 0, &[4], &["MXM"], &[vec![cj]], None);
+        let t1 = j.get("tables").unwrap().get("speedup").and_then(Json::as_str).unwrap();
+        assert!(t1.contains("--"));
+        // The parse→re-emit round trip is byte-stable (the resume path
+        // depends on this for journaled cells).
+        let text = j.to_pretty();
+        let reparsed = ccdp_json::parse(&text).unwrap();
+        assert_eq!(reparsed.to_pretty(), text);
     }
 }

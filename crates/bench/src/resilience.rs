@@ -1,0 +1,426 @@
+//! Cell isolation for grid runs: budgets, panic containment, watchdogs,
+//! and classified per-cell outcomes.
+//!
+//! [`crate::run_grid`] fails the whole grid on the first error — fine for
+//! tests, wrong for a long experiment sweep where one pathological cell
+//! (a runaway synthesized program, a panic in a fresh code path, a host
+//! hiccup) should not discard hours of completed work. This module runs
+//! each (kernel × PE count) cell under [`std::panic::catch_unwind`] with a
+//! cooperative wall-clock watchdog and per-run cycle/step budgets
+//! ([`t3d_sim::SimOptions`]), classifies every failure into a
+//! [`CellFailure`], retries once (same seed, same config) when the failure
+//! could be a host flake rather than a deterministic property of the cell,
+//! and reports a full grid of [`CellOutcome`]s instead of aborting.
+//!
+//! The `on_cell` callback fires as each cell completes — the journal layer
+//! ([`crate::journal`]) uses it to checkpoint finished cells so an
+//! interrupted run can resume without re-simulating them.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+use ccdp_core::{compare_with_seq, run_seq, Comparison, PipelineConfig, PipelineError};
+use t3d_sim::{FaultPlan, SimResult};
+
+use crate::{cell_config, pooled, BenchKernel, CellTiming, GridTiming};
+
+/// Budgets and watchdogs applied to every cell of an isolated grid run.
+/// All default to off: an unbudgeted isolated run still contains panics,
+/// it just never aborts a runaway simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GridOptions {
+    /// Per-run simulated-cycle budget (any PE crossing it aborts the run).
+    pub cycle_budget: Option<u64>,
+    /// Per-run interpreter step budget.
+    pub step_budget: Option<u64>,
+    /// Per-cell wall-clock watchdog. Cooperative: the simulator checks the
+    /// deadline every few thousand steps, so enforcement lags by
+    /// microseconds, not minutes.
+    pub cell_timeout: Option<Duration>,
+    /// Fault plan injected into every cell (`None` = fault-free).
+    pub faults: Option<FaultPlan>,
+}
+
+/// Why a cell failed, as a deterministic, cloneable classification. The
+/// grid keeps going; the failure lands in the JSON report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellFailure {
+    /// The pipeline panicked. `retried` means the same seed/config was
+    /// attempted twice and panicked both times — a deterministic bug, not
+    /// a host flake.
+    Panicked { message: String, retried: bool },
+    /// The cooperative wall-clock watchdog fired.
+    TimedOut { pe: usize, steps: u64, retried: bool },
+    /// The cycle/step budget was exhausted — deterministic, never retried.
+    BudgetExceeded { pe: usize, cycles: u64, steps: u64 },
+    /// The program or machine configuration was rejected up front —
+    /// deterministic, never retried.
+    Invalid { message: String },
+    /// Any other pipeline failure (e.g. a coherence violation) —
+    /// deterministic, never retried.
+    Failed { message: String },
+}
+
+impl CellFailure {
+    /// Short machine-readable class name (the `outcome` field in reports).
+    pub fn class(&self) -> &'static str {
+        match self {
+            CellFailure::Panicked { .. } => "panicked",
+            CellFailure::TimedOut { .. } => "timed_out",
+            CellFailure::BudgetExceeded { .. } => "budget_exceeded",
+            CellFailure::Invalid { .. } => "invalid",
+            CellFailure::Failed { .. } => "failed",
+        }
+    }
+
+    /// Panics and timeouts may be host flakes; everything else is a
+    /// deterministic property of the cell and retrying would just repeat it.
+    fn retryable(&self) -> bool {
+        matches!(self, CellFailure::Panicked { .. } | CellFailure::TimedOut { .. })
+    }
+
+    fn mark_retried(&mut self) {
+        match self {
+            CellFailure::Panicked { retried, .. } | CellFailure::TimedOut { retried, .. } => {
+                *retried = true
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellFailure::Panicked { message, retried } => {
+                write!(f, "panicked{}: {message}", if *retried { " (twice)" } else { "" })
+            }
+            CellFailure::TimedOut { pe, steps, retried } => write!(
+                f,
+                "timed out{} on PE {pe} after {steps} steps",
+                if *retried { " (twice)" } else { "" }
+            ),
+            CellFailure::BudgetExceeded { pe, cycles, steps } => {
+                write!(f, "budget exceeded on PE {pe}: {cycles} cycles after {steps} steps")
+            }
+            CellFailure::Invalid { message } => write!(f, "invalid input: {message}"),
+            CellFailure::Failed { message } => write!(f, "failed: {message}"),
+        }
+    }
+}
+
+/// Outcome of one isolated (kernel × PE count) cell.
+#[derive(Clone)]
+pub enum CellOutcome {
+    Ok(Box<Comparison>),
+    Fail(CellFailure),
+}
+
+impl CellOutcome {
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Ok(_))
+    }
+
+    /// The `outcome` class string: `"ok"` or the failure class.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok(_) => "ok",
+            CellOutcome::Fail(f) => f.class(),
+        }
+    }
+}
+
+/// One completed cell, as handed to the `on_cell` checkpoint callback.
+pub struct IsolatedCell {
+    pub kernel: &'static str,
+    pub n_pes: usize,
+    pub outcome: CellOutcome,
+    pub timing: CellTiming,
+}
+
+/// Result of [`run_grid_isolated`].
+pub struct IsolatedGrid {
+    /// `outcomes[kernel][pe]`; `None` where the cell was not in `todo`
+    /// (already journaled by a previous run).
+    pub outcomes: Vec<Vec<Option<CellOutcome>>>,
+    /// Host-side timing for the `perf` section. `Some` only when `todo`
+    /// covered the whole grid and every run (sequential denominators
+    /// included) succeeded — partial or failing runs produce no comparable
+    /// throughput baseline.
+    pub timing: Option<GridTiming>,
+}
+
+fn apply_budgets(cfg: &mut PipelineConfig, opts: &GridOptions, deadline: Option<Instant>) {
+    cfg.sim.cycle_budget = opts.cycle_budget;
+    cfg.sim.step_budget = opts.step_budget;
+    cfg.sim.wall_deadline = deadline;
+    if let Some(f) = opts.faults {
+        cfg.sim.faults = f;
+    }
+}
+
+/// Classify a pipeline error into its cell-failure class.
+pub fn classify_pipeline(e: PipelineError) -> CellFailure {
+    match e {
+        PipelineError::BudgetExceeded { pe, cycles, steps } => {
+            CellFailure::BudgetExceeded { pe, cycles, steps }
+        }
+        PipelineError::Timeout { pe, steps } => {
+            CellFailure::TimedOut { pe, steps, retried: false }
+        }
+        PipelineError::InvalidConfig(_) | PipelineError::InvalidProgram(_) => {
+            CellFailure::Invalid { message: e.to_string() }
+        }
+        other => CellFailure::Failed { message: other.to_string() },
+    }
+}
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `job` with panic containment and retry-once, classifying its error
+/// type through `to_failure`. The job receives the wall deadline to thread
+/// into `SimOptions`; a fresh deadline is computed per attempt so a retry
+/// gets the full timeout again. Used directly by the stress sweep (whose
+/// error type is not [`PipelineError`]).
+pub fn isolate<T, E>(
+    timeout: Option<Duration>,
+    to_failure: impl Fn(E) -> CellFailure,
+    job: impl Fn(Option<Instant>) -> Result<T, E>,
+) -> Result<T, CellFailure> {
+    let attempt = || -> Result<T, CellFailure> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        match catch_unwind(AssertUnwindSafe(|| job(deadline))) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(to_failure(e)),
+            Err(p) => Err(CellFailure::Panicked { message: panic_message(p), retried: false }),
+        }
+    };
+    match attempt() {
+        Ok(v) => Ok(v),
+        Err(first) if first.retryable() => match attempt() {
+            Ok(v) => {
+                eprintln!("note: cell recovered on retry after transient failure ({first})");
+                Ok(v)
+            }
+            Err(mut second) => {
+                second.mark_retried();
+                Err(second)
+            }
+        },
+        Err(first) => Err(first),
+    }
+}
+
+/// [`isolate`] specialized to pipeline jobs (the grid path).
+fn guarded<T>(
+    timeout: Option<Duration>,
+    job: impl Fn(Option<Instant>) -> Result<T, PipelineError>,
+) -> Result<T, CellFailure> {
+    isolate(timeout, classify_pipeline, job)
+}
+
+/// Run the requested cells of the grid with full isolation: every
+/// sequential denominator and every BASE/CCDP cell is contained, budgeted,
+/// classified, and checkpointed through `on_cell` the moment it finishes.
+///
+/// `todo` lists `(kernel index, pe index)` cells to simulate; cells not
+/// listed stay `None` in the result (the caller already has them from a
+/// journal). A kernel whose sequential denominator fails poisons all of
+/// that kernel's requested cells with the same (cloned) failure — there is
+/// no speedup to compute without the denominator.
+pub fn run_grid_isolated(
+    kernels: &[BenchKernel],
+    pes: &[usize],
+    todo: &[(usize, usize)],
+    opts: &GridOptions,
+    on_cell: impl Fn(&IsolatedCell) + Sync,
+) -> IsolatedGrid {
+    let t0 = Instant::now();
+    let mut outcomes: Vec<Vec<Option<CellOutcome>>> =
+        kernels.iter().map(|_| vec![None; pes.len()]).collect();
+    if todo.is_empty() {
+        return IsolatedGrid { outcomes, timing: None };
+    }
+    for &(ki, pi) in todo {
+        assert!(ki < kernels.len() && pi < pes.len(), "todo cell out of grid bounds");
+    }
+    let threads =
+        std::thread::available_parallelism().map_or(1, |n| n.get()).min(todo.len());
+
+    // Stage 1: sequential denominators, only for kernels with work to do.
+    let mut need = vec![false; kernels.len()];
+    for &(ki, _) in todo {
+        need[ki] = true;
+    }
+    let kis: Vec<usize> = (0..kernels.len()).filter(|&ki| need[ki]).collect();
+    let seq_runs = pooled(kis.len(), threads, |i| {
+        let k = &kernels[kis[i]];
+        let t = Instant::now();
+        let r = guarded(opts.cell_timeout, |deadline| {
+            let mut cfg = cell_config(k, pes[0]);
+            apply_budgets(&mut cfg, opts, deadline);
+            run_seq(&k.program, &cfg)
+        });
+        (r, t.elapsed().as_secs_f64())
+    });
+    let mut seqs: Vec<Option<(Result<SimResult, CellFailure>, f64)>> =
+        (0..kernels.len()).map(|_| None).collect();
+    for (i, (r, secs)) in seq_runs.into_iter().enumerate() {
+        seqs[kis[i]] = Some((r, secs));
+    }
+
+    // Stage 2: the requested cells, each isolated and checkpointed.
+    let cells = pooled(todo.len(), threads, |i| {
+        let (ki, pi) = todo[i];
+        let k = &kernels[ki];
+        let t = Instant::now();
+        let seq = &seqs[ki].as_ref().expect("stage 1 covered this kernel").0;
+        let outcome = match seq {
+            Err(f) => CellOutcome::Fail(f.clone()),
+            Ok(seq) => {
+                match guarded(opts.cell_timeout, |deadline| {
+                    let mut cfg = cell_config(k, pes[pi]);
+                    apply_budgets(&mut cfg, opts, deadline);
+                    compare_with_seq(&k.program, &cfg, seq.clone())
+                }) {
+                    Ok(c) => CellOutcome::Ok(Box::new(c)),
+                    Err(f) => CellOutcome::Fail(f),
+                }
+            }
+        };
+        let sim_cycles = match &outcome {
+            CellOutcome::Ok(c) => c.base.cycles + c.ccdp.cycles,
+            CellOutcome::Fail(_) => 0,
+        };
+        let cell = IsolatedCell {
+            kernel: k.name,
+            n_pes: pes[pi],
+            outcome,
+            timing: CellTiming { wall_seconds: t.elapsed().as_secs_f64(), sim_cycles },
+        };
+        on_cell(&cell);
+        cell
+    });
+
+    let full_grid = todo.len() == kernels.len() * pes.len();
+    let all_ok = cells.iter().all(|c| c.outcome.is_ok())
+        && seqs.iter().flatten().all(|(r, _)| r.is_ok());
+    let timing = if full_grid && all_ok {
+        let seq_timing: Vec<CellTiming> = seqs
+            .iter()
+            .map(|s| {
+                let (r, secs) = s.as_ref().expect("full grid covers every kernel");
+                let cycles = r.as_ref().map_or(0, |sr| sr.cycles);
+                CellTiming { wall_seconds: *secs, sim_cycles: cycles }
+            })
+            .collect();
+        let mut cell_timing: Vec<Vec<CellTiming>> =
+            kernels.iter().map(|_| vec![CellTiming::default(); pes.len()]).collect();
+        for (i, c) in cells.iter().enumerate() {
+            let (ki, pi) = todo[i];
+            cell_timing[ki][pi] = c.timing;
+        }
+        Some(GridTiming {
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            threads,
+            seq: seq_timing,
+            cells: cell_timing,
+        })
+    } else {
+        None
+    };
+    for (i, c) in cells.into_iter().enumerate() {
+        let (ki, pi) = todo[i];
+        outcomes[ki][pi] = Some(c.outcome);
+    }
+    IsolatedGrid { outcomes, timing }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::{paper_kernels, Scale};
+
+    #[test]
+    fn guarded_classifies_and_retries_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        // A job that always panics is classified as Panicked{retried: true}.
+        let tries = AtomicUsize::new(0);
+        let r: Result<(), CellFailure> = guarded(None, |_| {
+            tries.fetch_add(1, Ordering::SeqCst);
+            panic!("boom {}", 7)
+        });
+        assert_eq!(tries.load(Ordering::SeqCst), 2, "panic must be retried once");
+        match r {
+            Err(CellFailure::Panicked { message, retried }) => {
+                assert!(message.contains("boom 7"));
+                assert!(retried);
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // A job that panics once then succeeds recovers on retry.
+        let tries = AtomicUsize::new(0);
+        let r: Result<u32, CellFailure> = guarded(None, |_| {
+            if tries.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("flake");
+            }
+            Ok(42)
+        });
+        assert_eq!(r.unwrap(), 42);
+    }
+
+    #[test]
+    fn guarded_never_retries_deterministic_failures() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let tries = AtomicUsize::new(0);
+        let r: Result<(), CellFailure> = guarded(None, |_| {
+            tries.fetch_add(1, Ordering::SeqCst);
+            Err(PipelineError::BudgetExceeded { pe: 3, cycles: 10, steps: 20 })
+        });
+        assert_eq!(tries.load(Ordering::SeqCst), 1, "budget failures are deterministic");
+        assert_eq!(
+            r.unwrap_err(),
+            CellFailure::BudgetExceeded { pe: 3, cycles: 10, steps: 20 }
+        );
+    }
+
+    #[test]
+    fn budget_failure_lands_in_grid_not_process() {
+        let kernels = paper_kernels(Scale::Quick);
+        let opts = GridOptions { cycle_budget: Some(10), ..Default::default() };
+        let grid = run_grid_isolated(&kernels[..1], &[2], &[(0, 0)], &opts, |_| {});
+        let out = grid.outcomes[0][0].as_ref().expect("cell was requested");
+        match out {
+            CellOutcome::Fail(CellFailure::BudgetExceeded { cycles, .. }) => {
+                assert!(*cycles > 10);
+            }
+            other => panic!("expected BudgetExceeded, got {:?}", other.class()),
+        }
+        assert!(grid.timing.is_none(), "failed grids have no perf baseline");
+    }
+
+    #[test]
+    fn clean_full_grid_has_timing_and_ok_cells() {
+        let kernels = paper_kernels(Scale::Quick);
+        let opts = GridOptions::default();
+        let calls = std::sync::Mutex::new(Vec::new());
+        let grid = run_grid_isolated(&kernels[..1], &[1, 2], &[(0, 0), (0, 1)], &opts, |c| {
+            calls.lock().unwrap().push((c.kernel, c.n_pes, c.outcome.class()));
+        });
+        assert!(grid.outcomes[0].iter().all(|o| o.as_ref().unwrap().is_ok()));
+        let t = grid.timing.expect("clean full grid carries timing");
+        assert_eq!(t.seq.len(), 1);
+        assert!(t.sim_cycles() > 0);
+        let calls = calls.into_inner().unwrap();
+        assert_eq!(calls.len(), 2);
+        assert!(calls.iter().all(|(k, _, class)| *k == "MXM" && *class == "ok"));
+    }
+}

@@ -20,6 +20,7 @@ use ccdp_json::{Json, ToJson};
 use ccdp_kernels::values_equal;
 use t3d_sim::{FaultPlan, FaultStats, Scheme, Simulator, StaleReadExample};
 
+use crate::resilience::GridOptions;
 use crate::{cell_config, BenchKernel, Scale};
 
 /// The degradation curve's prefetch-drop rates.
@@ -169,7 +170,23 @@ pub fn stress_cell(
     n_pes: usize,
     plans: &[(String, FaultPlan)],
 ) -> Result<Vec<StressCell>, StressError> {
-    let cfg = cell_config(k, n_pes);
+    stress_cell_opts(k, n_pes, plans, &GridOptions::default(), None)
+}
+
+/// [`stress_cell`] with run budgets and a cooperative wall deadline
+/// threaded into every simulation of the unit. `opts.faults` is ignored —
+/// the sweep injects its own plans; only the budgets apply.
+pub fn stress_cell_opts(
+    k: &BenchKernel,
+    n_pes: usize,
+    plans: &[(String, FaultPlan)],
+    opts: &GridOptions,
+    deadline: Option<std::time::Instant>,
+) -> Result<Vec<StressCell>, StressError> {
+    let mut cfg = cell_config(k, n_pes);
+    cfg.sim.cycle_budget = opts.cycle_budget;
+    cfg.sim.step_budget = opts.step_budget;
+    cfg.sim.wall_deadline = deadline;
     cfg.validate()?;
     let seq = run_seq(&k.program, &cfg)?;
     let shared: Vec<_> = k
@@ -197,7 +214,8 @@ pub fn stress_cell(
             Scheme::Ccdp { plan: art.plan.clone() },
             sim,
         )
-        .run();
+        .try_run()
+        .map_err(|a| StressError::Pipeline(PipelineError::from(a)))?;
         if !r.oracle.is_coherent() {
             return Err(StressError::Incoherent {
                 kernel: k.name,
@@ -290,13 +308,34 @@ fn to_vec(pes: &[usize]) -> Vec<usize> {
     pes.to_vec()
 }
 
-/// The `stress` section of `BENCH_ccdp.json`: the degradation curve plus
-/// the guarantee every cell was checked against.
-pub fn stress_json(rep: &StressReport) -> Json {
+/// JSON for one passed sweep cell (journaled verbatim by the resume path).
+pub fn stress_cell_json(c: &StressCell) -> Json {
+    let mut fields = vec![
+        ("kernel", c.kernel.to_json()),
+        ("n_pes", c.n_pes.to_json()),
+        ("plan", c.plan.as_str().to_json()),
+    ];
+    if let Some(r) = c.drop_rate {
+        fields.push(("drop_rate", r.to_json()));
+    }
+    fields.extend([
+        ("cycles", c.cycles.to_json()),
+        ("clean_cycles", c.clean_cycles.to_json()),
+        ("slowdown", c.slowdown().to_json()),
+        ("faults", c.faults.to_json()),
+        ("coherent", true.to_json()),
+        ("values_match_seq", true.to_json()),
+    ]);
+    Json::obj(fields)
+}
+
+/// The `stress` section assembled from per-cell JSON values — the single
+/// assembly path for fresh and resumed sweeps alike.
+pub fn stress_section_json(scale: Scale, seed: u64, pes: &[usize], cells: Vec<Json>) -> Json {
     Json::obj([
-        ("scale", rep.scale.name().to_json()),
-        ("seed", rep.seed.to_json()),
-        ("pe_counts", rep.pes.to_json()),
+        ("scale", scale.name().to_json()),
+        ("seed", seed.to_json()),
+        ("pe_counts", pes.to_json()),
         ("drop_rates", DROP_RATES.as_slice().to_json()),
         (
             "invariant",
@@ -304,29 +343,19 @@ pub fn stress_json(rep: &StressReport) -> Json {
              demand fallbacks monotone in drop rate"
                 .to_json(),
         ),
-        (
-            "cells",
-            Json::arr(rep.cells.iter().map(|c| {
-                let mut fields = vec![
-                    ("kernel", c.kernel.to_json()),
-                    ("n_pes", c.n_pes.to_json()),
-                    ("plan", c.plan.as_str().to_json()),
-                ];
-                if let Some(r) = c.drop_rate {
-                    fields.push(("drop_rate", r.to_json()));
-                }
-                fields.extend([
-                    ("cycles", c.cycles.to_json()),
-                    ("clean_cycles", c.clean_cycles.to_json()),
-                    ("slowdown", c.slowdown().to_json()),
-                    ("faults", c.faults.to_json()),
-                    ("coherent", true.to_json()),
-                    ("values_match_seq", true.to_json()),
-                ]);
-                Json::obj(fields)
-            })),
-        ),
+        ("cells", Json::arr(cells)),
     ])
+}
+
+/// The `stress` section of `BENCH_ccdp.json`: the degradation curve plus
+/// the guarantee every cell was checked against.
+pub fn stress_json(rep: &StressReport) -> Json {
+    stress_section_json(
+        rep.scale,
+        rep.seed,
+        &rep.pes,
+        rep.cells.iter().map(stress_cell_json).collect(),
+    )
 }
 
 #[cfg(test)]

@@ -41,4 +41,7 @@ pub use pipeline::{
     compare, compare_with_seq, compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq,
     CcdpArtifacts, Comparison, PipelineConfig, PipelineError,
 };
-pub use report::{format_improvement_table, format_speedup_table, ComparisonRow};
+pub use report::{
+    format_improvement_cells, format_improvement_table, format_speedup_cells,
+    format_speedup_table, ComparisonRow, TableCell, TableRow,
+};

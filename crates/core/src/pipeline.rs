@@ -7,8 +7,8 @@ use ccdp_prefetch::{
     plan_prefetches, PlanStats, PrefetchPlan, ScheduleOptions, TargetOptions,
 };
 use t3d_sim::{
-    ConfigError, FaultPlan, MachineConfig, Scheme, SimOptions, SimResult, Simulator,
-    StaleReadExample,
+    ConfigError, FaultPlan, MachineConfig, Scheme, SimAbort, SimOptions, SimResult,
+    Simulator, StaleReadExample,
 };
 
 /// Why a pipeline run failed. The pipeline no longer panics on a broken
@@ -30,6 +30,18 @@ pub enum PipelineError {
     /// (caught by `MachineConfig::validate` / `FaultPlan::validate` before
     /// any simulation runs).
     InvalidConfig(ConfigError),
+    /// The input program is structurally invalid (caught by
+    /// `ccdp_ir::validate` before any simulation runs). Same class of
+    /// up-front rejection as `InvalidConfig`, but about the program rather
+    /// than the machine.
+    InvalidProgram(ccdp_ir::ValidateError),
+    /// A simulation exhausted its cycle or step budget
+    /// (`SimOptions::cycle_budget` / `step_budget`) — the structured
+    /// termination of a runaway program.
+    BudgetExceeded { pe: usize, cycles: u64, steps: u64 },
+    /// A simulation ran past its cooperative wall-clock deadline
+    /// (`SimOptions::wall_deadline`).
+    Timeout { pe: usize, steps: u64 },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -47,6 +59,15 @@ impl std::fmt::Display for PipelineError {
                 Ok(())
             }
             PipelineError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            PipelineError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            PipelineError::BudgetExceeded { pe, cycles, steps } => write!(
+                f,
+                "simulation budget exceeded on PE {pe}: {cycles} cycles after {steps} steps"
+            ),
+            PipelineError::Timeout { pe, steps } => write!(
+                f,
+                "simulation wall-clock deadline passed on PE {pe} after {steps} steps"
+            ),
         }
     }
 }
@@ -56,6 +77,23 @@ impl std::error::Error for PipelineError {}
 impl From<ConfigError> for PipelineError {
     fn from(e: ConfigError) -> PipelineError {
         PipelineError::InvalidConfig(e)
+    }
+}
+
+impl From<ccdp_ir::ValidateError> for PipelineError {
+    fn from(e: ccdp_ir::ValidateError) -> PipelineError {
+        PipelineError::InvalidProgram(e)
+    }
+}
+
+impl From<SimAbort> for PipelineError {
+    fn from(a: SimAbort) -> PipelineError {
+        match a {
+            SimAbort::BudgetExceeded { pe, cycles, steps } => {
+                PipelineError::BudgetExceeded { pe, cycles, steps }
+            }
+            SimAbort::WallTimeout { pe, steps } => PipelineError::Timeout { pe, steps },
+        }
     }
 }
 
@@ -174,18 +212,32 @@ pub fn compile_ccdp(program: &Program, cfg: &PipelineConfig) -> CcdpArtifacts {
     CcdpArtifacts { stale, transformed, plan }
 }
 
+/// Up-front rejection shared by every entry point: machine model, fault
+/// plan, and program structure are all checked before any simulation runs,
+/// so malformed inputs surface as `InvalidConfig` / `InvalidProgram` rather
+/// than as a simulator panic.
+fn check_inputs(program: &Program, cfg: &PipelineConfig) -> Result<(), PipelineError> {
+    cfg.validate()?;
+    ccdp_ir::validate(program)?;
+    Ok(())
+}
+
 /// Sequential reference run (1 PE, everything cached and local).
 pub fn run_seq(program: &Program, cfg: &PipelineConfig) -> Result<SimResult, PipelineError> {
-    cfg.validate()?;
+    check_inputs(program, cfg)?;
     let layout = Layout::new(program, 1);
-    Ok(Simulator::new(program, layout, cfg.seq_machine(), Scheme::Sequential, cfg.sim).run())
+    Simulator::new(program, layout, cfg.seq_machine(), Scheme::Sequential, cfg.sim)
+        .try_run()
+        .map_err(PipelineError::from)
 }
 
 /// BASE run: CRAFT-style shared data, uncached.
 pub fn run_base(program: &Program, cfg: &PipelineConfig) -> Result<SimResult, PipelineError> {
-    cfg.validate()?;
+    check_inputs(program, cfg)?;
     let layout = cfg.layout_for(program);
-    Ok(Simulator::new(program, layout, cfg.machine.clone(), Scheme::Base, cfg.sim).run())
+    Simulator::new(program, layout, cfg.machine.clone(), Scheme::Base, cfg.sim)
+        .try_run()
+        .map_err(PipelineError::from)
 }
 
 /// CCDP run: compile, then execute the transformed program. Fails with
@@ -195,7 +247,7 @@ pub fn run_ccdp(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<(CcdpArtifacts, SimResult), PipelineError> {
-    cfg.validate()?;
+    check_inputs(program, cfg)?;
     let art = compile_ccdp(program, cfg);
     let layout = cfg.layout_for(program);
     let r = Simulator::new(
@@ -205,7 +257,7 @@ pub fn run_ccdp(
         Scheme::Ccdp { plan: art.plan.clone() },
         cfg.sim,
     )
-    .run();
+    .try_run()?;
     check_coherent(&r)?;
     Ok((art, r))
 }
@@ -217,7 +269,7 @@ pub fn run_invalidate_only(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<SimResult, PipelineError> {
-    cfg.validate()?;
+    check_inputs(program, cfg)?;
     let layout = cfg.layout_for(program);
     let stale = analyze_stale(program, &layout);
     let plan = PrefetchPlan::bypass_all(program, &stale);
@@ -228,12 +280,13 @@ pub fn run_invalidate_only(
         Scheme::Ccdp { plan },
         cfg.sim,
     )
-    .run();
+    .try_run()?;
     check_coherent(&r)?;
     Ok(r)
 }
 
 /// The paper's headline numbers for one kernel at one PE count.
+#[derive(Clone)]
 pub struct Comparison {
     pub n_pes: usize,
     pub seq: SimResult,

@@ -1,4 +1,10 @@
 //! Text reports in the shape of the paper's tables.
+//!
+//! The formatters come in two layers: [`TableRow`]/[`TableCell`] render
+//! plain numbers (so a resumed benchmark run can rebuild the tables from
+//! journaled JSON without re-simulating), and the [`ComparisonRow`]
+//! wrappers feed live [`Comparison`] results into the same renderer.
+//! Failed grid cells render as `--` placeholders.
 
 use crate::pipeline::Comparison;
 
@@ -8,9 +14,44 @@ pub struct ComparisonRow<'a> {
     pub comparisons: &'a [Comparison],
 }
 
-/// Render Table 1: "Speedups over sequential execution time" — per kernel a
-/// BASE and a CCDP column, one row per PE count.
-pub fn format_speedup_table(rows: &[ComparisonRow<'_>]) -> String {
+/// One table cell as plain numbers. `None` metrics mean the cell failed
+/// (panicked, timed out, exceeded its budget) and renders as `--`.
+#[derive(Clone, Copy, Debug)]
+pub struct TableCell {
+    pub n_pes: usize,
+    pub base_speedup: Option<f64>,
+    pub ccdp_speedup: Option<f64>,
+    pub improvement_pct: Option<f64>,
+}
+
+impl TableCell {
+    /// A cell from a live comparison (always fully populated).
+    pub fn from_comparison(c: &Comparison) -> TableCell {
+        TableCell {
+            n_pes: c.n_pes,
+            base_speedup: Some(c.base_speedup),
+            ccdp_speedup: Some(c.ccdp_speedup),
+            improvement_pct: Some(c.improvement_pct),
+        }
+    }
+}
+
+/// One table row of plain-number cells.
+pub struct TableRow<'a> {
+    pub kernel: &'a str,
+    pub cells: &'a [TableCell],
+}
+
+fn fmt_metric(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:>8.2}"),
+        None => format!("{:>8}", "--"),
+    }
+}
+
+/// Render Table 1 from plain-number rows: per kernel a BASE and a CCDP
+/// column, one row per PE count.
+pub fn format_speedup_cells(rows: &[TableRow<'_>]) -> String {
     let mut out = String::new();
     out.push_str("Table 1. Speedups over sequential execution time.\n");
     out.push_str(&format!("{:>6} ", "#PEs"));
@@ -23,14 +64,15 @@ pub fn format_speedup_table(rows: &[ComparisonRow<'_>]) -> String {
         out.push_str(&format!("| {:>8} {:>8} ", "BASE", "CCDP"));
     }
     out.push('\n');
-    let n = rows.first().map_or(0, |r| r.comparisons.len());
+    let n = rows.first().map_or(0, |r| r.cells.len());
     for i in 0..n {
-        out.push_str(&format!("{:>6} ", rows[0].comparisons[i].n_pes));
+        out.push_str(&format!("{:>6} ", rows[0].cells[i].n_pes));
         for r in rows {
-            let c = &r.comparisons[i];
+            let c = &r.cells[i];
             out.push_str(&format!(
-                "| {:>8.2} {:>8.2} ",
-                c.base_speedup, c.ccdp_speedup
+                "| {} {} ",
+                fmt_metric(c.base_speedup),
+                fmt_metric(c.ccdp_speedup)
             ));
         }
         out.push('\n');
@@ -38,9 +80,9 @@ pub fn format_speedup_table(rows: &[ComparisonRow<'_>]) -> String {
     out
 }
 
-/// Render Table 2: "Improvement in execution time of CCDP codes over BASE
-/// codes" — one percentage per kernel per PE count.
-pub fn format_improvement_table(rows: &[ComparisonRow<'_>]) -> String {
+/// Render Table 2 from plain-number rows: one percentage per kernel per PE
+/// count.
+pub fn format_improvement_cells(rows: &[TableRow<'_>]) -> String {
     let mut out = String::new();
     out.push_str("Table 2. Improvement in execution time of CCDP over BASE.\n");
     out.push_str(&format!("{:>6} ", "#PEs"));
@@ -48,16 +90,44 @@ pub fn format_improvement_table(rows: &[ComparisonRow<'_>]) -> String {
         out.push_str(&format!("| {:>9} ", r.kernel));
     }
     out.push('\n');
-    let n = rows.first().map_or(0, |r| r.comparisons.len());
+    let n = rows.first().map_or(0, |r| r.cells.len());
     for i in 0..n {
-        out.push_str(&format!("{:>6} ", rows[0].comparisons[i].n_pes));
+        out.push_str(&format!("{:>6} ", rows[0].cells[i].n_pes));
         for r in rows {
-            let c = &r.comparisons[i];
-            out.push_str(&format!("| {:>8.2}% ", c.improvement_pct));
+            out.push_str(&format!("| {}% ", fmt_metric(r.cells[i].improvement_pct)));
         }
         out.push('\n');
     }
     out
+}
+
+fn to_cells(rows: &[ComparisonRow<'_>]) -> Vec<(usize, Vec<TableCell>)> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, r)| (i, r.comparisons.iter().map(TableCell::from_comparison).collect()))
+        .collect()
+}
+
+/// Render Table 1: "Speedups over sequential execution time" — per kernel a
+/// BASE and a CCDP column, one row per PE count.
+pub fn format_speedup_table(rows: &[ComparisonRow<'_>]) -> String {
+    let cells = to_cells(rows);
+    let trows: Vec<TableRow<'_>> = cells
+        .iter()
+        .map(|(i, c)| TableRow { kernel: rows[*i].kernel, cells: c })
+        .collect();
+    format_speedup_cells(&trows)
+}
+
+/// Render Table 2: "Improvement in execution time of CCDP codes over BASE
+/// codes" — one percentage per kernel per PE count.
+pub fn format_improvement_table(rows: &[ComparisonRow<'_>]) -> String {
+    let cells = to_cells(rows);
+    let trows: Vec<TableRow<'_>> = cells
+        .iter()
+        .map(|(i, c)| TableRow { kernel: rows[*i].kernel, cells: c })
+        .collect();
+    format_improvement_cells(&trows)
 }
 
 #[cfg(test)]
@@ -95,5 +165,43 @@ mod unit {
         let t2 = format_improvement_table(&rows);
         assert!(t2.contains('%'));
         assert_eq!(t2.lines().count(), 1 + 1 + 3);
+    }
+
+    #[test]
+    fn failed_cells_render_as_placeholders() {
+        let cells = [
+            TableCell {
+                n_pes: 2,
+                base_speedup: Some(1.5),
+                ccdp_speedup: Some(2.0),
+                improvement_pct: Some(25.0),
+            },
+            TableCell {
+                n_pes: 4,
+                base_speedup: None,
+                ccdp_speedup: None,
+                improvement_pct: None,
+            },
+        ];
+        let rows = [TableRow { kernel: "TINY", cells: &cells }];
+        let t1 = format_speedup_cells(&rows);
+        assert!(t1.contains("--"), "failed cell must render as --");
+        assert!(t1.contains("2.00"));
+        let t2 = format_improvement_cells(&rows);
+        assert!(t2.contains("--%"));
+    }
+
+    #[test]
+    fn cell_rows_match_comparison_rows_byte_for_byte() {
+        let p = tiny();
+        let comps: Vec<_> = [1, 2]
+            .iter()
+            .map(|&n| compare(&p, &PipelineConfig::t3d(n)).expect("coherent"))
+            .collect();
+        let rows = [ComparisonRow { kernel: "TINY", comparisons: &comps }];
+        let cells: Vec<TableCell> = comps.iter().map(TableCell::from_comparison).collect();
+        let trows = [TableRow { kernel: "TINY", cells: &cells }];
+        assert_eq!(format_speedup_table(&rows), format_speedup_cells(&trows));
+        assert_eq!(format_improvement_table(&rows), format_improvement_cells(&trows));
     }
 }

@@ -27,6 +27,12 @@ pub enum ValidateError {
     RecursiveRoutine { routine: String },
     EmptyRepeat,
     DuplicateArrayName { name: String },
+    /// A loop whose step is zero or negative: `while v <= hi` would either
+    /// spin forever or run backwards.
+    NonPositiveStep { step: i64 },
+    /// A loop with constant bounds and `lo > hi`: zero (or negative) trip
+    /// count, i.e. a silently empty epoch body.
+    EmptyConstantLoop { lo: i64, hi: i64 },
 }
 
 impl std::fmt::Display for ValidateError {
@@ -63,6 +69,12 @@ impl std::fmt::Display for ValidateError {
             ValidateError::EmptyRepeat => write!(f, "repeat with count 0"),
             ValidateError::DuplicateArrayName { name } => {
                 write!(f, "two arrays named '{name}'")
+            }
+            ValidateError::NonPositiveStep { step } => {
+                write!(f, "loop step {step} is not positive")
+            }
+            ValidateError::EmptyConstantLoop { lo, hi } => {
+                write!(f, "loop bounds {lo}..{hi} give a zero/negative trip count")
             }
         }
     }
@@ -313,6 +325,18 @@ fn check_stmts(
             Stmt::Loop(l) => {
                 check_affine_vars(&l.lo, bound, &format!("epoch '{}' loop bound", e.label))?;
                 check_affine_vars(&l.hi, bound, &format!("epoch '{}' loop bound", e.label))?;
+                if l.step <= 0 {
+                    return Err(ValidateError::NonPositiveStep { step: l.step });
+                }
+                // Constant bounds with lo > hi: statically empty, which is
+                // always a generator bug (a silently empty epoch) rather
+                // than an intentional no-op.
+                if l.lo.terms().is_empty() && l.hi.terms().is_empty() {
+                    let (lo, hi) = (l.lo.constant_term(), l.hi.constant_term());
+                    if lo > hi {
+                        return Err(ValidateError::EmptyConstantLoop { lo, hi });
+                    }
+                }
                 bound.push(l.var);
                 for pf in &l.pipeline {
                     for ix in &pf.index {
@@ -406,6 +430,45 @@ mod unit {
             });
         });
         assert!(pb.finish().is_ok());
+    }
+
+    #[test]
+    fn non_positive_step_and_empty_constant_loop_rejected() {
+        let build = || {
+            let mut pb = ProgramBuilder::new("t");
+            let a = pb.shared("A", &[8]);
+            pb.serial_epoch("s", |e| {
+                e.serial("i", 0, 7, |e, i| e.assign(a.at1(i), 1.0));
+            });
+            pb.finish().unwrap()
+        };
+        // The builder refuses to construct these headers, so mutate a valid
+        // program the way a buggy transformation pass would.
+        let mut p = build();
+        {
+            let ProgramItem::Epoch(e) = &mut p.items[0] else { panic!("epoch") };
+            let Stmt::Loop(l) = &mut e.stmts[0] else { panic!("loop") };
+            l.step = 0;
+        }
+        assert_eq!(validate(&p), Err(ValidateError::NonPositiveStep { step: 0 }));
+
+        let mut p = build();
+        {
+            let ProgramItem::Epoch(e) = &mut p.items[0] else { panic!("epoch") };
+            let Stmt::Loop(l) = &mut e.stmts[0] else { panic!("loop") };
+            l.lo = Affine::constant(5);
+            l.hi = Affine::constant(2);
+        }
+        assert_eq!(
+            validate(&p),
+            Err(ValidateError::EmptyConstantLoop { lo: 5, hi: 2 })
+        );
+        for e in [
+            ValidateError::NonPositiveStep { step: -3 },
+            ValidateError::EmptyConstantLoop { lo: 5, hi: 2 },
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
     }
 
     #[test]

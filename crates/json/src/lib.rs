@@ -281,9 +281,17 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parse a JSON document (used by the schema round-trip tests).
+/// Maximum container nesting the parser accepts. The parser is recursive,
+/// so without a limit a few kilobytes of `[[[[…` overflow the stack; 128
+/// levels is far beyond any report document while keeping worst-case stack
+/// use trivially bounded.
+pub const MAX_PARSE_DEPTH: usize = 128;
+
+/// Parse a JSON document (used by the schema round-trip tests and the
+/// report/journal readers). Adversarial input — deep nesting, truncated
+/// escapes, malformed numbers — yields a [`ParseError`], never a panic.
 pub fn parse(text: &str) -> Result<Json, ParseError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -293,9 +301,36 @@ pub fn parse(text: &str) -> Result<Json, ParseError> {
     Ok(v)
 }
 
+/// Write `contents` to `path` atomically: write a temp file in the same
+/// directory, then rename over the target. A crash (or SIGKILL) at any
+/// point leaves either the old document or the new one — never a torn
+/// half-write. Used for `BENCH_ccdp.json` so a killed run cannot corrupt
+/// the committed report or the perf-gate baseline.
+pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, contents)?;
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    // Rename durability needs the directory entry flushed too; best
+    // effort — not all platforms allow opening a directory for sync.
+    if let Some(d) = dir {
+        if let Ok(f) = std::fs::File::open(d) {
+            let _ = f.sync_all();
+        }
+    }
+    Ok(())
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting (see [`MAX_PARSE_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -344,7 +379,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.array_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn array_inner(&mut self) -> Result<Json, ParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -368,6 +418,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
+        self.enter()?;
+        let r = self.object_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn object_inner(&mut self) -> Result<Json, ParseError> {
         self.expect(b'{')?;
         let mut pairs = Vec::new();
         self.skip_ws();
@@ -549,7 +606,7 @@ mod unit {
 
     #[test]
     fn numbers_round_trip() {
-        for v in [0.0, -1.5, 1e-9, 3.141592653589793, 1e300, 123456789.25] {
+        for v in [0.0, -1.5, 1e-9, std::f64::consts::PI, 1e300, 123456789.25] {
             let parsed = parse(&Json::Num(v).to_string()).unwrap();
             assert_eq!(parsed, Json::Num(v), "{v}");
         }
@@ -608,6 +665,46 @@ mod unit {
         assert_eq!(None::<u32>.to_json(), Json::Null);
         let deep = parse(&vec![vec![1u8]].to_json().to_pretty()).unwrap();
         assert_eq!(deep, Json::arr([Json::arr([Json::Int(1)])]));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        // Just inside the limit parses; past it errors; a pathological
+        // 100k-deep bomb errors quickly rather than blowing the stack.
+        let ok = format!("{}1{}", "[".repeat(MAX_PARSE_DEPTH), "]".repeat(MAX_PARSE_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH + 1),
+            "]".repeat(MAX_PARSE_DEPTH + 1)
+        );
+        let e = parse(&over).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err());
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        assert!(parse(&obj_bomb).is_err());
+        // Siblings don't accumulate depth: a long flat array is fine.
+        let flat = format!("[{}1]", "1,".repeat(10_000));
+        assert!(parse(&flat).is_ok());
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("ccdp-json-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        write_atomic(&path, "{\"v\":1}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":1}\n");
+        write_atomic(&path, "{\"v\":2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"v\":2}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

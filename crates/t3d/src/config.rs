@@ -260,7 +260,51 @@ pub struct SimOptions {
     /// equivalence test and debugging sessions can pin them against each
     /// other.
     pub force_treewalk: bool,
+    /// Abort the run once any PE's cycle counter exceeds this many cycles
+    /// ([`SimAbort::BudgetExceeded`]). `None` (the default) = unlimited.
+    /// Makes fuzzed/synthesized programs safe to execute: a runaway loop
+    /// terminates with a structured error instead of spinning forever.
+    pub cycle_budget: Option<u64>,
+    /// Abort the run after this many interpreter steps (loop iterations
+    /// across all PEs and both execution paths). `None` = unlimited.
+    pub step_budget: Option<u64>,
+    /// Cooperative wall-clock watchdog: abort with [`SimAbort::WallTimeout`]
+    /// once `Instant::now()` passes this deadline. Checked every few
+    /// thousand steps so the hot loop stays cheap. Worker threads cannot be
+    /// killed from outside, so this is how the harness bounds a cell's wall
+    /// time. `None` = no deadline.
+    pub wall_deadline: Option<std::time::Instant>,
 }
+
+/// Why a simulation was aborted before completion. Returned by
+/// `Simulator::try_run`; the pipeline surfaces these as
+/// `PipelineError::BudgetExceeded` / `PipelineError::Timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimAbort {
+    /// A cycle or step budget was exhausted. `pe` is the PE whose counter
+    /// tripped the check; `cycles` its counter at that point; `steps` the
+    /// machine-wide interpreter step count.
+    BudgetExceeded { pe: usize, cycles: u64, steps: u64 },
+    /// The cooperative wall-clock deadline passed.
+    WallTimeout { pe: usize, steps: u64 },
+}
+
+impl std::fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimAbort::BudgetExceeded { pe, cycles, steps } => write!(
+                f,
+                "simulation budget exceeded on PE {pe}: {cycles} cycles after {steps} steps"
+            ),
+            SimAbort::WallTimeout { pe, steps } => write!(
+                f,
+                "simulation wall-clock deadline passed on PE {pe} after {steps} steps"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimAbort {}
 
 #[cfg(test)]
 mod unit {

@@ -14,7 +14,7 @@ use ccdp_prefetch::Handling;
 use crate::compiled::{
     compile_loop, AccessKind, CAssign, CompileCtx, CompiledBody, CStmt, SlotSpec, SlotState,
 };
-use crate::config::{MachineConfig, Scheme, SimOptions};
+use crate::config::{MachineConfig, Scheme, SimAbort, SimOptions};
 use crate::faults::FaultEngine;
 use crate::mem::Memory;
 use crate::metrics::{CycleCategory, EpochCycles, EventTrace, MemEvent, TraceEventKind};
@@ -79,6 +79,16 @@ pub struct Simulator<'p> {
     /// Run loops through the reference tree walker instead of the compiled
     /// trace (`SimOptions::force_treewalk` or `CCDP_FORCE_TREEWALK=1`).
     treewalk: bool,
+    /// Interpreter steps executed (loop iterations across all PEs and both
+    /// execution paths). Drives `SimOptions::step_budget` and paces the
+    /// wall-clock deadline check.
+    steps: u64,
+    /// Set once a budget or deadline trips; every execution loop checks it
+    /// and unwinds, so the abort reaches `try_run` in O(program size).
+    abort: Option<SimAbort>,
+    /// Any budget or deadline configured (precomputed so the fault-free,
+    /// budget-free hot path pays one predictable branch per iteration).
+    budgeted: bool,
 }
 
 impl<'p> Simulator<'p> {
@@ -120,6 +130,9 @@ impl<'p> Simulator<'p> {
             (!opts.faults.is_none()).then(|| FaultEngine::new(opts.faults, cfg.n_pes));
         let treewalk = opts.force_treewalk
             || std::env::var("CCDP_FORCE_TREEWALK").is_ok_and(|v| v == "1");
+        let budgeted = opts.cycle_budget.is_some()
+            || opts.step_budget.is_some()
+            || opts.wall_deadline.is_some();
         Simulator {
             program,
             layout,
@@ -147,15 +160,34 @@ impl<'p> Simulator<'p> {
             compiled: HashMap::new(),
             frames: Vec::new(),
             treewalk,
+            steps: 0,
+            abort: None,
+            budgeted,
         }
     }
 
-    /// Run to completion.
-    pub fn run(mut self) -> SimResult {
+    /// Run to completion, panicking if a budget or deadline aborts the run.
+    /// Callers that configure budgets must use [`Simulator::try_run`].
+    pub fn run(self) -> SimResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(a) => panic!("simulation aborted without a budget-aware caller: {a}"),
+        }
+    }
+
+    /// Run to completion, or abort with a structured [`SimAbort`] when a
+    /// cycle/step budget or the wall-clock deadline trips. Both execution
+    /// paths (compiled trace and tree walker) check budgets at every loop
+    /// iteration, so a runaway program terminates promptly; the partially
+    /// simulated state is discarded.
+    pub fn try_run(mut self) -> Result<SimResult, SimAbort> {
         let items = self.program.items.as_slice();
         self.exec_items(items);
+        if let Some(a) = self.abort.take() {
+            return Err(a);
+        }
         let cycles = self.global_now();
-        SimResult {
+        Ok(SimResult {
             scheme: self.scheme.name(),
             cycles,
             per_pe: self.pes.iter().map(|p| p.stats).collect(),
@@ -165,7 +197,55 @@ impl<'p> Simulator<'p> {
             extrapolated: self.extrapolated,
             epochs: self.epochs,
             trace: self.trace,
+        })
+    }
+
+    // -- run budgets -------------------------------------------------------
+
+    /// One interpreter step (a loop iteration on `pe`). Returns `false` —
+    /// and records the abort — once a budget or the deadline is exhausted;
+    /// every execution loop bails out on `false`. With no budgets configured
+    /// this is a counter increment and one predictable branch.
+    #[inline]
+    fn tick(&mut self, pe: usize) -> bool {
+        self.steps += 1;
+        if !self.budgeted {
+            return true;
         }
+        self.tick_slow(pe)
+    }
+
+    #[cold]
+    fn tick_slow(&mut self, pe: usize) -> bool {
+        if self.abort.is_some() {
+            return false;
+        }
+        if let Some(b) = self.opts.cycle_budget {
+            let cycles = self.pes[pe].now;
+            if cycles > b {
+                self.abort =
+                    Some(SimAbort::BudgetExceeded { pe, cycles, steps: self.steps });
+                return false;
+            }
+        }
+        if let Some(b) = self.opts.step_budget {
+            if self.steps > b {
+                let cycles = self.pes[pe].now;
+                self.abort =
+                    Some(SimAbort::BudgetExceeded { pe, cycles, steps: self.steps });
+                return false;
+            }
+        }
+        if let Some(d) = self.opts.wall_deadline {
+            // Sampling the host clock every iteration would dominate the
+            // simulation; every few thousand steps bounds the overshoot to
+            // well under a millisecond.
+            if self.steps.is_multiple_of(4096) && std::time::Instant::now() >= d {
+                self.abort = Some(SimAbort::WallTimeout { pe, steps: self.steps });
+                return false;
+            }
+        }
+        true
     }
 
     // -- cycle accounting --------------------------------------------------
@@ -182,6 +262,17 @@ impl<'p> Simulator<'p> {
         if let Some(slot) = self.cur_epoch {
             self.epochs[slot].per_pe[pe].charge(cat, cycles);
         }
+    }
+
+    /// Charge `a * b` cycles with saturating arithmetic, clamped so the
+    /// PE's counter cannot overflow. Used by the batched loop-entry charges,
+    /// where a runaway synthesized trip count could otherwise wrap `u64`
+    /// before the budget check gets a chance to abort the run. The clamp
+    /// keeps `breakdown.total() == pe.now` exact even at saturation.
+    fn charge_saturating(&mut self, pe: usize, cat: CycleCategory, a: u64, b: u64) {
+        let room = u64::MAX - self.pes[pe].now;
+        let amt = a.saturating_mul(b).min(room);
+        self.charge(pe, cat, amt);
     }
 
     /// Charge the same amount to every PE.
@@ -236,6 +327,9 @@ impl<'p> Simulator<'p> {
 
     fn exec_items(&mut self, items: &'p [ProgramItem]) {
         for item in items {
+            if self.abort.is_some() {
+                return;
+            }
             match item {
                 ProgramItem::Epoch(e) => self.exec_epoch(e),
                 ProgramItem::Call(r) => {
@@ -252,6 +346,9 @@ impl<'p> Simulator<'p> {
         if count <= sample {
             for _ in 0..count {
                 self.exec_items(body);
+                if self.abort.is_some() {
+                    return;
+                }
             }
             return;
         }
@@ -259,6 +356,9 @@ impl<'p> Simulator<'p> {
         marks.push(self.global_now());
         for _ in 0..sample {
             self.exec_items(body);
+            if self.abort.is_some() {
+                return; // partial sample: no extrapolation from aborted runs
+            }
             marks.push(self.global_now());
         }
         // Steady-state per-iteration delta: skip the first (cold caches).
@@ -301,6 +401,9 @@ impl<'p> Simulator<'p> {
     /// per-PE, the DOALL runs as a barrier phase.
     fn exec_wrapper(&mut self, stmts: &'p [Stmt]) {
         for s in stmts {
+            if self.abort.is_some() {
+                return;
+            }
             match s {
                 Stmt::Loop(l) if l.kind.is_doall() => self.exec_doall(l),
                 Stmt::Loop(l) => {
@@ -308,6 +411,9 @@ impl<'p> Simulator<'p> {
                     let hi = l.hi.eval(&self.env);
                     let mut v = lo;
                     while v <= hi {
+                        if !self.tick(0) {
+                            break;
+                        }
                         self.env.set(l.var, v);
                         self.charge_all(CycleCategory::LoopOverhead, self.cfg.loop_overhead);
                         self.exec_wrapper(&l.body);
@@ -353,6 +459,9 @@ impl<'p> Simulator<'p> {
         match l.kind {
             LoopKind::DoAllStatic => {
                 for pe in 0..self.cfg.n_pes {
+                    if self.abort.is_some() {
+                        break;
+                    }
                     let range = match l.align {
                         Some(aid) => ccdp_dist::aligned_range_for_pe(
                             &self.layout,
@@ -371,6 +480,9 @@ impl<'p> Simulator<'p> {
             }
             LoopKind::DoAllDynamic { chunk } => {
                 for c in chunks(lo, hi, l.step, chunk) {
+                    if self.abort.is_some() {
+                        break;
+                    }
                     // Next chunk goes to the earliest-available PE.
                     let pe = (0..self.cfg.n_pes)
                         .min_by_key(|&p| self.pes[p].now)
@@ -403,6 +515,9 @@ impl<'p> Simulator<'p> {
         let Some(body) = cb else {
             let mut v = lo;
             while v <= hi {
+                if !self.tick(pe) {
+                    break;
+                }
                 self.env.set(l.var, v);
                 self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
                 self.charge(pe, CycleCategory::SchedOverhead, per_iter);
@@ -422,14 +537,19 @@ impl<'p> Simulator<'p> {
             // Straight-line private-only body: nothing in the range observes
             // the PE clock, so the whole range's charges collapse into one
             // charge per category up front (see `exec_compiled_loop`).
+            // Saturating products: a runaway trip count must trip the budget
+            // check below, not wrap the arithmetic.
             let t = trip as u64;
-            self.charge(pe, CycleCategory::LoopOverhead, t * self.cfg.loop_overhead);
-            self.charge(pe, CycleCategory::SchedOverhead, t * per_iter);
-            self.charge(pe, CycleCategory::CacheHit, t * b.reads * self.cfg.cache_hit);
-            self.charge(pe, CycleCategory::WriteLocal, t * b.writes * self.cfg.write_local);
-            self.charge(pe, CycleCategory::FpWork, t * b.fp);
+            self.charge_saturating(pe, CycleCategory::LoopOverhead, t, self.cfg.loop_overhead);
+            self.charge_saturating(pe, CycleCategory::SchedOverhead, t, per_iter);
+            self.charge_saturating(pe, CycleCategory::CacheHit, t.saturating_mul(b.reads), self.cfg.cache_hit);
+            self.charge_saturating(pe, CycleCategory::WriteLocal, t.saturating_mul(b.writes), self.cfg.write_local);
+            self.charge_saturating(pe, CycleCategory::FpWork, t, b.fp);
             let mut v = lo;
             while v <= hi {
+                if !self.tick(pe) {
+                    break;
+                }
                 self.env.set(l.var, v);
                 self.exec_cstmts_values_only(pe, body, &frame);
                 for st in frame.iter_mut() {
@@ -440,6 +560,9 @@ impl<'p> Simulator<'p> {
         } else {
             let mut v = lo;
             while v <= hi {
+                if !self.tick(pe) {
+                    break;
+                }
                 self.env.set(l.var, v);
                 self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
                 self.charge(pe, CycleCategory::SchedOverhead, per_iter);
@@ -473,6 +596,9 @@ impl<'p> Simulator<'p> {
 
     fn exec_stmts_on_pe(&mut self, pe: usize, stmts: &'p [Stmt]) {
         for s in stmts {
+            if self.abort.is_some() {
+                return;
+            }
             match s {
                 Stmt::Assign(a) => self.exec_assign(pe, a),
                 Stmt::Loop(l) => self.exec_loop_on_pe(pe, l),
@@ -518,6 +644,9 @@ impl<'p> Simulator<'p> {
         }
         let mut v = lo;
         while v <= hi {
+            if !self.tick(pe) {
+                break;
+            }
             self.env.set(l.var, v);
             self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
             if pipelined {
@@ -602,12 +731,15 @@ impl<'p> Simulator<'p> {
             // values-only sweep still runs every iteration.
             Some(b) if !pipelined => {
                 let t = trip as u64;
-                self.charge(pe, CycleCategory::LoopOverhead, t * self.cfg.loop_overhead);
-                self.charge(pe, CycleCategory::CacheHit, t * b.reads * self.cfg.cache_hit);
-                self.charge(pe, CycleCategory::WriteLocal, t * b.writes * self.cfg.write_local);
-                self.charge(pe, CycleCategory::FpWork, t * b.fp);
+                self.charge_saturating(pe, CycleCategory::LoopOverhead, t, self.cfg.loop_overhead);
+                self.charge_saturating(pe, CycleCategory::CacheHit, t.saturating_mul(b.reads), self.cfg.cache_hit);
+                self.charge_saturating(pe, CycleCategory::WriteLocal, t.saturating_mul(b.writes), self.cfg.write_local);
+                self.charge_saturating(pe, CycleCategory::FpWork, t, b.fp);
                 let mut v = lo;
                 while v <= hi {
+                    if !self.tick(pe) {
+                        break;
+                    }
                     self.env.set(l.var, v);
                     self.exec_cstmts_values_only(pe, body, &frame);
                     for st in frame.iter_mut() {
@@ -619,6 +751,9 @@ impl<'p> Simulator<'p> {
             _ => {
                 let mut v = lo;
                 while v <= hi {
+                    if !self.tick(pe) {
+                        break;
+                    }
                     self.env.set(l.var, v);
                     self.charge(pe, CycleCategory::LoopOverhead, self.cfg.loop_overhead);
                     if pipelined {
@@ -644,6 +779,9 @@ impl<'p> Simulator<'p> {
         frame: &[SlotState],
     ) {
         for s in stmts {
+            if self.abort.is_some() {
+                return;
+            }
             match s {
                 CStmt::Assign(a) => self.exec_cassign(pe, a, slots, frame),
                 CStmt::If { cond, then_branch, else_branch } => {

@@ -203,9 +203,7 @@ mod unit {
 
     #[test]
     fn pe_stats_include_breakdown_and_quality_counters() {
-        let mut s = PeStats::default();
-        s.cache_hits = 5;
-        s.fresh_reads = 3;
+        let mut s = PeStats { cache_hits: 5, fresh_reads: 3, ..Default::default() };
         s.breakdown.charge(CycleCategory::CacheHit, 5);
         let j = s.to_json();
         assert_eq!(j.get("cache_hits").and_then(Json::as_u64), Some(5));

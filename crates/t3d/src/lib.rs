@@ -34,6 +34,12 @@
 //!   only move cycles, never values; a faulted prefetch degrades to a
 //!   coherent demand fetch.
 //!
+//! * **Run budgets** (`SimOptions::cycle_budget` / `step_budget` /
+//!   `wall_deadline`): both execution paths check budgets at every loop
+//!   iteration, and [`Simulator::try_run`] aborts a runaway program with a
+//!   structured [`SimAbort`] instead of looping forever — which is what
+//!   makes fuzzed/synthesized programs safe to execute.
+//!
 //! # Time model
 //!
 //! Each PE owns a cycle counter. DOALL phases advance PEs independently and
@@ -55,7 +61,7 @@ mod pe;
 mod result;
 
 pub use cache::Cache;
-pub use config::{ConfigError, MachineConfig, Scheme, SimOptions};
+pub use config::{ConfigError, MachineConfig, Scheme, SimAbort, SimOptions};
 pub use faults::{FaultPlan, FaultStats};
 pub use interp::Simulator;
 pub use mem::Memory;

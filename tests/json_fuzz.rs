@@ -1,0 +1,48 @@
+//! Fuzz the JSON parser over malformed bytes: every input must come back
+//! as `Ok` or `Err` — never a panic, never a stack overflow. This is the
+//! contract the resilient harness leans on when it replays journal files
+//! that may end in a torn line from a killed process.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255u8, 0..256)) {
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = ccdp_json::parse(s);
+        }
+    }
+
+    #[test]
+    fn mutated_valid_document_never_panics(idx in 0usize..1000, byte in 0u8..=255u8) {
+        let mut bytes =
+            br#"{"k":[1,-2.5e3,"x\n",null,true,{"n":3},[[]]],"m":"A"}"#.to_vec();
+        let i = idx % bytes.len();
+        bytes[i] = byte;
+        if let Ok(s) = std::str::from_utf8(&bytes) {
+            let _ = ccdp_json::parse(s);
+        }
+    }
+
+    #[test]
+    fn truncated_document_errors_cleanly(len in 0usize..46) {
+        // Every strict prefix of this document is incomplete JSON (ASCII
+        // only, so any byte offset is a char boundary).
+        let text = r#"{"k":[1,-2.5e3,"x",null,true,{"n":3}],"m":"y"}"#;
+        let cut = &text[..len.min(text.len() - 1)];
+        prop_assert!(ccdp_json::parse(cut).is_err(), "prefix {cut:?} parsed");
+    }
+
+    #[test]
+    fn nesting_bombs_error_fast(
+        depth in 1usize..4000,
+        opener in prop::sample::select(vec!["[", "{\"k\":"]),
+    ) {
+        // Below MAX_PARSE_DEPTH these fail on the missing closers; above
+        // it, on the depth limit. Either way: an error, not a blown stack.
+        let bomb = opener.repeat(depth);
+        prop_assert!(ccdp_json::parse(&bomb).is_err());
+    }
+}
