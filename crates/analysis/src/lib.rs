@@ -11,6 +11,9 @@
 //!   (consumed by prefetch target analysis, paper Fig. 1).
 //! * **Interprocedural summaries** ([`summary`]): per-routine read/write
 //!   section summaries (SWIM's CALC1..CALC3).
+//! * **Coverage obligations** ([`verify`]): an independent re-derivation of
+//!   what a prefetch plan must protect, consumed by the `ccdp-lint` static
+//!   soundness verifier and cross-checked against [`stale`].
 //!
 //! Everything is conservative in the direction that is safe for coherence:
 //! when in doubt a reference is *potentially stale* (costs a prefetch, never
@@ -21,9 +24,13 @@ pub mod locality;
 pub mod parallelize;
 pub mod stale;
 pub mod summary;
+pub mod verify;
 
 pub use access::{epoch_access_sections, ref_section_for_pe, EpochAccess, PeSections};
 pub use locality::{find_uniform_groups, group_spatial, GroupSpatial, UniformGroup};
 pub use parallelize::{auto_parallelize, LoopDecision, ParallelizeReport};
 pub use stale::{analyze_stale, StaleAnalysis, StaleReason};
 pub use summary::{summarize_routine, RoutineSummary};
+pub use verify::{
+    coverage_obligations, EpochObligations, Obligations, RaceObligation, ReadObligation,
+};

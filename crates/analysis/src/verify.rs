@@ -1,0 +1,398 @@
+//! Coverage obligations for the static soundness verifier (`ccdp-lint`).
+//!
+//! This module re-derives, from first principles, what the emitted prefetch
+//! plan *must* protect: per epoch, the set of shared reads that may observe
+//! foreign-dirty data (with the [`StaleReason`] explaining why), plus any
+//! write-write overlap between PEs inside one parallel phase (a race the
+//! barrier model cannot order).
+//!
+//! The walk deliberately mirrors [`crate::stale::analyze_stale`] — same
+//! schedule order, same two-pass `Repeat` back-edge handling, same
+//! fold-before-classify rule for multi-phase epochs — so the two
+//! implementations can cross-check each other (N-version programming). The
+//! difference is the *output*: instead of a flat per-reference bitmap this
+//! records, per epoch, the obligation each stale read imposes on the plan,
+//! which the lint then discharges against the materialized prefetches.
+
+use ccdp_dist::Layout;
+use ccdp_ir::{
+    find_doall, ArrayId, EpochId, EpochKind, Program, RefAccess, RefId, Sharing, VarId,
+};
+use ccdp_sections::SectionSet;
+
+use crate::access::{epoch_access_sections, ref_is_pe_specific, ref_section_for_pe};
+use crate::stale::StaleReason;
+
+/// One read the plan must handle `Fresh` (with real prefetch coverage) or
+/// `Bypass`.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadObligation {
+    pub rid: RefId,
+    pub array: ArrayId,
+    pub reason: StaleReason,
+}
+
+/// Two PEs may write the same element inside one barrier phase — nothing in
+/// the epoch model orders these writes, so the program is racy regardless of
+/// any prefetch plan.
+#[derive(Clone, Debug)]
+pub struct RaceObligation {
+    pub array: ArrayId,
+    /// The two conflicting write references (may be the same reference
+    /// executed by different PEs).
+    pub writes: (RefId, RefId),
+    /// A witness PE pair whose write sections overlap.
+    pub pes: (usize, usize),
+}
+
+/// Obligations attached to one epoch (the epoch at which the read first
+/// becomes classifiable as stale, i.e. where the prefetch must be issued).
+#[derive(Clone, Debug)]
+pub struct EpochObligations {
+    pub epoch: EpochId,
+    pub label: String,
+    pub reads: Vec<ReadObligation>,
+    pub races: Vec<RaceObligation>,
+}
+
+/// Everything the plan owes the program, per epoch, in schedule order.
+#[derive(Clone, Debug, Default)]
+pub struct Obligations {
+    pub per_epoch: Vec<EpochObligations>,
+    pub n_shared_reads: usize,
+}
+
+impl Obligations {
+    /// All read obligations, sorted by `RefId` (deduplicated by
+    /// construction: staleness is monotone, each read is recorded once).
+    pub fn stale_refs(&self) -> Vec<RefId> {
+        let mut out: Vec<RefId> = self
+            .per_epoch
+            .iter()
+            .flat_map(|e| e.reads.iter().map(|o| o.rid))
+            .collect();
+        out.sort_by_key(|r| r.index());
+        out
+    }
+
+    pub fn reason_of(&self, rid: RefId) -> Option<StaleReason> {
+        self.per_epoch
+            .iter()
+            .flat_map(|e| e.reads.iter())
+            .find(|o| o.rid == rid)
+            .map(|o| o.reason)
+    }
+
+    pub fn n_races(&self) -> usize {
+        self.per_epoch.iter().map(|e| e.races.len()).sum()
+    }
+}
+
+/// Re-derive the plan's coverage obligations. Mirrors `analyze_stale`'s
+/// epoch data-flow; see the module docs for why the duplication is the
+/// point, not an accident.
+pub fn coverage_obligations(program: &Program, layout: &Layout) -> Obligations {
+    let n_pes = layout.n_pes();
+    let n_refs = program.n_refs as usize;
+    let mut classified: Vec<bool> = vec![false; n_refs];
+    let mut out = Obligations::default();
+    let mut epoch_slot: std::collections::HashMap<EpochId, usize> =
+        std::collections::HashMap::new();
+
+    // One PE: no foreign writer exists, nothing is owed (matches
+    // `analyze_stale`'s early return, including the shared-read count).
+    if n_pes == 1 {
+        let mut seen = std::collections::HashSet::new();
+        for e in program.epochs() {
+            if !seen.insert(e.id) {
+                continue;
+            }
+            for cr in ccdp_ir::collect_refs_in_stmts(&e.stmts) {
+                if cr.access == RefAccess::Read
+                    && program.array(cr.r.array).sharing == Sharing::Shared
+                {
+                    out.n_shared_reads += 1;
+                }
+            }
+        }
+        return out;
+    }
+
+    let mut foreign: Vec<Vec<SectionSet>> = program
+        .arrays
+        .iter()
+        .map(|a| vec![SectionSet::bottom(a.rank()); n_pes])
+        .collect();
+
+    let schedule = program.static_schedule();
+    let any_repeat = schedule.iter().any(|s| s.in_repeat);
+    let passes = if any_repeat { 2 } else { 1 };
+
+    for pass in 0..passes {
+        for sched in &schedule {
+            let epoch = sched.epoch;
+            let slot = *epoch_slot.entry(epoch.id).or_insert_with(|| {
+                out.per_epoch.push(EpochObligations {
+                    epoch: epoch.id,
+                    label: epoch.label.clone(),
+                    reads: Vec::new(),
+                    races: Vec::new(),
+                });
+                out.per_epoch.len() - 1
+            });
+            let acc = epoch_access_sections(program, layout, epoch);
+            let multi_phase = epoch.kind == EpochKind::Parallel
+                && find_doall(&epoch.stmts).is_some_and(|(w, _)| !w.is_empty());
+
+            if pass == 0 {
+                out.per_epoch[slot].races = phase_races(program, layout, epoch, &acc);
+            }
+
+            if multi_phase {
+                fold_foreign_writes(program, layout, &acc, &mut foreign);
+            }
+
+            for cr in &acc.refs {
+                if cr.access != RefAccess::Read {
+                    continue;
+                }
+                if program.array(cr.r.array).sharing != Sharing::Shared {
+                    continue;
+                }
+                if pass == 0 {
+                    out.n_shared_reads += 1;
+                }
+                let idx = cr.r.id.index();
+                if classified[idx] {
+                    continue; // staleness is monotone
+                }
+                let pe_specific = ref_is_pe_specific(epoch, cr);
+                #[allow(clippy::needless_range_loop)]
+                for pe in 0..n_pes {
+                    let rs = ref_section_for_pe(program, layout, epoch, cr, pe);
+                    if rs.is_empty() {
+                        continue;
+                    }
+                    if foreign[cr.r.array.index()][pe].intersects(&rs) {
+                        let reason = if !pe_specific {
+                            StaleReason::Conservative
+                        } else if multi_phase {
+                            StaleReason::CrossPhaseSameEpoch
+                        } else {
+                            StaleReason::ForeignWriteEarlierEpoch
+                        };
+                        classified[idx] = true;
+                        out.per_epoch[slot].reads.push(ReadObligation {
+                            rid: cr.r.id,
+                            array: cr.r.array,
+                            reason,
+                        });
+                        break;
+                    }
+                }
+            }
+
+            if !multi_phase {
+                fold_foreign_writes(program, layout, &acc, &mut foreign);
+            }
+        }
+    }
+
+    for e in &mut out.per_epoch {
+        e.reads.sort_by_key(|o| o.rid.index());
+    }
+    out
+}
+
+/// Same fold as `stale::fold_writes`, re-stated here so the verifier stays
+/// self-contained (the cross-validation test pins that both agree).
+fn fold_foreign_writes(
+    program: &Program,
+    layout: &Layout,
+    acc: &crate::access::EpochAccess,
+    foreign: &mut [Vec<SectionSet>],
+) {
+    let n_pes = layout.n_pes();
+    for (ai, per_pe) in acc.writes.iter().enumerate() {
+        if program.arrays[ai].sharing != Sharing::Shared {
+            continue;
+        }
+        if !acc.writes_pe_specific[ai] {
+            let mut all = SectionSet::bottom(program.arrays[ai].rank());
+            for w in per_pe {
+                all.union_with(w);
+            }
+            for f in foreign[ai].iter_mut().take(n_pes) {
+                f.union_with(&all);
+            }
+            continue;
+        }
+        for (q, wq) in per_pe.iter().enumerate().take(n_pes) {
+            if wq.is_empty() {
+                continue;
+            }
+            for (p, f) in foreign[ai].iter_mut().enumerate() {
+                if p != q {
+                    f.union_with(wq);
+                }
+            }
+        }
+    }
+}
+
+/// Write-write overlap between two PEs inside one parallel epoch phase.
+///
+/// Only *exact* write sections participate: the reference must be PE
+/// specific, use no wrapper-loop variable (so its whole-epoch section equals
+/// its per-phase section), and have at most one loop variable per subscript
+/// dimension (multi-variable dimensions are bounding boxes, which would
+/// raise false races). Dynamic DOALLs are excluded for the same reason —
+/// that precision limit is documented at the lint level.
+fn phase_races(
+    program: &Program,
+    layout: &Layout,
+    epoch: &ccdp_ir::Epoch,
+    acc: &crate::access::EpochAccess,
+) -> Vec<RaceObligation> {
+    if epoch.kind != EpochKind::Parallel {
+        return Vec::new();
+    }
+    let n_pes = layout.n_pes();
+    let wrapper_vars: Vec<VarId> = match find_doall(&epoch.stmts) {
+        Some((wrappers, _)) => wrappers.iter().map(|l| l.var).collect(),
+        None => Vec::new(),
+    };
+    let exact: Vec<&ccdp_ir::CollectedRef> = acc
+        .refs
+        .iter()
+        .filter(|cr| {
+            cr.access == RefAccess::Write
+                && program.array(cr.r.array).sharing == Sharing::Shared
+                && ref_is_pe_specific(epoch, cr)
+                && cr.r.index.iter().all(|ix| {
+                    ix.vars().count() <= 1
+                        && !wrapper_vars.iter().any(|w| ix.uses(*w))
+                })
+        })
+        .collect();
+    let mut races = Vec::new();
+    for (i, w1) in exact.iter().enumerate() {
+        let s1: Vec<SectionSet> = (0..n_pes)
+            .map(|pe| ref_section_for_pe(program, layout, epoch, w1, pe))
+            .collect();
+        for w2 in exact.iter().skip(i) {
+            if w1.r.array != w2.r.array {
+                continue;
+            }
+            let mut witness = None;
+            #[allow(clippy::needless_range_loop)]
+            'pairs: for p in 0..n_pes {
+                if s1[p].is_empty() {
+                    continue;
+                }
+                for q in 0..n_pes {
+                    if p == q {
+                        continue;
+                    }
+                    let s2 = ref_section_for_pe(program, layout, epoch, w2, q);
+                    if s1[p].intersects(&s2) {
+                        witness = Some((p, q));
+                        break 'pairs;
+                    }
+                }
+            }
+            if let Some(pes) = witness {
+                races.push(RaceObligation {
+                    array: w1.r.array,
+                    writes: (w1.r.id, w2.r.id),
+                    pes,
+                });
+            }
+        }
+    }
+    races
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::stale::analyze_stale;
+    use ccdp_ir::ProgramBuilder;
+
+    /// The verifier's obligation set must equal the production analysis'
+    /// stale set, reason for reason (the N-version cross-check).
+    #[test]
+    fn obligations_agree_with_stale_analysis() {
+        let n = 16i64;
+        let mut pb = ProgramBuilder::new("x");
+        let a = pb.shared("A", &[16, 16]);
+        let b = pb.shared("B", &[16, 16]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("j", 0, n - 1, |e, j| {
+                e.serial("i", 0, n - 1, |e, i| e.assign(a.at2(i, j), 1.0));
+            });
+        });
+        pb.repeat(2, |rep| {
+            rep.parallel_epoch("r", |e| {
+                e.doall("j", 0, n - 1, |e, j| {
+                    e.serial("i", 0, n - 1, |e, i| {
+                        e.assign(b.at2(i, j), a.at2(j, i).rd() + b.at2(i, j).rd());
+                    });
+                });
+            });
+        });
+        let p = pb.finish().unwrap();
+        for pes in [1usize, 2, 4, 8] {
+            let layout = Layout::new(&p, pes);
+            let stale = analyze_stale(&p, &layout);
+            let ob = coverage_obligations(&p, &layout);
+            assert_eq!(ob.stale_refs(), stale.stale_refs(), "P={pes}");
+            assert_eq!(ob.n_shared_reads, stale.n_shared_reads, "P={pes}");
+            for rid in ob.stale_refs() {
+                assert_eq!(ob.reason_of(rid), stale.stale[rid.index()], "P={pes}");
+            }
+        }
+    }
+
+    /// All PEs writing one element in a DOALL is a phase race.
+    #[test]
+    fn constant_write_in_doall_is_a_race() {
+        let mut pb = ProgramBuilder::new("race");
+        let a = pb.shared("A", &[16]);
+        pb.parallel_epoch("racy", |e| {
+            e.doall("i", 0, 15, |e, _i| {
+                e.assign(a.at1(0), 1.0);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let ob = coverage_obligations(&p, &Layout::new(&p, 4));
+        assert_eq!(ob.n_races(), 1, "{ob:?}");
+        // The same program with per-iteration writes is race-free.
+        let mut pb2 = ProgramBuilder::new("ok");
+        let a2 = pb2.shared("A", &[16]);
+        pb2.parallel_epoch("fine", |e| {
+            e.doall("i", 0, 15, |e, i| {
+                e.assign(a2.at1(i), 1.0);
+            });
+        });
+        let p2 = pb2.finish().unwrap();
+        let ob2 = coverage_obligations(&p2, &Layout::new(&p2, 4));
+        assert_eq!(ob2.n_races(), 0, "{ob2:?}");
+    }
+
+    /// Aligned block-diagonal writes do not alias across PEs even though
+    /// each PE's bounding section is two-dimensional.
+    #[test]
+    fn diagonal_writes_are_not_a_race() {
+        let mut pb = ProgramBuilder::new("diag");
+        let a = pb.shared("A", &[16, 16]);
+        pb.parallel_epoch("d", |e| {
+            e.doall("i", 0, 15, |e, i| {
+                e.assign(a.at2(i, i), 1.0);
+            });
+        });
+        let p = pb.finish().unwrap();
+        let ob = coverage_obligations(&p, &Layout::new(&p, 4));
+        assert_eq!(ob.n_races(), 0, "{ob:?}");
+    }
+}

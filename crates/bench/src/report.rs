@@ -30,7 +30,10 @@ use crate::{BenchKernel, GridTiming, Scale};
 /// and the `perf` section is present only when every cell of the grid was
 /// simulated fresh and succeeded (resumed runs have no comparable
 /// throughput baseline).
-pub const SCHEMA_VERSION: u32 = 4;
+/// v5: the `lint` bin merges a `lint` section — static soundness verdicts
+/// from `ccdp-lint` over the kernel grid and a synthetic-program sweep —
+/// into the same file.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// JSON for one successful cell: the `outcome` marker followed by the
 /// comparison's fields.
@@ -207,7 +210,7 @@ mod unit {
         let pes = [2usize];
         let (grid, timing) = run_grid_timed(&kernels[..2], &pes).expect("coherent grid");
         let j = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, Some(&timing));
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(5));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let ks = j.get("kernels").unwrap().items();
@@ -241,7 +244,7 @@ mod unit {
         assert_eq!(cell0.get("n_pes").and_then(Json::as_u64), Some(2));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(4));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(5));
         // Omitting timing omits the section (ablation callers).
         let j2 = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, None);
         assert!(j2.get("perf").is_none());

@@ -11,7 +11,10 @@
 //! * the CCDP run reports zero stale-read violations;
 //! * every potentially-stale reference ends up `Fresh` or `Bypass`.
 
-use ccdp_ir::{CondB, Program, ProgramBuilder, Var, VExpr};
+use ccdp_ir::{
+    Affine, CondB, PrefetchKind, Program, ProgramBuilder, ProgramItem, RefId, Stmt, Var, VExpr,
+};
+use ccdp_prefetch::{Handling, PrefetchPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -203,6 +206,233 @@ pub fn random_program(seed: u64, cfg: &SynthConfig) -> Program {
     }
 
     pb.finish().expect("synthesized program must validate")
+}
+
+/// One seeded corruption of a compiled (transformed program, plan) pair.
+///
+/// These are the defect classes the static verifier and the dynamic oracle
+/// are cross-validated against: each mutation either silently removes
+/// coherence protection (`FlipHandling`) or removes/invalidates the prefetch
+/// coverage a `Fresh` read depends on (the rest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanMutation {
+    /// A `Fresh`/`Bypass` read demoted to a plain cached read.
+    FlipHandling { rid: RefId, from: Handling },
+    /// A materialized line/vector prefetch statement deleted.
+    DropPrefetchStmt { covers: RefId },
+    /// A pipelined-prefetch loop annotation deleted.
+    DropPipelined { covers: RefId },
+    /// A vector prefetch replaced by a single constant-index line prefetch
+    /// (the transfer shrinks from the whole section to one line).
+    ShrinkVector { covers: RefId },
+    /// A line prefetch's leading subscript shifted off its read's cache
+    /// line.
+    WeakenLine { covers: RefId, shift: i64 },
+}
+
+impl PlanMutation {
+    /// Does this mutation change how the *use* of the read is handled (as
+    /// opposed to only degrading prefetch coverage)? Coverage-only
+    /// mutations are dynamically coherent — `Fresh`/`Bypass` re-fetch at
+    /// use — so they must never perturb simulated numerics, only timing.
+    pub fn changes_handling(&self) -> bool {
+        matches!(self, PlanMutation::FlipHandling { .. })
+    }
+}
+
+impl std::fmt::Display for PlanMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanMutation::FlipHandling { rid, from } => {
+                write!(f, "flip ref #{} from {from:?} to Normal", rid.index())
+            }
+            PlanMutation::DropPrefetchStmt { covers } => {
+                write!(f, "drop prefetch statement covering ref #{}", covers.index())
+            }
+            PlanMutation::DropPipelined { covers } => {
+                write!(f, "drop pipelined prefetch covering ref #{}", covers.index())
+            }
+            PlanMutation::ShrinkVector { covers } => {
+                write!(f, "shrink vector prefetch covering ref #{} to one line", covers.index())
+            }
+            PlanMutation::WeakenLine { covers, shift } => {
+                write!(f, "shift line prefetch covering ref #{} by {shift}", covers.index())
+            }
+        }
+    }
+}
+
+/// Walker state shared by the site-counting and site-applying passes; both
+/// traverse in the same order, so site index `k` always lands on the same
+/// construct.
+struct MutState {
+    target: usize,
+    next: usize,
+    applied: Option<PlanMutation>,
+    array_ranks: Vec<usize>,
+}
+
+impl MutState {
+    fn hit(&mut self) -> bool {
+        let h = self.applied.is_none() && self.next == self.target;
+        self.next += 1;
+        h
+    }
+}
+
+// Shift that moves a word prefetch at least one full line away regardless of
+// which word of the line the read touches (default line is 4 words).
+const WEAKEN_SHIFT: i64 = 8;
+
+fn mutate_stmts(stmts: &mut Vec<Stmt>, st: &mut MutState) {
+    let mut k = 0;
+    while k < stmts.len() {
+        if st.applied.is_some() {
+            return;
+        }
+        let mut remove = false;
+        match &mut stmts[k] {
+            Stmt::Prefetch(pf) => {
+                let covers = match &pf.kind {
+                    PrefetchKind::Line { covers, .. } | PrefetchKind::Vector { covers, .. } => {
+                        *covers
+                    }
+                };
+                if st.hit() {
+                    st.applied = Some(PlanMutation::DropPrefetchStmt { covers });
+                    remove = true;
+                } else if st.hit() {
+                    match &mut pf.kind {
+                        PrefetchKind::Line { index, .. } => {
+                            index[0] = index[0].add_const(WEAKEN_SHIFT);
+                            st.applied =
+                                Some(PlanMutation::WeakenLine { covers, shift: WEAKEN_SHIFT });
+                        }
+                        PrefetchKind::Vector { covers, array, .. } => {
+                            let (c, a) = (*covers, *array);
+                            let rank = st.array_ranks[a.index()];
+                            pf.kind = PrefetchKind::Line {
+                                covers: c,
+                                array: a,
+                                index: vec![Affine::constant(0); rank],
+                            };
+                            st.applied = Some(PlanMutation::ShrinkVector { covers: c });
+                        }
+                    }
+                }
+            }
+            Stmt::Loop(l) => {
+                let mut pi = 0;
+                while pi < l.pipeline.len() {
+                    if st.hit() {
+                        let covers = l.pipeline[pi].covers;
+                        l.pipeline.remove(pi);
+                        st.applied = Some(PlanMutation::DropPipelined { covers });
+                        break;
+                    }
+                    pi += 1;
+                }
+                if st.applied.is_none() {
+                    mutate_stmts(&mut l.body, st);
+                }
+            }
+            Stmt::If(i) => {
+                mutate_stmts(&mut i.then_branch, st);
+                if st.applied.is_none() {
+                    mutate_stmts(&mut i.else_branch, st);
+                }
+            }
+            Stmt::Assign(_) => {}
+        }
+        if remove {
+            stmts.remove(k);
+            return;
+        }
+        k += 1;
+    }
+}
+
+fn mutate_items(items: &mut [ProgramItem], st: &mut MutState) {
+    for item in items {
+        if st.applied.is_some() {
+            return;
+        }
+        match item {
+            ProgramItem::Epoch(e) => mutate_stmts(&mut e.stmts, st),
+            ProgramItem::Repeat { body, .. } => mutate_items(body, st),
+            ProgramItem::Call(_) => {} // routine bodies handled once below
+        }
+    }
+}
+
+fn count_construct_sites(program: &Program) -> usize {
+    // Line and vector prefetch statements contribute two sites (drop +
+    // weaken/shrink), pipelined annotations one.
+    fn stmts(ss: &[Stmt]) -> usize {
+        ss.iter()
+            .map(|s| match s {
+                Stmt::Prefetch(_) => 2,
+                Stmt::Loop(l) => l.pipeline.len() + stmts(&l.body),
+                Stmt::If(i) => stmts(&i.then_branch) + stmts(&i.else_branch),
+                Stmt::Assign(_) => 0,
+            })
+            .sum()
+    }
+    fn items(is: &[ProgramItem]) -> usize {
+        is.iter()
+            .map(|it| match it {
+                ProgramItem::Epoch(e) => stmts(&e.stmts),
+                ProgramItem::Repeat { body, .. } => items(body),
+                ProgramItem::Call(_) => 0,
+            })
+            .sum()
+    }
+    items(&program.items) + program.routines.iter().map(|r| items(&r.items)).sum::<usize>()
+}
+
+/// Seed a single deterministic corruption into a compiled `(transformed,
+/// plan)` pair. Sites are enumerated in a fixed order (handling flips
+/// first, then constructs in program order) and `seed` indexes into them,
+/// so a sweep over seeds exercises every mutable site. Returns `None` only
+/// when the plan protects nothing (no non-`Normal` handling and no
+/// materialized prefetch) — nothing to corrupt.
+pub fn mutate_plan(
+    seed: u64,
+    program: &mut Program,
+    plan: &mut PrefetchPlan,
+) -> Option<PlanMutation> {
+    let flips: Vec<usize> = (0..plan.handling.len())
+        .filter(|&i| plan.handling[i] != Handling::Normal)
+        .collect();
+    let construct_sites = count_construct_sites(program);
+    let total = flips.len() + construct_sites;
+    if total == 0 {
+        return None;
+    }
+    let idx = (seed % total as u64) as usize;
+    if idx < flips.len() {
+        let i = flips[idx];
+        let from = plan.handling[i];
+        plan.handling[i] = Handling::Normal;
+        return Some(PlanMutation::FlipHandling { rid: RefId(i as u32), from });
+    }
+    let mut st = MutState {
+        target: idx - flips.len(),
+        next: 0,
+        applied: None,
+        array_ranks: program.arrays.iter().map(|a| a.rank()).collect(),
+    };
+    mutate_items(&mut program.items, &mut st);
+    if st.applied.is_none() {
+        for r in &mut program.routines {
+            mutate_items(&mut r.items, &mut st);
+            if st.applied.is_some() {
+                break;
+            }
+        }
+    }
+    debug_assert!(st.applied.is_some(), "site count and walk order disagree");
+    st.applied
 }
 
 #[cfg(test)]

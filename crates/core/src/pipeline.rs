@@ -42,6 +42,13 @@ pub enum PipelineError {
     /// A simulation ran past its cooperative wall-clock deadline
     /// (`SimOptions::wall_deadline`).
     Timeout { pe: usize, steps: u64 },
+    /// The static soundness verifier (`ccdp-lint`) proved the compiled plan
+    /// does not discharge every coverage obligation. Only produced when
+    /// [`PipelineConfig::with_verify`] is on; carries the error-severity
+    /// findings. Unlike [`PipelineError::CoherenceViolation`] this fires
+    /// *before* any simulation — the static counterpart of the dynamic
+    /// oracle.
+    Unsound { findings: Vec<ccdp_lint::Finding> },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -68,6 +75,13 @@ impl std::fmt::Display for PipelineError {
                 f,
                 "simulation wall-clock deadline passed on PE {pe} after {steps} steps"
             ),
+            PipelineError::Unsound { findings } => {
+                write!(f, "prefetch plan failed static verification: {} error finding(s)", findings.len())?;
+                if let Some(first) = findings.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -120,6 +134,9 @@ pub struct PipelineConfig {
     pub sim: SimOptions,
     /// Optional custom layout (defaults to block along the last dimension).
     pub layout: Option<Layout>,
+    /// Run the `ccdp-lint` static soundness verifier over every compiled
+    /// plan and fail with [`PipelineError::Unsound`] on any error finding.
+    pub verify: bool,
 }
 
 impl PipelineConfig {
@@ -133,6 +150,7 @@ impl PipelineConfig {
             schedule: ScheduleOptions::default(),
             sim: SimOptions::default(),
             layout: None,
+            verify: false,
         }
     }
 
@@ -170,6 +188,13 @@ impl PipelineConfig {
     /// drives (see `t3d_sim::FaultPlan`).
     pub fn with_faults(mut self, faults: FaultPlan) -> PipelineConfig {
         self.sim.faults = faults;
+        self
+    }
+
+    /// Statically verify every compiled plan with `ccdp-lint` before
+    /// simulating (see [`PipelineError::Unsound`]).
+    pub fn with_verify(mut self, verify: bool) -> PipelineConfig {
+        self.verify = verify;
         self
     }
 
@@ -250,6 +275,19 @@ pub fn run_ccdp(
     check_inputs(program, cfg)?;
     let art = compile_ccdp(program, cfg);
     let layout = cfg.layout_for(program);
+    if cfg.verify {
+        let opt = ccdp_lint::LintOptions::from_schedule(&cfg.schedule);
+        let report = ccdp_lint::verify(&art.transformed, &art.plan, &layout, &opt);
+        if !report.is_sound() {
+            return Err(PipelineError::Unsound {
+                findings: report
+                    .findings
+                    .into_iter()
+                    .filter(|f| f.severity == ccdp_lint::Severity::Error)
+                    .collect(),
+            });
+        }
+    }
     let r = Simulator::new(
         &art.transformed,
         layout,
@@ -450,6 +488,28 @@ mod unit {
         for a in p.arrays.iter() {
             assert_eq!(r.array_values(&p, a.id), seq.array_values(&p, a.id));
         }
+    }
+
+    #[test]
+    fn with_verify_passes_sound_plans_and_rejects_races() {
+        let p = kernel();
+        let cfg = PipelineConfig::t3d(4).with_verify(true);
+        run_ccdp(&p, &cfg).expect("planner output must verify");
+
+        // A constant-subscript write inside a DOALL is a cross-PE race the
+        // verifier flags statically, before any simulation runs.
+        let mut pb = ProgramBuilder::new("racy");
+        let a = pb.shared("A", &[64]);
+        pb.parallel_epoch("w", |e| {
+            e.doall("i", 0, 63, |e, _i| e.assign(a.at1(0), 1.0));
+        });
+        let racy = pb.finish().unwrap();
+        let Err(err) = run_ccdp(&racy, &cfg) else { panic!("race must be rejected") };
+        let PipelineError::Unsound { findings } = &err else {
+            panic!("expected Unsound, got {err}");
+        };
+        assert!(!findings.is_empty());
+        assert!(format!("{err}").contains("static verification"), "{err}");
     }
 
     #[test]

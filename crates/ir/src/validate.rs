@@ -27,6 +27,10 @@ pub enum ValidateError {
     RecursiveRoutine { routine: String },
     EmptyRepeat,
     DuplicateArrayName { name: String },
+    /// A reference (or prefetch) names an `ArrayId` the program never
+    /// declared. Without this check the bad id only surfaces as an
+    /// out-of-bounds panic deep inside `dist::layout`.
+    UnknownArray { id: u32 },
     /// A loop whose step is zero or negative: `while v <= hi` would either
     /// spin forever or run backwards.
     NonPositiveStep { step: i64 },
@@ -69,6 +73,9 @@ impl std::fmt::Display for ValidateError {
             ValidateError::EmptyRepeat => write!(f, "repeat with count 0"),
             ValidateError::DuplicateArrayName { name } => {
                 write!(f, "two arrays named '{name}'")
+            }
+            ValidateError::UnknownArray { id } => {
+                write!(f, "reference to undeclared array id {id}")
             }
             ValidateError::NonPositiveStep { step } => {
                 write!(f, "loop step {step} is not positive")
@@ -253,7 +260,15 @@ fn check_affine_vars(
     Ok(())
 }
 
+fn check_array_id(p: &Program, id: crate::ArrayId) -> Result<(), ValidateError> {
+    if id.0 as usize >= p.arrays.len() {
+        return Err(ValidateError::UnknownArray { id: id.0 });
+    }
+    Ok(())
+}
+
 fn check_ref(p: &Program, e: &Epoch, r: &ArrayRef, bound: &[VarId]) -> Result<(), ValidateError> {
+    check_array_id(p, r.array)?;
     let a = p.array(r.array);
     if a.rank() != r.index.len() {
         return Err(ValidateError::RankMismatch {
@@ -339,6 +354,7 @@ fn check_stmts(
                 }
                 bound.push(l.var);
                 for pf in &l.pipeline {
+                    check_array_id(p, pf.array)?;
                     for ix in &pf.index {
                         check_affine_vars(ix, bound, "pipelined prefetch")?;
                     }
@@ -352,12 +368,13 @@ fn check_stmts(
                 check_stmts(p, e, &i.else_branch, bound)?;
             }
             Stmt::Prefetch(pf) => match &pf.kind {
-                crate::PrefetchKind::Line { index, .. } => {
+                crate::PrefetchKind::Line { array, index, .. } => {
+                    check_array_id(p, *array)?;
                     for ix in index {
                         check_affine_vars(ix, bound, "prefetch")?;
                     }
                 }
-                crate::PrefetchKind::Vector { .. } => {}
+                crate::PrefetchKind::Vector { array, .. } => check_array_id(p, *array)?,
             },
         }
     }
@@ -469,6 +486,42 @@ mod unit {
         ] {
             assert!(!format!("{e}").is_empty());
         }
+    }
+
+    #[test]
+    fn unknown_array_and_duplicate_ref_id_rejected() {
+        let build = || {
+            let mut pb = ProgramBuilder::new("t");
+            let a = pb.shared("A", &[8]);
+            pb.serial_epoch("s", |e| {
+                e.serial("i", 1, 7, |e, i| {
+                    e.assign(a.at1(i), a.at1(i - 1).rd() * 0.5);
+                });
+            });
+            pb.finish().unwrap()
+        };
+        // A transformation pass emitting a stale ArrayId must be caught here,
+        // not as an index panic inside dist::layout.
+        let mut p = build();
+        {
+            let ProgramItem::Epoch(e) = &mut p.items[0] else { panic!("epoch") };
+            let Stmt::Loop(l) = &mut e.stmts[0] else { panic!("loop") };
+            let Stmt::Assign(a) = &mut l.body[0] else { panic!("assign") };
+            a.reads[0].array = crate::ArrayId(7);
+        }
+        assert_eq!(validate(&p), Err(ValidateError::UnknownArray { id: 7 }));
+
+        // Two statements sharing one RefId would alias in every id-indexed
+        // side table (stale analysis, plan handling, simulator counters).
+        let mut p = build();
+        let dup = {
+            let ProgramItem::Epoch(e) = &mut p.items[0] else { panic!("epoch") };
+            let Stmt::Loop(l) = &mut e.stmts[0] else { panic!("loop") };
+            let Stmt::Assign(a) = &mut l.body[0] else { panic!("assign") };
+            a.reads[0].id = a.write.id;
+            a.write.id.0
+        };
+        assert_eq!(validate(&p), Err(ValidateError::DuplicateRefId { id: dup }));
     }
 
     #[test]

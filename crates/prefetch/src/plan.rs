@@ -155,6 +155,22 @@ pub fn plan_with_targets(
     }
     transformed.routines = routines;
 
+    // A follower's coherence rides on its leader's line fill; when every
+    // technique for the leader fell through (Placement::Drop, or a moved-back
+    // prefetch without distance) the leader degraded to Bypass and nothing
+    // fills the shared line — the follower must degrade with it.
+    for (i, d) in ta.decisions.iter().enumerate() {
+        if let TargetDecision::Follower { leader } = d {
+            if handling[leader.index()] == Handling::Bypass
+                && handling[i] == Handling::Fresh
+            {
+                handling[i] = Handling::Bypass;
+                stats.followers -= 1;
+                stats.bypass += 1;
+            }
+        }
+    }
+
     ccdp_ir::validate(&transformed).expect("materialized program must stay valid");
 
     (transformed, PrefetchPlan { handling, technique, stats })
@@ -319,6 +335,35 @@ mod unit {
         let (_, plan) = plan_with_targets(&p, &l, &stale, &ta, &ScheduleOptions::default());
         for f in follower_ids {
             assert_eq!(plan.handling_of(f), Handling::Fresh);
+        }
+    }
+
+    #[test]
+    fn followers_of_dropped_leaders_degrade_to_bypass() {
+        let (p, l) = sample();
+        let stale = ccdp_analysis::analyze_stale(&p, &l);
+        let ta = prefetch_targets(&p, &stale, &TargetOptions::default());
+        let follower_ids: Vec<RefId> = ta
+            .decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d, TargetDecision::Follower { .. }))
+            .map(|(i, _)| RefId(i as u32))
+            .collect();
+        assert!(!follower_ids.is_empty());
+        let sopt = ScheduleOptions {
+            enable_vpg: false,
+            enable_sp: false,
+            enable_mbp: false,
+            ..Default::default()
+        };
+        let (_, plan) = plan_with_targets(&p, &l, &stale, &ta, &sopt);
+        for f in follower_ids {
+            assert_eq!(
+                plan.handling_of(f),
+                Handling::Bypass,
+                "no leader prefetch exists, the follower has no line fill"
+            );
         }
     }
 

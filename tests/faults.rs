@@ -4,11 +4,11 @@
 //! `FaultStats` is consistent (a zero-rate plan injects nothing and leaves
 //! the cycle counts byte-identical to a fault-free run).
 
-use ccdp_bench::synth::{random_program, SynthConfig};
-use ccdp_core::{run_ccdp, run_seq, PipelineConfig};
+use ccdp_bench::synth::{mutate_plan, random_program, SynthConfig};
+use ccdp_core::{compile_ccdp, run_ccdp, run_seq, PipelineConfig};
 use ccdp_kernels::values_equal;
 use proptest::prelude::*;
-use t3d_sim::FaultPlan;
+use t3d_sim::{FaultPlan, MachineConfig, Scheme, SimOptions, Simulator};
 
 /// Arbitrary valid fault plan. The vendored proptest shim has no f64 range
 /// strategies, so rates are drawn from integer tenths/hundredths.
@@ -114,4 +114,57 @@ proptest! {
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.fault_stats(), b.fault_stats());
     }
+}
+
+/// A lost/degraded prefetch is semantically the same event as a dropped
+/// prefetch fault: the `Fresh`/`Bypass` handling re-fetches coherently at
+/// use. So every *coverage-only* plan mutation (dropped statement, dropped
+/// pipeline annotation, shrunk vector, shifted line — everything except a
+/// handling flip) must preserve coherence and the sequential numerics
+/// exactly, only costing cycles.
+#[test]
+fn coverage_only_mutations_preserve_numerics_and_coherence() {
+    let scfg = SynthConfig::default();
+    let n_pes = 4;
+    let mut checked = 0usize;
+    for seed in 0..30u64 {
+        let program = random_program(seed, &scfg);
+        let cfg = PipelineConfig::t3d(n_pes);
+        let seq = run_seq(&program, &cfg).expect("valid config");
+        // Walk mutation sites until one that leaves the handling map alone.
+        for mseed in 0..24u64 {
+            let mut art = compile_ccdp(&program, &cfg);
+            let Some(m) = mutate_plan(mseed, &mut art.transformed, &mut art.plan) else {
+                break;
+            };
+            if m.changes_handling() {
+                continue;
+            }
+            let r = Simulator::new(
+                &art.transformed,
+                cfg.layout_for(&program),
+                MachineConfig::t3d(n_pes),
+                Scheme::Ccdp { plan: art.plan.clone() },
+                SimOptions { oracle_examples: 2, ..Default::default() },
+            )
+            .run();
+            assert!(
+                r.oracle.is_coherent(),
+                "seed {seed} mseed {mseed}: coverage-only `{m}` broke coherence"
+            );
+            for a in &program.arrays {
+                assert!(
+                    values_equal(
+                        &r.array_values(&program, a.id),
+                        &seq.array_values(&program, a.id),
+                    ),
+                    "seed {seed} mseed {mseed}: `{m}` changed array {}",
+                    a.name
+                );
+            }
+            checked += 1;
+            break;
+        }
+    }
+    assert!(checked >= 10, "only {checked} coverage-only mutations exercised");
 }
