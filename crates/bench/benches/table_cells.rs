@@ -4,15 +4,23 @@
 //! `table2` binaries; this tracks that regenerating them stays cheap.
 
 use ccdp_bench::{cell_config, paper_kernels, Scale};
-use ccdp_core::compare;
+use ccdp_core::{compare, Scheme};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+const PAIR: [Scheme; 2] = [Scheme::Base, Scheme::Ccdp];
 
 fn bench_table1_cell(c: &mut Criterion) {
     let kernels = paper_kernels(Scale::Quick);
     let mxm = &kernels[0];
     c.bench_function("table1_cell_mxm_p8", |b| {
-        b.iter(|| black_box(compare(&mxm.program, &cell_config(mxm, 8)).expect("coherent").ccdp_speedup));
+        b.iter(|| {
+            black_box(
+                compare(&mxm.program, &cell_config(mxm, 8), &PAIR)
+                    .expect("coherent")
+                    .speedup(Scheme::Ccdp),
+            )
+        });
     });
 }
 
@@ -22,7 +30,9 @@ fn bench_table2_cell(c: &mut Criterion) {
     c.bench_function("table2_cell_tomcatv_p8", |b| {
         b.iter(|| {
             black_box(
-                compare(&tomcatv.program, &cell_config(tomcatv, 8)).expect("coherent").improvement_pct,
+                compare(&tomcatv.program, &cell_config(tomcatv, 8), &PAIR)
+                    .expect("coherent")
+                    .improvement_pct(),
             )
         });
     });

@@ -11,17 +11,25 @@
 //! fault plans (`--seed N` / `CCDP_SEED` select the decision streams).
 
 use ccdp_bench::{paper_kernels, run_cell_with, seed_from, BenchKernel, Scale};
-use ccdp_core::{
-    compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq, Comparison, PipelineConfig,
-};
+use ccdp_core::{compare, compile_ccdp, PipelineConfig, Scheme, SchemeMatrix};
 use t3d_sim::FaultPlan;
 
 const PES: usize = 8;
 
-/// One ablation cell; a coherence violation in a tweaked configuration is a
-/// real finding, so fail loudly with the evidence.
-fn cell(k: &BenchKernel, tweak: impl FnOnce(&mut PipelineConfig)) -> Comparison {
-    run_cell_with(k, PES, tweak).unwrap_or_else(|e| panic!("{}: {e}", k.name))
+/// One BASE/CCDP ablation cell; a coherence violation in a tweaked
+/// configuration is a real finding, so fail loudly with the evidence.
+fn cell(k: &BenchKernel, tweak: impl FnOnce(&mut PipelineConfig)) -> SchemeMatrix {
+    run_cell_with(k, PES, &[Scheme::Base, Scheme::Ccdp], tweak)
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name))
+}
+
+/// Table 2 metric of a BASE/CCDP cell (both schemes always present).
+fn imp(m: &SchemeMatrix) -> f64 {
+    m.improvement_pct().expect("cell has BASE and CCDP runs")
+}
+
+fn ccdp_cycles(m: &SchemeMatrix) -> u64 {
+    m.cycles(Scheme::Ccdp).expect("cell has a CCDP run")
 }
 
 fn header(title: &str) {
@@ -43,10 +51,10 @@ fn ablation_target(kernels: &[BenchKernel]) {
         println!(
             "{:>8} | {:>10.2} {:>9} {:>9} | {:>10.2} {:>9} {:>9}",
             k.name,
-            on.improvement_pct,
+            imp(&on),
             on.plan_stats.targets,
             on.plan_stats.followers,
-            off.improvement_pct,
+            imp(&off),
             off.plan_stats.targets,
             off.plan_stats.followers,
         );
@@ -74,7 +82,7 @@ fn ablation_sched(kernels: &[BenchKernel]) {
                 cfg.schedule.enable_sp = s;
                 cfg.schedule.enable_mbp = m;
             });
-            row.push(c.improvement_pct);
+            row.push(imp(&c));
         }
         println!(
             "{:>8} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
@@ -99,7 +107,7 @@ fn ablation_queue(kernels: &[BenchKernel]) {
                 cfg.schedule.queue_words = q;
                 cfg.machine.queue_words = q;
             });
-            cells.push(c.ccdp.cycles as f64);
+            cells.push(ccdp_cycles(&c) as f64);
         }
         let base = cells[1]; // q=16 is the T3D default
         print!("{:>8} |", k.name);
@@ -126,33 +134,29 @@ fn ablation_latency(kernels: &[BenchKernel]) {
                 cfg.machine.remote_fill = l;
                 cfg.machine.remote_uncached = l;
             });
-            print!(" {:>8.2}", c.improvement_pct);
+            print!(" {:>8.2}", imp(&c));
         }
         println!();
     }
 }
 
-/// Four-way scheme comparison including the invalidate-only baseline.
+/// Five-way scheme comparison: software schemes against the hardware rivals.
 fn ablation_scheme(kernels: &[BenchKernel]) {
     header("ablation: scheme comparison (speedup over SEQ)");
-    println!(
-        "{:>8} | {:>8} {:>12} {:>8}",
-        "kernel", "BASE", "INV-ONLY", "CCDP"
-    );
+    print!("{:>8} |", "kernel");
+    for s in Scheme::ALL {
+        print!(" {:>8}", s.name());
+    }
+    println!();
     for k in kernels {
         let cfg = ccdp_bench::cell_config(k, PES);
-        let seq = run_seq(&k.program, &cfg).expect("valid config");
-        let base = run_base(&k.program, &cfg).expect("valid config");
-        let inv = run_invalidate_only(&k.program, &cfg).expect("inv-only coherent");
-        let (_, ccdp) = run_ccdp(&k.program, &cfg).expect("ccdp coherent");
-        let s = seq.cycles as f64;
-        println!(
-            "{:>8} | {:>8.2} {:>12.2} {:>8.2}",
-            k.name,
-            s / base.cycles as f64,
-            s / inv.cycles as f64,
-            s / ccdp.cycles as f64
-        );
+        let m = compare(&k.program, &cfg, &Scheme::ALL)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        print!("{:>8} |", k.name);
+        for s in Scheme::ALL {
+            print!(" {:>8.2}", m.speedup(s).expect("scheme ran"));
+        }
+        println!();
     }
 }
 
@@ -177,8 +181,8 @@ fn ablation_clean(kernels: &[BenchKernel]) {
         println!(
             "{:>8} | {:>12.2} {:>12.2} {:>14}",
             k.name,
-            off.improvement_pct,
-            on.improvement_pct,
+            imp(&off),
+            imp(&on),
             art.plan.stats.clean_prefetch
         );
     }
@@ -200,13 +204,18 @@ fn ablation_faults(kernels: &[BenchKernel], seed: u64) {
     }
     println!(" {:>12}", "fallbacks*");
     for k in kernels {
-        let clean = cell(k, |_| {}).ccdp.cycles as f64;
+        let clean = ccdp_cycles(&cell(k, |_| {})) as f64;
         print!("{:>8} |", k.name);
         let mut fallbacks = 0;
         for (_, plan) in &plans {
             let c = cell(k, |cfg| cfg.sim.faults = *plan);
-            print!(" {:>10.4}", c.ccdp.cycles as f64 / clean);
-            fallbacks += c.ccdp.fault_stats().demand_fallbacks;
+            print!(" {:>10.4}", ccdp_cycles(&c) as f64 / clean);
+            fallbacks += c
+                .get(Scheme::Ccdp)
+                .expect("cell has a CCDP run")
+                .result
+                .fault_stats()
+                .demand_fallbacks;
         }
         println!(" {fallbacks:>12}");
     }

@@ -1,9 +1,10 @@
-//! Diagnostic: per-scheme event counts for one kernel at one PE count.
+//! Diagnostic: per-scheme event counts for one kernel at one PE count,
+//! across the full five-way scheme matrix (SEQ + BASE/CCDP/INV/MESI/DRAGON).
 //!
 //! `cargo run -p ccdp-bench --release --bin inspect -- <kernel> <pes>`
 
 use ccdp_bench::{cell_config, paper_kernels, Scale};
-use ccdp_core::{compile_ccdp, run_base, run_ccdp, run_seq};
+use ccdp_core::{compare, compile_ccdp, Scheme};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -37,17 +38,16 @@ fn main() {
         println!("  r{} -> {:?}", rid.0, t);
     }
 
-    let seq = run_seq(&k.program, &cfg).expect("valid config");
-    let base = run_base(&k.program, &cfg).expect("valid config");
-    let (_, ccdp) = run_ccdp(&k.program, &cfg).unwrap_or_else(|e| {
+    let m = compare(&k.program, &cfg, &Scheme::ALL).unwrap_or_else(|e| {
         eprintln!("pipeline failed: {e}");
         std::process::exit(1);
     });
-    for r in [&seq, &base, &ccdp] {
+    for r in std::iter::once(&m.seq).chain(m.runs.iter().map(|run| &run.result)) {
         let t = r.total_stats();
         println!(
-            "{:>5}: cycles {:>14}  hits {:>11}  fills l/r {:>9}/{:>9}  refresh {:>9} \
-             unc {:>10} byp {:>8} pf l/v {:>8}/{:>6} drop {} late {} stallcyc {} barrier {}",
+            "{:>6}: cycles {:>14}  hits {:>11}  fills l/r {:>9}/{:>9}  refresh {:>9} \
+             unc {:>10} byp {:>8} bus {:>9} pf l/v {:>8}/{:>6} drop {} late {} stallcyc {} \
+             barrier {}",
             r.scheme,
             r.cycles,
             t.cache_hits,
@@ -56,6 +56,7 @@ fn main() {
             t.refresh_fills,
             t.uncached_reads,
             t.bypass_reads,
+            t.bus_txns,
             t.line_prefetches_issued,
             t.vector_prefetches_issued,
             t.line_prefetches_dropped,
@@ -64,13 +65,16 @@ fn main() {
             t.barrier_wait_cycles,
         );
     }
+    print!("speedups over SEQ:");
+    for s in Scheme::ALL {
+        print!(" {} {:.2}", s.name(), m.speedup(s).expect("scheme ran"));
+    }
     println!(
-        "speedups: base {:.2} ccdp {:.2}; improvement {:.2}%",
-        seq.cycles as f64 / base.cycles as f64,
-        seq.cycles as f64 / ccdp.cycles as f64,
-        100.0 * (base.cycles as f64 - ccdp.cycles as f64) / base.cycles as f64
+        "; CCDP improvement over BASE {:.2}%",
+        m.improvement_pct().expect("both schemes ran")
     );
 
+    let ccdp = &m.get(Scheme::Ccdp).expect("matrix includes CCDP").result;
     println!("\nCCDP cycle breakdown (PE 0):");
     for (cat, cycles) in ccdp.per_pe[0].breakdown.iter() {
         if cycles > 0 {

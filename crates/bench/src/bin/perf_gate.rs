@@ -19,7 +19,7 @@
 //! exactly what is missing.
 
 use ccdp_bench::report::SCHEMA_VERSION;
-use ccdp_bench::{paper_kernels, run_grid_timed, Scale, PAPER_PES};
+use ccdp_bench::{paper_kernels, run_grid_timed, Scale, GRID_SCHEMES, PAPER_PES};
 
 const BASELINE: &str = "BENCH_ccdp.json";
 const DEFAULT_FACTOR: f64 = 1.25;
@@ -33,12 +33,13 @@ fn main() {
         }),
     };
     let baseline = committed_wall_seconds();
+    report_baseline_scheme_cycles();
     let kernels = paper_kernels(Scale::Quick);
     // Best of two: the first run also warms the file cache / frequency
     // governor, which is exactly the noise the gate must not alarm on.
     let mut best = f64::INFINITY;
     for _ in 0..2 {
-        let (_, timing) = run_grid_timed(&kernels, &PAPER_PES).unwrap_or_else(|e| {
+        let (_, timing) = run_grid_timed(&kernels, &PAPER_PES, &GRID_SCHEMES).unwrap_or_else(|e| {
             eprintln!("PERF GATE: pipeline failed: {e}");
             std::process::exit(1);
         });
@@ -101,4 +102,34 @@ fn committed_wall_seconds() -> Option<f64> {
     }
     let wall = doc.get("perf")?.get("wall_seconds")?.as_f64()?;
     (wall > 0.0).then_some(wall)
+}
+
+/// Schema-v6 baselines break the perf cells down per scheme; surface the
+/// per-scheme simulated-cycle totals so a regression can be localized to
+/// one backend without rerunning anything.
+fn report_baseline_scheme_cycles() {
+    let Some(doc) =
+        std::fs::read_to_string(BASELINE).ok().and_then(|t| ccdp_json::parse(&t).ok())
+    else {
+        return;
+    };
+    let Some(cells) = doc.get("perf").and_then(|p| p.get("cells")) else { return };
+    let Some(schemes) = doc.get("schemes") else { return };
+    let mut line = String::from("PERF GATE: baseline simulated cycles by scheme:");
+    let mut any = false;
+    for s in schemes.items() {
+        let Some(key) = s.as_str() else { continue };
+        let total: u64 = cells
+            .items()
+            .iter()
+            .filter_map(|c| c.get("sim_cycles_by_scheme")?.get(key)?.as_u64())
+            .sum();
+        if total > 0 {
+            line.push_str(&format!(" {key}={total}"));
+            any = true;
+        }
+    }
+    if any {
+        eprintln!("{line}");
+    }
 }

@@ -28,7 +28,7 @@ use std::time::Duration;
 use ccdp_bench::journal::{header_line, run_journaled_grid, GRID_JOURNAL};
 use ccdp_bench::report::report_json_cells;
 use ccdp_bench::resilience::GridOptions;
-use ccdp_bench::{flag_value, has_flag, paper_kernels, seed_from, Scale, PAPER_PES};
+use ccdp_bench::{flag_value, has_flag, paper_kernels, seed_from, Scale, GRID_SCHEMES, PAPER_PES};
 
 const OUT: &str = "BENCH_ccdp.json";
 
@@ -66,12 +66,20 @@ fn main() {
         if resume { " [resume]" } else { "" }
     );
     let kernels = paper_kernels(scale);
-    let header = header_line("report", scale, seed, &PAPER_PES, &opts);
-    let run = run_journaled_grid(&kernels, &PAPER_PES, &opts, &journal_path, &header, resume)
-        .unwrap_or_else(|e| {
-            eprintln!("cannot journal to {}: {e}", journal_path.display());
-            std::process::exit(1);
-        });
+    let header = header_line("report", scale, seed, &PAPER_PES, &GRID_SCHEMES, &opts);
+    let run = run_journaled_grid(
+        &kernels,
+        &PAPER_PES,
+        &GRID_SCHEMES,
+        &opts,
+        &journal_path,
+        &header,
+        resume,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot journal to {}: {e}", journal_path.display());
+        std::process::exit(1);
+    });
     if run.reused > 0 {
         eprintln!("resumed {} journaled cell(s) from {}", run.reused, journal_path.display());
     }
@@ -85,8 +93,15 @@ fn main() {
         None => eprintln!("grid finished (no perf baseline: resumed or failing run)"),
     }
     let names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
-    let doc =
-        report_json_cells(scale, seed, &PAPER_PES, &names, &run.cells, run.timing.as_ref());
+    let doc = report_json_cells(
+        scale,
+        seed,
+        &PAPER_PES,
+        &GRID_SCHEMES,
+        &names,
+        &run.cells,
+        run.timing.as_ref(),
+    );
     ccdp_json::write_atomic(std::path::Path::new(OUT), &doc.to_pretty()).unwrap_or_else(|e| {
         eprintln!("cannot write {OUT}: {e}");
         std::process::exit(1);

@@ -30,6 +30,7 @@ use ccdp_bench::stress::{
     StressError,
 };
 use ccdp_bench::{flag_value, has_flag, paper_kernels, pooled, seed_from, Scale};
+use ccdp_core::Scheme;
 use ccdp_json::{Json, ToJson};
 
 const OUT: &str = "BENCH_ccdp.json";
@@ -82,7 +83,9 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
 
-    let header = header_line("stress", scale, seed, &pes, &opts);
+    // The sweep drives the CCDP fault curve plus the hardware smoke cells.
+    let stressed = [Scheme::Ccdp, Scheme::Mesi, Scheme::Dragon];
+    let header = header_line("stress", scale, seed, &pes, &stressed, &opts);
     let (journal, entries) = if resume {
         Journal::resume(&journal_path, &header)
     } else {
@@ -171,8 +174,8 @@ fn print_curve(seed: u64, cells: &[Json]) {
         "\n=== stress: degradation curve (slowdown vs fault-free; seed {seed}) ==="
     );
     println!(
-        "{:>8} {:>5} | {:>10} {:>10} {:>12} {:>10}",
-        "kernel", "P", "plan", "slowdown", "fallbacks", "dropped"
+        "{:>8} {:>7} {:>5} | {:>10} {:>10} {:>12} {:>10}",
+        "kernel", "scheme", "P", "plan", "slowdown", "fallbacks", "dropped"
     );
     for c in cells {
         let get_str = |k: &str| c.get(k).and_then(Json::as_str).unwrap_or("?").to_string();
@@ -181,8 +184,9 @@ fn print_curve(seed: u64, cells: &[Json]) {
             faults.and_then(|f| f.get(k)).and_then(Json::as_u64).unwrap_or(0)
         };
         println!(
-            "{:>8} {:>5} | {:>10} {:>10.4} {:>12} {:>10}",
+            "{:>8} {:>7} {:>5} | {:>10} {:>10.4} {:>12} {:>10}",
             get_str("kernel"),
+            get_str("scheme"),
             c.get("n_pes").and_then(Json::as_u64).unwrap_or(0),
             get_str("plan"),
             c.get("slowdown").and_then(Json::as_f64).unwrap_or(0.0),

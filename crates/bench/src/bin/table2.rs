@@ -6,7 +6,7 @@
 //! ```
 
 use ccdp_bench::{paper_kernels, run_grid, Scale, PAPER_PES};
-use ccdp_core::{format_improvement_table, ComparisonRow};
+use ccdp_core::{format_improvement_table, MatrixRow, Scheme};
 
 fn main() {
     let scale = Scale::from_env().unwrap_or_else(|e| {
@@ -15,14 +15,15 @@ fn main() {
     });
     eprintln!("running Table 2 grid at {scale:?} scale ...");
     let kernels = paper_kernels(scale);
-    let grid = run_grid(&kernels, &PAPER_PES).unwrap_or_else(|e| {
+    // Table 2 only needs the BASE/CCDP pair; skip the hardware schemes.
+    let grid = run_grid(&kernels, &PAPER_PES, &[Scheme::Base, Scheme::Ccdp]).unwrap_or_else(|e| {
         eprintln!("pipeline failed: {e}");
         std::process::exit(1);
     });
-    let rows: Vec<ComparisonRow> = kernels
+    let rows: Vec<MatrixRow> = kernels
         .iter()
         .zip(&grid)
-        .map(|(k, comps)| ComparisonRow { kernel: k.name, comparisons: comps })
+        .map(|(k, matrices)| MatrixRow { kernel: k.name, matrices })
         .collect();
     println!("{}", format_improvement_table(&rows));
 

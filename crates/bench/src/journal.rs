@@ -32,6 +32,7 @@ use std::io::Write as _;
 use std::path::Path;
 use std::sync::Mutex;
 
+use ccdp_core::Scheme;
 use ccdp_json::{Json, ToJson};
 
 use crate::report::cell_json;
@@ -50,6 +51,7 @@ pub fn header_line(
     scale: Scale,
     seed: u64,
     pes: &[usize],
+    schemes: &[Scheme],
     opts: &GridOptions,
 ) -> String {
     Json::obj([
@@ -59,6 +61,7 @@ pub fn header_line(
         ("scale", scale.name().to_json()),
         ("seed", seed.to_json()),
         ("pe_counts", pes.to_json()),
+        ("schemes", Json::arr(schemes.iter().map(|s| s.key().to_json()))),
         (
             "cycle_budget",
             opts.cycle_budget.map_or(Json::Null, |b| b.to_json()),
@@ -202,6 +205,7 @@ pub struct JournaledGrid {
 pub fn run_journaled_grid(
     kernels: &[BenchKernel],
     pes: &[usize],
+    schemes: &[Scheme],
     opts: &GridOptions,
     journal_path: &Path,
     header: &str,
@@ -227,7 +231,7 @@ pub fn run_journaled_grid(
     let reused = kernels.len() * pes.len() - todo.len();
 
     let append_errors = Mutex::new(Vec::<std::io::Error>::new());
-    let grid = run_grid_isolated(kernels, pes, &todo, opts, |cell| {
+    let grid = run_grid_isolated(kernels, pes, schemes, &todo, opts, |cell| {
         if checkpointable(&cell.outcome) {
             let data = cell_json(&cell.outcome);
             if let Err(e) = journal.append(cell.kernel, cell.n_pes, &data) {
@@ -281,7 +285,7 @@ mod unit {
         let dir = std::env::temp_dir().join(format!("ccdp-journal-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("j.jsonl");
-        let h1 = header_line("report", Scale::Quick, 1, &[2, 4], &GridOptions::default());
+        let h1 = header_line("report", Scale::Quick, 1, &[2, 4], &crate::GRID_SCHEMES, &GridOptions::default());
         let j = Journal::create(&path, &h1).unwrap();
         j.append("MXM", 2, &Json::obj([("outcome", "ok".to_json())])).unwrap();
         drop(j);
@@ -291,7 +295,7 @@ mod unit {
         assert_eq!(entries[0].kernel, "MXM");
         assert_eq!(entries[0].n_pes, 2);
         // Different seed: fresh start.
-        let h2 = header_line("report", Scale::Quick, 2, &[2, 4], &GridOptions::default());
+        let h2 = header_line("report", Scale::Quick, 2, &[2, 4], &crate::GRID_SCHEMES, &GridOptions::default());
         let (_j, entries) = Journal::resume(&path, &h2).unwrap();
         assert!(entries.is_empty(), "fingerprint drift must discard the journal");
         fs::remove_dir_all(&dir).ok();
@@ -302,7 +306,7 @@ mod unit {
         let dir = std::env::temp_dir().join(format!("ccdp-torn-{}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("j.jsonl");
-        let h = header_line("report", Scale::Quick, 7, &[2], &GridOptions::default());
+        let h = header_line("report", Scale::Quick, 7, &[2], &crate::GRID_SCHEMES, &GridOptions::default());
         let j = Journal::create(&path, &h).unwrap();
         j.append("MXM", 2, &Json::obj([("outcome", "ok".to_json())])).unwrap();
         j.append("VPENTA", 2, &Json::obj([("outcome", "ok".to_json())])).unwrap();
@@ -327,15 +331,19 @@ mod unit {
             faults: Some(t3d_sim::FaultPlan::none().with_seed(3).with_drop_rate(0.1)),
             ..Default::default()
         };
-        let h1 = header_line("report", Scale::Quick, 0, &[2], &base);
-        let h2 = header_line("report", Scale::Quick, 0, &[2], &faulted);
+        let h1 = header_line("report", Scale::Quick, 0, &[2], &crate::GRID_SCHEMES, &base);
+        let h2 = header_line("report", Scale::Quick, 0, &[2], &crate::GRID_SCHEMES, &faulted);
         assert_ne!(h1, h2, "fault plans must participate in the fingerprint");
         // The wall-clock timeout must NOT (it never changes results).
         let timed = GridOptions {
             cell_timeout: Some(std::time::Duration::from_secs(5)),
             ..Default::default()
         };
-        let h3 = header_line("report", Scale::Quick, 0, &[2], &timed);
+        let h3 = header_line("report", Scale::Quick, 0, &[2], &crate::GRID_SCHEMES, &timed);
         assert_eq!(h1, h3);
+        // A different scheme list is a different run configuration.
+        let two = [ccdp_core::Scheme::Base, ccdp_core::Scheme::Ccdp];
+        let h4 = header_line("report", Scale::Quick, 0, &[2], &two, &base);
+        assert_ne!(h1, h4, "scheme lists must participate in the fingerprint");
     }
 }

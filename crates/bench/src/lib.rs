@@ -1,15 +1,20 @@
 //! Benchmark harness: regenerates the paper's Tables 1 and 2 and the
 //! ablation studies.
 //!
-//! The paper's evaluation grid is 4 kernels × 7 PE counts × {BASE, CCDP}
-//! (plus one sequential run per kernel as the speedup denominator). Each
-//! cell is an independent simulation, so the driver fans the grid out over
-//! host threads.
+//! The evaluation grid is 4 kernels × 7 PE counts × [`GRID_SCHEMES`]
+//! (BASE, CCDP, and the hardware-coherence rivals MESI and Dragon), plus
+//! one sequential run per kernel as the speedup denominator. Each cell is
+//! an independent simulation, so the driver fans the grid out over host
+//! threads.
 //!
 //! Scaling: `Scale::Paper` uses the paper's full problem sizes
 //! (MXM 256×128×64, VPENTA 720², TOMCATV/SWIM 513²×100 iterations with
 //! steady-state extrapolation after 3 sampled iterations); `Scale::Quick`
 //! runs ~1/4-linear-size instances for CI-speed shape checks.
+//!
+//! Environment knobs (`CCDP_SCALE`, `CCDP_SEED`, `CCDP_FORCE_TREEWALK`)
+//! are parsed through [`ccdp_core::EnvOverrides`] — the single parsing
+//! point — never ad hoc here.
 
 pub mod journal;
 pub mod report;
@@ -17,13 +22,22 @@ pub mod resilience;
 pub mod stress;
 pub mod synth;
 
-use ccdp_core::{compare, compare_with_seq, run_seq, Comparison, PipelineConfig, PipelineError};
+use ccdp_core::{
+    compare, compare_with_seq, run_seq, EnvOverrides, PipelineConfig, PipelineError,
+    ScalePreset, Scheme, SchemeMatrix,
+};
 use ccdp_ir::Program;
 use ccdp_kernels::{mxm, swim, tomcatv, vpenta};
-use t3d_sim::SimOptions;
+use t3d_sim::{ConfigError, SimOptions};
 
 /// The PE counts of the paper's tables.
 pub const PAPER_PES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// The schemes of the headline comparison grid: the paper's pair plus the
+/// hardware-coherence rivals. (`Scheme::InvalidateOnly` stays available via
+/// the ablations' five-way study.)
+pub const GRID_SCHEMES: [Scheme; 4] =
+    [Scheme::Base, Scheme::Ccdp, Scheme::Mesi, Scheme::Dragon];
 
 /// Problem-size selection.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -34,41 +48,19 @@ pub enum Scale {
     Quick,
 }
 
-/// `CCDP_SCALE` held something other than "quick" or "paper".
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScaleError {
-    pub value: String,
-}
-
-impl std::fmt::Display for ScaleError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "unrecognized CCDP_SCALE value {:?} (expected \"quick\" or \"paper\")",
-            self.value
-        )
-    }
-}
-
-impl std::error::Error for ScaleError {}
-
 impl Scale {
-    /// Parse from the `CCDP_SCALE` env var: unset defaults to quick;
-    /// `"quick"` and `"paper"` select explicitly; anything else is an error
-    /// (a typo must not silently downgrade a paper-scale run).
-    pub fn from_env() -> Result<Scale, ScaleError> {
-        match std::env::var("CCDP_SCALE") {
-            Err(_) => Ok(Scale::Quick),
-            Ok(v) => Scale::parse(&v),
-        }
+    /// The scale selected by `CCDP_SCALE`, via the pipeline's single env
+    /// parsing point ([`EnvOverrides::from_env`]): unset defaults to quick,
+    /// a typo is a structured error rather than a silent downgrade.
+    pub fn from_env() -> Result<Scale, PipelineError> {
+        Ok(Scale::from_preset(EnvOverrides::from_env()?.scale))
     }
 
-    /// Parse a scale name.
-    pub fn parse(v: &str) -> Result<Scale, ScaleError> {
-        match v {
-            "quick" | "" => Ok(Scale::Quick),
-            "paper" => Ok(Scale::Paper),
-            other => Err(ScaleError { value: other.to_string() }),
+    /// The harness scale for a validated preset.
+    pub fn from_preset(p: ScalePreset) -> Scale {
+        match p {
+            ScalePreset::Quick => Scale::Quick,
+            ScalePreset::Paper => Scale::Paper,
         }
     }
 
@@ -80,39 +72,38 @@ impl Scale {
     }
 }
 
-/// `--seed` / `CCDP_SEED` held something that is not a u64.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SeedError {
-    pub value: String,
-}
-
-impl std::fmt::Display for SeedError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "unparseable seed {:?} (expected a u64)", self.value)
-    }
-}
-
-impl std::error::Error for SeedError {}
-
 /// Decision-stream seed for fault-injecting runs: `--seed N` (or
-/// `--seed=N`) in `args`, else the `CCDP_SEED` env var, else 0. The chosen
-/// seed is recorded in every JSON report so a run can be reproduced.
-pub fn seed_from(args: &[String]) -> Result<u64, SeedError> {
-    let parse = |v: &str| v.parse::<u64>().map_err(|_| SeedError { value: v.to_string() });
+/// `--seed=N`) in `args`, else the `CCDP_SEED` env var (parsed through
+/// [`EnvOverrides`]), else 0. The chosen seed is recorded in every JSON
+/// report so a run can be reproduced. Malformed values are structured
+/// [`PipelineError::InvalidConfig`] errors naming the source and value.
+pub fn seed_from(args: &[String]) -> Result<u64, PipelineError> {
+    let parse = |v: &str| {
+        v.parse::<u64>().map_err(|_| {
+            PipelineError::InvalidConfig(ConfigError::BadEnv {
+                var: "--seed",
+                value: v.to_string(),
+                need: "expected a u64",
+            })
+        })
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--seed" {
-            let v = it.next().ok_or_else(|| SeedError { value: "<missing>".into() })?;
+            let v = it.next().ok_or_else(|| {
+                PipelineError::InvalidConfig(ConfigError::BadEnv {
+                    var: "--seed",
+                    value: "<missing>".to_string(),
+                    need: "expected a u64",
+                })
+            })?;
             return parse(v);
         }
         if let Some(v) = a.strip_prefix("--seed=") {
             return parse(v);
         }
     }
-    match std::env::var("CCDP_SEED") {
-        Ok(v) => parse(&v),
-        Err(_) => Ok(0),
-    }
+    Ok(EnvOverrides::from_env()?.seed.unwrap_or(0))
 }
 
 /// Presence of a bare `--name` flag in `args`.
@@ -191,14 +182,21 @@ pub fn paper_kernels(scale: Scale) -> Vec<BenchKernel> {
 }
 
 /// Pipeline configuration for one cell of the table: the kernel's layout
-/// and repeat-sampling on top of T3D defaults. This is the single entry
-/// point for cell configs; ablations start from it and apply a tweak.
+/// and repeat-sampling on top of T3D defaults, with the environment
+/// overrides applied. This is the single entry point for cell configs;
+/// ablations start from it and apply a tweak.
 pub fn cell_config(k: &BenchKernel, n_pes: usize) -> PipelineConfig {
     let mut cfg = PipelineConfig::t3d(n_pes).with_sim(SimOptions {
         repeat_sample: k.repeat_sample,
         oracle_examples: 4,
         ..Default::default()
     });
+    // Malformed env values were already rejected at bin startup
+    // (`Scale::from_env` / `seed_from` validate the whole environment), so
+    // a parse failure here can only repeat an error the caller has seen.
+    if let Ok(env) = EnvOverrides::from_env() {
+        env.apply(&mut cfg);
+    }
     if let Some(f) = k.layout {
         cfg = cfg.with_layout(f(&k.program, n_pes));
     }
@@ -210,11 +208,12 @@ pub fn cell_config(k: &BenchKernel, n_pes: usize) -> PipelineConfig {
 pub fn run_cell_with(
     k: &BenchKernel,
     n_pes: usize,
+    schemes: &[Scheme],
     tweak: impl FnOnce(&mut PipelineConfig),
-) -> Result<Comparison, PipelineError> {
+) -> Result<SchemeMatrix, PipelineError> {
     let mut cfg = cell_config(k, n_pes);
     tweak(&mut cfg);
-    compare(&k.program, &cfg)
+    compare(&k.program, &cfg, schemes)
 }
 
 /// Host-side wall-clock observations of one grid run: *host* throughput
@@ -252,12 +251,27 @@ impl GridTiming {
 }
 
 /// Wall time and simulated work of one simulation bundle.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct CellTiming {
     pub wall_seconds: f64,
-    /// Simulated cycles the bundle produced (BASE + CCDP for a grid cell;
-    /// the run's own cycles for a `seq` entry).
+    /// Simulated cycles the bundle produced (summed over every scheme run
+    /// for a grid cell; the run's own cycles for a `seq` entry).
     pub sim_cycles: u64,
+    /// Per-scheme breakdown of `sim_cycles`, keyed by [`Scheme::key`]
+    /// (empty for `seq` entries). Feeds the `perf` section's per-scheme
+    /// rows (schema v6).
+    pub scheme_cycles: Vec<(&'static str, u64)>,
+}
+
+impl CellTiming {
+    /// Timing of one grid cell from its completed matrix.
+    pub fn from_matrix(wall_seconds: f64, m: &SchemeMatrix) -> CellTiming {
+        CellTiming {
+            wall_seconds,
+            sim_cycles: m.runs.iter().map(|r| r.result.cycles).sum(),
+            scheme_cycles: m.runs.iter().map(|r| (r.scheme.key(), r.result.cycles)).collect(),
+        }
+    }
 }
 
 /// Run `n_jobs` jobs on a bounded worker pool, preserving job order in the
@@ -289,25 +303,29 @@ pub fn pooled<T: Send>(
         .collect()
 }
 
-/// Run the full grid: for each kernel, one [`Comparison`] per PE count.
-/// Cells run on a worker pool bounded by the host's available parallelism;
-/// the first coherence violation anywhere in the grid fails the whole run.
+/// Run the full grid: for each kernel, one [`SchemeMatrix`] per PE count
+/// covering `schemes`. Cells run on a worker pool bounded by the host's
+/// available parallelism; the first coherence violation anywhere in the
+/// grid fails the whole run.
 pub fn run_grid(
     kernels: &[BenchKernel],
     pes: &[usize],
-) -> Result<Vec<Vec<Comparison>>, PipelineError> {
-    run_grid_timed(kernels, pes).map(|(grid, _)| grid)
+    schemes: &[Scheme],
+) -> Result<Vec<Vec<SchemeMatrix>>, PipelineError> {
+    run_grid_timed(kernels, pes, schemes).map(|(grid, _)| grid)
 }
 
 /// [`run_grid`] plus host-side timing of every cell. The sequential
 /// denominator of each kernel is simulated once and reused across its PE
 /// cells (it does not depend on the PE count; see
-/// [`ccdp_core::compare_with_seq`]), so the grid does kernels×(pes + 1)
-/// simulations instead of kernels×pes×2 + kernels×pes.
+/// [`ccdp_core::compare_with_seq`]), so the grid does
+/// kernels×(pes×schemes + 1) simulations instead of
+/// kernels×pes×(schemes + 1).
 pub fn run_grid_timed(
     kernels: &[BenchKernel],
     pes: &[usize],
-) -> Result<(Vec<Vec<Comparison>>, GridTiming), PipelineError> {
+    schemes: &[Scheme],
+) -> Result<(Vec<Vec<SchemeMatrix>>, GridTiming), PipelineError> {
     use std::time::Instant;
 
     let t0 = Instant::now();
@@ -336,19 +354,24 @@ pub fn run_grid_timed(
     let mut seq_timing = Vec::with_capacity(kernels.len());
     for (r, secs) in seq_runs {
         let r = r?;
-        seq_timing.push(CellTiming { wall_seconds: secs, sim_cycles: r.cycles });
+        seq_timing.push(CellTiming {
+            wall_seconds: secs,
+            sim_cycles: r.cycles,
+            scheme_cycles: Vec::new(),
+        });
         seqs.push(r);
     }
 
-    // Stage 2: the BASE/CCDP cells, reusing the kernel's sequential run.
+    // Stage 2: the scheme cells, reusing the kernel's sequential run.
     let cell_runs = pooled(n_cells, threads, |i| {
         let (ki, pi) = (i / pes.len(), i % pes.len());
         let k = &kernels[ki];
         let t = Instant::now();
-        let r = compare_with_seq(&k.program, &cell_config(k, pes[pi]), seqs[ki].clone());
+        let r =
+            compare_with_seq(&k.program, &cell_config(k, pes[pi]), seqs[ki].clone(), schemes);
         (r, t.elapsed().as_secs_f64())
     });
-    let mut grid: Vec<Vec<Comparison>> = Vec::with_capacity(kernels.len());
+    let mut grid: Vec<Vec<SchemeMatrix>> = Vec::with_capacity(kernels.len());
     let mut cells: Vec<Vec<CellTiming>> = Vec::with_capacity(kernels.len());
     let mut it = cell_runs.into_iter();
     for _ in kernels {
@@ -357,10 +380,7 @@ pub fn run_grid_timed(
         for _ in pes {
             let (r, secs) = it.next().expect("one result per cell");
             let c = r?;
-            trow.push(CellTiming {
-                wall_seconds: secs,
-                sim_cycles: c.base.cycles + c.ccdp.cycles,
-            });
+            trow.push(CellTiming::from_matrix(secs, &c));
             row.push(c);
         }
         grid.push(row);
@@ -383,33 +403,57 @@ mod unit {
     fn quick_grid_single_cell_runs() {
         let kernels = paper_kernels(Scale::Quick);
         assert_eq!(kernels.len(), 4);
-        let grid = run_grid(&kernels[..1], &[2]).expect("coherent grid");
+        let grid = run_grid(&kernels[..1], &[2], &GRID_SCHEMES).expect("coherent grid");
         assert_eq!(grid.len(), 1);
         assert_eq!(grid[0].len(), 1);
-        assert!(grid[0][0].ccdp.oracle.is_coherent());
+        let m = &grid[0][0];
+        assert_eq!(m.runs.len(), GRID_SCHEMES.len());
+        for s in GRID_SCHEMES {
+            let r = m.get(s).expect("requested scheme present");
+            assert!(r.result.oracle.is_coherent(), "{} incoherent", s.name());
+        }
+        assert!(m.get(Scheme::Mesi).unwrap().result.total_stats().bus_txns > 0);
     }
 
     #[test]
     fn seed_from_prefers_flag_over_env() {
         let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-        assert_eq!(seed_from(&args(&["--seed", "17"])), Ok(17));
-        assert_eq!(seed_from(&args(&["--quick", "--seed=99"])), Ok(99));
-        assert!(seed_from(&args(&["--seed", "banana"])).is_err());
+        assert_eq!(seed_from(&args(&["--seed", "17"])).unwrap(), 17);
+        assert_eq!(seed_from(&args(&["--quick", "--seed=99"])).unwrap(), 99);
+        let err = seed_from(&args(&["--seed", "banana"])).unwrap_err();
+        assert!(format!("{err}").contains("banana"), "{err}");
         assert!(seed_from(&args(&["--seed"])).is_err());
         // No flag and no env (tests don't set CCDP_SEED): default 0.
-        if std::env::var("CCDP_SEED").is_err() {
-            assert_eq!(seed_from(&args(&[])), Ok(0));
+        if std::env::var("CCDP_SEED").is_err() && std::env::var("CCDP_SCALE").is_err() {
+            assert_eq!(seed_from(&args(&[])).unwrap(), 0);
         }
     }
 
     #[test]
-    fn scale_parse_accepts_known_rejects_unknown() {
-        assert_eq!(Scale::parse("quick"), Ok(Scale::Quick));
-        assert_eq!(Scale::parse("paper"), Ok(Scale::Paper));
-        let err = Scale::parse("fast").unwrap_err();
-        assert_eq!(err.value, "fast");
-        assert!(format!("{err}").contains("fast"));
+    fn scale_maps_presets() {
+        assert_eq!(Scale::from_preset(ScalePreset::Quick), Scale::Quick);
+        assert_eq!(Scale::from_preset(ScalePreset::Paper), Scale::Paper);
         assert_eq!(Scale::Quick.name(), "quick");
         assert_eq!(Scale::Paper.name(), "paper");
+    }
+
+    #[test]
+    fn grid_timing_sums_per_scheme_cycles() {
+        let kernels = paper_kernels(Scale::Quick);
+        let (grid, timing) =
+            run_grid_timed(&kernels[..1], &[2], &[Scheme::Base, Scheme::Ccdp])
+                .expect("coherent grid");
+        let cell = &timing.cells[0][0];
+        assert_eq!(cell.scheme_cycles.len(), 2);
+        assert_eq!(cell.scheme_cycles[0].0, "base");
+        assert_eq!(
+            cell.sim_cycles,
+            cell.scheme_cycles.iter().map(|(_, c)| c).sum::<u64>()
+        );
+        assert_eq!(
+            cell.sim_cycles,
+            grid[0][0].runs.iter().map(|r| r.result.cycles).sum::<u64>()
+        );
+        assert!(timing.sim_cycles() > cell.sim_cycles, "seq cycles counted too");
     }
 }

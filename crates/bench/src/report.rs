@@ -10,7 +10,7 @@
 //! section, which only a fully fresh, fully successful run carries).
 
 use ccdp_core::{
-    format_improvement_cells, format_speedup_cells, Comparison, TableCell, TableRow,
+    format_improvement_cells, format_speedup_cells, Scheme, SchemeMatrix, TableCell, TableRow,
 };
 use ccdp_json::{Json, ToJson};
 
@@ -33,11 +33,18 @@ use crate::{BenchKernel, GridTiming, Scale};
 /// v5: the `lint` bin merges a `lint` section — static soundness verdicts
 /// from `ccdp-lint` over the kernel grid and a synthetic-program sweep —
 /// into the same file.
-pub const SCHEMA_VERSION: u32 = 5;
+/// v6: cells are N-way scheme matrices — scheme-keyed `speedups` and
+/// `runs` objects (`base`, `ccdp`, `inv`, `mesi`, `dragon`) replace the
+/// flat `base`/`ccdp` fields, the document records its `schemes` list,
+/// the headline grid covers BASE/CCDP/MESI/DRAGON, `perf` cells carry
+/// per-scheme `sim_cycles_by_scheme` rows, and stress cells gain a
+/// `scheme` field (hardware backends smoke-tested under the mixed soak
+/// plan).
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// JSON for one successful cell: the `outcome` marker followed by the
-/// comparison's fields.
-pub fn cell_json_ok(c: &Comparison) -> Json {
+/// matrix's fields (scheme-keyed `speedups` and `runs` objects).
+pub fn cell_json_ok(c: &SchemeMatrix) -> Json {
     let mut fields = vec![("outcome".to_string(), "ok".to_json())];
     if let Json::Obj(pairs) = c.to_json() {
         fields.extend(pairs);
@@ -79,13 +86,19 @@ pub fn cell_json(outcome: &CellOutcome) -> Json {
     }
 }
 
-/// A table cell read back out of cell JSON: failed cells (no speedup
-/// fields) become `--` placeholders.
-fn table_cell(n_pes: usize, cell: &Json) -> TableCell {
+/// A table cell read back out of cell JSON: one speedup column per scheme
+/// in `schemes`, looked up in the cell's scheme-keyed `speedups` object.
+/// Failed cells (no `speedups` object) become `--` placeholders.
+fn table_cell(n_pes: usize, schemes: &[Scheme], cell: &Json) -> TableCell {
+    let speedups = cell.get("speedups");
     TableCell {
         n_pes,
-        base_speedup: cell.get("base_speedup").and_then(Json::as_f64),
-        ccdp_speedup: cell.get("ccdp_speedup").and_then(Json::as_f64),
+        speedups: schemes
+            .iter()
+            .map(|s| {
+                (s.name(), speedups.and_then(|sp| sp.get(s.key())).and_then(Json::as_f64))
+            })
+            .collect(),
         improvement_pct: cell.get("improvement_pct").and_then(Json::as_f64),
     }
 }
@@ -112,6 +125,10 @@ pub fn perf_json(names: &[&str], pes: &[usize], t: &GridTiming) -> Json {
                 ("n_pes", n.to_json()),
                 ("wall_seconds", c.wall_seconds.to_json()),
                 ("sim_cycles", c.sim_cycles.to_json()),
+                (
+                    "sim_cycles_by_scheme",
+                    Json::obj(c.scheme_cycles.iter().map(|&(k, cy)| (k, cy.to_json()))),
+                ),
                 ("cycles_per_second", rate(c.sim_cycles, c.wall_seconds).to_json()),
             ])
         })
@@ -135,6 +152,7 @@ pub fn report_json_cells(
     scale: Scale,
     seed: u64,
     pes: &[usize],
+    schemes: &[Scheme],
     names: &[&str],
     cells: &[Vec<Json>],
     timing: Option<&GridTiming>,
@@ -142,7 +160,7 @@ pub fn report_json_cells(
     assert_eq!(names.len(), cells.len(), "one cell row per kernel");
     let rows: Vec<Vec<TableCell>> = cells
         .iter()
-        .map(|row| pes.iter().zip(row).map(|(&n, c)| table_cell(n, c)).collect())
+        .map(|row| pes.iter().zip(row).map(|(&n, c)| table_cell(n, schemes, c)).collect())
         .collect();
     let trows: Vec<TableRow<'_>> = names
         .iter()
@@ -164,6 +182,7 @@ pub fn report_json_cells(
         ("scale", scale.name().to_json()),
         ("seed", seed.to_json()),
         ("pe_counts", pes.to_json()),
+        ("schemes", Json::arr(schemes.iter().map(|s| s.key().to_json()))),
         ("kernels", kernels_json),
         (
             "tables",
@@ -188,15 +207,16 @@ pub fn report_json(
     scale: Scale,
     seed: u64,
     pes: &[usize],
+    schemes: &[Scheme],
     kernels: &[BenchKernel],
-    grid: &[Vec<Comparison>],
+    grid: &[Vec<SchemeMatrix>],
     timing: Option<&GridTiming>,
 ) -> Json {
-    assert_eq!(kernels.len(), grid.len(), "one comparison row per kernel");
+    assert_eq!(kernels.len(), grid.len(), "one matrix row per kernel");
     let names: Vec<&str> = kernels.iter().map(|k| k.name).collect();
     let cells: Vec<Vec<Json>> =
         grid.iter().map(|row| row.iter().map(cell_json_ok).collect()).collect();
-    report_json_cells(scale, seed, pes, &names, &cells, timing)
+    report_json_cells(scale, seed, pes, schemes, &names, &cells, timing)
 }
 
 #[cfg(test)]
@@ -208,29 +228,50 @@ mod unit {
     fn report_document_shape() {
         let kernels = paper_kernels(Scale::Quick);
         let pes = [2usize];
-        let (grid, timing) = run_grid_timed(&kernels[..2], &pes).expect("coherent grid");
-        let j = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, Some(&timing));
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(5));
+        let schemes = crate::GRID_SCHEMES;
+        let (grid, timing) =
+            run_grid_timed(&kernels[..2], &pes, &schemes).expect("coherent grid");
+        let j =
+            report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, Some(&timing));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(6));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
+        let schemes_json = j.get("schemes").unwrap().items();
+        assert_eq!(schemes_json.len(), 4);
+        assert_eq!(schemes_json[0].as_str(), Some("base"));
         let ks = j.get("kernels").unwrap().items();
         assert_eq!(ks.len(), 2);
         assert_eq!(ks[0].get("name").and_then(Json::as_str), Some("MXM"));
         let cell = &ks[0].get("cells").unwrap().items()[0];
         assert_eq!(cell.get("outcome").and_then(Json::as_str), Some("ok"));
-        assert!(cell.get("ccdp").unwrap().get("epochs").unwrap().items().len() >= 2);
+        let runs = cell.get("runs").expect("scheme-keyed runs object");
+        for key in ["base", "ccdp", "mesi", "dragon"] {
+            let r = runs.get(key).unwrap_or_else(|| panic!("missing run {key}"));
+            assert!(r.get("cycles").and_then(Json::as_u64).unwrap() > 0, "{key}");
+            assert!(
+                cell.get("speedups").unwrap().get(key).and_then(Json::as_f64).unwrap() > 0.0
+            );
+        }
+        assert!(runs.get("ccdp").unwrap().get("epochs").unwrap().items().len() >= 2);
         let tables = j.get("tables").unwrap();
-        assert!(tables.get("speedup").and_then(Json::as_str).unwrap().contains("Table 1"));
+        let t1 = tables.get("speedup").and_then(Json::as_str).unwrap();
+        assert!(t1.contains("Table 1"));
+        for name in ["BASE", "CCDP", "MESI", "DRAGON"] {
+            assert!(t1.contains(name), "missing {name} column in:\n{t1}");
+        }
         assert!(tables
             .get("improvement")
             .and_then(Json::as_str)
             .unwrap()
             .contains("Table 2"));
         // Per-PE fault accounting is present (and zero) in fault-free cells.
-        let totals = cell.get("ccdp").unwrap().get("totals").unwrap();
+        let totals = runs.get("ccdp").unwrap().get("totals").unwrap();
         let faults = totals.get("faults").expect("faults object in totals");
         assert_eq!(faults.get("prefetches_dropped").and_then(Json::as_u64), Some(0));
         assert_eq!(faults.get("demand_fallbacks").and_then(Json::as_u64), Some(0));
+        // Hardware runs charge bus traffic through the same stats plumbing.
+        let mesi_totals = runs.get("mesi").unwrap().get("totals").unwrap();
+        assert!(mesi_totals.get("bus_txns").and_then(Json::as_u64).unwrap() > 0);
         // The perf section reflects the timed run: one seq entry per
         // kernel, one cell entry per (kernel, pe) pair, positive wall time.
         let perf = j.get("perf").expect("perf section");
@@ -242,11 +283,18 @@ mod unit {
         let cell0 = &perf.get("cells").unwrap().items()[0];
         assert_eq!(cell0.get("kernel").and_then(Json::as_str), Some("MXM"));
         assert_eq!(cell0.get("n_pes").and_then(Json::as_u64), Some(2));
+        // Per-scheme sim-cycle rows sum to the cell total (schema v6).
+        let by_scheme = cell0.get("sim_cycles_by_scheme").expect("per-scheme rows");
+        let sum: u64 = ["base", "ccdp", "mesi", "dragon"]
+            .iter()
+            .map(|k| by_scheme.get(k).and_then(Json::as_u64).unwrap())
+            .sum();
+        assert_eq!(cell0.get("sim_cycles").and_then(Json::as_u64), Some(sum));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(5));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(6));
         // Omitting timing omits the section (ablation callers).
-        let j2 = report_json(Scale::Quick, 9, &pes, &kernels[..2], &grid, None);
+        let j2 = report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, None);
         assert!(j2.get("perf").is_none());
     }
 
@@ -264,7 +312,8 @@ mod unit {
         assert!(failure.get("message").and_then(Json::as_str).unwrap().contains("budget"));
         assert_eq!(failure.get("cycles").and_then(Json::as_u64), Some(1000));
         // A grid with only this cell still renders tables, with -- cells.
-        let j = report_json_cells(Scale::Quick, 0, &[4], &["MXM"], &[vec![cj]], None);
+        let schemes = crate::GRID_SCHEMES;
+        let j = report_json_cells(Scale::Quick, 0, &[4], &schemes, &["MXM"], &[vec![cj]], None);
         let t1 = j.get("tables").unwrap().get("speedup").and_then(Json::as_str).unwrap();
         assert!(t1.contains("--"));
         // The parse→re-emit round trip is byte-stable (the resume path

@@ -19,7 +19,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-use ccdp_core::{compare_with_seq, run_seq, Comparison, PipelineConfig, PipelineError};
+use ccdp_core::{compare_with_seq, run_seq, PipelineConfig, PipelineError, Scheme, SchemeMatrix};
 use t3d_sim::{FaultPlan, SimResult};
 
 use crate::{cell_config, pooled, BenchKernel, CellTiming, GridTiming};
@@ -112,7 +112,7 @@ impl std::fmt::Display for CellFailure {
 /// Outcome of one isolated (kernel × PE count) cell.
 #[derive(Clone)]
 pub enum CellOutcome {
-    Ok(Box<Comparison>),
+    Ok(Box<SchemeMatrix>),
     Fail(CellFailure),
 }
 
@@ -228,7 +228,7 @@ fn guarded<T>(
 }
 
 /// Run the requested cells of the grid with full isolation: every
-/// sequential denominator and every BASE/CCDP cell is contained, budgeted,
+/// sequential denominator and every scheme cell is contained, budgeted,
 /// classified, and checkpointed through `on_cell` the moment it finishes.
 ///
 /// `todo` lists `(kernel index, pe index)` cells to simulate; cells not
@@ -239,6 +239,7 @@ fn guarded<T>(
 pub fn run_grid_isolated(
     kernels: &[BenchKernel],
     pes: &[usize],
+    schemes: &[Scheme],
     todo: &[(usize, usize)],
     opts: &GridOptions,
     on_cell: impl Fn(&IsolatedCell) + Sync,
@@ -289,23 +290,20 @@ pub fn run_grid_isolated(
                 match guarded(opts.cell_timeout, |deadline| {
                     let mut cfg = cell_config(k, pes[pi]);
                     apply_budgets(&mut cfg, opts, deadline);
-                    compare_with_seq(&k.program, &cfg, seq.clone())
+                    compare_with_seq(&k.program, &cfg, seq.clone(), schemes)
                 }) {
                     Ok(c) => CellOutcome::Ok(Box::new(c)),
                     Err(f) => CellOutcome::Fail(f),
                 }
             }
         };
-        let sim_cycles = match &outcome {
-            CellOutcome::Ok(c) => c.base.cycles + c.ccdp.cycles,
-            CellOutcome::Fail(_) => 0,
+        let timing = match &outcome {
+            CellOutcome::Ok(c) => CellTiming::from_matrix(t.elapsed().as_secs_f64(), c),
+            CellOutcome::Fail(_) => {
+                CellTiming { wall_seconds: t.elapsed().as_secs_f64(), ..Default::default() }
+            }
         };
-        let cell = IsolatedCell {
-            kernel: k.name,
-            n_pes: pes[pi],
-            outcome,
-            timing: CellTiming { wall_seconds: t.elapsed().as_secs_f64(), sim_cycles },
-        };
+        let cell = IsolatedCell { kernel: k.name, n_pes: pes[pi], outcome, timing };
         on_cell(&cell);
         cell
     });
@@ -319,14 +317,18 @@ pub fn run_grid_isolated(
             .map(|s| {
                 let (r, secs) = s.as_ref().expect("full grid covers every kernel");
                 let cycles = r.as_ref().map_or(0, |sr| sr.cycles);
-                CellTiming { wall_seconds: *secs, sim_cycles: cycles }
+                CellTiming {
+                    wall_seconds: *secs,
+                    sim_cycles: cycles,
+                    scheme_cycles: Vec::new(),
+                }
             })
             .collect();
         let mut cell_timing: Vec<Vec<CellTiming>> =
             kernels.iter().map(|_| vec![CellTiming::default(); pes.len()]).collect();
         for (i, c) in cells.iter().enumerate() {
             let (ki, pi) = todo[i];
-            cell_timing[ki][pi] = c.timing;
+            cell_timing[ki][pi] = c.timing.clone();
         }
         Some(GridTiming {
             wall_seconds: t0.elapsed().as_secs_f64(),
@@ -396,7 +398,8 @@ mod unit {
     fn budget_failure_lands_in_grid_not_process() {
         let kernels = paper_kernels(Scale::Quick);
         let opts = GridOptions { cycle_budget: Some(10), ..Default::default() };
-        let grid = run_grid_isolated(&kernels[..1], &[2], &[(0, 0)], &opts, |_| {});
+        let schemes = [Scheme::Base, Scheme::Ccdp];
+        let grid = run_grid_isolated(&kernels[..1], &[2], &schemes, &[(0, 0)], &opts, |_| {});
         let out = grid.outcomes[0][0].as_ref().expect("cell was requested");
         match out {
             CellOutcome::Fail(CellFailure::BudgetExceeded { cycles, .. }) => {
@@ -412,12 +415,19 @@ mod unit {
         let kernels = paper_kernels(Scale::Quick);
         let opts = GridOptions::default();
         let calls = std::sync::Mutex::new(Vec::new());
-        let grid = run_grid_isolated(&kernels[..1], &[1, 2], &[(0, 0), (0, 1)], &opts, |c| {
-            calls.lock().unwrap().push((c.kernel, c.n_pes, c.outcome.class()));
-        });
+        let schemes = crate::GRID_SCHEMES;
+        let grid =
+            run_grid_isolated(&kernels[..1], &[1, 2], &schemes, &[(0, 0), (0, 1)], &opts, |c| {
+                calls.lock().unwrap().push((c.kernel, c.n_pes, c.outcome.class()));
+            });
         assert!(grid.outcomes[0].iter().all(|o| o.as_ref().unwrap().is_ok()));
+        match grid.outcomes[0][0].as_ref().unwrap() {
+            CellOutcome::Ok(m) => assert_eq!(m.runs.len(), schemes.len()),
+            CellOutcome::Fail(f) => panic!("cell failed: {f}"),
+        }
         let t = grid.timing.expect("clean full grid carries timing");
         assert_eq!(t.seq.len(), 1);
+        assert_eq!(t.cells[0][0].scheme_cycles.len(), schemes.len());
         assert!(t.sim_cycles() > 0);
         let calls = calls.into_inner().unwrap();
         assert_eq!(calls.len(), 2);

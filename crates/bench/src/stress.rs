@@ -2,13 +2,17 @@
 //! graceful-degradation guarantee in every cell.
 //!
 //! For each (kernel, PE count) the sweep runs CCDP under the drop-rate
-//! curve [`DROP_RATES`] plus one mixed soak plan, and enforces:
+//! curve [`DROP_RATES`] plus one mixed soak plan, then smoke-tests the
+//! hardware rivals (MESI, Dragon) clean and under the same mixed plan —
+//! they issue no prefetches to drop, but delayed fills, queue storms, and
+//! evictions charge through the same fault hooks. Every cell enforces:
 //!
 //! 1. **Coherence** — the oracle reports zero stale reads in every cell.
 //! 2. **Numerics** — every shared array equals the sequential golden run
 //!    (faults may only move cycles, never values).
-//! 3. **Monotone fallbacks** — demand-fallback counts never decrease as the
-//!    drop rate rises (seeded decision streams make drop sets nested).
+//! 3. **Monotone fallbacks** — CCDP demand-fallback counts never decrease
+//!    as the drop rate rises (seeded decision streams make drop sets
+//!    nested).
 //!
 //! Any violation is a [`StressError`] carrying the evidence; the `stress`
 //! bin exits non-zero on it. A clean sweep becomes the `stress` section of
@@ -60,6 +64,8 @@ pub fn stress_plans(seed: u64) -> Vec<(String, FaultPlan)> {
 #[derive(Clone, Debug)]
 pub struct StressCell {
     pub kernel: &'static str,
+    /// Coherence scheme the cell ran ("CCDP", "MESI", or "DRAGON").
+    pub scheme: &'static str,
     pub n_pes: usize,
     pub plan: String,
     /// The drop rate for curve cells, `None` for the mixed soak plan.
@@ -240,6 +246,7 @@ pub fn stress_cell_opts(
         }
         cells.push(StressCell {
             kernel: k.name,
+            scheme: "CCDP",
             n_pes,
             plan: label.clone(),
             drop_rate: plan_drop_rate(label, plan),
@@ -269,6 +276,65 @@ pub fn stress_cell_opts(
                 hi_rate: hi.drop_rate.unwrap(),
                 hi_fallbacks: hi.faults.demand_fallbacks,
             });
+        }
+    }
+
+    // Hardware-coherence smoke: MESI and Dragon, clean and under the mixed
+    // soak plan. They carry no prefetch plan to drop, but delayed remote
+    // fills, queue storms, and evictions charge through the same fault
+    // hooks — coherence and golden numerics must hold for them too.
+    if let Some((_, mix)) = plans.iter().find(|(l, _)| l == "mix") {
+        for (sname, scheme) in [("MESI", Scheme::Mesi), ("DRAGON", Scheme::Dragon)] {
+            let mut hw_clean = 0u64;
+            for (label, plan) in [("clean", FaultPlan::none()), ("mix", *mix)] {
+                let mut sim = cfg.sim;
+                sim.faults = plan;
+                let r = Simulator::new(
+                    &k.program,
+                    layout.clone(),
+                    cfg.machine.clone(),
+                    scheme.clone(),
+                    sim,
+                )
+                .try_run()
+                .map_err(|a| StressError::Pipeline(PipelineError::from(a)))?;
+                if !r.oracle.is_coherent() {
+                    return Err(StressError::Incoherent {
+                        kernel: k.name,
+                        n_pes,
+                        plan: format!("{sname}/{label}"),
+                        stale_reads: r.oracle.stale_reads,
+                        examples: r.oracle.examples.clone(),
+                    });
+                }
+                for ((aid, aname), want) in shared.iter().zip(&golden) {
+                    if !values_equal(&r.array_values(&k.program, *aid), want) {
+                        return Err(StressError::ValuesDiverged {
+                            kernel: k.name,
+                            n_pes,
+                            plan: format!("{sname}/{label}"),
+                            array: aname.clone(),
+                        });
+                    }
+                }
+                if label == "clean" {
+                    hw_clean = r.cycles;
+                }
+                cells.push(StressCell {
+                    kernel: k.name,
+                    scheme: sname,
+                    n_pes,
+                    plan: label.to_string(),
+                    drop_rate: None,
+                    cycles: r.cycles,
+                    clean_cycles: 0, // patched just below
+                    faults: r.fault_stats(),
+                });
+            }
+            let n = cells.len();
+            for c in &mut cells[n - 2..] {
+                c.clean_cycles = hw_clean.max(1);
+            }
         }
     }
     Ok(cells)
@@ -312,6 +378,7 @@ fn to_vec(pes: &[usize]) -> Vec<usize> {
 pub fn stress_cell_json(c: &StressCell) -> Json {
     let mut fields = vec![
         ("kernel", c.kernel.to_json()),
+        ("scheme", c.scheme.to_json()),
         ("n_pes", c.n_pes.to_json()),
         ("plan", c.plan.as_str().to_json()),
     ];
@@ -340,7 +407,8 @@ pub fn stress_section_json(scale: Scale, seed: u64, pes: &[usize], cells: Vec<Js
         (
             "invariant",
             "every cell: oracle coherent, values == sequential golden, \
-             demand fallbacks monotone in drop rate"
+             CCDP demand fallbacks monotone in drop rate; MESI/Dragon \
+             smoke-tested clean and under the mixed plan"
                 .to_json(),
         ),
         ("cells", Json::arr(cells)),
@@ -382,18 +450,37 @@ mod unit {
     fn curve_cells_degrade_but_stay_correct() {
         let kernels = paper_kernels(Scale::Quick);
         let rep = run_stress(&kernels[..1], &[4], Scale::Quick, 7).expect("clean sweep");
-        // 4 curve cells + 1 mix cell.
-        assert_eq!(rep.cells.len(), stress_plans(7).len());
+        // CCDP curve/mix cells plus clean+mix smoke cells for each hardware scheme.
+        assert_eq!(rep.cells.len(), stress_plans(7).len() + 4);
         let clean = &rep.cells[0];
+        assert_eq!(clean.scheme, "CCDP");
         assert_eq!(clean.drop_rate, Some(0.0));
         assert!(clean.faults.is_zero(), "rate-0 curve cell injected faults");
         let heavy = rep.cells.iter().find(|c| c.drop_rate == Some(0.5)).unwrap();
         assert!(heavy.faults.prefetches_dropped > 0);
         assert!(heavy.faults.demand_fallbacks > 0, "drops must surface as fallbacks");
-        let mix = rep.cells.iter().find(|c| c.plan == "mix").unwrap();
+        let mix = rep
+            .cells
+            .iter()
+            .find(|c| c.scheme == "CCDP" && c.plan == "mix")
+            .unwrap();
         assert!(mix.faults.injected() > 0);
+        for hw in ["MESI", "DRAGON"] {
+            for plan in ["clean", "mix"] {
+                let c = rep
+                    .cells
+                    .iter()
+                    .find(|c| c.scheme == hw && c.plan == plan)
+                    .unwrap_or_else(|| panic!("missing {hw}/{plan} smoke cell"));
+                assert!(c.cycles > 0, "{hw}/{plan} ran to completion");
+                assert!(c.clean_cycles > 0, "{hw}/{plan} has a clean baseline");
+                assert!(c.drop_rate.is_none(), "hardware cells sit outside the curve");
+            }
+        }
         let j = stress_json(&rep);
         assert_eq!(j.get("seed").and_then(ccdp_json::Json::as_u64), Some(7));
         assert_eq!(j.get("cells").unwrap().items().len(), rep.cells.len());
+        let first = &j.get("cells").unwrap().items()[0];
+        assert_eq!(first.get("scheme").and_then(ccdp_json::Json::as_str), Some("CCDP"));
     }
 }

@@ -1,0 +1,189 @@
+//! Environment-variable overrides, parsed in exactly one place.
+//!
+//! Three env knobs steer the pipeline and the benchmark harness:
+//!
+//! | variable              | effect                                         |
+//! |-----------------------|------------------------------------------------|
+//! | `CCDP_FORCE_TREEWALK` | `1` forces the treewalk interpreter            |
+//! | `CCDP_SEED`           | decision-stream seed for fault-injecting runs  |
+//! | `CCDP_SCALE`          | benchmark problem size: `quick` (default) or `paper` |
+//!
+//! Historically each consumer read its variable ad hoc (the simulator read
+//! `CCDP_FORCE_TREEWALK` directly, each bench bin parsed `CCDP_SEED` /
+//! `CCDP_SCALE` itself), so a typo could silently select the wrong mode.
+//! [`EnvOverrides::from_env`] is now the single parsing point: every bad
+//! value is a structured [`PipelineError::InvalidConfig`] carrying the
+//! variable name, the offending value, and what was expected — and
+//! [`EnvOverrides::apply`] is the only place an env var mutates a
+//! [`PipelineConfig`].
+
+use crate::pipeline::{PipelineConfig, PipelineError};
+use t3d_sim::ConfigError;
+
+/// Benchmark problem-size preset named by `CCDP_SCALE`. The sizes
+/// themselves live in the bench harness; core only validates the name.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ScalePreset {
+    /// Reduced sizes (seconds of host time); the default.
+    #[default]
+    Quick,
+    /// The paper's full problem sizes (minutes of host time).
+    Paper,
+}
+
+/// The validated environment overrides. Build with
+/// [`EnvOverrides::from_env`]; `Default` is "no variable set".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EnvOverrides {
+    /// `CCDP_FORCE_TREEWALK=1`: run the treewalk interpreter instead of the
+    /// compiled-trace path (the reference semantics both paths must match).
+    pub force_treewalk: bool,
+    /// `CCDP_SEED=<u64>`: deterministic seed for fault-injecting harness
+    /// runs. `None` when unset (callers pick their own default).
+    pub seed: Option<u64>,
+    /// `CCDP_SCALE=quick|paper`: benchmark problem-size preset.
+    pub scale: ScalePreset,
+}
+
+impl EnvOverrides {
+    /// Parse every override from the process environment. Any malformed
+    /// value fails with [`PipelineError::InvalidConfig`] — a typo must not
+    /// silently select a default.
+    pub fn from_env() -> Result<EnvOverrides, PipelineError> {
+        let mut o = EnvOverrides::default();
+        if let Ok(v) = std::env::var("CCDP_FORCE_TREEWALK") {
+            o.force_treewalk = match v.as_str() {
+                "" | "0" => false,
+                "1" => true,
+                _ => {
+                    return Err(bad_env("CCDP_FORCE_TREEWALK", v, "expected \"0\" or \"1\""))
+                }
+            };
+        }
+        if let Ok(v) = std::env::var("CCDP_SEED") {
+            o.seed = Some(
+                v.parse::<u64>()
+                    .map_err(|_| bad_env("CCDP_SEED", v, "expected a u64"))?,
+            );
+        }
+        if let Ok(v) = std::env::var("CCDP_SCALE") {
+            o.scale = match v.as_str() {
+                "" | "quick" => ScalePreset::Quick,
+                "paper" => ScalePreset::Paper,
+                _ => return Err(bad_env("CCDP_SCALE", v, "expected \"quick\" or \"paper\"")),
+            };
+        }
+        Ok(o)
+    }
+
+    /// Apply the overrides to a pipeline configuration. Only widening:
+    /// `force_treewalk` already set programmatically is never cleared.
+    /// (`seed` and `scale` configure the *harness*, not the pipeline, so
+    /// they are consumed by the bench crate instead.)
+    pub fn apply(&self, cfg: &mut PipelineConfig) {
+        cfg.sim.force_treewalk |= self.force_treewalk;
+    }
+}
+
+fn bad_env(var: &'static str, value: String, need: &'static str) -> PipelineError {
+    PipelineError::InvalidConfig(ConfigError::BadEnv { var, value, need })
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    // Env-var tests share one mutex: the process environment is global and
+    // `cargo test` runs tests on several threads.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn with_vars<T>(
+        vars: &[(&str, Option<&str>)],
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let _g = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let saved: Vec<(String, Option<String>)> = vars
+            .iter()
+            .map(|(k, _)| (k.to_string(), std::env::var(k).ok()))
+            .collect();
+        for (k, v) in vars {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+        let out = f();
+        for (k, v) in saved {
+            match v {
+                Some(v) => std::env::set_var(&k, v),
+                None => std::env::remove_var(&k),
+            }
+        }
+        out
+    }
+
+    const ALL_UNSET: [(&str, Option<&str>); 3] = [
+        ("CCDP_FORCE_TREEWALK", None),
+        ("CCDP_SEED", None),
+        ("CCDP_SCALE", None),
+    ];
+
+    #[test]
+    fn unset_environment_is_the_default() {
+        let o = with_vars(&ALL_UNSET, EnvOverrides::from_env).unwrap();
+        assert_eq!(o, EnvOverrides::default());
+        assert!(!o.force_treewalk);
+        assert_eq!(o.seed, None);
+        assert_eq!(o.scale, ScalePreset::Quick);
+    }
+
+    #[test]
+    fn valid_values_parse() {
+        let o = with_vars(
+            &[
+                ("CCDP_FORCE_TREEWALK", Some("1")),
+                ("CCDP_SEED", Some("42")),
+                ("CCDP_SCALE", Some("paper")),
+            ],
+            EnvOverrides::from_env,
+        )
+        .unwrap();
+        assert!(o.force_treewalk);
+        assert_eq!(o.seed, Some(42));
+        assert_eq!(o.scale, ScalePreset::Paper);
+    }
+
+    #[test]
+    fn bad_values_are_structured_errors_naming_the_variable() {
+        for (var, value) in [
+            ("CCDP_FORCE_TREEWALK", "yes"),
+            ("CCDP_SEED", "banana"),
+            ("CCDP_SCALE", "fast"),
+        ] {
+            let mut vars = ALL_UNSET;
+            for v in &mut vars {
+                if v.0 == var {
+                    v.1 = Some(value);
+                }
+            }
+            let err = with_vars(&vars, EnvOverrides::from_env).unwrap_err();
+            assert!(
+                matches!(err, PipelineError::InvalidConfig(ConfigError::BadEnv { .. })),
+                "{var}: {err}"
+            );
+            let msg = format!("{err}");
+            assert!(msg.contains(var), "{msg}");
+            assert!(msg.contains(value), "{msg}");
+        }
+    }
+
+    #[test]
+    fn apply_widens_force_treewalk_only() {
+        let mut cfg = PipelineConfig::t3d(2);
+        EnvOverrides { force_treewalk: true, ..Default::default() }.apply(&mut cfg);
+        assert!(cfg.sim.force_treewalk);
+        // Never cleared by an unset env.
+        EnvOverrides::default().apply(&mut cfg);
+        assert!(cfg.sim.force_treewalk);
+    }
+}

@@ -2,21 +2,30 @@
 
 use ccdp_json::{Json, ToJson};
 
-use crate::pipeline::Comparison;
+use crate::pipeline::SchemeMatrix;
 
-impl ToJson for Comparison {
+impl ToJson for SchemeMatrix {
+    /// Scheme-indexed object form: `speedups` and `runs` are keyed by
+    /// [`crate::Scheme::key`] (`"base"`, `"ccdp"`, `"inv"`, `"mesi"`,
+    /// `"dragon"`), holding one entry per requested scheme.
     fn to_json(&self) -> Json {
         Json::obj([
             ("n_pes", self.n_pes.to_json()),
-            ("base_speedup", self.base_speedup.to_json()),
-            ("ccdp_speedup", self.ccdp_speedup.to_json()),
-            ("improvement_pct", self.improvement_pct.to_json()),
+            (
+                "speedups",
+                Json::obj(
+                    self.runs.iter().map(|r| (r.scheme.key(), self.speedup(r.scheme).to_json())),
+                ),
+            ),
+            ("improvement_pct", self.improvement_pct().to_json()),
             ("stale_reads", self.stale_reads.to_json()),
             ("shared_reads", self.shared_reads.to_json()),
             ("plan_stats", self.plan_stats.to_json()),
             ("seq", self.seq.to_json()),
-            ("base", self.base.to_json()),
-            ("ccdp", self.ccdp.to_json()),
+            (
+                "runs",
+                Json::obj(self.runs.iter().map(|r| (r.scheme.key(), r.result.to_json()))),
+            ),
         ])
     }
 }
@@ -24,11 +33,11 @@ impl ToJson for Comparison {
 #[cfg(test)]
 mod unit {
     use super::*;
-    use crate::{compare, PipelineConfig};
+    use crate::{compare, PipelineConfig, Scheme};
     use ccdp_ir::ProgramBuilder;
 
     #[test]
-    fn comparison_json_has_schemes_and_metrics() {
+    fn matrix_json_has_schemes_and_metrics() {
         let mut pb = ProgramBuilder::new("j");
         let a = pb.shared("A", &[64]);
         let b = pb.shared("B", &[64]);
@@ -41,16 +50,20 @@ mod unit {
             });
         });
         let p = pb.finish().unwrap();
-        let cmp = compare(&p, &PipelineConfig::t3d(2)).unwrap();
+        let cmp = compare(&p, &PipelineConfig::t3d(2), &Scheme::ALL).unwrap();
         let j = cmp.to_json();
         assert_eq!(j.get("n_pes").and_then(Json::as_u64), Some(2));
-        for scheme in ["seq", "base", "ccdp"] {
-            let s = j.get(scheme).unwrap();
+        assert!(j.get("seq").unwrap().get("cycles").and_then(Json::as_u64).unwrap() > 0);
+        let runs = j.get("runs").unwrap();
+        let speedups = j.get("speedups").unwrap();
+        for scheme in ["base", "ccdp", "inv", "mesi", "dragon"] {
+            let s = runs.get(scheme).unwrap_or_else(|| panic!("missing run {scheme}"));
             assert!(s.get("cycles").and_then(Json::as_u64).unwrap() > 0);
             assert!(s.get("per_pe").is_some());
             assert!(s.get("epochs").is_some());
+            assert!(speedups.get(scheme).and_then(Json::as_f64).unwrap() > 0.0);
         }
-        assert!(j.get("ccdp").unwrap().get("prefetch_quality").is_some());
+        assert!(j.get("runs").unwrap().get("ccdp").unwrap().get("prefetch_quality").is_some());
         // Serialized text parses back.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
         assert_eq!(parsed.get("n_pes").and_then(Json::as_u64), Some(2));

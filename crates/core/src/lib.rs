@@ -3,7 +3,7 @@
 //! This is the crate a downstream user drives:
 //!
 //! ```
-//! use ccdp_core::{compare, PipelineConfig};
+//! use ccdp_core::{compare, PipelineConfig, Scheme};
 //! use ccdp_ir::ProgramBuilder;
 //!
 //! // A toy kernel: one epoch writes, the next reads it back reversed.
@@ -20,28 +20,42 @@
 //! });
 //! let program = pb.finish().unwrap();
 //!
-//! // `compare` fails with a `PipelineError` if the generated plan ever
-//! // lets a PE consume stale data.
-//! let cmp = compare(&program, &PipelineConfig::t3d(4)).unwrap();
-//! assert!(cmp.ccdp.oracle.is_coherent());
-//! assert!(cmp.ccdp_speedup > 0.0);
+//! // One entry point per scheme...
+//! let cfg = PipelineConfig::t3d(4);
+//! let ccdp = cfg.run(&program, Scheme::Ccdp).unwrap();
+//! assert!(ccdp.result.oracle.is_coherent());
+//!
+//! // ...and an N-way comparison against the sequential denominator.
+//! // `compare` fails with a `PipelineError` if any run consumes stale data.
+//! let cmp = compare(&program, &cfg, &[Scheme::Base, Scheme::Ccdp, Scheme::Mesi]).unwrap();
+//! assert!(cmp.speedup(Scheme::Ccdp).unwrap() > 0.0);
+//! assert!(cmp.cycles(Scheme::Mesi).is_some());
 //! ```
 //!
 //! [`compile_ccdp`] runs stale reference analysis → prefetch target analysis
-//! → prefetch scheduling → materialization. [`compare`] additionally runs
-//! the three machine schemes (SEQ / BASE / CCDP) and reports the paper's
+//! → prefetch scheduling → materialization. [`PipelineConfig::run`] executes
+//! any [`Scheme`] — the software schemes (`Base`, `Ccdp`, `InvalidateOnly`)
+//! and the hardware-coherence rivals (`Mesi`, `Dragon`) — and [`compare`]
+//! runs a list of them plus the sequential reference, reporting the paper's
 //! metrics: speedup over sequential (Table 1) and percentage improvement of
-//! CCDP over BASE (Table 2).
+//! CCDP over BASE (Table 2), generalized to an N-way [`SchemeMatrix`].
+//!
+//! Environment overrides (`CCDP_FORCE_TREEWALK`, `CCDP_SEED`, `CCDP_SCALE`)
+//! are parsed in exactly one place: [`EnvOverrides::from_env`].
 
+mod env;
 mod jsonio;
 mod pipeline;
 mod report;
 
+pub use env::{EnvOverrides, ScalePreset};
+#[allow(deprecated)]
+pub use pipeline::{run_base, run_ccdp, run_invalidate_only};
 pub use pipeline::{
-    compare, compare_with_seq, compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq,
-    CcdpArtifacts, Comparison, PipelineConfig, PipelineError,
+    compare, compare_with_seq, compile_ccdp, run_seq, CcdpArtifacts, PipelineConfig,
+    PipelineError, Scheme, SchemeMatrix, SchemeRun,
 };
 pub use report::{
     format_improvement_cells, format_improvement_table, format_speedup_cells,
-    format_speedup_table, ComparisonRow, TableCell, TableRow,
+    format_speedup_table, MatrixRow, TableCell, TableRow,
 };

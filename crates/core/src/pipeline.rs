@@ -7,8 +7,8 @@ use ccdp_prefetch::{
     plan_prefetches, PlanStats, PrefetchPlan, ScheduleOptions, TargetOptions,
 };
 use t3d_sim::{
-    ConfigError, FaultPlan, MachineConfig, Scheme, SimAbort, SimOptions, SimResult,
-    Simulator, StaleReadExample,
+    ConfigError, FaultPlan, MachineConfig, Scheme as SimScheme, SimAbort, SimOptions,
+    SimResult, Simulator, StaleReadExample,
 };
 
 /// Why a pipeline run failed. The pipeline no longer panics on a broken
@@ -220,7 +220,75 @@ impl PipelineConfig {
     }
 }
 
+/// Coherence-scheme selector for the unified entry point
+/// [`PipelineConfig::run`].
+///
+/// Distinct from the simulator-level `t3d_sim::Scheme`: that enum carries
+/// the compiled [`PrefetchPlan`] payload a simulation executes, while this
+/// one names what the *pipeline* should build and run. `Sequential` is
+/// deliberately absent — the 1-PE reference run ([`run_seq`]) is the
+/// speedup denominator every scheme is measured against, not a rival.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scheme {
+    /// CRAFT-style software shared memory: shared data never cached.
+    Base,
+    /// Compiler-directed cache coherence with data prefetching (the paper).
+    Ccdp,
+    /// The CCDP plan's stale-read handlings without its prefetches —
+    /// isolates the caching contribution from the latency-hiding one.
+    InvalidateOnly,
+    /// Snooping invalidate-based hardware coherence (MESI) over a shared
+    /// bus — the "what if the T3D had hardware coherence" rival.
+    Mesi,
+    /// Snooping update-based hardware coherence (Dragon) over a shared bus.
+    Dragon,
+}
+
+impl Scheme {
+    /// Every scheme, in canonical table order.
+    pub const ALL: [Scheme; 5] =
+        [Scheme::Base, Scheme::Ccdp, Scheme::InvalidateOnly, Scheme::Mesi, Scheme::Dragon];
+
+    /// Stable display name; matches the simulator's `SimResult::scheme`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Base => "BASE",
+            Scheme::Ccdp => "CCDP",
+            Scheme::InvalidateOnly => "INV",
+            Scheme::Mesi => "MESI",
+            Scheme::Dragon => "DRAGON",
+        }
+    }
+
+    /// Lower-case key used in JSON reports (`"base"`, `"ccdp"`, `"inv"`,
+    /// `"mesi"`, `"dragon"`).
+    pub fn key(self) -> &'static str {
+        match self {
+            Scheme::Base => "base",
+            Scheme::Ccdp => "ccdp",
+            Scheme::InvalidateOnly => "inv",
+            Scheme::Mesi => "mesi",
+            Scheme::Dragon => "dragon",
+        }
+    }
+
+    /// Parse a scheme name ([`Scheme::name`] or [`Scheme::key`] spelling),
+    /// case-insensitively.
+    pub fn parse(s: &str) -> Option<Scheme> {
+        Scheme::ALL.iter().copied().find(|sc| sc.name().eq_ignore_ascii_case(s))
+    }
+
+    /// Event-driven hardware protocol? Hardware schemes need no prefetch
+    /// plan and skip the plan-coverage half of static verification (only
+    /// the CCDP003 phase-race audit applies; see
+    /// [`ccdp_lint::verify_hardware`]).
+    pub fn is_hardware(self) -> bool {
+        matches!(self, Scheme::Mesi | Scheme::Dragon)
+    }
+}
+
 /// Output of the CCDP compilation pipeline for one kernel/PE-count.
+#[derive(Clone)]
 pub struct CcdpArtifacts {
     pub stale: StaleAnalysis,
     pub transformed: Program,
@@ -247,105 +315,221 @@ fn check_inputs(program: &Program, cfg: &PipelineConfig) -> Result<(), PipelineE
     Ok(())
 }
 
+/// Fail if the static verifier found an error-severity finding.
+fn check_sound(report: ccdp_lint::LintReport) -> Result<(), PipelineError> {
+    if report.is_sound() {
+        Ok(())
+    } else {
+        Err(PipelineError::Unsound {
+            findings: report
+                .findings
+                .into_iter()
+                .filter(|f| f.severity == ccdp_lint::Severity::Error)
+                .collect(),
+        })
+    }
+}
+
 /// Sequential reference run (1 PE, everything cached and local).
 pub fn run_seq(program: &Program, cfg: &PipelineConfig) -> Result<SimResult, PipelineError> {
     check_inputs(program, cfg)?;
     let layout = Layout::new(program, 1);
-    Simulator::new(program, layout, cfg.seq_machine(), Scheme::Sequential, cfg.sim)
+    Simulator::new(program, layout, cfg.seq_machine(), SimScheme::Sequential, cfg.sim)
         .try_run()
         .map_err(PipelineError::from)
 }
 
+impl PipelineConfig {
+    /// Run one coherence scheme end to end — the single entry point for
+    /// every scheme:
+    ///
+    /// * `Base` — CRAFT-style software shared memory, shared data uncached.
+    /// * `Ccdp` — compile (stale analysis → prefetch planning →
+    ///   materialization), optionally verify statically
+    ///   ([`PipelineConfig::with_verify`]), then execute the transformed
+    ///   program. The compiler artifacts ride along in the returned
+    ///   [`SchemeRun`].
+    /// * `InvalidateOnly` — the plan's `Bypass` handlings without its
+    ///   prefetches, over the original program.
+    /// * `Mesi` / `Dragon` — event-driven snooping hardware coherence; no
+    ///   plan is compiled, and `with_verify` runs only the plan-independent
+    ///   CCDP003 phase-race audit ([`ccdp_lint::verify_hardware`]).
+    ///
+    /// Every cached scheme is checked against the coherence oracle; a stale
+    /// read fails with [`PipelineError::CoherenceViolation`].
+    pub fn run(&self, program: &Program, scheme: Scheme) -> Result<SchemeRun, PipelineError> {
+        check_inputs(program, self)?;
+        let layout = self.layout_for(program);
+        match scheme {
+            Scheme::Base => {
+                let result = Simulator::new(
+                    program,
+                    layout,
+                    self.machine.clone(),
+                    SimScheme::Base,
+                    self.sim,
+                )
+                .try_run()?;
+                Ok(SchemeRun { scheme, result, artifacts: None })
+            }
+            Scheme::Ccdp => {
+                let art = compile_ccdp(program, self);
+                if self.verify {
+                    let opt = ccdp_lint::LintOptions::from_schedule(&self.schedule);
+                    check_sound(ccdp_lint::verify(&art.transformed, &art.plan, &layout, &opt))?;
+                }
+                let result = Simulator::new(
+                    &art.transformed,
+                    layout,
+                    self.machine.clone(),
+                    SimScheme::Ccdp { plan: art.plan.clone() },
+                    self.sim,
+                )
+                .try_run()?;
+                check_coherent(&result)?;
+                Ok(SchemeRun { scheme, result, artifacts: Some(art) })
+            }
+            Scheme::InvalidateOnly => {
+                let stale = analyze_stale(program, &layout);
+                let plan = PrefetchPlan::bypass_all(program, &stale);
+                let result = Simulator::new(
+                    program,
+                    layout,
+                    self.machine.clone(),
+                    SimScheme::InvalidateOnly { plan: plan.clone() },
+                    self.sim,
+                )
+                .try_run()?;
+                check_coherent(&result)?;
+                let artifacts =
+                    CcdpArtifacts { stale, transformed: program.clone(), plan };
+                Ok(SchemeRun { scheme, result, artifacts: Some(artifacts) })
+            }
+            Scheme::Mesi | Scheme::Dragon => {
+                if self.verify {
+                    check_sound(ccdp_lint::verify_hardware(program, &layout))?;
+                }
+                let sim_scheme = match scheme {
+                    Scheme::Mesi => SimScheme::Mesi,
+                    _ => SimScheme::Dragon,
+                };
+                let result = Simulator::new(
+                    program,
+                    layout,
+                    self.machine.clone(),
+                    sim_scheme,
+                    self.sim,
+                )
+                .try_run()?;
+                check_coherent(&result)?;
+                Ok(SchemeRun { scheme, result, artifacts: None })
+            }
+        }
+    }
+}
+
 /// BASE run: CRAFT-style shared data, uncached.
+#[deprecated(since = "0.2.0", note = "use PipelineConfig::run(program, Scheme::Base)")]
 pub fn run_base(program: &Program, cfg: &PipelineConfig) -> Result<SimResult, PipelineError> {
-    check_inputs(program, cfg)?;
-    let layout = cfg.layout_for(program);
-    Simulator::new(program, layout, cfg.machine.clone(), Scheme::Base, cfg.sim)
-        .try_run()
-        .map_err(PipelineError::from)
+    cfg.run(program, Scheme::Base).map(|r| r.result)
 }
 
 /// CCDP run: compile, then execute the transformed program. Fails with
 /// [`PipelineError::CoherenceViolation`] when the generated plan let a PE
 /// consume stale data (a compiler bug by the paper's correctness argument).
+#[deprecated(since = "0.2.0", note = "use PipelineConfig::run(program, Scheme::Ccdp)")]
 pub fn run_ccdp(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<(CcdpArtifacts, SimResult), PipelineError> {
-    check_inputs(program, cfg)?;
-    let art = compile_ccdp(program, cfg);
-    let layout = cfg.layout_for(program);
-    if cfg.verify {
-        let opt = ccdp_lint::LintOptions::from_schedule(&cfg.schedule);
-        let report = ccdp_lint::verify(&art.transformed, &art.plan, &layout, &opt);
-        if !report.is_sound() {
-            return Err(PipelineError::Unsound {
-                findings: report
-                    .findings
-                    .into_iter()
-                    .filter(|f| f.severity == ccdp_lint::Severity::Error)
-                    .collect(),
-            });
-        }
-    }
-    let r = Simulator::new(
-        &art.transformed,
-        layout,
-        cfg.machine.clone(),
-        Scheme::Ccdp { plan: art.plan.clone() },
-        cfg.sim,
-    )
-    .try_run()?;
-    check_coherent(&r)?;
-    Ok((art, r))
+    cfg.run(program, Scheme::Ccdp)
+        .map(|r| (r.artifacts.expect("CCDP runs carry artifacts"), r.result))
 }
 
 /// Conservative third baseline: caching enabled but every potentially-stale
 /// read bypasses the cache (no prefetching). Isolates the latency-hiding
 /// contribution of CCDP from the caching contribution.
+#[deprecated(
+    since = "0.2.0",
+    note = "use PipelineConfig::run(program, Scheme::InvalidateOnly)"
+)]
 pub fn run_invalidate_only(
     program: &Program,
     cfg: &PipelineConfig,
 ) -> Result<SimResult, PipelineError> {
-    check_inputs(program, cfg)?;
-    let layout = cfg.layout_for(program);
-    let stale = analyze_stale(program, &layout);
-    let plan = PrefetchPlan::bypass_all(program, &stale);
-    let r = Simulator::new(
-        program,
-        layout,
-        cfg.machine.clone(),
-        Scheme::Ccdp { plan },
-        cfg.sim,
-    )
-    .try_run()?;
-    check_coherent(&r)?;
-    Ok(r)
+    cfg.run(program, Scheme::InvalidateOnly).map(|r| r.result)
 }
 
-/// The paper's headline numbers for one kernel at one PE count.
+/// One scheme's simulation plus, for the plan-driven schemes, the compiler
+/// artifacts that produced it.
 #[derive(Clone)]
-pub struct Comparison {
-    pub n_pes: usize,
-    pub seq: SimResult,
-    pub base: SimResult,
-    pub ccdp: SimResult,
-    /// Table 1, BASE column: `seq_cycles / base_cycles`.
-    pub base_speedup: f64,
-    /// Table 1, CCDP column.
-    pub ccdp_speedup: f64,
-    /// Table 2: percentage improvement of CCDP over BASE.
-    pub improvement_pct: f64,
-    pub plan_stats: PlanStats,
-    pub stale_reads: usize,
-    pub shared_reads: usize,
+pub struct SchemeRun {
+    pub scheme: Scheme,
+    pub result: SimResult,
+    /// `Some` for `Ccdp` (the full pipeline's output) and `InvalidateOnly`
+    /// (stale analysis + bypass-all plan over the original program); `None`
+    /// for `Base` and the hardware schemes, which compile nothing.
+    pub artifacts: Option<CcdpArtifacts>,
 }
 
-/// Run all three schemes and compute the paper's metrics. Fails when the
-/// CCDP run violates coherence (see [`run_ccdp`]).
-pub fn compare(program: &Program, cfg: &PipelineConfig) -> Result<Comparison, PipelineError> {
+/// N-way comparison for one kernel at one PE count: every requested scheme
+/// against the shared sequential denominator — the paper's Tables 1/2
+/// generalized to the hardware rivals.
+#[derive(Clone)]
+pub struct SchemeMatrix {
+    pub n_pes: usize,
+    /// The 1-PE sequential reference run (speedup denominator).
+    pub seq: SimResult,
+    /// One run per requested scheme, in request order.
+    pub runs: Vec<SchemeRun>,
+    /// Potentially-stale shared reads found by the analysis.
+    pub stale_reads: usize,
+    /// All shared reads in the program.
+    pub shared_reads: usize,
+    /// Statistics of the CCDP prefetch plan (compiled once per matrix even
+    /// when `Ccdp` is not among the requested schemes, so reports always
+    /// describe what the compiler would emit).
+    pub plan_stats: PlanStats,
+}
+
+impl SchemeMatrix {
+    /// The run of one scheme, if it was requested.
+    pub fn get(&self, s: Scheme) -> Option<&SchemeRun> {
+        self.runs.iter().find(|r| r.scheme == s)
+    }
+
+    /// Simulated cycles of one scheme's run.
+    pub fn cycles(&self, s: Scheme) -> Option<u64> {
+        self.get(s).map(|r| r.result.cycles)
+    }
+
+    /// Table 1 generalization: `seq_cycles / scheme_cycles`.
+    pub fn speedup(&self, s: Scheme) -> Option<f64> {
+        self.cycles(s).map(|c| self.seq.cycles as f64 / c as f64)
+    }
+
+    /// Percentage improvement in execution time of `s` over BASE.
+    pub fn improvement_over_base(&self, s: Scheme) -> Option<f64> {
+        let base = self.cycles(Scheme::Base)? as f64;
+        let c = self.cycles(s)? as f64;
+        Some(100.0 * (base - c) / base)
+    }
+
+    /// The paper's Table 2 number: improvement of CCDP over BASE.
+    pub fn improvement_pct(&self) -> Option<f64> {
+        self.improvement_over_base(Scheme::Ccdp)
+    }
+}
+
+/// Run the requested schemes plus the sequential denominator and compute
+/// the paper's metrics. Fails on the first coherence violation.
+pub fn compare(
+    program: &Program,
+    cfg: &PipelineConfig,
+    schemes: &[Scheme],
+) -> Result<SchemeMatrix, PipelineError> {
     let seq = run_seq(program, cfg)?;
-    compare_with_seq(program, cfg, seq)
+    compare_with_seq(program, cfg, seq, schemes)
 }
 
 /// [`compare`] with the sequential denominator supplied by the caller. The
@@ -356,24 +540,32 @@ pub fn compare_with_seq(
     program: &Program,
     cfg: &PipelineConfig,
     seq: SimResult,
-) -> Result<Comparison, PipelineError> {
-    let base = run_base(program, cfg)?;
-    let (art, ccdp) = run_ccdp(program, cfg)?;
-    let base_speedup = seq.cycles as f64 / base.cycles as f64;
-    let ccdp_speedup = seq.cycles as f64 / ccdp.cycles as f64;
-    let improvement_pct =
-        100.0 * (base.cycles as f64 - ccdp.cycles as f64) / base.cycles as f64;
-    Ok(Comparison {
+    schemes: &[Scheme],
+) -> Result<SchemeMatrix, PipelineError> {
+    let mut runs = Vec::with_capacity(schemes.len());
+    for &s in schemes {
+        runs.push(cfg.run(program, s)?);
+    }
+    // Analysis stats come from the CCDP compile; reuse the run's artifacts
+    // when CCDP was requested, compile (statically — no simulation) if not.
+    let (stale_reads, shared_reads, plan_stats) = match runs
+        .iter()
+        .find(|r| r.scheme == Scheme::Ccdp)
+        .and_then(|r| r.artifacts.as_ref())
+    {
+        Some(a) => (a.stale.n_stale(), a.stale.n_shared_reads, a.plan.stats),
+        None => {
+            let a = compile_ccdp(program, cfg);
+            (a.stale.n_stale(), a.stale.n_shared_reads, a.plan.stats)
+        }
+    };
+    Ok(SchemeMatrix {
         n_pes: cfg.n_pes,
         seq,
-        base,
-        ccdp,
-        base_speedup,
-        ccdp_speedup,
-        improvement_pct,
-        plan_stats: art.plan.stats,
-        stale_reads: art.stale.n_stale(),
-        shared_reads: art.stale.n_shared_reads,
+        runs,
+        stale_reads,
+        shared_reads,
+        plan_stats,
     })
 }
 
@@ -400,26 +592,91 @@ mod unit {
     #[test]
     fn compare_produces_consistent_metrics() {
         let p = kernel();
-        let cmp = compare(&p, &PipelineConfig::t3d(4)).expect("coherent");
-        assert!(cmp.base_speedup > 0.0 && cmp.ccdp_speedup > 0.0);
-        let recomputed =
-            100.0 * (1.0 - cmp.ccdp.cycles as f64 / cmp.base.cycles as f64);
-        assert!((cmp.improvement_pct - recomputed).abs() < 1e-9);
+        let cmp =
+            compare(&p, &PipelineConfig::t3d(4), &[Scheme::Base, Scheme::Ccdp])
+                .expect("coherent");
+        assert!(cmp.speedup(Scheme::Base).unwrap() > 0.0);
+        assert!(cmp.speedup(Scheme::Ccdp).unwrap() > 0.0);
+        let base = cmp.cycles(Scheme::Base).unwrap() as f64;
+        let ccdp = cmp.cycles(Scheme::Ccdp).unwrap() as f64;
+        let recomputed = 100.0 * (1.0 - ccdp / base);
+        assert!((cmp.improvement_pct().unwrap() - recomputed).abs() < 1e-9);
         assert!(cmp.stale_reads > 0);
         assert!(cmp.shared_reads >= cmp.stale_reads);
+        // Unrequested schemes read as absent, not as zero.
+        assert!(cmp.get(Scheme::Mesi).is_none());
+        assert!(cmp.speedup(Scheme::Dragon).is_none());
     }
 
     #[test]
     fn invalidate_only_sits_between_base_and_ccdp_here() {
         let p = kernel();
         let cfg = PipelineConfig::t3d(4);
-        let base = run_base(&p, &cfg).expect("valid config");
-        let inv = run_invalidate_only(&p, &cfg).expect("coherent");
-        let (_, ccdp) = run_ccdp(&p, &cfg).expect("coherent");
+        let base = cfg.run(&p, Scheme::Base).expect("valid config").result;
+        let inv = cfg.run(&p, Scheme::InvalidateOnly).expect("coherent").result;
+        let ccdp = cfg.run(&p, Scheme::Ccdp).expect("coherent").result;
         assert!(inv.oracle.is_coherent());
+        assert_eq!(inv.scheme, "INV");
         // Caching clean data already beats BASE; prefetching beats both.
         assert!(inv.cycles <= base.cycles);
         assert!(ccdp.cycles <= inv.cycles);
+    }
+
+    #[test]
+    fn hardware_schemes_run_coherent_without_a_plan() {
+        let p = kernel();
+        let cfg = PipelineConfig::t3d(4).with_verify(true);
+        let seq = run_seq(&p, &cfg).unwrap();
+        for scheme in [Scheme::Mesi, Scheme::Dragon] {
+            let run = cfg.run(&p, scheme).expect("coherent");
+            assert!(run.artifacts.is_none(), "hardware schemes compile nothing");
+            assert_eq!(run.result.scheme, scheme.name());
+            assert!(run.result.oracle.is_coherent());
+            // Numerics must match the sequential golden run exactly.
+            for a in p.arrays.iter() {
+                assert_eq!(
+                    run.result.array_values(&p, a.id),
+                    seq.array_values(&p, a.id),
+                    "{} numerics diverged",
+                    scheme.name()
+                );
+            }
+            let stats = run.result.total_stats();
+            assert!(stats.bus_txns > 0, "{} issued no bus transactions", scheme.name());
+        }
+    }
+
+    #[test]
+    fn scheme_names_parse_and_classify() {
+        assert_eq!(Scheme::ALL.len(), 5);
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::parse(s.name()), Some(s));
+            assert_eq!(Scheme::parse(s.key()), Some(s));
+            assert_eq!(s.key(), s.name().to_ascii_lowercase());
+        }
+        assert_eq!(Scheme::parse("mesi"), Some(Scheme::Mesi));
+        assert_eq!(Scheme::parse("bogus"), None);
+        assert!(Scheme::Mesi.is_hardware() && Scheme::Dragon.is_hardware());
+        assert!(!Scheme::Ccdp.is_hardware() && !Scheme::Base.is_hardware());
+    }
+
+    /// The deprecated shims stay one release and must keep behaving exactly
+    /// like `run(Scheme)`.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_run() {
+        let p = kernel();
+        let cfg = PipelineConfig::t3d(4);
+        let base = run_base(&p, &cfg).unwrap();
+        assert_eq!(base.cycles, cfg.run(&p, Scheme::Base).unwrap().result.cycles);
+        let (art, ccdp) = run_ccdp(&p, &cfg).unwrap();
+        assert_eq!(ccdp.cycles, cfg.run(&p, Scheme::Ccdp).unwrap().result.cycles);
+        assert!(art.plan.stats.targets > 0);
+        let inv = run_invalidate_only(&p, &cfg).unwrap();
+        assert_eq!(
+            inv.cycles,
+            cfg.run(&p, Scheme::InvalidateOnly).unwrap().result.cycles
+        );
     }
 
     #[test]
@@ -434,11 +691,12 @@ mod unit {
             .with_sim(SimOptions { oracle_examples: 2, ..Default::default() });
         assert!(cfg.layout.is_some());
         assert_eq!(cfg.sim.oracle_examples, 2);
-        let cmp = compare(&p, &cfg).expect("coherent");
+        let schemes = [Scheme::Base, Scheme::Ccdp];
+        let cmp = compare(&p, &cfg, &schemes).expect("coherent");
         // The explicit layout is the default one, so results must match the
         // un-customized run.
-        let plain = compare(&p, &PipelineConfig::t3d(4)).expect("coherent");
-        assert_eq!(cmp.ccdp.cycles, plain.ccdp.cycles);
+        let plain = compare(&p, &PipelineConfig::t3d(4), &schemes).expect("coherent");
+        assert_eq!(cmp.cycles(Scheme::Ccdp), plain.cycles(Scheme::Ccdp));
     }
 
     #[test]
@@ -467,11 +725,17 @@ mod unit {
 
         let cfg = PipelineConfig::t3d(4)
             .with_faults(FaultPlan::none().with_drop_rate(1.5));
+        for scheme in Scheme::ALL {
+            assert!(
+                matches!(cfg.run(&p, scheme), Err(PipelineError::InvalidConfig(_))),
+                "{} accepted an invalid fault plan",
+                scheme.name()
+            );
+        }
         assert!(matches!(
-            run_base(&p, &cfg),
+            compare(&p, &cfg, &[Scheme::Base]),
             Err(PipelineError::InvalidConfig(_))
         ));
-        assert!(matches!(compare(&p, &cfg), Err(PipelineError::InvalidConfig(_))));
     }
 
     #[test]
@@ -480,7 +744,7 @@ mod unit {
         let plan = FaultPlan::none().with_seed(5).with_drop_rate(1.0);
         let cfg = PipelineConfig::t3d(4).with_faults(plan);
         assert_eq!(cfg.sim.faults, plan);
-        let (_, r) = run_ccdp(&p, &cfg).expect("coherent under faults");
+        let r = cfg.run(&p, Scheme::Ccdp).expect("coherent under faults").result;
         let fs = r.fault_stats();
         assert!(fs.prefetches_dropped > 0, "rate-1.0 drop plan injected nothing");
         // Graceful degradation: still coherent, numerics still correct.
@@ -494,22 +758,28 @@ mod unit {
     fn with_verify_passes_sound_plans_and_rejects_races() {
         let p = kernel();
         let cfg = PipelineConfig::t3d(4).with_verify(true);
-        run_ccdp(&p, &cfg).expect("planner output must verify");
+        cfg.run(&p, Scheme::Ccdp).expect("planner output must verify");
 
         // A constant-subscript write inside a DOALL is a cross-PE race the
-        // verifier flags statically, before any simulation runs.
+        // verifier flags statically, before any simulation runs — for the
+        // software schemes AND the hardware ones (no protocol fixes a
+        // same-phase write-write race).
         let mut pb = ProgramBuilder::new("racy");
         let a = pb.shared("A", &[64]);
         pb.parallel_epoch("w", |e| {
             e.doall("i", 0, 63, |e, _i| e.assign(a.at1(0), 1.0));
         });
         let racy = pb.finish().unwrap();
-        let Err(err) = run_ccdp(&racy, &cfg) else { panic!("race must be rejected") };
-        let PipelineError::Unsound { findings } = &err else {
-            panic!("expected Unsound, got {err}");
-        };
-        assert!(!findings.is_empty());
-        assert!(format!("{err}").contains("static verification"), "{err}");
+        for scheme in [Scheme::Ccdp, Scheme::Mesi, Scheme::Dragon] {
+            let Err(err) = cfg.run(&racy, scheme) else {
+                panic!("{} must reject the race", scheme.name())
+            };
+            let PipelineError::Unsound { findings } = &err else {
+                panic!("expected Unsound, got {err}");
+            };
+            assert!(!findings.is_empty());
+            assert!(format!("{err}").contains("static verification"), "{err}");
+        }
     }
 
     #[test]

@@ -1,37 +1,55 @@
-//! Text reports in the shape of the paper's tables.
+//! Text reports in the shape of the paper's tables, generalized to N
+//! coherence schemes.
 //!
 //! The formatters come in two layers: [`TableRow`]/[`TableCell`] render
 //! plain numbers (so a resumed benchmark run can rebuild the tables from
-//! journaled JSON without re-simulating), and the [`ComparisonRow`]
-//! wrappers feed live [`Comparison`] results into the same renderer.
-//! Failed grid cells render as `--` placeholders.
+//! journaled JSON without re-simulating), and the [`MatrixRow`] wrappers
+//! feed live [`SchemeMatrix`] results into the same renderer. Failed grid
+//! cells render as `--` placeholders. Each kernel gets one speedup column
+//! per scheme (the seed's BASE/CCDP pair is the `&[Scheme::Base,
+//! Scheme::Ccdp]` special case).
 
-use crate::pipeline::Comparison;
+use crate::pipeline::{Scheme, SchemeMatrix};
 
-/// One table row: a kernel name plus its comparisons across PE counts.
-pub struct ComparisonRow<'a> {
+/// One table row: a kernel name plus its matrices across PE counts.
+pub struct MatrixRow<'a> {
     pub kernel: &'a str,
-    pub comparisons: &'a [Comparison],
+    pub matrices: &'a [SchemeMatrix],
 }
 
-/// One table cell as plain numbers. `None` metrics mean the cell failed
-/// (panicked, timed out, exceeded its budget) and renders as `--`.
-#[derive(Clone, Copy, Debug)]
+/// One table cell as plain numbers: per-scheme speedups in display order.
+/// `None` metrics mean the cell failed (panicked, timed out, exceeded its
+/// budget) and render as `--`.
+#[derive(Clone, Debug)]
 pub struct TableCell {
     pub n_pes: usize,
-    pub base_speedup: Option<f64>,
-    pub ccdp_speedup: Option<f64>,
+    /// `(scheme name, speedup)` pairs, one per scheme column.
+    pub speedups: Vec<(&'static str, Option<f64>)>,
+    /// Table 2 number: improvement of CCDP over BASE.
     pub improvement_pct: Option<f64>,
 }
 
 impl TableCell {
-    /// A cell from a live comparison (always fully populated).
-    pub fn from_comparison(c: &Comparison) -> TableCell {
+    /// A cell from a live matrix (always fully populated).
+    pub fn from_matrix(m: &SchemeMatrix) -> TableCell {
         TableCell {
-            n_pes: c.n_pes,
-            base_speedup: Some(c.base_speedup),
-            ccdp_speedup: Some(c.ccdp_speedup),
-            improvement_pct: Some(c.improvement_pct),
+            n_pes: m.n_pes,
+            speedups: m
+                .runs
+                .iter()
+                .map(|r| (r.scheme.name(), m.speedup(r.scheme)))
+                .collect(),
+            improvement_pct: m.improvement_pct(),
+        }
+    }
+
+    /// A failed cell: every metric renders as `--`, with the scheme columns
+    /// the run would have produced.
+    pub fn failed(n_pes: usize, schemes: &[Scheme]) -> TableCell {
+        TableCell {
+            n_pes,
+            speedups: schemes.iter().map(|s| (s.name(), None)).collect(),
+            improvement_pct: None,
         }
     }
 }
@@ -49,39 +67,43 @@ fn fmt_metric(v: Option<f64>) -> String {
     }
 }
 
-/// Render Table 1 from plain-number rows: per kernel a BASE and a CCDP
-/// column, one row per PE count.
+/// Render Table 1 from plain-number rows: per kernel one speedup column per
+/// scheme, one row per PE count.
 pub fn format_speedup_cells(rows: &[TableRow<'_>]) -> String {
     let mut out = String::new();
     out.push_str("Table 1. Speedups over sequential execution time.\n");
     out.push_str(&format!("{:>6} ", "#PEs"));
     for r in rows {
-        out.push_str(&format!("| {:^17} ", r.kernel));
+        let n = r.cells.first().map_or(0, |c| c.speedups.len());
+        let width = (9 * n.max(1)) - 1;
+        out.push_str(&format!("| {:^width$} ", r.kernel));
     }
     out.push('\n');
     out.push_str(&format!("{:>6} ", ""));
-    for _ in rows {
-        out.push_str(&format!("| {:>8} {:>8} ", "BASE", "CCDP"));
+    for r in rows {
+        out.push_str("| ");
+        for (name, _) in r.cells.first().map_or(&[][..], |c| c.speedups.as_slice()) {
+            out.push_str(&format!("{name:>8} "));
+        }
     }
     out.push('\n');
     let n = rows.first().map_or(0, |r| r.cells.len());
     for i in 0..n {
         out.push_str(&format!("{:>6} ", rows[0].cells[i].n_pes));
         for r in rows {
-            let c = &r.cells[i];
-            out.push_str(&format!(
-                "| {} {} ",
-                fmt_metric(c.base_speedup),
-                fmt_metric(c.ccdp_speedup)
-            ));
+            out.push_str("| ");
+            for (_, v) in &r.cells[i].speedups {
+                out.push_str(&fmt_metric(*v));
+                out.push(' ');
+            }
         }
         out.push('\n');
     }
     out
 }
 
-/// Render Table 2 from plain-number rows: one percentage per kernel per PE
-/// count.
+/// Render Table 2 from plain-number rows: one CCDP-over-BASE percentage per
+/// kernel per PE count.
 pub fn format_improvement_cells(rows: &[TableRow<'_>]) -> String {
     let mut out = String::new();
     out.push_str("Table 2. Improvement in execution time of CCDP over BASE.\n");
@@ -101,16 +123,16 @@ pub fn format_improvement_cells(rows: &[TableRow<'_>]) -> String {
     out
 }
 
-fn to_cells(rows: &[ComparisonRow<'_>]) -> Vec<(usize, Vec<TableCell>)> {
+fn to_cells(rows: &[MatrixRow<'_>]) -> Vec<(usize, Vec<TableCell>)> {
     rows.iter()
         .enumerate()
-        .map(|(i, r)| (i, r.comparisons.iter().map(TableCell::from_comparison).collect()))
+        .map(|(i, r)| (i, r.matrices.iter().map(TableCell::from_matrix).collect()))
         .collect()
 }
 
-/// Render Table 1: "Speedups over sequential execution time" — per kernel a
-/// BASE and a CCDP column, one row per PE count.
-pub fn format_speedup_table(rows: &[ComparisonRow<'_>]) -> String {
+/// Render Table 1: "Speedups over sequential execution time" — per kernel
+/// one column per scheme, one row per PE count.
+pub fn format_speedup_table(rows: &[MatrixRow<'_>]) -> String {
     let cells = to_cells(rows);
     let trows: Vec<TableRow<'_>> = cells
         .iter()
@@ -121,7 +143,7 @@ pub fn format_speedup_table(rows: &[ComparisonRow<'_>]) -> String {
 
 /// Render Table 2: "Improvement in execution time of CCDP codes over BASE
 /// codes" — one percentage per kernel per PE count.
-pub fn format_improvement_table(rows: &[ComparisonRow<'_>]) -> String {
+pub fn format_improvement_table(rows: &[MatrixRow<'_>]) -> String {
     let cells = to_cells(rows);
     let trows: Vec<TableRow<'_>> = cells
         .iter()
@@ -152,15 +174,19 @@ mod unit {
     }
 
     #[test]
-    fn tables_render() {
+    fn tables_render_n_way() {
         let p = tiny();
-        let comps: Vec<_> = [1, 2, 4]
+        let schemes =
+            [Scheme::Base, Scheme::Ccdp, Scheme::Mesi, Scheme::Dragon];
+        let mats: Vec<_> = [1, 2, 4]
             .iter()
-            .map(|&n| compare(&p, &PipelineConfig::t3d(n)).expect("coherent"))
+            .map(|&n| compare(&p, &PipelineConfig::t3d(n), &schemes).expect("coherent"))
             .collect();
-        let rows = [ComparisonRow { kernel: "TINY", comparisons: &comps }];
+        let rows = [MatrixRow { kernel: "TINY", matrices: &mats }];
         let t1 = format_speedup_table(&rows);
-        assert!(t1.contains("TINY") && t1.contains("BASE") && t1.contains("CCDP"));
+        for name in ["TINY", "BASE", "CCDP", "MESI", "DRAGON"] {
+            assert!(t1.contains(name), "missing {name} in:\n{t1}");
+        }
         assert_eq!(t1.lines().count(), 2 + 1 + 3);
         let t2 = format_improvement_table(&rows);
         assert!(t2.contains('%'));
@@ -172,16 +198,10 @@ mod unit {
         let cells = [
             TableCell {
                 n_pes: 2,
-                base_speedup: Some(1.5),
-                ccdp_speedup: Some(2.0),
+                speedups: vec![("BASE", Some(1.5)), ("CCDP", Some(2.0))],
                 improvement_pct: Some(25.0),
             },
-            TableCell {
-                n_pes: 4,
-                base_speedup: None,
-                ccdp_speedup: None,
-                improvement_pct: None,
-            },
+            TableCell::failed(4, &[Scheme::Base, Scheme::Ccdp]),
         ];
         let rows = [TableRow { kernel: "TINY", cells: &cells }];
         let t1 = format_speedup_cells(&rows);
@@ -192,14 +212,15 @@ mod unit {
     }
 
     #[test]
-    fn cell_rows_match_comparison_rows_byte_for_byte() {
+    fn cell_rows_match_matrix_rows_byte_for_byte() {
         let p = tiny();
-        let comps: Vec<_> = [1, 2]
+        let schemes = [Scheme::Base, Scheme::Ccdp];
+        let mats: Vec<_> = [1, 2]
             .iter()
-            .map(|&n| compare(&p, &PipelineConfig::t3d(n)).expect("coherent"))
+            .map(|&n| compare(&p, &PipelineConfig::t3d(n), &schemes).expect("coherent"))
             .collect();
-        let rows = [ComparisonRow { kernel: "TINY", comparisons: &comps }];
-        let cells: Vec<TableCell> = comps.iter().map(TableCell::from_comparison).collect();
+        let rows = [MatrixRow { kernel: "TINY", matrices: &mats }];
+        let cells: Vec<TableCell> = mats.iter().map(TableCell::from_matrix).collect();
         let trows = [TableRow { kernel: "TINY", cells: &cells }];
         assert_eq!(format_speedup_table(&rows), format_speedup_cells(&trows));
         assert_eq!(format_improvement_table(&rows), format_improvement_cells(&trows));

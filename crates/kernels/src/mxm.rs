@@ -126,7 +126,7 @@ pub fn spec(pr: &Params) -> KernelSpec {
 mod unit {
     use super::*;
     use crate::values_equal;
-    use ccdp_core::{compare, PipelineConfig};
+    use ccdp_core::{compare, PipelineConfig, Scheme};
 
     #[test]
     fn sequential_matches_golden() {
@@ -156,15 +156,15 @@ mod unit {
     fn all_schemes_agree_and_ccdp_wins_big() {
         let pr = Params::small();
         let spec = spec(&pr);
-        let cmp = compare(&spec.program, &PipelineConfig::t3d(4)).expect("coherent");
+        let cmp = compare(&spec.program, &PipelineConfig::t3d(4), &[Scheme::Base, Scheme::Ccdp])
+            .expect("coherent");
         let cid = spec.program.array_by_name("C").unwrap().id;
-        assert!(values_equal(&cmp.base.array_values(&spec.program, cid), &spec.golden));
+        let base = &cmp.get(Scheme::Base).unwrap().result;
         // CCDP runs the transformed program, same array ids.
-        assert!(values_equal(&cmp.ccdp.array_values(&spec.program, cid), &spec.golden));
-        assert!(
-            cmp.improvement_pct > 30.0,
-            "MXM should improve a lot: {:.1}%",
-            cmp.improvement_pct
-        );
+        let ccdp = &cmp.get(Scheme::Ccdp).unwrap().result;
+        assert!(values_equal(&base.array_values(&spec.program, cid), &spec.golden));
+        assert!(values_equal(&ccdp.array_values(&spec.program, cid), &spec.golden));
+        let imp = cmp.improvement_pct().unwrap();
+        assert!(imp > 30.0, "MXM should improve a lot: {imp:.1}%");
     }
 }

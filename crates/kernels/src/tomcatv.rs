@@ -218,7 +218,7 @@ pub fn spec(pr: &Params) -> KernelSpec {
 mod unit {
     use super::*;
     use crate::values_equal;
-    use ccdp_core::{compare, PipelineConfig};
+    use ccdp_core::{compare, PipelineConfig, Scheme};
 
     #[test]
     fn sequential_matches_golden() {
@@ -244,14 +244,14 @@ mod unit {
     fn all_schemes_agree_and_ccdp_wins() {
         let pr = Params::small();
         let s = spec(&pr);
-        let cmp = compare(&s.program, &PipelineConfig::t3d(4)).expect("coherent");
+        let cmp = compare(&s.program, &PipelineConfig::t3d(4), &[Scheme::Base, Scheme::Ccdp])
+            .expect("coherent");
         let xid = s.program.array_by_name("X").unwrap().id;
-        assert!(values_equal(&cmp.base.array_values(&s.program, xid), &s.golden));
-        assert!(values_equal(&cmp.ccdp.array_values(&s.program, xid), &s.golden));
-        assert!(
-            cmp.improvement_pct > 10.0,
-            "TOMCATV should improve substantially: {:.1}%",
-            cmp.improvement_pct
-        );
+        let base = &cmp.get(Scheme::Base).unwrap().result;
+        let ccdp = &cmp.get(Scheme::Ccdp).unwrap().result;
+        assert!(values_equal(&base.array_values(&s.program, xid), &s.golden));
+        assert!(values_equal(&ccdp.array_values(&s.program, xid), &s.golden));
+        let imp = cmp.improvement_pct().unwrap();
+        assert!(imp > 10.0, "TOMCATV should improve substantially: {imp:.1}%");
     }
 }

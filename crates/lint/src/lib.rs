@@ -41,7 +41,7 @@
 
 use std::collections::HashMap;
 
-use ccdp_analysis::verify::{coverage_obligations, Obligations};
+use ccdp_analysis::verify::{coverage_obligations, EpochObligations, Obligations};
 use ccdp_analysis::{find_uniform_groups, group_spatial};
 use ccdp_dist::{doall_range_for_pe, Layout};
 use ccdp_ir::{
@@ -461,6 +461,58 @@ fn reason_text(reason: ccdp_analysis::StaleReason) -> &'static str {
     }
 }
 
+/// Append the CCDP003 phase-race findings of one epoch. Plan-independent:
+/// shared by [`verify`] and [`verify_hardware`].
+fn push_race_findings(
+    program: &Program,
+    refs: &[CollectedRef],
+    eo: &EpochObligations,
+    findings: &mut Vec<Finding>,
+) {
+    for race in &eo.races {
+        let loc = match (read_or_write(refs, race.writes.0), read_or_write(refs, race.writes.1)) {
+            (Some(w1), Some(w2)) => {
+                format!("{} / {}", render_ref(program, &w1.r), render_ref(program, &w2.r))
+            }
+            _ => "<unresolved writes>".to_string(),
+        };
+        findings.push(Finding {
+            code: LintCode::PhaseRace,
+            severity: LintCode::PhaseRace.severity(),
+            epoch: eo.label.clone(),
+            rid: Some(race.writes.0),
+            location: loc,
+            message: format!(
+                "PEs {} and {} may write the same element inside one barrier \
+                 phase; no epoch ordering separates these writes",
+                race.pes.0, race.pes.1
+            ),
+        });
+    }
+}
+
+/// Static audit for the hardware-coherence schemes (MESI / Dragon): the
+/// snooping protocol discharges every read-coverage obligation in hardware,
+/// so there is no plan to check — but a write-write overlap inside one
+/// barrier phase (CCDP003) is a *program* bug no coherence protocol fixes,
+/// and the simulator's eager-snoop model additionally relies on its
+/// absence. Runs on the **original** program (hardware schemes execute no
+/// prefetch constructs); `n_obligations`/`n_prefetches` stay zero.
+pub fn verify_hardware(program: &Program, layout: &Layout) -> LintReport {
+    let ob: Obligations = coverage_obligations(program, layout);
+    let mut report = LintReport::default();
+    let mut epoch_by_id: HashMap<ccdp_ir::EpochId, &Epoch> = HashMap::new();
+    for e in program.epochs() {
+        epoch_by_id.entry(e.id).or_insert(e);
+    }
+    for eo in &ob.per_epoch {
+        let Some(epoch) = epoch_by_id.get(&eo.epoch).copied() else { continue };
+        let refs = collect_refs_in_stmts(&epoch.stmts);
+        push_race_findings(program, &refs, eo, &mut report.findings);
+    }
+    report
+}
+
 /// Run the verifier: prove every obligation of `(program, layout)` is
 /// discharged by `plan`. `program` must be the **transformed** program (the
 /// one carrying the materialized prefetch constructs).
@@ -524,26 +576,7 @@ pub fn verify(
         }
 
         // --- CCDP003: phase races (independent of the plan). ---
-        for race in &eo.races {
-            let loc = match (read_or_write(&refs, race.writes.0), read_or_write(&refs, race.writes.1)) {
-                (Some(w1), Some(w2)) => {
-                    format!("{} / {}", render_ref(program, &w1.r), render_ref(program, &w2.r))
-                }
-                _ => "<unresolved writes>".to_string(),
-            };
-            report.findings.push(Finding {
-                code: LintCode::PhaseRace,
-                severity: LintCode::PhaseRace.severity(),
-                epoch: eo.label.clone(),
-                rid: Some(race.writes.0),
-                location: loc,
-                message: format!(
-                    "PEs {} and {} may write the same element inside one barrier \
-                     phase; no epoch ordering separates these writes",
-                    race.pes.0, race.pes.1
-                ),
-            });
-        }
+        push_race_findings(program, &refs, eo, &mut report.findings);
 
         // --- Match constructs to the reads they claim to cover. ---
         let mut covered: std::collections::HashSet<RefId> = std::collections::HashSet::new();
@@ -910,6 +943,46 @@ mod unit {
         let rep = verify(&tp, &plan, &layout, &LintOptions::default());
         assert!(rep.findings.iter().any(|f| f.code == LintCode::PhaseRace));
         assert!(!rep.is_sound());
+    }
+
+    /// Pinning test for the hardware-scheme audit: plan-coverage findings
+    /// (CCDP001/002/004/005) never fire — MESI/Dragon need no plan — but
+    /// CCDP003 phase races are still reported, identically to [`verify`].
+    #[test]
+    fn hardware_audit_skips_coverage_but_keeps_races() {
+        // A program full of uncovered stale reads is fine under hardware
+        // coherence...
+        let p = two_epoch_program();
+        let layout = Layout::new(&p, 4);
+        let rep = verify_hardware(&p, &layout);
+        assert!(rep.is_sound(), "{}", rep.render());
+        assert!(rep.findings.is_empty(), "{}", rep.render());
+        assert_eq!(rep.n_obligations, 0);
+        assert_eq!(rep.n_prefetches, 0);
+        // ...but a same-phase write-write race is a program bug under every
+        // scheme, and the finding matches the plan-checking verifier's.
+        let mut pb = ProgramBuilder::new("race");
+        let a = pb.shared("A", &[16]);
+        pb.parallel_epoch("racy", |e| {
+            e.doall("i", 0, 15, |e, _i| {
+                e.assign(a.at1(0), 1.0);
+            });
+        });
+        let racy = pb.finish().unwrap();
+        let (tp, plan, layout) = compile(&racy, 4);
+        let hw = verify_hardware(&racy, &layout);
+        assert!(!hw.is_sound());
+        assert!(hw.findings.iter().all(|f| f.code == LintCode::PhaseRace));
+        let sw = verify(&tp, &plan, &layout, &LintOptions::default());
+        let races =
+            |r: &LintReport| {
+                r.findings
+                    .iter()
+                    .filter(|f| f.code == LintCode::PhaseRace)
+                    .map(|f| (f.epoch.clone(), f.location.clone(), f.message.clone()))
+                    .collect::<Vec<_>>()
+            };
+        assert_eq!(races(&hw), races(&sw), "race findings must match verify()'s");
     }
 
     #[test]

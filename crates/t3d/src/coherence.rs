@@ -1,0 +1,831 @@
+//! Coherence backends: the seam between the interpreter and "what happens
+//! on a shared read/write".
+//!
+//! Every scheme the simulator executes is a [`CoherenceBackend`]: the
+//! interpreter's tree walker routes **all** shared-data reads and writes
+//! through the trait, so one dispatch point decides state lookup, remote
+//! traffic, cycle charges, and stats. The software schemes (SEQ / BASE /
+//! CCDP / INV) are *static* backends — their per-reference decisions are
+//! fixed by the scheme and the prefetch plan, which is why the compiled
+//! trace can specialize them into [`crate::compiled::AccessKind`] at
+//! compile time (the `compiled_equivalence` property test pins the two
+//! paths together). The hardware schemes (MESI / Dragon) are *dynamic*
+//! backends: they carry per-PE line-state machines and a snooping-bus
+//! model, and both execution paths dispatch them through the trait
+//! ([`crate::compiled::AccessKind::Hardware`]).
+//!
+//! # Hardware backends: data model
+//!
+//! Both hardware backends keep the **data shadow write-through**: every
+//! store still updates main memory (bumping the word's version) exactly as
+//! the software schemes do, so the coherence oracle and the golden-numerics
+//! check apply unchanged. What the protocol state machine governs is the
+//! *sharing traffic*: which accesses ride the snooping bus, which remote
+//! copies get invalidated (MESI) or patched in place (Dragon), and what
+//! that costs. A correct protocol keeps every cached copy current, so both
+//! backends are oracle-coherent by construction; the oracle still checks
+//! every consumed read, so a protocol bug shows up as a genuine stale value.
+//!
+//! Dirty-line writeback on eviction is *not* modelled (the shadow keeps
+//! memory current, so there is nothing to write back); the protocols here
+//! cost the transaction structure — misses, upgrades, updates — not the
+//! writeback stream.
+//!
+//! # Bus model
+//!
+//! One shared snooping bus, modelled without a global event queue (PEs
+//! simulate independently between barriers): each transaction charges the
+//! issuing PE its own occupancy `bus_txn` ([`CycleCategory::BusTxn`]) plus
+//! the *mean residual occupancy* of the other `P - 1` contending PEs,
+//! `bus_txn * (P - 1) / 2` ([`CycleCategory::BusWait`]) — deterministic,
+//! order-independent, and monotone in `P`, which is the contention shape a
+//! shared bus imposes. On top of that, each PE owns a **delayed-message
+//! queue** (after cachesim-rs-mp's `delayed_q`): a transaction's snoop
+//! traffic stays outstanding for `bus_txn * (P - 1)` cycles after issue,
+//! and a PE with [`MachineConfig::bus_queue`] messages outstanding stalls
+//! until the oldest drains. Fault-plan queue storms shrink this capacity
+//! through the same [`FaultEngine::effective_queue`] hook that storms the
+//! prefetch queue, and latency spikes multiply miss-fill latency through
+//! `fill_multiplier` — fault injection applies uniformly through the
+//! trait's charge points.
+//!
+//! Snoop side effects (invalidations, updates) are applied eagerly at the
+//! writer's transaction. PEs execute sequentially within a phase, so this
+//! is the same "writes land in simulation order" convention every software
+//! scheme already uses; programs free of same-phase cross-PE races (what
+//! `ccdp-lint`'s phase-race detection verifies) observe identical values
+//! either way, and all effects have landed by the barrier.
+
+use std::collections::HashMap;
+
+use ccdp_ir::RefId;
+
+use crate::interp::Simulator;
+use crate::metrics::{CycleCategory, TraceEventKind};
+use crate::Scheme;
+
+/// What happens on a shared-data access under one execution scheme.
+///
+/// Methods take the [`Simulator`] explicitly (the backend is moved out of
+/// the simulator for the duration of a call), so a backend composes the
+/// simulator's charge/trace/oracle primitives instead of duplicating them.
+pub trait CoherenceBackend {
+    /// Scheme name this backend implements ("MESI", "CCDP", ...).
+    fn name(&self) -> &'static str;
+
+    /// Execute one shared read: return the value the program observes,
+    /// charging all cycles and feeding the oracle. `craft` is the array's
+    /// CRAFT local-access overhead (consulted only by the BASE backend).
+    fn read_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        rid: RefId,
+        addr: usize,
+        craft: u64,
+    ) -> f64;
+
+    /// Execute one shared write of `value`. `craft_local` is the array's
+    /// CRAFT local-access overhead (BASE backend only).
+    fn write_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        craft_local: u64,
+        value: f64,
+    );
+
+    /// Does this backend execute explicit prefetch statements and pipelined
+    /// prefetches? Only the plan-directed CCDP backend does; hardware
+    /// backends resolve coherence dynamically and need no plan.
+    fn executes_prefetches(&self) -> bool {
+        false
+    }
+}
+
+/// Build the backend for a scheme. `n_pes` sizes the hardware backends'
+/// per-PE state.
+pub(crate) fn backend_for(scheme: &Scheme, n_pes: usize) -> Box<dyn CoherenceBackend> {
+    match scheme {
+        Scheme::Sequential => Box::new(SeqBackend),
+        Scheme::Base => Box::new(BaseBackend),
+        Scheme::Ccdp { .. } => Box::new(CcdpBackend),
+        Scheme::InvalidateOnly { .. } => Box::new(InvalidateOnlyBackend),
+        Scheme::Mesi => Box::new(Mesi::new(n_pes)),
+        Scheme::Dragon => Box::new(Dragon::new(n_pes)),
+    }
+}
+
+// -- software backends ----------------------------------------------------
+//
+// Stateless: the scheme (and its plan) lives in the simulator, and the
+// access primitives (`cached_read` / `base_read` / `bypass_read` /
+// `write_shared_addr`) already implement the semantics. These impls are
+// what the compiled trace specializes into `AccessKind`s.
+
+/// Uniprocessor reference scheme: everything cached, `Normal` handling.
+struct SeqBackend;
+
+impl CoherenceBackend for SeqBackend {
+    fn name(&self) -> &'static str {
+        "SEQ"
+    }
+
+    fn read_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        rid: RefId,
+        addr: usize,
+        _craft: u64,
+    ) -> f64 {
+        sim.cached_read(pe, rid, addr, ccdp_prefetch::Handling::Normal)
+    }
+
+    fn write_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        craft_local: u64,
+        value: f64,
+    ) {
+        sim.write_shared_addr(pe, addr, craft_local, value);
+    }
+}
+
+/// CRAFT BASE scheme: local shared data cached plus index arithmetic,
+/// remote shared data uncached.
+struct BaseBackend;
+
+impl CoherenceBackend for BaseBackend {
+    fn name(&self) -> &'static str {
+        "BASE"
+    }
+
+    fn read_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        rid: RefId,
+        addr: usize,
+        craft: u64,
+    ) -> f64 {
+        sim.base_read(pe, rid, addr, craft)
+    }
+
+    fn write_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        craft_local: u64,
+        value: f64,
+    ) {
+        sim.write_shared_addr(pe, addr, craft_local, value);
+    }
+}
+
+/// Plan-directed CCDP scheme: reads follow the plan's handling, prefetch
+/// statements execute.
+struct CcdpBackend;
+
+impl CoherenceBackend for CcdpBackend {
+    fn name(&self) -> &'static str {
+        "CCDP"
+    }
+
+    fn read_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        rid: RefId,
+        addr: usize,
+        _craft: u64,
+    ) -> f64 {
+        match sim.handling_of(rid) {
+            ccdp_prefetch::Handling::Bypass => sim.bypass_read(pe, addr),
+            h => sim.cached_read(pe, rid, addr, h),
+        }
+    }
+
+    fn write_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        craft_local: u64,
+        value: f64,
+    ) {
+        sim.write_shared_addr(pe, addr, craft_local, value);
+    }
+
+    fn executes_prefetches(&self) -> bool {
+        true
+    }
+}
+
+/// Invalidate-only software baseline: same plan-directed engine as CCDP
+/// (its plan bypasses every potentially-stale read), but no prefetches.
+struct InvalidateOnlyBackend;
+
+impl CoherenceBackend for InvalidateOnlyBackend {
+    fn name(&self) -> &'static str {
+        "INV"
+    }
+
+    fn read_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        rid: RefId,
+        addr: usize,
+        _craft: u64,
+    ) -> f64 {
+        match sim.handling_of(rid) {
+            ccdp_prefetch::Handling::Bypass => sim.bypass_read(pe, addr),
+            h => sim.cached_read(pe, rid, addr, h),
+        }
+    }
+
+    fn write_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        craft_local: u64,
+        value: f64,
+    ) {
+        sim.write_shared_addr(pe, addr, craft_local, value);
+    }
+}
+
+// -- snooping bus ----------------------------------------------------------
+
+/// The shared snooping bus: contention charges plus a per-PE bounded queue
+/// of outstanding snoop messages (the delayed-message queue).
+struct Bus {
+    /// Per-PE outstanding messages: cycle at which each drains. Pruned
+    /// lazily against the PE clock, like `Pe::inflight`.
+    delayed_q: Vec<Vec<u64>>,
+}
+
+impl Bus {
+    fn new(n_pes: usize) -> Bus {
+        Bus { delayed_q: vec![Vec::new(); n_pes] }
+    }
+
+    /// Charge one bus transaction issued by `pe`: arbitration wait (mean
+    /// residual occupancy of the other `P - 1` requesters), own occupancy,
+    /// and a delayed-queue stall when too many of this PE's snoop messages
+    /// are still outstanding. Returns after the PE clock has advanced past
+    /// the transaction.
+    fn transaction(&mut self, sim: &mut Simulator, pe: usize) {
+        let txn = sim.cfg.bus_txn;
+        let p = sim.cfg.n_pes as u64;
+        // Delayed-message queue: block until the oldest outstanding snoop
+        // drains if the queue is at capacity. Fault-plan queue storms
+        // shrink the capacity through the same hook as the prefetch queue.
+        let mut cap = sim.cfg.bus_queue;
+        if let Some(f) = sim.faults.as_mut() {
+            let (c, began) = f.effective_queue(pe, cap);
+            cap = c;
+            if began {
+                sim.pes[pe].stats.faults.queue_storms += 1;
+            }
+        }
+        let now = sim.pes[pe].now;
+        let q = &mut self.delayed_q[pe];
+        q.retain(|&drain| drain > now);
+        if q.len() >= cap.max(1) {
+            // A storm (cap 0) still admits one message once the queue is
+            // empty — the bus degrades, it does not deadlock.
+            let oldest = *q.iter().min().expect("non-empty queue");
+            let stall = oldest - now;
+            sim.charge(pe, CycleCategory::BusWait, stall);
+            sim.pes[pe].stats.mem_stall_cycles += stall;
+            let now = sim.pes[pe].now;
+            self.delayed_q[pe].retain(|&drain| drain > now);
+        }
+        sim.charge(pe, CycleCategory::BusWait, txn * (p - 1) / 2);
+        sim.charge(pe, CycleCategory::BusTxn, txn);
+        sim.pes[pe].stats.bus_txns += 1;
+        // The snoop traffic stays outstanding while every other cache
+        // processes it; the PE itself does not block on that.
+        let drain = sim.pes[pe].now + txn * (p - 1);
+        self.delayed_q[pe].push(drain);
+    }
+}
+
+// -- MESI ------------------------------------------------------------------
+
+/// MESI line states. Invalid is represented by absence (the state map is
+/// kept in lockstep with cache residency).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MesiState {
+    Modified,
+    Exclusive,
+    Shared,
+}
+
+/// Snooping MESI (invalidate-based) hardware coherence.
+///
+/// Transactions: read miss → `BusRd` (install Shared if any other cache
+/// holds the line, else Exclusive; remote Modified/Exclusive copies
+/// downgrade to Shared); write to a Shared line → `BusUpgr` (invalidate
+/// every remote copy, go Modified); write miss → `BusRdX` (invalidate,
+/// fill, go Modified); write to Exclusive → Modified silently.
+pub(crate) struct Mesi {
+    bus: Bus,
+    /// Per-PE line-address → state. An entry exists iff the cache holds
+    /// the line (installs and invalidations maintain this in lockstep).
+    states: Vec<HashMap<u64, MesiState>>,
+}
+
+impl Mesi {
+    pub(crate) fn new(n_pes: usize) -> Mesi {
+        Mesi { bus: Bus::new(n_pes), states: (0..n_pes).map(|_| HashMap::new()).collect() }
+    }
+
+    /// Remove the state entry of whatever line currently occupies `addr`'s
+    /// cache slot on `pe` (about to be evicted by a conflicting install).
+    fn purge_conflict(&mut self, sim: &Simulator, pe: usize, addr: usize) {
+        let incoming = sim.pes[pe].cache.line_addr(addr);
+        if let Some(old) = sim.pes[pe].cache.resident_line(addr) {
+            if old != incoming {
+                self.states[pe].remove(&old);
+            }
+        }
+    }
+
+    /// Invalidate every remote copy of `addr`'s line (BusUpgr / BusRdX
+    /// snoop effect). Returns how many copies were killed.
+    fn invalidate_others(&mut self, sim: &mut Simulator, pe: usize, addr: usize) -> u64 {
+        let line = sim.pes[pe].cache.line_addr(addr);
+        let mut n = 0;
+        for other in 0..sim.cfg.n_pes {
+            if other == pe {
+                continue;
+            }
+            if sim.pes[other].cache.lookup(addr).is_some() {
+                sim.pes[other].cache.invalidate(addr);
+                self.states[other].remove(&line);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            sim.pes[pe].stats.bus_invalidations += n;
+            sim.trace_event(pe, TraceEventKind::BusInvalidate, addr);
+        }
+        n
+    }
+
+    /// Snoop a BusRd: downgrade every remote Modified/Exclusive copy to
+    /// Shared. Returns whether any other cache holds the line.
+    fn snoop_read(&mut self, sim: &Simulator, pe: usize, addr: usize) -> bool {
+        let line = sim.pes[pe].cache.line_addr(addr);
+        let mut shared = false;
+        for other in 0..sim.cfg.n_pes {
+            if other == pe {
+                continue;
+            }
+            if sim.pes[other].cache.lookup(addr).is_some() {
+                shared = true;
+                self.states[other].insert(line, MesiState::Shared);
+            }
+        }
+        shared
+    }
+
+    fn state_of(&self, sim: &Simulator, pe: usize, addr: usize) -> Option<MesiState> {
+        sim.pes[pe].cache.lookup(addr)?;
+        let line = sim.pes[pe].cache.line_addr(addr);
+        self.states[pe].get(&line).copied()
+    }
+}
+
+impl CoherenceBackend for Mesi {
+    fn name(&self) -> &'static str {
+        "MESI"
+    }
+
+    fn read_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        rid: RefId,
+        addr: usize,
+        _craft: u64,
+    ) -> f64 {
+        if let Some(hit) = sim.pes[pe].cache.lookup(addr) {
+            return sim.hw_cached_hit(pe, rid, addr, hit);
+        }
+        // Read miss: BusRd.
+        self.bus.transaction(sim, pe);
+        let shared = self.snoop_read(sim, pe, addr);
+        self.purge_conflict(sim, pe, addr);
+        sim.hw_fill(pe, addr);
+        let line = sim.pes[pe].cache.line_addr(addr);
+        let st = if shared { MesiState::Shared } else { MesiState::Exclusive };
+        self.states[pe].insert(line, st);
+        sim.mem.read_shared(addr).0
+    }
+
+    fn write_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        _craft_local: u64,
+        value: f64,
+    ) {
+        let line = sim.pes[pe].cache.line_addr(addr);
+        match self.state_of(sim, pe, addr) {
+            Some(MesiState::Modified) => {}
+            Some(MesiState::Exclusive) => {
+                // Silent upgrade: no bus traffic.
+                self.states[pe].insert(line, MesiState::Modified);
+            }
+            Some(MesiState::Shared) => {
+                // BusUpgr: kill every remote copy, then own the line.
+                self.bus.transaction(sim, pe);
+                self.invalidate_others(sim, pe, addr);
+                self.states[pe].insert(line, MesiState::Modified);
+            }
+            None => {
+                // Write miss: BusRdX (read-for-ownership).
+                self.bus.transaction(sim, pe);
+                self.invalidate_others(sim, pe, addr);
+                self.purge_conflict(sim, pe, addr);
+                sim.hw_fill(pe, addr);
+                self.states[pe].insert(line, MesiState::Modified);
+            }
+        }
+        sim.hw_store(pe, addr, value);
+    }
+}
+
+// -- Dragon ----------------------------------------------------------------
+
+/// Dragon line states (no Invalid in the write path: writes update remote
+/// copies instead of killing them). Absence = not cached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DragonState {
+    /// Exclusive clean.
+    Exclusive,
+    /// Shared clean.
+    SharedClean,
+    /// Shared modified: this cache last wrote the (shared) line.
+    SharedModified,
+    /// Modified, no other copies.
+    Modified,
+}
+
+/// Dragon (update-based) hardware coherence.
+///
+/// Read miss → `BusRd` (Exclusive if nobody else holds the line, else
+/// SharedClean; a remote Modified owner downgrades to SharedModified).
+/// Write to a shared line → `BusUpd`: every remote copy is patched in
+/// place (and downgraded to SharedClean); the writer becomes SharedModified
+/// — or Modified when the snoop finds no sharers left. Write to
+/// Exclusive/Modified is bus-silent.
+pub(crate) struct Dragon {
+    bus: Bus,
+    states: Vec<HashMap<u64, DragonState>>,
+}
+
+impl Dragon {
+    pub(crate) fn new(n_pes: usize) -> Dragon {
+        Dragon { bus: Bus::new(n_pes), states: (0..n_pes).map(|_| HashMap::new()).collect() }
+    }
+
+    fn purge_conflict(&mut self, sim: &Simulator, pe: usize, addr: usize) {
+        let incoming = sim.pes[pe].cache.line_addr(addr);
+        if let Some(old) = sim.pes[pe].cache.resident_line(addr) {
+            if old != incoming {
+                self.states[pe].remove(&old);
+            }
+        }
+    }
+
+    /// PEs other than `pe` holding `addr`'s line.
+    fn sharers(&self, sim: &Simulator, pe: usize, addr: usize) -> Vec<usize> {
+        (0..sim.cfg.n_pes)
+            .filter(|&other| other != pe && sim.pes[other].cache.lookup(addr).is_some())
+            .collect()
+    }
+
+    fn state_of(&self, sim: &Simulator, pe: usize, addr: usize) -> Option<DragonState> {
+        sim.pes[pe].cache.lookup(addr)?;
+        let line = sim.pes[pe].cache.line_addr(addr);
+        self.states[pe].get(&line).copied()
+    }
+
+    /// BusUpd: patch every sharer's copy of `addr` with the freshly written
+    /// word and settle the writer's state (SharedModified while sharers
+    /// remain, Modified otherwise). The write itself (memory + own cache)
+    /// has already happened via `hw_store`.
+    fn bus_update(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        sharers: &[usize],
+        value: f64,
+        version: u32,
+    ) {
+        let line = sim.pes[pe].cache.line_addr(addr);
+        for &other in sharers {
+            sim.pes[other].cache.update_word(addr, value, version);
+            self.states[other].insert(line, DragonState::SharedClean);
+        }
+        sim.pes[pe].stats.bus_updates += sharers.len() as u64;
+        sim.trace_event(pe, TraceEventKind::BusUpdate, addr);
+        let st = if sharers.is_empty() {
+            DragonState::Modified
+        } else {
+            DragonState::SharedModified
+        };
+        self.states[pe].insert(line, st);
+    }
+}
+
+impl CoherenceBackend for Dragon {
+    fn name(&self) -> &'static str {
+        "DRAGON"
+    }
+
+    fn read_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        rid: RefId,
+        addr: usize,
+        _craft: u64,
+    ) -> f64 {
+        if let Some(hit) = sim.pes[pe].cache.lookup(addr) {
+            return sim.hw_cached_hit(pe, rid, addr, hit);
+        }
+        // Read miss: BusRd. Remote exclusive holders downgrade to shared
+        // (a Modified owner keeps write responsibility as SharedModified).
+        self.bus.transaction(sim, pe);
+        let line = sim.pes[pe].cache.line_addr(addr);
+        let mut shared = false;
+        for other in 0..sim.cfg.n_pes {
+            if other == pe || sim.pes[other].cache.lookup(addr).is_none() {
+                continue;
+            }
+            shared = true;
+            let e = self.states[other].entry(line).or_insert(DragonState::SharedClean);
+            *e = match *e {
+                DragonState::Modified => DragonState::SharedModified,
+                DragonState::Exclusive => DragonState::SharedClean,
+                s => s,
+            };
+        }
+        self.purge_conflict(sim, pe, addr);
+        sim.hw_fill(pe, addr);
+        let st = if shared { DragonState::SharedClean } else { DragonState::Exclusive };
+        self.states[pe].insert(line, st);
+        sim.mem.read_shared(addr).0
+    }
+
+    fn write_shared(
+        &mut self,
+        sim: &mut Simulator,
+        pe: usize,
+        addr: usize,
+        _craft_local: u64,
+        value: f64,
+    ) {
+        let line = sim.pes[pe].cache.line_addr(addr);
+        match self.state_of(sim, pe, addr) {
+            Some(DragonState::Modified) => {
+                sim.hw_store(pe, addr, value);
+            }
+            Some(DragonState::Exclusive) => {
+                self.states[pe].insert(line, DragonState::Modified);
+                sim.hw_store(pe, addr, value);
+            }
+            Some(DragonState::SharedClean) | Some(DragonState::SharedModified) => {
+                // BusUpd (the snoop also reveals whether sharers remain).
+                self.bus.transaction(sim, pe);
+                let sharers = self.sharers(sim, pe, addr);
+                let ver = sim.hw_store(pe, addr, value);
+                self.bus_update(sim, pe, addr, &sharers, value, ver);
+            }
+            None => {
+                // Write miss: fill first (BusRd), then update sharers if
+                // the snoop found any.
+                self.bus.transaction(sim, pe);
+                let sharers = self.sharers(sim, pe, addr);
+                self.purge_conflict(sim, pe, addr);
+                sim.hw_fill(pe, addr);
+                if sharers.is_empty() {
+                    self.states[pe].insert(line, DragonState::Modified);
+                    sim.hw_store(pe, addr, value);
+                } else {
+                    self.bus.transaction(sim, pe);
+                    let ver = sim.hw_store(pe, addr, value);
+                    self.bus_update(sim, pe, addr, &sharers, value, ver);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use ccdp_dist::Layout;
+    use ccdp_ir::{Program, ProgramBuilder};
+    use crate::config::{MachineConfig, SimOptions};
+
+    /// A two-PE fixture with one shared array laid out blockwise: words
+    /// 0..8 live on PE 0, words 8..16 on PE 1.
+    fn fixture() -> Program {
+        let mut pb = ProgramBuilder::new("coh");
+        let a = pb.shared("A", &[16]);
+        pb.serial_epoch("touch", |e| {
+            e.assign(a.at1(0), a.at1(0).rd() + 0.0);
+        });
+        pb.finish().unwrap()
+    }
+
+    fn sim_for(p: &Program, scheme: Scheme) -> Simulator<'_> {
+        let layout = Layout::new(p, 2);
+        let cfg = MachineConfig::t3d(2);
+        Simulator::new(p, layout, cfg, scheme, SimOptions::default())
+    }
+
+    /// Drive a backend directly: reads/writes against the raw simulator
+    /// state, checking protocol-state transitions one at a time.
+    #[test]
+    fn mesi_read_miss_installs_exclusive_then_shared() {
+        let p = fixture();
+        let mut sim = sim_for(&p, Scheme::Mesi);
+        let mut m = Mesi::new(2);
+        let rid = RefId(0);
+        // PE 0 read miss: nobody else caches the line → Exclusive.
+        m.read_shared(&mut sim, 0, rid, 0, 0);
+        assert_eq!(m.state_of(&sim, 0, 0), Some(MesiState::Exclusive));
+        // PE 1 reads the same line: both go Shared.
+        m.read_shared(&mut sim, 1, rid, 0, 0);
+        assert_eq!(m.state_of(&sim, 0, 0), Some(MesiState::Shared));
+        assert_eq!(m.state_of(&sim, 1, 0), Some(MesiState::Shared));
+        assert_eq!(sim.pes[0].stats.bus_txns + sim.pes[1].stats.bus_txns, 2);
+    }
+
+    #[test]
+    fn mesi_write_upgrades_and_invalidates() {
+        let p = fixture();
+        let mut sim = sim_for(&p, Scheme::Mesi);
+        let mut m = Mesi::new(2);
+        let rid = RefId(0);
+        m.read_shared(&mut sim, 0, rid, 0, 0);
+        m.read_shared(&mut sim, 1, rid, 0, 0);
+        // PE 0 writes a Shared line: BusUpgr kills PE 1's copy.
+        m.write_shared(&mut sim, 0, 0, 0, 7.0);
+        assert_eq!(m.state_of(&sim, 0, 0), Some(MesiState::Modified));
+        assert_eq!(m.state_of(&sim, 1, 0), None, "remote copy invalidated");
+        assert!(sim.pes[1].cache.lookup(0).is_none());
+        assert_eq!(sim.pes[0].stats.bus_invalidations, 1);
+        // A second write to the now-Modified line is bus-silent.
+        let txns = sim.pes[0].stats.bus_txns;
+        m.write_shared(&mut sim, 0, 0, 0, 8.0);
+        assert_eq!(sim.pes[0].stats.bus_txns, txns);
+        // Exclusive → Modified is silent too.
+        m.read_shared(&mut sim, 1, rid, 8, 0);
+        assert_eq!(m.state_of(&sim, 1, 8), Some(MesiState::Exclusive));
+        let txns = sim.pes[1].stats.bus_txns;
+        m.write_shared(&mut sim, 1, 8, 0, 1.0);
+        assert_eq!(m.state_of(&sim, 1, 8), Some(MesiState::Modified));
+        assert_eq!(sim.pes[1].stats.bus_txns, txns);
+    }
+
+    #[test]
+    fn mesi_write_miss_is_busrdx() {
+        let p = fixture();
+        let mut sim = sim_for(&p, Scheme::Mesi);
+        let mut m = Mesi::new(2);
+        let rid = RefId(0);
+        m.read_shared(&mut sim, 1, rid, 0, 0);
+        // PE 0 write miss: BusRdX invalidates PE 1 and installs Modified.
+        m.write_shared(&mut sim, 0, 0, 0, 3.5);
+        assert_eq!(m.state_of(&sim, 0, 0), Some(MesiState::Modified));
+        assert_eq!(m.state_of(&sim, 1, 0), None);
+        // The readback sees the new value, version-current (oracle-clean).
+        let v = m.read_shared(&mut sim, 0, rid, 0, 0);
+        assert_eq!(v, 3.5);
+        assert_eq!(sim.oracle.stale_reads, 0);
+    }
+
+    #[test]
+    fn dragon_updates_remote_copies_in_place() {
+        let p = fixture();
+        let mut sim = sim_for(&p, Scheme::Dragon);
+        let mut d = Dragon::new(2);
+        let rid = RefId(0);
+        d.read_shared(&mut sim, 0, rid, 0, 0);
+        assert_eq!(d.state_of(&sim, 0, 0), Some(DragonState::Exclusive));
+        d.read_shared(&mut sim, 1, rid, 0, 0);
+        assert_eq!(d.state_of(&sim, 0, 0), Some(DragonState::SharedClean));
+        // PE 0 writes: BusUpd patches PE 1's copy instead of killing it.
+        d.write_shared(&mut sim, 0, 0, 0, 9.25);
+        assert_eq!(d.state_of(&sim, 0, 0), Some(DragonState::SharedModified));
+        assert_eq!(d.state_of(&sim, 1, 0), Some(DragonState::SharedClean));
+        assert!(sim.pes[1].cache.lookup(0).is_some(), "copy survives");
+        assert_eq!(sim.pes[0].stats.bus_updates, 1);
+        // PE 1 reads its patched copy: current value, no stale read.
+        let v = d.read_shared(&mut sim, 1, rid, 0, 0);
+        assert_eq!(v, 9.25);
+        assert_eq!(sim.oracle.stale_reads, 0);
+    }
+
+    #[test]
+    fn dragon_modified_owner_downgrades_to_shared_modified() {
+        let p = fixture();
+        let mut sim = sim_for(&p, Scheme::Dragon);
+        let mut d = Dragon::new(2);
+        let rid = RefId(0);
+        // PE 0 write miss with no sharers → Modified.
+        d.write_shared(&mut sim, 0, 0, 0, 2.0);
+        assert_eq!(d.state_of(&sim, 0, 0), Some(DragonState::Modified));
+        // PE 1 reads: owner goes SharedModified, reader SharedClean.
+        let v = d.read_shared(&mut sim, 1, rid, 0, 0);
+        assert_eq!(v, 2.0);
+        assert_eq!(d.state_of(&sim, 0, 0), Some(DragonState::SharedModified));
+        assert_eq!(d.state_of(&sim, 1, 0), Some(DragonState::SharedClean));
+        // PE 1 now writes: BusUpd; PE 1 becomes the SharedModified owner
+        // and PE 0's copy downgrades to SharedClean, patched in place.
+        d.write_shared(&mut sim, 1, 0, 0, 4.0);
+        assert_eq!(d.state_of(&sim, 1, 0), Some(DragonState::SharedModified));
+        assert_eq!(d.state_of(&sim, 0, 0), Some(DragonState::SharedClean));
+        let v = d.read_shared(&mut sim, 0, rid, 0, 0);
+        assert_eq!(v, 4.0);
+        assert_eq!(sim.oracle.stale_reads, 0);
+    }
+
+    #[test]
+    fn dragon_exclusive_write_is_silent() {
+        let p = fixture();
+        let mut sim = sim_for(&p, Scheme::Dragon);
+        let mut d = Dragon::new(2);
+        let rid = RefId(0);
+        d.read_shared(&mut sim, 0, rid, 0, 0);
+        let txns = sim.pes[0].stats.bus_txns;
+        d.write_shared(&mut sim, 0, 0, 0, 1.0);
+        assert_eq!(d.state_of(&sim, 0, 0), Some(DragonState::Modified));
+        assert_eq!(sim.pes[0].stats.bus_txns, txns, "E→M write is bus-silent");
+        assert_eq!(sim.pes[0].stats.bus_updates, 0);
+    }
+
+    #[test]
+    fn conflicting_install_purges_the_evicted_lines_state() {
+        let p = {
+            let mut pb = ProgramBuilder::new("big");
+            // Big enough that two addresses map to the same direct-mapped
+            // cache slot: line count 256, line words 4 → stride 1024 words.
+            let a = pb.shared("A", &[4096]);
+            pb.serial_epoch("touch", |e| {
+                e.assign(a.at1(0), a.at1(0).rd() + 0.0);
+            });
+            pb.finish().unwrap()
+        };
+        let mut sim = sim_for(&p, Scheme::Mesi);
+        let mut m = Mesi::new(2);
+        let rid = RefId(0);
+        m.read_shared(&mut sim, 0, rid, 0, 0);
+        assert_eq!(m.state_of(&sim, 0, 0), Some(MesiState::Exclusive));
+        // Address 1024 conflicts with address 0 (same slot, different tag).
+        m.read_shared(&mut sim, 0, rid, 1024, 0);
+        assert!(sim.pes[0].cache.lookup(0).is_none(), "conflict evicted");
+        assert_eq!(m.state_of(&sim, 0, 0), None, "state purged with the line");
+        assert_eq!(m.state_of(&sim, 0, 1024), Some(MesiState::Exclusive));
+    }
+
+    #[test]
+    fn bus_queue_stalls_when_full() {
+        let p = fixture();
+        let mut sim = sim_for(&p, Scheme::Mesi);
+        // Tiny queue: every second transaction must wait for a drain.
+        sim.cfg.bus_queue = 1;
+        let mut bus = Bus::new(2);
+        bus.transaction(&mut sim, 0);
+        let wait0 = sim.pes[0].stats.breakdown.get(CycleCategory::BusWait);
+        bus.transaction(&mut sim, 0);
+        let wait1 = sim.pes[0].stats.breakdown.get(CycleCategory::BusWait);
+        // Second transaction paid the contention wait AND a queue stall.
+        // Mean-residual arbitration with P=2: txn * (P - 1) / 2.
+        let contention = sim.cfg.bus_txn / 2;
+        assert!(
+            wait1 - wait0 > contention,
+            "expected a queue stall on top of contention: {} vs {}",
+            wait1 - wait0,
+            contention
+        );
+        // Every charge is attributed: breakdown total equals the clock.
+        assert_eq!(sim.pes[0].stats.breakdown.total(), sim.pes[0].now);
+    }
+}

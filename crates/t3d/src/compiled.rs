@@ -28,9 +28,9 @@
 //! tree walker: both paths share the same memory-operation helpers
 //! (`cached_read`, `base_read`, `bypass_read`, `write_shared_addr`) and
 //! charge at the same points in the same order wherever the PE clock is
-//! observable. `CCDP_FORCE_TREEWALK=1` (or `SimOptions::force_treewalk`)
-//! keeps the tree walker as a reference path; the `compiled_equivalence`
-//! property test pins the two paths together.
+//! observable. `SimOptions::force_treewalk` (set from `CCDP_FORCE_TREEWALK=1`
+//! by `ccdp_core::EnvOverrides`) keeps the tree walker as a reference path;
+//! the `compiled_equivalence` property test pins the two paths together.
 
 use ccdp_ir::{
     Affine, ArrayId, ArrayRef, Assign, Cond, Loop, PrefetchStmt, Program, RefId, Stmt, ValExpr,
@@ -54,6 +54,10 @@ pub(crate) enum AccessKind {
     Cached(Handling),
     /// CCDP `Bypass` uncached read.
     Bypass,
+    /// Hardware-coherent shared read (MESI / Dragon): dispatched through
+    /// the dynamic [`crate::coherence::CoherenceBackend`] — protocol state
+    /// cannot be resolved at compile time.
+    Hardware,
 }
 
 /// One compiled read reference.
@@ -330,10 +334,13 @@ impl CompileCtx<'_, '_> {
         match self.scheme {
             Scheme::Sequential => AccessKind::Cached(Handling::Normal),
             Scheme::Base => AccessKind::Base { craft: self.craft_cost[r.array.index()] },
-            Scheme::Ccdp { plan } => match plan.handling_of(r.id) {
-                Handling::Bypass => AccessKind::Bypass,
-                h => AccessKind::Cached(h),
-            },
+            Scheme::Ccdp { plan } | Scheme::InvalidateOnly { plan } => {
+                match plan.handling_of(r.id) {
+                    Handling::Bypass => AccessKind::Bypass,
+                    h => AccessKind::Cached(h),
+                }
+            }
+            Scheme::Mesi | Scheme::Dragon => AccessKind::Hardware,
         }
     }
 }

@@ -25,6 +25,10 @@ pub enum ConfigError {
     BadFaultRate { field: &'static str, value: f64 },
     /// A fault-plan burst/multiplier parameter is out of range.
     BadFaultParam { field: &'static str, value: u64, need: &'static str },
+    /// An environment override variable holds an unparsable value
+    /// (`CCDP_FORCE_TREEWALK` / `CCDP_SEED` / `CCDP_SCALE`; see the core
+    /// crate's `EnvOverrides`).
+    BadEnv { var: &'static str, value: String, need: &'static str },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -49,6 +53,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::BadFaultParam { field, value, need } => {
                 write!(f, "fault plan {field} = {value}: {need}")
+            }
+            ConfigError::BadEnv { var, value, need } => {
+                write!(f, "environment override {var}={value:?}: {need}")
             }
         }
     }
@@ -128,6 +135,18 @@ pub struct MachineConfig {
     /// Per-word transfer cost of a vector prefetch, in tenths of a cycle.
     pub vector_per_word_tenths: u64,
 
+    /// Occupancy of one snooping-bus coherence transaction (BusRd / BusRdX /
+    /// BusUpgr / BusUpd), charged to the issuing PE by the hardware-coherence
+    /// backends. Every other active PE is assumed to contend for the same
+    /// bus, so each transaction additionally waits the mean residual
+    /// occupancy of the other `P - 1` requesters (see `coherence::BusModel`).
+    pub bus_txn: u64,
+    /// Outstanding bus transactions one PE may have in flight before it
+    /// stalls waiting for the oldest to drain (the delayed-message queue of
+    /// the hardware backends). Fault-plan queue storms shrink this capacity
+    /// at the same hook that storms the prefetch queue.
+    pub bus_queue: usize,
+
     /// Hardware barrier.
     pub barrier: u64,
     /// Per-iteration loop bookkeeping.
@@ -163,6 +182,8 @@ impl MachineConfig {
             vector_issue: 40,
             vector_startup: 600,
             vector_per_word_tenths: 20,
+            bus_txn: 8,
+            bus_queue: 4,
             barrier: 80,
             loop_overhead: 2,
             dynamic_chunk_overhead: 30,
@@ -225,6 +246,21 @@ pub enum Scheme {
     /// The paper's CCDP codes: shared data cached; reads follow the plan's
     /// handling (`Normal`/`Fresh`/`Bypass`); prefetch operations execute.
     Ccdp { plan: PrefetchPlan },
+    /// The invalidate-only software baseline: a CCDP machine whose plan
+    /// bypasses the cache on every potentially-stale read and issues no
+    /// prefetches (`PrefetchPlan::bypass_all`). Same execution engine as
+    /// `Ccdp`, distinct reported identity.
+    InvalidateOnly { plan: PrefetchPlan },
+    /// Snooping MESI hardware coherence (invalidate-based): shared data is
+    /// cached everywhere; misses issue BusRd/BusRdX, writes to shared lines
+    /// issue BusUpgr invalidating remote copies. No prefetch plan — the
+    /// same IR schedule runs with coherence resolved dynamically by the
+    /// [`crate::coherence::CoherenceBackend`].
+    Mesi,
+    /// Dragon hardware coherence (update-based): writes to lines with
+    /// remote sharers broadcast BusUpd, patching every copy in place
+    /// instead of invalidating it.
+    Dragon,
 }
 
 impl Scheme {
@@ -233,7 +269,25 @@ impl Scheme {
             Scheme::Sequential => "SEQ",
             Scheme::Base => "BASE",
             Scheme::Ccdp { .. } => "CCDP",
+            Scheme::InvalidateOnly { .. } => "INV",
+            Scheme::Mesi => "MESI",
+            Scheme::Dragon => "DRAGON",
         }
+    }
+
+    /// The prefetch plan driving shared-read handling, if this scheme is
+    /// plan-directed.
+    pub fn plan(&self) -> Option<&PrefetchPlan> {
+        match self {
+            Scheme::Ccdp { plan } | Scheme::InvalidateOnly { plan } => Some(plan),
+            _ => None,
+        }
+    }
+
+    /// Does this scheme resolve coherence in hardware (event-driven
+    /// snooping backend, no prefetch plan)?
+    pub fn is_hardware(&self) -> bool {
+        matches!(self, Scheme::Mesi | Scheme::Dragon)
     }
 }
 
@@ -361,5 +415,10 @@ mod unit {
     fn scheme_names() {
         assert_eq!(Scheme::Sequential.name(), "SEQ");
         assert_eq!(Scheme::Base.name(), "BASE");
+        assert_eq!(Scheme::Mesi.name(), "MESI");
+        assert_eq!(Scheme::Dragon.name(), "DRAGON");
+        assert!(Scheme::Mesi.is_hardware() && Scheme::Dragon.is_hardware());
+        assert!(!Scheme::Base.is_hardware());
+        assert!(Scheme::Mesi.plan().is_none());
     }
 }

@@ -11,6 +11,8 @@ use ccdp_ir::{
 };
 use ccdp_prefetch::Handling;
 
+use crate::cache::Hit;
+use crate::coherence::{backend_for, CoherenceBackend};
 use crate::compiled::{
     compile_loop, AccessKind, CAssign, CompileCtx, CompiledBody, CStmt, SlotSpec, SlotState,
 };
@@ -36,14 +38,14 @@ struct LoopHeader {
 pub struct Simulator<'p> {
     program: &'p Program,
     layout: Layout,
-    cfg: MachineConfig,
+    pub(crate) cfg: MachineConfig,
     scheme: Scheme,
     opts: SimOptions,
-    mem: Memory,
-    pes: Vec<Pe>,
+    pub(crate) mem: Memory,
+    pub(crate) pes: Vec<Pe>,
     env: VarEnv,
     phase: u32,
-    oracle: OracleReport,
+    pub(crate) oracle: OracleReport,
     extrapolated: bool,
     loop_headers: HashMap<LoopId, LoopHeader>,
     /// Subscripts of every read reference (vector prefetches name targets by
@@ -66,7 +68,12 @@ pub struct Simulator<'p> {
     trace: EventTrace,
     /// Fault injectors (`None` when the plan injects nothing, which keeps
     /// fault-free runs byte-identical to a build without the subsystem).
-    faults: Option<FaultEngine>,
+    pub(crate) faults: Option<FaultEngine>,
+    /// The coherence backend executing this scheme's shared accesses. Moved
+    /// out (`Option::take`) for the duration of each dispatched access so
+    /// the backend can borrow the simulator mutably; always `Some` between
+    /// accesses.
+    backend: Option<Box<dyn CoherenceBackend>>,
     /// Source epoch currently executing (targeted fault injection).
     cur_epoch_id: Option<u32>,
     /// Compiled loop bodies, keyed by loop id (the scheme — the other half
@@ -77,7 +84,8 @@ pub struct Simulator<'p> {
     /// state allocates nothing.
     frames: Vec<Vec<SlotState>>,
     /// Run loops through the reference tree walker instead of the compiled
-    /// trace (`SimOptions::force_treewalk` or `CCDP_FORCE_TREEWALK=1`).
+    /// trace (`SimOptions::force_treewalk`; `ccdp_core::EnvOverrides` sets
+    /// it from `CCDP_FORCE_TREEWALK=1`).
     treewalk: bool,
     /// Interpreter steps executed (loop iterations across all PEs and both
     /// execution paths). Drives `SimOptions::step_budget` and paces the
@@ -128,8 +136,11 @@ impl<'p> Simulator<'p> {
         }
         let faults =
             (!opts.faults.is_none()).then(|| FaultEngine::new(opts.faults, cfg.n_pes));
-        let treewalk = opts.force_treewalk
-            || std::env::var("CCDP_FORCE_TREEWALK").is_ok_and(|v| v == "1");
+        let backend = Some(backend_for(&scheme, cfg.n_pes));
+        // `CCDP_FORCE_TREEWALK` is no longer read here: the core crate's
+        // `EnvOverrides` parses it (with validation) into
+        // `SimOptions::force_treewalk`.
+        let treewalk = opts.force_treewalk;
         let budgeted = opts.cycle_budget.is_some()
             || opts.step_budget.is_some()
             || opts.wall_deadline.is_some();
@@ -156,6 +167,7 @@ impl<'p> Simulator<'p> {
             extrap_slot: None,
             trace: EventTrace::new(opts.trace_capacity),
             faults,
+            backend,
             cur_epoch_id: None,
             compiled: HashMap::new(),
             frames: Vec::new(),
@@ -255,7 +267,7 @@ impl<'p> Simulator<'p> {
     /// charges goes through here, which is what makes the invariant
     /// `breakdown.total() == pe.now` hold exactly.
     #[inline]
-    fn charge(&mut self, pe: usize, cat: CycleCategory, cycles: u64) {
+    pub(crate) fn charge(&mut self, pe: usize, cat: CycleCategory, cycles: u64) {
         let p = &mut self.pes[pe];
         p.now += cycles;
         p.stats.breakdown.charge(cat, cycles);
@@ -285,7 +297,7 @@ impl<'p> Simulator<'p> {
     /// Record a memory-system event (no-op unless tracing is enabled;
     /// recording never changes cycle counts).
     #[inline]
-    fn trace_event(&mut self, pe: usize, kind: TraceEventKind, addr: usize) {
+    pub(crate) fn trace_event(&mut self, pe: usize, kind: TraceEventKind, addr: usize) {
         if self.trace.enabled() {
             self.trace.record(MemEvent {
                 cycle: self.pes[pe].now,
@@ -312,15 +324,35 @@ impl<'p> Simulator<'p> {
         self.pes.iter().map(|p| p.now).max().unwrap_or(0)
     }
 
-    fn is_ccdp(&self) -> bool {
-        matches!(self.scheme, Scheme::Ccdp { .. })
+    /// Does the current backend execute explicit prefetch statements and
+    /// pipelined prefetches? (Only the plan-directed CCDP backend does.)
+    fn prefetching(&self) -> bool {
+        self.backend.as_ref().is_some_and(|b| b.executes_prefetches())
     }
 
-    fn handling_of(&self, r: RefId) -> Handling {
+    pub(crate) fn handling_of(&self, r: RefId) -> Handling {
         match &self.scheme {
-            Scheme::Ccdp { plan } => plan.handling_of(r),
+            Scheme::Ccdp { plan } | Scheme::InvalidateOnly { plan } => plan.handling_of(r),
             _ => Handling::Normal,
         }
+    }
+
+    // -- backend dispatch --------------------------------------------------
+
+    /// One shared read through the coherence backend. `craft` is the
+    /// array's CRAFT local-access overhead (BASE backend only).
+    pub(crate) fn backend_read(&mut self, pe: usize, rid: RefId, addr: usize, craft: u64) -> f64 {
+        let mut b = self.backend.take().expect("backend re-entered");
+        let v = b.read_shared(self, pe, rid, addr, craft);
+        self.backend = Some(b);
+        v
+    }
+
+    /// One shared write through the coherence backend.
+    pub(crate) fn backend_write(&mut self, pe: usize, addr: usize, craft_local: u64, v: f64) {
+        let mut b = self.backend.take().expect("backend re-entered");
+        b.write_shared(self, pe, addr, craft_local, v);
+        self.backend = Some(b);
     }
 
     // -- program structure ---------------------------------------------
@@ -430,7 +462,7 @@ impl<'p> Simulator<'p> {
                     }
                 }
                 Stmt::Prefetch(pf) => {
-                    if self.is_ccdp() {
+                    if self.prefetching() {
                         for pe in 0..self.cfg.n_pes {
                             self.exec_prefetch(pe, pf);
                         }
@@ -452,7 +484,12 @@ impl<'p> Simulator<'p> {
         let (setup, per_iter) = match self.scheme {
             Scheme::Sequential => (0, 0),
             Scheme::Base => (self.cfg.base_epoch_overhead, self.cfg.base_doshared_iter),
-            Scheme::Ccdp { .. } => (self.cfg.ccdp_epoch_overhead, 0),
+            // The CCDP codes' direct iteration assignment; the
+            // invalidate-only baseline and the hardware-coherent machines
+            // run the same manually scheduled loops.
+            Scheme::Ccdp { .. } | Scheme::InvalidateOnly { .. } | Scheme::Mesi | Scheme::Dragon => {
+                (self.cfg.ccdp_epoch_overhead, 0)
+            }
         };
         self.charge_all(CycleCategory::EpochSetup, setup);
         let cb = (!self.treewalk).then(|| self.compiled_body(l));
@@ -611,7 +648,7 @@ impl<'p> Simulator<'p> {
                     }
                 }
                 Stmt::Prefetch(pf) => {
-                    if self.is_ccdp() {
+                    if self.prefetching() {
                         self.exec_prefetch(pe, pf);
                     }
                 }
@@ -631,14 +668,14 @@ impl<'p> Simulator<'p> {
 
     /// Reference interpreter for a serial loop: re-evaluates every subscript
     /// and re-resolves every dispatch per access. Kept as the equivalence
-    /// oracle for the compiled trace (`CCDP_FORCE_TREEWALK=1`).
+    /// oracle for the compiled trace (`SimOptions::force_treewalk`).
     fn exec_loop_treewalk(&mut self, pe: usize, l: &'p Loop) {
         let lo = l.lo.eval(&self.env);
         let hi = l.hi.eval(&self.env);
         if lo > hi {
             return;
         }
-        let pipelined = self.is_ccdp() && !l.pipeline.is_empty();
+        let pipelined = self.prefetching() && !l.pipeline.is_empty();
         if pipelined {
             self.pipeline_prologue(pe, l, lo, hi);
         }
@@ -713,7 +750,7 @@ impl<'p> Simulator<'p> {
         if lo > hi {
             return;
         }
-        let pipelined = self.is_ccdp() && !l.pipeline.is_empty();
+        let pipelined = self.prefetching() && !l.pipeline.is_empty();
         if pipelined {
             self.pipeline_prologue(pe, l, lo, hi);
         }
@@ -835,6 +872,7 @@ impl<'p> Simulator<'p> {
                 AccessKind::Base { craft } => self.base_read(pe, r.rid, addr, craft),
                 AccessKind::Cached(h) => self.cached_read(pe, r.rid, addr, h),
                 AccessKind::Bypass => self.bypass_read(pe, addr),
+                AccessKind::Hardware => self.backend_read(pe, r.rid, addr, 0),
             };
             vals.push(v);
         }
@@ -842,7 +880,7 @@ impl<'p> Simulator<'p> {
         self.pes[pe].scratch = vals;
         let addr = self.caddr(a.write.base, a.write.slot, slots, frame);
         if a.write.shared {
-            self.write_shared_addr(pe, addr, a.write.craft, v);
+            self.backend_write(pe, addr, a.write.craft, v);
         } else {
             self.charge(pe, CycleCategory::WriteLocal, self.cfg.write_local);
             self.mem.write_private(pe, addr, v);
@@ -923,22 +961,13 @@ impl<'p> Simulator<'p> {
             return self.mem.read_private(pe, self.mem.base(r.array) + off);
         }
         let addr = self.mem.base(r.array) + off;
-        match self.scheme {
-            Scheme::Base => {
-                let craft = self.craft_cost[r.array.index()];
-                self.base_read(pe, r.id, addr, craft)
-            }
-            Scheme::Sequential => self.cached_read(pe, r.id, addr, Handling::Normal),
-            Scheme::Ccdp { .. } => match self.handling_of(r.id) {
-                Handling::Bypass => self.bypass_read(pe, addr),
-                h => self.cached_read(pe, r.id, addr, h),
-            },
-        }
+        let craft = self.craft_cost[r.array.index()];
+        self.backend_read(pe, r.id, addr, craft)
     }
 
     /// BASE-scheme shared read. `craft` is the array's CRAFT local-access
     /// overhead. Shared by the tree walker and the compiled trace.
-    fn base_read(&mut self, pe: usize, rid: RefId, addr: usize, craft: u64) -> f64 {
+    pub(crate) fn base_read(&mut self, pe: usize, rid: RefId, addr: usize, craft: u64) -> f64 {
         let local = self.mem.owner(addr) == pe;
         if local {
             // The T3D caches all local memory; CRAFT pays only the
@@ -960,7 +989,7 @@ impl<'p> Simulator<'p> {
 
     /// CCDP `Bypass` read: always reads main memory, never the cache.
     /// Shared by the tree walker and the compiled trace.
-    fn bypass_read(&mut self, pe: usize, addr: usize) -> f64 {
+    pub(crate) fn bypass_read(&mut self, pe: usize, addr: usize) -> f64 {
         let local = self.mem.owner(addr) == pe;
         let lat = if local { self.cfg.local_uncached } else { self.cfg.remote_uncached };
         self.charge(pe, CycleCategory::BypassRead, lat);
@@ -971,7 +1000,7 @@ impl<'p> Simulator<'p> {
         self.mem.read_shared(addr).0
     }
 
-    fn cached_read(&mut self, pe: usize, rid: RefId, addr: usize, h: Handling) -> f64 {
+    pub(crate) fn cached_read(&mut self, pe: usize, rid: RefId, addr: usize, h: Handling) -> f64 {
         let phase = self.phase;
         if h == Handling::Fresh {
             self.pes[pe].stats.fresh_reads += 1;
@@ -1007,20 +1036,7 @@ impl<'p> Simulator<'p> {
                 let p = &mut self.pes[pe];
                 p.stats.cache_hits += 1;
                 let (v, ver) = p.cache.read(hit.line, addr);
-                let mem_ver = self.mem.version(addr);
-                if ver < mem_ver {
-                    self.oracle.stale_reads += 1;
-                    if self.oracle.examples.len() < self.opts.oracle_examples {
-                        self.oracle.examples.push(StaleReadExample {
-                            reference: rid,
-                            pe,
-                            addr,
-                            cached_version: ver,
-                            memory_version: mem_ver,
-                            phase,
-                        });
-                    }
-                }
+                self.oracle_check(pe, rid, addr, ver);
                 return v;
             }
             // Fresh read over an old-phase line: coherent re-fetch.
@@ -1097,13 +1113,127 @@ impl<'p> Simulator<'p> {
             return;
         }
         let addr = self.mem.base(w.array) + off;
-        self.write_shared_addr(pe, addr, self.craft_cost[w.array.index()], v);
+        self.backend_write(pe, addr, self.craft_cost[w.array.index()], v);
+    }
+
+    /// Feed one consumed cached read to the coherence oracle: reading a
+    /// word older than main memory is a stale-read violation (and the stale
+    /// value really is returned by the caller).
+    pub(crate) fn oracle_check(&mut self, pe: usize, rid: RefId, addr: usize, cached_version: u32) {
+        let mem_ver = self.mem.version(addr);
+        if cached_version < mem_ver {
+            self.oracle.stale_reads += 1;
+            if self.oracle.examples.len() < self.opts.oracle_examples {
+                self.oracle.examples.push(StaleReadExample {
+                    reference: rid,
+                    pe,
+                    addr,
+                    cached_version,
+                    memory_version: mem_ver,
+                    phase: self.phase,
+                });
+            }
+        }
+    }
+
+    // -- hardware-backend primitives ---------------------------------------
+    //
+    // The MESI/Dragon backends compose these: a plain cache hit (no
+    // prefetch machinery — hardware schemes never prefetch), a demand fill
+    // with the fault-injection latency hook, and a write-through store
+    // without the software schemes' owner-cache patching (the protocol
+    // keeps remote copies coherent itself).
+
+    /// Hardware-scheme cache hit: charge, trace, count, oracle-check.
+    pub(crate) fn hw_cached_hit(&mut self, pe: usize, rid: RefId, addr: usize, hit: Hit) -> f64 {
+        self.charge(pe, CycleCategory::CacheHit, self.cfg.cache_hit);
+        self.trace_event(pe, TraceEventKind::CacheHit, addr);
+        let p = &mut self.pes[pe];
+        p.stats.cache_hits += 1;
+        let (v, ver) = p.cache.read(hit.line, addr);
+        self.oracle_check(pe, rid, addr, ver);
+        v
+    }
+
+    /// Hardware-scheme demand fill: fetch `addr`'s line from its home
+    /// memory into `pe`'s cache (write-allocate on both reads and writes).
+    /// Injected latency spikes stretch remote fills through the same
+    /// `fill_multiplier` hook as the software schemes.
+    pub(crate) fn hw_fill(&mut self, pe: usize, addr: usize) {
+        let local = self.mem.owner(addr) == pe;
+        let base_lat = if local { self.cfg.local_fill } else { self.cfg.remote_fill };
+        let mut lat = base_lat;
+        if let Some(f) = self.faults.as_mut() {
+            if !local {
+                lat = base_lat * f.fill_multiplier(pe);
+            }
+        }
+        if lat > base_lat {
+            let fs = &mut self.pes[pe].stats.faults;
+            fs.fills_delayed += 1;
+            fs.delay_extra_cycles += lat - base_lat;
+        }
+        let (cat, ev) = if local {
+            (CycleCategory::LocalFill, TraceEventKind::LocalFill)
+        } else {
+            (CycleCategory::RemoteFill, TraceEventKind::RemoteFill)
+        };
+        self.charge(pe, cat, lat);
+        self.trace_event(pe, ev, addr);
+        let line_base = self.pes[pe].cache.line_base(addr);
+        let lw = self.cfg.line_words;
+        let shared_words = self.mem.shared_words();
+        let phase = self.phase;
+        let mem = &self.mem;
+        let words = (0..lw).map(|k| {
+            let a = line_base + k;
+            if a < shared_words {
+                mem.read_shared(a)
+            } else {
+                (0.0, 0)
+            }
+        });
+        let p = &mut self.pes[pe];
+        p.stats.mem_stall_cycles += lat;
+        if local {
+            p.stats.local_fills += 1;
+        } else {
+            p.stats.remote_fills += 1;
+        }
+        let now = p.now;
+        p.cache.install(addr, phase, now, words);
+    }
+
+    /// Hardware-scheme store: write-through to home memory (bumping the
+    /// word's version) and patch the writer's own cached copy. Remote
+    /// copies are the protocol's problem — the backend invalidates (MESI)
+    /// or updates (Dragon) them around this call. Returns the word's new
+    /// memory version (Dragon patches sharers with it).
+    pub(crate) fn hw_store(&mut self, pe: usize, addr: usize, v: f64) -> u32 {
+        let local = self.mem.owner(addr) == pe;
+        let ver = self.mem.write_shared(addr, v);
+        let lat = if local { self.cfg.write_local } else { self.cfg.write_remote };
+        let (cat, ev) = if local {
+            (CycleCategory::WriteLocal, TraceEventKind::WriteLocal)
+        } else {
+            (CycleCategory::WriteRemote, TraceEventKind::WriteRemote)
+        };
+        self.charge(pe, cat, lat);
+        self.trace_event(pe, ev, addr);
+        let p = &mut self.pes[pe];
+        if local {
+            p.stats.writes_local += 1;
+        } else {
+            p.stats.writes_remote += 1;
+        }
+        p.cache.update_word(addr, v, ver);
+        ver
     }
 
     /// Shared-array store. `craft_local` is the array's CRAFT local-access
     /// overhead (consulted only under the BASE scheme). Shared by the tree
     /// walker and the compiled trace.
-    fn write_shared_addr(&mut self, pe: usize, addr: usize, craft_local: u64, v: f64) {
+    pub(crate) fn write_shared_addr(&mut self, pe: usize, addr: usize, craft_local: u64, v: f64) {
         let owner = self.mem.owner(addr);
         let local = owner == pe;
         let ver = self.mem.write_shared(addr, v);

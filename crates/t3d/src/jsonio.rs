@@ -70,6 +70,9 @@ impl ToJson for PeStats {
             ("mem_stall_cycles", self.mem_stall_cycles.to_json()),
             ("prefetch_cycles", self.prefetch_cycles.to_json()),
             ("barrier_wait_cycles", self.barrier_wait_cycles.to_json()),
+            ("bus_txns", self.bus_txns.to_json()),
+            ("bus_invalidations", self.bus_invalidations.to_json()),
+            ("bus_updates", self.bus_updates.to_json()),
             ("fresh_reads", self.fresh_reads.to_json()),
             ("fresh_hits_prefetched", self.fresh_hits_prefetched.to_json()),
             ("prefetched_line_hits", self.prefetched_line_hits.to_json()),

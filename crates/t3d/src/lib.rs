@@ -9,15 +9,20 @@
 //! * **Distributed memory**: every shared-array word lives on exactly one
 //!   PE (per the `ccdp-dist` layout); local vs remote access latencies are
 //!   taken from published T3D measurements (see `MachineConfig`).
-//! * **No hardware coherence**: caches are never invalidated by remote
-//!   writes. Coherence is whatever the executed program's prefetch plan
-//!   achieves — which is the point of the paper.
+//! * **No hardware coherence by default**: caches are never invalidated by
+//!   remote writes. Coherence is whatever the executed program's prefetch
+//!   plan achieves — which is the point of the paper. Hardware-coherent
+//!   *rival* machines are modelled by the snooping backends below.
 //! * **Execution schemes**: `Sequential` (1 PE, everything local and
 //!   cached), `Base` (CRAFT-style: shared data *not cached*, software
-//!   shared-address overhead on every access), and `Ccdp` (shared data
-//!   cached; potentially-stale reads follow the prefetch plan's `Fresh` /
-//!   `Bypass` handling; prefetch statements and pipelined prefetches are
-//!   executed).
+//!   shared-address overhead on every access), `Ccdp` (shared data cached;
+//!   potentially-stale reads follow the prefetch plan's `Fresh` / `Bypass`
+//!   handling; prefetch statements and pipelined prefetches are executed),
+//!   `InvalidateOnly` (the plan's handlings without its prefetches), and
+//!   the hardware-coherence rivals `Mesi` / `Dragon` (snooping
+//!   invalidate-/update-based protocols over a shared bus; see the
+//!   [`coherence`] module). All schemes sit behind the
+//!   [`CoherenceBackend`] trait.
 //! * **A coherence oracle**: memory keeps a version per word, cache lines
 //!   remember the versions they loaded, and every consumed cached read is
 //!   checked; reading a word older than memory is recorded as a *stale read
@@ -50,6 +55,7 @@
 //! runs stay tractable.
 
 mod cache;
+pub mod coherence;
 mod compiled;
 mod config;
 pub mod faults;
@@ -61,6 +67,7 @@ mod pe;
 mod result;
 
 pub use cache::Cache;
+pub use coherence::CoherenceBackend;
 pub use config::{ConfigError, MachineConfig, Scheme, SimAbort, SimOptions};
 pub use faults::{FaultPlan, FaultStats};
 pub use interp::Simulator;

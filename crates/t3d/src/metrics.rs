@@ -50,6 +50,12 @@ pub enum CycleCategory {
     PrefetchWait,
     /// Extracting arrived prefetch data from the queue.
     QueuePop,
+    /// Arbitration wait for the snooping bus (hardware-coherence backends):
+    /// mean residual occupancy of contending PEs plus delayed-queue stalls.
+    BusWait,
+    /// Occupancy of this PE's own bus transactions (BusRd / BusRdX /
+    /// BusUpgr / BusUpd).
+    BusTxn,
     /// Waiting for other PEs at barriers.
     BarrierWait,
     /// The barrier operation itself.
@@ -59,7 +65,7 @@ pub enum CycleCategory {
 }
 
 impl CycleCategory {
-    pub const ALL: [CycleCategory; 20] = [
+    pub const ALL: [CycleCategory; 22] = [
         CycleCategory::FpWork,
         CycleCategory::LoopOverhead,
         CycleCategory::EpochSetup,
@@ -77,6 +83,8 @@ impl CycleCategory {
         CycleCategory::VectorIssue,
         CycleCategory::PrefetchWait,
         CycleCategory::QueuePop,
+        CycleCategory::BusWait,
+        CycleCategory::BusTxn,
         CycleCategory::BarrierWait,
         CycleCategory::BarrierCost,
         CycleCategory::Extrapolated,
@@ -104,6 +112,8 @@ impl CycleCategory {
             CycleCategory::VectorIssue => "vector_issue",
             CycleCategory::PrefetchWait => "prefetch_wait",
             CycleCategory::QueuePop => "queue_pop",
+            CycleCategory::BusWait => "bus_wait",
+            CycleCategory::BusTxn => "bus_txn",
             CycleCategory::BarrierWait => "barrier_wait",
             CycleCategory::BarrierCost => "barrier_cost",
             CycleCategory::Extrapolated => "extrapolated",
@@ -246,6 +256,12 @@ pub enum TraceEventKind {
     FaultEvict,
     /// A demand fetch recovered a line whose prefetch was faulted.
     FaultFallback,
+    /// A snooping-bus transaction invalidated remote copies (MESI
+    /// BusRdX/BusUpgr).
+    BusInvalidate,
+    /// A snooping-bus transaction updated remote copies in place (Dragon
+    /// BusUpd).
+    BusUpdate,
 }
 
 impl TraceEventKind {
@@ -267,6 +283,8 @@ impl TraceEventKind {
             TraceEventKind::FaultDrop => "fault_drop",
             TraceEventKind::FaultEvict => "fault_evict",
             TraceEventKind::FaultFallback => "fault_fallback",
+            TraceEventKind::BusInvalidate => "bus_invalidate",
+            TraceEventKind::BusUpdate => "bus_update",
         }
     }
 }
@@ -361,7 +379,7 @@ mod unit {
             assert_eq!(CycleCategory::from_name(c.name()), Some(c));
         }
         assert_eq!(CycleCategory::from_name("nonsense"), None);
-        assert_eq!(CycleCategory::COUNT, 20);
+        assert_eq!(CycleCategory::COUNT, 22);
     }
 
     #[test]

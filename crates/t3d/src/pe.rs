@@ -35,6 +35,14 @@ pub struct PeStats {
     /// Cycles spent waiting at barriers.
     pub barrier_wait_cycles: u64,
 
+    // -- hardware-coherence counters (MESI / Dragon backends) --------------
+    /// Snooping-bus transactions issued (BusRd / BusRdX / BusUpgr / BusUpd).
+    pub bus_txns: u64,
+    /// Remote copies invalidated by this PE's BusRdX/BusUpgr transactions.
+    pub bus_invalidations: u64,
+    /// Remote copies patched in place by this PE's BusUpd transactions.
+    pub bus_updates: u64,
+
     // -- prefetch quality counters (see `metrics::PrefetchQuality`) -------
     /// Cached reads executed with `Fresh` handling (the potentially-stale
     /// reads the plan must cover).
@@ -75,6 +83,9 @@ impl PeStats {
         self.mem_stall_cycles += o.mem_stall_cycles;
         self.prefetch_cycles += o.prefetch_cycles;
         self.barrier_wait_cycles += o.barrier_wait_cycles;
+        self.bus_txns += o.bus_txns;
+        self.bus_invalidations += o.bus_invalidations;
+        self.bus_updates += o.bus_updates;
         self.fresh_reads += o.fresh_reads;
         self.fresh_hits_prefetched += o.fresh_hits_prefetched;
         self.prefetched_line_hits += o.prefetched_line_hits;

@@ -37,7 +37,7 @@ impl OracleReport {
 /// Everything a simulation run produces.
 #[derive(Clone)]
 pub struct SimResult {
-    /// Scheme name ("SEQ" / "BASE" / "CCDP").
+    /// Scheme name ("SEQ" / "BASE" / "CCDP" / "INV" / "MESI" / "DRAGON").
     pub scheme: &'static str,
     /// Total simulated cycles (max over PEs at the final barrier).
     pub cycles: u64,

@@ -7,7 +7,7 @@
 //! ```
 
 use ccdp_analysis::auto_parallelize;
-use ccdp_core::{compare, PipelineConfig};
+use ccdp_core::{compare, PipelineConfig, Scheme};
 use ccdp_ir::{parse_program, print_program};
 
 const SERIAL_SOURCE: &str = "\
@@ -53,15 +53,17 @@ fn main() {
     // Same numbers as the serial original, faster under CCDP.
     let cfg = PipelineConfig::t3d(8);
     let serial_ref = ccdp_core::run_seq(&serial, &cfg).expect("valid config");
-    let cmp = compare(&parallel, &cfg).expect("coherent");
+    let m = compare(&parallel, &cfg, &[Scheme::Base, Scheme::Ccdp]).expect("coherent");
     let aid = serial.array_by_name("A").unwrap().id;
     assert_eq!(
         serial_ref.array_values(&serial, aid),
-        cmp.ccdp.array_values(&parallel, aid),
+        m.get(Scheme::Ccdp).unwrap().result.array_values(&parallel, aid),
         "auto-parallelization must preserve semantics"
     );
     println!(
         "P=8: BASE {:.2}x, CCDP {:.2}x over sequential; improvement {:.1}%; results identical",
-        cmp.base_speedup, cmp.ccdp_speedup, cmp.improvement_pct
+        m.speedup(Scheme::Base).unwrap(),
+        m.speedup(Scheme::Ccdp).unwrap(),
+        m.improvement_pct().unwrap()
     );
 }

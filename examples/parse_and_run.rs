@@ -5,7 +5,7 @@
 //! cargo run -p ccdp-bench --release --example parse_and_run
 //! ```
 
-use ccdp_core::{compare, PipelineConfig};
+use ccdp_core::{compare, PipelineConfig, Scheme};
 use ccdp_ir::{parse_program, print_program};
 
 const SOURCE: &str = "\
@@ -33,14 +33,15 @@ fn main() {
     println!("parsed `{}` with {} epochs\n", program.name, program.epochs().len());
 
     for n_pes in [2usize, 8, 32] {
-        let cmp = compare(&program, &PipelineConfig::t3d(n_pes)).expect("coherent");
+        let m = compare(&program, &PipelineConfig::t3d(n_pes), &[Scheme::Base, Scheme::Ccdp])
+            .expect("coherent");
         println!(
             "P={:>2}: BASE speedup {:>5.2} | CCDP speedup {:>5.2} | improvement {:>6.2}% | coherent {}",
             n_pes,
-            cmp.base_speedup,
-            cmp.ccdp_speedup,
-            cmp.improvement_pct,
-            cmp.ccdp.oracle.is_coherent()
+            m.speedup(Scheme::Base).unwrap(),
+            m.speedup(Scheme::Ccdp).unwrap(),
+            m.improvement_pct().unwrap(),
+            m.get(Scheme::Ccdp).unwrap().result.oracle.is_coherent()
         );
     }
 

@@ -1,11 +1,13 @@
 //! Quickstart: write a tiny parallel program, let the CCDP pipeline enforce
-//! coherence with prefetching, and compare the three execution schemes.
+//! coherence with prefetching, and compare every coherence backend — the
+//! software schemes (BASE, CCDP, invalidate-only) and the hardware rivals
+//! (snooping MESI, update-based Dragon) — through the one `compare` call.
 //!
 //! ```text
 //! cargo run -p ccdp-bench --release --example quickstart
 //! ```
 
-use ccdp_core::{compare, PipelineConfig};
+use ccdp_core::{compare, PipelineConfig, Scheme};
 use ccdp_ir::ProgramBuilder;
 
 fn main() {
@@ -32,27 +34,22 @@ fn main() {
     println!("--- the program ---\n{}", ccdp_ir::print_program(&program));
 
     for n_pes in [1usize, 4, 16] {
-        let cmp = compare(&program, &PipelineConfig::t3d(n_pes)).expect("coherent");
+        let m = compare(&program, &PipelineConfig::t3d(n_pes), &Scheme::ALL).expect("coherent");
+        print!("P={:>2}: SEQ {:>9} cy, speedups:", n_pes, m.seq.cycles);
+        for run in &m.runs {
+            print!(" {} {:>5.2}x", run.scheme.name(), m.speedup(run.scheme).unwrap());
+        }
         println!(
-            "P={:>2}: SEQ {:>9} cy | BASE {:>9} cy (speedup {:>5.2}) | \
-             CCDP {:>9} cy (speedup {:>5.2}) | improvement {:>6.2}% | \
-             stale refs {} | coherent: {}",
-            n_pes,
-            cmp.seq.cycles,
-            cmp.base.cycles,
-            cmp.base_speedup,
-            cmp.ccdp.cycles,
-            cmp.ccdp_speedup,
-            cmp.improvement_pct,
-            cmp.stale_reads,
-            cmp.ccdp.oracle.is_coherent(),
+            " | CCDP improvement {:>6.2}% | stale refs {} | every backend coherent",
+            m.improvement_pct().unwrap(),
+            m.stale_reads,
         );
     }
 
     // The simulated runs carry real data: check the numbers.
-    let cmp = compare(&program, &PipelineConfig::t3d(8)).expect("coherent");
+    let m = compare(&program, &PipelineConfig::t3d(8), &Scheme::ALL).expect("coherent");
     let bid = program.array_by_name("B").unwrap().id;
-    let vals = cmp.ccdp.array_values(&program, bid);
+    let vals = m.get(Scheme::Ccdp).unwrap().result.array_values(&program, bid);
     assert_eq!(vals[0], ((n - 1) as f64 * 0.25 + 1.0) * 2.0);
     println!("\nB(0) = {} (= 2 * A({}) as expected)", vals[0], n - 1);
 }

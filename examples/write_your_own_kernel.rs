@@ -6,7 +6,7 @@
 //! cargo run -p ccdp-bench --release --example write_your_own_kernel
 //! ```
 
-use ccdp_core::{compare, PipelineConfig};
+use ccdp_core::{compare, PipelineConfig, Scheme};
 use ccdp_ir::{Program, ProgramBuilder};
 use t3d_sim::SimOptions;
 
@@ -103,18 +103,19 @@ fn main() {
     for n_pes in [1usize, 2, 4, 8, 16, 32] {
         let mut cfg = PipelineConfig::t3d(n_pes);
         cfg.sim = SimOptions::default(); // run all steps (exact numerics)
-        let cmp = compare(&program, &cfg).expect("coherent");
-        let got = cmp.ccdp.array_values(&program, uid);
+        let m = compare(&program, &cfg, &[Scheme::Base, Scheme::Ccdp]).expect("coherent");
+        let ccdp = &m.get(Scheme::Ccdp).unwrap().result;
+        let got = ccdp.array_values(&program, uid);
         let ok = got == want;
         println!(
             "{:>5} {:>10.2} {:>10.2} {:>11.2}% {:>10}",
             n_pes,
-            cmp.base_speedup,
-            cmp.ccdp_speedup,
-            cmp.improvement_pct,
+            m.speedup(Scheme::Base).unwrap(),
+            m.speedup(Scheme::Ccdp).unwrap(),
+            m.improvement_pct().unwrap(),
             if ok { "exact" } else { "MISMATCH" }
         );
         assert!(ok, "numerics must match the plain-Rust reference");
-        assert!(cmp.ccdp.oracle.is_coherent());
+        assert!(ccdp.oracle.is_coherent());
     }
 }

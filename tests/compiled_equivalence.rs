@@ -10,7 +10,7 @@
 
 use ccdp_bench::synth::{random_program, SynthConfig};
 use ccdp_bench::{cell_config, paper_kernels, Scale, PAPER_PES};
-use ccdp_core::{run_base, run_ccdp, run_seq, PipelineConfig};
+use ccdp_core::{run_seq, EnvOverrides, PipelineConfig, Scheme};
 use ccdp_ir::Program;
 use ccdp_json::ToJson;
 use t3d_sim::{FaultPlan, SimResult};
@@ -45,12 +45,13 @@ fn assert_identical(program: &Program, fast: &SimResult, slow: &SimResult, what:
 /// Run every scheme through both paths and compare.
 fn check_base_ccdp(program: &Program, cfg: &PipelineConfig, what: &str) {
     let tw = with_treewalk(cfg);
-    let f = run_base(program, cfg).expect("base (compiled)");
-    let s = run_base(program, &tw).expect("base (treewalk)");
+    let f = cfg.run(program, Scheme::Base).expect("base (compiled)").result;
+    let s = tw.run(program, Scheme::Base).expect("base (treewalk)").result;
     assert_identical(program, &f, &s, &format!("{what} BASE"));
-    let (art, f) = run_ccdp(program, cfg).expect("ccdp (compiled)");
-    let (_, s) = run_ccdp(program, &tw).expect("ccdp (treewalk)");
-    assert_identical(&art.transformed, &f, &s, &format!("{what} CCDP"));
+    let f = cfg.run(program, Scheme::Ccdp).expect("ccdp (compiled)");
+    let s = tw.run(program, Scheme::Ccdp).expect("ccdp (treewalk)");
+    let art = f.artifacts.as_ref().expect("ccdp run carries its artifacts");
+    assert_identical(&art.transformed, &f.result, &s.result, &format!("{what} CCDP"));
 }
 
 fn check_seq(program: &Program, cfg: &PipelineConfig, what: &str) {
@@ -122,7 +123,8 @@ fn traced_runs_identical() {
     check_base_ccdp(&k.program, &cfg, "VPENTA pes=8 traced");
 }
 
-/// The `CCDP_FORCE_TREEWALK` env var selects the same reference path as
+/// The `CCDP_FORCE_TREEWALK` env var — applied through the single
+/// `EnvOverrides` parsing point — selects the same reference path as
 /// `SimOptions::force_treewalk`. (Runs on a small kernel; if another test
 /// in this binary races the env var, both sides degrade to the treewalk and
 /// the assertion still holds — the flag is equivalence-preserving by
@@ -133,8 +135,12 @@ fn env_flag_matches_option_flag() {
     let k = &kernels[0];
     let cfg = cell_config(k, 4);
     std::env::set_var("CCDP_FORCE_TREEWALK", "1");
-    let via_env = run_base(&k.program, &cfg).expect("base (env treewalk)");
+    let mut env_cfg = cfg.clone();
+    EnvOverrides::from_env().expect("valid env").apply(&mut env_cfg);
     std::env::remove_var("CCDP_FORCE_TREEWALK");
-    let via_opt = run_base(&k.program, &with_treewalk(&cfg)).expect("base (opt treewalk)");
+    assert!(env_cfg.sim.force_treewalk, "env override must set the treewalk flag");
+    let via_env = env_cfg.run(&k.program, Scheme::Base).expect("base (env treewalk)").result;
+    let via_opt =
+        with_treewalk(&cfg).run(&k.program, Scheme::Base).expect("base (opt treewalk)").result;
     assert_identical(&k.program, &via_env, &via_opt, "env flag vs option flag");
 }

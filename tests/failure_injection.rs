@@ -4,7 +4,7 @@
 //! correctness.
 
 use ccdp_bench::synth::{random_program, SynthConfig};
-use ccdp_core::{compile_ccdp, run_ccdp, run_seq, PipelineConfig};
+use ccdp_core::{compile_ccdp, run_seq, PipelineConfig, Scheme as CoreScheme};
 use ccdp_kernels::{small_suite, tomcatv, values_equal};
 use ccdp_prefetch::Handling;
 use t3d_sim::{FaultPlan, MachineConfig, Scheme, SimOptions, Simulator};
@@ -179,8 +179,10 @@ fn fault_mix_degrades_gracefully_on_all_four_kernels() {
     for spec in small_suite() {
         for n_pes in [2usize, 4] {
             let pcfg = PipelineConfig::t3d(n_pes).with_faults(mix);
-            let (_, r) = run_ccdp(&spec.program, &pcfg)
-                .unwrap_or_else(|e| panic!("{} P={n_pes}: {e}", spec.name));
+            let r = pcfg
+                .run(&spec.program, CoreScheme::Ccdp)
+                .unwrap_or_else(|e| panic!("{} P={n_pes}: {e}", spec.name))
+                .result;
             let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
             assert!(
                 values_equal(&r.array_values(&spec.program, aid), &spec.golden),

@@ -5,7 +5,7 @@
 //! the cycle counts byte-identical to a fault-free run).
 
 use ccdp_bench::synth::{mutate_plan, random_program, SynthConfig};
-use ccdp_core::{compile_ccdp, run_ccdp, run_seq, PipelineConfig};
+use ccdp_core::{compile_ccdp, run_seq, PipelineConfig, Scheme as CoreScheme};
 use ccdp_kernels::values_equal;
 use proptest::prelude::*;
 use t3d_sim::{FaultPlan, MachineConfig, Scheme, SimOptions, Simulator};
@@ -51,9 +51,12 @@ proptest! {
         let clean = PipelineConfig::t3d(n_pes);
         let seq = run_seq(&program, &clean).expect("valid config");
         let faulted = PipelineConfig::t3d(n_pes).with_faults(plan);
-        // run_ccdp re-checks the oracle; an incoherent run is an Err here.
-        let (_, r) = run_ccdp(&program, &faulted)
-            .unwrap_or_else(|e| panic!("seed {prog_seed} P={n_pes}: {e}"));
+        // The CCDP pipeline re-checks the oracle; an incoherent run is an
+        // Err here.
+        let r = faulted
+            .run(&program, CoreScheme::Ccdp)
+            .unwrap_or_else(|e| panic!("seed {prog_seed} P={n_pes}: {e}"))
+            .result;
         prop_assert!(r.oracle.is_coherent());
         for a in &program.arrays {
             prop_assert!(
@@ -84,14 +87,18 @@ proptest! {
         let program = random_program(prog_seed, &SynthConfig::default());
         let zero = FaultPlan::none().with_seed(seed);
         prop_assert!(zero.is_none(), "a plan with all-zero rates is inert");
-        let clean = run_ccdp(&program, &PipelineConfig::t3d(n_pes))
-            .expect("ccdp coherent");
-        let faulted =
-            run_ccdp(&program, &PipelineConfig::t3d(n_pes).with_faults(zero))
-                .expect("ccdp coherent");
-        prop_assert!(faulted.1.fault_stats().is_zero());
-        prop_assert_eq!(faulted.1.cycles, clean.1.cycles);
-        for (a, b) in clean.1.per_pe.iter().zip(&faulted.1.per_pe) {
+        let clean = PipelineConfig::t3d(n_pes)
+            .run(&program, CoreScheme::Ccdp)
+            .expect("ccdp coherent")
+            .result;
+        let faulted = PipelineConfig::t3d(n_pes)
+            .with_faults(zero)
+            .run(&program, CoreScheme::Ccdp)
+            .expect("ccdp coherent")
+            .result;
+        prop_assert!(faulted.fault_stats().is_zero());
+        prop_assert_eq!(faulted.cycles, clean.cycles);
+        for (a, b) in clean.per_pe.iter().zip(&faulted.per_pe) {
             prop_assert_eq!(a.breakdown.total(), b.breakdown.total());
         }
     }
@@ -109,8 +116,8 @@ proptest! {
             .with_delay(0.2, 4, 2)
             .with_evict_rate(0.1);
         let cfg = PipelineConfig::t3d(n_pes).with_faults(plan);
-        let a = run_ccdp(&program, &cfg).expect("ccdp coherent").1;
-        let b = run_ccdp(&program, &cfg).expect("ccdp coherent").1;
+        let a = cfg.run(&program, CoreScheme::Ccdp).expect("ccdp coherent").result;
+        let b = cfg.run(&program, CoreScheme::Ccdp).expect("ccdp coherent").result;
         prop_assert_eq!(a.cycles, b.cycles);
         prop_assert_eq!(a.fault_stats(), b.fault_stats());
     }

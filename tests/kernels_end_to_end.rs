@@ -2,45 +2,46 @@
 //! sizes: numerical equality against the golden references under every
 //! scheme and PE count, plus coherence and basic performance sanity.
 
-use ccdp_core::{compare, run_invalidate_only, PipelineConfig};
+use ccdp_core::{compare, PipelineConfig, Scheme};
 use ccdp_kernels::{mxm, small_suite, swim, tomcatv, values_equal, vpenta};
 use t3d_sim::SimOptions;
 
 const PES: [usize; 5] = [1, 2, 3, 4, 8];
+const PAIR: [Scheme; 2] = [Scheme::Base, Scheme::Ccdp];
 
 #[test]
 fn every_kernel_every_pe_count_matches_golden() {
     for spec in small_suite() {
         let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
         for n in PES {
-            let cmp = compare(&spec.program, &PipelineConfig::t3d(n)).expect("coherent");
+            let cmp = compare(&spec.program, &PipelineConfig::t3d(n), &PAIR).expect("coherent");
+            let ccdp = &cmp.get(Scheme::Ccdp).unwrap().result;
             assert!(
-                cmp.ccdp.oracle.is_coherent(),
+                ccdp.oracle.is_coherent(),
                 "{} P={}: {:?}",
                 spec.name,
                 n,
-                cmp.ccdp.oracle.examples
+                ccdp.oracle.examples
             );
-            let base = cmp.base.array_values(&spec.program, aid);
+            let base = &cmp.get(Scheme::Base).unwrap().result;
             assert!(
-                values_equal(&base, &spec.golden),
+                values_equal(&base.array_values(&spec.program, aid), &spec.golden),
                 "{} P={} BASE numerics",
                 spec.name,
                 n
             );
-            let ccdp = cmp.ccdp.array_values(&spec.program, aid);
             assert!(
-                values_equal(&ccdp, &spec.golden),
+                values_equal(&ccdp.array_values(&spec.program, aid), &spec.golden),
                 "{} P={} CCDP numerics",
                 spec.name,
                 n
             );
+            let imp = cmp.improvement_pct().unwrap();
             assert!(
-                cmp.improvement_pct > -5.0,
-                "{} P={}: CCDP much slower than BASE ({:.1}%)",
+                imp > -5.0,
+                "{} P={}: CCDP much slower than BASE ({imp:.1}%)",
                 spec.name,
-                n,
-                cmp.improvement_pct
+                n
             );
         }
     }
@@ -56,13 +57,10 @@ fn ccdp_speedup_scales_with_pes() {
     ] {
         let mut last = 0.0;
         for n in [1usize, 2, 4] {
-            let cmp = compare(&program, &PipelineConfig::t3d(n)).expect("coherent");
-            assert!(
-                cmp.ccdp_speedup > last,
-                "{name}: speedup not increasing at P={n}: {} <= {last}",
-                cmp.ccdp_speedup
-            );
-            last = cmp.ccdp_speedup;
+            let cmp = compare(&program, &PipelineConfig::t3d(n), &PAIR).expect("coherent");
+            let s = cmp.speedup(Scheme::Ccdp).unwrap();
+            assert!(s > last, "{name}: speedup not increasing at P={n}: {s} <= {last}");
+            last = s;
         }
     }
 }
@@ -71,7 +69,10 @@ fn ccdp_speedup_scales_with_pes() {
 fn invalidate_only_baseline_is_correct_on_all_kernels() {
     for spec in small_suite() {
         let aid = spec.program.array_by_name(spec.check_array).unwrap().id;
-        let r = run_invalidate_only(&spec.program, &PipelineConfig::t3d(4)).expect("coherent");
+        let r = PipelineConfig::t3d(4)
+            .run(&spec.program, Scheme::InvalidateOnly)
+            .expect("coherent")
+            .result;
         assert!(r.oracle.is_coherent(), "{}", spec.name);
         assert!(
             values_equal(&r.array_values(&spec.program, aid), &spec.golden),
@@ -92,8 +93,8 @@ fn repeat_sampling_preserves_shape_on_tomcatv() {
     let mut sampled_cfg = full_cfg.clone();
     sampled_cfg.sim = SimOptions { repeat_sample: Some(3), ..Default::default() };
 
-    let full = ccdp_core::run_base(&program, &full_cfg).expect("valid config");
-    let sampled = ccdp_core::run_base(&program, &sampled_cfg).expect("valid config");
+    let full = full_cfg.run(&program, Scheme::Base).expect("valid config").result;
+    let sampled = sampled_cfg.run(&program, Scheme::Base).expect("valid config").result;
     assert!(sampled.extrapolated && !full.extrapolated);
     let rel =
         (full.cycles as f64 - sampled.cycles as f64).abs() / full.cycles as f64;
@@ -106,9 +107,10 @@ fn swim_routines_and_layout_work_at_scale_quickly() {
     let program = swim::build(&pr);
     let mut cfg = PipelineConfig::t3d(3);
     cfg.layout = Some(swim::layout(&program, 3));
-    let cmp = compare(&program, &cfg).expect("coherent");
+    let cmp = compare(&program, &cfg, &PAIR).expect("coherent");
     let aid = program.array_by_name("PNEW").unwrap().id;
     let want = swim::golden_iters(&pr, pr.iters);
-    assert!(values_equal(&cmp.ccdp.array_values(&program, aid), &want));
-    assert!(cmp.ccdp.oracle.is_coherent());
+    let ccdp = &cmp.get(Scheme::Ccdp).unwrap().result;
+    assert!(values_equal(&ccdp.array_values(&program, aid), &want));
+    assert!(ccdp.oracle.is_coherent());
 }

@@ -12,7 +12,7 @@
 
 use ccdp_bench::synth::{random_program, SynthConfig};
 use ccdp_bench::{cell_config, paper_kernels, Scale};
-use ccdp_core::{compare, run_base, run_ccdp, run_seq, PipelineConfig};
+use ccdp_core::{compare, run_seq, PipelineConfig, Scheme};
 use ccdp_json::{Json, ToJson};
 use proptest::prelude::*;
 use t3d_sim::{CycleBreakdown, CycleCategory, SimOptions, SimResult};
@@ -55,8 +55,8 @@ fn kernel_cells_fully_attributed() {
     for k in &kernels {
         let cfg = cell_config(k, 4);
         let seq = run_seq(&k.program, &cfg).expect("valid config");
-        let base = run_base(&k.program, &cfg).expect("valid config");
-        let (_, ccdp) = run_ccdp(&k.program, &cfg).expect("coherent");
+        let base = cfg.run(&k.program, Scheme::Base).expect("valid config").result;
+        let ccdp = cfg.run(&k.program, Scheme::Ccdp).expect("coherent").result;
         for (r, scheme) in [(&seq, "seq"), (&base, "base"), (&ccdp, "ccdp")] {
             assert_fully_attributed(r, &format!("{} {scheme}", k.name));
             assert_quality_well_formed(r, &format!("{} {scheme}", k.name));
@@ -74,8 +74,8 @@ fn trace_is_observation_only_and_bounded() {
     let plain = cell_config(k, 4);
     let traced = cell_config(k, 4)
         .with_sim(SimOptions { trace_capacity: 128, ..plain.sim });
-    let (_, off) = run_ccdp(&k.program, &plain).expect("coherent");
-    let (_, on) = run_ccdp(&k.program, &traced).expect("coherent");
+    let off = plain.run(&k.program, Scheme::Ccdp).expect("coherent").result;
+    let on = traced.run(&k.program, Scheme::Ccdp).expect("coherent").result;
     assert_eq!(off.cycles, on.cycles, "enabling the trace changed cycle counts");
     for (a, b) in off.per_pe.iter().zip(&on.per_pe) {
         assert_eq!(a.breakdown, b.breakdown, "enabling the trace changed a breakdown");
@@ -101,8 +101,8 @@ proptest! {
         let program = random_program(seed, &SynthConfig::default());
         let pcfg = PipelineConfig::t3d(n_pes);
         let seq = run_seq(&program, &pcfg).expect("valid config");
-        let base = run_base(&program, &pcfg).expect("valid config");
-        let (_, ccdp) = run_ccdp(&program, &pcfg).expect("coherent");
+        let base = pcfg.run(&program, Scheme::Base).expect("valid config").result;
+        let ccdp = pcfg.run(&program, Scheme::Ccdp).expect("coherent").result;
         for (r, scheme) in [(&seq, "seq"), (&base, "base"), (&ccdp, "ccdp")] {
             assert_fully_attributed(r, &format!("seed {seed} P={n_pes} {scheme}"));
             assert_quality_well_formed(r, &format!("seed {seed} P={n_pes} {scheme}"));
@@ -114,27 +114,29 @@ proptest! {
 fn comparison_json_round_trips() {
     let kernels = paper_kernels(Scale::Quick);
     let k = &kernels[1]; // VPENTA
-    let cmp = compare(&k.program, &cell_config(k, 2)).expect("coherent");
+    let cmp = compare(&k.program, &cell_config(k, 2), &[Scheme::Base, Scheme::Ccdp])
+        .expect("coherent");
     let j = cmp.to_json();
     let parsed = ccdp_json::parse(&j.to_pretty()).expect("valid JSON");
     assert_eq!(parsed, j, "print -> parse is not the identity");
 
     // Serialized breakdowns decode back to the in-memory values and still
     // sum to the run's total cycles.
-    let ccdp_j = parsed.get("ccdp").unwrap();
+    let ccdp = &cmp.get(Scheme::Ccdp).unwrap().result;
+    let ccdp_j = parsed.get("runs").unwrap().get("ccdp").unwrap();
     let cycles = ccdp_j.get("cycles").and_then(Json::as_u64).unwrap();
     let per_pe = ccdp_j.get("per_pe").unwrap().items();
     assert_eq!(per_pe.len(), 2);
     for (pe, stats_j) in per_pe.iter().enumerate() {
         let b = CycleBreakdown::from_json(stats_j.get("breakdown").unwrap())
             .expect("breakdown decodes");
-        assert_eq!(b, cmp.ccdp.per_pe[pe].breakdown);
+        assert_eq!(b, ccdp.per_pe[pe].breakdown);
         assert_eq!(b.total(), cycles);
     }
     // Quality ratios survive the trip.
     let q = ccdp_j.get("prefetch_quality").unwrap();
     let cov = q.get("coverage").and_then(Json::as_f64).unwrap();
-    assert!((cov - cmp.ccdp.prefetch_quality().coverage).abs() < 1e-12);
+    assert!((cov - ccdp.prefetch_quality().coverage).abs() < 1e-12);
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! simulated results and cycle counts).
 
 use ccdp_bench::synth::{random_program, SynthConfig};
-use ccdp_core::{run_base, run_seq, PipelineConfig};
+use ccdp_core::{run_seq, PipelineConfig, Scheme};
 use ccdp_ir::{parse_program, print_program};
 use proptest::prelude::*;
 
@@ -28,7 +28,10 @@ proptest! {
         let pcfg = PipelineConfig::t3d(3);
         let (a, b) = (run_seq(&p, &pcfg).unwrap(), run_seq(&p2, &pcfg).unwrap());
         prop_assert_eq!(a.cycles, b.cycles, "seed {}", seed);
-        let (a4, b4) = (run_base(&p, &pcfg).unwrap(), run_base(&p2, &pcfg).unwrap());
+        let (a4, b4) = (
+            pcfg.run(&p, Scheme::Base).unwrap().result,
+            pcfg.run(&p2, Scheme::Base).unwrap().result,
+        );
         prop_assert_eq!(a4.cycles, b4.cycles);
         for (arr, arr2) in p.arrays.iter().zip(&p2.arrays) {
             prop_assert_eq!(

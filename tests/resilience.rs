@@ -10,7 +10,7 @@ use ccdp_bench::journal::{header_line, run_journaled_grid, Journal};
 use ccdp_bench::report::report_json_cells;
 use ccdp_bench::resilience::{run_grid_isolated, CellFailure, CellOutcome, GridOptions};
 use ccdp_bench::{paper_kernels, BenchKernel, Scale};
-use ccdp_core::{run_ccdp, run_seq, PipelineConfig, PipelineError};
+use ccdp_core::{run_seq, PipelineConfig, PipelineError, Scheme};
 use ccdp_ir::{Program, ProgramBuilder};
 use ccdp_json::Json;
 use t3d_sim::FaultPlan;
@@ -44,7 +44,7 @@ fn budget_terminates_runaway_under_both_interpreters() {
             Err(other) => panic!("expected BudgetExceeded, got: {other}"),
         }
         // The CCDP path (compile + prefetch plan) is budgeted too.
-        match run_ccdp(&p, &cfg) {
+        match cfg.run(&p, Scheme::Ccdp) {
             Err(PipelineError::BudgetExceeded { .. }) => {}
             Ok(_) => panic!("runaway CCDP run finished under budget"),
             Err(other) => panic!("expected BudgetExceeded, got: {other}"),
@@ -114,7 +114,14 @@ fn oob_kernel() -> BenchKernel {
 #[test]
 fn panicking_cell_is_contained_and_classified() {
     let kernels = vec![oob_kernel()];
-    let grid = run_grid_isolated(&kernels, &[2], &[(0, 0)], &GridOptions::default(), |_| {});
+    let grid = run_grid_isolated(
+        &kernels,
+        &[2],
+        &[Scheme::Base, Scheme::Ccdp],
+        &[(0, 0)],
+        &GridOptions::default(),
+        |_| {},
+    );
     match grid.outcomes[0][0].as_ref().expect("cell was requested") {
         CellOutcome::Fail(CellFailure::Panicked { retried, .. }) => {
             assert!(*retried, "a deterministic panic is retried once, then recorded");
@@ -144,17 +151,19 @@ fn killed_run_resumes_to_byte_identical_report() {
         faults: Some(FaultPlan::none().with_seed(11).with_drop_rate(0.05)),
         ..Default::default()
     };
+    let schemes = [Scheme::Base, Scheme::Ccdp];
     let dir = tmp_dir("resume");
     let path = dir.join("grid.journal.jsonl");
-    let header = header_line("report", Scale::Quick, 11, &pes, &opts);
+    let header = header_line("report", Scale::Quick, 11, &pes, &schemes, &opts);
 
     // Uninterrupted run.
-    let full = run_journaled_grid(kernels, &pes, &opts, &path, &header, false)
+    let full = run_journaled_grid(kernels, &pes, &schemes, &opts, &path, &header, false)
         .expect("journaled run");
     assert_eq!(full.reused, 0);
     assert!(full.failures.is_empty(), "quick kernels are coherent under this plan");
     let doc_full =
-        report_json_cells(Scale::Quick, 11, &pes, &names, &full.cells, None).to_pretty();
+        report_json_cells(Scale::Quick, 11, &pes, &schemes, &names, &full.cells, None)
+            .to_pretty();
 
     // "Kill" it: keep the header and the first two journaled cells, plus a
     // torn line from the crashed append.
@@ -165,20 +174,22 @@ fn killed_run_resumes_to_byte_identical_report() {
     fs::write(&path, kept.join("\n")).expect("truncate journal");
 
     // Resume: two cells replayed, the rest re-simulated.
-    let resumed = run_journaled_grid(kernels, &pes, &opts, &path, &header, true)
+    let resumed = run_journaled_grid(kernels, &pes, &schemes, &opts, &path, &header, true)
         .expect("resumed run");
     assert_eq!(resumed.reused, 2, "exactly the journaled cells are reused");
     assert!(resumed.timing.is_none(), "resumed runs carry no perf baseline");
     let doc_resumed =
-        report_json_cells(Scale::Quick, 11, &pes, &names, &resumed.cells, None).to_pretty();
+        report_json_cells(Scale::Quick, 11, &pes, &schemes, &names, &resumed.cells, None)
+            .to_pretty();
     assert_eq!(doc_full, doc_resumed, "resumed document must be byte-identical");
 
     // A second resume replays everything and changes nothing.
-    let replayed = run_journaled_grid(kernels, &pes, &opts, &path, &header, true)
+    let replayed = run_journaled_grid(kernels, &pes, &schemes, &opts, &path, &header, true)
         .expect("fully replayed run");
     assert_eq!(replayed.reused, 4);
     let doc_replayed =
-        report_json_cells(Scale::Quick, 11, &pes, &names, &replayed.cells, None).to_pretty();
+        report_json_cells(Scale::Quick, 11, &pes, &schemes, &names, &replayed.cells, None)
+            .to_pretty();
     assert_eq!(doc_full, doc_replayed);
     fs::remove_dir_all(&dir).ok();
 }
@@ -194,16 +205,17 @@ fn budget_failures_are_checkpointed_and_replayed() {
         layout: None,
     }];
     let pes = [2usize];
+    let schemes = [Scheme::Base, Scheme::Ccdp];
     let opts = GridOptions { cycle_budget: Some(500_000), ..Default::default() };
     let dir = tmp_dir("budget");
     let path = dir.join("grid.journal.jsonl");
-    let header = header_line("report", Scale::Quick, 0, &pes, &opts);
-    let first =
-        run_journaled_grid(&kernels, &pes, &opts, &path, &header, false).expect("first run");
+    let header = header_line("report", Scale::Quick, 0, &pes, &schemes, &opts);
+    let first = run_journaled_grid(&kernels, &pes, &schemes, &opts, &path, &header, false)
+        .expect("first run");
     assert_eq!(first.failures.len(), 1);
     assert_eq!(first.failures[0].2, "budget_exceeded");
-    let resumed =
-        run_journaled_grid(&kernels, &pes, &opts, &path, &header, true).expect("resume");
+    let resumed = run_journaled_grid(&kernels, &pes, &schemes, &opts, &path, &header, true)
+        .expect("resume");
     assert_eq!(resumed.reused, 1, "budget outcomes replay from the journal");
     assert_eq!(resumed.failures.len(), 1);
     assert_eq!(first.cells[0][0].to_pretty(), resumed.cells[0][0].to_pretty());
@@ -215,17 +227,18 @@ fn budget_failures_are_checkpointed_and_replayed() {
 fn panics_are_not_checkpointed() {
     let kernels = vec![oob_kernel()];
     let pes = [2usize];
+    let schemes = [Scheme::Base, Scheme::Ccdp];
     let opts = GridOptions::default();
     let dir = tmp_dir("panic");
     let path = dir.join("grid.journal.jsonl");
-    let header = header_line("report", Scale::Quick, 0, &pes, &opts);
-    let first =
-        run_journaled_grid(&kernels, &pes, &opts, &path, &header, false).expect("first run");
+    let header = header_line("report", Scale::Quick, 0, &pes, &schemes, &opts);
+    let first = run_journaled_grid(&kernels, &pes, &schemes, &opts, &path, &header, false)
+        .expect("first run");
     assert_eq!(first.failures[0].2, "panicked");
     let (_, entries) = Journal::resume(&path, &header).expect("journal readable");
     assert!(entries.is_empty(), "panicked cells must not be journaled");
-    let resumed =
-        run_journaled_grid(&kernels, &pes, &opts, &path, &header, true).expect("resume");
+    let resumed = run_journaled_grid(&kernels, &pes, &schemes, &opts, &path, &header, true)
+        .expect("resume");
     assert_eq!(resumed.reused, 0, "the panicked cell is re-attempted on resume");
     fs::remove_dir_all(&dir).ok();
 }
@@ -255,7 +268,14 @@ fn invalid_program_classified_not_fatal() {
         repeat_sample: None,
         layout: None,
     }];
-    let grid = run_grid_isolated(&kernels, &[2], &[(0, 0)], &GridOptions::default(), |_| {});
+    let grid = run_grid_isolated(
+        &kernels,
+        &[2],
+        &[Scheme::Base, Scheme::Ccdp],
+        &[(0, 0)],
+        &GridOptions::default(),
+        |_| {},
+    );
     match grid.outcomes[0][0].as_ref().unwrap() {
         CellOutcome::Fail(CellFailure::Invalid { message }) => {
             assert!(message.contains("repeat"), "message names the defect: {message}");
@@ -269,7 +289,14 @@ fn invalid_program_classified_not_fatal() {
 #[test]
 fn journaled_cells_roundtrip_byte_stable() {
     let kernels = paper_kernels(Scale::Quick);
-    let grid = run_grid_isolated(&kernels[..1], &[2], &[(0, 0)], &GridOptions::default(), |_| {});
+    let grid = run_grid_isolated(
+        &kernels[..1],
+        &[2],
+        &ccdp_bench::GRID_SCHEMES,
+        &[(0, 0)],
+        &GridOptions::default(),
+        |_| {},
+    );
     let cell = ccdp_bench::report::cell_json(grid.outcomes[0][0].as_ref().unwrap());
     let line = cell.to_string();
     let reparsed: Json = ccdp_json::parse(&line).expect("cell json parses");

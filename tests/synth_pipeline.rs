@@ -8,9 +8,7 @@
 //! 4. the conservative invalidate-only scheme is also correct.
 
 use ccdp_bench::synth::{random_program, SynthConfig};
-use ccdp_core::{
-    compile_ccdp, run_base, run_ccdp, run_invalidate_only, run_seq, PipelineConfig,
-};
+use ccdp_core::{compile_ccdp, run_seq, PipelineConfig, Scheme};
 use ccdp_prefetch::Handling;
 use proptest::prelude::*;
 
@@ -32,9 +30,9 @@ fn check_seed(seed: u64, n_pes: usize) -> Result<(), TestCaseError> {
     }
 
     let seq = run_seq(&program, &pcfg).expect("valid config");
-    let base = run_base(&program, &pcfg).expect("valid config");
-    let (_, ccdp) = run_ccdp(&program, &pcfg).expect("coherent");
-    let inv = run_invalidate_only(&program, &pcfg).expect("coherent");
+    let base = pcfg.run(&program, Scheme::Base).expect("valid config").result;
+    let ccdp = pcfg.run(&program, Scheme::Ccdp).expect("coherent").result;
+    let inv = pcfg.run(&program, Scheme::InvalidateOnly).expect("coherent").result;
 
     prop_assert!(
         ccdp.oracle.is_coherent(),

@@ -5,13 +5,14 @@
 //! recorded in EXPERIMENTS.md.
 
 use ccdp_bench::{paper_kernels, run_grid, Scale};
-use ccdp_core::{format_improvement_table, format_speedup_table, ComparisonRow};
+use ccdp_core::{format_improvement_table, format_speedup_table, MatrixRow, Scheme};
 
 #[test]
 fn quick_grid_shape_matches_the_paper() {
     let kernels = paper_kernels(Scale::Quick);
     let pes = [2usize, 4, 8];
-    let grid = run_grid(&kernels, &pes).expect("coherent grid");
+    let schemes = [Scheme::Base, Scheme::Ccdp];
+    let grid = run_grid(&kernels, &pes, &schemes).expect("coherent grid");
 
     let by_name = |n: &str| {
         kernels
@@ -22,29 +23,30 @@ fn quick_grid_shape_matches_the_paper() {
     let (im, iv, it, isw) =
         (by_name("MXM"), by_name("VPENTA"), by_name("TOMCATV"), by_name("SWIM"));
 
-    for (ki, comps) in grid.iter().enumerate() {
-        for c in comps {
+    for (ki, mats) in grid.iter().enumerate() {
+        for m in mats {
+            let ccdp = &m.get(Scheme::Ccdp).unwrap().result;
             assert!(
-                c.ccdp.oracle.is_coherent(),
+                ccdp.oracle.is_coherent(),
                 "{} P={} incoherent",
                 kernels[ki].name,
-                c.n_pes
+                m.n_pes
             );
+            let imp = m.improvement_pct().unwrap();
             assert!(
-                c.improvement_pct > 0.0,
-                "{} P={}: CCDP must beat BASE ({:.1}%)",
+                imp > 0.0,
+                "{} P={}: CCDP must beat BASE ({imp:.1}%)",
                 kernels[ki].name,
-                c.n_pes,
-                c.improvement_pct
+                m.n_pes
             );
-            assert!(c.ccdp_speedup > 0.9, "CCDP speedup sane");
+            assert!(m.speedup(Scheme::Ccdp).unwrap() > 0.9, "CCDP speedup sane");
         }
     }
 
     // Paper shape: MXM and TOMCATV are the big winners; VPENTA and SWIM the
     // small ones; BASE MXM/TOMCATV underperform BASE VPENTA/SWIM badly.
     for (pi, &pe) in pes.iter().enumerate() {
-        let imp = |k: usize| grid[k][pi].improvement_pct;
+        let imp = |k: usize| grid[k][pi].improvement_pct().unwrap();
         assert!(
             imp(im) > imp(iv) && imp(im) > imp(isw),
             "P={pe}: MXM must out-improve VPENTA/SWIM: {:.1} vs {:.1}/{:.1}",
@@ -56,7 +58,7 @@ fn quick_grid_shape_matches_the_paper() {
             imp(it) > imp(iv),
             "P={pe}: TOMCATV must out-improve VPENTA"
         );
-        let bs = |k: usize| grid[k][pi].base_speedup;
+        let bs = |k: usize| grid[k][pi].speedup(Scheme::Base).unwrap();
         assert!(
             bs(iv) > bs(im) && bs(iv) > bs(it),
             "P={pe}: BASE VPENTA must scale better than BASE MXM/TOMCATV"
@@ -65,10 +67,10 @@ fn quick_grid_shape_matches_the_paper() {
     }
 
     // And the report formatting renders every cell.
-    let rows: Vec<ComparisonRow> = kernels
+    let rows: Vec<MatrixRow> = kernels
         .iter()
         .zip(&grid)
-        .map(|(k, c)| ComparisonRow { kernel: k.name, comparisons: c })
+        .map(|(k, matrices)| MatrixRow { kernel: k.name, matrices })
         .collect();
     let t1 = format_speedup_table(&rows);
     let t2 = format_improvement_table(&rows);
