@@ -18,20 +18,19 @@
 //! for a resumed or failing report run — passes with a loud notice naming
 //! exactly what is missing.
 
-use ccdp_bench::report::SCHEMA_VERSION;
+use ccdp_bench::report::{perf_baseline, Baseline, SCHEMA_VERSION};
 use ccdp_bench::{paper_kernels, run_grid_timed, Scale, GRID_SCHEMES, PAPER_PES};
+use ccdp_core::EnvOverrides;
 
 const BASELINE: &str = "BENCH_ccdp.json";
 const DEFAULT_FACTOR: f64 = 1.25;
 
 fn main() {
-    let factor = match std::env::var("CCDP_PERF_GATE_FACTOR") {
-        Err(_) => DEFAULT_FACTOR,
-        Ok(v) => v.parse::<f64>().unwrap_or_else(|_| {
-            eprintln!("unparseable CCDP_PERF_GATE_FACTOR {v:?} (expected a float)");
-            std::process::exit(2);
-        }),
-    };
+    let env = EnvOverrides::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let factor = env.perf_gate_factor.unwrap_or(DEFAULT_FACTOR);
     let baseline = committed_wall_seconds();
     report_baseline_scheme_cycles();
     let kernels = paper_kernels(Scale::Quick);
@@ -71,9 +70,9 @@ fn main() {
 }
 
 /// `perf.wall_seconds` from the committed report, when present and valid.
-/// Exits 2 (with a regenerate hint) when the baseline was written by a
-/// newer schema than this binary understands — silently comparing against
-/// a reshaped document could pass or fail for the wrong reason.
+/// The classification itself lives in `report::perf_baseline` (additive
+/// sections such as v7's `service` are ignored; only a genuinely newer
+/// schema is rejected) — this wrapper just turns it into IO + exit codes.
 fn committed_wall_seconds() -> Option<f64> {
     let text = match std::fs::read_to_string(BASELINE) {
         Ok(t) => t,
@@ -89,8 +88,10 @@ fn committed_wall_seconds() -> Option<f64> {
             return None;
         }
     };
-    if let Some(v) = doc.get("schema_version").and_then(ccdp_json::Json::as_u64) {
-        if v > u64::from(SCHEMA_VERSION) {
+    match perf_baseline(&doc) {
+        Baseline::Wall(w) => Some(w),
+        Baseline::Missing => None,
+        Baseline::NewerSchema(v) => {
             eprintln!(
                 "PERF GATE: {BASELINE} has schema_version {v}, newer than this binary \
                  understands ({SCHEMA_VERSION}). Rebuild the gate from the same commit, or \
@@ -100,8 +101,6 @@ fn committed_wall_seconds() -> Option<f64> {
             std::process::exit(2);
         }
     }
-    let wall = doc.get("perf")?.get("wall_seconds")?.as_f64()?;
-    (wall > 0.0).then_some(wall)
 }
 
 /// Schema-v6 baselines break the perf cells down per scheme; surface the

@@ -90,14 +90,28 @@ pub struct Entry {
 }
 
 /// An append-only checkpoint journal. `append` is `&self` (cells finish on
-/// worker threads); each line is flushed before `append` returns, so a
-/// kill can tear at most the line being written.
+/// worker threads); each line is fsynced (`sync_data`) before `append`
+/// returns, so a kill — or a whole host power loss — can tear at most the
+/// line being written, and every line the journal acknowledged is durable.
 pub struct Journal {
     file: Mutex<fs::File>,
 }
 
+/// Best-effort fsync of a directory, making a just-created or just-renamed
+/// entry durable. Not every platform allows opening a directory for sync,
+/// so failures are ignored — the journal degrades to flush-on-append.
+fn sync_dir(dir: Option<&Path>) {
+    if let Some(d) = dir.filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(f) = fs::File::open(d) {
+            let _ = f.sync_all();
+        }
+    }
+}
+
 impl Journal {
-    /// Start a fresh journal at `path`, truncating anything there.
+    /// Start a fresh journal at `path`, truncating anything there. The
+    /// parent directory is fsynced so the file itself survives a crash
+    /// immediately after creation.
     pub fn create(path: &Path, header: &str) -> std::io::Result<Journal> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
@@ -106,17 +120,31 @@ impl Journal {
         }
         let mut file = fs::File::create(path)?;
         writeln!(file, "{header}")?;
-        file.flush()?;
+        file.sync_data()?;
+        sync_dir(path.parent());
         Ok(Journal { file: Mutex::new(file) })
     }
 
     /// Resume from `path`: if the file exists and its header matches, the
-    /// surviving entries are returned and the journal is compacted (torn
-    /// tail dropped, rewritten atomically) before reopening for append. A
-    /// missing file or a fingerprint mismatch starts fresh with no entries.
-    pub fn resume(path: &Path, header: &str) -> std::io::Result<(Journal, Vec<Entry>)> {
-        let text = match fs::read_to_string(path) {
-            Ok(t) => t,
+    /// surviving complete lines (validated by `valid`) are returned and the
+    /// journal is compacted (torn tail dropped, rewritten atomically, with
+    /// the parent directory fsynced after the rename) before reopening for
+    /// append. A missing file or a fingerprint mismatch starts fresh with
+    /// no lines. This is the generic core; [`Journal::resume`] layers the
+    /// grid-cell entry shape on top, and the `ccdp-serve` job journal its
+    /// own.
+    pub fn resume_lines(
+        path: &Path,
+        header: &str,
+        valid: impl Fn(&str) -> bool,
+    ) -> std::io::Result<(Journal, Vec<String>)> {
+        // Read as bytes: a line torn mid-multibyte-character is invalid
+        // UTF-8, and that must drop the torn tail, not the whole journal.
+        // (Complete lines were written from Rust strings and are always
+        // valid, so lossy conversion can only mangle the torn tail, which
+        // the `valid` filter then rejects.)
+        let text = match fs::read(path) {
+            Ok(t) => String::from_utf8_lossy(&t).into_owned(),
             Err(_) => return Ok((Journal::create(path, header)?, Vec::new())),
         };
         let mut lines = text.lines();
@@ -131,20 +159,44 @@ impl Journal {
             }
         }
         let mut entries = Vec::new();
-        let mut kept = vec![header.to_string()];
         for line in lines {
-            let Some(e) = parse_entry(line) else {
+            if !valid(line) {
                 // A torn or foreign line: everything after it is suspect.
                 break;
-            };
-            kept.push(line.to_string());
-            entries.push(e);
+            }
+            entries.push(line.to_string());
         }
-        let mut compact = kept.join("\n");
+        let mut compact = header.to_string();
         compact.push('\n');
+        for line in &entries {
+            compact.push_str(line);
+            compact.push('\n');
+        }
+        // write_atomic syncs the rewritten file and the directory entry, so
+        // the compacted journal is durable before we append to it.
         ccdp_json::write_atomic(path, &compact)?;
         let file = fs::OpenOptions::new().append(true).open(path)?;
         Ok((Journal { file: Mutex::new(file) }, entries))
+    }
+
+    /// Resume a grid-cell journal (see [`Journal::resume_lines`]).
+    pub fn resume(path: &Path, header: &str) -> std::io::Result<(Journal, Vec<Entry>)> {
+        let (journal, lines) =
+            Journal::resume_lines(path, header, |l| parse_entry(l).is_some())?;
+        let entries = lines
+            .iter()
+            .map(|l| parse_entry(l).expect("resume_lines validated this line"))
+            .collect();
+        Ok((journal, entries))
+    }
+
+    /// Append one raw journal line (no trailing newline), fsynced before
+    /// returning — once this returns `Ok`, the line survives `kill -9` and
+    /// power loss.
+    pub fn append_line(&self, line: &str) -> std::io::Result<()> {
+        let mut f = self.file.lock().expect("journal file lock");
+        writeln!(f, "{line}")?;
+        f.sync_data()
     }
 
     /// Checkpoint one completed cell. Errors are surfaced to the caller —
@@ -158,9 +210,7 @@ impl Journal {
             ("data", data.clone()),
         ])
         .to_string();
-        let mut f = self.file.lock().expect("journal file lock");
-        writeln!(f, "{line}")?;
-        f.flush()
+        self.append_line(&line)
     }
 }
 
@@ -321,6 +371,42 @@ mod unit {
         let compacted = fs::read_to_string(&path).unwrap();
         assert!(!compacted.contains("TOMC"));
         assert!(compacted.ends_with('\n'));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The torn-final-line recovery contract, end to end: every line
+    /// acknowledged by `append_line` is fsynced and survives; a crash can
+    /// tear only the very last line; recovery drops exactly that tail —
+    /// even when the tear landed mid-multibyte-character — compacts the
+    /// file, and appending afterwards resumes cleanly.
+    #[test]
+    fn torn_line_recovery_path_via_generic_lines() {
+        let dir = std::env::temp_dir().join(format!("ccdp-torn-generic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("jobs.jsonl");
+        let header = r#"{"kind":"header","tool":"ccdpd","schema":7}"#;
+        let j = Journal::create(&path, header).unwrap();
+        j.append_line(r#"{"kind":"job","id":1}"#).unwrap();
+        j.append_line(r#"{"kind":"job","id":2}"#).unwrap();
+        drop(j);
+        // Crash artifact 1: a torn ASCII tail.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(br#"{"kind":"job","#);
+        // Crash artifact 2: the tear splits a multibyte character ("é").
+        bytes.extend_from_slice(&[0xC3]);
+        fs::write(&path, &bytes).unwrap();
+        let is_job = |l: &str| ccdp_json::parse(l).is_ok();
+        let (j, lines) = Journal::resume_lines(&path, header, is_job).unwrap();
+        assert_eq!(lines.len(), 2, "complete lines survive, torn tail dropped");
+        assert_eq!(lines[0], r#"{"kind":"job","id":1}"#);
+        // Compaction removed the torn bytes from disk.
+        let on_disk = fs::read(&path).unwrap();
+        assert!(!on_disk.contains(&0xC3));
+        // The journal stays appendable after recovery.
+        j.append_line(r#"{"kind":"job","id":3}"#).unwrap();
+        drop(j);
+        let (_j, lines) = Journal::resume_lines(&path, header, is_job).unwrap();
+        assert_eq!(lines.len(), 3);
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -40,7 +40,44 @@ use crate::{BenchKernel, GridTiming, Scale};
 /// per-scheme `sim_cycles_by_scheme` rows, and stress cells gain a
 /// `scheme` field (hardware backends smoke-tested under the mixed soak
 /// plan).
-pub const SCHEMA_VERSION: u32 = 6;
+/// v7: the `loadgen` bin (ccdp-serve) merges a `service` section — the
+/// ccdpd job-service load-test results: sustained QPS, p50/p99 latency,
+/// shed rate, and cache hit rate per traffic profile. No existing section
+/// changed shape; v6 consumers that ignore unknown top-level sections read
+/// v7 documents unchanged.
+pub const SCHEMA_VERSION: u32 = 7;
+
+/// How the committed report document read out as a perf-gate baseline.
+/// Produced by [`perf_baseline`]; the `perf_gate` bin turns these into
+/// exit codes, but the classification itself is pure and unit-testable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Baseline {
+    /// No usable `perf.wall_seconds` (resumed or failing report run, or a
+    /// section-only document) — the gate skips with a notice.
+    Missing,
+    /// The document was written by a newer schema than this binary
+    /// understands: comparing against a reshaped layout could pass or fail
+    /// for the wrong reason, so the gate must hard-error.
+    NewerSchema(u64),
+    /// A usable baseline: the committed quick-grid wall seconds.
+    Wall(f64),
+}
+
+/// Classify a report document as a perf-gate baseline. Forward-compatible
+/// within a schema generation: *additive* sections (e.g. v7's `service`
+/// section) are ignored, and only a `schema_version` beyond this binary's
+/// [`SCHEMA_VERSION`] is rejected.
+pub fn perf_baseline(doc: &Json) -> Baseline {
+    if let Some(v) = doc.get("schema_version").and_then(Json::as_u64) {
+        if v > u64::from(SCHEMA_VERSION) {
+            return Baseline::NewerSchema(v);
+        }
+    }
+    match doc.get("perf").and_then(|p| p.get("wall_seconds")).and_then(Json::as_f64) {
+        Some(w) if w > 0.0 => Baseline::Wall(w),
+        _ => Baseline::Missing,
+    }
+}
 
 /// JSON for one successful cell: the `outcome` marker followed by the
 /// matrix's fields (scheme-keyed `speedups` and `runs` objects).
@@ -224,6 +261,36 @@ mod unit {
     use super::*;
     use crate::{paper_kernels, run_grid_timed};
 
+    /// Pins the gate's forward-compat contract: additive sections (v7's
+    /// `service`) are ignored, only a genuinely newer schema is rejected.
+    #[test]
+    fn perf_baseline_forward_compat() {
+        let v7 = ccdp_json::parse(
+            r#"{"schema_version": 7, "perf": {"wall_seconds": 2.5},
+                "service": {"profiles": [{"name": "soak", "qps": 120.0}]}}"#,
+        )
+        .unwrap();
+        assert_eq!(perf_baseline(&v7), Baseline::Wall(2.5));
+
+        // A v6 document (no service section) still reads the same way.
+        let v6 = ccdp_json::parse(r#"{"schema_version": 6, "perf": {"wall_seconds": 1.0}}"#)
+            .unwrap();
+        assert_eq!(perf_baseline(&v6), Baseline::Wall(1.0));
+
+        // Newer-than-us must be a hard signal, not a silent comparison.
+        let v8 = ccdp_json::parse(r#"{"schema_version": 8, "perf": {"wall_seconds": 1.0}}"#)
+            .unwrap();
+        assert_eq!(perf_baseline(&v8), Baseline::NewerSchema(8));
+
+        // Service-only documents (no perf timing) skip, not error.
+        let no_perf =
+            ccdp_json::parse(r#"{"schema_version": 7, "service": {"profiles": []}}"#).unwrap();
+        assert_eq!(perf_baseline(&no_perf), Baseline::Missing);
+        let bad_wall =
+            ccdp_json::parse(r#"{"schema_version": 7, "perf": {"wall_seconds": 0}}"#).unwrap();
+        assert_eq!(perf_baseline(&bad_wall), Baseline::Missing);
+    }
+
     #[test]
     fn report_document_shape() {
         let kernels = paper_kernels(Scale::Quick);
@@ -233,7 +300,7 @@ mod unit {
             run_grid_timed(&kernels[..2], &pes, &schemes).expect("coherent grid");
         let j =
             report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, Some(&timing));
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(6));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(7));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let schemes_json = j.get("schemes").unwrap().items();
@@ -292,7 +359,7 @@ mod unit {
         assert_eq!(cell0.get("sim_cycles").and_then(Json::as_u64), Some(sum));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(6));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(7));
         // Omitting timing omits the section (ablation callers).
         let j2 = report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, None);
         assert!(j2.get("perf").is_none());

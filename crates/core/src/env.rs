@@ -2,11 +2,13 @@
 //!
 //! Three env knobs steer the pipeline and the benchmark harness:
 //!
-//! | variable              | effect                                         |
-//! |-----------------------|------------------------------------------------|
-//! | `CCDP_FORCE_TREEWALK` | `1` forces the treewalk interpreter            |
-//! | `CCDP_SEED`           | decision-stream seed for fault-injecting runs  |
-//! | `CCDP_SCALE`          | benchmark problem size: `quick` (default) or `paper` |
+//! | variable                | effect                                         |
+//! |-------------------------|------------------------------------------------|
+//! | `CCDP_FORCE_TREEWALK`   | `1` forces the treewalk interpreter            |
+//! | `CCDP_SEED`             | decision-stream seed for fault-injecting runs  |
+//! | `CCDP_SCALE`            | benchmark problem size: `quick` (default) or `paper` |
+//! | `CCDP_BENCH_QUICK`      | `1` shrinks the vendored-criterion measurement budget |
+//! | `CCDP_PERF_GATE_FACTOR` | allowed slowdown factor for the CI perf gate   |
 //!
 //! Historically each consumer read its variable ad hoc (the simulator read
 //! `CCDP_FORCE_TREEWALK` directly, each bench bin parsed `CCDP_SEED` /
@@ -33,7 +35,7 @@ pub enum ScalePreset {
 
 /// The validated environment overrides. Build with
 /// [`EnvOverrides::from_env`]; `Default` is "no variable set".
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct EnvOverrides {
     /// `CCDP_FORCE_TREEWALK=1`: run the treewalk interpreter instead of the
     /// compiled-trace path (the reference semantics both paths must match).
@@ -43,6 +45,14 @@ pub struct EnvOverrides {
     pub seed: Option<u64>,
     /// `CCDP_SCALE=quick|paper`: benchmark problem-size preset.
     pub scale: ScalePreset,
+    /// `CCDP_BENCH_QUICK=1`: abbreviated measurement budget in the vendored
+    /// criterion shim (for `cargo bench` invocations that cannot forward
+    /// the `--quick` flag).
+    pub bench_quick: bool,
+    /// `CCDP_PERF_GATE_FACTOR=<f64>`: allowed slowdown factor for the CI
+    /// performance-regression gate. `None` when unset (the gate picks its
+    /// default).
+    pub perf_gate_factor: Option<f64>,
 }
 
 impl EnvOverrides {
@@ -72,6 +82,26 @@ impl EnvOverrides {
                 "paper" => ScalePreset::Paper,
                 _ => return Err(bad_env("CCDP_SCALE", v, "expected \"quick\" or \"paper\"")),
             };
+        }
+        if let Ok(v) = std::env::var("CCDP_BENCH_QUICK") {
+            o.bench_quick = match v.as_str() {
+                "" | "0" => false,
+                "1" => true,
+                _ => return Err(bad_env("CCDP_BENCH_QUICK", v, "expected \"0\" or \"1\"")),
+            };
+        }
+        if let Ok(v) = std::env::var("CCDP_PERF_GATE_FACTOR") {
+            let f = v
+                .parse::<f64>()
+                .map_err(|_| bad_env("CCDP_PERF_GATE_FACTOR", v.clone(), "expected a float"))?;
+            if !(f.is_finite() && f > 0.0) {
+                return Err(bad_env(
+                    "CCDP_PERF_GATE_FACTOR",
+                    v,
+                    "expected a positive finite float",
+                ));
+            }
+            o.perf_gate_factor = Some(f);
         }
         Ok(o)
     }
@@ -122,10 +152,12 @@ mod unit {
         out
     }
 
-    const ALL_UNSET: [(&str, Option<&str>); 3] = [
+    const ALL_UNSET: [(&str, Option<&str>); 5] = [
         ("CCDP_FORCE_TREEWALK", None),
         ("CCDP_SEED", None),
         ("CCDP_SCALE", None),
+        ("CCDP_BENCH_QUICK", None),
+        ("CCDP_PERF_GATE_FACTOR", None),
     ];
 
     #[test]
@@ -135,6 +167,8 @@ mod unit {
         assert!(!o.force_treewalk);
         assert_eq!(o.seed, None);
         assert_eq!(o.scale, ScalePreset::Quick);
+        assert!(!o.bench_quick);
+        assert_eq!(o.perf_gate_factor, None);
     }
 
     #[test]
@@ -144,6 +178,8 @@ mod unit {
                 ("CCDP_FORCE_TREEWALK", Some("1")),
                 ("CCDP_SEED", Some("42")),
                 ("CCDP_SCALE", Some("paper")),
+                ("CCDP_BENCH_QUICK", Some("1")),
+                ("CCDP_PERF_GATE_FACTOR", Some("1.5")),
             ],
             EnvOverrides::from_env,
         )
@@ -151,6 +187,8 @@ mod unit {
         assert!(o.force_treewalk);
         assert_eq!(o.seed, Some(42));
         assert_eq!(o.scale, ScalePreset::Paper);
+        assert!(o.bench_quick);
+        assert_eq!(o.perf_gate_factor, Some(1.5));
     }
 
     #[test]
@@ -159,6 +197,10 @@ mod unit {
             ("CCDP_FORCE_TREEWALK", "yes"),
             ("CCDP_SEED", "banana"),
             ("CCDP_SCALE", "fast"),
+            ("CCDP_BENCH_QUICK", "true"),
+            ("CCDP_PERF_GATE_FACTOR", "lots"),
+            ("CCDP_PERF_GATE_FACTOR", "-2"),
+            ("CCDP_PERF_GATE_FACTOR", "0"),
         ] {
             let mut vars = ALL_UNSET;
             for v in &mut vars {

@@ -40,15 +40,18 @@
 //! metrics: speedup over sequential (Table 1) and percentage improvement of
 //! CCDP over BASE (Table 2), generalized to an N-way [`SchemeMatrix`].
 //!
-//! Environment overrides (`CCDP_FORCE_TREEWALK`, `CCDP_SEED`, `CCDP_SCALE`)
-//! are parsed in exactly one place: [`EnvOverrides::from_env`].
+//! Environment overrides (`CCDP_FORCE_TREEWALK`, `CCDP_SEED`, `CCDP_SCALE`,
+//! `CCDP_BENCH_QUICK`, `CCDP_PERF_GATE_FACTOR`) are parsed in exactly one
+//! place: [`EnvOverrides::from_env`].
 
 mod env;
+mod fingerprint;
 mod jsonio;
 mod pipeline;
 mod report;
 
 pub use env::{EnvOverrides, ScalePreset};
+pub use fingerprint::{Fingerprint, Fingerprinter};
 #[allow(deprecated)]
 pub use pipeline::{run_base, run_ccdp, run_invalidate_only};
 pub use pipeline::{

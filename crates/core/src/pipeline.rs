@@ -51,6 +51,22 @@ pub enum PipelineError {
     Unsound { findings: Vec<ccdp_lint::Finding> },
 }
 
+impl PipelineError {
+    /// Stable machine-readable error code, used as the `code` field of the
+    /// service layer's JSON error envelope and safe to match on across
+    /// releases (unlike the human-facing `Display` text).
+    pub fn code(&self) -> &'static str {
+        match self {
+            PipelineError::CoherenceViolation { .. } => "coherence_violation",
+            PipelineError::InvalidConfig(_) => "invalid_config",
+            PipelineError::InvalidProgram(_) => "invalid_program",
+            PipelineError::BudgetExceeded { .. } => "budget_exceeded",
+            PipelineError::Timeout { .. } => "timeout",
+            PipelineError::Unsound { .. } => "unsound",
+        }
+    }
+}
+
 impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -307,11 +307,23 @@ pub fn parse(text: &str) -> Result<Json, ParseError> {
 /// half-write. Used for `BENCH_ccdp.json` so a killed run cannot corrupt
 /// the committed report or the perf-gate baseline.
 pub fn write_atomic(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    use std::io::Write as _;
     let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(format!(".tmp.{}", std::process::id()));
     let tmp = std::path::PathBuf::from(tmp);
-    std::fs::write(&tmp, contents)?;
+    let write_synced = |tmp: &std::path::Path| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(tmp)?;
+        f.write_all(contents.as_bytes())?;
+        // The data must be on disk *before* the rename publishes it: a
+        // rename can be durable while the renamed file's bytes are not,
+        // which is exactly the torn state this function exists to prevent.
+        f.sync_all()
+    };
+    if let Err(e) = write_synced(&tmp) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
         return Err(e);

@@ -1,0 +1,68 @@
+//! `ccdpd` — the CCDP job service daemon.
+//!
+//! ```text
+//! cargo run -p ccdp-serve --release --bin ccdpd -- --addr 127.0.0.1:7077
+//! curl -s localhost:7077/healthz
+//! curl -s -X POST localhost:7077/jobs -d '{"program": "..."}'
+//! ```
+//!
+//! Flags:
+//!   --addr A            bind address (default 127.0.0.1:7077; port 0 = pick)
+//!   --workers N         worker threads (default: min(cores, 8))
+//!   --queue-cap N       admission-control queue bound (default 128)
+//!   --max-body BYTES    request body cap (default 1 MiB)
+//!   --deadline-ms MS    default per-job deadline (default 10000)
+//!   --cache-cap N       cached responses kept (default 1024)
+//!   --journal PATH      enable crash-safe job journaling
+//!   --resume            resume/replay an existing journal (with --journal)
+//!
+//! SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight and
+//! queued work, exit 0. The single stdout line `ccdpd listening on <addr>`
+//! reports the bound address (parseable when binding port 0).
+
+use ccdp_serve::server::{install_signal_handlers, serve};
+use ccdp_serve::ServerConfig;
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("unparseable {name} value {v:?}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let defaults = ServerConfig::default();
+    let cfg = ServerConfig {
+        addr: flag_value(&args, "--addr").unwrap_or(defaults.addr),
+        workers: parsed(&args, "--workers", defaults.workers).max(1),
+        queue_cap: parsed(&args, "--queue-cap", defaults.queue_cap).max(1),
+        max_body: parsed(&args, "--max-body", defaults.max_body).max(1024),
+        default_deadline_ms: parsed(&args, "--deadline-ms", defaults.default_deadline_ms).max(1),
+        cache_cap: parsed(&args, "--cache-cap", defaults.cache_cap).max(1),
+        retry: defaults.retry,
+        journal: flag_value(&args, "--journal").map(std::path::PathBuf::from),
+        resume: args.iter().any(|a| a == "--resume"),
+    };
+    install_signal_handlers();
+    if let Err(e) = serve(cfg) {
+        eprintln!("ccdpd: fatal: {e}");
+        std::process::exit(1);
+    }
+}

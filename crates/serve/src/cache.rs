@@ -1,0 +1,246 @@
+//! Content-addressed response cache with single-flight deduplication.
+//!
+//! Keys are job fingerprints (stable 128-bit content hashes from
+//! `ccdp_core::Fingerprinter`); values are the *complete serialized HTTP
+//! response bytes* of the first computation, so every cache hit — and
+//! every journal replay after a crash — is byte-identical to the original
+//! response, headers included.
+//!
+//! Single-flight: when N identical jobs arrive concurrently, the first
+//! claimant becomes the leader and computes; the other N-1 join its
+//! in-flight slot and block until the leader publishes, then all receive
+//! the leader's exact bytes. A duplicate storm therefore costs one
+//! compile, not N.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One in-flight computation other threads can wait on.
+pub struct Flight {
+    slot: Mutex<Option<Arc<Vec<u8>>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight { slot: Mutex::new(None), done: Condvar::new() }
+    }
+
+    /// Wait for the leader's bytes. `None` after `timeout` — the leader
+    /// died without publishing (a bug or a killed worker); the joiner
+    /// answers with an internal error instead of hanging forever.
+    pub fn wait(&self, timeout: Duration) -> Option<Arc<Vec<u8>>> {
+        let mut slot = self.slot.lock().unwrap();
+        let deadline = std::time::Instant::now() + timeout;
+        while slot.is_none() {
+            let left = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (s, res) = self.done.wait_timeout(slot, left).unwrap();
+            slot = s;
+            if res.timed_out() && slot.is_none() {
+                return None;
+            }
+        }
+        slot.clone()
+    }
+
+    fn publish(&self, bytes: Arc<Vec<u8>>) {
+        *self.slot.lock().unwrap() = Some(bytes);
+        self.done.notify_all();
+    }
+}
+
+enum Slot {
+    Pending(Arc<Flight>),
+    Done(Arc<Vec<u8>>),
+}
+
+/// What `claim` decided for this request.
+pub enum Claim {
+    /// First claimant: compute, then `publish`.
+    Leader,
+    /// Already computed: respond with these bytes immediately.
+    Hit(Arc<Vec<u8>>),
+    /// Same job is in flight: wait on it.
+    Join(Arc<Flight>),
+}
+
+struct Inner {
+    slots: HashMap<String, Slot>,
+    /// Completion order of `Done` entries, for FIFO eviction.
+    order: VecDeque<String>,
+}
+
+/// The service-wide cache. Counters are plain atomics so `/stats` can read
+/// them without taking the map lock.
+pub struct PlanCache {
+    cap: usize,
+    inner: Mutex<Inner>,
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+    pub joins: AtomicU64,
+}
+
+impl PlanCache {
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache {
+            cap: cap.max(1),
+            inner: Mutex::new(Inner { slots: HashMap::new(), order: VecDeque::new() }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim `key`: hit, join the in-flight leader, or become the leader.
+    pub fn claim(&self, key: &str) -> Claim {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.slots.get(key) {
+            Some(Slot::Done(bytes)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Claim::Hit(Arc::clone(bytes))
+            }
+            Some(Slot::Pending(flight)) => {
+                self.joins.fetch_add(1, Ordering::Relaxed);
+                Claim::Join(Arc::clone(flight))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                inner.slots.insert(key.to_string(), Slot::Pending(Arc::new(Flight::new())));
+                Claim::Leader
+            }
+        }
+    }
+
+    /// Leader hand-off: wake all joiners with `bytes`, then either keep the
+    /// entry (`store` — deterministic outcome) or drop it (flaky outcome:
+    /// the next identical request recomputes).
+    pub fn publish(&self, key: &str, bytes: Arc<Vec<u8>>, store: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        let flight = match inner.slots.remove(key) {
+            Some(Slot::Pending(f)) => Some(f),
+            other => {
+                // Put back whatever was there (replay preload can race a
+                // live leader; last writer wins is fine, both are
+                // byte-identical by construction).
+                if let Some(s) = other {
+                    inner.slots.insert(key.to_string(), s);
+                }
+                None
+            }
+        };
+        if store {
+            inner.slots.insert(key.to_string(), Slot::Done(Arc::clone(&bytes)));
+            inner.order.push_back(key.to_string());
+            self.evict_excess(&mut inner);
+        }
+        drop(inner);
+        if let Some(f) = flight {
+            f.publish(bytes);
+        }
+    }
+
+    /// Preload a completed entry (journal replay at startup).
+    pub fn insert_done(&self, key: &str, bytes: Vec<u8>) {
+        let mut inner = self.inner.lock().unwrap();
+        if !matches!(inner.slots.get(key), Some(Slot::Pending(_))) {
+            inner.slots.insert(key.to_string(), Slot::Done(Arc::new(bytes)));
+            inner.order.push_back(key.to_string());
+            self.evict_excess(&mut inner);
+        }
+    }
+
+    /// Completed-entry lookup without claiming (the `/result/<fp>` path).
+    pub fn lookup_done(&self, key: &str) -> Option<Arc<Vec<u8>>> {
+        match self.inner.lock().unwrap().slots.get(key) {
+            Some(Slot::Done(bytes)) => Some(Arc::clone(bytes)),
+            _ => None,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn evict_excess(&self, inner: &mut Inner) {
+        while inner.order.len() > self.cap {
+            let Some(old) = inner.order.pop_front() else { break };
+            if matches!(inner.slots.get(&old), Some(Slot::Done(_))) {
+                inner.slots.remove(&old);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn leader_then_hits() {
+        let c = PlanCache::new(8);
+        assert!(matches!(c.claim("k"), Claim::Leader));
+        c.publish("k", Arc::new(b"resp".to_vec()), true);
+        match c.claim("k") {
+            Claim::Hit(b) => assert_eq!(&**b, b"resp"),
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(c.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn joiners_get_leader_bytes() {
+        let c = Arc::new(PlanCache::new(8));
+        assert!(matches!(c.claim("k"), Claim::Leader));
+        let mut joiners = Vec::new();
+        for _ in 0..4 {
+            let flight = match c.claim("k") {
+                Claim::Join(f) => f,
+                _ => panic!("expected join"),
+            };
+            joiners.push(thread::spawn(move || flight.wait(Duration::from_secs(5))));
+        }
+        c.publish("k", Arc::new(b"once".to_vec()), true);
+        for j in joiners {
+            assert_eq!(&**j.join().unwrap().unwrap(), b"once");
+        }
+        // One compute for five requests.
+        assert_eq!(c.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(c.joins.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn flaky_outcomes_are_not_stored() {
+        let c = PlanCache::new(8);
+        assert!(matches!(c.claim("k"), Claim::Leader));
+        c.publish("k", Arc::new(b"timeout".to_vec()), false);
+        assert!(matches!(c.claim("k"), Claim::Leader)); // recompute
+    }
+
+    #[test]
+    fn abandoned_flight_times_out() {
+        let c = PlanCache::new(8);
+        assert!(matches!(c.claim("k"), Claim::Leader));
+        let Claim::Join(f) = c.claim("k") else { panic!() };
+        assert!(f.wait(Duration::from_millis(30)).is_none());
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let c = PlanCache::new(2);
+        for k in ["a", "b", "c"] {
+            assert!(matches!(c.claim(k), Claim::Leader));
+            c.publish(k, Arc::new(k.as_bytes().to_vec()), true);
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup_done("a").is_none());
+        assert!(c.lookup_done("c").is_some());
+    }
+}

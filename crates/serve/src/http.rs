@@ -1,0 +1,286 @@
+//! Minimal HTTP/1.1 request/response handling over any `Read`/`Write`.
+//!
+//! The service speaks one-request-per-connection HTTP (every response
+//! carries `Connection: close`), which keeps the state machine trivial:
+//! read one head, read one body, write one response. The parser is the
+//! part of the server directly exposed to untrusted bytes, so it is pure
+//! over `Read` (fuzzable with in-memory cursors — see
+//! `tests/serve_http_fuzz.rs`) and every malformed input maps to a
+//! structured [`HttpError`] carrying its own status code. It must never
+//! panic.
+
+use std::io::{Read, Write};
+
+/// Cap on the request head (request line + headers). Anything a client of
+/// this service legitimately sends fits in a fraction of this.
+pub const MAX_HEAD: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup (first match).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Everything that can go wrong reading a request. Each variant knows its
+/// HTTP status, so the server can answer malformed traffic structurally
+/// instead of dropping the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Transport error mid-read (includes timeouts).
+    Io(std::io::ErrorKind),
+    /// Stream ended before the head or the promised body was complete.
+    Truncated,
+    /// Head exceeded [`MAX_HEAD`] without terminating.
+    HeadTooLarge { limit: usize },
+    /// First line is not `METHOD SP PATH SP HTTP/1.x`.
+    BadRequestLine(String),
+    /// A header line has no colon, an empty name, or embedded controls.
+    BadHeader(String),
+    /// `Content-Length` present but not a decimal integer.
+    BadContentLength(String),
+    /// Body-carrying method without a `Content-Length`.
+    LengthRequired,
+    /// Declared body larger than the server's limit.
+    BodyTooLarge { length: usize, limit: usize },
+}
+
+impl HttpError {
+    /// `(status, reason)` for the error response.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::Io(_) | HttpError::Truncated => (400, "Bad Request"),
+            HttpError::HeadTooLarge { .. } => (431, "Request Header Fields Too Large"),
+            HttpError::BadRequestLine(_)
+            | HttpError::BadHeader(_)
+            | HttpError::BadContentLength(_) => (400, "Bad Request"),
+            HttpError::LengthRequired => (411, "Length Required"),
+            HttpError::BodyTooLarge { .. } => (413, "Payload Too Large"),
+        }
+    }
+
+    /// Stable machine-readable code for the JSON error envelope.
+    pub fn code(&self) -> &'static str {
+        match self {
+            HttpError::Io(_) => "io",
+            HttpError::Truncated => "truncated",
+            HttpError::HeadTooLarge { .. } => "head_too_large",
+            HttpError::BadRequestLine(_) => "bad_request_line",
+            HttpError::BadHeader(_) => "bad_header",
+            HttpError::BadContentLength(_) => "bad_content_length",
+            HttpError::LengthRequired => "length_required",
+            HttpError::BodyTooLarge { .. } => "body_too_large",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(k) => write!(f, "transport error: {k:?}"),
+            HttpError::Truncated => write!(f, "request truncated before completion"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line {l:?}"),
+            HttpError::BadHeader(l) => write!(f, "malformed header line {l:?}"),
+            HttpError::BadContentLength(v) => {
+                write!(f, "unparseable Content-Length {v:?}")
+            }
+            HttpError::LengthRequired => write!(f, "Content-Length required"),
+            HttpError::BodyTooLarge { length, limit } => {
+                write!(f, "declared body of {length} bytes exceeds limit {limit}")
+            }
+        }
+    }
+}
+
+/// Read and parse one request. `max_body` bounds the declared
+/// `Content-Length`; the head is bounded by [`MAX_HEAD`]. Never reads past
+/// the declared body, never panics on any input bytes.
+pub fn read_request(r: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    // Accumulate the head until the blank line. Single-byte reads would be
+    // slow; chunked reads could swallow body bytes, which is fine here
+    // (whatever follows the head stays in `buf` and seeds the body).
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError::HeadTooLarge { limit: MAX_HEAD });
+        }
+        let n = r.read(&mut chunk).map_err(|e| HttpError::Io(e.kind()))?;
+        if n == 0 {
+            return Err(HttpError::Truncated);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::BadHeader("<non-utf8 head>".into()))?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let (method, path) = parse_request_line(request_line)?;
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) =
+            line.split_once(':').ok_or_else(|| HttpError::BadHeader(line.to_string()))?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') || name.chars().any(|c| c.is_control()) {
+            return Err(HttpError::BadHeader(line.to_string()));
+        }
+        headers.push((name.to_string(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::BadContentLength(v.clone())))
+        .transpose()?;
+
+    let length = match content_length {
+        Some(n) => n,
+        None if method == "POST" || method == "PUT" => return Err(HttpError::LengthRequired),
+        None => 0,
+    };
+    if length > max_body {
+        return Err(HttpError::BodyTooLarge { length, limit: max_body });
+    }
+
+    // Body: leftover bytes from the head read, then exact reads.
+    let mut body = buf[head_end + 4..].to_vec();
+    if body.len() > length {
+        body.truncate(length); // trailing pipelined bytes are ignored
+    }
+    while body.len() < length {
+        let want = (length - body.len()).min(chunk.len());
+        let n = r.read(&mut chunk[..want]).map_err(|e| HttpError::Io(e.kind()))?;
+        if n == 0 {
+            return Err(HttpError::Truncated);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+
+    Ok(Request { method, path, headers, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let bad = || HttpError::BadRequestLine(line.to_string());
+    let mut parts = line.split(' ');
+    let method = parts.next().ok_or_else(bad)?;
+    let path = parts.next().ok_or_else(bad)?;
+    let version = parts.next().ok_or_else(bad)?;
+    if parts.next().is_some()
+        || method.is_empty()
+        || !method.chars().all(|c| c.is_ascii_uppercase())
+        || !path.starts_with('/')
+        || !(version == "HTTP/1.1" || version == "HTTP/1.0")
+    {
+        return Err(bad());
+    }
+    Ok((method.to_string(), path.to_string()))
+}
+
+/// Serialize a complete response (status line, JSON content type,
+/// `Connection: close`, body). The service caches and journals these bytes
+/// verbatim, so two calls with equal inputs are byte-identical.
+pub fn response_bytes(status: u16, reason: &str, body: &str) -> Vec<u8> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body.as_bytes());
+    out
+}
+
+/// Best-effort write of a response; the peer may already be gone, which is
+/// its problem, not the server's.
+pub fn write_response(w: &mut impl Write, bytes: &[u8]) {
+    let _ = w.write_all(bytes);
+    let _ = w.flush();
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::io::Cursor;
+
+    fn req(text: &str) -> Result<Request, HttpError> {
+        read_request(&mut Cursor::new(text.as_bytes().to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let r = req("POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/jobs");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn get_without_length_has_empty_body() {
+        let r = req("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn structured_errors() {
+        assert_eq!(req("POST /jobs HTTP/1.1\r\n\r\n"), Err(HttpError::LengthRequired));
+        assert_eq!(
+            req("POST /jobs HTTP/1.1\r\nContent-Length: 9999\r\n\r\n"),
+            Err(HttpError::BodyTooLarge { length: 9999, limit: 1024 })
+        );
+        assert_eq!(
+            req("POST /jobs HTTP/1.1\r\nContent-Length: 5\r\n\r\nhi"),
+            Err(HttpError::Truncated)
+        );
+        assert!(matches!(req("FLOOP\r\n\r\n"), Err(HttpError::BadRequestLine(_))));
+        assert!(matches!(
+            req("GET / HTTP/1.1\r\nnocolonhere\r\n\r\n"),
+            Err(HttpError::BadHeader(_))
+        ));
+        assert!(matches!(
+            req("GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(HttpError::BadContentLength(_))
+        ));
+    }
+
+    #[test]
+    fn response_bytes_are_deterministic() {
+        let a = response_bytes(200, "OK", "{\"x\":1}");
+        let b = response_bytes(200, "OK", "{\"x\":1}");
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("{\"x\":1}"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Crash-safe job-state journal for the service.
+//!
+//! Built on `ccdp_bench::journal`'s fingerprinted line-journal machinery
+//! (exact-match header, fsync-per-line appends, torn-final-line recovery
+//! with atomic compaction), specialized to job lifecycles. Two line kinds:
+//!
+//! * `{"kind":"job", "fingerprint":…, "spec":{…}}` — appended (and
+//!   fsynced) *before* a leader starts computing;
+//! * `{"kind":"done", "fingerprint":…, "response":"…"}` — the complete
+//!   serialized HTTP response bytes, appended after a deterministic
+//!   outcome.
+//!
+//! On restart, `open` with `resume` replays the journal: every completed
+//! job's response is preloaded into the cache (so re-asking is
+//! byte-identical to the pre-crash answer, headers included), and every
+//! job line without a matching done line is re-run before the listener
+//! opens (deterministic pipeline → the recomputed response is the one the
+//! crashed process would have produced).
+
+use std::path::Path;
+
+use ccdp_bench::journal::Journal;
+use ccdp_json::{Json, ToJson};
+
+use crate::api::JobSpec;
+
+/// Exact-match header line; any other first line means "not our journal,
+/// start fresh" (same contract as the benchmark grid journal).
+pub fn header() -> String {
+    Json::obj([
+        ("kind", "header".to_json()),
+        ("tool", "ccdpd".to_json()),
+        ("schema", 1u64.to_json()),
+    ])
+    .to_string()
+}
+
+/// What a journal replay recovered.
+#[derive(Default)]
+pub struct Replay {
+    /// `(fingerprint, response bytes)` of completed jobs, in journal order.
+    pub completed: Vec<(String, Vec<u8>)>,
+    /// Specs journaled but never completed (in-flight at crash time).
+    pub incomplete: Vec<(String, JobSpec)>,
+}
+
+/// The live journal: a mutex over the fsyncing appender, because multiple
+/// workers record concurrently and journal lines must not interleave.
+pub struct JobJournal {
+    inner: std::sync::Mutex<Journal>,
+}
+
+impl JobJournal {
+    /// Open (resuming) or create (truncating) the journal at `path`.
+    pub fn open(path: &Path, resume: bool) -> std::io::Result<(JobJournal, Replay)> {
+        if !resume {
+            let j = Journal::create(path, &header())?;
+            return Ok((JobJournal { inner: std::sync::Mutex::new(j) }, Replay::default()));
+        }
+        let (j, lines) =
+            Journal::resume_lines(path, &header(), |l| ccdp_json::parse(l).is_ok())?;
+        let mut replay = Replay::default();
+        for line in &lines {
+            let Ok(doc) = ccdp_json::parse(line) else { continue };
+            let fp = doc.get("fingerprint").and_then(Json::as_str).unwrap_or("");
+            if fp.is_empty() {
+                continue;
+            }
+            match doc.get("kind").and_then(Json::as_str) {
+                Some("job") => {
+                    let Some(spec_json) = doc.get("spec") else { continue };
+                    // `default_deadline_ms` is irrelevant: journaled specs
+                    // always carry an explicit deadline.
+                    if let Ok(spec) = JobSpec::from_json(spec_json, 5000) {
+                        if !replay.incomplete.iter().any(|(f, _)| f == fp) {
+                            replay.incomplete.push((fp.to_string(), spec));
+                        }
+                    }
+                }
+                Some("done") => {
+                    if let Some(resp) = doc.get("response").and_then(Json::as_str) {
+                        replay.incomplete.retain(|(f, _)| f != fp);
+                        replay
+                            .completed
+                            .push((fp.to_string(), resp.as_bytes().to_vec()));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok((JobJournal { inner: std::sync::Mutex::new(j) }, replay))
+    }
+
+    /// Record a job before its leader starts computing. The fsync in
+    /// `append_line` makes this the durability point: after it returns, a
+    /// crash anywhere in the computation leaves a replayable record.
+    pub fn record_job(&self, fp: &str, spec: &JobSpec) -> std::io::Result<()> {
+        let line = Json::obj([
+            ("kind", "job".to_json()),
+            ("fingerprint", fp.to_json()),
+            ("spec", spec.to_json()),
+        ])
+        .to_string();
+        self.inner.lock().unwrap().append_line(&line)
+    }
+
+    /// Record a deterministic outcome: the complete response bytes. The
+    /// response is HTTP text (ASCII head + JSON body), stored as one JSON
+    /// string.
+    pub fn record_done(&self, fp: &str, response: &[u8]) -> std::io::Result<()> {
+        let text = std::str::from_utf8(response).unwrap_or("");
+        let line = Json::obj([
+            ("kind", "done".to_json()),
+            ("fingerprint", fp.to_json()),
+            ("response", text.to_json()),
+        ])
+        .to_string();
+        self.inner.lock().unwrap().append_line(&line)
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use crate::api::sample_program;
+    use ccdp_core::Scheme;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ccdpd-journal-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("jobs.jsonl")
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            program_text: sample_program(8, 1),
+            n_pes: 2,
+            schemes: vec![Scheme::Base, Scheme::Ccdp],
+            deadline_ms: 3000,
+        }
+    }
+
+    #[test]
+    fn job_then_done_replays_completed() {
+        let path = tmp("done");
+        let (j, _) = JobJournal::open(&path, false).unwrap();
+        let s = spec();
+        let fp = s.fingerprint().to_hex();
+        j.record_job(&fp, &s).unwrap();
+        j.record_done(&fp, b"HTTP/1.1 200 OK\r\n\r\n{}").unwrap();
+        drop(j);
+        let (_, replay) = JobJournal::open(&path, true).unwrap();
+        assert!(replay.incomplete.is_empty());
+        assert_eq!(replay.completed.len(), 1);
+        assert_eq!(replay.completed[0].0, fp);
+        assert_eq!(replay.completed[0].1, b"HTTP/1.1 200 OK\r\n\r\n{}");
+    }
+
+    #[test]
+    fn job_without_done_replays_incomplete() {
+        let path = tmp("incomplete");
+        let (j, _) = JobJournal::open(&path, false).unwrap();
+        let s = spec();
+        let fp = s.fingerprint().to_hex();
+        j.record_job(&fp, &s).unwrap();
+        drop(j);
+        let (_, replay) = JobJournal::open(&path, true).unwrap();
+        assert_eq!(replay.completed.len(), 0);
+        assert_eq!(replay.incomplete.len(), 1);
+        assert_eq!(replay.incomplete[0].0, fp);
+        assert_eq!(replay.incomplete[0].1, s);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_journal_reusable() {
+        let path = tmp("torn");
+        let (j, _) = JobJournal::open(&path, false).unwrap();
+        let s = spec();
+        let fp = s.fingerprint().to_hex();
+        j.record_job(&fp, &s).unwrap();
+        j.record_done(&fp, b"response-bytes").unwrap();
+        drop(j);
+        // Simulate a crash mid-append: a torn, unparseable tail.
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"kind\":\"job\",\"finger").unwrap();
+        drop(f);
+        let (j2, replay) = JobJournal::open(&path, true).unwrap();
+        assert_eq!(replay.completed.len(), 1);
+        assert!(replay.incomplete.is_empty());
+        // Compaction removed the torn tail; the journal accepts appends.
+        j2.record_job("feedbeef", &s).unwrap();
+        drop(j2);
+        let (_, replay2) = JobJournal::open(&path, true).unwrap();
+        assert_eq!(replay2.incomplete.len(), 1);
+        assert_eq!(replay2.incomplete[0].0, "feedbeef");
+    }
+
+    #[test]
+    fn fresh_open_truncates() {
+        let path = tmp("fresh");
+        let (j, _) = JobJournal::open(&path, false).unwrap();
+        j.record_job("aaaa", &spec()).unwrap();
+        drop(j);
+        let (_, replay) = JobJournal::open(&path, false).unwrap();
+        assert!(replay.incomplete.is_empty() && replay.completed.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! `ccdp-serve`: the CCDP pipeline as a crash-tolerant job service.
+//!
+//! The batch harness (`ccdp-bench`) answers "regenerate the paper's
+//! tables"; this crate answers "keep answering *arbitrary submitted
+//! programs* correctly while overloaded, killed, and restarted". It is a
+//! dependency-free HTTP/1.1 JSON server (`std::net` + a worker pool) in
+//! front of the verify → plan → simulate pipeline, with:
+//!
+//! * **admission control** — a bounded queue; overload is shed as a
+//!   structured `429 queue_full`, never an unbounded backlog
+//!   ([`queue`]);
+//! * **single-flight plan caching** — jobs are content-addressed by a
+//!   stable 128-bit fingerprint; concurrent duplicates cost one compile
+//!   and every hit is byte-identical to the first response ([`cache`]);
+//! * **deadline + retry discipline** — per-job wall deadlines on top of
+//!   the simulator's cycle/step budgets; flaky failures (panic, timeout)
+//!   retry with exponential backoff, deterministic failures never do
+//!   ([`api`]);
+//! * **crash-safe journaling** — fsynced job/done lines over
+//!   `ccdp_bench::journal`'s torn-tail-tolerant format; `kill -9` then
+//!   restart replays to byte-identical responses ([`journal`]);
+//! * **graceful drain** — SIGTERM stops admission, finishes in-flight
+//!   work, exits 0 ([`server`]).
+//!
+//! Binaries: `ccdpd` (the daemon) and `loadgen` (profiles: ramp, spike,
+//! soak, duplicate-storm, overload; merges a `service` section into
+//! `BENCH_ccdp.json`, report schema v7).
+
+pub mod api;
+pub mod cache;
+pub mod http;
+pub mod journal;
+pub mod queue;
+pub mod server;
+
+pub use api::{JobSpec, RetryPolicy};
+pub use server::{serve, ServerConfig};

@@ -1,0 +1,126 @@
+//! Bounded MPMC job queue with explicit admission control.
+//!
+//! The acceptor pushes accepted connections, workers pop them. `try_push`
+//! never blocks: when the queue is at capacity the caller gets the item
+//! back and sheds it with a structured `queue_full` response — bounded
+//! queue depth is the service's overload contract, not an internal detail.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity: shed the work.
+    Full,
+    /// Draining: no new work is admitted.
+    Closed,
+}
+
+struct State<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// Fixed-capacity FIFO; `pop` blocks, `try_push` does not.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    pub fn new(cap: usize) -> Bounded<T> {
+        Bounded {
+            state: Mutex::new(State { q: VecDeque::with_capacity(cap), closed: false }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Admit `t` unless full or closed; on refusal the item comes back to
+    /// the caller (a connection still needs its shed response written).
+    /// Returns the depth *after* the push.
+    pub fn try_push(&self, t: T) -> Result<usize, (T, PushError)> {
+        let mut s = self.state.lock().unwrap();
+        if s.closed {
+            return Err((t, PushError::Closed));
+        }
+        if s.q.len() >= self.cap {
+            return Err((t, PushError::Full));
+        }
+        s.q.push_back(t);
+        let depth = s.q.len();
+        drop(s);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// drained (`None` — the worker's signal to exit).
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(t) = s.q.pop_front() {
+                return Some(t);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+
+    /// Stop admitting; wake every blocked `pop` so workers can drain the
+    /// backlog and exit.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().q.len()
+    }
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_capacity() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err((3, PushError::Full)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err((8, PushError::Closed)));
+        // Backlog is still served after close; only then do pops end.
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q: Arc<Bounded<u32>> = Arc::new(Bounded::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,420 @@
+//! The ccdpd server proper: accept loop, bounded worker pool, admission
+//! control, single-flight caching, journaling, and graceful drain.
+//!
+//! Life of a request:
+//!
+//! 1. The acceptor accepts the connection. If the bounded queue is full,
+//!    the request is read and answered `429 {"code":"queue_full"}` right
+//!    there — shedding is a structured response, never a dropped
+//!    connection — and the queue depth never exceeds its bound.
+//! 2. A worker pops the connection, reads the request (every parse error
+//!    is a structured 4xx), and dispatches: `/healthz`, `/stats`,
+//!    `/result/<fp>`, or `POST /jobs`.
+//! 3. A job claims its fingerprint in the cache: a hit answers with the
+//!    original response bytes; a join waits for the in-flight leader; the
+//!    leader journals the job, runs it (retry with exponential backoff on
+//!    flaky failures only), journals the response of any deterministic
+//!    outcome, publishes to cache + joiners, and responds.
+//! 4. SIGTERM/SIGINT flips a flag: the acceptor stops admitting, workers
+//!    drain the backlog (finishing — and journaling — everything
+//!    in-flight), and the process exits 0.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ccdp_core::Fingerprint;
+use ccdp_json::{Json, ToJson};
+
+use crate::api::{error_body, run_job, JobSpec, RetryPolicy};
+use crate::cache::{Claim, PlanCache};
+use crate::http;
+use crate::journal::JobJournal;
+use crate::queue::{Bounded, PushError};
+
+/// Tuning knobs; `Default` is sized for a local instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (the chosen address is
+    /// printed to stdout as `ccdpd listening on <addr>`).
+    pub addr: String,
+    pub workers: usize,
+    /// Admission-control bound: connections queued beyond the workers.
+    pub queue_cap: usize,
+    /// Largest accepted request body.
+    pub max_body: usize,
+    /// Deadline for jobs that do not set `deadline_ms` themselves.
+    pub default_deadline_ms: u64,
+    pub cache_cap: usize,
+    pub retry: RetryPolicy,
+    /// Job journal path; `None` disables journaling (still crash-safe for
+    /// clients — they just see a dropped connection and re-submit).
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal instead of truncating it.
+    pub resume: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            queue_cap: 128,
+            max_body: 1 << 20,
+            default_deadline_ms: 10_000,
+            cache_cap: 1024,
+            retry: RetryPolicy::default(),
+            journal: None,
+            resume: false,
+        }
+    }
+}
+
+/// Service counters, readable lock-free from `/stats`.
+#[derive(Default)]
+pub struct Stats {
+    pub accepted: AtomicU64,
+    pub completed: AtomicU64,
+    pub shed: AtomicU64,
+    pub jobs_ok: AtomicU64,
+    pub jobs_err: AtomicU64,
+    pub retries: AtomicU64,
+    pub http_errors: AtomicU64,
+}
+
+// --- Shutdown flag + signal handling -----------------------------------
+//
+// SIGTERM must trigger a *graceful* drain, and this workspace carries no
+// FFI crates, so the one libc call needed (`signal`) is declared directly.
+// The handler only stores to an AtomicBool, which is async-signal-safe.
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Programmatic trigger (tests; also wired to SIGTERM/SIGINT).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// Shared server state handed to every worker.
+struct Ctx {
+    cfg: ServerConfig,
+    cache: PlanCache,
+    journal: Option<JobJournal>,
+    stats: Stats,
+    queue: Bounded<TcpStream>,
+}
+
+/// Run the service until a shutdown signal, then drain and return. The
+/// `Ok(())` return *is* the graceful-exit contract: every admitted
+/// connection has been answered and every journal line fsynced.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
+    let (journal, replay) = match &cfg.journal {
+        None => (None, crate::journal::Replay::default()),
+        Some(path) => {
+            let (j, r) = JobJournal::open(path, cfg.resume)?;
+            (Some(j), r)
+        }
+    };
+
+    let workers = cfg.workers.max(1);
+    let ctx = Arc::new(Ctx {
+        cache: PlanCache::new(cfg.cache_cap),
+        journal,
+        stats: Stats::default(),
+        queue: Bounded::new(cfg.queue_cap),
+        cfg,
+    });
+
+    // Replay before the listener opens: completed jobs preload the cache
+    // with their original bytes; incomplete jobs re-run to completion so
+    // the crash left no work behind.
+    if !replay.completed.is_empty() || !replay.incomplete.is_empty() {
+        eprintln!(
+            "ccdpd: journal replay — {} completed, {} incomplete",
+            replay.completed.len(),
+            replay.incomplete.len()
+        );
+    }
+    for (fp, bytes) in replay.completed {
+        ctx.cache.insert_done(&fp, bytes);
+    }
+    for (fp, spec) in replay.incomplete {
+        let res = run_job(&spec, &ctx.cfg.retry);
+        let bytes = http::response_bytes(res.status.0, res.status.1, &res.body.to_string());
+        if res.cacheable {
+            if let Some(j) = &ctx.journal {
+                if let Err(e) = j.record_done(&fp, &bytes) {
+                    eprintln!("ccdpd: journal write failed: {e}");
+                }
+            }
+            ctx.cache.insert_done(&fp, bytes);
+        }
+        eprintln!("ccdpd: replayed incomplete job {fp}");
+    }
+
+    let listener = TcpListener::bind(&ctx.cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    // The one stdout line: supervisors (and the e2e tests) parse it to
+    // learn the actual port when binding :0.
+    println!("ccdpd listening on {}", listener.local_addr()?);
+    std::io::stdout().flush()?;
+
+    let mut handles = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let ctx = Arc::clone(&ctx);
+        handles.push(std::thread::spawn(move || {
+            while let Some(stream) = ctx.queue.pop() {
+                handle_conn(stream, &ctx);
+            }
+        }));
+    }
+
+    while !shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_nodelay(true);
+                if let Err((stream, why)) = ctx.queue.try_push(stream) {
+                    shed(stream, &ctx, why);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                eprintln!("ccdpd: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+
+    // Drain: stop admitting, let workers finish the backlog, then exit.
+    eprintln!("ccdpd: shutdown requested, draining {} queued connection(s)", ctx.queue.depth());
+    ctx.queue.close();
+    for h in handles {
+        let _ = h.join();
+    }
+    eprintln!(
+        "ccdpd: drained (completed {}, shed {})",
+        ctx.stats.completed.load(Ordering::Relaxed),
+        ctx.stats.shed.load(Ordering::Relaxed)
+    );
+    Ok(())
+}
+
+/// Admission control: the queue refused this connection. Read the request
+/// (so the client can finish writing) and answer a structured 429. This
+/// runs on the acceptor thread — the read timeout bounds how long an
+/// overload can stall admission, and that stall is itself backpressure.
+fn shed(mut stream: TcpStream, ctx: &Ctx, why: PushError) {
+    ctx.stats.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = http::read_request(&mut stream, ctx.cfg.max_body);
+    let (code, msg) = match why {
+        PushError::Full => ("queue_full", "job queue at capacity; retry with backoff"),
+        PushError::Closed => ("draining", "server is draining; retry elsewhere"),
+    };
+    let body = error_body(
+        code,
+        msg,
+        vec![
+            ("queue_depth", ctx.queue.depth().to_json()),
+            ("queue_cap", ctx.queue.capacity().to_json()),
+        ],
+    );
+    let bytes = http::response_bytes(429, "Too Many Requests", &body.to_string());
+    http::write_response(&mut stream, &bytes);
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, reason: &str, body: &Json) {
+    let bytes = http::response_bytes(status, reason, &body.to_string());
+    http::write_response(stream, &bytes);
+}
+
+fn handle_conn(mut stream: TcpStream, ctx: &Ctx) {
+    let req = match http::read_request(&mut stream, ctx.cfg.max_body) {
+        Ok(r) => r,
+        Err(e) => {
+            ctx.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+            let (status, reason) = e.status();
+            respond_json(&mut stream, status, reason, &error_body(e.code(), &e.to_string(), vec![]));
+            return;
+        }
+    };
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            respond_json(&mut stream, 200, "OK", &Json::obj([("status", "ok".to_json())]));
+        }
+        ("GET", "/stats") => {
+            let body = stats_json(ctx);
+            respond_json(&mut stream, 200, "OK", &body);
+        }
+        ("GET", path) if path.starts_with("/result/") => {
+            handle_result(&mut stream, ctx, &path["/result/".len()..]);
+        }
+        ("POST", "/jobs") => {
+            handle_job(&mut stream, ctx, &req.body);
+            ctx.stats.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        (_, _) => {
+            respond_json(
+                &mut stream,
+                404,
+                "Not Found",
+                &error_body("not_found", "unknown route", vec![]),
+            );
+        }
+    }
+}
+
+/// `GET /result/<fingerprint>`: the cached response of a completed job,
+/// byte-identical to what its original `POST /jobs` returned (the cache
+/// stores full serialized responses). 404 when unknown — including jobs
+/// whose outcome was flaky and therefore never stored.
+fn handle_result(stream: &mut TcpStream, ctx: &Ctx, fp: &str) {
+    if Fingerprint::parse_hex(fp).is_none() {
+        respond_json(
+            stream,
+            400,
+            "Bad Request",
+            &error_body("bad_fingerprint", "expected 32 hex digits", vec![]),
+        );
+        return;
+    }
+    match ctx.cache.lookup_done(fp) {
+        Some(bytes) => http::write_response(stream, &bytes),
+        None => respond_json(
+            stream,
+            404,
+            "Not Found",
+            &error_body("not_found", "no completed job with this fingerprint", vec![]),
+        ),
+    }
+}
+
+fn handle_job(stream: &mut TcpStream, ctx: &Ctx, body: &[u8]) {
+    let doc = match std::str::from_utf8(body).ok().and_then(|t| ccdp_json::parse(t).ok()) {
+        Some(d) => d,
+        None => {
+            ctx.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_json(
+                stream,
+                400,
+                "Bad Request",
+                &error_body("bad_json", "body is not valid JSON", vec![]),
+            );
+            return;
+        }
+    };
+    let spec = match JobSpec::from_json(&doc, ctx.cfg.default_deadline_ms) {
+        Ok(s) => s,
+        Err(msg) => {
+            ctx.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+            respond_json(stream, 400, "Bad Request", &error_body("bad_request", &msg, vec![]));
+            return;
+        }
+    };
+    let fp = spec.fingerprint().to_hex();
+
+    match ctx.cache.claim(&fp) {
+        Claim::Hit(bytes) => http::write_response(stream, &bytes),
+        Claim::Join(flight) => {
+            // Generous bound: the leader's worst case is every attempt
+            // burning its full deadline plus backoff.
+            let bound = Duration::from_millis(
+                spec.deadline_ms * u64::from(ctx.cfg.retry.max_attempts) + 10_000,
+            );
+            match flight.wait(bound) {
+                Some(bytes) => http::write_response(stream, &bytes),
+                None => respond_json(
+                    stream,
+                    500,
+                    "Internal Server Error",
+                    &error_body("leader_lost", "in-flight computation never completed", vec![]),
+                ),
+            }
+        }
+        Claim::Leader => {
+            if let Some(j) = &ctx.journal {
+                if let Err(e) = j.record_job(&fp, &spec) {
+                    // Degrade, don't die: the job still runs, it just
+                    // loses crash coverage.
+                    eprintln!("ccdpd: journal write failed: {e}");
+                }
+            }
+            let res = run_job(&spec, &ctx.cfg.retry);
+            ctx.stats.retries.fetch_add(u64::from(res.retries), Ordering::Relaxed);
+            if res.status.0 == 200 {
+                ctx.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+            } else {
+                ctx.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
+            }
+            let bytes = http::response_bytes(res.status.0, res.status.1, &res.body.to_string());
+            if res.cacheable {
+                if let Some(j) = &ctx.journal {
+                    if let Err(e) = j.record_done(&fp, &bytes) {
+                        eprintln!("ccdpd: journal write failed: {e}");
+                    }
+                }
+            }
+            let bytes = Arc::new(bytes);
+            ctx.cache.publish(&fp, Arc::clone(&bytes), res.cacheable);
+            http::write_response(stream, &bytes);
+        }
+    }
+}
+
+fn stats_json(ctx: &Ctx) -> Json {
+    let s = &ctx.stats;
+    let hits = ctx.cache.hits.load(Ordering::Relaxed);
+    let joins = ctx.cache.joins.load(Ordering::Relaxed);
+    let misses = ctx.cache.misses.load(Ordering::Relaxed);
+    let lookups = hits + joins + misses;
+    let hit_rate =
+        if lookups > 0 { (hits + joins) as f64 / lookups as f64 } else { 0.0 };
+    Json::obj([
+        ("status", "ok".to_json()),
+        ("accepted", s.accepted.load(Ordering::Relaxed).to_json()),
+        ("completed", s.completed.load(Ordering::Relaxed).to_json()),
+        ("shed", s.shed.load(Ordering::Relaxed).to_json()),
+        ("jobs_ok", s.jobs_ok.load(Ordering::Relaxed).to_json()),
+        ("jobs_err", s.jobs_err.load(Ordering::Relaxed).to_json()),
+        ("retries", s.retries.load(Ordering::Relaxed).to_json()),
+        ("http_errors", s.http_errors.load(Ordering::Relaxed).to_json()),
+        ("queue_depth", ctx.queue.depth().to_json()),
+        ("queue_cap", ctx.queue.capacity().to_json()),
+        ("cache_entries", ctx.cache.len().to_json()),
+        ("cache_hits", hits.to_json()),
+        ("cache_joins", joins.to_json()),
+        ("cache_misses", misses.to_json()),
+        ("cache_hit_rate", hit_rate.to_json()),
+        ("workers", ctx.cfg.workers.to_json()),
+    ])
+}

@@ -1,0 +1,219 @@
+//! End-to-end service tests: spawn the real `ccdpd` binary, talk real
+//! HTTP to it, and exercise the two hard lifecycle guarantees —
+//! graceful drain on SIGTERM and byte-identical replay after `kill -9`.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ccdp_json::Json;
+use ccdp_serve::api::sample_program;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_ccdpd(extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ccdpd"))
+        .args(["--addr", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn ccdpd");
+    // The daemon's single stdout line names the bound address.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("read listen line");
+    let addr = line
+        .trim()
+        .strip_prefix("ccdpd listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .to_string();
+    Daemon { child, addr }
+}
+
+impl Daemon {
+    fn signal(&self, sig: &str) {
+        let ok = Command::new("kill")
+            .args([sig, &self.child.id().to_string()])
+            .status()
+            .expect("run kill")
+            .success();
+        assert!(ok, "kill {sig} failed");
+    }
+
+    fn wait_exit(&mut self, within: Duration) -> std::process::ExitStatus {
+        let deadline = Instant::now() + within;
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            if Instant::now() > deadline {
+                let _ = self.child.kill();
+                panic!("ccdpd did not exit within {within:?}");
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// One raw HTTP exchange; returns the complete response bytes.
+fn exchange(addr: &str, request: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(request).expect("write request");
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).expect("read response");
+    out
+}
+
+fn post_job(addr: &str, body: &str) -> Vec<u8> {
+    let req =
+        format!("POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}", body.len());
+    exchange(addr, req.as_bytes())
+}
+
+fn body_of(response: &[u8]) -> Json {
+    let pos = response.windows(4).position(|w| w == b"\r\n\r\n").expect("head end") + 4;
+    ccdp_json::parse(std::str::from_utf8(&response[pos..]).expect("utf8 body")).expect("json body")
+}
+
+fn job_json(size: usize, reps: usize) -> String {
+    Json::obj([
+        ("program", Json::Str(sample_program(size, reps))),
+        ("n_pes", Json::UInt(2)),
+        ("schemes", Json::arr([Json::Str("base".into()), Json::Str("ccdp".into())])),
+    ])
+    .to_string()
+}
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccdpd-e2e-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn sigterm_drains_and_exits_zero() {
+    let mut d = spawn_ccdpd(&[]);
+    // A served job, then drain.
+    let resp = post_job(&d.addr, &job_json(10, 1));
+    let body = body_of(&resp);
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"), "{body:?}");
+    d.signal("-TERM");
+    let status = d.wait_exit(Duration::from_secs(30));
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+}
+
+#[test]
+fn malformed_and_unknown_requests_get_structured_errors() {
+    let mut d = spawn_ccdpd(&[]);
+    // Unknown route.
+    let resp = exchange(&d.addr, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with(b"HTTP/1.1 404"), "{:?}", String::from_utf8_lossy(&resp));
+    assert_eq!(body_of(&resp).get("code").and_then(Json::as_str), Some("not_found"));
+    // Parse-level garbage.
+    let resp = exchange(&d.addr, b"POST /jobs HTTP/1.1\r\n\r\n");
+    assert!(resp.starts_with(b"HTTP/1.1 411"));
+    // Valid HTTP, invalid job.
+    let resp = exchange(
+        &d.addr,
+        b"POST /jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}",
+    );
+    assert!(resp.starts_with(b"HTTP/1.1 400"), "{:?}", String::from_utf8_lossy(&resp));
+    assert_eq!(body_of(&resp).get("code").and_then(Json::as_str), Some("bad_request"));
+    // Invalid IR program: structured, cacheable job-level failure.
+    let bad = Json::obj([("program", Json::Str("program x\n  garbage\n".into()))]).to_string();
+    let resp = post_job(&d.addr, &bad);
+    assert_eq!(body_of(&resp).get("code").and_then(Json::as_str), Some("invalid_program"));
+    d.signal("-TERM");
+    assert!(d.wait_exit(Duration::from_secs(30)).success());
+}
+
+#[test]
+fn duplicate_submissions_are_byte_identical() {
+    let mut d = spawn_ccdpd(&[]);
+    let job = job_json(9, 2);
+    let first = post_job(&d.addr, &job);
+    for _ in 0..3 {
+        assert_eq!(post_job(&d.addr, &job), first, "cache hits must be byte-identical");
+    }
+    d.signal("-TERM");
+    assert!(d.wait_exit(Duration::from_secs(30)).success());
+}
+
+#[test]
+fn kill_dash_nine_then_resume_replays_byte_identical() {
+    let journal = tmp_dir("resume").join("jobs.jsonl");
+    let jflag = journal.to_str().unwrap().to_string();
+    let job_a = job_json(11, 1);
+    let job_b = job_json(13, 2);
+
+    let (resp_a, resp_b, fp_a, fp_b);
+    {
+        let d = spawn_ccdpd(&["--journal", &jflag, "--resume"]);
+        resp_a = post_job(&d.addr, &job_a);
+        resp_b = post_job(&d.addr, &job_b);
+        fp_a = body_of(&resp_a).get("fingerprint").unwrap().as_str().unwrap().to_string();
+        fp_b = body_of(&resp_b).get("fingerprint").unwrap().as_str().unwrap().to_string();
+        // Hard kill: no drain, no atexit, journal must already be durable.
+        d.signal("-KILL");
+        // Drop reaps the corpse.
+    }
+
+    let mut d = spawn_ccdpd(&["--journal", &jflag, "--resume"]);
+    // Replayed results are served byte-identically from the journal…
+    for (fp, want) in [(&fp_a, &resp_a), (&fp_b, &resp_b)] {
+        let got = exchange(&d.addr, format!("GET /result/{fp} HTTP/1.1\r\n\r\n").as_bytes());
+        assert_eq!(&got, want, "replayed response for {fp} must be byte-identical");
+    }
+    // …and a re-submission of the same job is also byte-identical.
+    assert_eq!(post_job(&d.addr, &job_a), resp_a);
+    d.signal("-TERM");
+    assert!(d.wait_exit(Duration::from_secs(30)).success());
+}
+
+#[test]
+fn overload_sheds_with_structured_queue_full() {
+    // Tiny queue and one worker: concurrent slow-ish jobs must overflow
+    // admission control, and every shed is a parseable 429 envelope.
+    let mut d = spawn_ccdpd(&["--workers", "1", "--queue-cap", "1"]);
+    let addr = d.addr.clone();
+    let results: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let addr = &addr;
+                scope.spawn(move || post_job(addr, &job_json(20 + i % 2, 6)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut shed = 0;
+    for resp in &results {
+        let body = body_of(resp); // every response parses — nothing dropped
+        match body.get("status").and_then(Json::as_str) {
+            Some("ok") => {}
+            Some("error") => {
+                if body.get("code").and_then(Json::as_str) == Some("queue_full") {
+                    assert!(resp.starts_with(b"HTTP/1.1 429"));
+                    assert!(body.get("queue_depth").is_some());
+                    shed += 1;
+                }
+            }
+            other => panic!("unstructured response: {other:?}"),
+        }
+    }
+    assert!(shed > 0, "expected at least one structured shed among {} responses", results.len());
+    d.signal("-TERM");
+    assert!(d.wait_exit(Duration::from_secs(60)).success());
+}

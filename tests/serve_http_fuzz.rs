@@ -1,0 +1,128 @@
+//! Fuzz the service's HTTP request parser: arbitrary bytes, corrupted
+//! well-formed requests, truncations, and oversized bodies must all map to
+//! structured [`HttpError`]s (each knowing its 4xx status) — never a
+//! panic, never an unclassified failure.
+
+use std::io::Cursor;
+
+use ccdp_serve::http::{read_request, HttpError};
+use proptest::prelude::*;
+
+fn parse(bytes: Vec<u8>, max_body: usize) -> Result<ccdp_serve::http::Request, HttpError> {
+    read_request(&mut Cursor::new(bytes), max_body)
+}
+
+/// A syntactically valid request with the given body.
+fn well_formed(path: &str, body: &[u8]) -> Vec<u8> {
+    let mut req = format!(
+        "POST {path} HTTP/1.1\r\nHost: fuzz\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Totally arbitrary bytes: any outcome but a panic, and every error
+    /// must carry a client-side (4xx) status.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u8..=255, 0..600)) {
+        match parse(bytes, 4096) {
+            Ok(_) => {}
+            Err(e) => {
+                let (status, _) = e.status();
+                prop_assert!((400..500).contains(&status), "{e} -> {status}");
+            }
+        }
+    }
+
+    /// A well-formed request truncated at an arbitrary byte either parses
+    /// (cut fell after the full body) or fails structurally.
+    #[test]
+    fn truncation_is_structured(body_len in 0usize..64, cut in 0usize..120) {
+        let body: Vec<u8> = (0..body_len as u8).collect();
+        let full = well_formed("/jobs", &body);
+        let cut = cut.min(full.len());
+        match parse(full[..cut].to_vec(), 4096) {
+            Ok(r) => prop_assert_eq!(r.body, body, "short parse must mean complete request"),
+            Err(e) => prop_assert!((400..500).contains(&e.status().0)),
+        }
+    }
+
+    /// Declared bodies past the limit are refused with 413 without reading
+    /// the body.
+    #[test]
+    fn oversized_body_is_413(extra in 1usize..10_000) {
+        let limit = 512usize;
+        let req = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", limit + extra
+        );
+        let err = parse(req.into_bytes(), limit).unwrap_err();
+        prop_assert_eq!(err.status().0, 413);
+        let is_too_large = matches!(err, HttpError::BodyTooLarge { .. });
+        prop_assert!(is_too_large);
+    }
+
+    /// Corrupting one byte of a valid head never panics; if it still
+    /// parses, the request is still self-consistent.
+    #[test]
+    fn single_byte_corruption(pos in 0usize..48, byte in 0u8..=255) {
+        let mut req = well_formed("/jobs", b"{\"k\":1}");
+        let pos = pos.min(req.len() - 1);
+        req[pos] = byte;
+        if let Ok(r) = parse(req, 4096) {
+            prop_assert!(!r.method.is_empty());
+            prop_assert!(r.path.starts_with('/'));
+        }
+    }
+
+    /// Header names with embedded garbage are rejected as BadHeader, not
+    /// silently accepted.
+    #[test]
+    fn garbage_header_lines(line in prop::collection::vec(0u8..=255, 1..40)) {
+        let mut req = b"GET / HTTP/1.1\r\n".to_vec();
+        req.extend_from_slice(&line);
+        req.extend_from_slice(b"\r\n\r\n");
+        // Either a structured error or a parse that found a colon-shaped
+        // header; both fine, panics are not.
+        let _ = parse(req, 4096);
+    }
+
+    /// Round-trip: requests the service's own clients produce parse back
+    /// to the same method/path/body.
+    #[test]
+    fn roundtrip_wellformed(
+        seg in prop::sample::select(vec!["jobs", "stats", "healthz", "result/abc123"]),
+        body in prop::collection::vec(0u8..=255, 0..200),
+    ) {
+        let path = format!("/{seg}");
+        let r = parse(well_formed(&path, &body), 4096).unwrap();
+        prop_assert_eq!(r.method, "POST");
+        prop_assert_eq!(r.path, path);
+        prop_assert_eq!(r.body, body);
+    }
+}
+
+/// Deterministic spot checks for every structured error class (the fuzz
+/// cases above reach these probabilistically; these pin them).
+#[test]
+fn error_taxonomy_is_complete() {
+    let cases: Vec<(Vec<u8>, u16)> = vec![
+        (b"".to_vec(), 400),                                                // truncated
+        (b"GARBAGE\r\n\r\n".to_vec(), 400),                                 // bad request line
+        (b"GET / HTTP/2.0\r\n\r\n".to_vec(), 400),                          // bad version
+        (b"POST /jobs HTTP/1.1\r\n\r\n".to_vec(), 411),                     // length required
+        (b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n".to_vec(), 400),  // bad length
+        (b"POST / HTTP/1.1\r\nContent-Length: 99999\r\n\r\n".to_vec(), 413),
+        (b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n".to_vec(), 400),
+        ([b"GET / HTTP/1.1\r\nX: ".to_vec(), vec![b'a'; 20_000]].concat(), 431),
+    ];
+    for (bytes, want) in cases {
+        let err = parse(bytes.clone(), 4096).expect_err("must be rejected");
+        assert_eq!(err.status().0, want, "{err} for {:?}…", &bytes[..bytes.len().min(30)]);
+        assert!(!err.code().is_empty());
+    }
+}

@@ -21,10 +21,15 @@ const MAX_ITERS: u64 = 10_000;
 
 /// Measurement budget, honoring criterion's `--quick` CLI flag (also
 /// settable as `CCDP_BENCH_QUICK=1` for `cargo bench` invocations that
-/// cannot forward flags).
+/// cannot forward flags). The env var is parsed through the pipeline's
+/// single parsing point (`ccdp_core::EnvOverrides`), so a typo is a loud
+/// structured error instead of a silently full-length benchmark run.
 fn measure_budget() -> Duration {
-    let quick = std::env::args().any(|a| a == "--quick")
-        || std::env::var("CCDP_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let env = ccdp_core::EnvOverrides::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let quick = std::env::args().any(|a| a == "--quick") || env.bench_quick;
     if quick {
         MEASURE_QUICK
     } else {
