@@ -45,7 +45,14 @@ use crate::{BenchKernel, GridTiming, Scale};
 /// shed rate, and cache hit rate per traffic profile. No existing section
 /// changed shape; v6 consumers that ignore unknown top-level sections read
 /// v7 documents unchanged.
-pub const SCHEMA_VERSION: u32 = 7;
+/// v8: the `perf` section records `sim_threads` — the simulator's
+/// intra-run worker knob (`CCDP_SIM_THREADS`) in effect for the timed run,
+/// so the gate never compares wall numbers across engine configurations —
+/// and, on fresh healthy runs, a `scaling` array: the same quick grid
+/// re-timed at several `sim_threads` values with `speedup_vs_1` per point.
+/// Documents missing `perf.sim_threads` (v7 and older) read as 1 (the
+/// serial engine, the only one that existed).
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// How the committed report document read out as a perf-gate baseline.
 /// Produced by [`perf_baseline`]; the `perf_gate` bin turns these into
@@ -59,8 +66,13 @@ pub enum Baseline {
     /// understands: comparing against a reshaped layout could pass or fail
     /// for the wrong reason, so the gate must hard-error.
     NewerSchema(u64),
-    /// A usable baseline: the committed quick-grid wall seconds.
-    Wall(f64),
+    /// A usable baseline: the committed quick-grid wall seconds, plus the
+    /// simulator worker count they were measured under (`perf.sim_threads`;
+    /// documents older than schema v8 read as 1, the serial engine). The
+    /// gate refuses to compare a candidate run against a baseline taken at
+    /// a different `sim_threads` — that would measure the knob, not a
+    /// regression.
+    Wall { wall_seconds: f64, sim_threads: u64 },
 }
 
 /// Classify a report document as a perf-gate baseline. Forward-compatible
@@ -73,8 +85,15 @@ pub fn perf_baseline(doc: &Json) -> Baseline {
             return Baseline::NewerSchema(v);
         }
     }
-    match doc.get("perf").and_then(|p| p.get("wall_seconds")).and_then(Json::as_f64) {
-        Some(w) if w > 0.0 => Baseline::Wall(w),
+    let perf = doc.get("perf");
+    match perf.and_then(|p| p.get("wall_seconds")).and_then(Json::as_f64) {
+        Some(w) if w > 0.0 => Baseline::Wall {
+            wall_seconds: w,
+            sim_threads: perf
+                .and_then(|p| p.get("sim_threads"))
+                .and_then(Json::as_u64)
+                .unwrap_or(1),
+        },
         _ => Baseline::Missing,
     }
 }
@@ -170,14 +189,39 @@ pub fn perf_json(names: &[&str], pes: &[usize], t: &GridTiming) -> Json {
             ])
         })
     }));
-    Json::obj([
+    let mut fields = vec![
         ("wall_seconds", t.wall_seconds.to_json()),
         ("sim_cycles", t.sim_cycles().to_json()),
         ("cycles_per_second", t.cycles_per_second().to_json()),
         ("threads", t.threads.to_json()),
+        ("sim_threads", t.sim_threads.to_json()),
         ("seq", seq),
         ("cells", cells),
-    ])
+    ];
+    if !t.scaling.is_empty() {
+        let serial = t
+            .scaling
+            .iter()
+            .find(|p| p.sim_threads == 1)
+            .map(|p| p.wall_seconds)
+            .filter(|&w| w > 0.0);
+        fields.push((
+            "scaling",
+            Json::arr(t.scaling.iter().map(|p| {
+                let mut point = vec![
+                    ("sim_threads", p.sim_threads.to_json()),
+                    ("wall_seconds", p.wall_seconds.to_json()),
+                    ("sim_cycles", p.sim_cycles.to_json()),
+                    ("cycles_per_second", rate(p.sim_cycles, p.wall_seconds).to_json()),
+                ];
+                if let Some(base) = serial.filter(|_| p.wall_seconds > 0.0) {
+                    point.push(("speedup_vs_1", (base / p.wall_seconds).to_json()));
+                }
+                Json::obj(point)
+            })),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// Assemble the report document from per-cell JSON values, indexed
@@ -262,32 +306,42 @@ mod unit {
     use crate::{paper_kernels, run_grid_timed};
 
     /// Pins the gate's forward-compat contract: additive sections (v7's
-    /// `service`) are ignored, only a genuinely newer schema is rejected.
+    /// `service`, v8's `perf.scaling`) are ignored, only a genuinely newer
+    /// schema is rejected — and pre-v8 baselines read as the serial engine.
     #[test]
     fn perf_baseline_forward_compat() {
-        let v7 = ccdp_json::parse(
-            r#"{"schema_version": 7, "perf": {"wall_seconds": 2.5},
+        let v8 = ccdp_json::parse(
+            r#"{"schema_version": 8,
+                "perf": {"wall_seconds": 2.5, "sim_threads": 4,
+                         "scaling": [{"sim_threads": 1, "wall_seconds": 5.0}]},
                 "service": {"profiles": [{"name": "soak", "qps": 120.0}]}}"#,
         )
         .unwrap();
-        assert_eq!(perf_baseline(&v7), Baseline::Wall(2.5));
+        assert_eq!(
+            perf_baseline(&v8),
+            Baseline::Wall { wall_seconds: 2.5, sim_threads: 4 }
+        );
 
-        // A v6 document (no service section) still reads the same way.
-        let v6 = ccdp_json::parse(r#"{"schema_version": 6, "perf": {"wall_seconds": 1.0}}"#)
+        // Older documents (no sim_threads recorded) were measured by the
+        // serial engine — the only one that existed.
+        let v7 = ccdp_json::parse(r#"{"schema_version": 7, "perf": {"wall_seconds": 1.0}}"#)
             .unwrap();
-        assert_eq!(perf_baseline(&v6), Baseline::Wall(1.0));
+        assert_eq!(
+            perf_baseline(&v7),
+            Baseline::Wall { wall_seconds: 1.0, sim_threads: 1 }
+        );
 
         // Newer-than-us must be a hard signal, not a silent comparison.
-        let v8 = ccdp_json::parse(r#"{"schema_version": 8, "perf": {"wall_seconds": 1.0}}"#)
+        let v9 = ccdp_json::parse(r#"{"schema_version": 9, "perf": {"wall_seconds": 1.0}}"#)
             .unwrap();
-        assert_eq!(perf_baseline(&v8), Baseline::NewerSchema(8));
+        assert_eq!(perf_baseline(&v9), Baseline::NewerSchema(9));
 
         // Service-only documents (no perf timing) skip, not error.
         let no_perf =
-            ccdp_json::parse(r#"{"schema_version": 7, "service": {"profiles": []}}"#).unwrap();
+            ccdp_json::parse(r#"{"schema_version": 8, "service": {"profiles": []}}"#).unwrap();
         assert_eq!(perf_baseline(&no_perf), Baseline::Missing);
         let bad_wall =
-            ccdp_json::parse(r#"{"schema_version": 7, "perf": {"wall_seconds": 0}}"#).unwrap();
+            ccdp_json::parse(r#"{"schema_version": 8, "perf": {"wall_seconds": 0}}"#).unwrap();
         assert_eq!(perf_baseline(&bad_wall), Baseline::Missing);
     }
 
@@ -296,11 +350,15 @@ mod unit {
         let kernels = paper_kernels(Scale::Quick);
         let pes = [2usize];
         let schemes = crate::GRID_SCHEMES;
-        let (grid, timing) =
+        let (grid, mut timing) =
             run_grid_timed(&kernels[..2], &pes, &schemes).expect("coherent grid");
+        timing.scaling = vec![
+            crate::ScalingPoint { sim_threads: 1, wall_seconds: 4.0, sim_cycles: 100 },
+            crate::ScalingPoint { sim_threads: 2, wall_seconds: 2.5, sim_cycles: 100 },
+        ];
         let j =
             report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, Some(&timing));
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(8));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let schemes_json = j.get("schemes").unwrap().items();
@@ -347,6 +405,15 @@ mod unit {
         assert!(perf.get("wall_seconds").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(perf.get("sim_cycles").and_then(Json::as_u64).unwrap() > 0);
         assert!(perf.get("threads").and_then(Json::as_u64).unwrap() >= 1);
+        // v8: the engine configuration the wall numbers describe, plus the
+        // attached scaling probe with derived speedup_vs_1.
+        assert!(perf.get("sim_threads").and_then(Json::as_u64).unwrap() >= 1);
+        let scaling = perf.get("scaling").expect("scaling probe rows").items();
+        assert_eq!(scaling.len(), 2);
+        assert_eq!(scaling[0].get("sim_threads").and_then(Json::as_u64), Some(1));
+        assert_eq!(scaling[1].get("sim_threads").and_then(Json::as_u64), Some(2));
+        let s1 = scaling[1].get("speedup_vs_1").and_then(Json::as_f64).unwrap();
+        assert!((s1 - 1.6).abs() < 1e-12, "4.0s / 2.5s = 1.6x, got {s1}");
         let cell0 = &perf.get("cells").unwrap().items()[0];
         assert_eq!(cell0.get("kernel").and_then(Json::as_str), Some("MXM"));
         assert_eq!(cell0.get("n_pes").and_then(Json::as_u64), Some(2));
@@ -359,7 +426,7 @@ mod unit {
         assert_eq!(cell0.get("sim_cycles").and_then(Json::as_u64), Some(sum));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(7));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(8));
         // Omitting timing omits the section (ablation callers).
         let j2 = report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, None);
         assert!(j2.get("perf").is_none());

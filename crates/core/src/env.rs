@@ -5,6 +5,7 @@
 //! | variable                | effect                                         |
 //! |-------------------------|------------------------------------------------|
 //! | `CCDP_FORCE_TREEWALK`   | `1` forces the treewalk interpreter            |
+//! | `CCDP_SIM_THREADS`      | worker threads for intra-run PE sharding       |
 //! | `CCDP_SEED`             | decision-stream seed for fault-injecting runs  |
 //! | `CCDP_SCALE`            | benchmark problem size: `quick` (default) or `paper` |
 //! | `CCDP_BENCH_QUICK`      | `1` shrinks the vendored-criterion measurement budget |
@@ -40,6 +41,10 @@ pub struct EnvOverrides {
     /// `CCDP_FORCE_TREEWALK=1`: run the treewalk interpreter instead of the
     /// compiled-trace path (the reference semantics both paths must match).
     pub force_treewalk: bool,
+    /// `CCDP_SIM_THREADS=<n>`: worker threads for the simulator's
+    /// epoch-sharded parallel path (`SimOptions::sim_threads`). `None`
+    /// when unset (the simulator default — serial — applies).
+    pub sim_threads: Option<usize>,
     /// `CCDP_SEED=<u64>`: deterministic seed for fault-injecting harness
     /// runs. `None` when unset (callers pick their own default).
     pub seed: Option<u64>,
@@ -69,6 +74,16 @@ impl EnvOverrides {
                     return Err(bad_env("CCDP_FORCE_TREEWALK", v, "expected \"0\" or \"1\""))
                 }
             };
+        }
+        if let Ok(v) = std::env::var("CCDP_SIM_THREADS") {
+            let n = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    bad_env("CCDP_SIM_THREADS", v, "expected a positive integer")
+                })?;
+            o.sim_threads = Some(n);
         }
         if let Ok(v) = std::env::var("CCDP_SEED") {
             o.seed = Some(
@@ -107,11 +122,15 @@ impl EnvOverrides {
     }
 
     /// Apply the overrides to a pipeline configuration. Only widening:
-    /// `force_treewalk` already set programmatically is never cleared.
+    /// `force_treewalk` already set programmatically is never cleared, and
+    /// `sim_threads` only overwrites when the variable was actually set.
     /// (`seed` and `scale` configure the *harness*, not the pipeline, so
     /// they are consumed by the bench crate instead.)
     pub fn apply(&self, cfg: &mut PipelineConfig) {
         cfg.sim.force_treewalk |= self.force_treewalk;
+        if let Some(t) = self.sim_threads {
+            cfg.sim.sim_threads = t;
+        }
     }
 }
 
@@ -152,8 +171,9 @@ mod unit {
         out
     }
 
-    const ALL_UNSET: [(&str, Option<&str>); 5] = [
+    const ALL_UNSET: [(&str, Option<&str>); 6] = [
         ("CCDP_FORCE_TREEWALK", None),
+        ("CCDP_SIM_THREADS", None),
         ("CCDP_SEED", None),
         ("CCDP_SCALE", None),
         ("CCDP_BENCH_QUICK", None),
@@ -165,6 +185,7 @@ mod unit {
         let o = with_vars(&ALL_UNSET, EnvOverrides::from_env).unwrap();
         assert_eq!(o, EnvOverrides::default());
         assert!(!o.force_treewalk);
+        assert_eq!(o.sim_threads, None);
         assert_eq!(o.seed, None);
         assert_eq!(o.scale, ScalePreset::Quick);
         assert!(!o.bench_quick);
@@ -176,6 +197,7 @@ mod unit {
         let o = with_vars(
             &[
                 ("CCDP_FORCE_TREEWALK", Some("1")),
+                ("CCDP_SIM_THREADS", Some("4")),
                 ("CCDP_SEED", Some("42")),
                 ("CCDP_SCALE", Some("paper")),
                 ("CCDP_BENCH_QUICK", Some("1")),
@@ -185,6 +207,7 @@ mod unit {
         )
         .unwrap();
         assert!(o.force_treewalk);
+        assert_eq!(o.sim_threads, Some(4));
         assert_eq!(o.seed, Some(42));
         assert_eq!(o.scale, ScalePreset::Paper);
         assert!(o.bench_quick);
@@ -195,6 +218,9 @@ mod unit {
     fn bad_values_are_structured_errors_naming_the_variable() {
         for (var, value) in [
             ("CCDP_FORCE_TREEWALK", "yes"),
+            ("CCDP_SIM_THREADS", "0"),
+            ("CCDP_SIM_THREADS", "banana"),
+            ("CCDP_SIM_THREADS", "-1"),
             ("CCDP_SEED", "banana"),
             ("CCDP_SCALE", "fast"),
             ("CCDP_BENCH_QUICK", "true"),
@@ -227,5 +253,15 @@ mod unit {
         // Never cleared by an unset env.
         EnvOverrides::default().apply(&mut cfg);
         assert!(cfg.sim.force_treewalk);
+    }
+
+    #[test]
+    fn apply_sets_sim_threads_only_when_the_variable_was_set() {
+        let mut cfg = PipelineConfig::t3d(2);
+        cfg.sim.sim_threads = 3;
+        EnvOverrides::default().apply(&mut cfg);
+        assert_eq!(cfg.sim.sim_threads, 3, "unset env leaves the knob alone");
+        EnvOverrides { sim_threads: Some(4), ..Default::default() }.apply(&mut cfg);
+        assert_eq!(cfg.sim.sim_threads, 4);
     }
 }

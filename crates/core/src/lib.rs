@@ -40,9 +40,9 @@
 //! metrics: speedup over sequential (Table 1) and percentage improvement of
 //! CCDP over BASE (Table 2), generalized to an N-way [`SchemeMatrix`].
 //!
-//! Environment overrides (`CCDP_FORCE_TREEWALK`, `CCDP_SEED`, `CCDP_SCALE`,
-//! `CCDP_BENCH_QUICK`, `CCDP_PERF_GATE_FACTOR`) are parsed in exactly one
-//! place: [`EnvOverrides::from_env`].
+//! Environment overrides (`CCDP_FORCE_TREEWALK`, `CCDP_SIM_THREADS`,
+//! `CCDP_SEED`, `CCDP_SCALE`, `CCDP_BENCH_QUICK`, `CCDP_PERF_GATE_FACTOR`)
+//! are parsed in exactly one place: [`EnvOverrides::from_env`].
 
 mod env;
 mod fingerprint;
@@ -52,8 +52,6 @@ mod report;
 
 pub use env::{EnvOverrides, ScalePreset};
 pub use fingerprint::{Fingerprint, Fingerprinter};
-#[allow(deprecated)]
-pub use pipeline::{run_base, run_ccdp, run_invalidate_only};
 pub use pipeline::{
     compare, compare_with_seq, compile_ccdp, run_seq, CcdpArtifacts, PipelineConfig,
     PipelineError, Scheme, SchemeMatrix, SchemeRun,

@@ -444,38 +444,6 @@ impl PipelineConfig {
     }
 }
 
-/// BASE run: CRAFT-style shared data, uncached.
-#[deprecated(since = "0.2.0", note = "use PipelineConfig::run(program, Scheme::Base)")]
-pub fn run_base(program: &Program, cfg: &PipelineConfig) -> Result<SimResult, PipelineError> {
-    cfg.run(program, Scheme::Base).map(|r| r.result)
-}
-
-/// CCDP run: compile, then execute the transformed program. Fails with
-/// [`PipelineError::CoherenceViolation`] when the generated plan let a PE
-/// consume stale data (a compiler bug by the paper's correctness argument).
-#[deprecated(since = "0.2.0", note = "use PipelineConfig::run(program, Scheme::Ccdp)")]
-pub fn run_ccdp(
-    program: &Program,
-    cfg: &PipelineConfig,
-) -> Result<(CcdpArtifacts, SimResult), PipelineError> {
-    cfg.run(program, Scheme::Ccdp)
-        .map(|r| (r.artifacts.expect("CCDP runs carry artifacts"), r.result))
-}
-
-/// Conservative third baseline: caching enabled but every potentially-stale
-/// read bypasses the cache (no prefetching). Isolates the latency-hiding
-/// contribution of CCDP from the caching contribution.
-#[deprecated(
-    since = "0.2.0",
-    note = "use PipelineConfig::run(program, Scheme::InvalidateOnly)"
-)]
-pub fn run_invalidate_only(
-    program: &Program,
-    cfg: &PipelineConfig,
-) -> Result<SimResult, PipelineError> {
-    cfg.run(program, Scheme::InvalidateOnly).map(|r| r.result)
-}
-
 /// One scheme's simulation plus, for the plan-driven schemes, the compiler
 /// artifacts that produced it.
 #[derive(Clone)]
@@ -676,23 +644,26 @@ mod unit {
         assert!(!Scheme::Ccdp.is_hardware() && !Scheme::Base.is_hardware());
     }
 
-    /// The deprecated shims stay one release and must keep behaving exactly
-    /// like `run(Scheme)`.
+    /// `run(Scheme)` is the one entry point (the 0.2 `run_base`/`run_ccdp`/
+    /// `run_invalidate_only` shims are gone): it must be deterministic per
+    /// scheme and carry artifacts exactly for the plan-driven schemes.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_run() {
+    fn run_is_deterministic_and_carries_artifacts_per_scheme() {
         let p = kernel();
         let cfg = PipelineConfig::t3d(4);
-        let base = run_base(&p, &cfg).unwrap();
-        assert_eq!(base.cycles, cfg.run(&p, Scheme::Base).unwrap().result.cycles);
-        let (art, ccdp) = run_ccdp(&p, &cfg).unwrap();
-        assert_eq!(ccdp.cycles, cfg.run(&p, Scheme::Ccdp).unwrap().result.cycles);
+        let base = cfg.run(&p, Scheme::Base).unwrap();
+        assert_eq!(base.result.cycles, cfg.run(&p, Scheme::Base).unwrap().result.cycles);
+        assert!(base.artifacts.is_none(), "BASE compiles nothing");
+        let ccdp = cfg.run(&p, Scheme::Ccdp).unwrap();
+        assert_eq!(ccdp.result.cycles, cfg.run(&p, Scheme::Ccdp).unwrap().result.cycles);
+        let art = ccdp.artifacts.expect("CCDP runs carry artifacts");
         assert!(art.plan.stats.targets > 0);
-        let inv = run_invalidate_only(&p, &cfg).unwrap();
+        let inv = cfg.run(&p, Scheme::InvalidateOnly).unwrap();
         assert_eq!(
-            inv.cycles,
+            inv.result.cycles,
             cfg.run(&p, Scheme::InvalidateOnly).unwrap().result.cycles
         );
+        assert!(inv.artifacts.is_some(), "INV carries the bypass-all plan");
     }
 
     #[test]

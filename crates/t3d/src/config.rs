@@ -26,8 +26,8 @@ pub enum ConfigError {
     /// A fault-plan burst/multiplier parameter is out of range.
     BadFaultParam { field: &'static str, value: u64, need: &'static str },
     /// An environment override variable holds an unparsable value
-    /// (`CCDP_FORCE_TREEWALK` / `CCDP_SEED` / `CCDP_SCALE`; see the core
-    /// crate's `EnvOverrides`).
+    /// (`CCDP_FORCE_TREEWALK` / `CCDP_SEED` / `CCDP_SCALE` /
+    /// `CCDP_SIM_THREADS`; see the core crate's `EnvOverrides`).
     BadEnv { var: &'static str, value: String, need: &'static str },
 }
 
@@ -328,6 +328,14 @@ pub struct SimOptions {
     /// killed from outside, so this is how the harness bounds a cell's wall
     /// time. `None` = no deadline.
     pub wall_deadline: Option<std::time::Instant>,
+    /// Worker threads for intra-run PE sharding (also settable via
+    /// `CCDP_SIM_THREADS`). `0` or `1` (the default) = serial. With `t > 1`
+    /// each software-scheme DOALL epoch is split into `min(t, n_pes)`
+    /// contiguous PE blocks simulated concurrently and merged
+    /// deterministically at the barrier — byte-identical to the serial run
+    /// by contract (`tests/parallel_equivalence.rs`). Hardware schemes
+    /// (MESI/Dragon) and budgeted runs always take the serial path.
+    pub sim_threads: usize,
 }
 
 /// Why a simulation was aborted before completion. Returned by

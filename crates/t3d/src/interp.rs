@@ -1,7 +1,7 @@
 //! The program interpreter: executes IR programs on the modelled machine,
 //! accumulating per-PE cycle counts and feeding the coherence oracle.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 use ccdp_dist::{chunks, doall_range_for_pe, Layout};
@@ -14,7 +14,8 @@ use ccdp_prefetch::Handling;
 use crate::cache::Hit;
 use crate::coherence::{backend_for, CoherenceBackend};
 use crate::compiled::{
-    compile_loop, AccessKind, CAssign, CompileCtx, CompiledBody, CStmt, SlotSpec, SlotState,
+    compile_loop, AccessKind, CAssign, CompileCtx, CompiledBody, CRead, CStmt, SlotSpec,
+    SlotState,
 };
 use crate::config::{MachineConfig, Scheme, SimAbort, SimOptions};
 use crate::faults::FaultEngine;
@@ -22,6 +23,11 @@ use crate::mem::Memory;
 use crate::metrics::{CycleCategory, EpochCycles, EventTrace, MemEvent, TraceEventKind};
 use crate::pe::Pe;
 use crate::result::{OracleReport, SimResult, StaleReadExample};
+
+/// Loaded-read values of one compiled statement live in a stack buffer of
+/// this many slots; statements with more reads (validator-legal but unseen
+/// in practice) fall back to the PE's scratch vector.
+const READ_BUF: usize = 12;
 
 /// Snapshot of one loop header, for vector-prefetch section evaluation.
 #[derive(Clone, Debug)]
@@ -97,6 +103,174 @@ pub struct Simulator<'p> {
     /// Any budget or deadline configured (precomputed so the fault-free,
     /// budget-free hot path pays one predictable branch per iteration).
     budgeted: bool,
+    /// Shared-memory access log, present only inside epoch-shard workers:
+    /// the cache lines this PE block touched and wrote, consumed by the
+    /// cross-block conflict check and the deferred owner-cache patches at
+    /// the merge barrier. `None` (always, outside workers) keeps the serial
+    /// path at one predictable branch per shared access.
+    shard: Option<ShardLog>,
+}
+
+/// Per-block shared-memory access log for the epoch-sharded parallel path.
+///
+/// Conflict granularity is the cache **line**: demand fills and prefetches
+/// move whole lines, so any cross-block write/read interaction surfaces as
+/// a line-set intersection. `written_lines ⊆ touched_lines` by
+/// construction. `written_addrs` keeps exact word addresses so the merge
+/// can copy each written word's final (value, version) pair and patch
+/// out-of-block owner caches.
+struct ShardLog {
+    lo_pe: usize,
+    hi_pe: usize,
+    line_words: u64,
+    touched_lines: HashSet<u64>,
+    written_lines: HashSet<u64>,
+    written_addrs: HashSet<usize>,
+}
+
+impl ShardLog {
+    #[inline]
+    fn contains(&self, pe: usize) -> bool {
+        (self.lo_pe..self.hi_pe).contains(&pe)
+    }
+}
+
+/// Everything a shard worker needs to assemble a block-local `Simulator`
+/// inside its own thread. `Simulator` itself is not `Send` (its compiled
+/// cache holds `Rc`s and the backend box is unconstrained), so the fork
+/// ships this plain-data seed across and the worker builds the simulator
+/// in place; [`BlockOut`] carries the results back the same way.
+struct BlockSeed<'p> {
+    program: &'p Program,
+    l: &'p Loop,
+    lo: i64,
+    hi: i64,
+    per_iter: u64,
+    layout: Layout,
+    cfg: MachineConfig,
+    scheme: Scheme,
+    opts: SimOptions,
+    mem: Memory,
+    /// Full-length PE vector: clones of the block's PEs, cheap
+    /// placeholders elsewhere (never executed; see [`Pe::placeholder`]).
+    pes: Vec<Pe>,
+    env: VarEnv,
+    phase: u32,
+    faults: Option<FaultEngine>,
+    loop_headers: HashMap<LoopId, LoopHeader>,
+    ref_index: HashMap<RefId, (ArrayId, Vec<Affine>)>,
+    flops: HashMap<RefId, u32>,
+    craft_cost: Vec<u64>,
+    cur_epoch_id: Option<u32>,
+    trace_on: bool,
+    lo_pe: usize,
+    hi_pe: usize,
+}
+
+/// A shard worker's results: final PE/memory/fault state for its block plus
+/// the access log the merge needs.
+struct BlockOut {
+    lo_pe: usize,
+    hi_pe: usize,
+    pes: Vec<Pe>,
+    mem: Memory,
+    faults: Option<FaultEngine>,
+    oracle: OracleReport,
+    epoch: EpochCycles,
+    trace: EventTrace,
+    steps: u64,
+    touched_lines: HashSet<u64>,
+    written_lines: HashSet<u64>,
+    written_addrs: HashSet<usize>,
+}
+
+/// Simulate one contiguous PE block of a static DOALL in isolation, on a
+/// clone of the pre-epoch machine state. Intra-block PEs run in ascending
+/// order on the worker's own memory image — literally the serial schedule
+/// restricted to the block — so a merge that detects no cross-block line
+/// intersection reproduces the serial run byte for byte.
+fn run_block<'p>(seed: BlockSeed<'p>) -> BlockOut {
+    let n_pes = seed.cfg.n_pes;
+    let line_words = seed.cfg.line_words as u64;
+    let backend = Some(backend_for(&seed.scheme, n_pes));
+    // `EventTrace::new` allocates lazily, so an effectively unbounded
+    // capacity costs nothing when few events arrive; the worker must never
+    // wrap its ring, because the master replays events in block order and
+    // lets *its* ring apply the capacity policy.
+    let trace_cap = if seed.trace_on { usize::MAX } else { 0 };
+    let mut sim = Simulator {
+        program: seed.program,
+        layout: seed.layout,
+        cfg: seed.cfg,
+        scheme: seed.scheme,
+        opts: seed.opts,
+        mem: seed.mem,
+        pes: seed.pes,
+        env: seed.env,
+        phase: seed.phase,
+        oracle: OracleReport::default(),
+        extrapolated: false,
+        loop_headers: seed.loop_headers,
+        ref_index: seed.ref_index,
+        flops: seed.flops,
+        craft_cost: seed.craft_cost,
+        coords: Vec::with_capacity(4),
+        epochs: vec![EpochCycles::new("(shard)", n_pes)],
+        epoch_slots: HashMap::new(),
+        cur_epoch: Some(0),
+        extrap_slot: None,
+        trace: EventTrace::new(trace_cap),
+        faults: seed.faults,
+        backend,
+        cur_epoch_id: seed.cur_epoch_id,
+        compiled: HashMap::new(),
+        frames: Vec::new(),
+        treewalk: false,
+        steps: 0,
+        abort: None,
+        budgeted: false,
+        shard: Some(ShardLog {
+            lo_pe: seed.lo_pe,
+            hi_pe: seed.hi_pe,
+            line_words,
+            touched_lines: HashSet::new(),
+            written_lines: HashSet::new(),
+            written_addrs: HashSet::new(),
+        }),
+    };
+    let l = seed.l;
+    let cb = sim.compiled_body(l);
+    for pe in seed.lo_pe..seed.hi_pe {
+        let range = match l.align {
+            Some(aid) => ccdp_dist::aligned_range_for_pe(
+                &sim.layout,
+                sim.program.array(aid),
+                seed.lo,
+                seed.hi,
+                l.step,
+                pe,
+            ),
+            None => doall_range_for_pe(seed.lo, seed.hi, l.step, pe, n_pes),
+        };
+        if let Some(r) = range {
+            sim.run_doall_range(pe, l, r.lo, r.hi, seed.per_iter, Some(&cb));
+        }
+    }
+    let shard = sim.shard.take().expect("worker shard log present");
+    BlockOut {
+        lo_pe: seed.lo_pe,
+        hi_pe: seed.hi_pe,
+        pes: sim.pes,
+        mem: sim.mem,
+        faults: sim.faults,
+        oracle: sim.oracle,
+        epoch: sim.epochs.pop().expect("worker epoch slot present"),
+        trace: sim.trace,
+        steps: sim.steps,
+        touched_lines: shard.touched_lines,
+        written_lines: shard.written_lines,
+        written_addrs: shard.written_addrs,
+    }
 }
 
 impl<'p> Simulator<'p> {
@@ -175,6 +349,7 @@ impl<'p> Simulator<'p> {
             steps: 0,
             abort: None,
             budgeted,
+            shard: None,
         }
     }
 
@@ -306,6 +481,30 @@ impl<'p> Simulator<'p> {
                 kind,
                 addr: addr as u64,
             });
+        }
+    }
+
+    // -- epoch-shard access logging ----------------------------------------
+
+    /// Log a shared-memory read/fill of `addr`'s line (shard workers only;
+    /// a no-op — one predictable branch — on the serial path).
+    #[inline]
+    fn shard_touch(&mut self, addr: usize) {
+        if let Some(s) = self.shard.as_mut() {
+            s.touched_lines.insert(addr as u64 / s.line_words);
+        }
+    }
+
+    /// Log a shared-memory write of `addr` (shard workers only): the line
+    /// counts as touched *and* written, and the exact word address is kept
+    /// for the merge's final-state copy and owner-cache patches.
+    #[inline]
+    fn shard_note_write(&mut self, addr: usize) {
+        if let Some(s) = self.shard.as_mut() {
+            let line = addr as u64 / s.line_words;
+            s.touched_lines.insert(line);
+            s.written_lines.insert(line);
+            s.written_addrs.insert(addr);
         }
     }
 
@@ -495,24 +694,8 @@ impl<'p> Simulator<'p> {
         let cb = (!self.treewalk).then(|| self.compiled_body(l));
         match l.kind {
             LoopKind::DoAllStatic => {
-                for pe in 0..self.cfg.n_pes {
-                    if self.abort.is_some() {
-                        break;
-                    }
-                    let range = match l.align {
-                        Some(aid) => ccdp_dist::aligned_range_for_pe(
-                            &self.layout,
-                            self.program.array(aid),
-                            lo,
-                            hi,
-                            l.step,
-                            pe,
-                        ),
-                        None => doall_range_for_pe(lo, hi, l.step, pe, self.cfg.n_pes),
-                    };
-                    if let Some(r) = range {
-                        self.run_doall_range(pe, l, r.lo, r.hi, per_iter, cb.as_deref());
-                    }
+                if !self.exec_doall_static_sharded(l, lo, hi, per_iter) {
+                    self.exec_doall_static_serial(l, lo, hi, per_iter, cb.as_deref());
                 }
             }
             LoopKind::DoAllDynamic { chunk } => {
@@ -532,6 +715,174 @@ impl<'p> Simulator<'p> {
         }
         self.env.unset(l.var);
         self.barrier();
+    }
+
+    /// The serial schedule of a static DOALL: PEs execute their ranges one
+    /// after another, in ascending order, on the shared machine state. Also
+    /// the fallback when the sharded path declines or detects a conflict.
+    fn exec_doall_static_serial(
+        &mut self,
+        l: &'p Loop,
+        lo: i64,
+        hi: i64,
+        per_iter: u64,
+        cb: Option<&CompiledBody<'p>>,
+    ) {
+        for pe in 0..self.cfg.n_pes {
+            if self.abort.is_some() {
+                break;
+            }
+            let range = match l.align {
+                Some(aid) => ccdp_dist::aligned_range_for_pe(
+                    &self.layout,
+                    self.program.array(aid),
+                    lo,
+                    hi,
+                    l.step,
+                    pe,
+                ),
+                None => doall_range_for_pe(lo, hi, l.step, pe, self.cfg.n_pes),
+            };
+            if let Some(r) = range {
+                self.run_doall_range(pe, l, r.lo, r.hi, per_iter, cb);
+            }
+        }
+    }
+
+    /// Shard a static DOALL's PE blocks across `SimOptions::sim_threads`
+    /// workers. Returns `false` — leaving the master state untouched, so
+    /// the caller reruns the epoch serially — when this run is ineligible
+    /// or when the optimistic parallel run detected a cross-block memory
+    /// dependence.
+    ///
+    /// Soundness (full argument in DESIGN §15): each worker simulates one
+    /// contiguous PE block, in PE order, on a clone of the pre-epoch state
+    /// — exactly the serial schedule restricted to its block. The merge is
+    /// byte-identical to the serial run unless some earlier block *wrote* a
+    /// cache line a later block *touched* (the later block should have seen
+    /// that write; it saw the snapshot instead). That is precisely the
+    /// conflict predicate checked below; on a hit, all worker state is
+    /// discarded and the serial path re-executes from the untouched master
+    /// state, so the fallback is exact, deterministic, and repeatable.
+    fn exec_doall_static_sharded(&mut self, l: &'p Loop, lo: i64, hi: i64, per_iter: u64) -> bool {
+        // Hardware schemes (MESI/Dragon) contend on a shared bus — PEs are
+        // not independent between barriers — and budgeted runs need a
+        // globally ordered step counter for reproducible aborts: both keep
+        // the serial path. So does the tree walker, whose purpose is to be
+        // the plain reference implementation.
+        if self.opts.sim_threads <= 1
+            || self.treewalk
+            || self.budgeted
+            || self.cfg.n_pes < 2
+            || matches!(self.scheme, Scheme::Mesi | Scheme::Dragon)
+        {
+            return false;
+        }
+        let n = self.cfg.n_pes;
+        let t = self.opts.sim_threads.min(n);
+        let mut seeds = Vec::with_capacity(t);
+        for b in 0..t {
+            let lo_pe = b * n / t;
+            let hi_pe = (b + 1) * n / t;
+            let pes = (0..n)
+                .map(|i| {
+                    if (lo_pe..hi_pe).contains(&i) {
+                        self.pes[i].clone()
+                    } else {
+                        Pe::placeholder(i)
+                    }
+                })
+                .collect();
+            seeds.push(BlockSeed {
+                program: self.program,
+                l,
+                lo,
+                hi,
+                per_iter,
+                layout: self.layout.clone(),
+                cfg: self.cfg.clone(),
+                scheme: self.scheme.clone(),
+                opts: self.opts,
+                mem: self.mem.clone(),
+                pes,
+                env: self.env.clone(),
+                phase: self.phase,
+                faults: self.faults.clone(),
+                loop_headers: self.loop_headers.clone(),
+                ref_index: self.ref_index.clone(),
+                flops: self.flops.clone(),
+                craft_cost: self.craft_cost.clone(),
+                cur_epoch_id: self.cur_epoch_id,
+                trace_on: self.trace.enabled(),
+                lo_pe,
+                hi_pe,
+            });
+        }
+        let mut outs: Vec<BlockOut> = Vec::with_capacity(t);
+        std::thread::scope(|s| {
+            let mut seeds = seeds.into_iter();
+            let first = seeds.next().expect("at least one block");
+            let handles: Vec<_> = seeds.map(|seed| s.spawn(move || run_block(seed))).collect();
+            // The master thread simulates block 0 itself instead of idling.
+            outs.push(run_block(first));
+            for h in handles {
+                outs.push(h.join().expect("shard worker panicked"));
+            }
+        });
+        // Conflict predicate: an earlier block wrote a line a later block
+        // touched. (The other direction is fine — serially the later block
+        // runs after the earlier one, and it saw the same pre-write data.)
+        let mut written: HashSet<u64> = HashSet::new();
+        for out in &outs {
+            if out.touched_lines.iter().any(|la| written.contains(la)) {
+                return false;
+            }
+            written.extend(out.written_lines.iter().copied());
+        }
+        // Merge, in block order. Per-word final states are disjoint across
+        // blocks (the conflict check just proved it), so everything below
+        // is order-independent per address and deterministic.
+        for out in outs.iter_mut() {
+            for pe in out.lo_pe..out.hi_pe {
+                std::mem::swap(&mut self.pes[pe], &mut out.pes[pe]);
+                self.mem.swap_private_space(&mut out.mem, pe);
+                if let (Some(mf), Some(wf)) = (self.faults.as_mut(), out.faults.as_ref()) {
+                    mf.absorb_pe(wf, pe);
+                }
+                if let Some(slot) = self.cur_epoch {
+                    self.epochs[slot].per_pe[pe].add(&out.epoch.per_pe[pe]);
+                }
+            }
+            for &addr in &out.written_addrs {
+                let (v, ver) = out.mem.read_shared(addr);
+                self.mem.set_shared(addr, v, ver);
+            }
+            self.oracle.stale_reads += out.oracle.stale_reads;
+            self.oracle.examples.append(&mut out.oracle.examples);
+            for ev in out.trace.iter() {
+                self.trace.record(*ev);
+            }
+            self.steps += out.steps;
+        }
+        // Each worker capped its own example list, so the concatenation's
+        // prefix is exactly what the serial run would have recorded.
+        self.oracle.examples.truncate(self.opts.oracle_examples);
+        // Deferred owner-cache patches: a write whose owning PE lives in
+        // another block updates that owner's (now merged-back) cache with
+        // the word's final state. `update_word` is a residency-checked
+        // no-op, and any interleaving that could make final-state patching
+        // diverge from the serial patch sequence implies the owner's block
+        // touched the written line — already rejected above.
+        for out in &outs {
+            for &addr in &out.written_addrs {
+                let owner = self.mem.owner(addr);
+                if !(out.lo_pe..out.hi_pe).contains(&owner) {
+                    let (v, ver) = out.mem.read_shared(addr);
+                    self.pes[owner].cache.update_word(addr, v, ver);
+                }
+            }
+        }
+        true
     }
 
     /// One PE's contiguous slice of a DOALL's iterations (a static range or
@@ -582,17 +933,19 @@ impl<'p> Simulator<'p> {
             self.charge_saturating(pe, CycleCategory::CacheHit, t.saturating_mul(b.reads), self.cfg.cache_hit);
             self.charge_saturating(pe, CycleCategory::WriteLocal, t.saturating_mul(b.writes), self.cfg.write_local);
             self.charge_saturating(pe, CycleCategory::FpWork, t, b.fp);
-            let mut v = lo;
-            while v <= hi {
-                if !self.tick(pe) {
-                    break;
+            if !self.exec_batch_sweep(pe, l, lo, trip, body, &mut frame) {
+                let mut v = lo;
+                while v <= hi {
+                    if !self.tick(pe) {
+                        break;
+                    }
+                    self.env.set(l.var, v);
+                    self.exec_cstmts_values_only(pe, body, &frame);
+                    for st in frame.iter_mut() {
+                        st.off += st.doff;
+                    }
+                    v += l.step;
                 }
-                self.env.set(l.var, v);
-                self.exec_cstmts_values_only(pe, body, &frame);
-                for st in frame.iter_mut() {
-                    st.off += st.doff;
-                }
-                v += l.step;
             }
         } else {
             let mut v = lo;
@@ -772,17 +1125,19 @@ impl<'p> Simulator<'p> {
                 self.charge_saturating(pe, CycleCategory::CacheHit, t.saturating_mul(b.reads), self.cfg.cache_hit);
                 self.charge_saturating(pe, CycleCategory::WriteLocal, t.saturating_mul(b.writes), self.cfg.write_local);
                 self.charge_saturating(pe, CycleCategory::FpWork, t, b.fp);
-                let mut v = lo;
-                while v <= hi {
-                    if !self.tick(pe) {
-                        break;
+                if !self.exec_batch_sweep(pe, l, lo, trip, body, &mut frame) {
+                    let mut v = lo;
+                    while v <= hi {
+                        if !self.tick(pe) {
+                            break;
+                        }
+                        self.env.set(l.var, v);
+                        self.exec_cstmts_values_only(pe, body, &frame);
+                        for st in frame.iter_mut() {
+                            st.off += st.doff;
+                        }
+                        v += l.step;
                     }
-                    self.env.set(l.var, v);
-                    self.exec_cstmts_values_only(pe, body, &frame);
-                    for st in frame.iter_mut() {
-                        st.off += st.doff;
-                    }
-                    v += l.step;
                 }
             }
             _ => {
@@ -853,6 +1208,23 @@ impl<'p> Simulator<'p> {
         }
     }
 
+    /// One compiled read: resolve the address, dispatch on the pre-resolved
+    /// [`AccessKind`].
+    #[inline]
+    fn cread(&mut self, pe: usize, r: &CRead, slots: &[SlotSpec<'p>], frame: &[SlotState]) -> f64 {
+        let addr = self.caddr(r.base, r.slot, slots, frame);
+        match r.kind {
+            AccessKind::Private => {
+                self.charge(pe, CycleCategory::CacheHit, self.cfg.cache_hit);
+                self.mem.read_private(pe, addr)
+            }
+            AccessKind::Base { craft } => self.base_read(pe, r.rid, addr, craft),
+            AccessKind::Cached(h) => self.cached_read(pe, r.rid, addr, h),
+            AccessKind::Bypass => self.bypass_read(pe, addr),
+            AccessKind::Hardware => self.backend_read(pe, r.rid, addr, 0),
+        }
+    }
+
     fn exec_cassign(
         &mut self,
         pe: usize,
@@ -860,24 +1232,26 @@ impl<'p> Simulator<'p> {
         slots: &[SlotSpec<'p>],
         frame: &[SlotState],
     ) {
-        let mut vals = std::mem::take(&mut self.pes[pe].scratch);
-        vals.clear();
-        for r in &a.reads {
-            let addr = self.caddr(r.base, r.slot, slots, frame);
-            let v = match r.kind {
-                AccessKind::Private => {
-                    self.charge(pe, CycleCategory::CacheHit, self.cfg.cache_hit);
-                    self.mem.read_private(pe, addr)
-                }
-                AccessKind::Base { craft } => self.base_read(pe, r.rid, addr, craft),
-                AccessKind::Cached(h) => self.cached_read(pe, r.rid, addr, h),
-                AccessKind::Bypass => self.bypass_read(pe, addr),
-                AccessKind::Hardware => self.backend_read(pe, r.rid, addr, 0),
-            };
-            vals.push(v);
-        }
-        let v = a.expr.eval(&vals, &self.env);
-        self.pes[pe].scratch = vals;
+        let n = a.reads.len();
+        let v = if n <= READ_BUF {
+            // Loaded values live in a fixed stack buffer — no PE scratch
+            // vector traffic on the hot path.
+            let mut buf = [0.0f64; READ_BUF];
+            for (dst, r) in buf.iter_mut().zip(&a.reads) {
+                *dst = self.cread(pe, r, slots, frame);
+            }
+            a.expr.eval(&buf[..n], &self.env)
+        } else {
+            let mut vals = std::mem::take(&mut self.pes[pe].scratch);
+            vals.clear();
+            for r in &a.reads {
+                let v = self.cread(pe, r, slots, frame);
+                vals.push(v);
+            }
+            let v = a.expr.eval(&vals, &self.env);
+            self.pes[pe].scratch = vals;
+            v
+        };
         let addr = self.caddr(a.write.base, a.write.slot, slots, frame);
         if a.write.shared {
             self.backend_write(pe, addr, a.write.craft, v);
@@ -900,17 +1274,110 @@ impl<'p> Simulator<'p> {
             let CStmt::Assign(a) = s else {
                 unreachable!("batched bodies are straight-line assignments")
             };
-            let mut vals = std::mem::take(&mut self.pes[pe].scratch);
-            vals.clear();
-            for r in &a.reads {
-                let addr = self.caddr(r.base, r.slot, &body.slots, frame);
-                vals.push(self.mem.read_private(pe, addr));
-            }
-            let v = a.expr.eval(&vals, &self.env);
-            self.pes[pe].scratch = vals;
+            let n = a.reads.len();
+            let v = if n <= READ_BUF {
+                let mut buf = [0.0f64; READ_BUF];
+                for (dst, r) in buf.iter_mut().zip(&a.reads) {
+                    let addr = self.caddr(r.base, r.slot, &body.slots, frame);
+                    *dst = self.mem.read_private(pe, addr);
+                }
+                a.expr.eval(&buf[..n], &self.env)
+            } else {
+                let mut vals = std::mem::take(&mut self.pes[pe].scratch);
+                vals.clear();
+                for r in &a.reads {
+                    let addr = self.caddr(r.base, r.slot, &body.slots, frame);
+                    vals.push(self.mem.read_private(pe, addr));
+                }
+                let v = a.expr.eval(&vals, &self.env);
+                self.pes[pe].scratch = vals;
+                v
+            };
             let addr = self.caddr(a.write.base, a.write.slot, &body.slots, frame);
             self.mem.write_private(pe, addr, v);
         }
+    }
+
+    /// One iteration of a batched body with every slot recurrence on the
+    /// fast path: addresses are `base + off` directly — no slow-path
+    /// branch, no environment reads outside the expression itself.
+    #[inline]
+    fn exec_values_fast(&mut self, pe: usize, body: &CompiledBody<'p>, frame: &[SlotState]) {
+        for s in &body.stmts {
+            let CStmt::Assign(a) = s else {
+                unreachable!("batched bodies are straight-line assignments")
+            };
+            let mut buf = [0.0f64; READ_BUF];
+            for (dst, r) in buf.iter_mut().zip(&a.reads) {
+                let addr = r.base + frame[r.slot as usize].off as usize;
+                *dst = self.mem.read_private(pe, addr);
+            }
+            let v = a.expr.eval(&buf[..a.reads.len()], &self.env);
+            let addr = a.write.base + frame[a.write.slot as usize].off as usize;
+            self.mem.write_private(pe, addr, v);
+        }
+    }
+
+    /// Direct-threaded sweep of a batched body over its whole iteration
+    /// range. Eligible when no budget needs a per-step check, every slot
+    /// recurrence took the fast path, and every statement's reads fit the
+    /// stack buffer; returns `false` (and executes nothing) otherwise, and
+    /// the caller runs the per-iteration loop.
+    ///
+    /// The sweep hoists the per-iteration `tick` into one `steps += trip`
+    /// (exact: with no budget, `tick` is just that counter), maintains the
+    /// loop variable only when an expression actually reads its value, and
+    /// otherwise runs iterations in fixed-width chunks whose inner loop
+    /// carries only the offset recurrences — the compiler can unroll it.
+    fn exec_batch_sweep(
+        &mut self,
+        pe: usize,
+        l: &'p Loop,
+        lo: i64,
+        trip: i64,
+        body: &CompiledBody<'p>,
+        frame: &mut [SlotState],
+    ) -> bool {
+        const CHUNK: i64 = 8;
+        if self.budgeted
+            || frame.iter().any(|st| !st.fast)
+            || body
+                .stmts
+                .iter()
+                .any(|s| matches!(s, CStmt::Assign(a) if a.reads.len() > READ_BUF))
+        {
+            return false;
+        }
+        self.steps += trip as u64;
+        if body.uses_loop_var {
+            let mut v = lo;
+            for _ in 0..trip {
+                self.env.set(l.var, v);
+                self.exec_values_fast(pe, body, frame);
+                for st in frame.iter_mut() {
+                    st.off += st.doff;
+                }
+                v += l.step;
+            }
+            return true;
+        }
+        let mut left = trip;
+        while left >= CHUNK {
+            for _ in 0..CHUNK {
+                self.exec_values_fast(pe, body, frame);
+                for st in frame.iter_mut() {
+                    st.off += st.doff;
+                }
+            }
+            left -= CHUNK;
+        }
+        for _ in 0..left {
+            self.exec_values_fast(pe, body, frame);
+            for st in frame.iter_mut() {
+                st.off += st.doff;
+            }
+        }
+        true
     }
 
     fn exec_assign(&mut self, pe: usize, a: &'p Assign) {
@@ -968,6 +1435,7 @@ impl<'p> Simulator<'p> {
     /// BASE-scheme shared read. `craft` is the array's CRAFT local-access
     /// overhead. Shared by the tree walker and the compiled trace.
     pub(crate) fn base_read(&mut self, pe: usize, rid: RefId, addr: usize, craft: u64) -> f64 {
+        self.shard_touch(addr);
         let local = self.mem.owner(addr) == pe;
         if local {
             // The T3D caches all local memory; CRAFT pays only the
@@ -990,6 +1458,7 @@ impl<'p> Simulator<'p> {
     /// CCDP `Bypass` read: always reads main memory, never the cache.
     /// Shared by the tree walker and the compiled trace.
     pub(crate) fn bypass_read(&mut self, pe: usize, addr: usize) -> f64 {
+        self.shard_touch(addr);
         let local = self.mem.owner(addr) == pe;
         let lat = if local { self.cfg.local_uncached } else { self.cfg.remote_uncached };
         self.charge(pe, CycleCategory::BypassRead, lat);
@@ -1001,6 +1470,10 @@ impl<'p> Simulator<'p> {
     }
 
     pub(crate) fn cached_read(&mut self, pe: usize, rid: RefId, addr: usize, h: Handling) -> f64 {
+        // Touched even on a cache hit: the hit path's oracle check reads
+        // the word's *current* memory version, so a hit on a line another
+        // block is writing is a real cross-block interaction.
+        self.shard_touch(addr);
         let phase = self.phase;
         if h == Handling::Fresh {
             self.pes[pe].stats.fresh_reads += 1;
@@ -1234,6 +1707,7 @@ impl<'p> Simulator<'p> {
     /// overhead (consulted only under the BASE scheme). Shared by the tree
     /// walker and the compiled trace.
     pub(crate) fn write_shared_addr(&mut self, pe: usize, addr: usize, craft_local: u64, v: f64) {
+        self.shard_note_write(addr);
         let owner = self.mem.owner(addr);
         let local = owner == pe;
         let ver = self.mem.write_shared(addr, v);
@@ -1271,7 +1745,12 @@ impl<'p> Simulator<'p> {
         if !matches!(self.scheme, Scheme::Base) || local {
             self.pes[pe].cache.update_word(addr, v, ver);
         }
-        self.pes[owner].cache.update_word(addr, v, ver);
+        if self.shard.as_ref().is_some_and(|s| !s.contains(owner)) {
+            // The owner runs in another shard block; its cache is patched
+            // with the word's final state at the merge barrier.
+        } else {
+            self.pes[owner].cache.update_word(addr, v, ver);
+        }
     }
 
     // -- prefetch operations ----------------------------------------------
@@ -1340,6 +1819,7 @@ impl<'p> Simulator<'p> {
             self.trace_event(pe, TraceEventKind::PrefetchDropped, addr);
             return;
         }
+        self.shard_touch(addr);
         let line_base = self.pes[pe].cache.line_base(addr);
         let shared_words = self.mem.shared_words();
         {
@@ -1507,6 +1987,7 @@ impl<'p> Simulator<'p> {
         );
         for &la in &line_addrs {
             let line_base = la * lw;
+            self.shard_touch(line_base);
             let mem = &self.mem;
             let words_iter = (0..lw).map(|k| {
                 let a = line_base + k;

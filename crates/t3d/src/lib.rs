@@ -56,7 +56,11 @@
 
 mod cache;
 pub mod coherence;
-mod compiled;
+/// Loop-body pre-compilation. Hidden from the public API surface: only
+/// [`compiled::CExpr`] is exported, so the `dispatch` microbench can pit
+/// the direct-threaded evaluator against the postfix stack machine.
+#[doc(hidden)]
+pub mod compiled;
 mod config;
 pub mod faults;
 mod interp;

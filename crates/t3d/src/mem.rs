@@ -110,6 +110,24 @@ impl Memory {
         self.shared_versions[addr]
     }
 
+    /// Force one shared word to an explicit (value, version) pair. Used by
+    /// the epoch-shard merge to copy a worker's final state for the words
+    /// that worker wrote; never part of the simulated machine's own
+    /// write path (which is [`Memory::write_shared`]).
+    #[inline]
+    pub(crate) fn set_shared(&mut self, addr: usize, v: f64, ver: u32) {
+        self.shared_values[addr] = v;
+        self.shared_versions[addr] = ver;
+    }
+
+    /// Swap one PE's entire private space with `other`'s (O(1) pointer
+    /// swap). The epoch-shard merge uses this to adopt a worker's private
+    /// state for the PEs that worker simulated.
+    #[inline]
+    pub(crate) fn swap_private_space(&mut self, other: &mut Memory, pe: usize) {
+        std::mem::swap(&mut self.private_values[pe], &mut other.private_values[pe]);
+    }
+
     #[inline]
     pub fn read_private(&self, pe: usize, addr: usize) -> f64 {
         self.private_values[pe][addr]

@@ -1,0 +1,180 @@
+//! Byte-identity of the epoch-sharded parallel path (`SimOptions::
+//! sim_threads` / `CCDP_SIM_THREADS`) against the serial compiled trace and
+//! the reference tree walker: cycles, per-PE totals, epoch attribution,
+//! prefetch quality, oracle verdicts, fault stats, event traces, and the
+//! final memory image must all be identical — the parallel path is an
+//! implementation detail of the simulator, never an approximation.
+//!
+//! Coverage: all four paper kernels × the paper's PE counts × every
+//! `Scheme::ALL` member (hardware schemes take the serial path by design
+//! and must be unaffected by the knob) × seeded fault plans × traced runs,
+//! plus a determinism check that repeated parallel runs and different
+//! worker counts all produce the same bytes.
+
+use ccdp_bench::{cell_config, paper_kernels, Scale, PAPER_PES};
+use ccdp_core::{PipelineConfig, Scheme};
+use ccdp_ir::Program;
+use ccdp_json::ToJson;
+use t3d_sim::{FaultPlan, SimResult};
+
+fn with_threads(cfg: &PipelineConfig, t: usize) -> PipelineConfig {
+    let mut c = cfg.clone();
+    c.sim.sim_threads = t;
+    c
+}
+
+fn with_treewalk(cfg: &PipelineConfig) -> PipelineConfig {
+    let mut c = cfg.clone();
+    c.sim.force_treewalk = true;
+    c
+}
+
+/// Full-result identity: the serialized report (cycles, per-PE/per-epoch
+/// breakdowns, prefetch quality, oracle, fault stats, event trace) plus the
+/// bit pattern of every shared array.
+fn assert_identical(program: &Program, a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(
+        a.to_json().to_pretty(),
+        b.to_json().to_pretty(),
+        "parallel vs serial result mismatch: {what}"
+    );
+    for arr in &program.arrays {
+        if !a.memory.is_shared(arr.id) {
+            continue;
+        }
+        let ab: Vec<u64> =
+            a.memory.array_values(program, arr.id).iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> =
+            b.memory.array_values(program, arr.id).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "memory mismatch in {} ({what})", arr.name);
+    }
+}
+
+/// Run one scheme at `threads` workers and compare against the serial
+/// compiled run and the tree walker.
+fn check_scheme(program: &Program, cfg: &PipelineConfig, scheme: Scheme, threads: usize, what: &str) {
+    let par = with_threads(cfg, threads).run(program, scheme).expect("parallel run");
+    let ser = with_threads(cfg, 0).run(program, scheme).expect("serial run");
+    let tw = with_treewalk(cfg).run(program, scheme).expect("treewalk run");
+    // CCDP/INV transform the program; compare memory through the program
+    // the run actually executed.
+    let prog = par.artifacts.as_ref().map_or(program, |a| &a.transformed);
+    assert_identical(prog, &par.result, &ser.result, &format!("{what} {scheme:?} par-vs-serial"));
+    assert_identical(prog, &par.result, &tw.result, &format!("{what} {scheme:?} par-vs-treewalk"));
+}
+
+/// The acceptance sweep: every scheme on all four kernels across the
+/// paper's PE counts, 4 workers.
+#[test]
+fn all_schemes_identical_at_every_pe_count() {
+    for k in &paper_kernels(Scale::Quick) {
+        for &n in &PAPER_PES {
+            let cfg = cell_config(k, n);
+            for scheme in Scheme::ALL {
+                check_scheme(&k.program, &cfg, scheme, 4, &format!("{} pes={n}", k.name));
+            }
+        }
+    }
+}
+
+/// Worker-count sweep: any thread count — including more workers than PEs
+/// and odd counts that split blocks unevenly — produces the same bytes.
+#[test]
+fn any_worker_count_identical() {
+    let kernels = paper_kernels(Scale::Quick);
+    let k = &kernels[0];
+    let cfg = cell_config(k, 8);
+    for t in [2, 3, 5, 8, 16] {
+        check_scheme(&k.program, &cfg, Scheme::Ccdp, t, &format!("{} pes=8 t={t}", k.name));
+    }
+}
+
+/// Fault injection exercises the per-PE RNG-stream splicing of the merge:
+/// drops, latency spikes, storms, and evictions must land on exactly the
+/// same accesses as in the serial run.
+#[test]
+fn faulted_runs_identical() {
+    let plans = [
+        FaultPlan { seed: 7, drop_rate: 0.3, delay_rate: 0.2, delay_mult: 4, ..FaultPlan::none() },
+        FaultPlan {
+            seed: 11,
+            queue_cap: Some(4),
+            storm_rate: 0.2,
+            storm_len: 3,
+            evict_rate: 0.25,
+            ..FaultPlan::none()
+        },
+    ];
+    let kernels = paper_kernels(Scale::Quick);
+    for plan in plans {
+        for (k, n) in [(&kernels[0], 8usize), (&kernels[2], 4)] {
+            let mut cfg = cell_config(k, n);
+            cfg.sim.faults = plan;
+            for scheme in [Scheme::Base, Scheme::Ccdp, Scheme::InvalidateOnly] {
+                check_scheme(
+                    &k.program,
+                    &cfg,
+                    scheme,
+                    4,
+                    &format!("{} pes={n} faults seed={}", k.name, plan.seed),
+                );
+            }
+        }
+    }
+}
+
+/// Event traces are part of the identity contract: the merge replays each
+/// block's events in block order into the master ring, reproducing the
+/// serial stream including ring wrap-around.
+#[test]
+fn traced_runs_identical() {
+    let kernels = paper_kernels(Scale::Quick);
+    let k = &kernels[1]; // VPENTA: serial + DOALL mix.
+    let mut cfg = cell_config(k, 8);
+    cfg.sim.trace_capacity = 4096;
+    for scheme in Scheme::ALL {
+        check_scheme(&k.program, &cfg, scheme, 4, "VPENTA pes=8 traced");
+    }
+}
+
+/// Determinism under repetition: worker interleaving varies from run to
+/// run, but the merged result must not — two parallel runs of the same cell
+/// serialize to the same bytes.
+#[test]
+fn repeated_parallel_runs_are_deterministic() {
+    let kernels = paper_kernels(Scale::Quick);
+    for (k, scheme) in [(&kernels[0], Scheme::Ccdp), (&kernels[3], Scheme::Base)] {
+        let mut cfg = cell_config(k, 8);
+        cfg.sim.faults = FaultPlan::none().with_seed(5).with_drop_rate(0.2);
+        cfg.sim.trace_capacity = 1024;
+        let cfg = with_threads(&cfg, 4);
+        let a = cfg.run(&k.program, scheme).expect("first parallel run");
+        let b = cfg.run(&k.program, scheme).expect("second parallel run");
+        let prog = a.artifacts.as_ref().map_or(&k.program, |x| &x.transformed);
+        assert_identical(prog, &a.result, &b.result, &format!("{} repeat {scheme:?}", k.name));
+    }
+}
+
+/// Budgeted runs always take the serial path — the knob must not change
+/// budget-abort behaviour or results.
+#[test]
+fn budgeted_runs_ignore_the_knob() {
+    let kernels = paper_kernels(Scale::Quick);
+    let k = &kernels[0];
+    let mut cfg = cell_config(k, 8);
+    cfg.sim.step_budget = Some(10_000);
+    let ser = with_threads(&cfg, 0).run(&k.program, Scheme::Ccdp);
+    let par = with_threads(&cfg, 4).run(&k.program, Scheme::Ccdp);
+    match (ser, par) {
+        (Ok(s), Ok(p)) => {
+            let prog = s.artifacts.as_ref().map_or(&k.program, |a| &a.transformed);
+            assert_identical(prog, &s.result, &p.result, "budgeted");
+        }
+        (Err(se), Err(pe)) => assert_eq!(format!("{se}"), format!("{pe}"), "budgeted abort"),
+        (s, p) => panic!(
+            "budgeted outcomes diverge: serial ok={} parallel ok={}",
+            s.is_ok(),
+            p.is_ok()
+        ),
+    }
+}
