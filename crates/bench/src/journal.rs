@@ -93,8 +93,21 @@ pub struct Entry {
 /// worker threads); each line is fsynced (`sync_data`) before `append`
 /// returns, so a kill — or a whole host power loss — can tear at most the
 /// line being written, and every line the journal acknowledged is durable.
+///
+/// The journal tracks its on-disk size so owners can bound growth:
+/// [`Journal::bytes`] after each append, [`Journal::lines`] to read the
+/// current complete entries back, and [`Journal::rewrite`] to atomically
+/// replace the file with a compacted form (temp file + rename + directory
+/// fsync — crash-safe at any instant: a kill mid-compaction leaves either
+/// the old complete journal or the new complete journal, never a mix).
 pub struct Journal {
-    file: Mutex<fs::File>,
+    inner: Mutex<JournalFile>,
+}
+
+struct JournalFile {
+    file: fs::File,
+    path: std::path::PathBuf,
+    bytes: u64,
 }
 
 /// Best-effort fsync of a directory, making a just-created or just-renamed
@@ -122,7 +135,10 @@ impl Journal {
         writeln!(file, "{header}")?;
         file.sync_data()?;
         sync_dir(path.parent());
-        Ok(Journal { file: Mutex::new(file) })
+        let bytes = header.len() as u64 + 1;
+        Ok(Journal {
+            inner: Mutex::new(JournalFile { file, path: path.to_path_buf(), bytes }),
+        })
     }
 
     /// Resume from `path`: if the file exists and its header matches, the
@@ -174,9 +190,15 @@ impl Journal {
         }
         // write_atomic syncs the rewritten file and the directory entry, so
         // the compacted journal is durable before we append to it.
+        let bytes = compact.len() as u64;
         ccdp_json::write_atomic(path, &compact)?;
         let file = fs::OpenOptions::new().append(true).open(path)?;
-        Ok((Journal { file: Mutex::new(file) }, entries))
+        Ok((
+            Journal {
+                inner: Mutex::new(JournalFile { file, path: path.to_path_buf(), bytes }),
+            },
+            entries,
+        ))
     }
 
     /// Resume a grid-cell journal (see [`Journal::resume_lines`]).
@@ -194,9 +216,49 @@ impl Journal {
     /// returning — once this returns `Ok`, the line survives `kill -9` and
     /// power loss.
     pub fn append_line(&self, line: &str) -> std::io::Result<()> {
-        let mut f = self.file.lock().expect("journal file lock");
-        writeln!(f, "{line}")?;
-        f.sync_data()
+        let mut j = self.inner.lock().expect("journal file lock");
+        writeln!(j.file, "{line}")?;
+        j.file.sync_data()?;
+        j.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Current on-disk size in bytes (header + every acknowledged line).
+    pub fn bytes(&self) -> u64 {
+        self.inner.lock().expect("journal file lock").bytes
+    }
+
+    /// Read the complete entry lines currently on disk (everything after
+    /// the header), under the append lock. Used by owners to compute a
+    /// compacted rewrite.
+    pub fn lines(&self) -> std::io::Result<Vec<String>> {
+        let j = self.inner.lock().expect("journal file lock");
+        let text = fs::read_to_string(&j.path)?;
+        Ok(text.lines().skip(1).map(str::to_string).collect())
+    }
+
+    /// Atomically replace the journal with `header` + `lines` and reopen
+    /// for append. Crash-safe mid-compaction: the new content is written to
+    /// a temp file, fsynced, renamed over the old journal, and the parent
+    /// directory is fsynced — at every instant the path holds one complete,
+    /// parseable journal.
+    pub fn rewrite(&self, header: &str, lines: &[String]) -> std::io::Result<()> {
+        let mut j = self.inner.lock().expect("journal file lock");
+        let mut text = String::with_capacity(
+            header.len() + 1 + lines.iter().map(|l| l.len() + 1).sum::<usize>(),
+        );
+        text.push_str(header);
+        text.push('\n');
+        for line in lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        ccdp_json::write_atomic(&j.path, &text)?;
+        // The old handle points at the unlinked pre-compaction inode;
+        // re-open so appends land in the live file.
+        j.file = fs::OpenOptions::new().append(true).open(&j.path)?;
+        j.bytes = text.len() as u64;
+        Ok(())
     }
 
     /// Checkpoint one completed cell. Errors are surfaced to the caller —
@@ -407,6 +469,36 @@ mod unit {
         drop(j);
         let (_j, lines) = Journal::resume_lines(&path, header, is_job).unwrap();
         assert_eq!(lines.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rewrite_compacts_atomically_and_stays_appendable() {
+        let dir = std::env::temp_dir().join(format!("ccdp-rewrite-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let header = r#"{"kind":"header","tool":"t","schema":1}"#;
+        let j = Journal::create(&path, header).unwrap();
+        assert_eq!(j.bytes(), header.len() as u64 + 1);
+        for i in 0..8 {
+            j.append_line(&format!(r#"{{"kind":"x","i":{i}}}"#)).unwrap();
+        }
+        let before = j.bytes();
+        assert_eq!(before, fs::metadata(&path).unwrap().len(), "bytes tracks disk");
+        assert_eq!(j.lines().unwrap().len(), 8);
+        // Compact to the last two lines.
+        let keep: Vec<String> = j.lines().unwrap().into_iter().skip(6).collect();
+        j.rewrite(header, &keep).unwrap();
+        assert!(j.bytes() < before);
+        assert_eq!(j.bytes(), fs::metadata(&path).unwrap().len());
+        // Appends after a rewrite land in the live (renamed-over) file.
+        j.append_line(r#"{"kind":"x","i":99}"#).unwrap();
+        drop(j);
+        let text = fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 kept + 1 appended
+        assert_eq!(lines[0], header);
+        assert!(lines[3].contains("99"));
         fs::remove_dir_all(&dir).ok();
     }
 

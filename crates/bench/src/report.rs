@@ -52,7 +52,13 @@ use crate::{BenchKernel, GridTiming, Scale};
 /// re-timed at several `sim_threads` values with `speedup_vs_1` per point.
 /// Documents missing `perf.sim_threads` (v7 and older) read as 1 (the
 /// serial engine, the only one that existed).
-pub const SCHEMA_VERSION: u32 = 8;
+/// v9: the `chaos` bin (ccdp-serve) merges a `supervision` subsection into
+/// the `service` section — crash-recovery soak results for the supervised
+/// multi-process ccdpd: worker/supervisor kill counts, restarts,
+/// redispatches, orphan replays, breaker trips, recovery-latency p50/p99,
+/// and the byte-identity verdict. Additive within `service`; v8 consumers
+/// read v9 documents unchanged.
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// How the committed report document read out as a perf-gate baseline.
 /// Produced by [`perf_baseline`]; the `perf_gate` bin turns these into
@@ -332,9 +338,9 @@ mod unit {
         );
 
         // Newer-than-us must be a hard signal, not a silent comparison.
-        let v9 = ccdp_json::parse(r#"{"schema_version": 9, "perf": {"wall_seconds": 1.0}}"#)
+        let v10 = ccdp_json::parse(r#"{"schema_version": 10, "perf": {"wall_seconds": 1.0}}"#)
             .unwrap();
-        assert_eq!(perf_baseline(&v9), Baseline::NewerSchema(9));
+        assert_eq!(perf_baseline(&v10), Baseline::NewerSchema(10));
 
         // Service-only documents (no perf timing) skip, not error.
         let no_perf =
@@ -358,7 +364,7 @@ mod unit {
         ];
         let j =
             report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, Some(&timing));
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(8));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(9));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let schemes_json = j.get("schemes").unwrap().items();
@@ -426,7 +432,7 @@ mod unit {
         assert_eq!(cell0.get("sim_cycles").and_then(Json::as_u64), Some(sum));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(8));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(9));
         // Omitting timing omits the section (ablation callers).
         let j2 = report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, None);
         assert!(j2.get("perf").is_none());

@@ -10,6 +10,8 @@
 //! | `CCDP_SCALE`            | benchmark problem size: `quick` (default) or `paper` |
 //! | `CCDP_BENCH_QUICK`      | `1` shrinks the vendored-criterion measurement budget |
 //! | `CCDP_PERF_GATE_FACTOR` | allowed slowdown factor for the CI perf gate   |
+//! | `CCDP_SERVE_WORKERS`    | default worker-process count for ccdpd         |
+//! | `CCDP_COMPACT_BYTES`    | journal compaction threshold for ccdpd (0 = off) |
 //!
 //! Historically each consumer read its variable ad hoc (the simulator read
 //! `CCDP_FORCE_TREEWALK` directly, each bench bin parsed `CCDP_SEED` /
@@ -58,6 +60,12 @@ pub struct EnvOverrides {
     /// performance-regression gate. `None` when unset (the gate picks its
     /// default).
     pub perf_gate_factor: Option<f64>,
+    /// `CCDP_SERVE_WORKERS=<n>`: default worker-process count for the
+    /// ccdpd supervisor (`--workers` still wins). `None` when unset.
+    pub serve_workers: Option<usize>,
+    /// `CCDP_COMPACT_BYTES=<n>`: per-slot journal compaction threshold in
+    /// bytes for ccdpd; `0` disables compaction. `None` when unset.
+    pub compact_bytes: Option<u64>,
 }
 
 impl EnvOverrides {
@@ -118,6 +126,22 @@ impl EnvOverrides {
             }
             o.perf_gate_factor = Some(f);
         }
+        if let Ok(v) = std::env::var("CCDP_SERVE_WORKERS") {
+            let n = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    bad_env("CCDP_SERVE_WORKERS", v, "expected a positive integer")
+                })?;
+            o.serve_workers = Some(n);
+        }
+        if let Ok(v) = std::env::var("CCDP_COMPACT_BYTES") {
+            o.compact_bytes = Some(
+                v.parse::<u64>()
+                    .map_err(|_| bad_env("CCDP_COMPACT_BYTES", v, "expected a u64"))?,
+            );
+        }
         Ok(o)
     }
 
@@ -171,13 +195,15 @@ mod unit {
         out
     }
 
-    const ALL_UNSET: [(&str, Option<&str>); 6] = [
+    const ALL_UNSET: [(&str, Option<&str>); 8] = [
         ("CCDP_FORCE_TREEWALK", None),
         ("CCDP_SIM_THREADS", None),
         ("CCDP_SEED", None),
         ("CCDP_SCALE", None),
         ("CCDP_BENCH_QUICK", None),
         ("CCDP_PERF_GATE_FACTOR", None),
+        ("CCDP_SERVE_WORKERS", None),
+        ("CCDP_COMPACT_BYTES", None),
     ];
 
     #[test]
@@ -190,6 +216,8 @@ mod unit {
         assert_eq!(o.scale, ScalePreset::Quick);
         assert!(!o.bench_quick);
         assert_eq!(o.perf_gate_factor, None);
+        assert_eq!(o.serve_workers, None);
+        assert_eq!(o.compact_bytes, None);
     }
 
     #[test]
@@ -202,6 +230,8 @@ mod unit {
                 ("CCDP_SCALE", Some("paper")),
                 ("CCDP_BENCH_QUICK", Some("1")),
                 ("CCDP_PERF_GATE_FACTOR", Some("1.5")),
+                ("CCDP_SERVE_WORKERS", Some("3")),
+                ("CCDP_COMPACT_BYTES", Some("65536")),
             ],
             EnvOverrides::from_env,
         )
@@ -212,6 +242,8 @@ mod unit {
         assert_eq!(o.scale, ScalePreset::Paper);
         assert!(o.bench_quick);
         assert_eq!(o.perf_gate_factor, Some(1.5));
+        assert_eq!(o.serve_workers, Some(3));
+        assert_eq!(o.compact_bytes, Some(65536));
     }
 
     #[test]
@@ -227,6 +259,9 @@ mod unit {
             ("CCDP_PERF_GATE_FACTOR", "lots"),
             ("CCDP_PERF_GATE_FACTOR", "-2"),
             ("CCDP_PERF_GATE_FACTOR", "0"),
+            ("CCDP_SERVE_WORKERS", "0"),
+            ("CCDP_SERVE_WORKERS", "two"),
+            ("CCDP_COMPACT_BYTES", "big"),
         ] {
             let mut vars = ALL_UNSET;
             for v in &mut vars {

@@ -82,6 +82,13 @@ impl Json {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Compact serialization.
     #[allow(clippy::inherent_to_string)]
     pub fn to_string(&self) -> String {

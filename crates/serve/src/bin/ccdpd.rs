@@ -1,25 +1,39 @@
-//! `ccdpd` — the CCDP job service daemon.
+//! `ccdpd` — the supervised CCDP job service daemon.
 //!
 //! ```text
-//! cargo run -p ccdp-serve --release --bin ccdpd -- --addr 127.0.0.1:7077
+//! cargo run -p ccdp-serve --release --bin ccdpd -- --addr 127.0.0.1:7077 \
+//!     --workers 4 --journal-dir results/ccdpd-journal --resume
 //! curl -s localhost:7077/healthz
+//! curl -s localhost:7077/readyz
 //! curl -s -X POST localhost:7077/jobs -d '{"program": "..."}'
 //! ```
 //!
+//! The process supervises `--workers N` isolated compute processes (it
+//! re-executes itself with `--worker`); a worker panic, `kill -9`, or OOM
+//! costs a re-dispatch, never the listener.
+//!
 //! Flags:
-//!   --addr A            bind address (default 127.0.0.1:7077; port 0 = pick)
-//!   --workers N         worker threads (default: min(cores, 8))
-//!   --queue-cap N       admission-control queue bound (default 128)
-//!   --max-body BYTES    request body cap (default 1 MiB)
-//!   --deadline-ms MS    default per-job deadline (default 10000)
-//!   --cache-cap N       cached responses kept (default 1024)
-//!   --journal PATH      enable crash-safe job journaling
-//!   --resume            resume/replay an existing journal (with --journal)
+//!   --addr A              bind address (default 127.0.0.1:7077; port 0 = pick)
+//!   --workers N           worker processes (default 2, or $CCDP_SERVE_WORKERS)
+//!   --threads N           connection-handler threads (default: min(cores, 8))
+//!   --queue-cap N         admission-control queue bound (default 128)
+//!   --max-body BYTES      request body cap (default 1 MiB)
+//!   --deadline-ms MS      default per-job deadline (default 10000)
+//!   --read-deadline-ms MS slow-client guard: full request within MS (default 5000)
+//!   --cache-cap N         cached responses kept (default 1024)
+//!   --journal-dir DIR     enable crash-safe journaling (one file per worker)
+//!   --resume              resume/replay an existing journal dir (with --journal-dir)
+//!   --compact-bytes N     per-slot journal compaction threshold
+//!                         (default 4 MiB, or $CCDP_COMPACT_BYTES; 0 = off)
+//!   --worker              internal: run as a worker child (stdin/stdout frames)
 //!
 //! SIGTERM/SIGINT drain gracefully: stop accepting, finish in-flight and
-//! queued work, exit 0. The single stdout line `ccdpd listening on <addr>`
-//! reports the bound address (parseable when binding port 0).
+//! queued work, retire the worker fleet, exit 0. Stdout carries one
+//! `ccdpd worker <slot> pid <pid>` line per (re)spawn and one
+//! `ccdpd listening on <addr>` line once the listener is up (parseable
+//! when binding port 0).
 
+use ccdp_core::EnvOverrides;
 use ccdp_serve::server::{install_signal_handlers, serve};
 use ccdp_serve::ServerConfig;
 
@@ -48,17 +62,40 @@ fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--worker") {
+        let slot = parsed(&args, "--worker-slot", 0usize);
+        if let Err(e) = ccdp_serve::worker::run_worker(slot) {
+            eprintln!("ccdpd worker {slot}: fatal: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let env = EnvOverrides::from_env().unwrap_or_else(|e| {
+        eprintln!("ccdpd: {e}");
+        std::process::exit(2);
+    });
     let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         addr: flag_value(&args, "--addr").unwrap_or(defaults.addr),
-        workers: parsed(&args, "--workers", defaults.workers).max(1),
+        workers: parsed(&args, "--workers", env.serve_workers.unwrap_or(defaults.workers))
+            .max(1),
+        threads: parsed(&args, "--threads", defaults.threads).max(1),
         queue_cap: parsed(&args, "--queue-cap", defaults.queue_cap).max(1),
         max_body: parsed(&args, "--max-body", defaults.max_body).max(1024),
         default_deadline_ms: parsed(&args, "--deadline-ms", defaults.default_deadline_ms).max(1),
+        read_deadline_ms: parsed(&args, "--read-deadline-ms", defaults.read_deadline_ms).max(50),
         cache_cap: parsed(&args, "--cache-cap", defaults.cache_cap).max(1),
         retry: defaults.retry,
-        journal: flag_value(&args, "--journal").map(std::path::PathBuf::from),
+        journal_dir: flag_value(&args, "--journal-dir").map(std::path::PathBuf::from),
         resume: args.iter().any(|a| a == "--resume"),
+        compact_bytes: parsed(
+            &args,
+            "--compact-bytes",
+            env.compact_bytes.unwrap_or(defaults.compact_bytes),
+        ),
+        restart: defaults.restart,
     };
     install_signal_handlers();
     if let Err(e) = serve(cfg) {

@@ -55,6 +55,11 @@ pub enum HttpError {
     LengthRequired,
     /// Declared body larger than the server's limit.
     BodyTooLarge { length: usize, limit: usize },
+    /// The client fed bytes too slowly: the per-connection deadline
+    /// elapsed (or a socket read timed out) before the request completed.
+    /// A dribbling client must cost one structured 408, never a
+    /// wedged acceptor slot.
+    Timeout { deadline_ms: u64 },
 }
 
 impl HttpError {
@@ -68,6 +73,7 @@ impl HttpError {
             | HttpError::BadContentLength(_) => (400, "Bad Request"),
             HttpError::LengthRequired => (411, "Length Required"),
             HttpError::BodyTooLarge { .. } => (413, "Payload Too Large"),
+            HttpError::Timeout { .. } => (408, "Request Timeout"),
         }
     }
 
@@ -82,6 +88,7 @@ impl HttpError {
             HttpError::BadContentLength(_) => "bad_content_length",
             HttpError::LengthRequired => "length_required",
             HttpError::BodyTooLarge { .. } => "body_too_large",
+            HttpError::Timeout { .. } => "request_timeout",
         }
     }
 }
@@ -103,6 +110,9 @@ impl std::fmt::Display for HttpError {
             HttpError::BodyTooLarge { length, limit } => {
                 write!(f, "declared body of {length} bytes exceeds limit {limit}")
             }
+            HttpError::Timeout { deadline_ms } => {
+                write!(f, "request not completed within {deadline_ms} ms")
+            }
         }
     }
 }
@@ -111,6 +121,68 @@ impl std::fmt::Display for HttpError {
 /// `Content-Length`; the head is bounded by [`MAX_HEAD`]. Never reads past
 /// the declared body, never panics on any input bytes.
 pub fn read_request(r: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    read_request_deadline(r, max_body, &Deadline::none())
+}
+
+/// Wall-clock budget for reading one request. Combined with a short socket
+/// read timeout this defeats the dribble-byte attack: each socket read
+/// returns (bytes or `WouldBlock`/`TimedOut`) within the socket timeout,
+/// and the deadline is re-checked between reads, so a client feeding one
+/// byte per second can hold a handler for at most `deadline_ms`, not
+/// forever.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    at: Option<std::time::Instant>,
+    pub deadline_ms: u64,
+}
+
+impl Deadline {
+    pub fn after_ms(ms: u64) -> Deadline {
+        Deadline {
+            at: Some(std::time::Instant::now() + std::time::Duration::from_millis(ms)),
+            deadline_ms: ms,
+        }
+    }
+
+    pub fn none() -> Deadline {
+        Deadline { at: None, deadline_ms: 0 }
+    }
+
+    fn expired(&self) -> bool {
+        self.at.is_some_and(|at| std::time::Instant::now() >= at)
+    }
+
+    fn timeout(&self) -> HttpError {
+        HttpError::Timeout { deadline_ms: self.deadline_ms }
+    }
+}
+
+/// [`read_request`] with a wall-clock deadline. `WouldBlock`/`TimedOut`
+/// socket errors count as "still waiting" and retry until the deadline —
+/// without a deadline they stay transport errors.
+pub fn read_request_deadline(
+    r: &mut impl Read,
+    max_body: usize,
+    deadline: &Deadline,
+) -> Result<Request, HttpError> {
+    let read_some = |r: &mut dyn Read, chunk: &mut [u8]| -> Result<usize, HttpError> {
+        loop {
+            if deadline.expired() {
+                return Err(deadline.timeout());
+            }
+            match r.read(chunk) {
+                Ok(n) => return Ok(n),
+                Err(e)
+                    if deadline.at.is_some()
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                        ) => {}
+                Err(e) => return Err(HttpError::Io(e.kind())),
+            }
+        }
+    };
+
     // Accumulate the head until the blank line. Single-byte reads would be
     // slow; chunked reads could swallow body bytes, which is fine here
     // (whatever follows the head stays in `buf` and seeds the body).
@@ -123,7 +195,7 @@ pub fn read_request(r: &mut impl Read, max_body: usize) -> Result<Request, HttpE
         if buf.len() > MAX_HEAD {
             return Err(HttpError::HeadTooLarge { limit: MAX_HEAD });
         }
-        let n = r.read(&mut chunk).map_err(|e| HttpError::Io(e.kind()))?;
+        let n = read_some(r, &mut chunk)?;
         if n == 0 {
             return Err(HttpError::Truncated);
         }
@@ -173,7 +245,7 @@ pub fn read_request(r: &mut impl Read, max_body: usize) -> Result<Request, HttpE
     }
     while body.len() < length {
         let want = (length - body.len()).min(chunk.len());
-        let n = r.read(&mut chunk[..want]).map_err(|e| HttpError::Io(e.kind()))?;
+        let n = read_some(r, &mut chunk[..want])?;
         if n == 0 {
             return Err(HttpError::Truncated);
         }
@@ -271,6 +343,76 @@ mod unit {
             req("GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
             Err(HttpError::BadContentLength(_))
         ));
+    }
+
+    /// Feeds one byte per read with a pause, then stalls with `WouldBlock`
+    /// forever — the shape of a slow-loris client on a nonblocking socket.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        pause: std::time::Duration,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::thread::sleep(self.pause);
+            if self.pos >= self.data.len() {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn dribbled_request_completes_within_deadline() {
+        let mut r = Dribble {
+            data: b"GET /healthz HTTP/1.1\r\n\r\n".to_vec(),
+            pos: 0,
+            pause: std::time::Duration::from_millis(1),
+        };
+        let req = read_request_deadline(&mut r, 1024, &Deadline::after_ms(5_000)).unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn stalled_partial_head_times_out() {
+        // Head never completes: the client sent half a request line and
+        // went silent.
+        let mut r = Dribble {
+            data: b"POST /jo".to_vec(),
+            pos: 0,
+            pause: std::time::Duration::from_millis(1),
+        };
+        let err = read_request_deadline(&mut r, 1024, &Deadline::after_ms(40)).unwrap_err();
+        assert_eq!(err, HttpError::Timeout { deadline_ms: 40 });
+        assert_eq!(err.status(), (408, "Request Timeout"));
+        assert_eq!(err.code(), "request_timeout");
+    }
+
+    #[test]
+    fn stalled_partial_body_times_out() {
+        let mut r = Dribble {
+            data: b"POST /jobs HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-this".to_vec(),
+            pos: 0,
+            pause: std::time::Duration::from_millis(1),
+        };
+        let err = read_request_deadline(&mut r, 1024, &Deadline::after_ms(40)).unwrap_err();
+        assert_eq!(err, HttpError::Timeout { deadline_ms: 40 });
+    }
+
+    #[test]
+    fn without_deadline_wouldblock_stays_io_error() {
+        let mut r = Dribble {
+            data: Vec::new(),
+            pos: 0,
+            pause: std::time::Duration::from_millis(1),
+        };
+        assert_eq!(
+            read_request(&mut r, 1024),
+            Err(HttpError::Io(std::io::ErrorKind::WouldBlock))
+        );
     }
 
     #[test]

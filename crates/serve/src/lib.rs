@@ -17,14 +17,23 @@
 //!   retry with exponential backoff, deterministic failures never do
 //!   ([`api`]);
 //! * **crash-safe journaling** — fsynced job/done lines over
-//!   `ccdp_bench::journal`'s torn-tail-tolerant format; `kill -9` then
-//!   restart replays to byte-identical responses ([`journal`]);
+//!   `ccdp_bench::journal`'s torn-tail-tolerant format, one journal per
+//!   worker slot in a shared directory, compacted when they outgrow a
+//!   threshold; `kill -9` then restart replays to byte-identical
+//!   responses ([`journal`]);
+//! * **process supervision** — N isolated worker processes (self-exec
+//!   `--worker` mode, framed stdin/stdout protocol) under a supervisor
+//!   that health-checks, restarts with exponential backoff behind a
+//!   restart-storm circuit breaker, and re-dispatches the jobs of dead
+//!   workers — a worker panic, `kill -9`, or OOM never takes down the
+//!   acceptor ([`supervisor`], [`worker`]);
 //! * **graceful drain** — SIGTERM stops admission, finishes in-flight
-//!   work, exits 0 ([`server`]).
+//!   work, retires the fleet, exits 0 ([`server`]).
 //!
-//! Binaries: `ccdpd` (the daemon) and `loadgen` (profiles: ramp, spike,
-//! soak, duplicate-storm, overload; merges a `service` section into
-//! `BENCH_ccdp.json`, report schema v7).
+//! Binaries: `ccdpd` (the daemon), `loadgen` (profiles: ramp, spike,
+//! soak, duplicate-storm, overload), and `chaos` (seeded kill-storm soak
+//! asserting zero lost/duplicated/corrupted responses); both testers
+//! merge into `BENCH_ccdp.json`'s `service` section (report schema v9).
 
 pub mod api;
 pub mod cache;
@@ -32,6 +41,10 @@ pub mod http;
 pub mod journal;
 pub mod queue;
 pub mod server;
+pub mod signals;
+pub mod supervisor;
+pub mod worker;
 
 pub use api::{JobSpec, RetryPolicy};
 pub use server::{serve, ServerConfig};
+pub use supervisor::{FleetBreaker, Pool, RestartPolicy, RestartTracker};

@@ -1,5 +1,5 @@
-//! The ccdpd server proper: accept loop, bounded worker pool, admission
-//! control, single-flight caching, journaling, and graceful drain.
+//! The ccdpd supervisor: accept loop, admission control, single-flight
+//! caching, journal replay, and the worker-process fleet.
 //!
 //! Life of a request:
 //!
@@ -7,17 +7,22 @@
 //!    the request is read and answered `429 {"code":"queue_full"}` right
 //!    there — shedding is a structured response, never a dropped
 //!    connection — and the queue depth never exceeds its bound.
-//! 2. A worker pops the connection, reads the request (every parse error
-//!    is a structured 4xx), and dispatches: `/healthz`, `/stats`,
-//!    `/result/<fp>`, or `POST /jobs`.
+//! 2. A handler thread pops the connection and reads the request under the
+//!    slow-client deadline (every parse error is a structured 4xx, a
+//!    dribbling client a structured 408), then dispatches: `/healthz`,
+//!    `/readyz`, `/stats`, `/result/<fp>`, or `POST /jobs`.
 //! 3. A job claims its fingerprint in the cache: a hit answers with the
 //!    original response bytes; a join waits for the in-flight leader; the
-//!    leader journals the job, runs it (retry with exponential backoff on
-//!    flaky failures only), journals the response of any deterministic
-//!    outcome, publishes to cache + joiners, and responds.
-//! 4. SIGTERM/SIGINT flips a flag: the acceptor stops admitting, workers
-//!    drain the backlog (finishing — and journaling — everything
-//!    in-flight), and the process exits 0.
+//!    leader hands the job to the worker-process pool
+//!    ([`crate::supervisor`]), which journals it to the target slot's
+//!    journal, dispatches over the pipe, and re-dispatches on worker
+//!    death. The returned bytes are journaled, published, and sent.
+//! 4. SIGTERM/SIGINT flips a flag: the acceptor stops admitting, handlers
+//!    drain the backlog, the pool shuts its workers down, and the process
+//!    exits 0.
+//!
+//! The compute fleet lives in separate processes: a worker panic-abort,
+//! `kill -9`, or OOM costs a re-dispatch, never the listener.
 
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -29,11 +34,13 @@ use std::time::Duration;
 use ccdp_core::Fingerprint;
 use ccdp_json::{Json, ToJson};
 
-use crate::api::{error_body, run_job, JobSpec, RetryPolicy};
+use crate::api::{error_body, JobSpec, RetryPolicy};
 use crate::cache::{Claim, PlanCache};
 use crate::http;
-use crate::journal::JobJournal;
+use crate::journal;
 use crate::queue::{Bounded, PushError};
+use crate::signals;
+use crate::supervisor::{Pool, PoolConfig, RestartPolicy, RunError};
 
 /// Tuning knobs; `Default` is sized for a local instance.
 #[derive(Debug, Clone)]
@@ -41,34 +48,52 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (the chosen address is
     /// printed to stdout as `ccdpd listening on <addr>`).
     pub addr: String,
+    /// Worker *processes* (the compute fleet).
     pub workers: usize,
-    /// Admission-control bound: connections queued beyond the workers.
+    /// Connection-handler threads in the supervisor (I/O only — parsing,
+    /// cache lookups, waiting on workers — so a small number serves many
+    /// workers).
+    pub threads: usize,
+    /// Admission-control bound: connections queued beyond the handlers.
     pub queue_cap: usize,
     /// Largest accepted request body.
     pub max_body: usize,
     /// Deadline for jobs that do not set `deadline_ms` themselves.
     pub default_deadline_ms: u64,
+    /// Slow-client guard: a connection must deliver its complete request
+    /// within this budget or be answered `408 request_timeout`.
+    pub read_deadline_ms: u64,
     pub cache_cap: usize,
     pub retry: RetryPolicy,
-    /// Job journal path; `None` disables journaling (still crash-safe for
-    /// clients — they just see a dropped connection and re-submit).
-    pub journal: Option<PathBuf>,
-    /// Resume from an existing journal instead of truncating it.
+    /// Shared journal directory (one `worker-<slot>.jsonl` per worker);
+    /// `None` disables journaling (still crash-safe for clients — they
+    /// just see a dropped connection and re-submit).
+    pub journal_dir: Option<PathBuf>,
+    /// Resume from the existing journal directory instead of starting
+    /// fresh.
     pub resume: bool,
+    /// Per-slot journal compaction threshold (bytes); 0 disables.
+    pub compact_bytes: u64,
+    /// Worker respawn behaviour (backoff, storm breaker).
+    pub restart: RestartPolicy,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7077".to_string(),
-            workers: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
+            workers: 2,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get().min(8)),
             queue_cap: 128,
             max_body: 1 << 20,
             default_deadline_ms: 10_000,
+            read_deadline_ms: 5_000,
             cache_cap: 1024,
             retry: RetryPolicy::default(),
-            journal: None,
+            journal_dir: None,
             resume: false,
+            compact_bytes: journal::DEFAULT_COMPACT_BYTES,
+            restart: RestartPolicy::default(),
         }
     }
 }
@@ -87,9 +112,8 @@ pub struct Stats {
 
 // --- Shutdown flag + signal handling -----------------------------------
 //
-// SIGTERM must trigger a *graceful* drain, and this workspace carries no
-// FFI crates, so the one libc call needed (`signal`) is declared directly.
-// The handler only stores to an AtomicBool, which is async-signal-safe.
+// SIGTERM must trigger a *graceful* drain. The handler only stores to an
+// AtomicBool, which is async-signal-safe.
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
@@ -102,58 +126,79 @@ pub fn request_shutdown() {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
-#[cfg(unix)]
 pub fn install_signal_handlers() {
     extern "C" fn on_signal(_sig: i32) {
         SHUTDOWN.store(true, Ordering::SeqCst);
     }
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-    const SIGINT: i32 = 2;
-    const SIGTERM: i32 = 15;
-    unsafe {
-        signal(SIGTERM, on_signal);
-        signal(SIGINT, on_signal);
-    }
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    signals::set_handler(signals::SIGTERM, handler);
+    signals::set_handler(signals::SIGINT, handler);
 }
 
-#[cfg(not(unix))]
-pub fn install_signal_handlers() {}
+/// The `/readyz` verdict, pure for unit tests: ready means "a job POSTed
+/// right now would be computed", i.e. at least one live worker and
+/// admission below the shed threshold. Liveness (`/healthz`) is separate:
+/// a supervisor with zero workers is alive but not ready.
+pub fn ready_decision(
+    workers_alive: usize,
+    queue_depth: usize,
+    queue_cap: usize,
+) -> (bool, Vec<&'static str>) {
+    let mut reasons = Vec::new();
+    if workers_alive == 0 {
+        reasons.push("no_workers");
+    }
+    if queue_depth >= queue_cap {
+        reasons.push("queue_full");
+    }
+    (reasons.is_empty(), reasons)
+}
 
-/// Shared server state handed to every worker.
+/// Shared server state handed to every handler thread.
 struct Ctx {
     cfg: ServerConfig,
     cache: PlanCache,
-    journal: Option<JobJournal>,
+    pool: Arc<Pool>,
     stats: Stats,
     queue: Bounded<TcpStream>,
 }
 
 /// Run the service until a shutdown signal, then drain and return. The
 /// `Ok(())` return *is* the graceful-exit contract: every admitted
-/// connection has been answered and every journal line fsynced.
+/// connection has been answered, every journal line fsynced, every worker
+/// process reaped.
 pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
-    let (journal, replay) = match &cfg.journal {
-        None => (None, crate::journal::Replay::default()),
-        Some(path) => {
-            let (j, r) = JobJournal::open(path, cfg.resume)?;
-            (Some(j), r)
+    let workers = cfg.workers.max(1);
+    let (journals, replay) = match &cfg.journal_dir {
+        None => (Vec::new(), journal::Replay::default()),
+        Some(dir) => {
+            let (js, replay) = journal::open_dir(dir, workers, cfg.resume, cfg.compact_bytes)?;
+            (js.into_iter().map(Arc::new).collect(), replay)
         }
     };
 
-    let workers = cfg.workers.max(1);
+    let pool = Pool::start(
+        PoolConfig {
+            workers,
+            restart: cfg.restart.clone(),
+            retry: cfg.retry,
+            ..PoolConfig::default()
+        },
+        journals,
+    )?;
+
+    let threads = cfg.threads.max(1);
     let ctx = Arc::new(Ctx {
         cache: PlanCache::new(cfg.cache_cap),
-        journal,
+        pool,
         stats: Stats::default(),
         queue: Bounded::new(cfg.queue_cap),
         cfg,
     });
 
     // Replay before the listener opens: completed jobs preload the cache
-    // with their original bytes; incomplete jobs re-run to completion so
-    // the crash left no work behind.
+    // with their original bytes; incomplete (orphaned) jobs re-run through
+    // the pool so the crash left no work behind.
     if !replay.completed.is_empty() || !replay.incomplete.is_empty() {
         eprintln!(
             "ccdpd: journal replay — {} completed, {} incomplete",
@@ -165,28 +210,27 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
         ctx.cache.insert_done(&fp, bytes);
     }
     for (fp, spec) in replay.incomplete {
-        let res = run_job(&spec, &ctx.cfg.retry);
-        let bytes = http::response_bytes(res.status.0, res.status.1, &res.body.to_string());
-        if res.cacheable {
-            if let Some(j) = &ctx.journal {
-                if let Err(e) = j.record_done(&fp, &bytes) {
-                    eprintln!("ccdpd: journal write failed: {e}");
+        match ctx.pool.run(&fp, &spec) {
+            Ok(done) => {
+                if done.cacheable {
+                    ctx.cache.insert_done(&fp, done.response);
                 }
+                ctx.pool.stats.orphan_replays.fetch_add(1, Ordering::Relaxed);
+                eprintln!("ccdpd: replayed orphaned job {fp}");
             }
-            ctx.cache.insert_done(&fp, bytes);
+            Err(e) => eprintln!("ccdpd: orphan replay of {fp} failed: {e:?}"),
         }
-        eprintln!("ccdpd: replayed incomplete job {fp}");
     }
 
     let listener = TcpListener::bind(&ctx.cfg.addr)?;
     listener.set_nonblocking(true)?;
-    // The one stdout line: supervisors (and the e2e tests) parse it to
-    // learn the actual port when binding :0.
+    // The line supervising scripts (and the e2e tests) parse to learn the
+    // actual port when binding :0.
     println!("ccdpd listening on {}", listener.local_addr()?);
     std::io::stdout().flush()?;
 
-    let mut handles = Vec::with_capacity(workers);
-    for _ in 0..workers {
+    let mut handles = Vec::with_capacity(threads);
+    for _ in 0..threads {
         let ctx = Arc::clone(&ctx);
         handles.push(std::thread::spawn(move || {
             while let Some(stream) = ctx.queue.pop() {
@@ -199,7 +243,12 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 ctx.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                // Socket-level timeout far below the request deadline:
+                // reads return regularly so the deadline between reads is
+                // actually checked against a silent or dribbling peer.
+                let sock_to = Duration::from_millis(ctx.cfg.read_deadline_ms.clamp(50, 500));
+                let _ = stream.set_read_timeout(Some(sock_to));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
                 let _ = stream.set_nodelay(true);
                 if let Err((stream, why)) = ctx.queue.try_push(stream) {
                     shed(stream, &ctx, why);
@@ -215,12 +264,14 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
         }
     }
 
-    // Drain: stop admitting, let workers finish the backlog, then exit.
+    // Drain: stop admitting, let handlers finish the backlog, then retire
+    // the worker fleet.
     eprintln!("ccdpd: shutdown requested, draining {} queued connection(s)", ctx.queue.depth());
     ctx.queue.close();
     for h in handles {
         let _ = h.join();
     }
+    ctx.pool.shutdown();
     eprintln!(
         "ccdpd: drained (completed {}, shed {})",
         ctx.stats.completed.load(Ordering::Relaxed),
@@ -259,18 +310,35 @@ fn respond_json(stream: &mut TcpStream, status: u16, reason: &str, body: &Json) 
 }
 
 fn handle_conn(mut stream: TcpStream, ctx: &Ctx) {
-    let req = match http::read_request(&mut stream, ctx.cfg.max_body) {
+    let deadline = http::Deadline::after_ms(ctx.cfg.read_deadline_ms);
+    let req = match http::read_request_deadline(&mut stream, ctx.cfg.max_body, &deadline) {
         Ok(r) => r,
         Err(e) => {
             ctx.stats.http_errors.fetch_add(1, Ordering::Relaxed);
             let (status, reason) = e.status();
-            respond_json(&mut stream, status, reason, &error_body(e.code(), &e.to_string(), vec![]));
+            // A timed-out client learns the budget it blew.
+            let extra = match e {
+                http::HttpError::Timeout { deadline_ms } => {
+                    vec![("deadline_ms", deadline_ms.to_json())]
+                }
+                _ => vec![],
+            };
+            respond_json(&mut stream, status, reason, &error_body(e.code(), &e.to_string(), extra));
             return;
         }
     };
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => {
-            respond_json(&mut stream, 200, "OK", &Json::obj([("status", "ok".to_json())]));
+            // Liveness only: the supervisor is up and answering.
+            respond_json(
+                &mut stream,
+                200,
+                "OK",
+                &Json::obj([("status", "ok".to_json()), ("role", "supervisor".to_json())]),
+            );
+        }
+        ("GET", "/readyz") => {
+            handle_readyz(&mut stream, ctx);
         }
         ("GET", "/stats") => {
             let body = stats_json(ctx);
@@ -291,6 +359,28 @@ fn handle_conn(mut stream: TcpStream, ctx: &Ctx) {
                 &error_body("not_found", "unknown route", vec![]),
             );
         }
+    }
+}
+
+/// `GET /readyz`: 200 when a job would actually be computed right now,
+/// 503 with machine-readable reasons otherwise.
+fn handle_readyz(stream: &mut TcpStream, ctx: &Ctx) {
+    let workers_alive = ctx.pool.workers_alive();
+    let depth = ctx.queue.depth();
+    let cap = ctx.queue.capacity();
+    let (ready, reasons) = ready_decision(workers_alive, depth, cap);
+    let body = Json::obj([
+        ("status", if ready { "ready".to_json() } else { "not_ready".to_json() }),
+        ("reasons", Json::arr(reasons.iter().map(|r| r.to_json()))),
+        ("workers_alive", workers_alive.to_json()),
+        ("workers_total", ctx.pool.workers_total().to_json()),
+        ("queue_depth", depth.to_json()),
+        ("queue_cap", cap.to_json()),
+    ]);
+    if ready {
+        respond_json(stream, 200, "OK", &body);
+    } else {
+        respond_json(stream, 503, "Service Unavailable", &body);
     }
 }
 
@@ -347,9 +437,9 @@ fn handle_job(stream: &mut TcpStream, ctx: &Ctx, body: &[u8]) {
         Claim::Hit(bytes) => http::write_response(stream, &bytes),
         Claim::Join(flight) => {
             // Generous bound: the leader's worst case is every attempt
-            // burning its full deadline plus backoff.
+            // burning its full deadline, plus re-dispatches.
             let bound = Duration::from_millis(
-                spec.deadline_ms * u64::from(ctx.cfg.retry.max_attempts) + 10_000,
+                spec.deadline_ms * u64::from(ctx.cfg.retry.max_attempts) + 20_000,
             );
             match flight.wait(bound) {
                 Some(bytes) => http::write_response(stream, &bytes),
@@ -362,30 +452,46 @@ fn handle_job(stream: &mut TcpStream, ctx: &Ctx, body: &[u8]) {
             }
         }
         Claim::Leader => {
-            if let Some(j) = &ctx.journal {
-                if let Err(e) = j.record_job(&fp, &spec) {
-                    // Degrade, don't die: the job still runs, it just
-                    // loses crash coverage.
-                    eprintln!("ccdpd: journal write failed: {e}");
-                }
-            }
-            let res = run_job(&spec, &ctx.cfg.retry);
-            ctx.stats.retries.fetch_add(u64::from(res.retries), Ordering::Relaxed);
-            if res.status.0 == 200 {
-                ctx.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
-            } else {
-                ctx.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
-            }
-            let bytes = http::response_bytes(res.status.0, res.status.1, &res.body.to_string());
-            if res.cacheable {
-                if let Some(j) = &ctx.journal {
-                    if let Err(e) = j.record_done(&fp, &bytes) {
-                        eprintln!("ccdpd: journal write failed: {e}");
+            let (bytes, cacheable) = match ctx.pool.run(&fp, &spec) {
+                Ok(done) => {
+                    ctx.stats.retries.fetch_add(u64::from(done.retries), Ordering::Relaxed);
+                    if done.status == 200 {
+                        ctx.stats.jobs_ok.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        ctx.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
                     }
+                    (done.response, done.cacheable)
                 }
-            }
+                Err(RunError::NoWorkers) => {
+                    ctx.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
+                    let body = error_body(
+                        "no_workers",
+                        "no live worker available; retry with backoff",
+                        vec![("fingerprint", fp.to_json())],
+                    );
+                    (
+                        http::response_bytes(503, "Service Unavailable", &body.to_string()),
+                        false,
+                    )
+                }
+                Err(RunError::WorkerLost { redispatches }) => {
+                    ctx.stats.jobs_err.fetch_add(1, Ordering::Relaxed);
+                    let body = error_body(
+                        "worker_lost",
+                        "workers kept dying while running this job",
+                        vec![
+                            ("fingerprint", fp.to_json()),
+                            ("redispatches", u64::from(redispatches).to_json()),
+                        ],
+                    );
+                    (
+                        http::response_bytes(500, "Internal Server Error", &body.to_string()),
+                        false,
+                    )
+                }
+            };
             let bytes = Arc::new(bytes);
-            ctx.cache.publish(&fp, Arc::clone(&bytes), res.cacheable);
+            ctx.cache.publish(&fp, Arc::clone(&bytes), cacheable);
             http::write_response(stream, &bytes);
         }
     }
@@ -399,6 +505,7 @@ fn stats_json(ctx: &Ctx) -> Json {
     let lookups = hits + joins + misses;
     let hit_rate =
         if lookups > 0 { (hits + joins) as f64 / lookups as f64 } else { 0.0 };
+    let ps = &ctx.pool.stats;
     Json::obj([
         ("status", "ok".to_json()),
         ("accepted", s.accepted.load(Ordering::Relaxed).to_json()),
@@ -416,5 +523,26 @@ fn stats_json(ctx: &Ctx) -> Json {
         ("cache_misses", misses.to_json()),
         ("cache_hit_rate", hit_rate.to_json()),
         ("workers", ctx.cfg.workers.to_json()),
+        ("workers_total", ctx.pool.workers_total().to_json()),
+        ("workers_alive", ctx.pool.workers_alive().to_json()),
+        ("threads", ctx.cfg.threads.to_json()),
+        ("restarts", ps.restarts.load(Ordering::Relaxed).to_json()),
+        ("redispatches", ps.redispatches.load(Ordering::Relaxed).to_json()),
+        ("orphan_replays", ps.orphan_replays.load(Ordering::Relaxed).to_json()),
+        ("breaker_trips", ps.breaker_trips.load(Ordering::Relaxed).to_json()),
     ])
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    #[test]
+    fn ready_decision_covers_the_matrix() {
+        assert_eq!(ready_decision(2, 0, 8), (true, vec![]));
+        assert_eq!(ready_decision(1, 7, 8), (true, vec![]));
+        assert_eq!(ready_decision(0, 0, 8), (false, vec!["no_workers"]));
+        assert_eq!(ready_decision(2, 8, 8), (false, vec!["queue_full"]));
+        assert_eq!(ready_decision(0, 9, 8), (false, vec!["no_workers", "queue_full"]));
+    }
 }

@@ -1,0 +1,42 @@
+//! The one libc call this workspace needs: `signal(2)`.
+//!
+//! The workspace carries no FFI crates, so the declaration lives here,
+//! shared by the supervisor (SIGTERM/SIGINT → graceful drain flag) and the
+//! worker mode (ignore both: a signal aimed at the process group must not
+//! bypass the supervisor-coordinated drain — workers exit on stdin EOF or
+//! an explicit shutdown frame). Handlers are restricted to storing an
+//! `AtomicBool` or `SIG_IGN`, both async-signal-safe.
+
+#[cfg(unix)]
+mod imp {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    pub const SIG_IGN: usize = 1;
+
+    pub fn set_handler(sig: i32, handler: usize) {
+        unsafe {
+            signal(sig, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+    pub const SIG_IGN: usize = 1;
+
+    pub fn set_handler(_sig: i32, _handler: usize) {}
+}
+
+pub use imp::{set_handler, SIGINT, SIGTERM, SIG_IGN};
+
+/// Make termination signals no-ops (worker mode).
+pub fn ignore_termination_signals() {
+    set_handler(SIGTERM, SIG_IGN);
+    set_handler(SIGINT, SIG_IGN);
+}

@@ -1,0 +1,115 @@
+//! Worker mode: the isolated compute process.
+//!
+//! `ccdpd --worker` runs this loop instead of the server. The supervisor
+//! owns the listener; a worker owns nothing but its stdin/stdout pipe pair
+//! and the pipeline. The framed protocol is newline-delimited JSON, one
+//! object per line:
+//!
+//! * supervisor → worker: `{"kind":"job","id":…,"spec":{…},"retry":{…}}`,
+//!   `{"kind":"ping","id":…}`, `{"kind":"shutdown"}`;
+//! * worker → supervisor: `{"kind":"ready"}` once at startup,
+//!   `{"kind":"done","id":…,"status":…,"cacheable":…,"retries":…,
+//!   "response":"…"}` per job (the `response` is the complete serialized
+//!   HTTP bytes — the supervisor journals and caches them verbatim, which
+//!   is what keeps crash replay byte-identical), `{"kind":"pong","id":…}`.
+//!
+//! Exit discipline: a worker ignores SIGTERM/SIGINT (drain is coordinated
+//! by the supervisor, not by signal fan-out) and exits 0 on stdin EOF or a
+//! shutdown frame. Stdin EOF is how a worker learns its supervisor died —
+//! even `kill -9` of the supervisor closes the pipe — so a supervisor
+//! crash never leaves orphan compute processes. A write failure (broken
+//! pipe) means the same thing.
+
+use std::io::{BufRead, Write};
+use std::time::Duration;
+
+use ccdp_json::{Json, ToJson};
+
+use crate::api::{run_job, JobSpec, RetryPolicy};
+use crate::http;
+use crate::signals;
+
+fn frame(out: &mut impl Write, doc: &Json) -> std::io::Result<()> {
+    writeln!(out, "{}", doc.to_string())?;
+    out.flush()
+}
+
+fn retry_from(doc: &Json) -> RetryPolicy {
+    let d = RetryPolicy::default();
+    let node = doc.get("retry");
+    let max_attempts = node
+        .and_then(|r| r.get("max_attempts"))
+        .and_then(Json::as_u64)
+        .map_or(d.max_attempts, |n| n as u32);
+    let base_backoff = node
+        .and_then(|r| r.get("backoff_ms"))
+        .and_then(Json::as_u64)
+        .map_or(d.base_backoff, Duration::from_millis);
+    RetryPolicy { max_attempts: max_attempts.max(1), base_backoff }
+}
+
+/// The worker main loop. Returns only on shutdown frame, stdin EOF, or a
+/// dead pipe — all of which mean "exit 0 now".
+pub fn run_worker(slot: usize) -> std::io::Result<()> {
+    signals::ignore_termination_signals();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if frame(&mut out, &Json::obj([("kind", "ready".to_json()), ("slot", slot.to_json())]))
+        .is_err()
+    {
+        return Ok(());
+    }
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let Ok(doc) = ccdp_json::parse(&line) else {
+            eprintln!("ccdpd worker {slot}: unparseable frame; ignored");
+            continue;
+        };
+        let id = doc.get("id").and_then(Json::as_u64).unwrap_or(0);
+        let reply = match doc.get("kind").and_then(Json::as_str) {
+            Some("shutdown") => break,
+            Some("ping") => Json::obj([("kind", "pong".to_json()), ("id", id.to_json())]),
+            Some("job") => handle_job(id, &doc),
+            other => {
+                eprintln!("ccdpd worker {slot}: unknown frame kind {other:?}; ignored");
+                continue;
+            }
+        };
+        if frame(&mut out, &reply).is_err() {
+            break; // supervisor gone
+        }
+    }
+    Ok(())
+}
+
+fn handle_job(id: u64, doc: &Json) -> Json {
+    let retry = retry_from(doc);
+    let (status, cacheable, retries, bytes) = match doc
+        .get("spec")
+        .ok_or_else(|| "frame missing \"spec\"".to_string())
+        .and_then(|s| JobSpec::from_json(s, 5000))
+    {
+        Ok(spec) => {
+            let res = run_job(&spec, &retry);
+            let bytes =
+                http::response_bytes(res.status.0, res.status.1, &res.body.to_string());
+            (res.status.0, res.cacheable, res.retries, bytes)
+        }
+        // A malformed spec can only mean a supervisor bug (specs are
+        // validated at the HTTP boundary); answer structurally anyway.
+        Err(msg) => {
+            let body = crate::api::error_body("bad_frame", &msg, vec![]);
+            (500, false, 0, http::response_bytes(500, "Internal Server Error", &body.to_string()))
+        }
+    };
+    let text = String::from_utf8_lossy(&bytes).into_owned();
+    Json::obj([
+        ("kind", "done".to_json()),
+        ("id", id.to_json()),
+        ("status", u64::from(status).to_json()),
+        ("cacheable", cacheable.to_json()),
+        ("retries", u64::from(retries).to_json()),
+        ("response", text.to_json()),
+    ])
+}

@@ -3,13 +3,38 @@
 //! structured [`HttpError`]s (each knowing its 4xx status) — never a
 //! panic, never an unclassified failure.
 
-use std::io::Cursor;
+use std::io::{Cursor, Read};
+use std::time::Duration;
 
-use ccdp_serve::http::{read_request, HttpError};
+use ccdp_serve::http::{read_request, read_request_deadline, Deadline, HttpError};
 use proptest::prelude::*;
 
 fn parse(bytes: Vec<u8>, max_body: usize) -> Result<ccdp_serve::http::Request, HttpError> {
     read_request(&mut Cursor::new(bytes), max_body)
+}
+
+/// A slow client: dribbles its bytes out `chunk` at a time with a pause
+/// between reads, then — once the script runs dry — returns `WouldBlock`
+/// forever, like a stalled socket with a read timeout.
+struct Dribble {
+    bytes: Vec<u8>,
+    pos: usize,
+    chunk: usize,
+    pause: Duration,
+}
+
+impl Read for Dribble {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.bytes.len() {
+            std::thread::sleep(self.pause);
+            return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "stalled"));
+        }
+        std::thread::sleep(self.pause);
+        let n = self.chunk.min(buf.len()).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
 }
 
 /// A syntactically valid request with the given body.
@@ -89,6 +114,50 @@ proptest! {
         // Either a structured error or a parse that found a colon-shaped
         // header; both fine, panics are not.
         let _ = parse(req, 4096);
+    }
+
+    /// A partial request cut at an arbitrary byte, then stalled forever:
+    /// the deadline variant must answer with a structured 408 carrying the
+    /// configured deadline — never hang, never panic, never misclassify.
+    #[test]
+    fn stalled_partial_request_times_out_structurally(
+        body_len in 0usize..48,
+        cut in 0usize..100,
+    ) {
+        let body: Vec<u8> = (0..body_len as u8).collect();
+        let full = well_formed("/jobs", &body);
+        let cut = cut.min(full.len());
+        let complete = cut == full.len();
+        let mut r = Dribble {
+            bytes: full[..cut].to_vec(),
+            pos: 0,
+            chunk: 16,
+            pause: Duration::from_millis(1),
+        };
+        match read_request_deadline(&mut r, 4096, &Deadline::after_ms(60)) {
+            Ok(req) => {
+                prop_assert!(complete, "parse may only succeed on the complete request");
+                prop_assert_eq!(req.body, body);
+            }
+            Err(HttpError::Timeout { deadline_ms }) => {
+                prop_assert!(!complete, "complete request must not time out");
+                prop_assert_eq!(deadline_ms, 60);
+                prop_assert_eq!(HttpError::Timeout { deadline_ms }.status().0, 408);
+            }
+            Err(e) => prop_assert!(false, "stall misclassified as {e}"),
+        }
+    }
+
+    /// Dribble-byte delivery (one byte per read, with pauses) of a whole
+    /// request still parses, as long as the bytes keep arriving within the
+    /// deadline — slowness alone is not a crime, only stalling is.
+    #[test]
+    fn dribbled_whole_request_parses(body in prop::collection::vec(0u8..=255, 0..32)) {
+        let full = well_formed("/jobs", &body);
+        let mut r = Dribble { bytes: full, pos: 0, chunk: 1, pause: Duration::ZERO };
+        let req = read_request_deadline(&mut r, 4096, &Deadline::after_ms(10_000))
+            .expect("dribbled but complete request must parse");
+        prop_assert_eq!(req.body, body);
     }
 
     /// Round-trip: requests the service's own clients produce parse back

@@ -1,0 +1,130 @@
+//! Supervision-logic tests through the crate's public API: restart
+//! backoff, the restart-storm circuit breaker, the readiness verdict, and
+//! the cross-journal redispatch bookkeeping. All clock-driven logic is
+//! pure over an explicit `Instant`, so nothing here sleeps; process-level
+//! behaviour (real kills, real pipes) lives in `serve_e2e.rs` and the
+//! `chaos` bin.
+
+use std::time::{Duration, Instant};
+
+use ccdp_serve::api::JobSpec;
+use ccdp_serve::journal::{replay_dir, slot_path, JobJournal};
+use ccdp_serve::server::ready_decision;
+use ccdp_serve::{FleetBreaker, RestartPolicy, RestartTracker};
+
+fn policy() -> RestartPolicy {
+    RestartPolicy {
+        base_backoff: Duration::from_millis(50),
+        max_backoff: Duration::from_secs(1),
+        stable_after: Duration::from_secs(5),
+        storm_threshold: 3,
+        storm_window: Duration::from_secs(2),
+        cooloff: Duration::from_secs(4),
+    }
+}
+
+#[test]
+fn backoff_sequence_is_exponential_capped_and_resettable() {
+    let mut t = RestartTracker::new(policy());
+    let t0 = Instant::now();
+    // A crash loop: each death doubles the wait, up to the cap.
+    let mut now = t0;
+    let mut waits = Vec::new();
+    for _ in 0..7 {
+        t.on_spawn(now);
+        now += Duration::from_millis(10); // dies almost immediately
+        waits.push(t.on_death(now).as_millis() as u64);
+    }
+    assert_eq!(waits, vec![50, 100, 200, 400, 800, 1000, 1000]);
+    // A long stable run earns a clean slate.
+    t.on_spawn(now);
+    now += Duration::from_secs(6);
+    assert_eq!(t.on_death(now), Duration::from_millis(50));
+    assert_eq!(t.consecutive_deaths(), 1);
+}
+
+#[test]
+fn breaker_trips_only_on_storms_and_recloses() {
+    let mut b = FleetBreaker::new(policy());
+    let t0 = Instant::now();
+    // Slow attrition inside the window budget never opens the breaker.
+    for i in 0..6 {
+        b.on_death(t0 + Duration::from_secs(3 * i));
+        assert!(!b.is_open(t0 + Duration::from_secs(3 * i)), "death {i}");
+    }
+    assert_eq!(b.trips, 0);
+    // A storm (3 deaths inside 2 s) opens it for the cooloff, after which
+    // it closes again and can re-trip on the next storm.
+    let storm = t0 + Duration::from_secs(100);
+    for i in 0..3 {
+        b.on_death(storm + Duration::from_millis(100 * i));
+    }
+    assert!(b.is_open(storm + Duration::from_secs(1)));
+    assert_eq!(b.trips, 1);
+    let after = storm + Duration::from_secs(10);
+    assert!(!b.is_open(after));
+    for i in 0..3 {
+        b.on_death(after + Duration::from_millis(100 * i));
+    }
+    assert!(b.is_open(after + Duration::from_secs(1)));
+    assert_eq!(b.trips, 2);
+}
+
+#[test]
+fn readiness_requires_workers_and_admission_headroom() {
+    assert_eq!(ready_decision(2, 0, 8), (true, vec![]));
+    assert_eq!(ready_decision(0, 0, 8), (false, vec!["no_workers"]));
+    assert_eq!(ready_decision(2, 8, 8), (false, vec!["queue_full"]));
+    assert_eq!(ready_decision(0, 9, 8), (false, vec!["no_workers", "queue_full"]));
+}
+
+fn spec() -> JobSpec {
+    let doc = ccdp_json::parse(
+        r#"{"program": "program p\n", "n_pes": 2, "schemes": ["base"]}"#,
+    )
+    .expect("spec json");
+    JobSpec::from_json(&doc, 5000).expect("valid spec")
+}
+
+/// The redispatch signature on disk: the job line lands in the dead
+/// worker's journal, the done line (after redispatch) in the survivor's.
+/// A directory replay must unify them — completed once, in-flight never —
+/// because correctness of crash recovery hinges on "done anywhere wins".
+#[test]
+fn redispatched_job_is_completed_across_slot_journals() {
+    let dir = std::env::temp_dir()
+        .join(format!("ccdpd-supervisor-redispatch-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let spec = spec();
+    let fp = "deadbeefdeadbeefdeadbeefdeadbeef";
+    let response = b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\n{}";
+
+    // Slot 0 accepted the job, journaled it, then got `kill -9`ed.
+    let (j0, _) = JobJournal::open(&slot_path(&dir, 0), false, 0).unwrap();
+    j0.record_job(fp, &spec).unwrap();
+    // Slot 1 picked up the redispatch and completed it.
+    let (j1, _) = JobJournal::open(&slot_path(&dir, 1), false, 0).unwrap();
+    j1.record_job(fp, &spec).unwrap();
+    j1.record_done(fp, response).unwrap();
+    drop((j0, j1));
+
+    let replay = replay_dir(&dir);
+    assert_eq!(replay.completed.len(), 1);
+    assert_eq!(replay.completed[0].0, fp);
+    assert_eq!(replay.completed[0].1, response);
+    assert!(replay.incomplete.is_empty(), "a done anywhere settles the fingerprint");
+
+    // The inverse: a job journaled anywhere with no done anywhere is
+    // exactly the orphan set replayed at startup.
+    let (j2, _) = JobJournal::open(&slot_path(&dir, 2), false, 0).unwrap();
+    j2.record_job("0123456789abcdef0123456789abcdef", &spec).unwrap();
+    drop(j2);
+    let replay = replay_dir(&dir);
+    assert_eq!(replay.completed.len(), 1);
+    assert_eq!(replay.incomplete.len(), 1);
+    assert_eq!(replay.incomplete[0].0, "0123456789abcdef0123456789abcdef");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
