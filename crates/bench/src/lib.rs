@@ -247,6 +247,16 @@ impl GridTiming {
         seq + cells
     }
 
+    /// Shard-path counters aggregated over every cell of the timed grid
+    /// (feeds the report's `perf.shard` object, schema v10).
+    pub fn shard(&self) -> ShardAgg {
+        let mut agg = ShardAgg::default();
+        for c in self.cells.iter().flatten() {
+            agg.merge(&c.shard);
+        }
+        agg
+    }
+
     /// Aggregate host throughput in simulated cycles per second.
     pub fn cycles_per_second(&self) -> f64 {
         if self.wall_seconds > 0.0 {
@@ -268,16 +278,73 @@ pub struct CellTiming {
     /// (empty for `seq` entries). Feeds the `perf` section's per-scheme
     /// rows (schema v6).
     pub scheme_cycles: Vec<(&'static str, u64)>,
+    /// Shard-path counters summed over the cell's scheme runs (zero for
+    /// `seq` entries, which never shard).
+    pub shard: ShardAgg,
 }
 
 impl CellTiming {
     /// Timing of one grid cell from its completed matrix.
     pub fn from_matrix(wall_seconds: f64, m: &SchemeMatrix) -> CellTiming {
+        let mut shard = ShardAgg::default();
+        for r in &m.runs {
+            shard.absorb(&r.result.shard);
+        }
         CellTiming {
             wall_seconds,
             sim_cycles: m.runs.iter().map(|r| r.result.cycles).sum(),
             scheme_cycles: m.runs.iter().map(|r| (r.scheme.key(), r.result.cycles)).collect(),
+            shard,
         }
+    }
+}
+
+/// Aggregated epoch-sharding counters over a set of simulation runs: how
+/// many DOALL instances ran on the statically proven fast path (no shard
+/// log, no merge-time conflict scan), how many were dynamically checked,
+/// and how many fell back to the serial schedule. Feeds the `perf.shard`
+/// object of the report (schema v10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardAgg {
+    /// Instances sharded on a static `Disjoint` proof.
+    pub static_proven: u64,
+    /// Instances sharded optimistically with the dynamic conflict log.
+    pub dynamic_logged: u64,
+    /// Dynamically logged instances rejected at merge and rerun serially.
+    pub conflicts: u64,
+    /// Proven budgeted instances whose sliced budget tripped in a worker.
+    pub budget_reruns: u64,
+    /// Instances that went straight to the serial schedule, all structured
+    /// reasons combined.
+    pub declined: u64,
+}
+
+impl ShardAgg {
+    /// Fold one run's shard statistics into the aggregate.
+    pub fn absorb(&mut self, s: &t3d_sim::ShardStats) {
+        self.static_proven += s.static_proven;
+        self.dynamic_logged += s.dynamic_logged;
+        self.conflicts += s.conflicts;
+        self.budget_reruns += s.budget_reruns;
+        self.declined += s.declined_treewalk
+            + s.declined_few_pes
+            + s.declined_hardware
+            + s.declined_wall_deadline
+            + s.declined_budget_unproven;
+    }
+
+    /// Combine two aggregates.
+    pub fn merge(&mut self, o: &ShardAgg) {
+        self.static_proven += o.static_proven;
+        self.dynamic_logged += o.dynamic_logged;
+        self.conflicts += o.conflicts;
+        self.budget_reruns += o.budget_reruns;
+        self.declined += o.declined;
+    }
+
+    /// Merge-time conflict scans avoided by static proofs.
+    pub fn dynamic_checks_skipped(&self) -> u64 {
+        self.static_proven
     }
 }
 
@@ -396,6 +463,7 @@ pub fn run_grid_timed_with(
             wall_seconds: secs,
             sim_cycles: r.cycles,
             scheme_cycles: Vec::new(),
+            shard: ShardAgg::default(),
         });
         seqs.push(r);
     }

@@ -58,7 +58,16 @@ use crate::{BenchKernel, GridTiming, Scale};
 /// redispatches, orphan replays, breaker trips, recovery-latency p50/p99,
 /// and the byte-identity verdict. Additive within `service`; v8 consumers
 /// read v9 documents unchanged.
-pub const SCHEMA_VERSION: u32 = 9;
+/// v10: the `perf` section gains a `shard` object — epoch-sharding
+/// counters aggregated over the timed grid (`static_proven`,
+/// `dynamic_logged`, `conflicts`, `budget_reruns`, `declined`, and the
+/// derived `dynamic_checks_skipped`) — and the `lint` section's cells and
+/// synth sweep gain per-program `shard` verdict counts
+/// (`doalls`/`disjoint`/`may_conflict`/`unknown`) from the static
+/// shard-independence analysis, with CCDP006/CCDP007 findings in the
+/// existing findings lists. Additive; v9 consumers read v10 documents
+/// unchanged.
+pub const SCHEMA_VERSION: u32 = 10;
 
 /// How the committed report document read out as a perf-gate baseline.
 /// Produced by [`perf_baseline`]; the `perf_gate` bin turns these into
@@ -195,12 +204,24 @@ pub fn perf_json(names: &[&str], pes: &[usize], t: &GridTiming) -> Json {
             ])
         })
     }));
+    let shard = t.shard();
     let mut fields = vec![
         ("wall_seconds", t.wall_seconds.to_json()),
         ("sim_cycles", t.sim_cycles().to_json()),
         ("cycles_per_second", t.cycles_per_second().to_json()),
         ("threads", t.threads.to_json()),
         ("sim_threads", t.sim_threads.to_json()),
+        (
+            "shard",
+            Json::obj([
+                ("static_proven", shard.static_proven.to_json()),
+                ("dynamic_logged", shard.dynamic_logged.to_json()),
+                ("conflicts", shard.conflicts.to_json()),
+                ("budget_reruns", shard.budget_reruns.to_json()),
+                ("declined", shard.declined.to_json()),
+                ("dynamic_checks_skipped", shard.dynamic_checks_skipped().to_json()),
+            ]),
+        ),
         ("seq", seq),
         ("cells", cells),
     ];
@@ -338,9 +359,9 @@ mod unit {
         );
 
         // Newer-than-us must be a hard signal, not a silent comparison.
-        let v10 = ccdp_json::parse(r#"{"schema_version": 10, "perf": {"wall_seconds": 1.0}}"#)
+        let v11 = ccdp_json::parse(r#"{"schema_version": 11, "perf": {"wall_seconds": 1.0}}"#)
             .unwrap();
-        assert_eq!(perf_baseline(&v10), Baseline::NewerSchema(10));
+        assert_eq!(perf_baseline(&v11), Baseline::NewerSchema(11));
 
         // Service-only documents (no perf timing) skip, not error.
         let no_perf =
@@ -364,7 +385,7 @@ mod unit {
         ];
         let j =
             report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, Some(&timing));
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(9));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(10));
         assert_eq!(j.get("scale").and_then(Json::as_str), Some("quick"));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(9));
         let schemes_json = j.get("schemes").unwrap().items();
@@ -414,6 +435,18 @@ mod unit {
         // v8: the engine configuration the wall numbers describe, plus the
         // attached scaling probe with derived speedup_vs_1.
         assert!(perf.get("sim_threads").and_then(Json::as_u64).unwrap() >= 1);
+        // v10: shard-path counters, with the derived skip count tied to the
+        // static-proof count.
+        let shard = perf.get("shard").expect("shard counters (schema v10)");
+        for key in
+            ["static_proven", "dynamic_logged", "conflicts", "budget_reruns", "declined"]
+        {
+            assert!(shard.get(key).and_then(Json::as_u64).is_some(), "missing shard.{key}");
+        }
+        assert_eq!(
+            shard.get("dynamic_checks_skipped").and_then(Json::as_u64),
+            shard.get("static_proven").and_then(Json::as_u64),
+        );
         let scaling = perf.get("scaling").expect("scaling probe rows").items();
         assert_eq!(scaling.len(), 2);
         assert_eq!(scaling[0].get("sim_threads").and_then(Json::as_u64), Some(1));
@@ -432,7 +465,7 @@ mod unit {
         assert_eq!(cell0.get("sim_cycles").and_then(Json::as_u64), Some(sum));
         // The whole document survives a print→parse round trip.
         let parsed = ccdp_json::parse(&j.to_pretty()).unwrap();
-        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(9));
+        assert_eq!(parsed.get("schema_version").and_then(Json::as_u64), Some(10));
         // Omitting timing omits the section (ablation callers).
         let j2 = report_json(Scale::Quick, 9, &pes, &schemes, &kernels[..2], &grid, None);
         assert!(j2.get("perf").is_none());

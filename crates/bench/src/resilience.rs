@@ -323,6 +323,7 @@ pub fn run_grid_isolated(
                     wall_seconds: *secs,
                     sim_cycles: cycles,
                     scheme_cycles: Vec::new(),
+                    shard: Default::default(),
                 }
             })
             .collect();

@@ -6,6 +6,7 @@
 //! |-------------------------|------------------------------------------------|
 //! | `CCDP_FORCE_TREEWALK`   | `1` forces the treewalk interpreter            |
 //! | `CCDP_SIM_THREADS`      | worker threads for intra-run PE sharding       |
+//! | `CCDP_SHARD_STATIC`     | `0` ignores static shard-disjointness proofs   |
 //! | `CCDP_SEED`             | decision-stream seed for fault-injecting runs  |
 //! | `CCDP_SCALE`            | benchmark problem size: `quick` (default) or `paper` |
 //! | `CCDP_BENCH_QUICK`      | `1` shrinks the vendored-criterion measurement budget |
@@ -47,6 +48,12 @@ pub struct EnvOverrides {
     /// epoch-sharded parallel path (`SimOptions::sim_threads`). `None`
     /// when unset (the simulator default — serial — applies).
     pub sim_threads: Option<usize>,
+    /// `CCDP_SHARD_STATIC=0|1`: whether the sharded engine consults the
+    /// static shard-independence analysis (`SimOptions::shard_static`).
+    /// `0` forces the dynamic conflict-log path for every sharded epoch
+    /// (byte-identical results, no fast path); `1` is the simulator
+    /// default. `None` when unset.
+    pub shard_static: Option<bool>,
     /// `CCDP_SEED=<u64>`: deterministic seed for fault-injecting harness
     /// runs. `None` when unset (callers pick their own default).
     pub seed: Option<u64>,
@@ -92,6 +99,13 @@ impl EnvOverrides {
                     bad_env("CCDP_SIM_THREADS", v, "expected a positive integer")
                 })?;
             o.sim_threads = Some(n);
+        }
+        if let Ok(v) = std::env::var("CCDP_SHARD_STATIC") {
+            o.shard_static = match v.as_str() {
+                "" | "0" => Some(false),
+                "1" => Some(true),
+                _ => return Err(bad_env("CCDP_SHARD_STATIC", v, "expected \"0\" or \"1\"")),
+            };
         }
         if let Ok(v) = std::env::var("CCDP_SEED") {
             o.seed = Some(
@@ -155,6 +169,9 @@ impl EnvOverrides {
         if let Some(t) = self.sim_threads {
             cfg.sim.sim_threads = t;
         }
+        if let Some(s) = self.shard_static {
+            cfg.sim.shard_static = s;
+        }
     }
 }
 
@@ -195,9 +212,10 @@ mod unit {
         out
     }
 
-    const ALL_UNSET: [(&str, Option<&str>); 8] = [
+    const ALL_UNSET: [(&str, Option<&str>); 9] = [
         ("CCDP_FORCE_TREEWALK", None),
         ("CCDP_SIM_THREADS", None),
+        ("CCDP_SHARD_STATIC", None),
         ("CCDP_SEED", None),
         ("CCDP_SCALE", None),
         ("CCDP_BENCH_QUICK", None),
@@ -212,6 +230,7 @@ mod unit {
         assert_eq!(o, EnvOverrides::default());
         assert!(!o.force_treewalk);
         assert_eq!(o.sim_threads, None);
+        assert_eq!(o.shard_static, None);
         assert_eq!(o.seed, None);
         assert_eq!(o.scale, ScalePreset::Quick);
         assert!(!o.bench_quick);
@@ -226,6 +245,7 @@ mod unit {
             &[
                 ("CCDP_FORCE_TREEWALK", Some("1")),
                 ("CCDP_SIM_THREADS", Some("4")),
+                ("CCDP_SHARD_STATIC", Some("0")),
                 ("CCDP_SEED", Some("42")),
                 ("CCDP_SCALE", Some("paper")),
                 ("CCDP_BENCH_QUICK", Some("1")),
@@ -238,6 +258,7 @@ mod unit {
         .unwrap();
         assert!(o.force_treewalk);
         assert_eq!(o.sim_threads, Some(4));
+        assert_eq!(o.shard_static, Some(false));
         assert_eq!(o.seed, Some(42));
         assert_eq!(o.scale, ScalePreset::Paper);
         assert!(o.bench_quick);
@@ -253,6 +274,8 @@ mod unit {
             ("CCDP_SIM_THREADS", "0"),
             ("CCDP_SIM_THREADS", "banana"),
             ("CCDP_SIM_THREADS", "-1"),
+            ("CCDP_SHARD_STATIC", "yes"),
+            ("CCDP_SHARD_STATIC", "2"),
             ("CCDP_SEED", "banana"),
             ("CCDP_SCALE", "fast"),
             ("CCDP_BENCH_QUICK", "true"),
@@ -298,5 +321,17 @@ mod unit {
         assert_eq!(cfg.sim.sim_threads, 3, "unset env leaves the knob alone");
         EnvOverrides { sim_threads: Some(4), ..Default::default() }.apply(&mut cfg);
         assert_eq!(cfg.sim.sim_threads, 4);
+    }
+
+    #[test]
+    fn apply_sets_shard_static_only_when_the_variable_was_set() {
+        let mut cfg = PipelineConfig::t3d(2);
+        assert!(cfg.sim.shard_static, "simulator default is on");
+        EnvOverrides::default().apply(&mut cfg);
+        assert!(cfg.sim.shard_static, "unset env leaves the knob alone");
+        EnvOverrides { shard_static: Some(false), ..Default::default() }.apply(&mut cfg);
+        assert!(!cfg.sim.shard_static);
+        EnvOverrides { shard_static: Some(true), ..Default::default() }.apply(&mut cfg);
+        assert!(cfg.sim.shard_static);
     }
 }

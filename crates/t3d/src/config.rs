@@ -27,7 +27,8 @@ pub enum ConfigError {
     BadFaultParam { field: &'static str, value: u64, need: &'static str },
     /// An environment override variable holds an unparsable value
     /// (`CCDP_FORCE_TREEWALK` / `CCDP_SEED` / `CCDP_SCALE` /
-    /// `CCDP_SIM_THREADS`; see the core crate's `EnvOverrides`).
+    /// `CCDP_SIM_THREADS` / `CCDP_SHARD_STATIC`; see the core crate's
+    /// `EnvOverrides`).
     BadEnv { var: &'static str, value: String, need: &'static str },
 }
 
@@ -292,7 +293,7 @@ impl Scheme {
 }
 
 /// Simulation options.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct SimOptions {
     /// When `Some(k)`, a `Repeat { count }` block with `count > k` runs only
     /// `k` iterations and extrapolates total cycles from the steady-state
@@ -334,8 +335,36 @@ pub struct SimOptions {
     /// contiguous PE blocks simulated concurrently and merged
     /// deterministically at the barrier — byte-identical to the serial run
     /// by contract (`tests/parallel_equivalence.rs`). Hardware schemes
-    /// (MESI/Dragon) and budgeted runs always take the serial path.
+    /// (MESI/Dragon) and wall-deadline runs always take the serial path;
+    /// cycle/step-budgeted runs shard only when the epoch is statically
+    /// proven disjoint (see [`SimOptions::shard_static`]).
     pub sim_threads: usize,
+    /// Consult the static shard-independence analysis (`analysis::shard`)
+    /// before sharding a DOALL (also settable via `CCDP_SHARD_STATIC=0|1`).
+    /// A statically proven-disjoint epoch skips the per-block access log
+    /// and the merge-time conflict scan entirely (pure fork/join), and
+    /// becomes eligible for sharding even under cycle/step budgets via
+    /// per-block budget slicing. `false` forces the dynamic conflict-log
+    /// path for every sharded epoch (the verdict is ignored); results are
+    /// byte-identical either way. Default `true`.
+    pub shard_static: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            repeat_sample: None,
+            oracle_examples: 0,
+            trace_capacity: 0,
+            faults: FaultPlan::none(),
+            force_treewalk: false,
+            cycle_budget: None,
+            step_budget: None,
+            wall_deadline: None,
+            sim_threads: 0,
+            shard_static: true,
+        }
+    }
 }
 
 /// Why a simulation was aborted before completion. Returned by

@@ -22,7 +22,7 @@ use crate::faults::FaultEngine;
 use crate::mem::Memory;
 use crate::metrics::{CycleCategory, EpochCycles, EventTrace, MemEvent, TraceEventKind};
 use crate::pe::Pe;
-use crate::result::{OracleReport, SimResult, StaleReadExample};
+use crate::result::{OracleReport, ShardStats, SimResult, StaleReadExample};
 
 /// Loaded-read values of one compiled statement live in a stack buffer of
 /// this many slots; statements with more reads (validator-legal but unseen
@@ -109,23 +109,40 @@ pub struct Simulator<'p> {
     /// the merge barrier. `None` (always, outside workers) keeps the serial
     /// path at one predictable branch per shared access.
     shard: Option<ShardLog>,
+    /// Cached static shard-independence verdicts (`analysis::shard`), one
+    /// per DOALL loop id: `true` = proven `Disjoint` at one-PE-per-block
+    /// granularity, hence for every contiguous coarser partition.
+    shard_verdicts: HashMap<LoopId, bool>,
+    /// Epoch-sharding accounting, returned on `SimResult::shard`.
+    shard_stats: ShardStats,
 }
 
 /// Per-block shared-memory access log for the epoch-sharded parallel path.
 ///
-/// Conflict granularity is the cache **line**: demand fills and prefetches
-/// move whole lines, so any cross-block write/read interaction surfaces as
-/// a line-set intersection. `written_lines ⊆ touched_lines` by
-/// construction. `written_addrs` keeps exact word addresses so the merge
-/// can copy each written word's final (value, version) pair and patch
-/// out-of-block owner caches.
+/// `written_addrs` keeps exact word addresses so the merge can copy each
+/// written word's final (value, version) pair and patch out-of-block owner
+/// caches; it is collected unconditionally. The line-granular [`LineLog`]
+/// exists only on the *dynamic* path — when the epoch was statically proven
+/// disjoint (`analysis::shard`), the merge-time conflict scan is skipped,
+/// so nothing needs logging.
 struct ShardLog {
     lo_pe: usize,
     hi_pe: usize,
     line_words: u64,
+    lines: Option<LineLog>,
+    written_addrs: HashSet<usize>,
+}
+
+/// Line-granular access log consumed by the merge-time conflict scan.
+///
+/// Conflict granularity is the cache **line**: demand fills and prefetches
+/// move whole lines, so any cross-block write/read interaction surfaces as
+/// a line-set intersection. `written_lines ⊆ touched_lines` by
+/// construction.
+#[derive(Default)]
+struct LineLog {
     touched_lines: HashSet<u64>,
     written_lines: HashSet<u64>,
-    written_addrs: HashSet<usize>,
 }
 
 impl ShardLog {
@@ -165,6 +182,9 @@ struct BlockSeed<'p> {
     trace_on: bool,
     lo_pe: usize,
     hi_pe: usize,
+    /// Keep the line-granular access log for the merge-time conflict scan
+    /// (`false` when the epoch is statically proven disjoint).
+    log_lines: bool,
 }
 
 /// A shard worker's results: final PE/memory/fault state for its block plus
@@ -179,8 +199,11 @@ struct BlockOut {
     epoch: EpochCycles,
     trace: EventTrace,
     steps: u64,
-    touched_lines: HashSet<u64>,
-    written_lines: HashSet<u64>,
+    /// A sliced cycle/step budget tripped inside this block (the caller
+    /// discards all block state and reruns serially to reproduce the exact
+    /// serial abort).
+    abort: Option<SimAbort>,
+    lines: Option<LineLog>,
     written_addrs: HashSet<usize>,
 }
 
@@ -228,19 +251,28 @@ fn run_block<'p>(seed: BlockSeed<'p>) -> BlockOut {
         treewalk: false,
         steps: 0,
         abort: None,
-        budgeted: false,
+        // Budget-sliced workers check their own PEs' cycle counters (which
+        // evolve exactly as in the serial schedule) and the step budget
+        // remaining at the fork; the master pre-sliced `seed.opts`.
+        budgeted: seed.opts.cycle_budget.is_some()
+            || seed.opts.step_budget.is_some()
+            || seed.opts.wall_deadline.is_some(),
         shard: Some(ShardLog {
             lo_pe: seed.lo_pe,
             hi_pe: seed.hi_pe,
             line_words,
-            touched_lines: HashSet::new(),
-            written_lines: HashSet::new(),
+            lines: seed.log_lines.then(LineLog::default),
             written_addrs: HashSet::new(),
         }),
+        shard_verdicts: HashMap::new(),
+        shard_stats: ShardStats::default(),
     };
     let l = seed.l;
     let cb = sim.compiled_body(l);
     for pe in seed.lo_pe..seed.hi_pe {
+        if sim.abort.is_some() {
+            break;
+        }
         let range = match l.align {
             Some(aid) => ccdp_dist::aligned_range_for_pe(
                 &sim.layout,
@@ -267,8 +299,8 @@ fn run_block<'p>(seed: BlockSeed<'p>) -> BlockOut {
         epoch: sim.epochs.pop().expect("worker epoch slot present"),
         trace: sim.trace,
         steps: sim.steps,
-        touched_lines: shard.touched_lines,
-        written_lines: shard.written_lines,
+        abort: sim.abort,
+        lines: shard.lines,
         written_addrs: shard.written_addrs,
     }
 }
@@ -350,6 +382,8 @@ impl<'p> Simulator<'p> {
             abort: None,
             budgeted,
             shard: None,
+            shard_verdicts: HashMap::new(),
+            shard_stats: ShardStats::default(),
         }
     }
 
@@ -384,6 +418,7 @@ impl<'p> Simulator<'p> {
             extrapolated: self.extrapolated,
             epochs: self.epochs,
             trace: self.trace,
+            shard: self.shard_stats,
         })
     }
 
@@ -491,7 +526,9 @@ impl<'p> Simulator<'p> {
     #[inline]
     fn shard_touch(&mut self, addr: usize) {
         if let Some(s) = self.shard.as_mut() {
-            s.touched_lines.insert(addr as u64 / s.line_words);
+            if let Some(ll) = s.lines.as_mut() {
+                ll.touched_lines.insert(addr as u64 / s.line_words);
+            }
         }
     }
 
@@ -501,9 +538,11 @@ impl<'p> Simulator<'p> {
     #[inline]
     fn shard_note_write(&mut self, addr: usize) {
         if let Some(s) = self.shard.as_mut() {
-            let line = addr as u64 / s.line_words;
-            s.touched_lines.insert(line);
-            s.written_lines.insert(line);
+            if let Some(ll) = s.lines.as_mut() {
+                let line = addr as u64 / s.line_words;
+                ll.touched_lines.insert(line);
+                ll.written_lines.insert(line);
+            }
             s.written_addrs.insert(addr);
         }
     }
@@ -765,18 +804,50 @@ impl<'p> Simulator<'p> {
     /// discarded and the serial path re-executes from the untouched master
     /// state, so the fallback is exact, deterministic, and repeatable.
     fn exec_doall_static_sharded(&mut self, l: &'p Loop, lo: i64, hi: i64, per_iter: u64) -> bool {
-        // Hardware schemes (MESI/Dragon) contend on a shared bus — PEs are
-        // not independent between barriers — and budgeted runs need a
-        // globally ordered step counter for reproducible aborts: both keep
-        // the serial path. So does the tree walker, whose purpose is to be
-        // the plain reference implementation.
-        if self.opts.sim_threads <= 1
-            || self.treewalk
-            || self.budgeted
-            || self.cfg.n_pes < 2
-            || matches!(self.scheme, Scheme::Mesi | Scheme::Dragon)
-        {
+        if self.opts.sim_threads <= 1 {
             return false;
+        }
+        // Structured decline reasons, surfaced through `ShardStats`: the
+        // tree walker's purpose is to be the plain reference
+        // implementation; hardware schemes (MESI/Dragon) contend on a
+        // shared bus, so PEs are not independent between barriers; a
+        // wall-clock deadline has no deterministic per-block slicing.
+        if self.cfg.n_pes < 2 {
+            self.shard_stats.declined_few_pes += 1;
+            return false;
+        }
+        if self.treewalk {
+            self.shard_stats.declined_treewalk += 1;
+            return false;
+        }
+        if matches!(self.scheme, Scheme::Mesi | Scheme::Dragon) {
+            self.shard_stats.declined_hardware += 1;
+            return false;
+        }
+        if self.opts.wall_deadline.is_some() {
+            self.shard_stats.declined_wall_deadline += 1;
+            return false;
+        }
+        // Static shard-independence verdict (`analysis::shard`, cached per
+        // loop). `Disjoint` ⇒ the workers skip the line-granular access
+        // log and the merge below skips the conflict scan (pure
+        // fork/join); it also makes cycle/step-budgeted runs eligible, via
+        // per-block budget slicing — sound only when blocks are proven
+        // independent, because a conflict rerun under a sliced budget
+        // could otherwise abort at a non-serial point.
+        let disjoint = self.opts.shard_static && self.loop_disjoint(l);
+        if self.budgeted && !disjoint {
+            self.shard_stats.declined_budget_unproven += 1;
+            return false;
+        }
+        let base_steps = self.steps;
+        let mut wopts = self.opts;
+        // Budget slicing: workers keep the per-PE cycle budget unchanged
+        // (each PE's cycle counter evolves exactly as in the serial
+        // schedule) and check their own step count against the budget
+        // remaining at the fork.
+        if let Some(b) = wopts.step_budget {
+            wopts.step_budget = Some(b.saturating_sub(base_steps));
         }
         let n = self.cfg.n_pes;
         let t = self.opts.sim_threads.min(n);
@@ -802,7 +873,7 @@ impl<'p> Simulator<'p> {
                 layout: self.layout.clone(),
                 cfg: self.cfg.clone(),
                 scheme: self.scheme.clone(),
-                opts: self.opts,
+                opts: wopts,
                 mem: self.mem.clone(),
                 pes,
                 env: self.env.clone(),
@@ -816,6 +887,7 @@ impl<'p> Simulator<'p> {
                 trace_on: self.trace.enabled(),
                 lo_pe,
                 hi_pe,
+                log_lines: !disjoint,
             });
         }
         let mut outs: Vec<BlockOut> = Vec::with_capacity(t);
@@ -829,19 +901,50 @@ impl<'p> Simulator<'p> {
                 outs.push(h.join().expect("shard worker panicked"));
             }
         });
-        // Conflict predicate: an earlier block wrote a line a later block
-        // touched. (The other direction is fine — serially the later block
-        // runs after the earlier one, and it saw the same pre-write data.)
-        let mut written: HashSet<u64> = HashSet::new();
-        for out in &outs {
-            if out.touched_lines.iter().any(|la| written.contains(la)) {
+        // Budget aborts: any worker abort (cycle budget tripped on one of
+        // its PEs), or the combined step count exceeding the global step
+        // budget (the serial run would have aborted mid-epoch), discards
+        // all block state; the serial rerun from the untouched master
+        // state then reproduces the exact serial abort. A worker's own
+        // step abort always implies the sum check fires too (it stops at
+        // remaining+1 steps), so the two conditions together are exact.
+        if self.budgeted {
+            let total: u64 = outs.iter().map(|o| o.steps).sum();
+            let over_steps = self
+                .opts
+                .step_budget
+                .is_some_and(|b| base_steps.saturating_add(total) > b);
+            if over_steps || outs.iter().any(|o| o.abort.is_some()) {
+                self.shard_stats.budget_reruns += 1;
                 return false;
             }
-            written.extend(out.written_lines.iter().copied());
+        }
+        if disjoint {
+            // Statically proven: no log was kept, no scan needed.
+            self.shard_stats.static_proven += 1;
+        } else {
+            self.shard_stats.dynamic_logged += 1;
+            // Conflict predicate: an earlier block wrote a line a later
+            // block touched. (The other direction is fine — serially the
+            // later block runs after the earlier one, and it saw the same
+            // pre-write data.)
+            let mut written: HashSet<u64> = HashSet::new();
+            for out in &outs {
+                let ll = out.lines.as_ref().expect("dynamic path keeps the line log");
+                if ll.touched_lines.iter().any(|la| written.contains(la)) {
+                    self.shard_stats.conflicts += 1;
+                    if !self.shard_stats.conflict_loops.contains(&l.id) {
+                        self.shard_stats.conflict_loops.push(l.id);
+                    }
+                    return false;
+                }
+                written.extend(ll.written_lines.iter().copied());
+            }
         }
         // Merge, in block order. Per-word final states are disjoint across
-        // blocks (the conflict check just proved it), so everything below
-        // is order-independent per address and deterministic.
+        // blocks (proven statically, or by the conflict scan just run), so
+        // everything below is order-independent per address and
+        // deterministic.
         for out in outs.iter_mut() {
             for pe in out.lo_pe..out.hi_pe {
                 std::mem::swap(&mut self.pes[pe], &mut out.pes[pe]);
@@ -872,7 +975,8 @@ impl<'p> Simulator<'p> {
         // the word's final state. `update_word` is a residency-checked
         // no-op, and any interleaving that could make final-state patching
         // diverge from the serial patch sequence implies the owner's block
-        // touched the written line — already rejected above.
+        // touched the written line — rejected by the dynamic scan above,
+        // or impossible by the static disjointness proof.
         for out in &outs {
             for &addr in &out.written_addrs {
                 let owner = self.mem.owner(addr);
@@ -883,6 +987,27 @@ impl<'p> Simulator<'p> {
             }
         }
         true
+    }
+
+    /// Cached static shard-independence verdict for a DOALL: `true` when
+    /// `analysis::shard` proves its PE blocks pairwise line-disjoint. The
+    /// verdict is computed at one-PE-per-block granularity, which implies
+    /// disjointness for every contiguous coarser partition — so one cached
+    /// answer per loop id is valid at any worker count, and across `Repeat`
+    /// re-executions of the same source loop.
+    fn loop_disjoint(&mut self, l: &'p Loop) -> bool {
+        if let Some(&d) = self.shard_verdicts.get(&l.id) {
+            return d;
+        }
+        let epoch = self
+            .cur_epoch_id
+            .and_then(|id| self.program.epochs().into_iter().find(|e| e.id.0 == id));
+        let d = epoch.is_some_and(|e| {
+            ccdp_analysis::shard_verdict(self.program, &self.layout, e, l.id, self.cfg.line_words)
+                .is_disjoint()
+        });
+        self.shard_verdicts.insert(l.id, d);
+        d
     }
 
     /// One PE's contiguous slice of a DOALL's iterations (a static range or

@@ -172,6 +172,20 @@ mod unit {
         (p, l)
     }
 
+    /// The static shard analysis replicates this memory's packing rule to
+    /// map sections to shared-space lines; pin the two against each other.
+    #[test]
+    fn shard_analysis_base_matches_memory_base() {
+        let (p, l) = mk();
+        let m = Memory::new(&p, &l);
+        for a in &p.arrays {
+            match ccdp_analysis::shared_base_words(&p, a.id) {
+                Some(b) => assert_eq!(b, m.base(a.id), "array {}", a.name),
+                None => assert!(!m.is_shared(a.id), "array {}", a.name),
+            }
+        }
+    }
+
     #[test]
     fn layout_and_versions() {
         let (p, l) = mk();

@@ -155,8 +155,10 @@ fn repeated_parallel_runs_are_deterministic() {
     }
 }
 
-/// Budgeted runs always take the serial path — the knob must not change
-/// budget-abort behaviour or results.
+/// Budgeted runs shard only when the epoch is statically proven disjoint
+/// (per-block budget slicing); everything else takes the serial path. Either
+/// way the knob must not change budget-abort behaviour or results —
+/// `tests/shard_analysis.rs` covers the proven-and-sliced case in depth.
 #[test]
 fn budgeted_runs_ignore_the_knob() {
     let kernels = paper_kernels(Scale::Quick);

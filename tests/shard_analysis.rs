@@ -1,0 +1,313 @@
+//! The static shard-independence analysis against its dynamic oracle.
+//!
+//! Three layers of evidence, all on the same predicate (no earlier block
+//! writes a cache line a later block touches):
+//!
+//! * **Witness programs** pin each verdict — `Disjoint` runs with no shard
+//!   log and no merge-time conflict scan, `MayConflict` is caught by the
+//!   dynamic log and rerun serially, `Unknown` falls back to optimistic
+//!   dynamic logging — and all three stay byte-identical to the serial run.
+//! * **Property sweep**: across synth programs, the paper kernels, and PE
+//!   counts, a loop the analysis proves `Disjoint` must never appear in the
+//!   dynamic conflict log (zero false negatives: a missed conflict would be
+//!   a silent wrong answer, not a performance bug).
+//! * **Mutation battery**: `mutate_program` injects a cross-block write
+//!   into a DOALL; the static verdict must flip to non-`Disjoint` *and* the
+//!   dynamic log must record the conflict for the same loop.
+//!
+//! Budget slicing rides along: statically proven epochs shard under cycle /
+//! step budgets, and tight budgets abort identically to the serial run.
+
+use ccdp_analysis::shard_scan;
+use ccdp_bench::synth::{mutate_program, random_program, ProgramMutation, SynthConfig};
+use ccdp_bench::{cell_config, paper_kernels, Scale, PAPER_PES};
+use ccdp_core::{PipelineConfig, Scheme};
+use ccdp_dist::Layout;
+use ccdp_ir::{CondB, Program, ProgramBuilder};
+use ccdp_json::ToJson;
+use t3d_sim::SimResult;
+
+const N: i64 = 32;
+
+/// Each PE rewrites only the columns it owns: provably disjoint.
+fn disjoint_program() -> Program {
+    let mut pb = ProgramBuilder::new("disjoint");
+    let a = pb.shared("A", &[N as usize, N as usize]);
+    pb.parallel_epoch("sweep", |e| {
+        e.doall("j", 0, N - 1, |e, j| {
+            e.serial("i", 0, N - 1, |e, i| {
+                e.assign(a.at2(i, j), a.at2(i, j).rd() * 0.5 + 1.0);
+            });
+        });
+    });
+    pb.finish().unwrap()
+}
+
+/// Backward column stencil: each block reads the last column of the block
+/// before it — a real cross-block conflict the merge scan must catch.
+fn conflict_program() -> Program {
+    let mut pb = ProgramBuilder::new("conflict");
+    let a = pb.shared("A", &[N as usize, N as usize]);
+    pb.parallel_epoch("stencil", |e| {
+        e.doall("j", 1, N - 1, |e, j| {
+            e.serial("i", 0, N - 1, |e, i| {
+                e.assign(a.at2(i, j), a.at2(i, j).rd() * 0.5 + a.at2(i, j - 1).rd() * 0.25);
+            });
+        });
+    });
+    pb.finish().unwrap()
+}
+
+/// A guarded write inside the DOALL: the analysis cannot bound the guard's
+/// footprint and must answer `Unknown` (the guarded body is per-column and
+/// actually disjoint, so the optimistic dynamic path merges cleanly).
+fn unknown_program() -> Program {
+    let mut pb = ProgramBuilder::new("unknown");
+    let a = pb.shared("A", &[N as usize, N as usize]);
+    pb.parallel_epoch("guarded", |e| {
+        e.doall("j", 0, N - 1, |e, j| {
+            e.serial("i", 0, N - 1, |e, i| {
+                e.if_(CondB::gt(i, 3), |e| {
+                    e.assign(a.at2(i, j), a.at2(i, j).rd() * 0.5 + 1.0);
+                });
+            });
+        });
+    });
+    pb.finish().unwrap()
+}
+
+fn threaded(cfg: &PipelineConfig, t: usize) -> PipelineConfig {
+    let mut c = cfg.clone();
+    c.sim.sim_threads = t;
+    c
+}
+
+/// Serialized-report plus shared-memory byte identity (the same contract as
+/// `tests/parallel_equivalence.rs`).
+fn assert_identical(program: &Program, a: &SimResult, b: &SimResult, what: &str) {
+    assert_eq!(a.to_json().to_pretty(), b.to_json().to_pretty(), "report mismatch: {what}");
+    for arr in &program.arrays {
+        if !a.memory.is_shared(arr.id) {
+            continue;
+        }
+        let ab: Vec<u64> =
+            a.memory.array_values(program, arr.id).iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u64> =
+            b.memory.array_values(program, arr.id).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(ab, bb, "memory mismatch in {} ({what})", arr.name);
+    }
+}
+
+#[test]
+fn witness_programs_pin_all_three_verdicts() {
+    for (p, expect) in [
+        (disjoint_program(), "disjoint"),
+        (conflict_program(), "may_conflict"),
+        (unknown_program(), "unknown"),
+    ] {
+        let layout = Layout::new(&p, 4);
+        let vs = shard_scan(&p, &layout, 4);
+        assert_eq!(vs.len(), 1, "{}: one parallel epoch", p.name);
+        assert_eq!(vs[0].verdict.key(), expect, "{}", p.name);
+    }
+}
+
+/// A proven-`Disjoint` epoch runs as pure fork/join: no dynamic logging, no
+/// conflicts, and the result is byte-identical to the serial run.
+#[test]
+fn disjoint_witness_skips_the_dynamic_machinery() {
+    let p = disjoint_program();
+    let cfg = PipelineConfig::t3d(8);
+    let par = threaded(&cfg, 4).run(&p, Scheme::Base).expect("parallel run");
+    let ser = threaded(&cfg, 0).run(&p, Scheme::Base).expect("serial run");
+    assert!(par.result.shard.static_proven > 0, "epoch should be proven statically");
+    assert_eq!(par.result.shard.dynamic_logged, 0);
+    assert_eq!(par.result.shard.conflicts, 0);
+    assert_eq!(par.result.shard.dynamic_checks_skipped(), par.result.shard.static_proven);
+    assert!(par.result.shard.conflict_loops.is_empty());
+    assert_identical(&p, &par.result, &ser.result, "disjoint witness");
+    // Serial runs never shard: the stats stay zero.
+    assert_eq!(ser.result.shard.sharded(), 0);
+}
+
+/// A really-conflicting epoch is caught by the merge-time scan, recorded in
+/// `conflict_loops`, rerun serially — and therefore still byte-identical.
+#[test]
+fn conflict_witness_is_caught_and_rerun_serially() {
+    let p = conflict_program();
+    let cfg = PipelineConfig::t3d(8);
+    let layout = cfg.layout_for(&p);
+    let doall = shard_scan(&p, &layout, cfg.machine.line_words)[0].doall;
+    let par = threaded(&cfg, 4).run(&p, Scheme::Base).expect("parallel run");
+    let ser = threaded(&cfg, 0).run(&p, Scheme::Base).expect("serial run");
+    assert!(par.result.shard.conflicts > 0, "merge scan should reject the stencil");
+    assert_eq!(par.result.shard.static_proven, 0);
+    assert!(par.result.shard.conflict_loops.contains(&doall));
+    assert_identical(&p, &par.result, &ser.result, "conflict witness");
+}
+
+/// An `Unknown` epoch takes the optimistic dynamic path; here the guarded
+/// body is actually disjoint, so it merges cleanly with zero conflicts.
+#[test]
+fn unknown_witness_falls_back_to_dynamic_logging() {
+    let p = unknown_program();
+    let cfg = PipelineConfig::t3d(8);
+    let par = threaded(&cfg, 4).run(&p, Scheme::Base).expect("parallel run");
+    let ser = threaded(&cfg, 0).run(&p, Scheme::Base).expect("serial run");
+    assert!(par.result.shard.dynamic_logged > 0, "Unknown should shard optimistically");
+    assert_eq!(par.result.shard.static_proven, 0);
+    assert_eq!(par.result.shard.conflicts, 0);
+    assert_identical(&p, &par.result, &ser.result, "unknown witness");
+}
+
+/// `CCDP_SHARD_STATIC=0` semantics: with the static pass disabled every
+/// sharded epoch is dynamically logged, and the bytes do not change.
+#[test]
+fn fast_path_on_off_and_serial_are_byte_identical() {
+    let kernels = paper_kernels(Scale::Quick);
+    let mut cases: Vec<(String, Program, PipelineConfig, Scheme)> = vec![
+        ("disjoint".into(), disjoint_program(), PipelineConfig::t3d(8), Scheme::Base),
+        ("MXM".into(), kernels[0].program.clone(), cell_config(&kernels[0], 8), Scheme::Ccdp),
+        ("TOMCATV".into(), kernels[2].program.clone(), cell_config(&kernels[2], 8), Scheme::Ccdp),
+    ];
+    for (name, p, cfg, scheme) in cases.drain(..) {
+        let mut on = threaded(&cfg, 4);
+        on.sim.shard_static = true;
+        let mut off = threaded(&cfg, 4);
+        off.sim.shard_static = false;
+        let a = on.run(&p, scheme).expect("shard_static=1 run");
+        let b = off.run(&p, scheme).expect("shard_static=0 run");
+        let s = threaded(&cfg, 0).run(&p, scheme).expect("serial run");
+        let prog = a.artifacts.as_ref().map_or(&p, |x| &x.transformed);
+        assert_identical(prog, &a.result, &b.result, &format!("{name} on-vs-off"));
+        assert_identical(prog, &a.result, &s.result, &format!("{name} on-vs-serial"));
+        // The knob only moves work between the two sharded paths.
+        assert_eq!(b.result.shard.static_proven, 0, "{name}: knob off must not prove");
+    }
+}
+
+/// Zero false negatives over synth programs: a statically `Disjoint` loop
+/// never shows up in the dynamic conflict log. `shard_static` is forced off
+/// so *every* sharded DOALL instance is dynamically checked.
+#[test]
+fn synth_static_disjoint_never_contradicts_the_dynamic_log() {
+    let synth_cfg = SynthConfig::default();
+    for seed in 0..40u64 {
+        let p = random_program(seed, &synth_cfg);
+        for n in [2usize, 4] {
+            let mut cfg = threaded(&PipelineConfig::t3d(n), 4);
+            cfg.sim.shard_static = false;
+            let layout = cfg.layout_for(&p);
+            let run = cfg.run(&p, Scheme::Ccdp).expect("synth ccdp run");
+            let prog = &run.artifacts.as_ref().expect("ccdp artifacts").transformed;
+            for v in shard_scan(prog, &layout, cfg.machine.line_words) {
+                if v.verdict.is_disjoint() {
+                    assert!(
+                        !run.result.shard.conflict_loops.contains(&v.doall),
+                        "seed {seed} pes={n}: loop L{} of epoch '{}' proven Disjoint \
+                         but dynamically conflicted",
+                        v.doall.index(),
+                        v.label,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The same zero-false-negative contract over the paper kernels at every
+/// multi-PE paper PE count.
+#[test]
+fn kernel_static_disjoint_never_contradicts_the_dynamic_log() {
+    for k in &paper_kernels(Scale::Quick) {
+        for &n in PAPER_PES.iter().filter(|&&n| n >= 2) {
+            let mut cfg = threaded(&cell_config(k, n), 4);
+            cfg.sim.shard_static = false;
+            let layout = cfg.layout_for(&k.program);
+            let run = cfg.run(&k.program, Scheme::Ccdp).expect("kernel ccdp run");
+            let prog = &run.artifacts.as_ref().expect("ccdp artifacts").transformed;
+            for v in shard_scan(prog, &layout, cfg.machine.line_words) {
+                if v.verdict.is_disjoint() {
+                    assert!(
+                        !run.result.shard.conflict_loops.contains(&v.doall),
+                        "{} pes={n}: loop L{} proven Disjoint but dynamically conflicted",
+                        k.name,
+                        v.doall.index(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Mutation battery: injecting a cross-block write must flip the static
+/// verdict to non-`Disjoint`, and the dynamic log must catch the same loop
+/// at run time — the two detectors agree on every corruption.
+#[test]
+fn mutated_programs_flip_the_verdict_and_the_dynamic_log_agrees() {
+    let synth_cfg = SynthConfig::default();
+    for seed in 0..25u64 {
+        let mut p = random_program(seed, &synth_cfg);
+        let m = mutate_program(seed, &mut p).expect("synth programs always have a site");
+        let ProgramMutation::CrossBlockWrite { doall, .. } = &m;
+        let cfg = threaded(&PipelineConfig::t3d(8), 4);
+        let layout = cfg.layout_for(&p);
+        let v = shard_scan(&p, &layout, cfg.machine.line_words)
+            .into_iter()
+            .find(|v| v.doall == *doall)
+            .expect("mutated doall is scanned");
+        assert!(!v.verdict.is_disjoint(), "seed {seed}: {m} left the loop Disjoint");
+        let run = cfg.run(&p, Scheme::Base).expect("mutated base run");
+        assert!(
+            run.result.shard.conflict_loops.contains(doall),
+            "seed {seed}: {m} not caught by the dynamic log",
+        );
+    }
+}
+
+/// Statically proven epochs shard under a step budget (per-block budget
+/// slicing); generous budgets complete identically, tight budgets abort
+/// with exactly the serial error.
+#[test]
+fn proven_disjoint_epochs_shard_under_budgets() {
+    let p = disjoint_program();
+    let cfg = PipelineConfig::t3d(8);
+
+    let mut generous = threaded(&cfg, 4);
+    generous.sim.step_budget = Some(10_000_000);
+    let run = generous.run(&p, Scheme::Base).expect("generous budget completes");
+    assert!(run.result.shard.static_proven > 0, "budgeted proven epoch must still shard");
+    assert_eq!(run.result.shard.declined_budget_unproven, 0);
+    let mut gs = threaded(&cfg, 0);
+    gs.sim.step_budget = Some(10_000_000);
+    let ser = gs.run(&p, Scheme::Base).expect("serial generous budget");
+    assert_identical(&p, &run.result, &ser.result, "generous step budget");
+
+    // Unproven epochs under a budget decline sharding (structured reason).
+    let up = unknown_program();
+    let mut ub = threaded(&cfg, 4);
+    ub.sim.step_budget = Some(10_000_000);
+    let ur = ub.run(&up, Scheme::Base).expect("unknown budgeted run");
+    assert!(ur.result.shard.declined_budget_unproven > 0);
+    assert_eq!(ur.result.shard.sharded(), 0);
+
+    // Tight budgets: outcome (including the abort error text) matches the
+    // serial run exactly, whether the budget trips inside a worker or not.
+    for budget in [50u64, 500, 5_000] {
+        let mut pa = threaded(&cfg, 4);
+        pa.sim.step_budget = Some(budget);
+        let mut se = threaded(&cfg, 0);
+        se.sim.step_budget = Some(budget);
+        match (se.run(&p, Scheme::Base), pa.run(&p, Scheme::Base)) {
+            (Ok(s), Ok(a)) => assert_identical(&p, &a.result, &s.result, "tight budget ok"),
+            (Err(s), Err(a)) => {
+                assert_eq!(format!("{s}"), format!("{a}"), "budget {budget} abort text")
+            }
+            (s, a) => panic!(
+                "budget {budget}: outcomes diverge, serial ok={} parallel ok={}",
+                s.is_ok(),
+                a.is_ok()
+            ),
+        }
+    }
+}
